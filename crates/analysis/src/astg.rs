@@ -1,0 +1,515 @@
+//! Dependence analysis: abstract state transition graphs (ASTGs).
+//!
+//! An ASTG is associated with an object class and abstracts the possible
+//! state transitions of its instances (paper §4.1). Nodes are *abstract
+//! states*: the valuation of the class's guard-relevant flags plus a
+//! 1-limited count (0, 1, or ≥1) of bound tag instances per tag type.
+//! Edges abstract the actions of tasks: if some task exit can transition
+//! an object from state A to state B, the ASTG has an edge A → B labeled
+//! with that `(task, exit, param)`.
+//!
+//! The analysis is a forward closure from the states objects are allocated
+//! into (allocation sites and the startup object).
+
+use bamboo_lang::ids::{ClassId, ExitId, ParamIdx, TagTypeId, TaskId};
+use bamboo_lang::spec::{FlagOrTagAction, FlagSet, GlobalAllocSite, ProgramSpec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// 1-limited count of tag instances of one type bound to an object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TagCount {
+    /// No instance bound.
+    Zero,
+    /// Exactly one instance bound.
+    One,
+    /// At least one instance bound (count abstracted away).
+    Many,
+}
+
+impl TagCount {
+    /// The count after binding one more instance.
+    pub fn inc(self) -> TagCount {
+        match self {
+            TagCount::Zero => TagCount::One,
+            TagCount::One | TagCount::Many => TagCount::Many,
+        }
+    }
+
+    /// The possible counts after unbinding one instance.
+    ///
+    /// `Many` (≥1) may drop to zero or stay at ≥1, so both successors are
+    /// returned — the ASTG is a may-analysis.
+    pub fn dec(self) -> Vec<TagCount> {
+        match self {
+            TagCount::Zero => vec![TagCount::Zero],
+            TagCount::One => vec![TagCount::Zero],
+            TagCount::Many => vec![TagCount::Zero, TagCount::Many],
+        }
+    }
+
+    /// Whether at least one instance is bound.
+    pub fn at_least_one(self) -> bool {
+        !matches!(self, TagCount::Zero)
+    }
+}
+
+impl fmt::Display for TagCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagCount::Zero => write!(f, "0"),
+            TagCount::One => write!(f, "1"),
+            TagCount::Many => write!(f, "1+"),
+        }
+    }
+}
+
+/// An abstract object state: guard-relevant flags plus per-tag-type
+/// 1-limited counts.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct AbstractState {
+    /// Flag valuation, masked to the class's guard-relevant flags.
+    pub flags: FlagSet,
+    /// Tag counts, indexed by [`TagTypeId`]; omitted entries are `Zero`.
+    /// Kept sorted by tag type and free of `Zero` entries (normal form).
+    pub tags: Vec<(TagTypeId, TagCount)>,
+}
+
+impl AbstractState {
+    /// Creates a state from flags only.
+    pub fn from_flags(flags: FlagSet) -> Self {
+        AbstractState { flags, tags: Vec::new() }
+    }
+
+    /// Returns the count for `tag_type`.
+    pub fn tag_count(&self, tag_type: TagTypeId) -> TagCount {
+        self.tags
+            .iter()
+            .find(|(tt, _)| *tt == tag_type)
+            .map(|(_, c)| *c)
+            .unwrap_or(TagCount::Zero)
+    }
+
+    /// Returns a copy with `tag_type`'s count replaced (normalizing away
+    /// `Zero`).
+    pub fn with_tag_count(&self, tag_type: TagTypeId, count: TagCount) -> Self {
+        let mut tags: Vec<(TagTypeId, TagCount)> =
+            self.tags.iter().copied().filter(|(tt, _)| *tt != tag_type).collect();
+        if count != TagCount::Zero {
+            tags.push((tag_type, count));
+        }
+        tags.sort_by_key(|(tt, _)| *tt);
+        AbstractState { flags: self.flags, tags }
+    }
+}
+
+/// Index of a state node within its class's ASTG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct StateIdx(pub u32);
+
+impl StateIdx {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state#{}", self.0)
+    }
+}
+
+/// A task-transition edge in an ASTG.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct AstgEdge {
+    /// Source state.
+    pub from: StateIdx,
+    /// Destination state.
+    pub to: StateIdx,
+    /// The transitioning task.
+    pub task: TaskId,
+    /// The exit that causes the transition.
+    pub exit: ExitId,
+    /// Which of the task's parameters the object serves as.
+    pub param: ParamIdx,
+}
+
+/// The abstract state transition graph of one class.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Astg {
+    /// The states, indexed by [`StateIdx`].
+    pub states: Vec<AbstractState>,
+    /// Task-transition edges.
+    pub edges: Vec<AstgEdge>,
+    /// States objects can be allocated into, with the sites that produce
+    /// them (the paper's double-ellipse nodes). The startup state carries
+    /// no site.
+    pub alloc_states: Vec<(StateIdx, Option<GlobalAllocSite>)>,
+}
+
+impl Astg {
+    /// Returns the index of `state`, if present.
+    pub fn find(&self, state: &AbstractState) -> Option<StateIdx> {
+        self.states.iter().position(|s| s == state).map(|i| StateIdx(i as u32))
+    }
+
+    /// Returns the outgoing edges of `state`.
+    pub fn edges_from(&self, state: StateIdx) -> impl Iterator<Item = &AstgEdge> {
+        self.edges.iter().filter(move |e| e.from == state)
+    }
+
+    /// Returns whether `state` can be an allocation target.
+    pub fn is_alloc_state(&self, state: StateIdx) -> bool {
+        self.alloc_states.iter().any(|(s, _)| *s == state)
+    }
+}
+
+impl Astg {
+    /// Renders this class's state machine as Graphviz dot.
+    ///
+    /// Double ellipses mark allocatable states; edges carry task names.
+    pub fn to_dot(&self, spec: &ProgramSpec, class: ClassId) -> String {
+        let class_spec = spec.class(class);
+        let mut out = format!(
+            "digraph astg_{} {{\n  rankdir=LR;\n  node [shape=ellipse];\n",
+            class_spec.name
+        );
+        for (i, state) in self.states.iter().enumerate() {
+            let mut label: Vec<String> =
+                state.flags.iter().map(|f| class_spec.flag_name(f).to_string()).collect();
+            for (tt, count) in &state.tags {
+                label.push(format!("{}:{count}", spec.tag_types[tt.index()].name));
+            }
+            let label = if label.is_empty() { "(none)".to_string() } else { label.join(",") };
+            let peripheries = if self.is_alloc_state(StateIdx(i as u32)) { 2 } else { 1 };
+            out.push_str(&format!(
+                "  s{i} [label=\"{{{label}}}\" peripheries={peripheries}];\n"
+            ));
+        }
+        for edge in &self.edges {
+            out.push_str(&format!(
+                "  s{} -> s{} [label=\"{}\"];\n",
+                edge.from.0,
+                edge.to.0,
+                spec.task(edge.task).name
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// ASTGs for every class in a program.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct DependenceAnalysis {
+    /// One ASTG per class, indexed by [`ClassId`].
+    pub astgs: Vec<Astg>,
+}
+
+impl DependenceAnalysis {
+    /// Runs the dependence analysis over `spec`.
+    ///
+    /// The closure explores every abstract state reachable from an
+    /// allocation site (or the startup object) through any sequence of
+    /// task exits.
+    pub fn run(spec: &ProgramSpec) -> Self {
+        Builder::new(spec).run()
+    }
+
+    /// Returns the ASTG of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn astg(&self, class: ClassId) -> &Astg {
+        &self.astgs[class.index()]
+    }
+
+    /// Total number of abstract states across all classes.
+    pub fn total_states(&self) -> usize {
+        self.astgs.iter().map(|a| a.states.len()).sum()
+    }
+}
+
+struct Builder<'s> {
+    spec: &'s ProgramSpec,
+    relevant: Vec<FlagSet>,
+    astgs: Vec<Astg>,
+    interned: Vec<HashMap<AbstractState, StateIdx>>,
+    worklist: Vec<(ClassId, StateIdx)>,
+}
+
+impl<'s> Builder<'s> {
+    fn new(spec: &'s ProgramSpec) -> Self {
+        let n = spec.classes.len();
+        Builder {
+            spec,
+            relevant: spec.guard_relevant_flags(),
+            astgs: vec![Astg::default(); n],
+            interned: vec![HashMap::new(); n],
+            worklist: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, class: ClassId, state: AbstractState) -> StateIdx {
+        if let Some(&idx) = self.interned[class.index()].get(&state) {
+            return idx;
+        }
+        let idx = StateIdx(self.astgs[class.index()].states.len() as u32);
+        self.astgs[class.index()].states.push(state.clone());
+        self.interned[class.index()].insert(state, idx);
+        self.worklist.push((class, idx));
+        idx
+    }
+
+    fn run(mut self) -> DependenceAnalysis {
+        // Seed: startup object.
+        let startup = self.spec.startup;
+        let startup_flags =
+            FlagSet::new().with(startup.flag, true).masked(self.relevant[startup.class.index()]);
+        let idx = self.intern(startup.class, AbstractState::from_flags(startup_flags));
+        self.astgs[startup.class.index()].alloc_states.push((idx, None));
+
+        // Seed: every allocation site.
+        for (task_id, task) in self.spec.tasks_enumerated() {
+            for (site_i, site) in task.alloc_sites.iter().enumerate() {
+                let flags = site.initial_flag_set().masked(self.relevant[site.class.index()]);
+                let mut state = AbstractState::from_flags(flags);
+                for var in &site.bound_tags {
+                    let tt = task.tag_vars[var.index()].tag_type;
+                    state = state.with_tag_count(tt, state.tag_count(tt).inc());
+                }
+                let idx = self.intern(site.class, state);
+                let gsite = GlobalAllocSite { task: task_id, site: site_i.into() };
+                let astg = &mut self.astgs[site.class.index()];
+                if !astg.alloc_states.contains(&(idx, Some(gsite))) {
+                    astg.alloc_states.push((idx, Some(gsite)));
+                }
+            }
+        }
+
+        // Closure.
+        while let Some((class, state_idx)) = self.worklist.pop() {
+            self.expand(class, state_idx);
+        }
+        DependenceAnalysis { astgs: self.astgs }
+    }
+
+    /// Applies every satisfiable (task, param, exit) to the state.
+    fn expand(&mut self, class: ClassId, state_idx: StateIdx) {
+        let state = self.astgs[class.index()].states[state_idx.index()].clone();
+        for (task_id, task) in self.spec.tasks_enumerated() {
+            for (pi, param) in task.params.iter().enumerate() {
+                if param.class != class {
+                    continue;
+                }
+                if !param.guard.eval(state.flags) {
+                    continue;
+                }
+                // Tag constraints: each requires ≥1 bound instance of the
+                // constrained tag type.
+                if !param.tags.iter().all(|tc| state.tag_count(tc.tag_type).at_least_one()) {
+                    continue;
+                }
+                let param_idx = ParamIdx::new(pi);
+                for (ei, exit) in task.exits.iter().enumerate() {
+                    let exit_id = ExitId::new(ei);
+                    let new_flags = exit
+                        .apply_flags(param_idx, state.flags)
+                        .masked(self.relevant[class.index()]);
+                    // Tag actions can branch (1-limited decrement).
+                    let mut successors = vec![AbstractState { flags: new_flags, tags: state.tags.clone() }];
+                    for action in exit.tag_actions(param_idx) {
+                        let mut next = Vec::new();
+                        for s in &successors {
+                            match action {
+                                FlagOrTagAction::AddTag(var) => {
+                                    let tt = task.tag_vars[var.index()].tag_type;
+                                    next.push(s.with_tag_count(tt, s.tag_count(tt).inc()));
+                                }
+                                FlagOrTagAction::ClearTag(var) => {
+                                    let tt = task.tag_vars[var.index()].tag_type;
+                                    for c in s.tag_count(tt).dec() {
+                                        next.push(s.with_tag_count(tt, c));
+                                    }
+                                }
+                                FlagOrTagAction::SetFlag(..) => unreachable!("filtered"),
+                            }
+                        }
+                        successors = next;
+                    }
+                    for succ in successors {
+                        let to = self.intern(class, succ);
+                        let edge = AstgEdge {
+                            from: state_idx,
+                            to,
+                            task: task_id,
+                            exit: exit_id,
+                            param: param_idx,
+                        };
+                        let astg = &mut self.astgs[class.index()];
+                        if !astg.edges.contains(&edge) {
+                            astg.edges.push(edge);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_lang::compile_source;
+
+    fn kc_spec() -> ProgramSpec {
+        compile_source(
+            "kc",
+            r#"
+            class StartupObject { flag initialstate; }
+            class Text {
+                flag process; flag submit;
+                int count;
+            }
+            class Results {
+                flag finished;
+                int merged; int expected;
+                boolean merge() {
+                    this.merged = this.merged + 1;
+                    return this.merged == this.expected;
+                }
+            }
+            task startup(StartupObject s in initialstate) {
+                Text tp = new Text(){ process := true };
+                Results rp = new Results(){ finished := false };
+                taskexit(s: initialstate := false);
+            }
+            task processText(Text tp in process) {
+                taskexit(tp: process := false, submit := true);
+            }
+            task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+                boolean all = rp.merge();
+                if (all) { taskexit(rp: finished := true; tp: submit := false); }
+                taskexit(tp: submit := false);
+            }
+            "#,
+        )
+        .unwrap()
+        .spec
+    }
+
+    #[test]
+    fn text_class_has_three_states() {
+        let spec = kc_spec();
+        let analysis = DependenceAnalysis::run(&spec);
+        let text = spec.class_by_name("Text").unwrap();
+        let astg = analysis.astg(text);
+        // {process}, {submit}, {} — mirrors Figure 3 of the paper.
+        assert_eq!(astg.states.len(), 3);
+        assert_eq!(astg.alloc_states.len(), 1);
+        // process --processText--> submit --merge (2 exits)--> {}.
+        assert_eq!(astg.edges.len(), 3);
+    }
+
+    #[test]
+    fn results_class_transitions_to_finished() {
+        let spec = kc_spec();
+        let analysis = DependenceAnalysis::run(&spec);
+        let results = spec.class_by_name("Results").unwrap();
+        let astg = analysis.astg(results);
+        // !finished --exit0--> finished, and --exit1--> !finished (self).
+        assert_eq!(astg.states.len(), 2);
+        let self_edges = astg.edges.iter().filter(|e| e.from == e.to).count();
+        assert_eq!(self_edges, 1);
+    }
+
+    #[test]
+    fn startup_reaches_dead_state() {
+        let spec = kc_spec();
+        let analysis = DependenceAnalysis::run(&spec);
+        let astg = analysis.astg(spec.startup.class);
+        assert_eq!(astg.states.len(), 2);
+        assert_eq!(astg.edges.len(), 1);
+        // The post-startup state has no outgoing edges.
+        let dead = astg.edges[0].to;
+        assert_eq!(astg.edges_from(dead).count(), 0);
+    }
+
+    #[test]
+    fn tag_counts_are_one_limited() {
+        assert_eq!(TagCount::Zero.inc(), TagCount::One);
+        assert_eq!(TagCount::One.inc(), TagCount::Many);
+        assert_eq!(TagCount::Many.inc(), TagCount::Many);
+        assert_eq!(TagCount::One.dec(), vec![TagCount::Zero]);
+        assert_eq!(TagCount::Many.dec(), vec![TagCount::Zero, TagCount::Many]);
+    }
+
+    #[test]
+    fn tagged_allocation_seeds_tagged_state() {
+        let spec = compile_source(
+            "t",
+            r#"
+            class StartupObject { flag initialstate; }
+            class Image { flag raw; flag done; }
+            tagtype link;
+            task startup(StartupObject s in initialstate) {
+                tag t = new tag(link);
+                Image i = new Image(){ raw := true, add t };
+                taskexit(s: initialstate := false);
+            }
+            task work(Image i in raw with link t) {
+                taskexit(i: raw := false, done := true, clear t);
+            }
+            "#,
+        )
+        .unwrap()
+        .spec;
+        let analysis = DependenceAnalysis::run(&spec);
+        let image = spec.class_by_name("Image").unwrap();
+        let astg = analysis.astg(image);
+        let alloc_state = &astg.states[astg.alloc_states[0].0.index()];
+        assert_eq!(alloc_state.tag_count(bamboo_lang::ids::TagTypeId::new(0)), TagCount::One);
+        // The work task's exit clears the tag: destination has Zero.
+        assert!(astg.edges.iter().any(|e| {
+            astg.states[e.to.index()].tag_count(bamboo_lang::ids::TagTypeId::new(0))
+                == TagCount::Zero
+        }));
+    }
+
+    #[test]
+    fn astg_dot_lists_states_and_tasks() {
+        let spec = kc_spec();
+        let analysis = DependenceAnalysis::run(&spec);
+        let text = spec.class_by_name("Text").unwrap();
+        let dot = analysis.astg(text).to_dot(&spec, text);
+        assert!(dot.contains("digraph astg_Text"));
+        assert!(dot.contains("processText"));
+        assert!(dot.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn guard_irrelevant_flags_do_not_split_states() {
+        // `done` never appears in a guard, so it must not create states.
+        let spec = compile_source(
+            "t",
+            r#"
+            class StartupObject { flag initialstate; }
+            class W { flag ready; flag done; }
+            task startup(StartupObject s in initialstate) {
+                W w = new W(){ ready := true };
+                taskexit(s: initialstate := false);
+            }
+            task work(W w in ready) {
+                taskexit(w: ready := false, done := true);
+            }
+            "#,
+        )
+        .unwrap()
+        .spec;
+        let analysis = DependenceAnalysis::run(&spec);
+        let w = spec.class_by_name("W").unwrap();
+        assert_eq!(analysis.astg(w).states.len(), 2);
+    }
+}

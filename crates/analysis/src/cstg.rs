@@ -1,0 +1,312 @@
+//! The combined state transition graph (CSTG).
+//!
+//! The CSTG merges the per-class ASTGs into one graph characterizing the
+//! whole application (paper §4.3.1): nodes are abstract object states of
+//! task-parameter classes, solid edges are task transitions, and dashed
+//! *new-object* edges connect a creating task to the abstract state its
+//! allocation sites produce. The implementation synthesizer transforms
+//! this graph; annotated with profile data it forms the Markov model that
+//! drives the scheduling simulator.
+
+use crate::astg::{AstgEdge, DependenceAnalysis, StateIdx};
+use bamboo_lang::ids::{ClassId, ExitId, ParamIdx, TaskId};
+use bamboo_lang::spec::{FlagSet, GlobalAllocSite, ProgramSpec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Global index of a CSTG state node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A CSTG state node: one abstract state of one class.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CstgNode {
+    /// The owning class.
+    pub class: ClassId,
+    /// The state within that class's ASTG.
+    pub state: StateIdx,
+    /// Whether objects can be allocated directly into this state.
+    pub allocatable: bool,
+}
+
+/// A task-transition (solid) edge.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TaskEdge {
+    /// Source state node.
+    pub from: NodeId,
+    /// Destination state node.
+    pub to: NodeId,
+    /// The transitioning task.
+    pub task: TaskId,
+    /// The exit taken.
+    pub exit: ExitId,
+    /// Which parameter of the task the object serves as.
+    pub param: ParamIdx,
+}
+
+/// A new-object (dashed) edge: `task`'s allocation site `site` creates
+/// objects in state `to`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NewEdge {
+    /// The creating task.
+    pub task: TaskId,
+    /// The allocation site.
+    pub site: GlobalAllocSite,
+    /// The created objects' state node.
+    pub to: NodeId,
+}
+
+/// The combined state transition graph.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Cstg {
+    /// State nodes.
+    pub nodes: Vec<CstgNode>,
+    /// Solid task-transition edges.
+    pub task_edges: Vec<TaskEdge>,
+    /// Dashed new-object edges.
+    pub new_edges: Vec<NewEdge>,
+    index: HashMap<(ClassId, StateIdx), NodeId>,
+}
+
+impl Cstg {
+    /// Builds the CSTG from the dependence analysis results.
+    pub fn build(spec: &ProgramSpec, analysis: &DependenceAnalysis) -> Self {
+        let mut cstg = Cstg::default();
+        for (class, _) in spec.classes_enumerated() {
+            let astg = analysis.astg(class);
+            for (i, _) in astg.states.iter().enumerate() {
+                let state = StateIdx(i as u32);
+                let id = NodeId(cstg.nodes.len() as u32);
+                cstg.nodes.push(CstgNode {
+                    class,
+                    state,
+                    allocatable: astg.is_alloc_state(state),
+                });
+                cstg.index.insert((class, state), id);
+            }
+        }
+        for (class, _) in spec.classes_enumerated() {
+            let astg = analysis.astg(class);
+            for AstgEdge { from, to, task, exit, param } in &astg.edges {
+                cstg.task_edges.push(TaskEdge {
+                    from: cstg.index[&(class, *from)],
+                    to: cstg.index[&(class, *to)],
+                    task: *task,
+                    exit: *exit,
+                    param: *param,
+                });
+            }
+            for (state, site) in &astg.alloc_states {
+                if let Some(site) = site {
+                    cstg.new_edges.push(NewEdge {
+                        task: site.task,
+                        site: *site,
+                        to: cstg.index[&(class, *state)],
+                    });
+                }
+            }
+        }
+        cstg
+    }
+
+    /// Returns the node for `(class, state)`, if present.
+    pub fn node(&self, class: ClassId, state: StateIdx) -> Option<NodeId> {
+        self.index.get(&(class, state)).copied()
+    }
+
+    /// Returns the state node the startup object begins in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSTG was built from a spec without a reachable
+    /// startup state (cannot happen for analysis output).
+    pub fn startup_node(&self, spec: &ProgramSpec, analysis: &DependenceAnalysis) -> NodeId {
+        let astg = analysis.astg(spec.startup.class);
+        let (state, _) = astg
+            .alloc_states
+            .iter()
+            .find(|(_, site)| site.is_none())
+            .expect("startup state exists");
+        self.index[&(spec.startup.class, *state)]
+    }
+
+    /// Returns the tasks whose transitions leave `node`.
+    pub fn tasks_from(&self, node: NodeId) -> Vec<TaskId> {
+        let mut tasks: Vec<TaskId> =
+            self.task_edges.iter().filter(|e| e.from == node).map(|e| e.task).collect();
+        tasks.sort();
+        tasks.dedup();
+        tasks
+    }
+
+    /// Renders the CSTG as Graphviz dot (the shape of the paper's
+    /// Figure 3, without profile annotations).
+    pub fn to_dot(&self, spec: &ProgramSpec, analysis: &DependenceAnalysis) -> String {
+        let mut out = String::from("digraph cstg {\n  rankdir=LR;\n  node [shape=ellipse];\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let class = spec.class(node.class);
+            let state = &analysis.astg(node.class).states[node.state.index()];
+            let mut label: Vec<String> =
+                state.flags.iter().map(|f| class.flag_name(f).to_string()).collect();
+            for (tt, count) in &state.tags {
+                label.push(format!("{}:{count}", spec.tag_types[tt.index()].name));
+            }
+            let label = if label.is_empty() { "(none)".to_string() } else { label.join(",") };
+            let peripheries = if node.allocatable { 2 } else { 1 };
+            out.push_str(&format!(
+                "  n{i} [label=\"{}\\n{{{label}}}\" peripheries={peripheries}];\n",
+                class.name
+            ));
+        }
+        for edge in &self.task_edges {
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}\"];\n",
+                edge.from.0,
+                edge.to.0,
+                spec.task(edge.task).name
+            ));
+        }
+        for edge in &self.new_edges {
+            // Dashed edges originate at any node the creating task leaves.
+            let sources: Vec<NodeId> = self
+                .task_edges
+                .iter()
+                .filter(|e| e.task == edge.task)
+                .map(|e| e.from)
+                .collect();
+            for src in sources.iter().take(1) {
+                out.push_str(&format!(
+                    "  n{} -> n{} [style=dashed label=\"new via {}\"];\n",
+                    src.0,
+                    edge.to.0,
+                    spec.task(edge.task).name
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Returns the `(task, param)` pairs whose guard (and class) a concrete
+/// object state satisfies — the dispatch question the runtime asks after
+/// every transition.
+///
+/// Tag constraints are not checked here (they need instance identity, not
+/// counts); callers filter those separately.
+pub fn enabled_params(spec: &ProgramSpec, class: ClassId, flags: FlagSet) -> Vec<(TaskId, ParamIdx)> {
+    let mut out = Vec::new();
+    for (task_id, task) in spec.tasks_enumerated() {
+        for (pi, param) in task.params.iter().enumerate() {
+            if param.class == class && param.guard.eval(flags) {
+                out.push((task_id, ParamIdx::new(pi)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_lang::compile_source;
+
+    fn kc() -> (ProgramSpec, DependenceAnalysis, Cstg) {
+        let spec = compile_source(
+            "kc",
+            r#"
+            class StartupObject { flag initialstate; }
+            class Text { flag process; flag submit; }
+            class Results { flag finished; }
+            task startup(StartupObject s in initialstate) {
+                Text tp = new Text(){ process := true };
+                Results rp = new Results(){ finished := false };
+                taskexit(s: initialstate := false);
+            }
+            task processText(Text tp in process) {
+                taskexit(tp: process := false, submit := true);
+            }
+            task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+                if (1 < 2) { taskexit(rp: finished := true; tp: submit := false); }
+                taskexit(tp: submit := false);
+            }
+            "#,
+        )
+        .unwrap()
+        .spec;
+        let analysis = DependenceAnalysis::run(&spec);
+        let cstg = Cstg::build(&spec, &analysis);
+        (spec, analysis, cstg)
+    }
+
+    #[test]
+    fn node_count_matches_astg_totals() {
+        let (_, analysis, cstg) = kc();
+        assert_eq!(cstg.nodes.len(), analysis.total_states());
+    }
+
+    #[test]
+    fn new_edges_cover_alloc_sites() {
+        let (spec, _, cstg) = kc();
+        // startup has 2 allocation sites.
+        let startup = spec.task_by_name("startup").unwrap();
+        let from_startup = cstg.new_edges.iter().filter(|e| e.task == startup).count();
+        assert_eq!(from_startup, 2);
+    }
+
+    #[test]
+    fn startup_node_is_allocatable() {
+        let (spec, analysis, cstg) = kc();
+        let node = cstg.startup_node(&spec, &analysis);
+        assert!(cstg.nodes[node.index()].allocatable);
+    }
+
+    #[test]
+    fn tasks_from_startup_state() {
+        let (spec, analysis, cstg) = kc();
+        let node = cstg.startup_node(&spec, &analysis);
+        let tasks = cstg.tasks_from(node);
+        assert_eq!(tasks, vec![spec.task_by_name("startup").unwrap()]);
+    }
+
+    #[test]
+    fn enabled_params_matches_guards() {
+        let (spec, _, _) = kc();
+        let text = spec.class_by_name("Text").unwrap();
+        let text_class = spec.class(text);
+        let process = text_class.flag_by_name("process").unwrap();
+        let submit = text_class.flag_by_name("submit").unwrap();
+        let in_process = FlagSet::new().with(process, true);
+        let enabled = enabled_params(&spec, text, in_process);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0].0, spec.task_by_name("processText").unwrap());
+        let in_submit = FlagSet::new().with(submit, true);
+        let enabled = enabled_params(&spec, text, in_submit);
+        assert_eq!(enabled[0].0, spec.task_by_name("mergeIntermediateResult").unwrap());
+        assert_eq!(enabled[0].1, ParamIdx::new(1));
+    }
+
+    #[test]
+    fn dot_output_contains_all_nodes() {
+        let (spec, analysis, cstg) = kc();
+        let dot = cstg.to_dot(&spec, &analysis);
+        assert!(dot.contains("digraph cstg"));
+        assert!(dot.contains("peripheries=2"));
+        for i in 0..cstg.nodes.len() {
+            assert!(dot.contains(&format!("n{i} ")));
+        }
+    }
+}

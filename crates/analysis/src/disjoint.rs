@@ -1,0 +1,627 @@
+//! Disjointness analysis (paper §4.2).
+//!
+//! Determines, for each task, whether executing the task may *introduce
+//! sharing* between the heap regions rooted at two different parameter
+//! objects — i.e. store a reference that makes some object reachable from
+//! both. Bamboo's transactional task semantics lock only the parameter
+//! objects, which is sufficient exactly while parameter regions stay
+//! disjoint; when a task may merge two regions, the compiler directs the
+//! runtime to *share a lock* between those parameter objects
+//! ([`LockPlan`]).
+//!
+//! The implementation is a flow-insensitive abstract interpretation over
+//! *region tokens*: each task parameter roots a region; allocations create
+//! fresh regions; storing a reference into a region merges the regions
+//! involved (union-find). Method calls are handled with summaries —
+//! which of `{this, args}` a method may merge, and which regions its
+//! return value may alias — computed to a global fixpoint so recursion is
+//! sound.
+
+use crate::union_find::UnionFind;
+use bamboo_lang::ids::{ParamIdx, TaskId};
+use bamboo_lang::ir::{Builtin, IrExpr, IrPlace, IrProgram, IrStmt};
+use bamboo_lang::spec::ProgramSpec;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Sentinel summary index meaning "a region allocated inside the callee".
+const FRESH: usize = usize::MAX;
+
+/// A set of region tokens (kept sorted for determinism).
+type TokenSet = BTreeSet<usize>;
+
+/// How a task's parameters must be locked.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LockPlan {
+    /// Partition of the task's parameters: parameters in the same group
+    /// may come to share heap, so the runtime merges their objects' lock
+    /// classes.
+    pub groups: Vec<Vec<ParamIdx>>,
+}
+
+impl LockPlan {
+    /// The plan for a task whose parameters stay disjoint: every parameter
+    /// in its own group.
+    pub fn all_disjoint(n_params: usize) -> Self {
+        LockPlan { groups: (0..n_params).map(|i| vec![ParamIdx::new(i)]).collect() }
+    }
+
+    /// Returns whether any group holds more than one parameter.
+    pub fn has_sharing(&self) -> bool {
+        self.groups.iter().any(|g| g.len() > 1)
+    }
+}
+
+impl fmt::Display for LockPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let groups: Vec<String> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let members: Vec<String> = g.iter().map(|p| p.to_string()).collect();
+                format!("{{{}}}", members.join(","))
+            })
+            .collect();
+        write!(f, "{}", groups.join(" "))
+    }
+}
+
+/// Whole-program disjointness results.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DisjointnessAnalysis {
+    /// One lock plan per task, indexed by [`TaskId`].
+    pub lock_plans: Vec<LockPlan>,
+}
+
+impl DisjointnessAnalysis {
+    /// Runs the analysis over a compiled DSL program.
+    pub fn run(spec: &ProgramSpec, ir: &IrProgram) -> Self {
+        let summaries = compute_method_summaries(ir);
+        let lock_plans = spec
+            .tasks_enumerated()
+            .map(|(task_id, task)| analyze_task(ir, &summaries, task_id, task.params.len()))
+            .collect();
+        DisjointnessAnalysis { lock_plans }
+    }
+
+    /// The trivial result for native programs (no IR to analyze): every
+    /// parameter disjoint. Native builders that share heap between
+    /// parameters must override with [`DisjointnessAnalysis::with_shared`].
+    pub fn all_disjoint(spec: &ProgramSpec) -> Self {
+        DisjointnessAnalysis {
+            lock_plans: spec
+                .tasks
+                .iter()
+                .map(|t| LockPlan::all_disjoint(t.params.len()))
+                .collect(),
+        }
+    }
+
+    /// Returns a copy in which `task`'s listed parameters share one lock
+    /// group.
+    pub fn with_shared(mut self, task: TaskId, shared: &[ParamIdx]) -> Self {
+        let plan = &mut self.lock_plans[task.index()];
+        let mut group: Vec<ParamIdx> = Vec::new();
+        plan.groups.retain(|g| {
+            if g.iter().any(|p| shared.contains(p)) {
+                group.extend(g.iter().copied());
+                false
+            } else {
+                true
+            }
+        });
+        group.sort();
+        plan.groups.push(group);
+        plan.groups.sort();
+        self
+    }
+
+    /// Returns the lock plan of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn lock_plan(&self, task: TaskId) -> &LockPlan {
+        &self.lock_plans[task.index()]
+    }
+}
+
+/// Summary of a method's heap effects in terms of its `this` (index 0) and
+/// arguments (indices 1..=n).
+#[derive(Clone, Debug, Default, PartialEq)]
+struct MethodSummary {
+    /// Pairs of formal indices the method may merge into one region.
+    merges: Vec<(usize, usize)>,
+    /// Formal indices (or [`FRESH`]) the return value may alias.
+    ret: BTreeSet<usize>,
+}
+
+/// Abstract state while analyzing one body.
+struct AbsState {
+    uf: UnionFind,
+    locals: Vec<TokenSet>,
+    ret: TokenSet,
+    changed: bool,
+}
+
+impl AbsState {
+    fn new(n_tokens: usize, n_slots: usize) -> Self {
+        AbsState {
+            uf: UnionFind::new(n_tokens),
+            locals: vec![TokenSet::new(); n_slots],
+            ret: TokenSet::new(),
+            changed: false,
+        }
+    }
+
+    fn rep_set(&mut self, tokens: &TokenSet) -> TokenSet {
+        tokens.iter().map(|&t| self.uf.find(t)).collect()
+    }
+
+    fn merge_all(&mut self, tokens: &TokenSet) {
+        let mut iter = tokens.iter();
+        if let Some(&first) = iter.next() {
+            for &t in iter {
+                if self.uf.union(first, t) {
+                    self.changed = true;
+                }
+            }
+        }
+    }
+
+    fn extend_local(&mut self, slot: u32, tokens: TokenSet) {
+        let entry = &mut self.locals[slot as usize];
+        for t in tokens {
+            if entry.insert(t) {
+                self.changed = true;
+            }
+        }
+    }
+}
+
+/// Context shared by intraprocedural walks.
+struct Walker<'a> {
+    #[allow(dead_code)]
+    ir: &'a IrProgram,
+    summaries: &'a [Vec<MethodSummary>],
+    /// Next fresh token to hand out (monotonic across fixpoint iterations
+    /// for determinism we reset per iteration).
+    fresh_base: usize,
+    next_fresh: usize,
+}
+
+impl<'a> Walker<'a> {
+    fn fresh(&mut self, state: &mut AbsState) -> usize {
+        let token = self.next_fresh;
+        self.next_fresh += 1;
+        while state.uf.len() <= token {
+            state.uf.push();
+        }
+        token
+    }
+
+    fn walk_block(&mut self, stmts: &[IrStmt], state: &mut AbsState) {
+        for stmt in stmts {
+            self.walk_stmt(stmt, state);
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &IrStmt, state: &mut AbsState) {
+        match stmt {
+            IrStmt::Assign { target, value } => {
+                let v = self.eval(value, state);
+                match target {
+                    IrPlace::Local(slot) => state.extend_local(*slot, v),
+                    IrPlace::Field { obj, .. } | IrPlace::Index { arr: obj, .. } => {
+                        let base = self.eval(obj, state);
+                        if !v.is_empty() {
+                            let mut all = base;
+                            all.extend(v);
+                            state.merge_all(&all);
+                        }
+                    }
+                }
+            }
+            IrStmt::If { cond, then_blk, else_blk } => {
+                self.eval(cond, state);
+                self.walk_block(then_blk, state);
+                self.walk_block(else_blk, state);
+            }
+            IrStmt::While { cond, body } => {
+                self.eval(cond, state);
+                self.walk_block(body, state);
+            }
+            IrStmt::For { init, cond, step, body } => {
+                self.walk_block(init, state);
+                if let Some(c) = cond {
+                    self.eval(c, state);
+                }
+                self.walk_block(body, state);
+                self.walk_block(step, state);
+            }
+            IrStmt::Return(Some(e)) => {
+                let v = self.eval(e, state);
+                for t in v {
+                    if state.ret.insert(t) {
+                        state.changed = true;
+                    }
+                }
+            }
+            IrStmt::Return(None)
+            | IrStmt::Break
+            | IrStmt::Continue
+            | IrStmt::TaskExit(_)
+            | IrStmt::NewTag { .. } => {}
+            IrStmt::Expr(e) => {
+                self.eval(e, state);
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &IrExpr, state: &mut AbsState) -> TokenSet {
+        match expr {
+            IrExpr::ConstInt(_)
+            | IrExpr::ConstFloat(_)
+            | IrExpr::ConstBool(_)
+            | IrExpr::ConstStr(_)
+            | IrExpr::Null => TokenSet::new(),
+            IrExpr::Local(slot) => state.locals[*slot as usize].clone(),
+            IrExpr::Field { obj, .. } => {
+                // Everything reachable from obj's region is in the region.
+                let base = self.eval(obj, state);
+                state.rep_set(&base)
+            }
+            IrExpr::Index { arr, idx } => {
+                self.eval(idx, state);
+                let base = self.eval(arr, state);
+                state.rep_set(&base)
+            }
+            IrExpr::CallMethod { obj, class, method, args } => {
+                let mut actuals: Vec<TokenSet> = Vec::with_capacity(args.len() + 1);
+                actuals.push(self.eval(obj, state));
+                for a in args {
+                    actuals.push(self.eval(a, state));
+                }
+                let summary = self.summaries[class.index()][*method as usize].clone();
+                // Apply merges.
+                for (i, j) in &summary.merges {
+                    let mut all: TokenSet = actuals[*i].clone();
+                    all.extend(actuals[*j].iter().copied());
+                    state.merge_all(&all);
+                }
+                // Return aliases.
+                let mut ret = TokenSet::new();
+                for idx in &summary.ret {
+                    if *idx == FRESH {
+                        ret.insert(self.fresh(state));
+                    } else {
+                        ret.extend(actuals[*idx].iter().copied());
+                    }
+                }
+                state.rep_set(&ret)
+            }
+            IrExpr::CallBuiltin { builtin, args } => {
+                for a in args {
+                    self.eval(a, state);
+                }
+                match builtin {
+                    Builtin::Split => [self.fresh(state)].into_iter().collect(),
+                    _ => TokenSet::new(),
+                }
+            }
+            IrExpr::New { args, .. } => {
+                let token = self.fresh(state);
+                // Constructor effects: conservatively, arguments stored
+                // into the fresh object join its region.
+                let mut all: TokenSet = [token].into_iter().collect();
+                for a in args {
+                    all.extend(self.eval(a, state));
+                }
+                state.merge_all(&all);
+                let singleton: TokenSet = [token].into_iter().collect();
+                state.rep_set(&singleton)
+            }
+            IrExpr::NewArray { len, .. } => {
+                self.eval(len, state);
+                [self.fresh(state)].into_iter().collect()
+            }
+            IrExpr::Unary { expr, .. } => {
+                self.eval(expr, state);
+                TokenSet::new()
+            }
+            IrExpr::Binary { lhs, rhs, .. } => {
+                self.eval(lhs, state);
+                self.eval(rhs, state);
+                TokenSet::new()
+            }
+        }
+    }
+}
+
+/// Computes method summaries to a global fixpoint.
+fn compute_method_summaries(ir: &IrProgram) -> Vec<Vec<MethodSummary>> {
+    let mut summaries: Vec<Vec<MethodSummary>> = ir
+        .classes
+        .iter()
+        .map(|c| vec![MethodSummary::default(); c.methods.len()])
+        .collect();
+    // Iterate until stable (bounded; summaries grow monotonically).
+    for _ in 0..24 {
+        let mut any_changed = false;
+        for (ci, class) in ir.classes.iter().enumerate() {
+            for (mi, method) in class.methods.iter().enumerate() {
+                let n_formals = method.n_params + 1; // this + args
+                let mut state = AbsState::new(n_formals, method.body.n_slots);
+                for i in 0..n_formals {
+                    state.locals[i] = [i].into_iter().collect();
+                }
+                let mut walker = Walker {
+                    ir,
+                    summaries: &summaries,
+                    fresh_base: n_formals,
+                    next_fresh: n_formals,
+                };
+                // Intraprocedural fixpoint (flow-insensitive; loops feed
+                // locals back).
+                loop {
+                    state.changed = false;
+                    walker.next_fresh = walker.fresh_base;
+                    walker.walk_block(&method.body.stmts, &mut state);
+                    if !state.changed {
+                        break;
+                    }
+                }
+                // Extract the new summary.
+                let mut merges = Vec::new();
+                for i in 0..n_formals {
+                    for j in (i + 1)..n_formals {
+                        if state.uf.same(i, j) {
+                            merges.push((i, j));
+                        }
+                    }
+                }
+                let mut ret = BTreeSet::new();
+                let ret_reps = state.rep_set(&state.ret.clone());
+                for i in 0..n_formals {
+                    if ret_reps.contains(&state.uf.find(i)) {
+                        ret.insert(i);
+                    }
+                }
+                // Any returned token whose class holds no formal is fresh.
+                let formal_reps: BTreeSet<usize> =
+                    (0..n_formals).map(|i| state.uf.find(i)).collect();
+                if ret_reps.iter().any(|r| !formal_reps.contains(r)) {
+                    ret.insert(FRESH);
+                }
+                let new = MethodSummary { merges, ret };
+                if summaries[ci][mi] != new {
+                    summaries[ci][mi] = new;
+                    any_changed = true;
+                }
+            }
+        }
+        if !any_changed {
+            break;
+        }
+    }
+    summaries
+}
+
+/// Analyzes one task body and derives its lock plan.
+fn analyze_task(
+    ir: &IrProgram,
+    summaries: &[Vec<MethodSummary>],
+    task: TaskId,
+    n_params: usize,
+) -> LockPlan {
+    let body = &ir.tasks[task.index()];
+    let mut state = AbsState::new(n_params, body.n_slots);
+    for i in 0..n_params {
+        state.locals[i] = [i].into_iter().collect();
+    }
+    let mut walker = Walker { ir, summaries, fresh_base: n_params, next_fresh: n_params };
+    loop {
+        state.changed = false;
+        walker.next_fresh = walker.fresh_base;
+        walker.walk_block(&body.stmts, &mut state);
+        if !state.changed {
+            break;
+        }
+    }
+    // Partition parameters by final region.
+    let mut groups: Vec<Vec<ParamIdx>> = Vec::new();
+    let mut reps: Vec<usize> = Vec::new();
+    for i in 0..n_params {
+        let rep = state.uf.find(i);
+        if let Some(pos) = reps.iter().position(|&r| r == rep) {
+            groups[pos].push(ParamIdx::new(i));
+        } else {
+            reps.push(rep);
+            groups.push(vec![ParamIdx::new(i)]);
+        }
+    }
+    LockPlan { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_lang::compile_source;
+
+    fn plans(src: &str) -> (ProgramSpec, DisjointnessAnalysis) {
+        let compiled = compile_source("t", src).unwrap();
+        let analysis = DisjointnessAnalysis::run(&compiled.spec, &compiled.ir);
+        (compiled.spec, analysis)
+    }
+
+    #[test]
+    fn read_only_merge_stays_disjoint() {
+        // mergeResult reads tp.count but stores no reference: disjoint.
+        let (spec, analysis) = plans(
+            r#"
+            class StartupObject { flag initialstate; }
+            class Text { flag submit; int count; }
+            class Results { flag finished; int total;
+                void mergeResult(Text tp) { this.total = this.total + tp.count; }
+            }
+            task startup(StartupObject s in initialstate) {
+                Text t = new Text(){ submit := true };
+                Results r = new Results(){ finished := false };
+                taskexit(s: initialstate := false);
+            }
+            task merge(Results rp in !finished, Text tp in submit) {
+                rp.mergeResult(tp);
+                taskexit(rp: finished := true; tp: submit := false);
+            }
+            "#,
+        );
+        let merge = spec.task_by_name("merge").unwrap();
+        assert!(!analysis.lock_plan(merge).has_sharing());
+        assert_eq!(analysis.lock_plan(merge).groups.len(), 2);
+    }
+
+    #[test]
+    fn storing_reference_introduces_sharing() {
+        // link stores a reference to tp inside rp: sharing.
+        let (spec, analysis) = plans(
+            r#"
+            class StartupObject { flag initialstate; }
+            class Text { flag submit; int count; }
+            class Results { flag finished; Text last;
+                void keep(Text tp) { this.last = tp; }
+            }
+            task startup(StartupObject s in initialstate) {
+                Text t = new Text(){ submit := true };
+                Results r = new Results(){ finished := false };
+                taskexit(s: initialstate := false);
+            }
+            task link(Results rp in !finished, Text tp in submit) {
+                rp.keep(tp);
+                taskexit(rp: finished := true; tp: submit := false);
+            }
+            "#,
+        );
+        let link = spec.task_by_name("link").unwrap();
+        assert!(analysis.lock_plan(link).has_sharing());
+        assert_eq!(analysis.lock_plan(link).groups.len(), 1);
+    }
+
+    #[test]
+    fn direct_field_store_introduces_sharing() {
+        let (spec, analysis) = plans(
+            r#"
+            class StartupObject { flag initialstate; }
+            class A { flag on; B partner; }
+            class B { flag on; }
+            task startup(StartupObject s in initialstate) {
+                A a = new A(){ on := true };
+                B b = new B(){ on := true };
+                taskexit(s: initialstate := false);
+            }
+            task pair(A a in on, B b in on) {
+                a.partner = b;
+                taskexit(a: on := false; b: on := false);
+            }
+            "#,
+        );
+        let pair = spec.task_by_name("pair").unwrap();
+        assert!(analysis.lock_plan(pair).has_sharing());
+    }
+
+    #[test]
+    fn sharing_through_returned_alias() {
+        // get() returns an alias of `this`'s region; storing it into the
+        // other parameter links the regions.
+        let (spec, analysis) = plans(
+            r#"
+            class StartupObject { flag initialstate; }
+            class Node { int v; }
+            class A { flag on; Node n;
+                Node get() { return this.n; }
+            }
+            class B { flag on; Node kept; }
+            task startup(StartupObject s in initialstate) {
+                A a = new A(){ on := true };
+                B b = new B(){ on := true };
+                taskexit(s: initialstate := false);
+            }
+            task steal(A a in on, B b in on) {
+                b.kept = a.get();
+                taskexit(a: on := false; b: on := false);
+            }
+            "#,
+        );
+        let steal = spec.task_by_name("steal").unwrap();
+        assert!(analysis.lock_plan(steal).has_sharing());
+    }
+
+    #[test]
+    fn fresh_object_does_not_link_params() {
+        // Each parameter stores a reference to its own fresh object.
+        let (spec, analysis) = plans(
+            r#"
+            class StartupObject { flag initialstate; }
+            class Node { int v; }
+            class A { flag on; Node n; }
+            class B { flag on; Node n; }
+            task startup(StartupObject s in initialstate) {
+                A a = new A(){ on := true };
+                B b = new B(){ on := true };
+                taskexit(s: initialstate := false);
+            }
+            task fill(A a in on, B b in on) {
+                a.n = new Node();
+                b.n = new Node();
+                taskexit(a: on := false; b: on := false);
+            }
+            "#,
+        );
+        let fill = spec.task_by_name("fill").unwrap();
+        assert!(!analysis.lock_plan(fill).has_sharing());
+    }
+
+    #[test]
+    fn same_fresh_object_links_params() {
+        let (spec, analysis) = plans(
+            r#"
+            class StartupObject { flag initialstate; }
+            class Node { int v; }
+            class A { flag on; Node n; }
+            class B { flag on; Node n; }
+            task startup(StartupObject s in initialstate) {
+                A a = new A(){ on := true };
+                B b = new B(){ on := true };
+                taskexit(s: initialstate := false);
+            }
+            task share(A a in on, B b in on) {
+                Node shared = new Node();
+                a.n = shared;
+                b.n = shared;
+                taskexit(a: on := false; b: on := false);
+            }
+            "#,
+        );
+        let share = spec.task_by_name("share").unwrap();
+        assert!(analysis.lock_plan(share).has_sharing());
+    }
+
+    #[test]
+    fn with_shared_override_merges_groups() {
+        let (spec, analysis) = plans(
+            r#"
+            class StartupObject { flag initialstate; }
+            task startup(StartupObject s in initialstate) {
+                taskexit(s: initialstate := false);
+            }
+            "#,
+        );
+        let _ = spec;
+        let a = DisjointnessAnalysis {
+            lock_plans: vec![LockPlan::all_disjoint(3)],
+        };
+        let merged = a.with_shared(TaskId::new(0), &[ParamIdx::new(0), ParamIdx::new(2)]);
+        assert!(merged.lock_plan(TaskId::new(0)).has_sharing());
+        assert_eq!(merged.lock_plan(TaskId::new(0)).groups.len(), 2);
+        let _ = analysis;
+    }
+}

@@ -1,0 +1,129 @@
+//! Small union-find (disjoint-set) structure used by the disjointness
+//! analysis and the runtime's shared-lock assignment.
+
+/// A union-find over `0..len` with path compression and union by rank.
+#[derive(Clone, Debug, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates a structure with `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind { parent: (0..len as u32).collect(), rank: vec![0; len] }
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a new singleton element, returning its index.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id as u32);
+        self.rank.push(0);
+        id
+    }
+
+    /// Returns the representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Returns the sets as sorted groups of sorted members (normal form
+    /// for comparisons and display).
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for x in 0..self.len() {
+            let root = self.find(x);
+            map.entry(root).or_default().push(x);
+        }
+        map.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 2));
+        assert!(uf.union(2, 4));
+        assert!(!uf.union(0, 4));
+        assert!(uf.same(0, 4));
+        assert!(!uf.same(1, 4));
+        assert_eq!(uf.groups(), vec![vec![0, 2, 4], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut uf = UnionFind::new(1);
+        let id = uf.push();
+        assert_eq!(id, 1);
+        uf.union(0, 1);
+        assert!(uf.same(0, 1));
+    }
+
+    #[test]
+    fn path_compression_preserves_sets() {
+        let mut uf = UnionFind::new(64);
+        for i in 1..64 {
+            uf.union(i - 1, i);
+        }
+        for i in 0..64 {
+            assert!(uf.same(0, i));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! FilterBank: multi-channel, multirate signal processing (ported in
+//! spirit from the StreamIt suite, paper §5.1).
+//!
+//! Every channel band-filters the shared input signal with its own FIR,
+//! down-samples by 2, up-samples by 2, applies a reconstruction FIR, and
+//! the `combine` task sums the per-channel outputs into the result. Each
+//! channel writes an index-addressed slot (per-channel energy plus an
+//! output digest), making the combined result bit-exact under any merge
+//! order; the final elementwise sum is folded in channel order at the
+//! last merge.
+
+use crate::util::{Checksum, Lcg};
+use crate::{Benchmark, PaperNumbers, Scale, SerialOutcome};
+use bamboo::{body, Compiler, FlagExpr, NativeBody, ProgramBuilder, VirtualExecutor};
+
+/// Cycles charged per multiply-accumulate in the FIR convolutions
+/// (calibrated against the paper's 5.55e10-cycle serial run).
+const CYCLES_PER_MAC: u64 = 1_700;
+/// Cycles charged per output sample combined.
+const CYCLES_PER_COMBINE_SAMPLE: u64 = 2_400;
+/// Modeled generated-code overhead (paper §5.5: 0.1% — streaming code
+/// compiles essentially as well as hand C).
+const LANG_OVERHEAD_PERMILLE: u64 = 1;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Number of filter channels.
+    pub channels: usize,
+    /// Input signal length.
+    pub len: usize,
+    /// FIR tap count.
+    pub taps: usize,
+}
+
+impl Params {
+    /// Parameters for a scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Small => Params { channels: 6, len: 256, taps: 16 },
+            Scale::Original => Params { channels: 62, len: 4096, taps: 64 },
+            Scale::Double => Params { channels: 124, len: 4096, taps: 64 },
+        }
+    }
+}
+
+/// The shared input signal (deterministic pseudo-noise plus two tones).
+pub fn input_signal(len: usize) -> Vec<f64> {
+    let mut rng = Lcg::new(0xF117E2);
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            (0.05 * t).sin() + 0.5 * (0.21 * t).sin() + 0.25 * (rng.next_f64() - 0.5)
+        })
+        .collect()
+}
+
+/// The FIR taps of `channel`'s analysis filter: a windowed cosine bank.
+pub fn channel_taps(channel: usize, taps: usize) -> Vec<f64> {
+    let omega = std::f64::consts::PI * (channel as f64 + 0.5) / 64.0;
+    (0..taps)
+        .map(|k| {
+            let window = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * k as f64 / taps as f64).cos();
+            window * (omega * k as f64).cos() / taps as f64
+        })
+        .collect()
+}
+
+/// Convolves `signal` with `taps` (same-length output, zero-padded past
+/// the start).
+pub fn fir(signal: &[f64], taps: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; signal.len()];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, tap) in taps.iter().enumerate() {
+            if i >= k {
+                acc += tap * signal[i - k];
+            }
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Processes one channel end-to-end: analysis FIR, ↓2, ↑2,
+/// reconstruction FIR. Returns the channel output (input length).
+pub fn process_channel(input: &[f64], channel: usize, taps: usize) -> Vec<f64> {
+    let analysis = channel_taps(channel, taps);
+    let filtered = fir(input, &analysis);
+    // Down-sample by 2.
+    let down: Vec<f64> = filtered.iter().step_by(2).copied().collect();
+    // Up-sample by 2 (zero-stuffing).
+    let mut up = vec![0.0; input.len()];
+    for (i, v) in down.iter().enumerate() {
+        up[i * 2] = *v;
+    }
+    // Reconstruction FIR (time-reversed taps).
+    let synthesis: Vec<f64> = analysis.iter().rev().copied().collect();
+    fir(&up, &synthesis)
+}
+
+/// Work units (MACs) for one channel.
+fn channel_macs(p: &Params) -> u64 {
+    // Two full-length FIRs of `taps` taps each.
+    2 * (p.len as u64) * (p.taps as u64)
+}
+
+fn bamboo_charge(work: u64) -> u64 {
+    work + work * LANG_OVERHEAD_PERMILLE / 1000
+}
+
+#[derive(Debug)]
+struct ChannelData {
+    id: usize,
+    output: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct CombineData {
+    /// Per-channel output digests (index-addressed).
+    digests: Vec<u64>,
+    /// Per-channel outputs parked until the final fold.
+    outputs: Vec<Vec<f64>>,
+    /// The combined signal, folded in channel order at the end.
+    combined: Vec<f64>,
+    merged: usize,
+    expected: usize,
+}
+
+/// Builds the Bamboo program for `params`.
+pub fn build(params: Params) -> Compiler {
+    let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("filterbank");
+    let s = b.class("StartupObject", &["initialstate"]);
+    let chan = b.class("Channel", &["ready", "done"]);
+    let comb = b.class("Combiner", &["collecting", "finished"]);
+    let init = b.flag(s, "initialstate");
+    let ready = b.flag(chan, "ready");
+    let done = b.flag(chan, "done");
+    let collecting = b.flag(comb, "collecting");
+    let finished = b.flag(comb, "finished");
+
+    let p = params;
+    b.task("startup")
+        .param("s", s, FlagExpr::flag(init))
+        .alloc(chan, &[(ready, true)], &[])
+        .alloc(comb, &[(collecting, true)], &[])
+        .exit("spawned", |e| e.set(0, init, false))
+        .body(body(move |ctx| {
+            for id in 0..p.channels {
+                ctx.create(0, ChannelData { id, output: Vec::new() });
+            }
+            ctx.create(
+                1,
+                CombineData {
+                    digests: vec![0; p.channels],
+                    outputs: vec![Vec::new(); p.channels],
+                    combined: Vec::new(),
+                    merged: 0,
+                    expected: p.channels,
+                },
+            );
+            ctx.charge(bamboo_charge(p.channels as u64 * 40));
+            0
+        }))
+        .finish();
+
+    b.task("processChannel")
+        .param("c", chan, FlagExpr::flag(ready))
+        .exit("processed", |e| e.set(0, ready, false).set(0, done, true))
+        .body(body(move |ctx| {
+            let c = ctx.param_mut::<ChannelData>(0);
+            let input = input_signal(p.len);
+            c.output = process_channel(&input, c.id, p.taps);
+            ctx.charge(bamboo_charge(channel_macs(&p) * CYCLES_PER_MAC));
+            0
+        }))
+        .finish();
+
+    b.task("combine")
+        .param("r", comb, FlagExpr::flag(collecting))
+        .param("c", chan, FlagExpr::flag(done))
+        .exit("more", |e| e.set(1, done, false))
+        .exit("finished", |e| {
+            e.set(0, collecting, false).set(0, finished, true).set(1, done, false)
+        })
+        .body(body(move |ctx| {
+            let (r, c) = ctx.param_pair_mut::<CombineData, ChannelData>(0, 1);
+            let mut digest = Checksum::new();
+            digest.push_f64s(&c.output);
+            r.digests[c.id] = digest.finish();
+            r.outputs[c.id] = std::mem::take(&mut c.output);
+            r.merged += 1;
+            let done_all = r.merged == r.expected;
+            if done_all {
+                // Fold the elementwise sum in channel order: bit-exact.
+                let mut combined = vec![0.0f64; p.len];
+                for output in &r.outputs {
+                    for (acc, v) in combined.iter_mut().zip(output) {
+                        *acc += v;
+                    }
+                }
+                r.combined = combined;
+            }
+            ctx.charge(bamboo_charge(p.len as u64 * CYCLES_PER_COMBINE_SAMPLE));
+            if done_all {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    Compiler::from_native(b.build().expect("filterbank program is well-formed"))
+}
+
+fn checksum_combined(digests: &[u64], combined: &[f64]) -> u64 {
+    let mut sum = Checksum::new();
+    sum.push_u64s(digests);
+    sum.push_f64s(combined);
+    sum.finish()
+}
+
+/// The FilterBank benchmark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FilterBank;
+
+impl Benchmark for FilterBank {
+    fn name(&self) -> &'static str {
+        "FilterBank"
+    }
+
+    fn paper(&self) -> PaperNumbers {
+        PaperNumbers {
+            c_cycles_1e8: 554.6,
+            speedup_vs_bamboo: 37.5,
+            speedup_vs_c: 37.5,
+            overhead_pct: 0.1,
+        }
+    }
+
+    fn compiler(&self, scale: Scale) -> Compiler {
+        build(Params::for_scale(scale))
+    }
+
+    fn serial(&self, scale: Scale) -> SerialOutcome {
+        let p = Params::for_scale(scale);
+        let input = input_signal(p.len);
+        let mut digests = vec![0u64; p.channels];
+        let mut outputs = vec![Vec::new(); p.channels];
+        let mut cycles = p.channels as u64 * 40;
+        for ch in 0..p.channels {
+            let output = process_channel(&input, ch, p.taps);
+            let mut digest = Checksum::new();
+            digest.push_f64s(&output);
+            digests[ch] = digest.finish();
+            outputs[ch] = output;
+            cycles += channel_macs(&p) * CYCLES_PER_MAC;
+            cycles += p.len as u64 * CYCLES_PER_COMBINE_SAMPLE;
+        }
+        let mut combined = vec![0.0f64; p.len];
+        for output in &outputs {
+            for (acc, v) in combined.iter_mut().zip(output) {
+                *acc += v;
+            }
+        }
+        SerialOutcome { cycles, checksum: checksum_combined(&digests, &combined) }
+    }
+
+    fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
+        let comb = compiler.program.spec.class_by_name("Combiner").expect("class exists");
+        let objs = exec.store.live_of_class(comb);
+        assert_eq!(objs.len(), 1);
+        let r = exec.payload::<CombineData>(objs[0]);
+        checksum_combined(&r.digests, &r.combined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_identity_filter_passes_signal() {
+        let mut taps = vec![0.0; 8];
+        taps[0] = 1.0;
+        let signal = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fir(&signal, &taps), signal);
+    }
+
+    #[test]
+    fn channels_produce_distinct_outputs() {
+        let input = input_signal(128);
+        let a = process_channel(&input, 0, 16);
+        let b = process_channel(&input, 5, 16);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), input.len());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_exactly() {
+        let bench = FilterBank;
+        let serial = bench.serial(Scale::Small);
+        let compiler = bench.compiler(Scale::Small);
+        let (_, report, digest) = compiler
+            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .unwrap();
+        assert!(report.quiesced);
+        assert_eq!(digest, serial.checksum);
+    }
+
+    #[test]
+    fn double_scale_doubles_channels() {
+        let bench = FilterBank;
+        let original = bench.serial(Scale::Original);
+        let double = bench.serial(Scale::Double);
+        let ratio = double.cycles as f64 / original.cycles as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+
+    #[test]
+    fn taps_are_bounded_and_windowed() {
+        for ch in [0usize, 10, 61] {
+            let taps = channel_taps(ch, 64);
+            assert_eq!(taps.len(), 64);
+            // Hamming-windowed cosine bank: every tap bounded by 1/taps.
+            assert!(taps.iter().all(|t| t.abs() <= 1.0 / 64.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn downsample_upsample_zero_stuffs() {
+        let input: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let out = process_channel(&input, 0, 4);
+        assert_eq!(out.len(), input.len());
+        // The zero-stuffed odd samples only receive energy through the
+        // reconstruction FIR; the output is not identically zero.
+        assert!(out.iter().any(|v| v.abs() > 1e-9));
+    }
+
+    #[test]
+    fn input_signal_is_deterministic() {
+        assert_eq!(input_signal(128), input_signal(128));
+        assert_eq!(input_signal(128).len(), 128);
+    }
+}

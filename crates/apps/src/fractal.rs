@@ -1,0 +1,269 @@
+//! Fractal: Mandelbrot set computation (paper §5.1).
+//!
+//! The image is split into horizontal bands; `startup` creates one `Band`
+//! object per band plus a `Canvas` accumulator; `render` iterates the
+//! escape-time recurrence for every pixel of its band; `merge` copies the
+//! band's iteration counts into the canvas. Bands near the set boundary
+//! cost far more than bands outside it, so this benchmark exercises load
+//! balancing across the round-robin band distribution. The paper reports
+//! the best speedup of the suite: 61.6× on 62 cores.
+
+use crate::util::Checksum;
+use crate::{Benchmark, PaperNumbers, Scale, SerialOutcome};
+use bamboo::{body, Compiler, FlagExpr, NativeBody, ProgramBuilder, VirtualExecutor};
+
+/// Cycles charged per escape-time iteration (calibrated against the
+/// paper's 1.63e10-cycle serial run).
+const CYCLES_PER_ITER: u64 = 1_600;
+/// Cycles charged per pixel merged into the canvas.
+const CYCLES_PER_MERGE_PIXEL: u64 = 60;
+/// Modeled generated-code overhead (paper §5.5: 6.2%).
+const LANG_OVERHEAD_PERMILLE: u64 = 62;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of bands (must divide `height`).
+    pub bands: usize,
+    /// Escape-time iteration cap.
+    pub max_iter: u32,
+}
+
+impl Params {
+    /// Parameters for a scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Small => Params { width: 64, height: 32, bands: 8, max_iter: 64 },
+            Scale::Original => Params { width: 512, height: 496, bands: 124, max_iter: 128 },
+            Scale::Double => Params { width: 512, height: 992, bands: 124, max_iter: 128 },
+        }
+    }
+
+    fn rows_per_band(&self) -> usize {
+        self.height / self.bands
+    }
+}
+
+/// Renders rows `[y0, y0+rows)`: returns per-pixel iteration counts and
+/// the total number of iterations executed (the work measure).
+pub fn render_band(p: &Params, y0: usize, rows: usize) -> (Vec<u32>, u64) {
+    let mut counts = Vec::with_capacity(rows * p.width);
+    let mut total: u64 = 0;
+    for y in y0..y0 + rows {
+        let ci = -1.0 + 2.0 * y as f64 / p.height as f64;
+        for x in 0..p.width {
+            let cr = -2.5 + 3.5 * x as f64 / p.width as f64;
+            let (mut zr, mut zi) = (0.0f64, 0.0f64);
+            let mut iter = 0u32;
+            while iter < p.max_iter && zr * zr + zi * zi <= 4.0 {
+                let nzr = zr * zr - zi * zi + cr;
+                zi = 2.0 * zr * zi + ci;
+                zr = nzr;
+                iter += 1;
+            }
+            total += iter as u64;
+            counts.push(iter);
+        }
+    }
+    (counts, total)
+}
+
+fn bamboo_charge(work: u64) -> u64 {
+    work + work * LANG_OVERHEAD_PERMILLE / 1000
+}
+
+#[derive(Debug)]
+struct BandData {
+    id: usize,
+    y0: usize,
+    rows: usize,
+    counts: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct CanvasData {
+    pixels: Vec<u32>,
+    width: usize,
+    merged: usize,
+    expected: usize,
+}
+
+/// Builds the Bamboo program for `params`.
+pub fn build(params: Params) -> Compiler {
+    let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("fractal");
+    let s = b.class("StartupObject", &["initialstate"]);
+    let band = b.class("Band", &["ready", "done"]);
+    let canvas = b.class("Canvas", &["collecting", "finished"]);
+    let init = b.flag(s, "initialstate");
+    let ready = b.flag(band, "ready");
+    let done = b.flag(band, "done");
+    let collecting = b.flag(canvas, "collecting");
+    let finished = b.flag(canvas, "finished");
+
+    let p = params;
+    b.task("startup")
+        .param("s", s, FlagExpr::flag(init))
+        .alloc(band, &[(ready, true)], &[])
+        .alloc(canvas, &[(collecting, true)], &[])
+        .exit("spawned", |e| e.set(0, init, false))
+        .body(body(move |ctx| {
+            let rows = p.rows_per_band();
+            for id in 0..p.bands {
+                ctx.create(0, BandData { id, y0: id * rows, rows, counts: Vec::new() });
+            }
+            ctx.create(
+                1,
+                CanvasData {
+                    pixels: vec![0; p.width * p.height],
+                    width: p.width,
+                    merged: 0,
+                    expected: p.bands,
+                },
+            );
+            ctx.charge(bamboo_charge(p.bands as u64 * 30));
+            0
+        }))
+        .finish();
+
+    b.task("render")
+        .param("b", band, FlagExpr::flag(ready))
+        .exit("rendered", |e| e.set(0, ready, false).set(0, done, true))
+        .body(body(move |ctx| {
+            let band = ctx.param_mut::<BandData>(0);
+            let (counts, iters) = render_band(&p, band.y0, band.rows);
+            band.counts = counts;
+            ctx.charge(bamboo_charge(iters * CYCLES_PER_ITER));
+            0
+        }))
+        .finish();
+
+    b.task("merge")
+        .param("c", canvas, FlagExpr::flag(collecting))
+        .param("b", band, FlagExpr::flag(done))
+        .exit("more", |e| e.set(1, done, false))
+        .exit("finished", |e| {
+            e.set(0, collecting, false).set(0, finished, true).set(1, done, false)
+        })
+        .body(body(move |ctx| {
+            let (c, band) = ctx.param_pair_mut::<CanvasData, BandData>(0, 1);
+            debug_assert_eq!(band.y0, band.id * band.rows, "band id/offset consistency");
+            let base = band.y0 * c.width;
+            let pixels_merged = band.counts.len() as u64;
+            c.pixels[base..base + band.counts.len()].copy_from_slice(&band.counts);
+            c.merged += 1;
+            let done_all = c.merged == c.expected;
+            ctx.charge(bamboo_charge(pixels_merged * CYCLES_PER_MERGE_PIXEL));
+            if done_all {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    Compiler::from_native(b.build().expect("fractal program is well-formed"))
+}
+
+fn checksum_pixels(pixels: &[u32]) -> u64 {
+    let mut sum = Checksum::new();
+    for px in pixels {
+        sum.push_u64(*px as u64);
+    }
+    sum.finish()
+}
+
+/// The Fractal benchmark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fractal;
+
+impl Benchmark for Fractal {
+    fn name(&self) -> &'static str {
+        "Fractal"
+    }
+
+    fn paper(&self) -> PaperNumbers {
+        PaperNumbers {
+            c_cycles_1e8: 162.5,
+            speedup_vs_bamboo: 61.6,
+            speedup_vs_c: 58.0,
+            overhead_pct: 6.2,
+        }
+    }
+
+    fn compiler(&self, scale: Scale) -> Compiler {
+        build(Params::for_scale(scale))
+    }
+
+    fn serial(&self, scale: Scale) -> SerialOutcome {
+        let p = Params::for_scale(scale);
+        let rows = p.rows_per_band();
+        let mut pixels = vec![0u32; p.width * p.height];
+        let mut cycles = p.bands as u64 * 30;
+        for id in 0..p.bands {
+            let y0 = id * rows;
+            let (counts, iters) = render_band(&p, y0, rows);
+            pixels[y0 * p.width..y0 * p.width + counts.len()].copy_from_slice(&counts);
+            cycles += iters * CYCLES_PER_ITER;
+            cycles += counts.len() as u64 * CYCLES_PER_MERGE_PIXEL;
+        }
+        SerialOutcome { cycles, checksum: checksum_pixels(&pixels) }
+    }
+
+    fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
+        let canvas = compiler.program.spec.class_by_name("Canvas").expect("class exists");
+        let objs = exec.store.live_of_class(canvas);
+        assert_eq!(objs.len(), 1);
+        checksum_pixels(&exec.payload::<CanvasData>(objs[0]).pixels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_pixel_reaches_max_iter() {
+        let p = Params::for_scale(Scale::Small);
+        // The row through the set's interior contains max_iter pixels.
+        let (counts, _) = render_band(&p, p.height / 2, 1);
+        assert!(counts.contains(&p.max_iter));
+        assert!(counts.iter().any(|&c| c < 4), "edges escape fast");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_exactly() {
+        let bench = Fractal;
+        let serial = bench.serial(Scale::Small);
+        let compiler = bench.compiler(Scale::Small);
+        let (_, report, digest) = compiler
+            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .unwrap();
+        assert!(report.quiesced);
+        assert_eq!(digest, serial.checksum);
+    }
+
+    #[test]
+    fn band_costs_vary() {
+        // Load imbalance is the point of this benchmark.
+        let p = Params::for_scale(Scale::Small);
+        let rows = p.rows_per_band();
+        let works: Vec<u64> =
+            (0..p.bands).map(|i| render_band(&p, i * rows, rows).1).collect();
+        let min = works.iter().min().unwrap();
+        let max = works.iter().max().unwrap();
+        assert!(max > &(min * 2), "expected ≥2x imbalance, got {min}..{max}");
+    }
+
+    #[test]
+    fn double_scale_doubles_work() {
+        let bench = Fractal;
+        let original = bench.serial(Scale::Original);
+        let double = bench.serial(Scale::Double);
+        let ratio = double.cycles as f64 / original.cycles as f64;
+        assert!((1.6..=2.4).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,127 @@
+//! The keyword-counting example of paper §2, as a DSL program.
+//!
+//! `startup` partitions a text into sections and creates one `Text` object
+//! per section in the `process` state plus a `Results` object;
+//! `processText` counts the keyword occurrences in its section;
+//! `mergeIntermediateResult` folds section counts into the result. The
+//! figure-regeneration binaries (paper Figures 3, 4, and 6) and the
+//! quickstart example all build on this module.
+
+use bamboo::Compiler;
+
+/// The DSL source of the keyword-counting program.
+///
+/// The text and keyword are baked into the source (the DSL has no file
+/// I/O); `sections` controls the fan-out, as the command-line argument
+/// does in the paper's listing.
+pub fn source(sections: usize) -> String {
+    format!(
+        r#"
+class StartupObject {{ flag initialstate; }}
+
+class Text {{
+    flag process;
+    flag submit;
+    String section;
+    int count;
+
+    Text(String section) {{ this.section = section; }}
+
+    void process() {{
+        String[] words = split(this.section, " ");
+        int n = 0;
+        for (int i = 0; i < len(words); i = i + 1) {{
+            if (words[i] == "bamboo") {{ n = n + 1; }}
+        }}
+        this.count = n;
+    }}
+}}
+
+class Results {{
+    flag finished;
+    int total;
+    int merged;
+    int expected;
+
+    Results(int expected) {{ this.expected = expected; }}
+
+    boolean mergeResult(Text tp) {{
+        this.total = this.total + tp.count;
+        this.merged = this.merged + 1;
+        return this.merged == this.expected;
+    }}
+}}
+
+task startup(StartupObject s in initialstate) {{
+    int sections = {sections};
+    for (int i = 0; i < sections; i = i + 1) {{
+        String section = "bamboo grows fast the bamboo panda eats bamboo shoots";
+        Text tp = new Text(section){{ process := true }};
+    }}
+    Results rp = new Results(sections){{ finished := false }};
+    taskexit(s: initialstate := false);
+}}
+
+task processText(Text tp in process) {{
+    tp.process();
+    taskexit(tp: process := false, submit := true);
+}}
+
+task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {{
+    boolean allprocessed = rp.mergeResult(tp);
+    if (allprocessed) {{
+        taskexit(rp: finished := true; tp: submit := false);
+    }}
+    taskexit(tp: submit := false);
+}}
+"#
+    )
+}
+
+/// Compiles the keyword-counting program with `sections` text sections.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to compile (a bug in this crate).
+pub fn compiler(sections: usize) -> Compiler {
+    Compiler::from_source("keyword-count", &source(sections))
+        .expect("bundled keyword-count source compiles")
+}
+
+/// The keyword occurrences per section in the bundled text.
+pub const KEYWORDS_PER_SECTION: i64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo::lang::interp::Value;
+
+    #[test]
+    fn counts_keywords_across_sections() {
+        let compiler = compiler(4);
+        let (_, report, total) = compiler
+            .profile_run(None, "test", |exec| {
+                let results =
+                    compiler.program.spec.class_by_name("Results").expect("class exists");
+                let objs = exec.store.live_of_class(results);
+                assert_eq!(objs.len(), 1);
+                let r = match exec.store.get(objs[0]).payload {
+                    bamboo::runtime::PayloadSlot::Interp(r) => r,
+                    _ => unreachable!("interpreted program"),
+                };
+                exec.interp_heap().expect("interp heap").field(r, 0).clone()
+            })
+            .unwrap();
+        assert!(report.quiesced);
+        assert_eq!(report.invocations, 1 + 4 * 2);
+        assert_eq!(total, Value::Int(4 * KEYWORDS_PER_SECTION));
+    }
+
+    #[test]
+    fn source_scales_section_count() {
+        let compiler = compiler(2);
+        let (profile, _, ()) = compiler.profile_run(None, "test", |_| ()).unwrap();
+        let process = compiler.program.spec.task_by_name("processText").unwrap();
+        assert_eq!(profile.task(process).invocations(), 2);
+    }
+}

@@ -1,0 +1,459 @@
+//! KMeans: iterative K-means clustering (ported in spirit from STAMP,
+//! paper §5.1).
+//!
+//! As in the paper's port, no transactions guard the shared centroid
+//! structure; instead **one core runs the reduction task and the other
+//! cores send partial results to it**. Per iteration:
+//!
+//! - `broadcast` (Master×Chunk, serial through the master) copies the
+//!   current centroids into a chunk and marks it ready;
+//! - `assign` (Chunk, data parallel) assigns the chunk's points to the
+//!   nearest centroid and computes partial sums;
+//! - `reduce` (Master×Chunk, serial) stores the partials in the chunk's
+//!   slot; the iteration's final reduce folds slots in chunk order
+//!   (bit-exact) and recomputes centroids, then either starts the next
+//!   iteration or finishes.
+//!
+//! The serial broadcast/reduce phases bound the speedup well below the
+//! embarrassingly parallel benchmarks — the paper reports 38.9×.
+
+use crate::util::{Checksum, Lcg};
+use crate::{Benchmark, PaperNumbers, Scale, SerialOutcome};
+use bamboo::{body, Compiler, FlagExpr, NativeBody, ProgramBuilder, VirtualExecutor};
+
+/// Cycles per (point × centroid × dimension) distance unit (calibrated
+/// against the paper's 1.12e11-cycle serial run).
+const CYCLES_PER_DIST_UNIT: u64 = 14_000;
+/// Cycles per centroid value broadcast into a chunk.
+const CYCLES_PER_BCAST_VALUE: u64 = 20_000;
+/// Cycles per partial value reduced from a chunk.
+const CYCLES_PER_REDUCE_VALUE: u64 = 42_000;
+/// Cycles per value in the end-of-iteration centroid recomputation.
+const CYCLES_PER_RECOMPUTE_VALUE: u64 = 500;
+/// Modeled generated-code overhead (paper §5.5: 10.6% — the highest of
+/// the suite; fine-grained shared-structure code).
+const LANG_OVERHEAD_PERMILLE: u64 = 106;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Number of point chunks (one per worker).
+    pub chunks: usize,
+    /// Points per chunk.
+    pub points_per_chunk: usize,
+    /// Cluster count.
+    pub k: usize,
+    /// Point dimensionality.
+    pub dims: usize,
+    /// Fixed iteration count.
+    pub iters: usize,
+}
+
+impl Params {
+    /// Parameters for a scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Small => Params { chunks: 4, points_per_chunk: 32, k: 4, dims: 2, iters: 3 },
+            Scale::Original => {
+                Params { chunks: 61, points_per_chunk: 407, k: 8, dims: 4, iters: 10 }
+            }
+            Scale::Double => {
+                Params { chunks: 61, points_per_chunk: 814, k: 8, dims: 4, iters: 10 }
+            }
+        }
+    }
+}
+
+/// Generates a chunk's points: a deterministic mixture around `k` true
+/// centers.
+pub fn chunk_points(p: &Params, chunk_id: usize) -> Vec<f64> {
+    let mut rng = Lcg::new(0x4B4D45414E53 ^ chunk_id as u64);
+    let mut points = Vec::with_capacity(p.points_per_chunk * p.dims);
+    for _ in 0..p.points_per_chunk {
+        let center = rng.next_below(p.k as u64) as usize;
+        for d in 0..p.dims {
+            let base = true_center(center, d);
+            points.push(base + 0.6 * rng.next_gaussian());
+        }
+    }
+    points
+}
+
+fn true_center(cluster: usize, dim: usize) -> f64 {
+    ((cluster * 7 + dim * 3) % 13) as f64 - 6.0
+}
+
+/// Deterministic initial centroids.
+pub fn initial_centroids(p: &Params) -> Vec<f64> {
+    let mut rng = Lcg::new(0xCE27401D);
+    (0..p.k * p.dims).map(|_| 8.0 * (rng.next_f64() - 0.5)).collect()
+}
+
+/// Assigns each point of a chunk to its nearest centroid; returns partial
+/// sums (`k*dims`) and counts (`k`).
+pub fn assign_chunk(points: &[f64], centroids: &[f64], k: usize, dims: usize) -> (Vec<f64>, Vec<u64>) {
+    let mut sums = vec![0.0f64; k * dims];
+    let mut counts = vec![0u64; k];
+    for point in points.chunks_exact(dims) {
+        let mut best = 0usize;
+        let mut best_d2 = f64::MAX;
+        for c in 0..k {
+            let mut d2 = 0.0;
+            for d in 0..dims {
+                let delta = point[d] - centroids[c * dims + d];
+                d2 += delta * delta;
+            }
+            if d2 < best_d2 {
+                best_d2 = d2;
+                best = c;
+            }
+        }
+        for d in 0..dims {
+            sums[best * dims + d] += point[d];
+        }
+        counts[best] += 1;
+    }
+    (sums, counts)
+}
+
+/// Recomputes centroids from per-chunk partials, folding in chunk order.
+pub fn recompute_centroids(
+    partials: &[(Vec<f64>, Vec<u64>)],
+    old: &[f64],
+    k: usize,
+    dims: usize,
+) -> Vec<f64> {
+    let mut sums = vec![0.0f64; k * dims];
+    let mut counts = vec![0u64; k];
+    for (psums, pcounts) in partials {
+        for (acc, v) in sums.iter_mut().zip(psums) {
+            *acc += v;
+        }
+        for (acc, v) in counts.iter_mut().zip(pcounts) {
+            *acc += v;
+        }
+    }
+    let mut out = vec![0.0f64; k * dims];
+    for c in 0..k {
+        for d in 0..dims {
+            out[c * dims + d] = if counts[c] > 0 {
+                sums[c * dims + d] / counts[c] as f64
+            } else {
+                old[c * dims + d]
+            };
+        }
+    }
+    out
+}
+
+fn assign_units(p: &Params) -> u64 {
+    (p.points_per_chunk * p.k * p.dims) as u64
+}
+
+fn bamboo_charge(work: u64) -> u64 {
+    work + work * LANG_OVERHEAD_PERMILLE / 1000
+}
+
+#[derive(Debug)]
+struct MasterData {
+    centroids: Vec<f64>,
+    partials: Vec<(Vec<f64>, Vec<u64>)>,
+    b_count: usize,
+    r_count: usize,
+    iter: usize,
+}
+
+#[derive(Debug)]
+struct ChunkData {
+    id: usize,
+    points: Vec<f64>,
+    centroids: Vec<f64>,
+    partial: (Vec<f64>, Vec<u64>),
+}
+
+/// Builds the Bamboo program for `params`.
+pub fn build(params: Params) -> Compiler {
+    let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("kmeans");
+    let s = b.class("StartupObject", &["initialstate"]);
+    let master = b.class("Master", &["broadcasting", "collecting", "done"]);
+    let chunk = b.class("Chunk", &["stale", "ready", "submitted"]);
+    let init = b.flag(s, "initialstate");
+    let broadcasting = b.flag(master, "broadcasting");
+    let collecting = b.flag(master, "collecting");
+    let mdone = b.flag(master, "done");
+    let stale = b.flag(chunk, "stale");
+    let ready = b.flag(chunk, "ready");
+    let submitted = b.flag(chunk, "submitted");
+
+    let p = params;
+    b.task("startup")
+        .param("s", s, FlagExpr::flag(init))
+        .alloc(master, &[(broadcasting, true)], &[])
+        .alloc(chunk, &[(stale, true)], &[])
+        .exit("spawned", |e| e.set(0, init, false))
+        .body(body(move |ctx| {
+            ctx.create(
+                0,
+                MasterData {
+                    centroids: initial_centroids(&p),
+                    partials: vec![(Vec::new(), Vec::new()); p.chunks],
+                    b_count: 0,
+                    r_count: 0,
+                    iter: 0,
+                },
+            );
+            for id in 0..p.chunks {
+                ctx.create(
+                    1,
+                    ChunkData {
+                        id,
+                        points: chunk_points(&p, id),
+                        centroids: Vec::new(),
+                        partial: (Vec::new(), Vec::new()),
+                    },
+                );
+            }
+            ctx.charge(bamboo_charge(p.chunks as u64 * 60));
+            0
+        }))
+        .finish();
+
+    b.task("broadcast")
+        .param("m", master, FlagExpr::flag(broadcasting))
+        .param("c", chunk, FlagExpr::flag(stale))
+        .exit("more", |e| e.set(1, stale, false).set(1, ready, true))
+        .exit("last", |e| {
+            e.set(1, stale, false)
+                .set(1, ready, true)
+                .set(0, broadcasting, false)
+                .set(0, collecting, true)
+        })
+        .body(body(move |ctx| {
+            let (m, c) = ctx.param_pair_mut::<MasterData, ChunkData>(0, 1);
+            c.centroids = m.centroids.clone();
+            m.b_count += 1;
+            let last = m.b_count == p.chunks;
+            if last {
+                m.b_count = 0;
+            }
+            ctx.charge(bamboo_charge((p.k * p.dims) as u64 * CYCLES_PER_BCAST_VALUE));
+            if last {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    b.task("assign")
+        .param("c", chunk, FlagExpr::flag(ready))
+        .exit("assigned", |e| e.set(0, ready, false).set(0, submitted, true))
+        .body(body(move |ctx| {
+            let c = ctx.param_mut::<ChunkData>(0);
+            c.partial = assign_chunk(&c.points, &c.centroids, p.k, p.dims);
+            ctx.charge(bamboo_charge(assign_units(&p) * CYCLES_PER_DIST_UNIT));
+            0
+        }))
+        .finish();
+
+    b.task("reduce")
+        .param("m", master, FlagExpr::flag(collecting))
+        .param("c", chunk, FlagExpr::flag(submitted))
+        .exit("more", |e| e.set(1, submitted, false).set(1, stale, true))
+        .exit("nextIteration", |e| {
+            e.set(1, submitted, false)
+                .set(1, stale, true)
+                .set(0, collecting, false)
+                .set(0, broadcasting, true)
+        })
+        .exit("converged", |e| {
+            e.set(1, submitted, false)
+                .set(1, stale, true)
+                .set(0, collecting, false)
+                .set(0, mdone, true)
+        })
+        .body(body(move |ctx| {
+            let (m, c) = ctx.param_pair_mut::<MasterData, ChunkData>(0, 1);
+            m.partials[c.id] =
+                (std::mem::take(&mut c.partial.0), std::mem::take(&mut c.partial.1));
+            m.r_count += 1;
+            let mut charge = (p.k * (p.dims + 1)) as u64 * CYCLES_PER_REDUCE_VALUE;
+            let mut exit = 0;
+            if m.r_count == p.chunks {
+                m.r_count = 0;
+                m.centroids = recompute_centroids(&m.partials, &m.centroids, p.k, p.dims);
+                m.iter += 1;
+                charge +=
+                    (p.k * p.dims * p.chunks) as u64 * CYCLES_PER_RECOMPUTE_VALUE;
+                exit = if m.iter == p.iters { 2 } else { 1 };
+            }
+            ctx.charge(bamboo_charge(charge));
+            exit
+        }))
+        .finish();
+
+    Compiler::from_native(b.build().expect("kmeans program is well-formed"))
+}
+
+fn checksum_kmeans(centroids: &[f64], partials: &[(Vec<f64>, Vec<u64>)]) -> u64 {
+    let mut sum = Checksum::new();
+    sum.push_f64s(centroids);
+    for (psums, pcounts) in partials {
+        sum.push_f64s(psums);
+        sum.push_u64s(pcounts);
+    }
+    sum.finish()
+}
+
+/// The KMeans benchmark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KMeans;
+
+impl Benchmark for KMeans {
+    fn name(&self) -> &'static str {
+        "KMeans"
+    }
+
+    fn paper(&self) -> PaperNumbers {
+        PaperNumbers {
+            c_cycles_1e8: 1124.6,
+            speedup_vs_bamboo: 38.9,
+            speedup_vs_c: 35.1,
+            overhead_pct: 10.6,
+        }
+    }
+
+    fn compiler(&self, scale: Scale) -> Compiler {
+        build(Params::for_scale(scale))
+    }
+
+    fn serial(&self, scale: Scale) -> SerialOutcome {
+        let p = Params::for_scale(scale);
+        let chunks: Vec<Vec<f64>> = (0..p.chunks).map(|id| chunk_points(&p, id)).collect();
+        let mut centroids = initial_centroids(&p);
+        let mut partials: Vec<(Vec<f64>, Vec<u64>)> =
+            vec![(Vec::new(), Vec::new()); p.chunks];
+        let mut cycles = p.chunks as u64 * 60;
+        for _ in 0..p.iters {
+            for (id, points) in chunks.iter().enumerate() {
+                // broadcast + assign + reduce, as the Bamboo version does.
+                cycles += (p.k * p.dims) as u64 * CYCLES_PER_BCAST_VALUE;
+                partials[id] = assign_chunk(points, &centroids, p.k, p.dims);
+                cycles += assign_units(&p) * CYCLES_PER_DIST_UNIT;
+                cycles += (p.k * (p.dims + 1)) as u64 * CYCLES_PER_REDUCE_VALUE;
+            }
+            centroids = recompute_centroids(&partials, &centroids, p.k, p.dims);
+            cycles += (p.k * p.dims * p.chunks) as u64 * CYCLES_PER_RECOMPUTE_VALUE;
+        }
+        SerialOutcome { cycles, checksum: checksum_kmeans(&centroids, &partials) }
+    }
+
+    fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
+        let master = compiler.program.spec.class_by_name("Master").expect("class exists");
+        let objs = exec.store.live_of_class(master);
+        assert_eq!(objs.len(), 1);
+        let m = exec.payload::<MasterData>(objs[0]);
+        checksum_kmeans(&m.centroids, &m.partials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_counts_cover_all_points() {
+        let p = Params::for_scale(Scale::Small);
+        let points = chunk_points(&p, 0);
+        let centroids = initial_centroids(&p);
+        let (_, counts) = assign_chunk(&points, &centroids, p.k, p.dims);
+        assert_eq!(counts.iter().sum::<u64>() as usize, p.points_per_chunk);
+    }
+
+    #[test]
+    fn centroids_move_toward_true_centers() {
+        let p = Params { chunks: 4, points_per_chunk: 200, k: 4, dims: 2, iters: 12 };
+        let chunks: Vec<Vec<f64>> = (0..p.chunks).map(|id| chunk_points(&p, id)).collect();
+        let mut centroids = initial_centroids(&p);
+        for _ in 0..p.iters {
+            let partials: Vec<(Vec<f64>, Vec<u64>)> = chunks
+                .iter()
+                .map(|points| assign_chunk(points, &centroids, p.k, p.dims))
+                .collect();
+            centroids = recompute_centroids(&partials, &centroids, p.k, p.dims);
+        }
+        // Mean distance from each centroid to its closest true center is
+        // small after convergence.
+        let mut total = 0.0;
+        for c in 0..p.k {
+            let mut best = f64::MAX;
+            for t in 0..p.k {
+                let mut d2 = 0.0;
+                for d in 0..p.dims {
+                    let delta = centroids[c * p.dims + d] - true_center(t, d);
+                    d2 += delta * delta;
+                }
+                best = best.min(d2.sqrt());
+            }
+            total += best;
+        }
+        let mean_dist = total / p.k as f64;
+        assert!(mean_dist < 1.5, "mean distance {mean_dist}");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_exactly() {
+        let bench = KMeans;
+        let serial = bench.serial(Scale::Small);
+        let compiler = bench.compiler(Scale::Small);
+        let (_, report, digest) = compiler
+            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .unwrap();
+        assert!(report.quiesced);
+        assert_eq!(digest, serial.checksum);
+        // 1 startup + iters * chunks * (broadcast + assign + reduce).
+        let p = Params::for_scale(Scale::Small);
+        assert_eq!(report.invocations as usize, 1 + p.iters * p.chunks * 3);
+    }
+
+    #[test]
+    fn double_scale_roughly_doubles_work() {
+        let bench = KMeans;
+        let original = bench.serial(Scale::Original);
+        let double = bench.serial(Scale::Double);
+        let ratio = double.cycles as f64 / original.cycles as f64;
+        assert!((1.8..=2.1).contains(&ratio), "ratio {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+
+    #[test]
+    fn empty_cluster_keeps_old_centroid() {
+        // One partial that assigns everything to cluster 0.
+        let partials = vec![(vec![10.0, 20.0, 0.0, 0.0], vec![2, 0])];
+        let old = vec![1.0, 1.0, 7.0, 8.0];
+        let new = recompute_centroids(&partials, &old, 2, 2);
+        assert_eq!(&new[0..2], &[5.0, 10.0]);
+        // Cluster 1 saw no points: keeps its previous centroid.
+        assert_eq!(&new[2..4], &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn partial_sums_match_point_totals() {
+        let p = Params::for_scale(Scale::Small);
+        let points = chunk_points(&p, 1);
+        let centroids = initial_centroids(&p);
+        let (sums, counts) = assign_chunk(&points, &centroids, p.k, p.dims);
+        // Summing partial sums over clusters reproduces the coordinate
+        // totals of all points.
+        for d in 0..p.dims {
+            let total: f64 = points.chunks_exact(p.dims).map(|pt| pt[d]).sum();
+            let partial: f64 = (0..p.k).map(|c| sums[c * p.dims + d]).sum();
+            assert!((total - partial).abs() < 1e-9);
+        }
+        assert_eq!(counts.iter().sum::<u64>() as usize, p.points_per_chunk);
+    }
+}

@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+
+//! # bamboo-apps
+//!
+//! The six benchmarks of the Bamboo paper's evaluation (§5), implemented
+//! from scratch against the native builder API, each with a serial
+//! baseline (the "1-core C version") sharing the same computational
+//! kernels so results can be compared bit-exactly:
+//!
+//! | module | paper benchmark | origin in the paper | character |
+//! |---|---|---|---|
+//! | [`tracking`] | Tracking | SD-VBS feature tracker | multi-phase pipeline with per-phase merges |
+//! | [`kmeans`] | KMeans | STAMP | iterative: parallel assign, serial reduce/broadcast |
+//! | [`montecarlo`] | MonteCarlo | Java Grande | simulate + aggregate (pipelining opportunity) |
+//! | [`filterbank`] | FilterBank | StreamIt | per-channel FIR down/up-sample + combine |
+//! | [`fractal`] | Fractal | — | Mandelbrot rows, embarrassingly parallel |
+//! | [`series`] | Series | Java Grande | Fourier coefficients, embarrassingly parallel |
+//!
+//! Inputs are synthetic and deterministic (see DESIGN.md §2 on
+//! substitutions). Cycle charges are proportional to the real work each
+//! kernel performs, with per-benchmark constants calibrated so the serial
+//! totals land near the paper's reported magnitudes; the Bamboo versions
+//! additionally charge a small per-benchmark *language overhead* factor
+//! modeling the generated-code-vs-hand-C gap the paper measures in §5.5.
+//!
+//! [`keyword`] additionally provides the keyword-counting DSL example of
+//! paper §2, used by the figure-regeneration binaries.
+
+pub mod filterbank;
+pub mod fractal;
+pub mod keyword;
+pub mod kmeans;
+pub mod montecarlo;
+pub mod series;
+pub mod tracking;
+pub mod util;
+
+use bamboo::{Compiler, Cycles, VirtualExecutor};
+
+/// Input scale for a benchmark run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Reduced input for unit tests and quick experiments.
+    Small,
+    /// The evaluation input (`Input_original` in the paper's §5.4).
+    Original,
+    /// Twice the work (`Input_double`).
+    Double,
+}
+
+/// The paper's reported numbers for one benchmark (Figure 7), used by
+/// EXPERIMENTS.md comparisons.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperNumbers {
+    /// 1-core C cycles, in units of 1e8.
+    pub c_cycles_1e8: f64,
+    /// 62-core speedup over 1-core Bamboo.
+    pub speedup_vs_bamboo: f64,
+    /// 62-core speedup over 1-core C.
+    pub speedup_vs_c: f64,
+    /// 1-core Bamboo overhead over C, percent.
+    pub overhead_pct: f64,
+}
+
+/// Outcome of a serial baseline run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SerialOutcome {
+    /// Charged cycles (the "1-core C" column).
+    pub cycles: Cycles,
+    /// Bit-exact digest of the results.
+    pub checksum: u64,
+}
+
+/// A benchmark: builds its Bamboo program, runs its serial baseline, and
+/// extracts/validates parallel results.
+pub trait Benchmark: Sync {
+    /// The benchmark's name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The paper's reported numbers (Figure 7).
+    fn paper(&self) -> PaperNumbers;
+
+    /// Builds the compiled Bamboo program for `scale`.
+    fn compiler(&self, scale: Scale) -> Compiler;
+
+    /// Runs the serial baseline for `scale`.
+    fn serial(&self, scale: Scale) -> SerialOutcome;
+
+    /// Extracts the parallel run's result digest from a finished executor.
+    fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64;
+}
+
+/// All six benchmarks, in the paper's table order.
+pub fn all() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(tracking::Tracking),
+        Box::new(kmeans::KMeans),
+        Box::new(montecarlo::MonteCarlo),
+        Box::new(filterbank::FilterBank),
+        Box::new(fractal::Fractal),
+        Box::new(series::Series),
+    ]
+}
+
+/// Looks a benchmark up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    all().into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_all_six() {
+        let names: Vec<&str> = all().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Tracking", "KMeans", "MonteCarlo", "FilterBank", "Fractal", "Series"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(by_name("fractal").is_some());
+        assert!(by_name("FRACTAL").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

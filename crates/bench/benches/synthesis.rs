@@ -1,0 +1,47 @@
+//! Criterion bench: the synthesis stages in isolation — scheduling
+//! simulation of one layout, and a full DSA run — on the keyword-count
+//! example's profile.
+
+use bamboo::schedule::{
+    compute_replication, optimize, random_layouts, scc_tree_transform, simulate, spread_layout,
+    DsaOptions, SimOptions,
+};
+use bamboo::MachineDescription;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let compiler = bamboo_apps::keyword::compiler(16);
+    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let spec = &compiler.program.spec;
+    let machine = MachineDescription::sixteen();
+    let graph = scc_tree_transform(&compiler.graph_with_profile(&profile));
+    let repl = compute_replication(spec, &graph, &profile, 16);
+    let layout = spread_layout(&graph, &repl, 16);
+
+    c.bench_function("simulate_one_layout", |b| {
+        b.iter(|| {
+            black_box(simulate(spec, &graph, &layout, &profile, &machine, &SimOptions::default()))
+        });
+    });
+
+    c.bench_function("dsa_full_run", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            let starts = random_layouts(&graph, &repl, 16, 4, &mut rng);
+            black_box(optimize(
+                spec,
+                &graph,
+                &profile,
+                &machine,
+                starts,
+                &DsaOptions::default(),
+                &mut rng,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Reports synthesis (DSA) wall time and search statistics per benchmark,
+//! the §5.1 numbers ("1.3 minutes for Tracking, 10 seconds for KMeans,
+//! under 0.2 seconds for the rest" on the authors' 2-GHz Xeon).
+//!
+//! Usage: `cargo run --release -p bamboo-bench --bin dsa_timing`
+
+use bamboo::{MachineDescription, SynthesisOptions};
+use bamboo_apps::Scale;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let machine = MachineDescription::tilepro64();
+    println!("== Synthesis time per benchmark (62-core target) ==\n");
+    println!("Benchmark     wall time   iterations  simulations  est. makespan");
+    for bench in bamboo_apps::all() {
+        let compiler = bench.compiler(Scale::Original);
+        let (profile, _, ()) =
+            compiler.profile_run(None, "original", |_| ()).expect("profiling run succeeds");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let t0 = Instant::now();
+        let plan =
+            compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+        let wall = t0.elapsed();
+        println!(
+            "{:<12} {:>9.3?}  {:>10}  {:>11}  {:>10.2}e8",
+            bench.name(),
+            wall,
+            plan.stats.iterations,
+            plan.stats.simulations,
+            plan.estimate.makespan as f64 / 1e8
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Figure 11: generality of synthesized
+//! implementations — layouts synthesized from the original profile versus
+//! the doubled profile, both executing the doubled input.
+//!
+//! Usage: `cargo run --release -p bamboo-bench --bin fig11_generality`
+
+use bamboo::MachineDescription;
+use bamboo_bench::fig11;
+
+fn main() {
+    let machine = MachineDescription::tilepro64();
+    println!("== Figure 11: generality of synthesized implementations ==\n");
+    let rows = fig11::run_all(&machine, 42);
+    print!("{}", fig11::format_table(&rows));
+}

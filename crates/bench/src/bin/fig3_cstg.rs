@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 3: the profile-annotated combined state
+//! transition graph of the keyword-counting example, as Graphviz dot.
+//!
+//! Usage: `cargo run -p bamboo-bench --bin fig3_cstg [> fig3.dot]`
+
+use bamboo_bench::figures;
+
+fn main() {
+    let (compiler, profile) = figures::keyword_setup(4);
+    print!("{}", figures::fig3_annotated_cstg(&compiler, &profile));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 4: a synthesized candidate layout of
+//! the keyword-counting example on a quad-core processor.
+//!
+//! Usage: `cargo run -p bamboo-bench --bin fig4_layout`
+
+use bamboo_bench::figures;
+
+fn main() {
+    let (compiler, profile) = figures::keyword_setup(4);
+    print!("{}", figures::fig4_quad_layout(&compiler, &profile, 42));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 6: a simulated execution trace of the
+//! keyword-counting example with its critical path marked.
+//!
+//! Usage: `cargo run -p bamboo-bench --bin fig6_trace`
+
+use bamboo_bench::figures;
+
+fn main() {
+    let (compiler, profile) = figures::keyword_setup(4);
+    print!("{}", figures::fig6_trace(&compiler, &profile));
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Figure 7: speedups of the six benchmarks on a
+//! 62-core TILEPro64-like machine, plus the §5.5 overhead column.
+//!
+//! Usage: `cargo run --release -p bamboo-bench --bin fig7_speedup`
+
+use bamboo::MachineDescription;
+use bamboo_apps::Scale;
+use bamboo_bench::fig7;
+
+fn main() {
+    let machine = MachineDescription::tilepro64();
+    println!("== Figure 7: speedup of the benchmarks on {} cores ==\n", machine.core_count());
+    let rows = fig7::run_all(Scale::Original, &machine, 42);
+    print!("{}", fig7::format_table(&rows));
+}

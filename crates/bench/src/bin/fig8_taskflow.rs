@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 8: the task flow of the Tracking
+//! benchmark, as Graphviz dot.
+//!
+//! Usage: `cargo run -p bamboo-bench --bin fig8_taskflow [> fig8.dot]`
+
+use bamboo_bench::figures;
+
+fn main() {
+    print!("{}", figures::fig8_tracking_taskflow());
+}

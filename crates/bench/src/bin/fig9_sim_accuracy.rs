@@ -1,0 +1,18 @@
+//! Regenerates the paper's Figure 9: accuracy of the scheduling simulator
+//! against real (virtual-time) execution, 1-core and 62-core, plus the
+//! aggregate-Markov ablation column.
+//!
+//! Usage: `cargo run --release -p bamboo-bench --bin fig9_sim_accuracy`
+
+use bamboo::MachineDescription;
+use bamboo_apps::Scale;
+use bamboo_bench::fig9;
+
+fn main() {
+    let machine = MachineDescription::tilepro64();
+    println!("== Figure 9: accuracy of the scheduling simulator ==\n");
+    let rows = fig9::run_all(Scale::Original, &machine, 42);
+    print!("{}", fig9::format_table(&rows));
+    println!("\n(AggrErr: error of the aggregate count-matching Markov model without");
+    println!(" exit-sequence replay — the ablation showing why replay matters.)");
+}

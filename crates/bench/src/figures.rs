@@ -1,0 +1,243 @@
+//! Regeneration of the paper's illustrative figures (F1-F4 in DESIGN.md):
+//!
+//! - Figure 3: the profile-annotated CSTG of the keyword-counting example;
+//! - Figure 4: a candidate layout of the example on a quad-core machine;
+//! - Figure 6: a simulated execution trace with its critical path;
+//! - Figure 8: the task flow of the Tracking benchmark.
+
+use bamboo::schedule::{
+    compute_replication, critical_path, scc_tree_transform, simulate, SimOptions,
+};
+use bamboo::{Compiler, MachineDescription, Profile};
+use bamboo_apps::{Benchmark, Scale};
+use std::fmt::Write as _;
+
+/// Builds the keyword-counting compiler plus its profile (the Figure 3/4/6
+/// substrate).
+pub fn keyword_setup(sections: usize) -> (Compiler, Profile) {
+    let compiler = bamboo_apps::keyword::compiler(sections);
+    let (profile, _, ()) =
+        compiler.profile_run(None, "original", |_| ()).expect("keyword-count runs");
+    (compiler, profile)
+}
+
+/// Figure 3: the CSTG with profile annotations, as Graphviz dot.
+///
+/// Solid edges carry `task: <mean cycles, probability>` labels; dashed
+/// edges carry expected allocation counts; double ellipses mark
+/// allocatable states — the notation of the paper's figure.
+pub fn fig3_annotated_cstg(compiler: &Compiler, profile: &Profile) -> String {
+    let spec = &compiler.program.spec;
+    let analysis = &compiler.dependence;
+    let cstg = &compiler.cstg;
+    let mut out = String::from("digraph cstg {\n  rankdir=LR;\n  node [shape=ellipse];\n");
+    for (i, node) in cstg.nodes.iter().enumerate() {
+        let class = spec.class(node.class);
+        let state = &analysis.astg(node.class).states[node.state.index()];
+        let mut flags: Vec<String> =
+            state.flags.iter().map(|f| class.flag_name(f).to_string()).collect();
+        if flags.is_empty() {
+            flags.push("(none)".to_string());
+        }
+        let peripheries = if node.allocatable { 2 } else { 1 };
+        writeln!(
+            out,
+            "  n{i} [label=\"{}\\n{{{}}}\" peripheries={peripheries}];",
+            class.name,
+            flags.join(",")
+        )
+        .expect("write to string");
+    }
+    for edge in &cstg.task_edges {
+        let tp = profile.task(edge.task);
+        let stats = &tp.exits[edge.exit.index()];
+        let label = format!(
+            "{}: <{}, {:.0}%>",
+            spec.task(edge.task).name,
+            stats.mean_cycles(),
+            tp.exit_probability(edge.exit) * 100.0
+        );
+        writeln!(out, "  n{} -> n{} [label=\"{label}\"];", edge.from.0, edge.to.0)
+            .expect("write to string");
+    }
+    for edge in &cstg.new_edges {
+        let tp = profile.task(edge.task);
+        let inv = tp.invocations().max(1);
+        let total: u64 = tp
+            .exits
+            .iter()
+            .map(|e| e.site_allocs.get(edge.site.site.index()).copied().unwrap_or(0))
+            .sum();
+        let sources: Vec<u32> = cstg
+            .task_edges
+            .iter()
+            .filter(|e| e.task == edge.task)
+            .map(|e| e.from.0)
+            .take(1)
+            .collect();
+        for src in sources {
+            writeln!(
+                out,
+                "  n{} -> n{} [style=dashed label=\"new x{:.1}\"];",
+                src,
+                edge.to.0,
+                total as f64 / inv as f64
+            )
+            .expect("write to string");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Figure 4: a synthesized quad-core layout of the keyword-counting
+/// example, as a per-core table.
+pub fn fig4_quad_layout(compiler: &Compiler, profile: &Profile, seed: u64) -> String {
+    use rand::SeedableRng;
+    let machine = MachineDescription::quad();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let plan = compiler.synthesize(
+        profile,
+        &machine,
+        &bamboo::SynthesisOptions::default(),
+        &mut rng,
+    );
+    let mut out = format!(
+        "synthesized quad-core layout (estimated {} cycles):\n",
+        plan.estimate.makespan
+    );
+    out.push_str(&plan.layout.describe(&compiler.program.spec, &plan.graph));
+    out
+}
+
+/// Figure 6: a simulated execution trace of the example on a quad-core
+/// layout, with the critical path marked — the event listing of the
+/// paper's figure.
+pub fn fig6_trace(compiler: &Compiler, profile: &Profile) -> String {
+    let spec = &compiler.program.spec;
+    let machine = MachineDescription::quad();
+    let graph = scc_tree_transform(&compiler.graph_with_profile(profile));
+    let repl = compute_replication(spec, &graph, profile, 4);
+    let layout = bamboo::schedule::spread_layout(&graph, &repl, 4);
+    let result = simulate(
+        spec,
+        &graph,
+        &layout,
+        profile,
+        &machine,
+        &SimOptions { collect_trace: true, ..SimOptions::default() },
+    );
+    let trace = result.trace.expect("trace requested");
+    let cp = critical_path(&trace);
+    let mut out = format!(
+        "simulated execution on 4 cores: makespan {} cycles, {} invocations\n",
+        result.makespan, result.invocations
+    );
+    out.push_str("  id core       start         end  task                         on critical path\n");
+    for t in &trace.tasks {
+        writeln!(
+            out,
+            "{:>4} {:>4} {:>11} {:>11}  {:<28} {}",
+            t.id,
+            t.core.index(),
+            t.start,
+            t.end,
+            spec.task(t.task).name,
+            if cp.contains(&t.id) { "*" } else { "" }
+        )
+        .expect("write to string");
+    }
+    writeln!(out, "critical path: {cp:?}").expect("write to string");
+    out
+}
+
+/// Figure 8: the task flow of the Tracking benchmark as Graphviz dot —
+/// tasks as nodes, edges where one task's output objects feed another.
+pub fn fig8_tracking_taskflow() -> String {
+    let compiler = bamboo_apps::tracking::Tracking.compiler(Scale::Small);
+    taskflow_dot(&compiler)
+}
+
+/// Task-flow graph of any compiled program: a task A feeds task B when A
+/// transitions or allocates an object into a state B consumes.
+pub fn taskflow_dot(compiler: &Compiler) -> String {
+    let spec = &compiler.program.spec;
+    let cstg = &compiler.cstg;
+    let mut out = String::from("digraph taskflow {\n  rankdir=TB;\n  node [shape=box];\n");
+    for (i, task) in spec.tasks.iter().enumerate() {
+        writeln!(out, "  t{i} [label=\"{}\"];", task.name).expect("write to string");
+    }
+    let mut edges: Vec<(usize, usize, bool)> = Vec::new();
+    // Transition edges: A moves an object into a state whose outgoing
+    // transitions belong to B.
+    for a in &cstg.task_edges {
+        for b in &cstg.task_edges {
+            if a.to == b.from && a.task != b.task {
+                edges.push((a.task.index(), b.task.index(), false));
+            }
+        }
+    }
+    // Allocation edges: A allocates into a state B consumes.
+    for alloc in &cstg.new_edges {
+        for b in &cstg.task_edges {
+            if alloc.to == b.from && alloc.task != b.task {
+                edges.push((alloc.task.index(), b.task.index(), true));
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    for (a, b, dashed) in edges {
+        writeln!(
+            out,
+            "  t{a} -> t{b}{};",
+            if dashed { " [style=dashed]" } else { "" }
+        )
+        .expect("write to string");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_contains_all_states_and_tasks() {
+        let (compiler, profile) = keyword_setup(4);
+        let dot = fig3_annotated_cstg(&compiler, &profile);
+        assert!(dot.contains("processText"));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("new x4.0"));
+        assert!(dot.contains("100%"));
+    }
+
+    #[test]
+    fn fig4_layout_uses_multiple_cores() {
+        let (compiler, profile) = keyword_setup(4);
+        let text = fig4_quad_layout(&compiler, &profile, 42);
+        assert!(text.contains("core#0"));
+        assert!(text.contains("processText"));
+    }
+
+    #[test]
+    fn fig6_trace_has_critical_path() {
+        let (compiler, profile) = keyword_setup(4);
+        let text = fig6_trace(&compiler, &profile);
+        assert!(text.contains("critical path"));
+        assert!(text.contains("mergeIntermediateResult"));
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn fig8_taskflow_follows_phases() {
+        let dot = fig8_tracking_taskflow();
+        assert!(dot.contains("blur"));
+        assert!(dot.contains("mergeTracks"));
+        // blur feeds mergeBlur; mergeBlur feeds gradient (allocation).
+        let blur = dot.find("t1 ->").is_some();
+        assert!(blur);
+        assert!(dot.contains("[style=dashed]"));
+    }
+}

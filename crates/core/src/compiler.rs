@@ -1,0 +1,220 @@
+//! The end-to-end compiler driver.
+//!
+//! [`Compiler`] wires the full Bamboo pipeline together: frontend (DSL
+//! source or native builder) → dependence analysis (ASTG/CSTG) →
+//! disjointness analysis (lock plans) → profiling run → implementation
+//! synthesis → execution on one of the runtime's executors.
+
+use bamboo_analysis::{Cstg, DependenceAnalysis, DisjointnessAnalysis};
+use bamboo_lang::builder::BuiltProgram;
+use bamboo_lang::span::CompileError;
+use bamboo_machine::MachineDescription;
+use bamboo_profile::{Profile, ProfileCollector};
+use bamboo_runtime::{ExecConfig, ExecError, NativeBody, NativePayload, Program, RunReport, VirtualExecutor};
+use bamboo_schedule::{
+    synthesize, GroupGraph, Layout, SynthesisOptions, SynthesisResult,
+};
+use rand::Rng;
+
+/// A fully analyzed, executable Bamboo program.
+#[derive(Debug)]
+pub struct Compiler {
+    /// The executable program (spec + bodies).
+    pub program: Program,
+    /// Dependence analysis results (per-class ASTGs).
+    pub dependence: DependenceAnalysis,
+    /// The combined state transition graph.
+    pub cstg: Cstg,
+    /// Disjointness analysis results (lock plans).
+    pub locks: DisjointnessAnalysis,
+}
+
+impl Compiler {
+    /// Compiles DSL source, running all analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns every frontend diagnostic.
+    pub fn from_source(name: &str, source: &str) -> Result<Self, CompileError> {
+        let compiled = bamboo_lang::compile_source(name, source)?;
+        let dependence = DependenceAnalysis::run(&compiled.spec);
+        let cstg = Cstg::build(&compiled.spec, &dependence);
+        let locks = DisjointnessAnalysis::run(&compiled.spec, &compiled.ir);
+        let program = Program::from_compiled(compiled);
+        Ok(Compiler { program, dependence, cstg, locks })
+    }
+
+    /// Wraps a natively built program.
+    ///
+    /// Native bodies carry no analyzable IR, so parameters default to
+    /// disjoint; override with [`Compiler::with_locks`] when a task's body
+    /// stores references across parameters.
+    pub fn from_native(built: BuiltProgram<NativeBody>) -> Self {
+        let program = Program::from_native(built);
+        let dependence = DependenceAnalysis::run(&program.spec);
+        let cstg = Cstg::build(&program.spec, &dependence);
+        let locks = DisjointnessAnalysis::all_disjoint(&program.spec);
+        Compiler { program, dependence, cstg, locks }
+    }
+
+    /// Replaces the lock plans (for native programs with cross-parameter
+    /// sharing).
+    pub fn with_locks(mut self, locks: DisjointnessAnalysis) -> Self {
+        self.locks = locks;
+        self
+    }
+
+    /// Builds the base group graph using an empty bootstrap profile
+    /// (allocation means default to 1; layout-independent execution does
+    /// not consult them).
+    pub fn bootstrap_graph(&self) -> GroupGraph {
+        let empty = ProfileCollector::new(&self.program.spec, "bootstrap").finish();
+        GroupGraph::build(&self.program.spec, &self.cstg, &empty)
+    }
+
+    /// Builds the group graph annotated by `profile`.
+    pub fn graph_with_profile(&self, profile: &Profile) -> GroupGraph {
+        GroupGraph::build(&self.program.spec, &self.cstg, profile)
+    }
+
+    /// Creates a virtual-time executor over the given plan.
+    pub fn executor<'a>(
+        &'a self,
+        graph: &'a GroupGraph,
+        layout: &'a Layout,
+        machine: &'a MachineDescription,
+        config: ExecConfig,
+    ) -> VirtualExecutor<'a> {
+        VirtualExecutor::new(&self.program, graph, layout, machine, &self.locks, config)
+    }
+
+    /// Runs the single-core profiling bootstrap (paper §4.3.1): executes
+    /// the program on one core, collecting a [`Profile`], and hands the
+    /// finished executor to `inspect` for result extraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn profile_run<T>(
+        &self,
+        startup: Option<NativePayload>,
+        input_label: &str,
+        inspect: impl FnOnce(&VirtualExecutor<'_>) -> T,
+    ) -> Result<(Profile, RunReport, T), ExecError> {
+        let graph = self.bootstrap_graph();
+        let layout = Layout::single_core(&graph);
+        let machine = MachineDescription::n_cores(1);
+        let config = ExecConfig {
+            profile_input: Some(input_label.to_string()),
+            ..ExecConfig::default()
+        };
+        let mut exec = self.executor(&graph, &layout, &machine, config);
+        let mut report = exec.run(startup)?;
+        let profile = report.profile.take().expect("profile collection was requested");
+        let value = inspect(&exec);
+        Ok((profile, report, value))
+    }
+
+    /// Runs implementation synthesis for `machine` (paper §4.3-§4.5).
+    pub fn synthesize<R: Rng>(
+        &self,
+        profile: &Profile,
+        machine: &MachineDescription,
+        opts: &SynthesisOptions,
+        rng: &mut R,
+    ) -> SynthesisResult {
+        synthesize(&self.program.spec, &self.cstg, profile, machine, opts, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_runtime::body;
+    use bamboo_lang::builder::ProgramBuilder;
+    use bamboo_lang::spec::FlagExpr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn native_fanout(n: i64) -> Compiler {
+        let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("fanout");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let w = b.class("Work", &["ready"]);
+        let init = b.flag(s, "initialstate");
+        let ready = b.flag(w, "ready");
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .alloc(w, &[(ready, true)], &[])
+            .exit("", |e| e.set(0, init, false))
+            .body(body(move |ctx| {
+                for i in 0..n {
+                    ctx.create(0, i);
+                }
+                ctx.charge(100);
+                0
+            }))
+            .finish();
+        b.task("work")
+            .param("w", w, FlagExpr::flag(ready))
+            .exit("", |e| e.set(0, ready, false))
+            .body(body(|ctx| {
+                ctx.charge(5_000);
+                0
+            }))
+            .finish();
+        Compiler::from_native(b.build().unwrap())
+    }
+
+    #[test]
+    fn full_pipeline_profiles_synthesizes_and_speeds_up() {
+        let compiler = native_fanout(32);
+        let (profile, report, ()) = compiler.profile_run(None, "original", |_| ()).unwrap();
+        assert_eq!(report.invocations, 33);
+        let machine = MachineDescription::sixteen();
+        let mut rng = StdRng::seed_from_u64(9);
+        let result =
+            compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+        // Run the synthesized layout for real.
+        let mut exec = compiler.executor(
+            &result.graph,
+            &result.layout,
+            &machine,
+            ExecConfig::default(),
+        );
+        let parallel = exec.run(None).unwrap();
+        assert!(parallel.quiesced);
+        let speedup = report.makespan as f64 / parallel.makespan as f64;
+        assert!(speedup > 4.0, "speedup only {speedup:.2}x");
+    }
+
+    #[test]
+    fn dsl_pipeline_compiles_and_runs() {
+        let compiler = Compiler::from_source(
+            "kc",
+            r#"
+            class StartupObject { flag initialstate; }
+            class Work { flag ready; int v; Work(int v) { this.v = v; } }
+            task startup(StartupObject s in initialstate) {
+                for (int i = 0; i < 6; i = i + 1) {
+                    Work w = new Work(i){ ready := true };
+                }
+                taskexit(s: initialstate := false);
+            }
+            task run(Work w in ready) {
+                w.v = w.v * w.v;
+                taskexit(w: ready := false);
+            }
+            "#,
+        )
+        .unwrap();
+        let (profile, report, ()) = compiler.profile_run(None, "x", |_| ()).unwrap();
+        assert_eq!(report.invocations, 7);
+        assert_eq!(profile.task(compiler.program.spec.task_by_name("run").unwrap()).invocations(), 6);
+    }
+
+    #[test]
+    fn source_errors_are_reported() {
+        let err = Compiler::from_source("bad", "class A {").unwrap_err();
+        assert!(!err.diagnostics.is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! Abstract syntax tree for the Bamboo DSL, as produced by the parser.
+//!
+//! Names are unresolved strings; [`crate::resolve`] turns a [`Unit`] into a
+//! [`crate::spec::ProgramSpec`] plus typed IR bodies.
+
+use crate::span::Span;
+
+/// A parsed compilation unit: the whole program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Unit {
+    /// Class declarations in source order.
+    pub classes: Vec<ClassDecl>,
+    /// Tag type declarations in source order.
+    pub tag_types: Vec<TagTypeDecl>,
+    /// Task declarations in source order.
+    pub tasks: Vec<TaskDecl>,
+}
+
+/// `tagtype name;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct TagTypeDecl {
+    /// The tag type's name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A class declaration with flags, fields, constructors, and methods.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDecl {
+    /// The class name.
+    pub name: String,
+    /// `flag name;` declarations.
+    pub flags: Vec<(String, Span)>,
+    /// Field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Methods; constructors are methods named like the class with
+    /// `is_ctor` set.
+    pub methods: Vec<MethodDecl>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// `type name;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldDecl {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Field name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A method or constructor declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MethodDecl {
+    /// Return type (`void` for constructors).
+    pub ret: TypeExpr,
+    /// Method name (class name for constructors).
+    pub name: String,
+    /// Parameters as `(type, name)` pairs.
+    pub params: Vec<(TypeExpr, String)>,
+    /// The body.
+    pub body: Block,
+    /// Whether this is a constructor.
+    pub is_ctor: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A syntactic type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `boolean`
+    Bool,
+    /// `String`
+    Str,
+    /// `void`
+    Void,
+    /// A class name.
+    Named(String),
+    /// `T[]`
+    Array(Box<TypeExpr>),
+}
+
+/// A task declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskDecl {
+    /// The task name.
+    pub name: String,
+    /// Guarded parameters.
+    pub params: Vec<TaskParamDecl>,
+    /// The body.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// `ClassName name in flagexp with tagtype tagvar and ...`
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskParamDecl {
+    /// The parameter's class name.
+    pub class: String,
+    /// The parameter name.
+    pub name: String,
+    /// The flag guard.
+    pub guard: FlagExprAst,
+    /// `with` constraints as `(tagtype, tagvar)` pairs.
+    pub tags: Vec<(String, String)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An unresolved flag guard expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlagExprAst {
+    /// A flag name.
+    Flag(String, Span),
+    /// `true` / `false`.
+    Const(bool, Span),
+    /// `!e`
+    Not(Box<FlagExprAst>),
+    /// `a and b`
+    And(Box<FlagExprAst>, Box<FlagExprAst>),
+    /// `a or b`
+    Or(Box<FlagExprAst>, Box<FlagExprAst>),
+}
+
+/// A `{ ... }` statement block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `type name = init;` (initializer optional).
+    Local {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target (variable, field, or index expression).
+        lhs: Expr,
+        /// Assigned value.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `if (cond) { } else { }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while (cond) { }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// `for (init; cond; step) { }` — init and step are simple statements.
+    For {
+        /// Initialization statement.
+        init: Option<Box<Stmt>>,
+        /// Loop condition.
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// `return expr?;`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// `taskexit(p: flag := v, add t; q: ...);`
+    TaskExit {
+        /// Per-parameter actions as `(param name, actions)`.
+        actions: Vec<(String, Vec<FlagOrTagActionAst>)>,
+        /// Source location.
+        span: Span,
+    },
+    /// `tag t = new tag(tagtype);`
+    NewTag {
+        /// Tag variable name.
+        var: String,
+        /// Tag type name.
+        tag_type: String,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+    /// A nested block.
+    Block(Block),
+}
+
+/// One flag or tag action in a `taskexit` or allocation state list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlagOrTagActionAst {
+    /// `flagname := bool`
+    SetFlag(String, bool, Span),
+    /// `add tagvar`
+    AddTag(String, Span),
+    /// `clear tagvar`
+    ClearTag(String, Span),
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numbers, or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Span),
+    /// Float literal.
+    FloatLit(f64, Span),
+    /// Boolean literal.
+    BoolLit(bool, Span),
+    /// String literal.
+    StrLit(String, Span),
+    /// Variable reference (also `null`, resolved later).
+    Var(String, Span),
+    /// `this`
+    This(Span),
+    /// `obj.field`
+    Field {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `arr[idx]`
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `recv.name(args)` or builtin `name(args)`.
+    Call {
+        /// Receiver; `None` for builtin free functions.
+        recv: Option<Box<Expr>>,
+        /// Method or builtin name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `new C(args){ flags/tags }`
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Initial abstract state actions (flags and tag adds).
+        state: Vec<FlagOrTagActionAst>,
+        /// Source location.
+        span: Span,
+    },
+    /// `new T[len]`
+    NewArray {
+        /// Element type.
+        elem: TypeExpr,
+        /// Length expression.
+        len: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Returns the expression's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s)
+            | Expr::FloatLit(_, s)
+            | Expr::BoolLit(_, s)
+            | Expr::StrLit(_, s)
+            | Expr::Var(_, s)
+            | Expr::This(s) => *s,
+            Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::New { span, .. }
+            | Expr::NewArray { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. } => *span,
+        }
+    }
+}

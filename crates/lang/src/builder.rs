@@ -1,0 +1,442 @@
+//! Native program construction API.
+//!
+//! The paper's compiler translates Bamboo source into C; this repository's
+//! analog lets benchmarks assemble a [`ProgramSpec`] directly in Rust and
+//! attach native task bodies (the stand-in for generated code). The builder
+//! is generic over the body type `B`, so this crate stays independent of
+//! the runtime's closure signature.
+//!
+//! # Examples
+//!
+//! ```
+//! use bamboo_lang::builder::ProgramBuilder;
+//! use bamboo_lang::spec::FlagExpr;
+//!
+//! let mut b: ProgramBuilder<&'static str> = ProgramBuilder::new("demo");
+//! let startup = b.class("StartupObject", &["initialstate"]);
+//! let work = b.class("Work", &["ready", "done"]);
+//! let initial = b.flag(startup, "initialstate");
+//! let ready = b.flag(work, "ready");
+//! let done = b.flag(work, "done");
+//!
+//! b.task("startup")
+//!     .param("s", startup, FlagExpr::flag(initial))
+//!     .alloc(work, &[(ready, true)], &[])
+//!     .exit("spawned", |e| e.set(0, initial, false))
+//!     .body("startup body")
+//!     .finish();
+//! b.task("work")
+//!     .param("w", work, FlagExpr::flag(ready).and(FlagExpr::flag(done).not()))
+//!     .exit("finished", |e| e.set(0, ready, false).set(0, done, true))
+//!     .body("work body")
+//!     .finish();
+//!
+//! let built = b.build()?;
+//! assert_eq!(built.spec.tasks.len(), 2);
+//! assert_eq!(built.bodies.len(), 2);
+//! # Ok::<(), bamboo_lang::builder::BuildError>(())
+//! ```
+
+use crate::ids::{ClassId, FlagId, ParamIdx, TagTypeId, TagVarId, TaskId};
+use crate::spec::{
+    AllocSiteSpec, ClassSpec, ExitSpec, FlagExpr, FlagOrTagAction, ParamSpec, ProgramSpec,
+    StartupSpec, TagConstraint, TagTypeSpec, TagVarSpec, TaskSpec,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`ProgramBuilder::build`] when the assembled spec is
+/// inconsistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildError {
+    /// The problems found, in detection order. Never empty.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program spec: {}", self.problems.join("; "))
+    }
+}
+
+impl Error for BuildError {}
+
+/// A finished program: the spec plus one body per task (indexed by
+/// [`TaskId`]).
+#[derive(Debug)]
+pub struct BuiltProgram<B> {
+    /// The declarative program model.
+    pub spec: ProgramSpec,
+    /// Task bodies, parallel to `spec.tasks`.
+    pub bodies: Vec<B>,
+}
+
+/// Incrementally assembles a [`ProgramSpec`] and its task bodies.
+#[derive(Debug)]
+pub struct ProgramBuilder<B> {
+    name: String,
+    classes: Vec<ClassSpec>,
+    tag_types: Vec<TagTypeSpec>,
+    tasks: Vec<TaskSpec>,
+    bodies: Vec<Option<B>>,
+    startup: Option<StartupSpec>,
+    problems: Vec<String>,
+}
+
+impl<B> ProgramBuilder<B> {
+    /// Creates a builder for a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            classes: Vec::new(),
+            tag_types: Vec::new(),
+            tasks: Vec::new(),
+            bodies: Vec::new(),
+            startup: None,
+            problems: Vec::new(),
+        }
+    }
+
+    /// Declares a class with the given flags and returns its id.
+    pub fn class(&mut self, name: &str, flags: &[&str]) -> ClassId {
+        let id = ClassId::new(self.classes.len());
+        self.classes.push(ClassSpec {
+            name: name.to_string(),
+            flags: flags.iter().map(|f| f.to_string()).collect(),
+        });
+        if name == "StartupObject" {
+            if let Some(flag) = self.classes[id.index()].flag_by_name("initialstate") {
+                self.startup = Some(StartupSpec { class: id, flag });
+            }
+        }
+        id
+    }
+
+    /// Declares a tag type and returns its id.
+    pub fn tag_type(&mut self, name: &str) -> TagTypeId {
+        let id = TagTypeId::new(self.tag_types.len());
+        self.tag_types.push(TagTypeSpec { name: name.to_string() });
+        id
+    }
+
+    /// Looks up a flag of `class` by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class or flag does not exist — builder misuse is a
+    /// programming error, not a recoverable condition.
+    pub fn flag(&self, class: ClassId, name: &str) -> FlagId {
+        self.classes[class.index()]
+            .flag_by_name(name)
+            .unwrap_or_else(|| panic!("class has no flag `{name}`"))
+    }
+
+    /// Overrides the startup class/flag detected from naming conventions.
+    pub fn startup(&mut self, class: ClassId, flag: FlagId) -> &mut Self {
+        self.startup = Some(StartupSpec { class, flag });
+        self
+    }
+
+    /// Starts declaring a task. Finish with [`TaskBuilder::finish`].
+    pub fn task(&mut self, name: &str) -> TaskBuilder<'_, B> {
+        TaskBuilder {
+            parent: self,
+            spec: TaskSpec {
+                name: name.to_string(),
+                params: Vec::new(),
+                exits: Vec::new(),
+                alloc_sites: Vec::new(),
+                tag_vars: Vec::new(),
+            },
+            body: None,
+        }
+    }
+
+    /// Finalizes the program, validating the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if any task lacks a body, the startup class is
+    /// missing, or [`ProgramSpec::validate`] reports problems.
+    pub fn build(self) -> Result<BuiltProgram<B>, BuildError> {
+        let mut problems = self.problems;
+        let startup = match self.startup {
+            Some(s) => s,
+            None => {
+                problems.push(
+                    "no startup class: declare `StartupObject` with flag `initialstate` or call `startup()`"
+                        .to_string(),
+                );
+                StartupSpec { class: ClassId::new(0), flag: FlagId::new(0) }
+            }
+        };
+        let spec = ProgramSpec {
+            name: self.name,
+            classes: self.classes,
+            tag_types: self.tag_types,
+            tasks: self.tasks,
+            startup,
+        };
+        let mut bodies = Vec::with_capacity(self.bodies.len());
+        for (i, body) in self.bodies.into_iter().enumerate() {
+            match body {
+                Some(b) => bodies.push(b),
+                None => problems.push(format!("task `{}` has no body", spec.tasks[i].name)),
+            }
+        }
+        problems.extend(spec.validate());
+        if problems.is_empty() {
+            Ok(BuiltProgram { spec, bodies })
+        } else {
+            Err(BuildError { problems })
+        }
+    }
+}
+
+/// Collects the flag/tag actions of one task exit.
+#[derive(Debug, Default)]
+pub struct ExitBuilder {
+    actions: Vec<(ParamIdx, Vec<FlagOrTagAction>)>,
+}
+
+impl ExitBuilder {
+    fn push(&mut self, param: usize, action: FlagOrTagAction) {
+        let idx = ParamIdx::new(param);
+        if let Some((_, list)) = self.actions.iter_mut().find(|(p, _)| *p == idx) {
+            list.push(action);
+        } else {
+            self.actions.push((idx, vec![action]));
+        }
+    }
+
+    /// Declares `param: flag := value`.
+    pub fn set(mut self, param: usize, flag: FlagId, value: bool) -> Self {
+        self.push(param, FlagOrTagAction::SetFlag(flag, value));
+        self
+    }
+
+    /// Declares `param: add var`.
+    pub fn add_tag(mut self, param: usize, var: TagVarId) -> Self {
+        self.push(param, FlagOrTagAction::AddTag(var));
+        self
+    }
+
+    /// Declares `param: clear var`.
+    pub fn clear_tag(mut self, param: usize, var: TagVarId) -> Self {
+        self.push(param, FlagOrTagAction::ClearTag(var));
+        self
+    }
+}
+
+/// Assembles one task declaration; created by [`ProgramBuilder::task`].
+#[derive(Debug)]
+pub struct TaskBuilder<'a, B> {
+    parent: &'a mut ProgramBuilder<B>,
+    spec: TaskSpec,
+    body: Option<B>,
+}
+
+impl<B> TaskBuilder<'_, B> {
+    /// Declares a parameter: `class name in guard`.
+    pub fn param(mut self, name: &str, class: ClassId, guard: FlagExpr) -> Self {
+        self.spec.params.push(ParamSpec {
+            name: name.to_string(),
+            class,
+            guard,
+            tags: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a `with tagtype var` constraint to the most recent parameter.
+    ///
+    /// The named tag variable is created on first use; parameters naming the
+    /// same variable must match the same tag instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any `param`.
+    pub fn with_tag(mut self, tag_type: TagTypeId, var_name: &str) -> Self {
+        let var = self.intern_tag_var(var_name, tag_type, true);
+        let param = self.spec.params.last_mut().expect("with_tag requires a preceding param");
+        param.tags.push(TagConstraint { tag_type, var });
+        self
+    }
+
+    /// Declares a tag variable bound by `new tag(tagtype)` in the body.
+    pub fn new_tag_var(mut self, tag_type: TagTypeId, var_name: &str) -> Self {
+        self.intern_tag_var(var_name, tag_type, false);
+        self
+    }
+
+    /// Returns the id of a previously declared tag variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tag variable with that name exists yet.
+    pub fn tag_var(&self, var_name: &str) -> TagVarId {
+        self.spec
+            .tag_vars
+            .iter()
+            .position(|v| v.name == var_name)
+            .map(TagVarId::new)
+            .unwrap_or_else(|| panic!("no tag variable `{var_name}` declared"))
+    }
+
+    fn intern_tag_var(&mut self, name: &str, tag_type: TagTypeId, from_param: bool) -> TagVarId {
+        if let Some(pos) = self.spec.tag_vars.iter().position(|v| v.name == name) {
+            return TagVarId::new(pos);
+        }
+        let id = TagVarId::new(self.spec.tag_vars.len());
+        self.spec.tag_vars.push(TagVarSpec {
+            name: name.to_string(),
+            tag_type,
+            from_param,
+        });
+        id
+    }
+
+    /// Declares an allocation site: `new class { flags..., add tags... }`.
+    ///
+    /// Sites are numbered in declaration order; bodies refer to them by that
+    /// index when creating objects.
+    pub fn alloc(mut self, class: ClassId, flags: &[(FlagId, bool)], tags: &[TagVarId]) -> Self {
+        self.spec.alloc_sites.push(AllocSiteSpec {
+            class,
+            initial_flags: flags.to_vec(),
+            bound_tags: tags.to_vec(),
+        });
+        self
+    }
+
+    /// Declares an exit point; `build` configures its actions.
+    ///
+    /// Exits are numbered in declaration order; bodies select an exit by
+    /// that index when returning.
+    pub fn exit(mut self, label: &str, build: impl FnOnce(ExitBuilder) -> ExitBuilder) -> Self {
+        let eb = build(ExitBuilder::default());
+        self.spec.exits.push(ExitSpec { label: label.to_string(), actions: eb.actions });
+        self
+    }
+
+    /// Attaches the task body.
+    pub fn body(mut self, body: B) -> Self {
+        self.body = Some(body);
+        self
+    }
+
+    /// Registers the task with the program and returns its id.
+    pub fn finish(self) -> TaskId {
+        let id = TaskId::new(self.parent.tasks.len());
+        if self.spec.exits.is_empty() {
+            self.parent
+                .problems
+                .push(format!("task `{}` declares no exits", self.spec.name));
+        }
+        self.parent.tasks.push(self.spec);
+        self.parent.bodies.push(self.body);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_task_builder() -> ProgramBuilder<u32> {
+        let mut b: ProgramBuilder<u32> = ProgramBuilder::new("t");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let w = b.class("Work", &["ready"]);
+        let init = b.flag(s, "initialstate");
+        let ready = b.flag(w, "ready");
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .alloc(w, &[(ready, true)], &[])
+            .exit("", |e| e.set(0, init, false))
+            .body(0)
+            .finish();
+        b.task("work")
+            .param("w", w, FlagExpr::flag(ready))
+            .exit("", |e| e.set(0, ready, false))
+            .body(1)
+            .finish();
+        b
+    }
+
+    #[test]
+    fn builds_valid_program() {
+        let built = two_task_builder().build().unwrap();
+        assert_eq!(built.spec.tasks.len(), 2);
+        assert_eq!(built.bodies, vec![0, 1]);
+        assert_eq!(built.spec.startup.class, ClassId::new(0));
+    }
+
+    #[test]
+    fn startup_class_is_autodetected() {
+        let b = two_task_builder();
+        let built = b.build().unwrap();
+        assert_eq!(built.spec.class(built.spec.startup.class).name, "StartupObject");
+    }
+
+    #[test]
+    fn missing_body_is_an_error() {
+        let mut b: ProgramBuilder<u32> = ProgramBuilder::new("t");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let init = b.flag(s, "initialstate");
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .exit("", |e| e.set(0, init, false))
+            .finish();
+        let err = b.build().unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("no body")));
+    }
+
+    #[test]
+    fn missing_exit_is_an_error() {
+        let mut b: ProgramBuilder<u32> = ProgramBuilder::new("t");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let init = b.flag(s, "initialstate");
+        b.task("startup").param("s", s, FlagExpr::flag(init)).body(0).finish();
+        let err = b.build().unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("no exits")));
+    }
+
+    #[test]
+    fn tag_variables_are_shared_across_params() {
+        let mut b: ProgramBuilder<u32> = ProgramBuilder::new("t");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let init = b.flag(s, "initialstate");
+        let d = b.class("Drawing", &["saving"]);
+        let i = b.class("Image", &["compressed"]);
+        let saving = b.flag(d, "saving");
+        let compressed = b.flag(i, "compressed");
+        let link = b.tag_type("link");
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .exit("", |e| e.set(0, init, false))
+            .body(0)
+            .finish();
+        let t = b
+            .task("finishsave")
+            .param("d", d, FlagExpr::flag(saving))
+            .with_tag(link, "t")
+            .param("i", i, FlagExpr::flag(compressed))
+            .with_tag(link, "t")
+            .exit("", |e| e.set(0, saving, false))
+            .body(1)
+            .finish();
+        let built = b.build().unwrap();
+        let task = built.spec.task(t);
+        assert_eq!(task.tag_vars.len(), 1);
+        assert_eq!(task.params[0].tags[0].var, task.params[1].tags[0].var);
+        assert!(task.all_params_share_tag());
+    }
+
+    #[test]
+    #[should_panic(expected = "no flag")]
+    fn unknown_flag_lookup_panics() {
+        let mut b: ProgramBuilder<u32> = ProgramBuilder::new("t");
+        let c = b.class("C", &["a"]);
+        b.flag(c, "missing");
+    }
+}

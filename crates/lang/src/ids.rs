@@ -1,0 +1,143 @@
+//! Newtype indices identifying program entities.
+//!
+//! Every entity in a [`crate::spec::ProgramSpec`] — classes, flags, tag
+//! types, tasks, parameters, exits, allocation sites — is referred to by a
+//! small integer index wrapped in a dedicated newtype, so that indices of
+//! different kinds cannot be confused (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index, suitable for indexing a `Vec`.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a class declaration within a program.
+    ClassId, "class#"
+);
+define_id!(
+    /// Identifies a flag (abstract state bit) within its owning class.
+    FlagId, "flag#"
+);
+define_id!(
+    /// Identifies a tag type declared at program scope.
+    TagTypeId, "tagty#"
+);
+define_id!(
+    /// Identifies a task declaration within a program.
+    TaskId, "task#"
+);
+define_id!(
+    /// Identifies a method within its owning class.
+    MethodId, "method#"
+);
+define_id!(
+    /// Identifies a field within its owning class.
+    FieldId, "field#"
+);
+define_id!(
+    /// Identifies one of a task's declared exit points.
+    ExitId, "exit#"
+);
+define_id!(
+    /// Identifies an object-allocation site within a task (or method called
+    /// from it).
+    AllocSiteId, "alloc#"
+);
+define_id!(
+    /// Identifies a tag variable bound within a task's scope (either by a
+    /// `with` clause or a `new tag` statement).
+    TagVarId, "tagvar#"
+);
+
+/// Zero-based position of a parameter in a task's parameter list.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ParamIdx(pub u32);
+
+impl ParamIdx {
+    /// Creates a parameter index.
+    pub const fn new(index: usize) -> Self {
+        Self(index as u32)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ParamIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "param#{}", self.0)
+    }
+}
+
+impl fmt::Display for ParamIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "param#{}", self.0)
+    }
+}
+
+impl From<usize> for ParamIdx {
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        let c = ClassId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(ClassId::from(7usize), c);
+    }
+
+    #[test]
+    fn debug_formats_are_distinct() {
+        assert_eq!(format!("{:?}", ClassId::new(1)), "class#1");
+        assert_eq!(format!("{:?}", TaskId::new(2)), "task#2");
+        assert_eq!(format!("{:?}", ParamIdx::new(0)), "param#0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(FlagId::new(1) < FlagId::new(2));
+    }
+}

@@ -1,0 +1,831 @@
+//! Tree-walking evaluator for IR bodies.
+//!
+//! The evaluator executes one task invocation at a time
+//! ([`Interp::run_task`]): it evaluates the body, records allocation-site
+//! objects and fresh tag instances, counts abstract cycles, and reports
+//! which declared exit the task took. It never mutates dispatch state
+//! (flags/tags) itself — the caller (reference driver or runtime) applies
+//! the exit's declared actions.
+
+use crate::ast::{BinOp, UnOp};
+use crate::ids::{AllocSiteId, ClassId, ExitId, TagTypeId, TaskId};
+use crate::interp::heap::{Heap, Slot};
+use crate::interp::value::{ObjRef, Value};
+use crate::ir::{Builtin, IrBody, IrExpr, IrPlace, IrStmt};
+use crate::types::Type;
+use crate::CompiledProgram;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime trap: null dereference, out-of-bounds index, division by
+/// zero, or exceeded step budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrapError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TrapError {
+    fn new(message: impl Into<String>) -> Self {
+        TrapError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime trap: {}", self.message)
+    }
+}
+
+impl Error for TrapError {}
+
+/// A fresh tag instance created by `new tag`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagInstance(pub u64);
+
+/// An object created at a dispatch allocation site during one invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreatedObject {
+    /// Which site allocated it.
+    pub site: AllocSiteId,
+    /// The new object.
+    pub obj: ObjRef,
+    /// Tag instances bound to it at allocation (resolved from the task's
+    /// tag environment at allocation time).
+    pub tags: Vec<(TagTypeId, TagInstance)>,
+}
+
+/// The result of one task invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskOutcome {
+    /// Which declared exit the task took.
+    pub exit: ExitId,
+    /// Objects allocated into dispatch at allocation sites, in order.
+    pub created: Vec<CreatedObject>,
+    /// Final tag environment (per tag variable), for applying the exit's
+    /// tag actions.
+    pub tag_env: Vec<Option<TagInstance>>,
+    /// Abstract cycles charged during the invocation.
+    pub cycles: u64,
+}
+
+/// Control-flow signal threaded through statement execution.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+    TaskExit(ExitId),
+}
+
+type EResult<T> = Result<T, TrapError>;
+
+/// Interpreter state: the program, the heap, and counters.
+///
+/// One `Interp` persists across many task invocations so the heap is
+/// shared, mirroring Bamboo's global object space.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p CompiledProgram,
+    /// The shared heap.
+    pub heap: Heap,
+    /// Monotonic counter backing `new tag`.
+    next_tag: u64,
+    /// Total abstract cycles charged across all invocations.
+    pub total_cycles: u64,
+    /// Remaining step budget; a trap fires at zero (guards against
+    /// non-terminating test programs).
+    pub step_budget: u64,
+    /// Captured `print`/`println` output.
+    pub output: String,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter over `program` with a default step budget of
+    /// one billion.
+    pub fn new(program: &'p CompiledProgram) -> Self {
+        Interp {
+            program,
+            heap: Heap::new(),
+            next_tag: 0,
+            total_cycles: 0,
+            step_budget: 1_000_000_000,
+            output: String::new(),
+        }
+    }
+
+    /// Allocates an instance of `class` with default field values and
+    /// without running a constructor (used to inject the startup object).
+    pub fn alloc_raw(&mut self, class: ClassId) -> ObjRef {
+        let fields = self.program.ir.classes[class.index()]
+            .fields
+            .iter()
+            .map(|f| default_for(&f.ty))
+            .collect();
+        self.heap.alloc_object(class, fields)
+    }
+
+    /// Runs one invocation of `task` on `params`.
+    ///
+    /// `tag_env` provides the initial tag-variable bindings (from the
+    /// dispatcher's `with`-clause matching); it is extended by `new tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrapError`] on null dereference, index out of bounds,
+    /// division by zero, or step-budget exhaustion.
+    pub fn run_task(
+        &mut self,
+        task: TaskId,
+        params: &[ObjRef],
+        tag_env: Vec<Option<TagInstance>>,
+    ) -> EResult<TaskOutcome> {
+        let spec = &self.program.spec.tasks[task.index()];
+        let body = &self.program.ir.tasks[task.index()];
+        assert_eq!(params.len(), spec.params.len(), "wrong parameter count");
+        let mut frame = Frame::for_body(body);
+        for (slot, obj) in params.iter().enumerate() {
+            frame.locals[slot] = Value::Ref(*obj);
+        }
+        let mut inv = Invocation {
+            task: Some(task),
+            created: Vec::new(),
+            tag_env,
+            cycles: 0,
+        };
+        inv.tag_env.resize(spec.tag_vars.len(), None);
+        let flow = self.exec_block(&body.stmts, &mut frame, &mut inv)?;
+        let exit = match flow {
+            Flow::TaskExit(exit) => exit,
+            _ => {
+                // The resolver guarantees a taskexit on every path.
+                return Err(TrapError::new("task body ended without taskexit"));
+            }
+        };
+        self.total_cycles += inv.cycles;
+        Ok(TaskOutcome { exit, created: inv.created, tag_env: inv.tag_env, cycles: inv.cycles })
+    }
+
+    /// Calls a method directly (test helper).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrapError`] on any runtime trap.
+    pub fn call_method(
+        &mut self,
+        obj: ObjRef,
+        class: ClassId,
+        method: u32,
+        args: Vec<Value>,
+    ) -> EResult<Value> {
+        let mut inv =
+            Invocation { task: None, created: Vec::new(), tag_env: Vec::new(), cycles: 0 };
+        let result = self.invoke_method(obj, class, method, args, &mut inv);
+        self.total_cycles += inv.cycles;
+        result
+    }
+
+    fn invoke_method(
+        &mut self,
+        obj: ObjRef,
+        class: ClassId,
+        method: u32,
+        args: Vec<Value>,
+        inv: &mut Invocation,
+    ) -> EResult<Value> {
+        inv.cycles += 8; // call overhead
+        let m = &self.program.ir.classes[class.index()].methods[method as usize];
+        let mut frame = Frame::for_body(&m.body);
+        frame.locals[0] = Value::Ref(obj);
+        for (i, arg) in args.into_iter().enumerate() {
+            frame.locals[i + 1] = arg;
+        }
+        match self.exec_block(&m.body.stmts, &mut frame, inv)? {
+            Flow::Return(v) => Ok(v),
+            Flow::TaskExit(_) => Err(TrapError::new("taskexit escaped a method body")),
+            _ => Ok(default_for(&m.ret)),
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        stmts: &[IrStmt],
+        frame: &mut Frame,
+        inv: &mut Invocation,
+    ) -> EResult<Flow> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt, frame, inv)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &IrStmt,
+        frame: &mut Frame,
+        inv: &mut Invocation,
+    ) -> EResult<Flow> {
+        self.charge(inv, 1)?;
+        match stmt {
+            IrStmt::Assign { target, value } => {
+                let v = self.eval(value, frame, inv)?;
+                match target {
+                    IrPlace::Local(slot) => frame.locals[*slot as usize] = v,
+                    IrPlace::Field { obj, field } => {
+                        let r = self.eval_ref(obj, frame, inv)?;
+                        self.heap.set_field(r, *field, v);
+                    }
+                    IrPlace::Index { arr, idx } => {
+                        let r = self.eval_ref(arr, frame, inv)?;
+                        let i = self.eval(idx, frame, inv)?.as_int();
+                        let items = self.heap.array_mut(r);
+                        let len = items.len();
+                        let slot = items.get_mut(i as usize).ok_or_else(|| {
+                            TrapError::new(format!("index {i} out of bounds (len {len})"))
+                        })?;
+                        *slot = v;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            IrStmt::If { cond, then_blk, else_blk } => {
+                if self.eval(cond, frame, inv)?.as_bool() {
+                    self.exec_block(then_blk, frame, inv)
+                } else {
+                    self.exec_block(else_blk, frame, inv)
+                }
+            }
+            IrStmt::While { cond, body } => {
+                while self.eval(cond, frame, inv)?.as_bool() {
+                    match self.exec_block(body, frame, inv)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        other => return Ok(other),
+                    }
+                    self.charge(inv, 1)?;
+                }
+                Ok(Flow::Normal)
+            }
+            IrStmt::For { init, cond, step, body } => {
+                if let f @ (Flow::Return(_) | Flow::TaskExit(_)) =
+                    self.exec_block(init, frame, inv)?
+                {
+                    return Ok(f);
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if !self.eval(cond, frame, inv)?.as_bool() {
+                            break;
+                        }
+                    }
+                    match self.exec_block(body, frame, inv)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        other => return Ok(other),
+                    }
+                    if let f @ (Flow::Return(_) | Flow::TaskExit(_)) =
+                        self.exec_block(step, frame, inv)?
+                    {
+                        return Ok(f);
+                    }
+                    self.charge(inv, 1)?;
+                }
+                Ok(Flow::Normal)
+            }
+            IrStmt::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(e, frame, inv)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            IrStmt::Break => Ok(Flow::Break),
+            IrStmt::Continue => Ok(Flow::Continue),
+            IrStmt::TaskExit(exit) => Ok(Flow::TaskExit(*exit)),
+            IrStmt::NewTag { var, tag_type: _ } => {
+                let instance = TagInstance(self.next_tag);
+                self.next_tag += 1;
+                inv.tag_env[var.index()] = Some(instance);
+                Ok(Flow::Normal)
+            }
+            IrStmt::Expr(expr) => {
+                self.eval(expr, frame, inv)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval_ref(&mut self, expr: &IrExpr, frame: &mut Frame, inv: &mut Invocation) -> EResult<ObjRef> {
+        match self.eval(expr, frame, inv)? {
+            Value::Ref(r) => Ok(r),
+            Value::Null => Err(TrapError::new("null dereference")),
+            other => Err(TrapError::new(format!("expected reference, found {other}"))),
+        }
+    }
+
+    fn charge(&mut self, inv: &mut Invocation, cycles: u64) -> EResult<()> {
+        inv.cycles += cycles;
+        if self.step_budget <= cycles {
+            return Err(TrapError::new("step budget exhausted (non-terminating program?)"));
+        }
+        self.step_budget -= cycles;
+        Ok(())
+    }
+
+    fn eval(&mut self, expr: &IrExpr, frame: &mut Frame, inv: &mut Invocation) -> EResult<Value> {
+        self.charge(inv, 1)?;
+        match expr {
+            IrExpr::ConstInt(v) => Ok(Value::Int(*v)),
+            IrExpr::ConstFloat(v) => Ok(Value::Float(*v)),
+            IrExpr::ConstBool(v) => Ok(Value::Bool(*v)),
+            IrExpr::ConstStr(s) => Ok(Value::str(s)),
+            IrExpr::Null => Ok(Value::Null),
+            IrExpr::Local(slot) => Ok(frame.locals[*slot as usize].clone()),
+            IrExpr::Field { obj, field } => {
+                let r = self.eval_ref(obj, frame, inv)?;
+                Ok(self.heap.field(r, *field).clone())
+            }
+            IrExpr::Index { arr, idx } => {
+                let r = self.eval_ref(arr, frame, inv)?;
+                let i = self.eval(idx, frame, inv)?.as_int();
+                let items = self.heap.array(r);
+                items
+                    .get(i as usize)
+                    .cloned()
+                    .ok_or_else(|| TrapError::new(format!("index {i} out of bounds (len {})", items.len())))
+            }
+            IrExpr::CallMethod { obj, class, method, args } => {
+                let r = self.eval_ref(obj, frame, inv)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, frame, inv)?);
+                }
+                self.invoke_method(r, *class, *method, argv, inv)
+            }
+            IrExpr::CallBuiltin { builtin, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, frame, inv)?);
+                }
+                self.call_builtin(*builtin, argv, inv)
+            }
+            IrExpr::New { class, args, site } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, frame, inv)?);
+                }
+                let obj = self.alloc_raw(*class);
+                self.charge(inv, 4)?;
+                if let Some(ctor) = self.program.ir.classes[class.index()].ctor {
+                    self.invoke_method(obj, *class, ctor as u32, argv, inv)?;
+                }
+                if let Some(site) = site {
+                    let task = inv.task.expect("alloc sites only occur in task bodies");
+                    let site_spec = &self.program.spec.tasks[task.index()].alloc_sites[site.index()];
+                    let mut tags = Vec::new();
+                    for var in &site_spec.bound_tags {
+                        if let Some(instance) = inv.tag_env[var.index()] {
+                            let tt =
+                                self.program.spec.tasks[task.index()].tag_vars[var.index()].tag_type;
+                            tags.push((tt, instance));
+                        } else {
+                            return Err(TrapError::new(format!(
+                                "tag variable {var} unbound at allocation"
+                            )));
+                        }
+                    }
+                    inv.created.push(CreatedObject { site: *site, obj, tags });
+                }
+                Ok(Value::Ref(obj))
+            }
+            IrExpr::NewArray { elem, len } => {
+                let n = self.eval(len, frame, inv)?.as_int();
+                if n < 0 {
+                    return Err(TrapError::new(format!("negative array length {n}")));
+                }
+                self.charge(inv, n as u64 / 8 + 1)?;
+                Ok(Value::Ref(self.heap.alloc_array(n as usize, default_for(elem))))
+            }
+            IrExpr::Unary { op, expr } => {
+                let v = self.eval(expr, frame, inv)?;
+                Ok(match (op, v) {
+                    (UnOp::Neg, Value::Int(v)) => Value::Int(v.wrapping_neg()),
+                    (UnOp::Neg, Value::Float(v)) => Value::Float(-v),
+                    (UnOp::Not, Value::Bool(v)) => Value::Bool(!v),
+                    (op, v) => return Err(TrapError::new(format!("bad unary {op:?} on {v}"))),
+                })
+            }
+            IrExpr::Binary { op, lhs, rhs } => {
+                // Short-circuit forms first.
+                match op {
+                    BinOp::And => {
+                        return Ok(Value::Bool(
+                            self.eval(lhs, frame, inv)?.as_bool()
+                                && self.eval(rhs, frame, inv)?.as_bool(),
+                        ))
+                    }
+                    BinOp::Or => {
+                        return Ok(Value::Bool(
+                            self.eval(lhs, frame, inv)?.as_bool()
+                                || self.eval(rhs, frame, inv)?.as_bool(),
+                        ))
+                    }
+                    _ => {}
+                }
+                let a = self.eval(lhs, frame, inv)?;
+                let b = self.eval(rhs, frame, inv)?;
+                binary_op(*op, a, b)
+            }
+        }
+    }
+
+    fn call_builtin(
+        &mut self,
+        builtin: Builtin,
+        mut args: Vec<Value>,
+        inv: &mut Invocation,
+    ) -> EResult<Value> {
+        self.charge(inv, 4)?;
+        let mut arg = |i: usize| std::mem::replace(&mut args[i], Value::Null);
+        Ok(match builtin {
+            Builtin::Print => {
+                let s = arg(0);
+                self.output.push_str(&s.to_string());
+                Value::Null
+            }
+            Builtin::Println => {
+                let s = arg(0);
+                self.output.push_str(&s.to_string());
+                self.output.push('\n');
+                Value::Null
+            }
+            Builtin::Itoa => Value::str(arg(0).as_int().to_string()),
+            Builtin::Ftoa => Value::str(arg(0).as_float().to_string()),
+            Builtin::Itof => Value::Float(arg(0).as_int() as f64),
+            Builtin::Ftoi => Value::Int(arg(0).as_float() as i64),
+            Builtin::ParseInt => match arg(0) {
+                Value::Str(s) => Value::Int(s.trim().parse().unwrap_or(0)),
+                other => return Err(TrapError::new(format!("parse_int on {other}"))),
+            },
+            Builtin::Len => match arg(0) {
+                Value::Str(s) => Value::Int(s.len() as i64),
+                Value::Ref(r) => match self.heap.slot(r) {
+                    Slot::Array(items) => Value::Int(items.len() as i64),
+                    Slot::Object { .. } => {
+                        return Err(TrapError::new("len of non-array object"))
+                    }
+                },
+                Value::Null => return Err(TrapError::new("len of null")),
+                other => return Err(TrapError::new(format!("len of {other}"))),
+            },
+            Builtin::Split => {
+                let (s, sep) = match (arg(0), arg(1)) {
+                    (Value::Str(s), Value::Str(sep)) => (s, sep),
+                    _ => return Err(TrapError::new("split expects strings")),
+                };
+                let parts: Vec<Value> = if sep.is_empty() {
+                    s.chars().map(|c| Value::Str(Rc::from(c.to_string().as_str()))).collect()
+                } else {
+                    s.split(&*sep)
+                        .filter(|p| !p.is_empty())
+                        .map(|p| Value::Str(Rc::from(p)))
+                        .collect()
+                };
+                self.charge(inv, s.len() as u64 / 4 + 1)?;
+                Value::Ref(self.heap.alloc_array(parts.len(), Value::Null)).tap(|v| {
+                    if let Value::Ref(r) = v {
+                        *self.heap.array_mut(*r) = parts;
+                    }
+                })
+            }
+            Builtin::Substr => {
+                let (s, start, end) = match (arg(0), arg(1), arg(2)) {
+                    (Value::Str(s), Value::Int(a), Value::Int(b)) => (s, a, b),
+                    _ => return Err(TrapError::new("substr expects (String, int, int)")),
+                };
+                let len = s.len() as i64;
+                let start = start.clamp(0, len) as usize;
+                let end = end.clamp(start as i64, len) as usize;
+                Value::Str(Rc::from(&s[start..end]))
+            }
+            Builtin::Sqrt => Value::Float(arg(0).as_float().sqrt()),
+            Builtin::Sin => Value::Float(arg(0).as_float().sin()),
+            Builtin::Cos => Value::Float(arg(0).as_float().cos()),
+            Builtin::Exp => Value::Float(arg(0).as_float().exp()),
+            Builtin::Log => Value::Float(arg(0).as_float().ln()),
+            Builtin::Pow => Value::Float(arg(0).as_float().powf(arg(1).as_float())),
+            Builtin::Floor => Value::Float(arg(0).as_float().floor()),
+            Builtin::Abs => match arg(0) {
+                Value::Int(v) => Value::Int(v.abs()),
+                Value::Float(v) => Value::Float(v.abs()),
+                other => return Err(TrapError::new(format!("abs of {other}"))),
+            },
+            Builtin::Min => match (arg(0), arg(1)) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.min(b)),
+                (Value::Float(a), Value::Float(b)) => Value::Float(a.min(b)),
+                _ => return Err(TrapError::new("min expects matching numeric types")),
+            },
+            Builtin::Max => match (arg(0), arg(1)) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.max(b)),
+                (Value::Float(a), Value::Float(b)) => Value::Float(a.max(b)),
+                _ => return Err(TrapError::new("max expects matching numeric types")),
+            },
+        })
+    }
+}
+
+/// Small tap helper used by `split` to fill the freshly allocated array.
+trait Tap: Sized {
+    fn tap(self, f: impl FnOnce(&Self)) -> Self {
+        f(&self);
+        self
+    }
+}
+impl Tap for Value {}
+
+fn binary_op(op: BinOp, a: Value, b: Value) -> EResult<Value> {
+    use BinOp::*;
+    Ok(match (op, a, b) {
+        (Add, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(b)),
+        (Add, Value::Float(a), Value::Float(b)) => Value::Float(a + b),
+        (Add, Value::Str(a), Value::Str(b)) => Value::str(format!("{a}{b}")),
+        (Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(b)),
+        (Sub, Value::Float(a), Value::Float(b)) => Value::Float(a - b),
+        (Mul, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(b)),
+        (Mul, Value::Float(a), Value::Float(b)) => Value::Float(a * b),
+        (Div, Value::Int(a), Value::Int(b)) => {
+            if b == 0 {
+                return Err(TrapError::new("division by zero"));
+            }
+            Value::Int(a.wrapping_div(b))
+        }
+        (Div, Value::Float(a), Value::Float(b)) => Value::Float(a / b),
+        (Rem, Value::Int(a), Value::Int(b)) => {
+            if b == 0 {
+                return Err(TrapError::new("remainder by zero"));
+            }
+            Value::Int(a.wrapping_rem(b))
+        }
+        (Eq, a, b) => Value::Bool(ref_eq(&a, &b)),
+        (Ne, a, b) => Value::Bool(!ref_eq(&a, &b)),
+        (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
+        (Lt, Value::Float(a), Value::Float(b)) => Value::Bool(a < b),
+        (Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
+        (Le, Value::Float(a), Value::Float(b)) => Value::Bool(a <= b),
+        (Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),
+        (Gt, Value::Float(a), Value::Float(b)) => Value::Bool(a > b),
+        (Ge, Value::Int(a), Value::Int(b)) => Value::Bool(a >= b),
+        (Ge, Value::Float(a), Value::Float(b)) => Value::Bool(a >= b),
+        (op, a, b) => return Err(TrapError::new(format!("bad binary {op:?} on {a} and {b}"))),
+    })
+}
+
+/// Equality: by value for primitives and strings, by identity for
+/// references, and `null` equals only `null`.
+fn ref_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (x, y) => x == y,
+    }
+}
+
+fn default_for(ty: &Type) -> Value {
+    match ty {
+        Type::Int => Value::Int(0),
+        Type::Float => Value::Float(0.0),
+        Type::Bool => Value::Bool(false),
+        Type::Str => Value::str(""),
+        _ => Value::Null,
+    }
+}
+
+/// Per-invocation bookkeeping.
+struct Invocation {
+    task: Option<TaskId>,
+    created: Vec<CreatedObject>,
+    tag_env: Vec<Option<TagInstance>>,
+    cycles: u64,
+}
+
+/// A call frame: flat local slots.
+struct Frame {
+    locals: Vec<Value>,
+}
+
+impl Frame {
+    fn for_body(body: &IrBody) -> Self {
+        Frame { locals: vec![Value::Null; body.n_slots] }
+    }
+}
+
+// Interp intentionally does not implement Clone: the heap may be large.
+
+#[allow(dead_code)]
+fn _assert_traits() {
+    fn is_debug<T: fmt::Debug>() {}
+    is_debug::<TrapError>();
+    is_debug::<TaskOutcome>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+    use crate::ids::TaskId;
+    use crate::interp::Value;
+
+    /// Compiles a program whose single task runs `body_src` and writes
+    /// results into an `Out` object's fields.
+    fn run_snippet(fields: &str, body_src: &str) -> (Value, Value) {
+        let src = format!(
+            r#"
+            class StartupObject {{ flag initialstate; }}
+            class Out {{ flag done; {fields} }}
+            class Node {{ int v; Node next; }}
+            class Helper {{
+                int fact(int n) {{
+                    if (n <= 1) {{ return 1; }}
+                    return n * this.fact(n - 1);
+                }}
+                int listSum(Node head) {{
+                    int total = 0;
+                    Node cur = head;
+                    while (cur != null) {{
+                        total = total + cur.v;
+                        cur = cur.next;
+                    }}
+                    return total;
+                }}
+            }}
+            task go(StartupObject s in initialstate) {{
+                Out out = new Out(){{ done := true }};
+                Helper h = new Helper();
+                {body_src}
+                taskexit(s: initialstate := false);
+            }}
+            task sink(Out o in done) {{ taskexit(o: done := false); }}
+            "#
+        );
+        let compiled = compile_source("snippet", &src).expect("snippet compiles");
+        let mut interp = Interp::new(&compiled);
+        let startup = interp.alloc_raw(compiled.spec.startup.class);
+        let outcome = interp
+            .run_task(TaskId::new(0), &[startup], vec![])
+            .expect("snippet runs");
+        let out = outcome
+            .created
+            .iter()
+            .find(|c| {
+                compiled.spec.class(interp.heap.class_of(c.obj)).name == "Out"
+            })
+            .expect("Out created")
+            .obj;
+        (interp.heap.field(out, 0).clone(), interp.heap.field(out, 1).clone())
+    }
+
+    #[test]
+    fn recursive_method_computes_factorial() {
+        let (a, b) = run_snippet(
+            "int f6; int f10;",
+            "out.f6 = h.fact(6); out.f10 = h.fact(10);",
+        );
+        assert_eq!(a, Value::Int(720));
+        assert_eq!(b, Value::Int(3628800));
+    }
+
+    #[test]
+    fn linked_list_traversal_with_null_checks() {
+        let (sum, len) = run_snippet(
+            "int sum; int len;",
+            r#"
+            Node head = new Node();
+            head.v = 5;
+            head.next = new Node();
+            head.next.v = 7;
+            head.next.next = new Node();
+            head.next.next.v = 11;
+            out.sum = h.listSum(head);
+            int n = 0;
+            Node cur = head;
+            while (cur != null) { n = n + 1; cur = cur.next; }
+            out.len = n;
+            "#,
+        );
+        assert_eq!(sum, Value::Int(23));
+        assert_eq!(len, Value::Int(3));
+    }
+
+    #[test]
+    fn string_builtins_work_together() {
+        let (count, text) = run_snippet(
+            "int count; String text;",
+            r#"
+            String sentence = "the quick brown fox";
+            String[] words = split(sentence, " ");
+            out.count = len(words);
+            out.text = substr(sentence, 4, 9) + "/" + itoa(parse_int("42"));
+            "#,
+        );
+        assert_eq!(count, Value::Int(4));
+        assert_eq!(text, Value::str("quick/42"));
+    }
+
+    #[test]
+    fn float_math_builtins() {
+        let (a, b) = run_snippet(
+            "float a; float b;",
+            r#"
+            out.a = sqrt(pow(3.0, 2.0) + 16.0);
+            out.b = floor(exp(log(7.9)));
+            "#,
+        );
+        assert_eq!(a, Value::Float(5.0));
+        assert_eq!(b, Value::Float(7.0));
+    }
+
+    #[test]
+    fn array_out_of_bounds_traps() {
+        let compiled = compile_source(
+            "oob",
+            r#"
+            class StartupObject { flag initialstate; }
+            task go(StartupObject s in initialstate) {
+                int[] xs = new int[3];
+                xs[5] = 1;
+                taskexit(s: initialstate := false);
+            }
+            "#,
+        )
+        .expect("compiles");
+        let mut interp = Interp::new(&compiled);
+        let startup = interp.alloc_raw(compiled.spec.startup.class);
+        let err = interp.run_task(TaskId::new(0), &[startup], vec![]).unwrap_err();
+        assert!(err.message.contains("out of bounds"), "{}", err.message);
+    }
+
+    #[test]
+    fn null_dereference_traps() {
+        let compiled = compile_source(
+            "nullderef",
+            r#"
+            class StartupObject { flag initialstate; }
+            class Node { int v; Node next; }
+            task go(StartupObject s in initialstate) {
+                Node n = new Node();
+                int v = n.next.v;
+                taskexit(s: initialstate := false);
+            }
+            "#,
+        )
+        .expect("compiles");
+        let mut interp = Interp::new(&compiled);
+        let startup = interp.alloc_raw(compiled.spec.startup.class);
+        let err = interp.run_task(TaskId::new(0), &[startup], vec![]).unwrap_err();
+        assert!(err.message.contains("null dereference"), "{}", err.message);
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loops() {
+        let compiled = compile_source(
+            "inf",
+            r#"
+            class StartupObject { flag initialstate; }
+            task go(StartupObject s in initialstate) {
+                int x = 0;
+                while (true) { x = x + 1; }
+                taskexit(s: initialstate := false);
+            }
+            "#,
+        )
+        .expect("compiles");
+        let mut interp = Interp::new(&compiled);
+        interp.step_budget = 10_000;
+        let startup = interp.alloc_raw(compiled.spec.startup.class);
+        let err = interp.run_task(TaskId::new(0), &[startup], vec![]).unwrap_err();
+        assert!(err.message.contains("step budget"), "{}", err.message);
+    }
+
+    #[test]
+    fn print_output_is_captured() {
+        let compiled = compile_source(
+            "hello",
+            r#"
+            class StartupObject { flag initialstate; }
+            task go(StartupObject s in initialstate) {
+                print("hello ");
+                println("world");
+                taskexit(s: initialstate := false);
+            }
+            "#,
+        )
+        .expect("compiles");
+        let mut interp = Interp::new(&compiled);
+        let startup = interp.alloc_raw(compiled.spec.startup.class);
+        interp.run_task(TaskId::new(0), &[startup], vec![]).expect("runs");
+        assert_eq!(interp.output, "hello world\n");
+    }
+}

@@ -1,0 +1,187 @@
+//! Arena heap for interpreted programs.
+//!
+//! Objects and arrays live in one growable arena and are never collected —
+//! interpreted executions are bounded (tests, profiling runs), so an arena
+//! keeps references stable and cheap.
+
+use crate::ids::ClassId;
+use crate::interp::value::{ObjRef, Value};
+
+/// Contents of one heap slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Slot {
+    /// A class instance.
+    Object {
+        /// The instance's class.
+        class: ClassId,
+        /// Field values, indexed by field index.
+        fields: Vec<Value>,
+    },
+    /// An array.
+    Array(Vec<Value>),
+}
+
+/// The interpreter heap: an arena of objects and arrays.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    slots: Vec<Slot>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Returns the number of allocated slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Allocates an object with `n_fields` default-`Null` fields.
+    pub fn alloc_object(&mut self, class: ClassId, fields: Vec<Value>) -> ObjRef {
+        let r = ObjRef(self.slots.len() as u32);
+        self.slots.push(Slot::Object { class, fields });
+        r
+    }
+
+    /// Allocates an array of `len` copies of `fill`.
+    pub fn alloc_array(&mut self, len: usize, fill: Value) -> ObjRef {
+        let r = ObjRef(self.slots.len() as u32);
+        self.slots.push(Slot::Array(vec![fill; len]));
+        r
+    }
+
+    /// Returns the slot behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range (references are never forged in
+    /// well-typed programs).
+    pub fn slot(&self, r: ObjRef) -> &Slot {
+        &self.slots[r.index()]
+    }
+
+    /// Mutable access to the slot behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn slot_mut(&mut self, r: ObjRef) -> &mut Slot {
+        &mut self.slots[r.index()]
+    }
+
+    /// Returns the class of the object at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is an array.
+    pub fn class_of(&self, r: ObjRef) -> ClassId {
+        match self.slot(r) {
+            Slot::Object { class, .. } => *class,
+            Slot::Array(_) => panic!("{r} is an array, not an object"),
+        }
+    }
+
+    /// Reads field `idx` of the object at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is an array or the index is out of range.
+    pub fn field(&self, r: ObjRef, idx: u32) -> &Value {
+        match self.slot(r) {
+            Slot::Object { fields, .. } => &fields[idx as usize],
+            Slot::Array(_) => panic!("{r} is an array, not an object"),
+        }
+    }
+
+    /// Writes field `idx` of the object at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is an array or the index is out of range.
+    pub fn set_field(&mut self, r: ObjRef, idx: u32, value: Value) {
+        match self.slot_mut(r) {
+            Slot::Object { fields, .. } => fields[idx as usize] = value,
+            Slot::Array(_) => panic!("{r} is an array, not an object"),
+        }
+    }
+
+    /// Returns the array behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not an array.
+    pub fn array(&self, r: ObjRef) -> &[Value] {
+        match self.slot(r) {
+            Slot::Array(items) => items,
+            Slot::Object { .. } => panic!("{r} is an object, not an array"),
+        }
+    }
+
+    /// Mutable access to the array behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not an array.
+    pub fn array_mut(&mut self, r: ObjRef) -> &mut Vec<Value> {
+        match self.slot_mut(r) {
+            Slot::Array(items) => items,
+            Slot::Object { .. } => panic!("{r} is an object, not an array"),
+        }
+    }
+
+    /// Iterates over all object slots as `(ref, class)` pairs (arrays
+    /// skipped).
+    pub fn objects(&self) -> impl Iterator<Item = (ObjRef, ClassId)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Object { class, .. } => Some((ObjRef(i as u32), *class)),
+            Slot::Array(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_fields_read_write() {
+        let mut heap = Heap::new();
+        let r = heap.alloc_object(ClassId::new(0), vec![Value::Int(0), Value::Null]);
+        heap.set_field(r, 0, Value::Int(7));
+        assert_eq!(heap.field(r, 0), &Value::Int(7));
+        assert_eq!(heap.class_of(r), ClassId::new(0));
+    }
+
+    #[test]
+    fn arrays_read_write() {
+        let mut heap = Heap::new();
+        let r = heap.alloc_array(3, Value::Float(0.0));
+        heap.array_mut(r)[2] = Value::Float(2.5);
+        assert_eq!(heap.array(r)[2], Value::Float(2.5));
+        assert_eq!(heap.array(r).len(), 3);
+    }
+
+    #[test]
+    fn objects_iterator_skips_arrays() {
+        let mut heap = Heap::new();
+        heap.alloc_array(1, Value::Null);
+        let o = heap.alloc_object(ClassId::new(2), vec![]);
+        let objs: Vec<_> = heap.objects().collect();
+        assert_eq!(objs, vec![(o, ClassId::new(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is an array")]
+    fn field_access_on_array_panics() {
+        let mut heap = Heap::new();
+        let r = heap.alloc_array(1, Value::Null);
+        heap.field(r, 0);
+    }
+}

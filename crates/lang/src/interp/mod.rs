@@ -1,0 +1,16 @@
+//! Reference interpreter for compiled Bamboo DSL programs.
+//!
+//! - [`value`] / [`heap`] — the dynamic value model and arena heap;
+//! - [`eval`] — the per-invocation evaluator ([`Interp`]);
+//! - [`driver`] — the reference dispatcher ([`ReferenceDriver`]), the
+//!   executable semantics all other executors are tested against.
+
+pub mod driver;
+pub mod eval;
+pub mod heap;
+pub mod value;
+
+pub use driver::{DriverReport, InvocationRecord, ObjectMeta, ReferenceDriver};
+pub use eval::{CreatedObject, Interp, TagInstance, TaskOutcome, TrapError};
+pub use heap::{Heap, Slot};
+pub use value::{ObjRef, Value};

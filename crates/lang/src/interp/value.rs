@@ -1,0 +1,132 @@
+//! Runtime values for the DSL interpreter.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A reference to a heap object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub u32);
+
+impl ObjRef {
+    /// Returns the raw heap index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A dynamically-typed value.
+///
+/// The type checker guarantees operations only see compatible kinds, so the
+/// interpreter traps (returns a runtime error) rather than checks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// The null reference.
+    Null,
+    /// `int`.
+    Int(i64),
+    /// `float`.
+    Float(f64),
+    /// `boolean`.
+    Bool(bool),
+    /// `String` (immutable, cheaply cloneable).
+    Str(Rc<str>),
+    /// Reference to a heap object (class instance or array).
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Returns the contained `int`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int`; the type checker rules this
+    /// out for well-typed programs.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    /// Returns the contained `float`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Float`.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            other => panic!("expected float, found {other:?}"),
+        }
+    }
+
+    /// Returns the contained `boolean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Bool`.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected boolean, found {other:?}"),
+        }
+    }
+
+    /// Returns the contained reference, or `None` for `Null`.
+    pub fn as_ref(&self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_unwrap_kinds() {
+        assert_eq!(Value::Int(3).as_int(), 3);
+        assert_eq!(Value::Float(1.5).as_float(), 1.5);
+        assert!(Value::Bool(true).as_bool());
+        assert_eq!(Value::Null.as_ref(), None);
+        assert_eq!(Value::Ref(ObjRef(2)).as_ref(), Some(ObjRef(2)));
+    }
+
+    #[test]
+    fn string_equality_is_by_content() {
+        assert_eq!(Value::str("ab"), Value::str("ab"));
+        assert_ne!(Value::str("ab"), Value::str("ba"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn wrong_kind_panics() {
+        Value::Bool(true).as_int();
+    }
+}

@@ -1,0 +1,342 @@
+//! Typed tree IR for task and method bodies.
+//!
+//! Produced by [`crate::resolve`], executed by [`crate::interp`], and
+//! analyzed by the disjointness analysis. Names are resolved to slot
+//! indices and entity ids; types have been checked, so the interpreter can
+//! dispatch on runtime value kinds without re-validating.
+
+use crate::ast::{BinOp, UnOp};
+use crate::ids::{AllocSiteId, ClassId, ExitId, TagTypeId, TagVarId};
+use crate::types::Type;
+
+/// The IR for a whole program: class layouts plus task bodies.
+#[derive(Clone, Debug, Default)]
+pub struct IrProgram {
+    /// One entry per class, indexed by [`ClassId`].
+    pub classes: Vec<IrClass>,
+    /// One body per task, indexed by [`crate::ids::TaskId`].
+    pub tasks: Vec<IrBody>,
+}
+
+/// The layout and methods of one class.
+#[derive(Clone, Debug, Default)]
+pub struct IrClass {
+    /// Field types in declaration order; field index = position.
+    pub fields: Vec<IrField>,
+    /// Methods (including the constructor, if any).
+    pub methods: Vec<IrMethod>,
+    /// Index into `methods` of the constructor, if declared.
+    pub ctor: Option<usize>,
+}
+
+/// A field's name and type.
+#[derive(Clone, Debug)]
+pub struct IrField {
+    /// Field name (for diagnostics).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A method: `this` occupies local slot 0, parameters follow.
+#[derive(Clone, Debug)]
+pub struct IrMethod {
+    /// Method name.
+    pub name: String,
+    /// Number of parameters (excluding `this`).
+    pub n_params: usize,
+    /// Return type.
+    pub ret: Type,
+    /// The body.
+    pub body: IrBody,
+}
+
+/// An executable body with a flat local-slot frame.
+///
+/// For tasks, slots `0..n_params` hold the parameter objects. For methods,
+/// slot 0 holds `this` and slots `1..=n_params` hold the parameters.
+#[derive(Clone, Debug, Default)]
+pub struct IrBody {
+    /// Total number of local slots (parameters included).
+    pub n_slots: usize,
+    /// Number of tag-variable slots (tasks only).
+    pub n_tag_slots: usize,
+    /// The statements.
+    pub stmts: Vec<IrStmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum IrStmt {
+    /// Store `value` into `target`.
+    Assign {
+        /// Destination place.
+        target: IrPlace,
+        /// Source expression.
+        value: IrExpr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (boolean).
+        cond: IrExpr,
+        /// Then branch.
+        then_blk: Vec<IrStmt>,
+        /// Else branch (possibly empty).
+        else_blk: Vec<IrStmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition (boolean).
+        cond: IrExpr,
+        /// Loop body.
+        body: Vec<IrStmt>,
+    },
+    /// `for` loop; `continue` jumps to `step`.
+    For {
+        /// Initialization (possibly empty).
+        init: Vec<IrStmt>,
+        /// Condition; `None` means always true.
+        cond: Option<IrExpr>,
+        /// Step statements (possibly empty).
+        step: Vec<IrStmt>,
+        /// Loop body.
+        body: Vec<IrStmt>,
+    },
+    /// Return from a method.
+    Return(Option<IrExpr>),
+    /// Exit a loop.
+    Break,
+    /// Continue a loop.
+    Continue,
+    /// Leave the task through declared exit `exit` (tasks only); the
+    /// flag/tag actions live in the task's [`crate::spec::ExitSpec`].
+    TaskExit(ExitId),
+    /// `tag var = new tag(tag_type);` — create a fresh tag instance.
+    NewTag {
+        /// Destination tag slot.
+        var: TagVarId,
+        /// The instance's tag type.
+        tag_type: TagTypeId,
+    },
+    /// Evaluate for side effects.
+    Expr(IrExpr),
+}
+
+/// An assignable place.
+#[derive(Clone, Debug)]
+pub enum IrPlace {
+    /// A local slot.
+    Local(u32),
+    /// `obj.field`.
+    Field {
+        /// The receiver.
+        obj: IrExpr,
+        /// Field index within the receiver's class.
+        field: u32,
+    },
+    /// `arr[idx]`.
+    Index {
+        /// The array.
+        arr: IrExpr,
+        /// The element index.
+        idx: IrExpr,
+    },
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum IrExpr {
+    /// Integer constant.
+    ConstInt(i64),
+    /// Float constant.
+    ConstFloat(f64),
+    /// Boolean constant.
+    ConstBool(bool),
+    /// String constant.
+    ConstStr(String),
+    /// The `null` reference.
+    Null,
+    /// Read a local slot.
+    Local(u32),
+    /// `obj.field`.
+    Field {
+        /// The receiver.
+        obj: Box<IrExpr>,
+        /// Field index.
+        field: u32,
+    },
+    /// `arr[idx]`.
+    Index {
+        /// The array.
+        arr: Box<IrExpr>,
+        /// The element index.
+        idx: Box<IrExpr>,
+    },
+    /// Invoke `method` on `obj` (static dispatch; the subset has no
+    /// inheritance).
+    CallMethod {
+        /// The receiver.
+        obj: Box<IrExpr>,
+        /// The receiver's class.
+        class: ClassId,
+        /// Method index within the class.
+        method: u32,
+        /// Arguments.
+        args: Vec<IrExpr>,
+    },
+    /// Invoke a builtin.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<IrExpr>,
+    },
+    /// Allocate an object.
+    ///
+    /// `site` is `Some` when the object enters task dispatch (its class is
+    /// a task-parameter class and the allocation occurs in a task body);
+    /// the flag/tag initialization lives in the task's
+    /// [`crate::spec::AllocSiteSpec`].
+    New {
+        /// The class to instantiate.
+        class: ClassId,
+        /// Constructor arguments (empty when no constructor declared).
+        args: Vec<IrExpr>,
+        /// Dispatch site, if the object participates in task dispatch.
+        site: Option<AllocSiteId>,
+    },
+    /// Allocate an array of `len` default-initialized elements.
+    NewArray {
+        /// Element type (determines the default element value).
+        elem: Type,
+        /// Length.
+        len: Box<IrExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<IrExpr>,
+    },
+    /// Binary operation (operands have identical checked types; `&&`/`||`
+    /// short-circuit).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<IrExpr>,
+        /// Right operand.
+        rhs: Box<IrExpr>,
+    },
+}
+
+/// Builtin functions callable without a receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `print(String)` — write to stdout.
+    Print,
+    /// `println(String)` — write a line to stdout.
+    Println,
+    /// `itoa(int) -> String`.
+    Itoa,
+    /// `ftoa(float) -> String`.
+    Ftoa,
+    /// `itof(int) -> float`.
+    Itof,
+    /// `ftoi(float) -> int` (truncating).
+    Ftoi,
+    /// `len(array|String) -> int`.
+    Len,
+    /// `split(String, String) -> String[]` — split on a separator.
+    Split,
+    /// `substr(String, int, int) -> String` — byte range `[start, end)`.
+    Substr,
+    /// `parse_int(String) -> int` (0 on malformed input).
+    ParseInt,
+    /// `sqrt(float) -> float`.
+    Sqrt,
+    /// `sin(float) -> float`.
+    Sin,
+    /// `cos(float) -> float`.
+    Cos,
+    /// `exp(float) -> float`.
+    Exp,
+    /// `log(float) -> float` (natural).
+    Log,
+    /// `pow(float, float) -> float`.
+    Pow,
+    /// `floor(float) -> float`.
+    Floor,
+    /// `abs(int|float)` — same type as input.
+    Abs,
+    /// `min(a, b)` — both `int` or both `float`.
+    Min,
+    /// `max(a, b)` — both `int` or both `float`.
+    Max,
+}
+
+impl Builtin {
+    /// Returns the builtin named `name`, if any.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "print" => Builtin::Print,
+            "println" => Builtin::Println,
+            "itoa" => Builtin::Itoa,
+            "ftoa" => Builtin::Ftoa,
+            "itof" => Builtin::Itof,
+            "ftoi" => Builtin::Ftoi,
+            "len" => Builtin::Len,
+            "split" => Builtin::Split,
+            "substr" => Builtin::Substr,
+            "parse_int" => Builtin::ParseInt,
+            "sqrt" => Builtin::Sqrt,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "pow" => Builtin::Pow,
+            "floor" => Builtin::Floor,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            _ => return None,
+        })
+    }
+
+    /// Returns the number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Print
+            | Builtin::Println
+            | Builtin::Itoa
+            | Builtin::Ftoa
+            | Builtin::Itof
+            | Builtin::Ftoi
+            | Builtin::Len
+            | Builtin::ParseInt
+            | Builtin::Sqrt
+            | Builtin::Sin
+            | Builtin::Cos
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Floor
+            | Builtin::Abs => 1,
+            Builtin::Split | Builtin::Pow | Builtin::Min | Builtin::Max => 2,
+            Builtin::Substr => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup_and_arity() {
+        assert_eq!(Builtin::by_name("sqrt"), Some(Builtin::Sqrt));
+        assert_eq!(Builtin::by_name("nope"), None);
+        assert_eq!(Builtin::Substr.arity(), 3);
+        assert_eq!(Builtin::Len.arity(), 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Hand-written lexer for the Bamboo DSL.
+//!
+//! Supports `//` line comments and `/* ... */` block comments, decimal
+//! integer and float literals, and double-quoted string literals with
+//! `\n`, `\t`, `\\`, and `\"` escapes.
+
+use crate::span::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source` into a token list terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a diagnostic for unterminated comments/strings, bad escapes,
+/// malformed numbers, or characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(start.0 as u32, self.pos as u32, start.1, start.2)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+        let span = self.span_from(start);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn error(&self, start: (usize, u32, u32), msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(self.span_from(start), msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        while let Some(b) = self.peek() {
+            let start = self.here();
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(self.error(start, "unterminated block comment")),
+                        }
+                    }
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'0'..=b'9' => self.number(start)?,
+                b'"' => self.string(start)?,
+                _ => self.operator(start)?,
+            }
+        }
+        let start = self.here();
+        self.push(TokenKind::Eof, start);
+        Ok(self.tokens)
+    }
+
+    fn ident(&mut self, start: (usize, u32, u32)) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[start.0..self.pos]).expect("ascii idents");
+        let kind = TokenKind::keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+        self.push(kind, start);
+    }
+
+    fn number(&mut self, start: (usize, u32, u32)) -> Result<(), Diagnostic> {
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                // A `.` begins a fraction only when followed by a digit, so
+                // `1.foo()` still lexes as int, dot, ident.
+                b'.' if !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E' if is_float => {
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start.0..self.pos]).expect("ascii digits");
+        let kind = if is_float {
+            TokenKind::FloatLit(
+                text.parse().map_err(|_| self.error(start, format!("malformed float `{text}`")))?,
+            )
+        } else {
+            TokenKind::IntLit(
+                text.parse().map_err(|_| self.error(start, format!("malformed integer `{text}`")))?,
+            )
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+
+    fn string(&mut self, start: (usize, u32, u32)) -> Result<(), Diagnostic> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => value.push('\n'),
+                    Some(b't') => value.push('\t'),
+                    Some(b'\\') => value.push('\\'),
+                    Some(b'"') => value.push('"'),
+                    _ => return Err(self.error(start, "invalid escape sequence")),
+                },
+                Some(c) => value.push(c as char),
+                None => return Err(self.error(start, "unterminated string literal")),
+            }
+        }
+        self.push(TokenKind::StrLit(value), start);
+        Ok(())
+    }
+
+    fn operator(&mut self, start: (usize, u32, u32)) -> Result<(), Diagnostic> {
+        let b = self.bump().expect("caller checked peek");
+        let two = |lexer: &mut Self, next: u8, long: TokenKind, short: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                long
+            } else {
+                short
+            }
+        };
+        let kind = match b {
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b':' => two(self, b'=', TokenKind::ColonEq, TokenKind::Colon),
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Eq),
+            b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Bang),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AmpAmp
+                } else {
+                    return Err(self.error(start, "expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::PipePipe
+                } else {
+                    return Err(self.error(start, "expected `||`"));
+                }
+            }
+            other => {
+                return Err(self.error(start, format!("unexpected character `{}`", other as char)))
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_task_declaration() {
+        let got = kinds("task startup(StartupObject s in initialstate)");
+        assert_eq!(
+            got,
+            vec![
+                T::Task,
+                T::Ident("startup".into()),
+                T::LParen,
+                T::Ident("StartupObject".into()),
+                T::Ident("s".into()),
+                T::In,
+                T::Ident("initialstate".into()),
+                T::RParen,
+                T::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_colon_eq_vs_colon() {
+        assert_eq!(kinds(": :="), vec![T::Colon, T::ColonEq, T::Eof]);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.25 1.5e3 1.5e-2"),
+            vec![
+                T::IntLit(42),
+                T::FloatLit(3.25),
+                T::FloatLit(1500.0),
+                T::FloatLit(0.015),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_followed_by_method_call_keeps_dot() {
+        assert_eq!(
+            kinds("1.foo"),
+            vec![T::IntLit(1), T::Dot, T::Ident("foo".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![T::StrLit("a\nb\"c".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n/* block\n comment */ b"),
+            vec![T::Ident("a".into()), T::Ident("b".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= == != ! && ||"),
+            vec![T::Lt, T::Le, T::Gt, T::Ge, T::EqEq, T::NotEq, T::Bang, T::AmpAmp, T::PipePipe, T::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* no end").is_err());
+    }
+
+    #[test]
+    fn stray_ampersand_is_error() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+}

@@ -1,0 +1,1082 @@
+//! Recursive-descent parser for the Bamboo DSL.
+//!
+//! Implements the task grammar of the paper's Figure 5 (tasks, guards,
+//! `taskexit`, tags, stateful `new`) over a Java-like imperative subset
+//! (classes, fields, methods, constructors, the usual statements and
+//! expressions).
+
+use crate::ast::*;
+use crate::span::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into a
+/// [`Unit`].
+///
+/// # Errors
+///
+/// Returns a diagnostic describing the first syntax error encountered.
+/// Use [`parse_recovering`] to collect multiple errors.
+pub fn parse(tokens: Vec<Token>) -> Result<Unit, Diagnostic> {
+    let (unit, mut diags) = parse_recovering(tokens);
+    match diags.is_empty() {
+        true => Ok(unit),
+        false => Err(diags.remove(0)),
+    }
+}
+
+/// Parses with error recovery: on a syntax error inside a statement the
+/// parser records the diagnostic and skips to the next statement
+/// boundary (`;` or `}`); on an error in a top-level declaration it skips
+/// to the next `class`/`tagtype`/`task` keyword. Returns everything it
+/// managed to parse plus all diagnostics, so one compile reports many
+/// errors.
+pub fn parse_recovering(tokens: Vec<Token>) -> (Unit, Vec<Diagnostic>) {
+    let mut parser = Parser { tokens, pos: 0, diags: Vec::new() };
+    let unit = parser.unit_recovering();
+    (unit, parser.diags)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+}
+
+type PResult<T> = Result<T, Diagnostic>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> PResult<Span> {
+        if self.peek() == &kind {
+            let span = self.span();
+            self.bump();
+            Ok(span)
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> PResult<(String, Span)> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Ident(name) => Ok((name, span)),
+            other => Err(Diagnostic::new(span, format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(self.span(), msg)
+    }
+
+    /// Skips tokens until just past the next statement boundary: a `;`
+    /// (consumed) or a `}` (left in place for the enclosing block).
+    fn synchronize_statement(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until the next top-level declaration keyword.
+    fn synchronize_top_level(&mut self) {
+        loop {
+            match self.peek() {
+                TokenKind::Eof
+                | TokenKind::Class
+                | TokenKind::TagType
+                | TokenKind::Task => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    fn unit_recovering(&mut self) -> Unit {
+        let mut unit = Unit::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Class => match self.class_decl() {
+                    Ok(class) => unit.classes.push(class),
+                    Err(diag) => {
+                        self.diags.push(diag);
+                        self.synchronize_top_level();
+                    }
+                },
+                TokenKind::TagType => match self.tag_type_decl() {
+                    Ok(tt) => unit.tag_types.push(tt),
+                    Err(diag) => {
+                        self.diags.push(diag);
+                        self.synchronize_top_level();
+                    }
+                },
+                TokenKind::Task => match self.task_decl() {
+                    Ok(task) => unit.tasks.push(task),
+                    Err(diag) => {
+                        self.diags.push(diag);
+                        self.synchronize_top_level();
+                    }
+                },
+                other => {
+                    self.diags.push(self.error(format!(
+                        "expected `class`, `tagtype`, or `task` at top level, found {other}"
+                    )));
+                    self.bump();
+                    self.synchronize_top_level();
+                }
+            }
+        }
+        unit
+    }
+
+    fn tag_type_decl(&mut self) -> PResult<TagTypeDecl> {
+        let start = self.expect(TokenKind::TagType)?;
+        let (name, _) = self.expect_ident("tag type name")?;
+        self.expect(TokenKind::Semi)?;
+        Ok(TagTypeDecl { name, span: start })
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let start = self.expect(TokenKind::Class)?;
+        let (name, _) = self.expect_ident("class name")?;
+        self.expect(TokenKind::LBrace)?;
+        let mut decl = ClassDecl {
+            name: name.clone(),
+            flags: Vec::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+            span: start,
+        };
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Flag {
+                self.bump();
+                let (fname, fspan) = self.expect_ident("flag name")?;
+                self.expect(TokenKind::Semi)?;
+                decl.flags.push((fname, fspan));
+                continue;
+            }
+            // Constructor: `ClassName (` .
+            if let TokenKind::Ident(id) = self.peek() {
+                if id == &name && self.peek_at(1) == &TokenKind::LParen {
+                    let span = self.span();
+                    self.bump();
+                    let params = self.method_params()?;
+                    let body = self.block()?;
+                    decl.methods.push(MethodDecl {
+                        ret: TypeExpr::Void,
+                        name: name.clone(),
+                        params,
+                        body,
+                        is_ctor: true,
+                        span,
+                    });
+                    continue;
+                }
+            }
+            // Field or method: `type name ;` vs `type name (`.
+            let ty = self.type_expr()?;
+            let (mname, mspan) = self.expect_ident("member name")?;
+            if self.peek() == &TokenKind::LParen {
+                let params = self.method_params()?;
+                let body = self.block()?;
+                decl.methods.push(MethodDecl {
+                    ret: ty,
+                    name: mname,
+                    params,
+                    body,
+                    is_ctor: false,
+                    span: mspan,
+                });
+            } else {
+                self.expect(TokenKind::Semi)?;
+                decl.fields.push(FieldDecl { ty, name: mname, span: mspan });
+            }
+        }
+        Ok(decl)
+    }
+
+    fn method_params(&mut self) -> PResult<Vec<(TypeExpr, String)>> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.type_expr()?;
+                let (name, _) = self.expect_ident("parameter name")?;
+                params.push((ty, name));
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        Ok(params)
+    }
+
+    fn type_expr(&mut self) -> PResult<TypeExpr> {
+        let mut ty = match self.bump() {
+            TokenKind::KwInt => TypeExpr::Int,
+            TokenKind::KwFloat => TypeExpr::Float,
+            TokenKind::KwBoolean => TypeExpr::Bool,
+            TokenKind::KwString => TypeExpr::Str,
+            TokenKind::KwVoid => TypeExpr::Void,
+            TokenKind::Ident(name) => TypeExpr::Named(name),
+            other => {
+                return Err(Diagnostic::new(
+                    self.prev_span(),
+                    format!("expected type, found {other}"),
+                ))
+            }
+        };
+        while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            ty = TypeExpr::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn task_decl(&mut self) -> PResult<TaskDecl> {
+        let start = self.expect(TokenKind::Task)?;
+        let (name, _) = self.expect_ident("task name")?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.task_param()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(TaskDecl { name, params, body, span: start })
+    }
+
+    fn task_param(&mut self) -> PResult<TaskParamDecl> {
+        let (class, span) = self.expect_ident("parameter class name")?;
+        let (name, _) = self.expect_ident("parameter name")?;
+        self.expect(TokenKind::In)?;
+        let guard = self.flag_or_expr()?;
+        let mut tags = Vec::new();
+        if self.eat(&TokenKind::With) {
+            loop {
+                let (tag_type, _) = self.expect_ident("tag type")?;
+                let (tag_var, _) = self.expect_ident("tag variable")?;
+                tags.push((tag_type, tag_var));
+                if !self.eat(&TokenKind::And) {
+                    break;
+                }
+            }
+        }
+        Ok(TaskParamDecl { class, name, guard, tags, span })
+    }
+
+    // flagexp := and-level (or and-level)*
+    fn flag_or_expr(&mut self) -> PResult<FlagExprAst> {
+        let mut lhs = self.flag_and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.flag_and_expr()?;
+            lhs = FlagExprAst::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn flag_and_expr(&mut self) -> PResult<FlagExprAst> {
+        let mut lhs = self.flag_unary_expr()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.flag_unary_expr()?;
+            lhs = FlagExprAst::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn flag_unary_expr(&mut self) -> PResult<FlagExprAst> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(FlagExprAst::Not(Box::new(self.flag_unary_expr()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.flag_or_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(FlagExprAst::Const(true, span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(FlagExprAst::Const(false, span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(FlagExprAst::Flag(name, span))
+            }
+            other => Err(self.error(format!("expected flag expression, found {other}"))),
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn block(&mut self) -> PResult<Block> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unexpected end of input inside a block"));
+            }
+            match self.stmt() {
+                Ok(stmt) => stmts.push(stmt),
+                Err(diag) => {
+                    // Record and resynchronize at the next statement.
+                    self.diags.push(diag);
+                    self.synchronize_statement();
+                }
+            }
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                self.bump();
+                let value =
+                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Break(span))
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Continue(span))
+            }
+            TokenKind::TaskExit => self.taskexit_stmt(),
+            TokenKind::Tag => self.new_tag_stmt(),
+            _ => {
+                let stmt = self.simple_stmt()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_blk = self.branch_body()?;
+        let else_blk = if self.eat(&TokenKind::Else) {
+            if self.peek() == &TokenKind::If {
+                let nested = self.if_stmt()?;
+                Some(Block { stmts: vec![nested] })
+            } else {
+                Some(self.branch_body()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_blk, else_blk, span })
+    }
+
+    /// A branch body: either a block or a single statement.
+    fn branch_body(&mut self) -> PResult<Block> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            let stmt = self.stmt()?;
+            Ok(Block { stmts: vec![stmt] })
+        }
+    }
+
+    fn for_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.expect(TokenKind::For)?;
+        self.expect(TokenKind::LParen)?;
+        let init = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(TokenKind::Semi)?;
+        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+        self.expect(TokenKind::Semi)?;
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For { init, cond, step, body, span })
+    }
+
+    fn taskexit_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.expect(TokenKind::TaskExit)?;
+        self.expect(TokenKind::LParen)?;
+        let mut actions = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let (param, _) = self.expect_ident("parameter name")?;
+                self.expect(TokenKind::Colon)?;
+                let mut list = Vec::new();
+                loop {
+                    list.push(self.flag_or_tag_action()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                actions.push((param, list));
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::TaskExit { actions, span })
+    }
+
+    fn flag_or_tag_action(&mut self) -> PResult<FlagOrTagActionAst> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Add => {
+                let (var, _) = self.expect_ident("tag variable")?;
+                Ok(FlagOrTagActionAst::AddTag(var, span))
+            }
+            TokenKind::Clear => {
+                let (var, _) = self.expect_ident("tag variable")?;
+                Ok(FlagOrTagActionAst::ClearTag(var, span))
+            }
+            TokenKind::Ident(flag) => {
+                self.expect(TokenKind::ColonEq)?;
+                let value = match self.bump() {
+                    TokenKind::True => true,
+                    TokenKind::False => false,
+                    other => {
+                        return Err(Diagnostic::new(
+                            self.prev_span(),
+                            format!("expected `true` or `false`, found {other}"),
+                        ))
+                    }
+                };
+                Ok(FlagOrTagActionAst::SetFlag(flag, value, span))
+            }
+            other => Err(Diagnostic::new(
+                span,
+                format!("expected flag assignment or tag action, found {other}"),
+            )),
+        }
+    }
+
+    fn new_tag_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.expect(TokenKind::Tag)?;
+        let (var, _) = self.expect_ident("tag variable name")?;
+        self.expect(TokenKind::Eq)?;
+        self.expect(TokenKind::New)?;
+        self.expect(TokenKind::Tag)?;
+        self.expect(TokenKind::LParen)?;
+        let (tag_type, _) = self.expect_ident("tag type")?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::NewTag { var, tag_type, span })
+    }
+
+    /// A statement without its trailing `;`: local declaration, assignment,
+    /// or expression.
+    fn simple_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.span();
+        if self.starts_local_decl() {
+            let ty = self.type_expr()?;
+            let (name, _) = self.expect_ident("variable name")?;
+            let init = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Local { ty, name, init, span });
+        }
+        let lhs = self.expr()?;
+        if self.eat(&TokenKind::Eq) {
+            let rhs = self.expr()?;
+            Ok(Stmt::Assign { lhs, rhs, span })
+        } else {
+            Ok(Stmt::Expr(lhs))
+        }
+    }
+
+    /// Lookahead: does the upcoming input start a local variable
+    /// declaration (`type name ...`)?
+    fn starts_local_decl(&self) -> bool {
+        let mut off = match self.peek() {
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwBoolean | TokenKind::KwString => 1,
+            TokenKind::Ident(_) => 1,
+            _ => return false,
+        };
+        // Skip `[]` pairs belonging to an array type.
+        while self.peek_at(off) == &TokenKind::LBracket && self.peek_at(off + 1) == &TokenKind::RBracket
+        {
+            off += 2;
+        }
+        matches!(self.peek_at(off), TokenKind::Ident(_))
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn binary_level(
+        &mut self,
+        next: fn(&mut Self) -> PResult<Expr>,
+        ops: &[(TokenKind, BinOp)],
+    ) -> PResult<Expr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span().to(rhs.span());
+                    lhs = Expr::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        self.binary_level(Self::and_expr, &[(TokenKind::PipePipe, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        self.binary_level(Self::equality_expr, &[(TokenKind::AmpAmp, BinOp::And)])
+    }
+
+    fn equality_expr(&mut self) -> PResult<Expr> {
+        self.binary_level(
+            Self::relational_expr,
+            &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::NotEq, BinOp::Ne)],
+        )
+    }
+
+    fn relational_expr(&mut self) -> PResult<Expr> {
+        self.binary_level(
+            Self::additive_expr,
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn additive_expr(&mut self) -> PResult<Expr> {
+        self.binary_level(
+            Self::term_expr,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn term_expr(&mut self) -> PResult<Expr> {
+        self.binary_level(
+            Self::unary_expr,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Bang => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr), span })
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr), span })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            let span = self.span();
+            if self.eat(&TokenKind::Dot) {
+                let (name, _) = self.expect_ident("member name")?;
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.call_args()?;
+                    expr = Expr::Call { recv: Some(Box::new(expr)), name, args, span };
+                } else {
+                    expr = Expr::Field { obj: Box::new(expr), name, span };
+                }
+            } else if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                expr = Expr::Index { arr: Box::new(expr), idx: Box::new(idx), span };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let span = self.span();
+        // Peek before consuming: on error the offending token stays put,
+        // so statement-level recovery resynchronizes at the right place.
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v, span))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v, span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::BoolLit(true, span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::BoolLit(false, span))
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Ok(Expr::StrLit(s, span))
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr::This(span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::New => {
+                self.bump();
+                self.new_expr(span)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call { recv: None, name, args, span })
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            other => {
+                Err(Diagnostic::new(span, format!("expected expression, found {other}")))
+            }
+        }
+    }
+
+    fn new_expr(&mut self, span: Span) -> PResult<Expr> {
+        // Base type.
+        let base = match self.bump() {
+            TokenKind::KwInt => TypeExpr::Int,
+            TokenKind::KwFloat => TypeExpr::Float,
+            TokenKind::KwBoolean => TypeExpr::Bool,
+            TokenKind::KwString => TypeExpr::Str,
+            TokenKind::Ident(name) => TypeExpr::Named(name),
+            other => {
+                return Err(Diagnostic::new(
+                    self.prev_span(),
+                    format!("expected type after `new`, found {other}"),
+                ))
+            }
+        };
+        // `[]` pairs extend the element type; `[len]` ends an array
+        // allocation.
+        let mut elem = base;
+        while self.peek() == &TokenKind::LBracket {
+            if self.peek_at(1) == &TokenKind::RBracket {
+                self.bump();
+                self.bump();
+                elem = TypeExpr::Array(Box::new(elem));
+            } else {
+                self.bump();
+                let len = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                return Ok(Expr::NewArray { elem, len: Box::new(len), span });
+            }
+        }
+        let class = match elem {
+            TypeExpr::Named(name) => name,
+            other => {
+                return Err(Diagnostic::new(
+                    span,
+                    format!("cannot instantiate non-class type {other:?} with `new`"),
+                ))
+            }
+        };
+        let args = self.call_args()?;
+        let mut state = Vec::new();
+        if self.eat(&TokenKind::LBrace) && !self.eat(&TokenKind::RBrace) {
+            loop {
+                state.push(self.flag_or_tag_action()?);
+                if self.eat(&TokenKind::RBrace) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        Ok(Expr::New { class, args, state, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_class_with_flags_fields_methods() {
+        let unit = parse_src(
+            r#"class Text {
+                flag process;
+                flag submit;
+                int count;
+                String data;
+                Text(String d) { this.data = d; }
+                int size() { return this.count; }
+            }"#,
+        );
+        let class = &unit.classes[0];
+        assert_eq!(class.name, "Text");
+        assert_eq!(class.flags.len(), 2);
+        assert_eq!(class.fields.len(), 2);
+        assert_eq!(class.methods.len(), 2);
+        assert!(class.methods[0].is_ctor);
+        assert!(!class.methods[1].is_ctor);
+    }
+
+    #[test]
+    fn parses_task_with_guard_and_taskexit() {
+        let unit = parse_src(
+            r#"task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+                taskexit(rp: finished := true; tp: submit := false);
+            }"#,
+        );
+        let task = &unit.tasks[0];
+        assert_eq!(task.params.len(), 2);
+        assert!(matches!(task.params[0].guard, FlagExprAst::Not(_)));
+        match &task.body.stmts[0] {
+            Stmt::TaskExit { actions, .. } => {
+                assert_eq!(actions.len(), 2);
+                assert_eq!(actions[0].0, "rp");
+            }
+            other => panic!("expected taskexit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_with_tags() {
+        let unit = parse_src(
+            r#"task finishsave(Drawing d in saving with link t, Image i in compressed with link t) {
+                taskexit(d: saving := false, clear t);
+            }"#,
+        );
+        let task = &unit.tasks[0];
+        assert_eq!(task.params[0].tags, vec![("link".to_string(), "t".to_string())]);
+        assert_eq!(task.params[1].tags.len(), 1);
+    }
+
+    #[test]
+    fn parses_new_with_state() {
+        let unit = parse_src(
+            r#"task t(A a in x) {
+                B b = new B(1, 2){ ready := true, add tg };
+                taskexit(a: x := false);
+            }"#,
+        );
+        match &unit.tasks[0].body.stmts[0] {
+            Stmt::Local { init: Some(Expr::New { class, args, state, .. }), .. } => {
+                assert_eq!(class, "B");
+                assert_eq!(args.len(), 2);
+                assert_eq!(state.len(), 2);
+            }
+            other => panic!("expected local with new, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_new_tag_statement() {
+        let unit = parse_src(
+            r#"task t(A a in x) {
+                tag tg = new tag(link);
+                taskexit(a: x := false, add tg);
+            }"#,
+        );
+        assert!(matches!(&unit.tasks[0].body.stmts[0], Stmt::NewTag { var, tag_type, .. }
+            if var == "tg" && tag_type == "link"));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let unit = parse_src(
+            r#"task t(A a in x) {
+                int total = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { total = total + i; } else { total = total - 1; }
+                }
+                while (total > 0) { total = total - 3; break; }
+                taskexit(a: x := false);
+            }"#,
+        );
+        assert_eq!(unit.tasks[0].body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let unit = parse_src(
+            r#"task t(A a in x) {
+                int v = 0;
+                if (v == 0) { v = 1; } else if (v == 1) { v = 2; } else { v = 3; }
+                taskexit(a: x := false);
+            }"#,
+        );
+        match &unit.tasks[0].body.stmts[1] {
+            Stmt::If { else_blk: Some(b), .. } => {
+                assert!(matches!(&b.stmts[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_types_and_allocation() {
+        let unit = parse_src(
+            r#"task t(A a in x) {
+                float[] xs = new float[10];
+                float[][] grid = new float[][4];
+                grid[0] = xs;
+                xs[1] = 2.5;
+                taskexit(a: x := false);
+            }"#,
+        );
+        assert_eq!(unit.tasks[0].body.stmts.len(), 5);
+        match &unit.tasks[0].body.stmts[1] {
+            Stmt::Local { ty: TypeExpr::Array(inner), init: Some(Expr::NewArray { elem, .. }), .. } => {
+                assert!(matches!(**inner, TypeExpr::Array(_)));
+                assert!(matches!(elem, TypeExpr::Array(_)));
+            }
+            other => panic!("expected array local, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_binds_mul_tighter() {
+        let unit = parse_src(
+            r#"task t(A a in x) { int v = 1 + 2 * 3; taskexit(a: x := false); }"#,
+        );
+        match &unit.tasks[0].body.stmts[0] {
+            Stmt::Local { init: Some(Expr::Binary { op: BinOp::Add, rhs, .. }), .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_calls_and_builtins() {
+        let unit = parse_src(
+            r#"task t(A a in x) {
+                a.compute(1, 2);
+                print("hi");
+                int n = len(a.items);
+                taskexit(a: x := false);
+            }"#,
+        );
+        assert!(matches!(&unit.tasks[0].body.stmts[0], Stmt::Expr(Expr::Call { recv: Some(_), .. })));
+        assert!(matches!(&unit.tasks[0].body.stmts[1], Stmt::Expr(Expr::Call { recv: None, .. })));
+    }
+
+    #[test]
+    fn guard_or_and_parens() {
+        let unit = parse_src(
+            r#"task t(A a in (p or q) and !r) { taskexit(a: p := false); }"#,
+        );
+        assert!(matches!(unit.tasks[0].params[0].guard, FlagExprAst::And(..)));
+    }
+
+    #[test]
+    fn reports_syntax_error_with_location() {
+        let err = parse(lex("class {").unwrap()).unwrap_err();
+        assert!(err.message.contains("expected class name"));
+    }
+
+    #[test]
+    fn empty_taskexit_allowed() {
+        let unit = parse_src(r#"task t(A a in p) { taskexit(); }"#);
+        match &unit.tasks[0].body.stmts[0] {
+            Stmt::TaskExit { actions, .. } => assert!(actions.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn recovers_multiple_statement_errors_in_one_pass() {
+        let src = r#"
+            task t(A a in p) {
+                int x = ;
+                int y = 2;
+                int z = @;
+                taskexit(a: p := false);
+            }
+        "#;
+        // `@` does not lex; use a parsable-but-wrong token instead.
+        let src = src.replace('@', "taskexit");
+        let (unit, diags) = parse_recovering(lex(&src).unwrap());
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        // The good statements survived: y decl + final taskexit.
+        assert_eq!(unit.tasks.len(), 1);
+        assert!(unit.tasks[0].body.stmts.len() >= 2);
+    }
+
+    #[test]
+    fn recovers_across_top_level_declarations() {
+        let src = r#"
+            class Good { flag f; }
+            class { flag broken; }
+            task ok(Good g in f) { taskexit(g: f := false); }
+        "#;
+        let (unit, diags) = parse_recovering(lex(src).unwrap());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(unit.classes.len(), 1);
+        assert_eq!(unit.tasks.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_block_is_a_single_error() {
+        let src = "task t(A a in p) { int x = 1;";
+        let (_, diags) = parse_recovering(lex(src).unwrap());
+        assert!(!diags.is_empty());
+    }
+
+    #[test]
+    fn compile_source_reports_every_parse_error() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                int a = ;
+                int b = ;
+                taskexit(s: initialstate := false);
+            }
+        "#;
+        let err = crate::compile_source("multi", src).unwrap_err();
+        assert_eq!(err.diagnostics.len(), 2, "{err}");
+    }
+}

@@ -1,0 +1,412 @@
+//! AST pretty-printer: renders a parsed [`Unit`] back to Bamboo source.
+//!
+//! The output re-parses to a structurally identical AST (the round-trip
+//! property test in `tests/properties.rs` and this module's unit tests
+//! enforce it), which makes the printer useful for golden tests, program
+//! transformation tooling, and diagnostics.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole unit as Bamboo source.
+pub fn unit_to_source(unit: &Unit) -> String {
+    let mut out = String::new();
+    for tt in &unit.tag_types {
+        let _ = writeln!(out, "tagtype {};", tt.name);
+    }
+    for class in &unit.classes {
+        out.push_str(&class_to_source(class));
+        out.push('\n');
+    }
+    for task in &unit.tasks {
+        out.push_str(&task_to_source(task));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one class declaration.
+pub fn class_to_source(class: &ClassDecl) -> String {
+    let mut out = format!("class {} {{\n", class.name);
+    for (flag, _) in &class.flags {
+        let _ = writeln!(out, "    flag {flag};");
+    }
+    for field in &class.fields {
+        let _ = writeln!(out, "    {} {};", type_to_source(&field.ty), field.name);
+    }
+    for method in &class.methods {
+        let params: Vec<String> = method
+            .params
+            .iter()
+            .map(|(ty, name)| format!("{} {name}", type_to_source(ty)))
+            .collect();
+        if method.is_ctor {
+            let _ = writeln!(out, "    {}({}) {}", method.name, params.join(", "), block_to_source(&method.body, 1));
+        } else {
+            let _ = writeln!(
+                out,
+                "    {} {}({}) {}",
+                type_to_source(&method.ret),
+                method.name,
+                params.join(", "),
+                block_to_source(&method.body, 1)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one task declaration.
+pub fn task_to_source(task: &TaskDecl) -> String {
+    let params: Vec<String> = task
+        .params
+        .iter()
+        .map(|p| {
+            let mut s = format!("{} {} in {}", p.class, p.name, flag_expr_to_source(&p.guard));
+            if !p.tags.is_empty() {
+                let tags: Vec<String> =
+                    p.tags.iter().map(|(tt, var)| format!("{tt} {var}")).collect();
+                let _ = write!(s, " with {}", tags.join(" and "));
+            }
+            s
+        })
+        .collect();
+    format!(
+        "task {}({}) {}\n",
+        task.name,
+        params.join(", "),
+        block_to_source(&task.body, 0)
+    )
+}
+
+/// Renders a syntactic type.
+pub fn type_to_source(ty: &TypeExpr) -> String {
+    match ty {
+        TypeExpr::Int => "int".to_string(),
+        TypeExpr::Float => "float".to_string(),
+        TypeExpr::Bool => "boolean".to_string(),
+        TypeExpr::Str => "String".to_string(),
+        TypeExpr::Void => "void".to_string(),
+        TypeExpr::Named(name) => name.clone(),
+        TypeExpr::Array(elem) => format!("{}[]", type_to_source(elem)),
+    }
+}
+
+/// Renders a flag guard expression (fully parenthesized, so precedence
+/// round-trips).
+pub fn flag_expr_to_source(expr: &FlagExprAst) -> String {
+    match expr {
+        FlagExprAst::Flag(name, _) => name.clone(),
+        FlagExprAst::Const(true, _) => "true".to_string(),
+        FlagExprAst::Const(false, _) => "false".to_string(),
+        FlagExprAst::Not(inner) => format!("!({})", flag_expr_to_source(inner)),
+        FlagExprAst::And(a, b) => {
+            format!("({} and {})", flag_expr_to_source(a), flag_expr_to_source(b))
+        }
+        FlagExprAst::Or(a, b) => {
+            format!("({} or {})", flag_expr_to_source(a), flag_expr_to_source(b))
+        }
+    }
+}
+
+fn indent(depth: usize) -> String {
+    "    ".repeat(depth)
+}
+
+fn block_to_source(block: &Block, depth: usize) -> String {
+    let mut out = String::from("{\n");
+    for stmt in &block.stmts {
+        out.push_str(&stmt_to_source(stmt, depth + 1));
+    }
+    let _ = write!(out, "{}}}", indent(depth));
+    out
+}
+
+fn stmt_to_source(stmt: &Stmt, depth: usize) -> String {
+    let pad = indent(depth);
+    match stmt {
+        Stmt::Local { ty, name, init, .. } => match init {
+            Some(init) => format!(
+                "{pad}{} {name} = {};\n",
+                type_to_source(ty),
+                expr_to_source(init)
+            ),
+            None => format!("{pad}{} {name};\n", type_to_source(ty)),
+        },
+        Stmt::Assign { lhs, rhs, .. } => {
+            format!("{pad}{} = {};\n", expr_to_source(lhs), expr_to_source(rhs))
+        }
+        Stmt::If { cond, then_blk, else_blk, .. } => {
+            let mut out = format!(
+                "{pad}if ({}) {}",
+                expr_to_source(cond),
+                block_to_source(then_blk, depth)
+            );
+            if let Some(else_blk) = else_blk {
+                let _ = write!(out, " else {}", block_to_source(else_blk, depth));
+            }
+            out.push('\n');
+            out
+        }
+        Stmt::While { cond, body, .. } => {
+            format!(
+                "{pad}while ({}) {}\n",
+                expr_to_source(cond),
+                block_to_source(body, depth)
+            )
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            let simple = |s: &Option<Box<Stmt>>| match s {
+                Some(s) => {
+                    let rendered = stmt_to_source(s, 0);
+                    rendered.trim().trim_end_matches(';').to_string()
+                }
+                None => String::new(),
+            };
+            format!(
+                "{pad}for ({}; {}; {}) {}\n",
+                simple(init),
+                cond.as_ref().map(expr_to_source).unwrap_or_default(),
+                simple(step),
+                block_to_source(body, depth)
+            )
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => format!("{pad}return {};\n", expr_to_source(v)),
+            None => format!("{pad}return;\n"),
+        },
+        Stmt::Break(_) => format!("{pad}break;\n"),
+        Stmt::Continue(_) => format!("{pad}continue;\n"),
+        Stmt::TaskExit { actions, .. } => {
+            let groups: Vec<String> = actions
+                .iter()
+                .map(|(param, list)| {
+                    let acts: Vec<String> = list.iter().map(action_to_source).collect();
+                    format!("{param}: {}", acts.join(", "))
+                })
+                .collect();
+            format!("{pad}taskexit({});\n", groups.join("; "))
+        }
+        Stmt::NewTag { var, tag_type, .. } => {
+            format!("{pad}tag {var} = new tag({tag_type});\n")
+        }
+        Stmt::Expr(expr) => format!("{pad}{};\n", expr_to_source(expr)),
+        Stmt::Block(block) => format!("{pad}{}\n", block_to_source(block, depth)),
+    }
+}
+
+fn action_to_source(action: &FlagOrTagActionAst) -> String {
+    match action {
+        FlagOrTagActionAst::SetFlag(flag, value, _) => format!("{flag} := {value}"),
+        FlagOrTagActionAst::AddTag(var, _) => format!("add {var}"),
+        FlagOrTagActionAst::ClearTag(var, _) => format!("clear {var}"),
+    }
+}
+
+/// Renders an expression (fully parenthesized).
+pub fn expr_to_source(expr: &Expr) -> String {
+    match expr {
+        Expr::IntLit(v, _) => v.to_string(),
+        Expr::FloatLit(v, _) => {
+            let s = v.to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::BoolLit(v, _) => v.to_string(),
+        Expr::StrLit(s, _) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\t', "\\t")
+        ),
+        Expr::Var(name, _) => name.clone(),
+        Expr::This(_) => "this".to_string(),
+        Expr::Field { obj, name, .. } => format!("{}.{name}", expr_to_source(obj)),
+        Expr::Index { arr, idx, .. } => {
+            format!("{}[{}]", expr_to_source(arr), expr_to_source(idx))
+        }
+        Expr::Call { recv, name, args, .. } => {
+            let args: Vec<String> = args.iter().map(expr_to_source).collect();
+            match recv {
+                Some(recv) => format!("{}.{name}({})", expr_to_source(recv), args.join(", ")),
+                None => format!("{name}({})", args.join(", ")),
+            }
+        }
+        Expr::New { class, args, state, .. } => {
+            let args: Vec<String> = args.iter().map(expr_to_source).collect();
+            let mut out = format!("new {class}({})", args.join(", "));
+            if !state.is_empty() {
+                let acts: Vec<String> = state.iter().map(action_to_source).collect();
+                let _ = write!(out, "{{ {} }}", acts.join(", "));
+            }
+            out
+        }
+        Expr::NewArray { elem, len, .. } => {
+            format!("new {}[{}]", type_to_source(elem), expr_to_source(len))
+        }
+        Expr::Unary { op, expr, .. } => {
+            let op = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{op}({})", expr_to_source(expr))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let op = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {op} {})", expr_to_source(lhs), expr_to_source(rhs))
+        }
+    }
+}
+
+/// Structural AST equality ignoring spans (the round-trip relation).
+pub fn units_equal_modulo_spans(a: &Unit, b: &Unit) -> bool {
+    // Cheapest faithful implementation: print both and compare — the
+    // printer is deterministic and span-free.
+    unit_to_source(a) == unit_to_source(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let unit = parse(lex(src).expect("lexes")).expect("parses");
+        let printed = unit_to_source(&unit);
+        let reparsed = parse(lex(&printed).unwrap_or_else(|e| panic!("relex {printed}: {e}")))
+            .unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert!(
+            units_equal_modulo_spans(&unit, &reparsed),
+            "round trip diverged:\n--- first print ---\n{printed}\n--- second print ---\n{}",
+            unit_to_source(&reparsed)
+        );
+    }
+
+    #[test]
+    fn keyword_counting_round_trips() {
+        round_trip(
+            r#"
+            class StartupObject { flag initialstate; }
+            class Text {
+                flag process; flag submit;
+                String section; int count;
+                Text(String s) { this.section = s; }
+                void process() {
+                    String[] words = split(this.section, " ");
+                    int n = 0;
+                    for (int i = 0; i < len(words); i = i + 1) {
+                        if (words[i] == "x") { n = n + 1; }
+                    }
+                    this.count = n;
+                }
+            }
+            task startup(StartupObject s in initialstate) {
+                Text tp = new Text("x y x"){ process := true };
+                taskexit(s: initialstate := false);
+            }
+            task processText(Text tp in process) {
+                tp.process();
+                taskexit(tp: process := false, submit := true);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn tags_and_guards_round_trip() {
+        round_trip(
+            r#"
+            tagtype link;
+            class StartupObject { flag initialstate; }
+            class D { flag saving; }
+            class I { flag raw; flag compressed; }
+            task startup(StartupObject s in initialstate) {
+                tag t = new tag(link);
+                D d = new D(){ saving := true, add t };
+                I i = new I(){ raw := true, add t };
+                taskexit(s: initialstate := false);
+            }
+            task fin(D d in saving with link t, I i in (compressed or raw) and !saving with link t) {
+                taskexit(d: saving := false, clear t; i: compressed := false);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn expressions_and_control_flow_round_trip() {
+        round_trip(
+            r#"
+            class StartupObject { flag initialstate; }
+            class C {
+                int x; float y; boolean b; int[] xs;
+                int m(int a, float f) {
+                    while (a > 0) {
+                        a = a - 1;
+                        if (a % 3 == 0) { continue; }
+                        if (a == 1) { break; }
+                    }
+                    this.y = -f * 2.5 + sqrt(4.0);
+                    this.b = !(a < 5) || this.x >= 2 && true;
+                    this.xs = new int[10];
+                    this.xs[0] = this.xs[1] + a;
+                    return a;
+                }
+            }
+            task startup(StartupObject s in initialstate) {
+                C c = new C();
+                int r = c.m(9, 1.5);
+                taskexit(s: initialstate := false);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn printed_source_recompiles() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            class W { flag ready; int v; W(int v) { this.v = v; } }
+            task startup(StartupObject s in initialstate) {
+                W w = new W(3){ ready := true };
+                taskexit(s: initialstate := false);
+            }
+            task run(W w in ready) { w.v = w.v * 2; taskexit(w: ready := false); }
+        "#;
+        let unit = parse(lex(src).expect("lexes")).expect("parses");
+        let printed = unit_to_source(&unit);
+        let compiled = crate::compile_source("printed", &printed).expect("recompiles");
+        assert_eq!(compiled.spec.tasks.len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        round_trip(
+            r#"
+            class StartupObject { flag initialstate; }
+            task startup(StartupObject s in initialstate) {
+                String x = "a\"b\\c\nd\te";
+                println(x);
+                taskexit(s: initialstate := false);
+            }
+            "#,
+        );
+    }
+}

@@ -1,0 +1,1381 @@
+//! Name resolution, type checking, and IR lowering.
+//!
+//! Turns a parsed [`Unit`](crate::ast::Unit) into a
+//! [`crate::CompiledProgram`]: a
+//! [`ProgramSpec`] (classes, flags, tag types, tasks with guards, exits,
+//! and allocation sites) plus typed IR bodies for every task and method.
+//!
+//! ## Subset rules enforced here
+//!
+//! - Tasks and methods may only access their parameters and objects
+//!   reachable from them; there are no global variables (the grammar has no
+//!   way to name one, so this holds by construction).
+//! - `taskexit` may appear only in task bodies; `return` only in methods.
+//! - Objects of *task-parameter classes* (classes that appear as some
+//!   task's parameter) may be allocated only inside task bodies, where the
+//!   allocation is registered as a dispatch site. Other classes are plain
+//!   data and may be allocated anywhere.
+//! - The program must declare a `StartupObject` class with an
+//!   `initialstate` flag.
+
+use crate::ast::{self, BinOp, Block, Expr, FlagExprAst, FlagOrTagActionAst, Stmt, TypeExpr, UnOp};
+use crate::ids::{AllocSiteId, ClassId, ExitId, ParamIdx, TagTypeId, TagVarId};
+use crate::ir::{Builtin, IrBody, IrClass, IrExpr, IrField, IrMethod, IrPlace, IrProgram, IrStmt};
+use crate::span::{CompileError, Diagnostic, Span};
+use crate::spec::{
+    AllocSiteSpec, ClassSpec, ExitSpec, FlagExpr, FlagOrTagAction, ParamSpec, ProgramSpec,
+    StartupSpec, TagConstraint, TagTypeSpec, TagVarSpec, TaskSpec,
+};
+use crate::types::Type;
+use crate::CompiledProgram;
+use std::collections::{HashMap, HashSet};
+
+/// Resolves and type-checks a parsed unit.
+///
+/// # Errors
+///
+/// Returns every semantic diagnostic found (unknown names, type
+/// mismatches, misplaced statements, missing startup class, ...).
+pub fn resolve(name: &str, unit: &ast::Unit) -> Result<CompiledProgram, CompileError> {
+    let mut r = Resolver::new(unit);
+    r.collect_declarations();
+    r.lower_methods();
+    r.lower_tasks();
+    r.finish(name)
+}
+
+/// Signature of a method as seen by callers.
+#[derive(Clone, Debug)]
+struct MethodSig {
+    params: Vec<Type>,
+    ret: Type,
+}
+
+struct ClassTable {
+    /// field name -> (index, type)
+    fields: HashMap<String, (u32, Type)>,
+    /// method name -> (index, signature); the constructor is stored under
+    /// the class name.
+    methods: HashMap<String, (u32, MethodSig)>,
+}
+
+struct Resolver<'a> {
+    unit: &'a ast::Unit,
+    diags: Vec<Diagnostic>,
+    class_ids: HashMap<String, ClassId>,
+    tag_type_ids: HashMap<String, TagTypeId>,
+    classes: Vec<ClassSpec>,
+    tables: Vec<ClassTable>,
+    ir_classes: Vec<IrClass>,
+    /// Classes that appear as a task parameter (dispatchable classes).
+    param_classes: HashSet<ClassId>,
+    tasks: Vec<TaskSpec>,
+    task_bodies: Vec<IrBody>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(unit: &'a ast::Unit) -> Self {
+        Resolver {
+            unit,
+            diags: Vec::new(),
+            class_ids: HashMap::new(),
+            tag_type_ids: HashMap::new(),
+            classes: Vec::new(),
+            tables: Vec::new(),
+            ir_classes: Vec::new(),
+            param_classes: HashSet::new(),
+            tasks: Vec::new(),
+            task_bodies: Vec::new(),
+        }
+    }
+
+    fn err(&mut self, span: Span, msg: impl Into<String>) {
+        self.diags.push(Diagnostic::new(span, msg));
+    }
+
+    // ---- phase A: declaration collection -------------------------------
+
+    fn collect_declarations(&mut self) {
+        for (i, class) in self.unit.classes.iter().enumerate() {
+            let id = ClassId::new(i);
+            if self.class_ids.insert(class.name.clone(), id).is_some() {
+                self.err(class.span, format!("duplicate class `{}`", class.name));
+            }
+            let mut flags = Vec::new();
+            for (flag, span) in &class.flags {
+                if flags.contains(flag) {
+                    self.err(*span, format!("duplicate flag `{flag}`"));
+                } else {
+                    flags.push(flag.clone());
+                }
+            }
+            self.classes.push(ClassSpec { name: class.name.clone(), flags });
+        }
+        for (i, tt) in self.unit.tag_types.iter().enumerate() {
+            if self.tag_type_ids.insert(tt.name.clone(), TagTypeId::new(i)).is_some() {
+                self.err(tt.span, format!("duplicate tag type `{}`", tt.name));
+            }
+        }
+        // Field and method tables (types can now be resolved).
+        for class in &self.unit.classes {
+            let mut table =
+                ClassTable { fields: HashMap::new(), methods: HashMap::new() };
+            let mut ir = IrClass::default();
+            for field in &class.fields {
+                let ty = self.resolve_type(&field.ty, field.span);
+                if table
+                    .fields
+                    .insert(field.name.clone(), (ir.fields.len() as u32, ty.clone()))
+                    .is_some()
+                {
+                    self.err(field.span, format!("duplicate field `{}`", field.name));
+                }
+                ir.fields.push(IrField { name: field.name.clone(), ty });
+            }
+            for method in &class.methods {
+                let params: Vec<Type> =
+                    method.params.iter().map(|(t, _)| self.resolve_type(t, method.span)).collect();
+                let ret = if method.is_ctor {
+                    Type::Void
+                } else {
+                    self.resolve_type(&method.ret, method.span)
+                };
+                let idx = ir.methods.len() as u32;
+                if table
+                    .methods
+                    .insert(method.name.clone(), (idx, MethodSig { params, ret: ret.clone() }))
+                    .is_some()
+                {
+                    self.err(method.span, format!("duplicate method `{}`", method.name));
+                }
+                if method.is_ctor {
+                    ir.ctor = Some(idx as usize);
+                }
+                // Body lowered in phase B; placeholder for now.
+                ir.methods.push(IrMethod {
+                    name: method.name.clone(),
+                    n_params: method.params.len(),
+                    ret,
+                    body: IrBody::default(),
+                });
+            }
+            self.tables.push(table);
+            self.ir_classes.push(ir);
+        }
+        // Dispatchable classes.
+        for task in &self.unit.tasks {
+            for param in &task.params {
+                if let Some(&id) = self.class_ids.get(&param.class) {
+                    self.param_classes.insert(id);
+                }
+            }
+        }
+    }
+
+    fn resolve_type(&mut self, ty: &TypeExpr, span: Span) -> Type {
+        match ty {
+            TypeExpr::Int => Type::Int,
+            TypeExpr::Float => Type::Float,
+            TypeExpr::Bool => Type::Bool,
+            TypeExpr::Str => Type::Str,
+            TypeExpr::Void => Type::Void,
+            TypeExpr::Named(name) => match self.class_ids.get(name) {
+                Some(&id) => Type::Class(id),
+                None => {
+                    self.err(span, format!("unknown class `{name}`"));
+                    Type::Null
+                }
+            },
+            TypeExpr::Array(elem) => Type::Array(Box::new(self.resolve_type(elem, span))),
+        }
+    }
+
+    // ---- phase B: method bodies ----------------------------------------
+
+    fn lower_methods(&mut self) {
+        for (ci, class) in self.unit.classes.iter().enumerate() {
+            let class_id = ClassId::new(ci);
+            for (mi, method) in class.methods.iter().enumerate() {
+                let ret = self.ir_classes[ci].methods[mi].ret.clone();
+                let mut cx = BodyCx::for_method(self, class_id, method, ret);
+                let stmts = cx.lower_block(&method.body);
+                let n_slots = cx.slot_types.len();
+                let diags = std::mem::take(&mut cx.diags);
+                self.diags.extend(diags);
+                let body = &mut self.ir_classes[ci].methods[mi].body;
+                body.stmts = stmts;
+                body.n_slots = n_slots;
+            }
+        }
+    }
+
+    // ---- phase C: tasks -------------------------------------------------
+
+    fn lower_tasks(&mut self) {
+        let mut task_names = HashSet::new();
+        for task in &self.unit.tasks {
+            if !task_names.insert(task.name.clone()) {
+                self.err(task.span, format!("duplicate task `{}`", task.name));
+            }
+            let (spec, body) = self.lower_task(task);
+            self.tasks.push(spec);
+            self.task_bodies.push(body);
+        }
+    }
+
+    fn lower_task(&mut self, task: &ast::TaskDecl) -> (TaskSpec, IrBody) {
+        let mut params = Vec::new();
+        let mut tag_vars: Vec<TagVarSpec> = Vec::new();
+        let mut tag_scope: HashMap<String, TagVarId> = HashMap::new();
+        let mut seen_names = HashSet::new();
+        for p in &task.params {
+            if !seen_names.insert(p.name.clone()) {
+                self.err(p.span, format!("duplicate parameter `{}`", p.name));
+            }
+            let class = match self.class_ids.get(&p.class) {
+                Some(&id) => id,
+                None => {
+                    self.err(p.span, format!("unknown class `{}`", p.class));
+                    ClassId::new(0)
+                }
+            };
+            let guard = self.resolve_guard(&p.guard, class);
+            let mut tags = Vec::new();
+            for (tt_name, var_name) in &p.tags {
+                let tag_type = match self.tag_type_ids.get(tt_name) {
+                    Some(&id) => id,
+                    None => {
+                        self.err(p.span, format!("unknown tag type `{tt_name}`"));
+                        continue;
+                    }
+                };
+                let var = *tag_scope.entry(var_name.clone()).or_insert_with(|| {
+                    let id = TagVarId::new(tag_vars.len());
+                    tag_vars.push(TagVarSpec {
+                        name: var_name.clone(),
+                        tag_type,
+                        from_param: true,
+                    });
+                    id
+                });
+                if tag_vars[var.index()].tag_type != tag_type {
+                    self.err(
+                        p.span,
+                        format!("tag variable `{var_name}` bound with two different tag types"),
+                    );
+                }
+                tags.push(TagConstraint { tag_type, var });
+            }
+            params.push(ParamSpec { name: p.name.clone(), class, guard, tags });
+        }
+
+        let mut collect = TaskCollect {
+            name: task.name.clone(),
+            params,
+            exits: Vec::new(),
+            alloc_sites: Vec::new(),
+            tag_vars,
+            tag_scope,
+        };
+        let mut cx = BodyCx::for_task(self, &mut collect, task);
+        let mut stmts = cx.lower_block(&task.body);
+        let terminated = block_terminates(&stmts);
+        let n_slots = cx.slot_types.len();
+        let diags = std::mem::take(&mut cx.diags);
+        self.diags.extend(diags);
+        if !terminated {
+            // Control can fall off the end: give the task an implicit
+            // actionless exit so the runtime always observes a taskexit.
+            let exit = ExitId::new(collect.exits.len());
+            collect.exits.push(ExitSpec { label: "_implicit".to_string(), actions: Vec::new() });
+            stmts.push(IrStmt::TaskExit(exit));
+        }
+        let spec = TaskSpec {
+            name: collect.name,
+            params: collect.params,
+            exits: collect.exits,
+            alloc_sites: collect.alloc_sites,
+            tag_vars: collect.tag_vars,
+        };
+        let body = IrBody { n_slots, n_tag_slots: spec.tag_vars.len(), stmts };
+        (spec, body)
+    }
+
+    fn resolve_guard(&mut self, guard: &FlagExprAst, class: ClassId) -> FlagExpr {
+        match guard {
+            FlagExprAst::Flag(name, span) => {
+                match self.classes.get(class.index()).and_then(|c| c.flag_by_name(name)) {
+                    Some(flag) => FlagExpr::Flag(flag),
+                    None => {
+                        let class_name = self
+                            .classes
+                            .get(class.index())
+                            .map(|c| c.name.clone())
+                            .unwrap_or_default();
+                        self.err(
+                            *span,
+                            format!("class `{class_name}` has no flag `{name}`"),
+                        );
+                        FlagExpr::Const(false)
+                    }
+                }
+            }
+            FlagExprAst::Const(b, _) => FlagExpr::Const(*b),
+            FlagExprAst::Not(inner) => self.resolve_guard(inner, class).not(),
+            FlagExprAst::And(a, b) => {
+                self.resolve_guard(a, class).and(self.resolve_guard(b, class))
+            }
+            FlagExprAst::Or(a, b) => {
+                self.resolve_guard(a, class).or(self.resolve_guard(b, class))
+            }
+        }
+    }
+
+    // ---- finish ----------------------------------------------------------
+
+    fn finish(mut self, name: &str) -> Result<CompiledProgram, CompileError> {
+        let startup = match self.class_ids.get("StartupObject") {
+            Some(&class) => match self.classes[class.index()].flag_by_name("initialstate") {
+                Some(flag) => StartupSpec { class, flag },
+                None => {
+                    self.err(
+                        Span::DUMMY,
+                        "class `StartupObject` must declare flag `initialstate`",
+                    );
+                    StartupSpec { class, flag: crate::ids::FlagId::new(0) }
+                }
+            },
+            None => {
+                self.err(Span::DUMMY, "program must declare class `StartupObject`");
+                StartupSpec { class: ClassId::new(0), flag: crate::ids::FlagId::new(0) }
+            }
+        };
+        if !self.diags.is_empty() {
+            return Err(CompileError::from_list(self.diags));
+        }
+        let spec = ProgramSpec {
+            name: name.to_string(),
+            classes: self.classes,
+            tag_types: self
+                .unit
+                .tag_types
+                .iter()
+                .map(|t| TagTypeSpec { name: t.name.clone() })
+                .collect(),
+            tasks: self.tasks,
+            startup,
+        };
+        let problems = spec.validate();
+        if !problems.is_empty() {
+            return Err(CompileError::from_list(
+                problems.into_iter().map(|p| Diagnostic::new(Span::DUMMY, p)).collect(),
+            ));
+        }
+        let ir = IrProgram { classes: self.ir_classes, tasks: self.task_bodies };
+        Ok(CompiledProgram { spec, ir })
+    }
+}
+
+/// Mutable task-spec state threaded through body lowering.
+struct TaskCollect {
+    name: String,
+    params: Vec<ParamSpec>,
+    exits: Vec<ExitSpec>,
+    alloc_sites: Vec<AllocSiteSpec>,
+    tag_vars: Vec<TagVarSpec>,
+    tag_scope: HashMap<String, TagVarId>,
+}
+
+/// Context for lowering one body (task or method).
+struct BodyCx<'r, 'a> {
+    res: &'r mut Resolver<'a>,
+    diags: Vec<Diagnostic>,
+    scopes: Vec<HashMap<String, u32>>,
+    slot_types: Vec<Type>,
+    /// `Some` when lowering a task body.
+    task: Option<&'r mut TaskCollect>,
+    /// `Some(class)` when lowering a method of `class`.
+    current_class: Option<ClassId>,
+    ret: Type,
+    loop_depth: usize,
+}
+
+impl<'r, 'a> BodyCx<'r, 'a> {
+    fn for_method(
+        res: &'r mut Resolver<'a>,
+        class: ClassId,
+        method: &ast::MethodDecl,
+        ret: Type,
+    ) -> Self {
+        let mut cx = BodyCx {
+            res,
+            diags: Vec::new(),
+            scopes: vec![HashMap::new()],
+            slot_types: Vec::new(),
+            task: None,
+            current_class: Some(class),
+            ret,
+            loop_depth: 0,
+        };
+        // Slot 0 is `this`.
+        cx.slot_types.push(Type::Class(class));
+        for (ty, name) in &method.params {
+            let ty = cx.res.resolve_type(ty, method.span);
+            cx.declare(name.clone(), ty, method.span);
+        }
+        cx
+    }
+
+    fn for_task(
+        res: &'r mut Resolver<'a>,
+        collect: &'r mut TaskCollect,
+        task: &ast::TaskDecl,
+    ) -> Self {
+        let param_info: Vec<(String, ClassId)> =
+            collect.params.iter().map(|p| (p.name.clone(), p.class)).collect();
+        let mut cx = BodyCx {
+            res,
+            diags: Vec::new(),
+            scopes: vec![HashMap::new()],
+            slot_types: Vec::new(),
+            task: Some(collect),
+            current_class: None,
+            ret: Type::Void,
+            loop_depth: 0,
+        };
+        for (name, class) in param_info {
+            cx.declare(name, Type::Class(class), task.span);
+        }
+        cx
+    }
+
+    fn err(&mut self, span: Span, msg: impl Into<String>) {
+        self.diags.push(Diagnostic::new(span, msg));
+    }
+
+    fn declare(&mut self, name: String, ty: Type, span: Span) -> u32 {
+        let slot = self.slot_types.len() as u32;
+        self.slot_types.push(ty);
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.clone(), slot).is_some() {
+            self.err(span, format!("variable `{name}` already declared in this scope"));
+        }
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn lower_block(&mut self, block: &Block) -> Vec<IrStmt> {
+        self.scopes.push(HashMap::new());
+        let stmts = block.stmts.iter().filter_map(|s| self.lower_stmt(s)).collect();
+        self.scopes.pop();
+        stmts
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Option<IrStmt> {
+        match stmt {
+            Stmt::Local { ty, name, init, span } => {
+                let ty = self.res.resolve_type(ty, *span);
+                let init_ir = match init {
+                    Some(expr) => {
+                        let (ir, ity) = self.lower_expr(expr)?;
+                        if !ity.assignable_to(&ty) {
+                            self.err(
+                                *span,
+                                format!("cannot initialize `{name}: {ty}` from `{ity}`"),
+                            );
+                        }
+                        Some(ir)
+                    }
+                    None => None,
+                };
+                let slot = self.declare(name.clone(), ty.clone(), *span);
+                Some(IrStmt::Assign {
+                    target: IrPlace::Local(slot),
+                    value: init_ir.unwrap_or_else(|| default_value(&ty)),
+                })
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                let (value, vty) = self.lower_expr(rhs)?;
+                let (place, pty) = self.lower_place(lhs)?;
+                if !vty.assignable_to(&pty) {
+                    self.err(*span, format!("cannot assign `{vty}` to location of type `{pty}`"));
+                }
+                Some(IrStmt::Assign { target: place, value })
+            }
+            Stmt::If { cond, then_blk, else_blk, span } => {
+                let cond = self.lower_bool(cond, *span);
+                let then_blk = self.lower_block(then_blk);
+                let else_blk =
+                    else_blk.as_ref().map(|b| self.lower_block(b)).unwrap_or_default();
+                Some(IrStmt::If { cond: cond?, then_blk, else_blk })
+            }
+            Stmt::While { cond, body, span } => {
+                let cond = self.lower_bool(cond, *span);
+                self.loop_depth += 1;
+                let body = self.lower_block(body);
+                self.loop_depth -= 1;
+                Some(IrStmt::While { cond: cond?, body })
+            }
+            Stmt::For { init, cond, step, body, span } => {
+                self.scopes.push(HashMap::new());
+                let init = init.as_ref().and_then(|s| self.lower_stmt(s)).into_iter().collect();
+                let cond = match cond {
+                    Some(c) => Some(self.lower_bool(c, *span)?),
+                    None => None,
+                };
+                let step = step.as_ref().and_then(|s| self.lower_stmt(s)).into_iter().collect();
+                self.loop_depth += 1;
+                let body = self.lower_block(body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Some(IrStmt::For { init, cond, step, body })
+            }
+            Stmt::Return { value, span } => {
+                if self.task.is_some() {
+                    self.err(*span, "`return` is not allowed in a task body; use `taskexit`");
+                    return None;
+                }
+                match (value, self.ret.clone()) {
+                    (None, Type::Void) => Some(IrStmt::Return(None)),
+                    (None, ret) => {
+                        self.err(*span, format!("method must return `{ret}`"));
+                        None
+                    }
+                    (Some(_), Type::Void) => {
+                        self.err(*span, "void method cannot return a value");
+                        None
+                    }
+                    (Some(expr), ret) => {
+                        let (ir, ty) = self.lower_expr(expr)?;
+                        if !ty.assignable_to(&ret) {
+                            self.err(*span, format!("cannot return `{ty}` from method returning `{ret}`"));
+                        }
+                        Some(IrStmt::Return(Some(ir)))
+                    }
+                }
+            }
+            Stmt::Break(span) => {
+                if self.loop_depth == 0 {
+                    self.err(*span, "`break` outside of a loop");
+                }
+                Some(IrStmt::Break)
+            }
+            Stmt::Continue(span) => {
+                if self.loop_depth == 0 {
+                    self.err(*span, "`continue` outside of a loop");
+                }
+                Some(IrStmt::Continue)
+            }
+            Stmt::TaskExit { actions, span } => self.lower_taskexit(actions, *span),
+            Stmt::NewTag { var, tag_type, span } => {
+                let tag_type_id = match self.res.tag_type_ids.get(tag_type) {
+                    Some(&id) => id,
+                    None => {
+                        self.err(*span, format!("unknown tag type `{tag_type}`"));
+                        return None;
+                    }
+                };
+                let task = match self.task.as_mut() {
+                    Some(t) => t,
+                    None => {
+                        self.err(*span, "`new tag` is only allowed in task bodies");
+                        return None;
+                    }
+                };
+                if task.tag_scope.contains_key(var) {
+                    let var = var.clone();
+                    self.err(*span, format!("tag variable `{var}` already declared"));
+                    return None;
+                }
+                let id = TagVarId::new(task.tag_vars.len());
+                task.tag_vars.push(TagVarSpec {
+                    name: var.clone(),
+                    tag_type: tag_type_id,
+                    from_param: false,
+                });
+                task.tag_scope.insert(var.clone(), id);
+                Some(IrStmt::NewTag { var: id, tag_type: tag_type_id })
+            }
+            Stmt::Expr(expr) => {
+                let (ir, _) = self.lower_expr(expr)?;
+                Some(IrStmt::Expr(ir))
+            }
+            Stmt::Block(block) => {
+                let stmts = self.lower_block(block);
+                // Represent a bare block as an `if (true)` for simplicity.
+                Some(IrStmt::If { cond: IrExpr::ConstBool(true), then_blk: stmts, else_blk: vec![] })
+            }
+        }
+    }
+
+    fn lower_taskexit(
+        &mut self,
+        actions: &[(String, Vec<FlagOrTagActionAst>)],
+        span: Span,
+    ) -> Option<IrStmt> {
+        if self.task.is_none() {
+            self.err(span, "`taskexit` is only allowed in task bodies");
+            return None;
+        }
+        let mut spec_actions: Vec<(ParamIdx, Vec<FlagOrTagAction>)> = Vec::new();
+        for (param_name, list) in actions {
+            let Some(task) = self.task.as_ref() else { unreachable!() };
+            let Some(pos) = task.params.iter().position(|p| &p.name == param_name) else {
+                self.err(span, format!("`taskexit` names unknown parameter `{param_name}`"));
+                continue;
+            };
+            let class = task.params[pos].class;
+            let mut resolved = Vec::new();
+            for action in list {
+                match action {
+                    FlagOrTagActionAst::SetFlag(flag, value, aspan) => {
+                        let class_spec = &self.res.classes[class.index()];
+                        match class_spec.flag_by_name(flag) {
+                            Some(id) => resolved.push(FlagOrTagAction::SetFlag(id, *value)),
+                            None => {
+                                let msg = format!(
+                                    "class `{}` has no flag `{flag}`",
+                                    class_spec.name
+                                );
+                                self.err(*aspan, msg);
+                            }
+                        }
+                    }
+                    FlagOrTagActionAst::AddTag(var, aspan)
+                    | FlagOrTagActionAst::ClearTag(var, aspan) => {
+                        let task = self.task.as_ref().expect("checked above");
+                        match task.tag_scope.get(var) {
+                            Some(&id) => resolved.push(match action {
+                                FlagOrTagActionAst::AddTag(..) => FlagOrTagAction::AddTag(id),
+                                _ => FlagOrTagAction::ClearTag(id),
+                            }),
+                            None => {
+                                let msg = format!("unknown tag variable `{var}`");
+                                self.err(*aspan, msg);
+                            }
+                        }
+                    }
+                }
+            }
+            spec_actions.push((ParamIdx::new(pos), resolved));
+        }
+        let task = self.task.as_mut().expect("checked above");
+        let exit = ExitId::new(task.exits.len());
+        task.exits.push(ExitSpec { label: format!("exit{}", exit.index()), actions: spec_actions });
+        Some(IrStmt::TaskExit(exit))
+    }
+
+    // ---- places ----------------------------------------------------------
+
+    fn lower_place(&mut self, expr: &Expr) -> Option<(IrPlace, Type)> {
+        match expr {
+            Expr::Var(name, span) => match self.lookup(name) {
+                Some(slot) => {
+                    Some((IrPlace::Local(slot), self.slot_types[slot as usize].clone()))
+                }
+                None => {
+                    self.err(*span, format!("unknown variable `{name}`"));
+                    None
+                }
+            },
+            Expr::Field { obj, name, span } => {
+                let (obj_ir, obj_ty) = self.lower_expr(obj)?;
+                let class = self.expect_class(&obj_ty, *span)?;
+                let (idx, ty) = self.field_of(class, name, *span)?;
+                Some((IrPlace::Field { obj: obj_ir, field: idx }, ty))
+            }
+            Expr::Index { arr, idx, span } => {
+                let (arr_ir, arr_ty) = self.lower_expr(arr)?;
+                let (idx_ir, idx_ty) = self.lower_expr(idx)?;
+                if idx_ty != Type::Int {
+                    self.err(*span, format!("array index must be `int`, found `{idx_ty}`"));
+                }
+                match arr_ty {
+                    Type::Array(elem) => {
+                        Some((IrPlace::Index { arr: arr_ir, idx: idx_ir }, *elem))
+                    }
+                    other => {
+                        self.err(*span, format!("cannot index non-array type `{other}`"));
+                        None
+                    }
+                }
+            }
+            other => {
+                self.err(other.span(), "expression is not assignable");
+                None
+            }
+        }
+    }
+
+    fn expect_class(&mut self, ty: &Type, span: Span) -> Option<ClassId> {
+        match ty {
+            Type::Class(id) => Some(*id),
+            other => {
+                self.err(span, format!("expected an object, found `{other}`"));
+                None
+            }
+        }
+    }
+
+    fn field_of(&mut self, class: ClassId, name: &str, span: Span) -> Option<(u32, Type)> {
+        match self.res.tables[class.index()].fields.get(name) {
+            Some((idx, ty)) => Some((*idx, ty.clone())),
+            None => {
+                let class_name = self.res.classes[class.index()].name.clone();
+                self.err(span, format!("class `{class_name}` has no field `{name}`"));
+                None
+            }
+        }
+    }
+
+    fn lower_bool(&mut self, expr: &Expr, span: Span) -> Option<IrExpr> {
+        let (ir, ty) = self.lower_expr(expr)?;
+        if ty != Type::Bool {
+            self.err(span, format!("condition must be `boolean`, found `{ty}`"));
+        }
+        Some(ir)
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn lower_expr(&mut self, expr: &Expr) -> Option<(IrExpr, Type)> {
+        match expr {
+            Expr::IntLit(v, _) => Some((IrExpr::ConstInt(*v), Type::Int)),
+            Expr::FloatLit(v, _) => Some((IrExpr::ConstFloat(*v), Type::Float)),
+            Expr::BoolLit(v, _) => Some((IrExpr::ConstBool(*v), Type::Bool)),
+            Expr::StrLit(s, _) => Some((IrExpr::ConstStr(s.clone()), Type::Str)),
+            Expr::Var(name, span) => {
+                if name == "null" {
+                    return Some((IrExpr::Null, Type::Null));
+                }
+                match self.lookup(name) {
+                    Some(slot) => {
+                        Some((IrExpr::Local(slot), self.slot_types[slot as usize].clone()))
+                    }
+                    None => {
+                        self.err(*span, format!("unknown variable `{name}`"));
+                        None
+                    }
+                }
+            }
+            Expr::This(span) => match self.current_class {
+                Some(class) => Some((IrExpr::Local(0), Type::Class(class))),
+                None => {
+                    self.err(*span, "`this` is only available in methods");
+                    None
+                }
+            },
+            Expr::Field { obj, name, span } => {
+                let (obj_ir, obj_ty) = self.lower_expr(obj)?;
+                let class = self.expect_class(&obj_ty, *span)?;
+                let (idx, ty) = self.field_of(class, name, *span)?;
+                Some((IrExpr::Field { obj: Box::new(obj_ir), field: idx }, ty))
+            }
+            Expr::Index { arr, idx, span } => {
+                let (arr_ir, arr_ty) = self.lower_expr(arr)?;
+                let (idx_ir, idx_ty) = self.lower_expr(idx)?;
+                if idx_ty != Type::Int {
+                    self.err(*span, format!("array index must be `int`, found `{idx_ty}`"));
+                }
+                match arr_ty {
+                    Type::Array(elem) => Some((
+                        IrExpr::Index { arr: Box::new(arr_ir), idx: Box::new(idx_ir) },
+                        *elem,
+                    )),
+                    other => {
+                        self.err(*span, format!("cannot index non-array type `{other}`"));
+                        None
+                    }
+                }
+            }
+            Expr::Call { recv: Some(recv), name, args, span } => {
+                let (obj_ir, obj_ty) = self.lower_expr(recv)?;
+                let class = self.expect_class(&obj_ty, *span)?;
+                let (idx, sig) = match self.res.tables[class.index()].methods.get(name) {
+                    Some((idx, sig)) => (*idx, sig.clone()),
+                    None => {
+                        let class_name = self.res.classes[class.index()].name.clone();
+                        self.err(*span, format!("class `{class_name}` has no method `{name}`"));
+                        return None;
+                    }
+                };
+                let args_ir = self.check_args(args, &sig.params, name, *span)?;
+                Some((
+                    IrExpr::CallMethod {
+                        obj: Box::new(obj_ir),
+                        class,
+                        method: idx,
+                        args: args_ir,
+                    },
+                    sig.ret,
+                ))
+            }
+            Expr::Call { recv: None, name, args, span } => {
+                let Some(builtin) = Builtin::by_name(name) else {
+                    self.err(*span, format!("unknown function `{name}` (methods need a receiver)"));
+                    return None;
+                };
+                self.lower_builtin(builtin, args, *span)
+            }
+            Expr::New { class, args, state, span } => self.lower_new(class, args, state, *span),
+            Expr::NewArray { elem, len, span } => {
+                let elem_ty = self.res.resolve_type(elem, *span);
+                let (len_ir, len_ty) = self.lower_expr(len)?;
+                if len_ty != Type::Int {
+                    self.err(*span, format!("array length must be `int`, found `{len_ty}`"));
+                }
+                Some((
+                    IrExpr::NewArray { elem: elem_ty.clone(), len: Box::new(len_ir) },
+                    Type::Array(Box::new(elem_ty)),
+                ))
+            }
+            Expr::Unary { op, expr, span } => {
+                let (ir, ty) = self.lower_expr(expr)?;
+                let out = match (op, &ty) {
+                    (UnOp::Neg, Type::Int) | (UnOp::Neg, Type::Float) => ty.clone(),
+                    (UnOp::Not, Type::Bool) => Type::Bool,
+                    _ => {
+                        self.err(*span, format!("operator `{op:?}` is not defined on `{ty}`"));
+                        return None;
+                    }
+                };
+                Some((IrExpr::Unary { op: *op, expr: Box::new(ir) }, out))
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let (lir, lty) = self.lower_expr(lhs)?;
+                let (rir, rty) = self.lower_expr(rhs)?;
+                let out = self.binary_type(*op, &lty, &rty, *span)?;
+                Some((
+                    IrExpr::Binary { op: *op, lhs: Box::new(lir), rhs: Box::new(rir) },
+                    out,
+                ))
+            }
+        }
+    }
+
+    fn check_args(
+        &mut self,
+        args: &[Expr],
+        params: &[Type],
+        what: &str,
+        span: Span,
+    ) -> Option<Vec<IrExpr>> {
+        if args.len() != params.len() {
+            self.err(
+                span,
+                format!("`{what}` expects {} arguments, found {}", params.len(), args.len()),
+            );
+            return None;
+        }
+        let mut out = Vec::with_capacity(args.len());
+        for (arg, expected) in args.iter().zip(params) {
+            let (ir, ty) = self.lower_expr(arg)?;
+            if !ty.assignable_to(expected) {
+                self.err(
+                    arg.span(),
+                    format!("argument type `{ty}` does not match parameter type `{expected}`"),
+                );
+            }
+            out.push(ir);
+        }
+        Some(out)
+    }
+
+    fn binary_type(&mut self, op: BinOp, lty: &Type, rty: &Type, span: Span) -> Option<Type> {
+        use BinOp::*;
+        let ok = match op {
+            Add => match (lty, rty) {
+                (Type::Int, Type::Int) => Some(Type::Int),
+                (Type::Float, Type::Float) => Some(Type::Float),
+                (Type::Str, Type::Str) => Some(Type::Str),
+                _ => None,
+            },
+            Sub | Mul | Div => match (lty, rty) {
+                (Type::Int, Type::Int) => Some(Type::Int),
+                (Type::Float, Type::Float) => Some(Type::Float),
+                _ => None,
+            },
+            Rem => match (lty, rty) {
+                (Type::Int, Type::Int) => Some(Type::Int),
+                _ => None,
+            },
+            Eq | Ne => {
+                if lty.assignable_to(rty) || rty.assignable_to(lty) {
+                    Some(Type::Bool)
+                } else {
+                    None
+                }
+            }
+            Lt | Le | Gt | Ge => match (lty, rty) {
+                (Type::Int, Type::Int) | (Type::Float, Type::Float) => Some(Type::Bool),
+                _ => None,
+            },
+            And | Or => match (lty, rty) {
+                (Type::Bool, Type::Bool) => Some(Type::Bool),
+                _ => None,
+            },
+        };
+        match ok {
+            Some(ty) => Some(ty),
+            None => {
+                self.err(
+                    span,
+                    format!("operator `{op:?}` is not defined on `{lty}` and `{rty}`"),
+                );
+                None
+            }
+        }
+    }
+
+    fn lower_builtin(
+        &mut self,
+        builtin: Builtin,
+        args: &[Expr],
+        span: Span,
+    ) -> Option<(IrExpr, Type)> {
+        if args.len() != builtin.arity() {
+            self.err(
+                span,
+                format!("builtin `{builtin:?}` expects {} arguments", builtin.arity()),
+            );
+            return None;
+        }
+        let mut irs = Vec::with_capacity(args.len());
+        let mut tys = Vec::with_capacity(args.len());
+        for arg in args {
+            let (ir, ty) = self.lower_expr(arg)?;
+            irs.push(ir);
+            tys.push(ty);
+        }
+        use Builtin::*;
+        use Type::*;
+        let ret = match builtin {
+            Print | Println => match &tys[0] {
+                Str => Void,
+                other => return self.builtin_type_error(builtin, other, span),
+            },
+            Itoa => self.require(builtin, &tys, &[Int], Str, span)?,
+            Ftoa => self.require(builtin, &tys, &[Float], Str, span)?,
+            Itof => self.require(builtin, &tys, &[Int], Float, span)?,
+            Ftoi => self.require(builtin, &tys, &[Float], Int, span)?,
+            ParseInt => self.require(builtin, &tys, &[Str], Int, span)?,
+            Len => match &tys[0] {
+                Array(_) | Str => Int,
+                other => return self.builtin_type_error(builtin, other, span),
+            },
+            Split => self.require(builtin, &tys, &[Str, Str], Array(Box::new(Str)), span)?,
+            Substr => self.require(builtin, &tys, &[Str, Int, Int], Str, span)?,
+            Sqrt | Sin | Cos | Exp | Log | Floor => {
+                self.require(builtin, &tys, &[Float], Float, span)?
+            }
+            Pow => self.require(builtin, &tys, &[Float, Float], Float, span)?,
+            Abs => match &tys[0] {
+                Int => Int,
+                Float => Float,
+                other => return self.builtin_type_error(builtin, other, span),
+            },
+            Min | Max => match (&tys[0], &tys[1]) {
+                (Int, Int) => Int,
+                (Float, Float) => Float,
+                (other, _) => return self.builtin_type_error(builtin, other, span),
+            },
+        };
+        Some((IrExpr::CallBuiltin { builtin, args: irs }, ret))
+    }
+
+    fn require(
+        &mut self,
+        builtin: Builtin,
+        actual: &[Type],
+        expected: &[Type],
+        ret: Type,
+        span: Span,
+    ) -> Option<Type> {
+        for (a, e) in actual.iter().zip(expected) {
+            if !a.assignable_to(e) {
+                self.err(
+                    span,
+                    format!("builtin `{builtin:?}` expects `{e}` argument, found `{a}`"),
+                );
+                return None;
+            }
+        }
+        Some(ret)
+    }
+
+    fn builtin_type_error(
+        &mut self,
+        builtin: Builtin,
+        found: &Type,
+        span: Span,
+    ) -> Option<(IrExpr, Type)> {
+        self.err(span, format!("builtin `{builtin:?}` is not defined on `{found}`"));
+        None
+    }
+
+    fn lower_new(
+        &mut self,
+        class_name: &str,
+        args: &[Expr],
+        state: &[FlagOrTagActionAst],
+        span: Span,
+    ) -> Option<(IrExpr, Type)> {
+        let class = match self.res.class_ids.get(class_name) {
+            Some(&id) => id,
+            None => {
+                self.err(span, format!("unknown class `{class_name}`"));
+                return None;
+            }
+        };
+        // Constructor arguments.
+        let ctor_params: Vec<Type> = self.res.tables[class.index()]
+            .methods
+            .get(class_name)
+            .map(|(_, sig)| sig.params.clone())
+            .unwrap_or_default();
+        let args_ir = self.check_args(args, &ctor_params, class_name, span)?;
+
+        let dispatchable = self.res.param_classes.contains(&class);
+        let site = if dispatchable {
+            let Some(task) = self.task.as_mut() else {
+                self.err(
+                    span,
+                    format!(
+                        "objects of task-parameter class `{class_name}` may only be allocated in task bodies"
+                    ),
+                );
+                return None;
+            };
+            // Resolve the initial-state actions against the allocated class.
+            let mut initial_flags = Vec::new();
+            let mut bound_tags = Vec::new();
+            for action in state {
+                match action {
+                    FlagOrTagActionAst::SetFlag(flag, value, aspan) => {
+                        match self.res.classes[class.index()].flag_by_name(flag) {
+                            Some(id) => initial_flags.push((id, *value)),
+                            None => {
+                                let msg = format!("class `{class_name}` has no flag `{flag}`");
+                                self.diags.push(Diagnostic::new(*aspan, msg));
+                            }
+                        }
+                    }
+                    FlagOrTagActionAst::AddTag(var, aspan) => match task.tag_scope.get(var) {
+                        Some(&id) => bound_tags.push(id),
+                        None => {
+                            let msg = format!("unknown tag variable `{var}`");
+                            self.diags.push(Diagnostic::new(*aspan, msg));
+                        }
+                    },
+                    FlagOrTagActionAst::ClearTag(_, aspan) => {
+                        self.diags.push(Diagnostic::new(
+                            *aspan,
+                            "`clear` makes no sense on a newly allocated object",
+                        ));
+                    }
+                }
+            }
+            let site = AllocSiteId::new(task.alloc_sites.len());
+            task.alloc_sites.push(AllocSiteSpec { class, initial_flags, bound_tags });
+            Some(site)
+        } else {
+            if !state.is_empty() {
+                self.err(
+                    span,
+                    format!(
+                        "class `{class_name}` is not a task parameter; its objects have no dispatched abstract state"
+                    ),
+                );
+            }
+            None
+        };
+        Some((IrExpr::New { class, args: args_ir, site }, Type::Class(class)))
+    }
+}
+
+/// Produces the IR default value for a type (what uninitialized locals and
+/// fields hold).
+fn default_value(ty: &Type) -> IrExpr {
+    match ty {
+        Type::Int => IrExpr::ConstInt(0),
+        Type::Float => IrExpr::ConstFloat(0.0),
+        Type::Bool => IrExpr::ConstBool(false),
+        Type::Str => IrExpr::ConstStr(String::new()),
+        _ => IrExpr::Null,
+    }
+}
+
+/// Conservative check: does every control path through `stmts` end in
+/// `taskexit` or `return`?
+fn block_terminates(stmts: &[IrStmt]) -> bool {
+    stmts.iter().any(stmt_terminates)
+}
+
+fn stmt_terminates(stmt: &IrStmt) -> bool {
+    match stmt {
+        IrStmt::TaskExit(_) | IrStmt::Return(_) => true,
+        IrStmt::If { then_blk, else_blk, .. } => {
+            block_terminates(then_blk) && block_terminates(else_blk)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile_source;
+
+    const KEYWORD_COUNT: &str = r#"
+        class StartupObject { flag initialstate; }
+        class Text {
+            flag process;
+            flag submit;
+            int count;
+            int sectionId;
+            Text(int id) { this.sectionId = id; }
+            void process() { this.count = this.sectionId * 3 + 1; }
+        }
+        class Results {
+            flag finished;
+            int total;
+            int merged;
+            int expected;
+            Results(int expected) { this.expected = expected; }
+            boolean mergeResult(Text tp) {
+                this.total = this.total + tp.count;
+                this.merged = this.merged + 1;
+                return this.merged == this.expected;
+            }
+        }
+        task startup(StartupObject s in initialstate) {
+            for (int i = 0; i < 4; i = i + 1) {
+                Text tp = new Text(i){ process := true };
+            }
+            Results rp = new Results(4){ finished := false };
+            taskexit(s: initialstate := false);
+        }
+        task processText(Text tp in process) {
+            tp.process();
+            taskexit(tp: process := false, submit := true);
+        }
+        task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+            boolean allprocessed = rp.mergeResult(tp);
+            if (allprocessed) {
+                taskexit(rp: finished := true; tp: submit := false);
+            }
+            taskexit(tp: submit := false);
+        }
+    "#;
+
+    #[test]
+    fn compiles_keyword_counting_example() {
+        let compiled = compile_source("kc", KEYWORD_COUNT).unwrap();
+        assert_eq!(compiled.spec.classes.len(), 3);
+        assert_eq!(compiled.spec.tasks.len(), 3);
+        let startup = compiled.spec.task_by_name("startup").unwrap();
+        let task = compiled.spec.task(startup);
+        assert_eq!(task.alloc_sites.len(), 2);
+        assert_eq!(task.exits.len(), 1);
+        let merge = compiled.spec.task_by_name("mergeIntermediateResult").unwrap();
+        assert_eq!(compiled.spec.task(merge).exits.len(), 2);
+    }
+
+    #[test]
+    fn startup_class_is_required() {
+        let err = compile_source("x", "class A { flag f; } task t(A a in f) { taskexit(a: f := false); }")
+            .unwrap_err();
+        assert!(err.to_string().contains("StartupObject"));
+    }
+
+    #[test]
+    fn taskexit_outside_task_rejected() {
+        let src = r#"
+            class StartupObject { flag initialstate;
+                void bad() { taskexit(); }
+            }
+            task t(StartupObject s in initialstate) { taskexit(s: initialstate := false); }
+        "#;
+        let err = compile_source("x", src).unwrap_err();
+        assert!(err.to_string().contains("only allowed in task bodies"));
+    }
+
+    #[test]
+    fn return_inside_task_rejected() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) { return; }
+        "#;
+        let err = compile_source("x", src).unwrap_err();
+        assert!(err.to_string().contains("not allowed in a task body"));
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                int x = 1.5;
+                taskexit(s: initialstate := false);
+            }
+        "#;
+        let err = compile_source("x", src).unwrap_err();
+        assert!(err.to_string().contains("cannot initialize"));
+    }
+
+    #[test]
+    fn unknown_flag_in_guard_reported() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in bogus) { taskexit(s: initialstate := false); }
+        "#;
+        let err = compile_source("x", src).unwrap_err();
+        assert!(err.to_string().contains("no flag `bogus`"));
+    }
+
+    #[test]
+    fn dispatchable_alloc_in_method_rejected() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            class W { flag ready;
+                void make() { W w = new W(); }
+            }
+            task t(StartupObject s in initialstate) { taskexit(s: initialstate := false); }
+            task u(W w in ready) { taskexit(w: ready := false); }
+        "#;
+        let err = compile_source("x", src).unwrap_err();
+        assert!(err.to_string().contains("may only be allocated in task bodies"));
+    }
+
+    #[test]
+    fn plain_data_alloc_in_method_allowed() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            class Node { int v; Node next; }
+            class Holder { flag h;
+                Node build() {
+                    Node n = new Node();
+                    n.next = new Node();
+                    return n;
+                }
+            }
+            task t(StartupObject s in initialstate) { taskexit(s: initialstate := false); }
+            task u(Holder x in h) {
+                Node n = x.build();
+                taskexit(x: h := false);
+            }
+        "#;
+        compile_source("x", src).unwrap();
+    }
+
+    #[test]
+    fn implicit_exit_added_for_fallthrough() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                if (1 < 2) { taskexit(s: initialstate := false); }
+            }
+        "#;
+        let compiled = compile_source("x", src).unwrap();
+        let task = &compiled.spec.tasks[0];
+        assert_eq!(task.exits.len(), 2);
+        assert_eq!(task.exits[1].label, "_implicit");
+    }
+
+    #[test]
+    fn no_implicit_exit_when_both_branches_exit() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                if (1 < 2) { taskexit(s: initialstate := false); }
+                else { taskexit(s: initialstate := false); }
+            }
+        "#;
+        let compiled = compile_source("x", src).unwrap();
+        assert_eq!(compiled.spec.tasks[0].exits.len(), 2);
+    }
+
+    #[test]
+    fn tags_resolve_across_params_and_news() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            class Drawing { flag saving; }
+            class Image { flag uncompressed; flag compressed; }
+            tagtype link;
+            task startsave(StartupObject s in initialstate) {
+                tag t = new tag(link);
+                Drawing d = new Drawing(){ saving := true, add t };
+                Image i = new Image(){ uncompressed := true, add t };
+                taskexit(s: initialstate := false);
+            }
+            task finishsave(Drawing d in saving with link t, Image i in compressed with link t) {
+                taskexit(d: saving := false, clear t; i: compressed := false, clear t);
+            }
+        "#;
+        let compiled = compile_source("x", src).unwrap();
+        let startsave = compiled.spec.task(compiled.spec.task_by_name("startsave").unwrap());
+        assert_eq!(startsave.tag_vars.len(), 1);
+        assert!(!startsave.tag_vars[0].from_param);
+        assert_eq!(startsave.alloc_sites[0].bound_tags.len(), 1);
+        let finishsave = compiled.spec.task(compiled.spec.task_by_name("finishsave").unwrap());
+        assert!(finishsave.all_params_share_tag());
+    }
+
+    #[test]
+    fn string_concat_typechecks() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                String msg = "count: " + itoa(42);
+                println(msg);
+                taskexit(s: initialstate := false);
+            }
+        "#;
+        compile_source("x", src).unwrap();
+    }
+
+    #[test]
+    fn builtin_wrong_arg_type_reported() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                float x = sqrt(4);
+                taskexit(s: initialstate := false);
+            }
+        "#;
+        let err = compile_source("x", src).unwrap_err();
+        assert!(err.to_string().contains("expects `float`"));
+    }
+
+    #[test]
+    fn duplicate_variable_in_scope_rejected() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                int x = 1;
+                int x = 2;
+                taskexit(s: initialstate := false);
+            }
+        "#;
+        let err = compile_source("x", src).unwrap_err();
+        assert!(err.to_string().contains("already declared"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_allowed() {
+        let src = r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) {
+                int x = 1;
+                if (x > 0) { int y = x + 1; }
+                while (x > 0) { x = x - 1; }
+                taskexit(s: initialstate := false);
+            }
+        "#;
+        compile_source("x", src).unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Source locations and diagnostics for the Bamboo DSL frontend.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range into a source file, with line/column of its start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Creates a span from raw coordinates.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// Line/column information is taken from whichever span starts first.
+    pub fn to(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation error produced by the lexer, parser, resolver, or type
+/// checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where in the source the problem was detected.
+    pub span: Span,
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span == Span::DUMMY {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}: {}", self.span, self.message)
+        }
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// Error type returned by whole-program compilation: one or more diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// The diagnostics, in source order. Never empty.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CompileError {
+    /// Wraps a single diagnostic.
+    pub fn single(diag: Diagnostic) -> Self {
+        CompileError { diagnostics: vec![diag] }
+    }
+
+    /// Wraps a list of diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diagnostics` is empty.
+    pub fn from_list(diagnostics: Vec<Diagnostic>) -> Self {
+        assert!(!diagnostics.is_empty(), "CompileError requires at least one diagnostic");
+        CompileError { diagnostics }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<Diagnostic> for CompileError {
+    fn from(diag: Diagnostic) -> Self {
+        CompileError::single(diag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(4, 8, 1, 5);
+        let b = Span::new(10, 14, 2, 1);
+        let j = a.to(b);
+        assert_eq!((j.start, j.end), (4, 14));
+        assert_eq!((j.line, j.col), (1, 5));
+        // Join is symmetric on extents.
+        let k = b.to(a);
+        assert_eq!((k.start, k.end), (4, 14));
+        assert_eq!((k.line, k.col), (1, 5));
+    }
+
+    #[test]
+    fn diagnostic_display_includes_location() {
+        let d = Diagnostic::new(Span::new(0, 1, 3, 7), "unexpected token");
+        assert_eq!(d.to_string(), "3:7: unexpected token");
+    }
+
+    #[test]
+    fn compile_error_joins_lines() {
+        let e = CompileError::from_list(vec![
+            Diagnostic::new(Span::DUMMY, "first"),
+            Diagnostic::new(Span::DUMMY, "second"),
+        ]);
+        assert_eq!(e.to_string(), "first\nsecond");
+    }
+}

@@ -1,0 +1,168 @@
+//! Compact bitset over the flags of a single class.
+
+use crate::ids::FlagId;
+use std::fmt;
+
+/// The maximum number of flags a class may declare.
+pub const MAX_FLAGS: usize = 64;
+
+/// A set of flag bits for one object, indexed by [`FlagId`].
+///
+/// Bamboo objects may simultaneously be in multiple abstract states; a
+/// `FlagSet` is the concrete representation of that valuation. Flag ids are
+/// local to the owning class.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FlagSet(u64);
+
+impl FlagSet {
+    /// The empty valuation (all flags false).
+    pub const EMPTY: FlagSet = FlagSet(0);
+
+    /// Creates an empty flag set.
+    pub fn new() -> Self {
+        FlagSet(0)
+    }
+
+    /// Creates a flag set from a raw bit pattern.
+    pub const fn from_bits(bits: u64) -> Self {
+        FlagSet(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Returns whether `flag` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flag.index() >= MAX_FLAGS`.
+    pub fn contains(self, flag: FlagId) -> bool {
+        assert!(flag.index() < MAX_FLAGS, "flag index out of range");
+        self.0 & (1 << flag.index()) != 0
+    }
+
+    /// Returns a copy with `flag` set to `value`.
+    pub fn with(self, flag: FlagId, value: bool) -> Self {
+        assert!(flag.index() < MAX_FLAGS, "flag index out of range");
+        let bit = 1u64 << flag.index();
+        if value {
+            FlagSet(self.0 | bit)
+        } else {
+            FlagSet(self.0 & !bit)
+        }
+    }
+
+    /// Sets `flag` to `value` in place.
+    pub fn set(&mut self, flag: FlagId, value: bool) {
+        *self = self.with(flag, value);
+    }
+
+    /// Returns the restriction of this set to the bits in `mask`.
+    pub fn masked(self, mask: FlagSet) -> Self {
+        FlagSet(self.0 & mask.0)
+    }
+
+    /// Returns the union of two sets.
+    pub fn union(self, other: FlagSet) -> Self {
+        FlagSet(self.0 | other.0)
+    }
+
+    /// Returns whether no flag is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the number of set flags.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over the set flags in increasing id order.
+    pub fn iter(self) -> impl Iterator<Item = FlagId> {
+        (0..MAX_FLAGS as u32).filter(move |i| self.0 & (1 << i) != 0).map(FlagId)
+    }
+}
+
+impl fmt::Debug for FlagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlagSet{{")?;
+        for (i, flag) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", flag.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<FlagId> for FlagSet {
+    fn from_iter<I: IntoIterator<Item = FlagId>>(iter: I) -> Self {
+        let mut set = FlagSet::new();
+        for flag in iter {
+            set.set(flag, true);
+        }
+        set
+    }
+}
+
+impl Extend<FlagId> for FlagSet {
+    fn extend<I: IntoIterator<Item = FlagId>>(&mut self, iter: I) {
+        for flag in iter {
+            self.set(flag, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test_bits() {
+        let mut s = FlagSet::new();
+        assert!(s.is_empty());
+        s.set(FlagId::new(3), true);
+        s.set(FlagId::new(0), true);
+        assert!(s.contains(FlagId::new(3)));
+        assert!(s.contains(FlagId::new(0)));
+        assert!(!s.contains(FlagId::new(1)));
+        assert_eq!(s.len(), 2);
+        s.set(FlagId::new(3), false);
+        assert!(!s.contains(FlagId::new(3)));
+    }
+
+    #[test]
+    fn iter_yields_sorted_flags() {
+        let s: FlagSet = [FlagId::new(5), FlagId::new(1), FlagId::new(9)].into_iter().collect();
+        let got: Vec<usize> = s.iter().map(FlagId::index).collect();
+        assert_eq!(got, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn masked_restricts_to_mask() {
+        let s = FlagSet::from_bits(0b1011);
+        let m = FlagSet::from_bits(0b0110);
+        assert_eq!(s.masked(m).bits(), 0b0010);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = FlagSet::from_bits(0b01);
+        let b = FlagSet::from_bits(0b10);
+        assert_eq!(a.union(b).bits(), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "flag index out of range")]
+    fn out_of_range_flag_panics() {
+        FlagSet::new().contains(FlagId::new(64));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", FlagSet::EMPTY), "FlagSet{}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Parameter guards: boolean expressions over a class's flags.
+
+use crate::ids::FlagId;
+use crate::spec::flagset::FlagSet;
+use std::fmt;
+
+/// A boolean expression over the flags of one class, used as a task
+/// parameter guard (`flagexp` in the paper's Figure 5 grammar).
+///
+/// An object can serve as the task's parameter only when its current
+/// [`FlagSet`] satisfies the guard.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FlagExpr {
+    /// A single flag is set.
+    Flag(FlagId),
+    /// Constant truth value.
+    Const(bool),
+    /// Logical negation.
+    Not(Box<FlagExpr>),
+    /// Logical conjunction.
+    And(Box<FlagExpr>, Box<FlagExpr>),
+    /// Logical disjunction.
+    Or(Box<FlagExpr>, Box<FlagExpr>),
+}
+
+impl FlagExpr {
+    /// Convenience constructor: the guard `flag`.
+    pub fn flag(flag: impl Into<FlagId>) -> Self {
+        FlagExpr::Flag(flag.into())
+    }
+
+    /// Convenience constructor: `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        FlagExpr::Not(Box::new(self))
+    }
+
+    /// Convenience constructor: `self and other`.
+    pub fn and(self, other: FlagExpr) -> Self {
+        FlagExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience constructor: `self or other`.
+    pub fn or(self, other: FlagExpr) -> Self {
+        FlagExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the guard against a concrete flag valuation.
+    pub fn eval(&self, flags: FlagSet) -> bool {
+        match self {
+            FlagExpr::Flag(f) => flags.contains(*f),
+            FlagExpr::Const(b) => *b,
+            FlagExpr::Not(e) => !e.eval(flags),
+            FlagExpr::And(a, b) => a.eval(flags) && b.eval(flags),
+            FlagExpr::Or(a, b) => a.eval(flags) || b.eval(flags),
+        }
+    }
+
+    /// Returns the set of flags mentioned anywhere in the expression.
+    pub fn mentioned_flags(&self) -> FlagSet {
+        match self {
+            FlagExpr::Flag(f) => FlagSet::new().with(*f, true),
+            FlagExpr::Const(_) => FlagSet::new(),
+            FlagExpr::Not(e) => e.mentioned_flags(),
+            FlagExpr::And(a, b) | FlagExpr::Or(a, b) => {
+                a.mentioned_flags().union(b.mentioned_flags())
+            }
+        }
+    }
+}
+
+impl fmt::Display for FlagExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagExpr::Flag(id) => write!(f, "{id}"),
+            FlagExpr::Const(b) => write!(f, "{b}"),
+            FlagExpr::Not(e) => write!(f, "!({e})"),
+            FlagExpr::And(a, b) => write!(f, "({a} and {b})"),
+            FlagExpr::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: usize) -> FlagId {
+        FlagId::new(i)
+    }
+
+    #[test]
+    fn eval_basic_operators() {
+        let flags = FlagSet::new().with(f(0), true);
+        assert!(FlagExpr::flag(f(0)).eval(flags));
+        assert!(!FlagExpr::flag(f(1)).eval(flags));
+        assert!(FlagExpr::flag(f(1)).not().eval(flags));
+        assert!(FlagExpr::flag(f(0)).and(FlagExpr::flag(f(1)).not()).eval(flags));
+        assert!(FlagExpr::flag(f(1)).or(FlagExpr::flag(f(0))).eval(flags));
+        assert!(FlagExpr::Const(true).eval(FlagSet::EMPTY));
+        assert!(!FlagExpr::Const(false).eval(flags));
+    }
+
+    #[test]
+    fn mentioned_flags_collects_all() {
+        let e = FlagExpr::flag(f(2)).and(FlagExpr::flag(f(5)).or(FlagExpr::flag(f(2)).not()));
+        let got: Vec<usize> = e.mentioned_flags().iter().map(FlagId::index).collect();
+        assert_eq!(got, vec![2, 5]);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let e = FlagExpr::flag(f(0)).and(FlagExpr::flag(f(1)).not());
+        assert_eq!(e.to_string(), "(flag#0 and !(flag#1))");
+    }
+}

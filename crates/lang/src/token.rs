@@ -1,0 +1,268 @@
+//! Token definitions for the Bamboo DSL.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The lexical category and payload of a token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or type name.
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A floating-point literal.
+    FloatLit(f64),
+    /// A string literal (contents unescaped).
+    StrLit(String),
+
+    // Keywords.
+    /// `class`
+    Class,
+    /// `flag`
+    Flag,
+    /// `tagtype`
+    TagType,
+    /// `task`
+    Task,
+    /// `taskexit`
+    TaskExit,
+    /// `new`
+    New,
+    /// `tag`
+    Tag,
+    /// `in`
+    In,
+    /// `with`
+    With,
+    /// `and` (flag expressions)
+    And,
+    /// `or` (flag expressions)
+    Or,
+    /// `add` (tag action)
+    Add,
+    /// `clear` (tag action)
+    Clear,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `int`
+    KwInt,
+    /// `float`
+    KwFloat,
+    /// `boolean`
+    KwBoolean,
+    /// `String`
+    KwString,
+    /// `void`
+    KwVoid,
+    /// `this`
+    This,
+
+    // Punctuation and operators.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `:=`
+    ColonEq,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is one.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "class" => TokenKind::Class,
+            "flag" => TokenKind::Flag,
+            "tagtype" => TokenKind::TagType,
+            "task" => TokenKind::Task,
+            "taskexit" => TokenKind::TaskExit,
+            "new" => TokenKind::New,
+            "tag" => TokenKind::Tag,
+            "in" => TokenKind::In,
+            "with" => TokenKind::With,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "add" => TokenKind::Add,
+            "clear" => TokenKind::Clear,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "boolean" => TokenKind::KwBoolean,
+            "String" => TokenKind::KwString,
+            "void" => TokenKind::KwVoid,
+            "this" => TokenKind::This,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float `{v}`"),
+            TokenKind::StrLit(s) => write!(f, "string {s:?}"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => {
+                let text = match other {
+                    TokenKind::Class => "class",
+                    TokenKind::Flag => "flag",
+                    TokenKind::TagType => "tagtype",
+                    TokenKind::Task => "task",
+                    TokenKind::TaskExit => "taskexit",
+                    TokenKind::New => "new",
+                    TokenKind::Tag => "tag",
+                    TokenKind::In => "in",
+                    TokenKind::With => "with",
+                    TokenKind::And => "and",
+                    TokenKind::Or => "or",
+                    TokenKind::Add => "add",
+                    TokenKind::Clear => "clear",
+                    TokenKind::True => "true",
+                    TokenKind::False => "false",
+                    TokenKind::If => "if",
+                    TokenKind::Else => "else",
+                    TokenKind::While => "while",
+                    TokenKind::For => "for",
+                    TokenKind::Return => "return",
+                    TokenKind::Break => "break",
+                    TokenKind::Continue => "continue",
+                    TokenKind::KwInt => "int",
+                    TokenKind::KwFloat => "float",
+                    TokenKind::KwBoolean => "boolean",
+                    TokenKind::KwString => "String",
+                    TokenKind::KwVoid => "void",
+                    TokenKind::This => "this",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Colon => ":",
+                    TokenKind::ColonEq => ":=",
+                    TokenKind::Eq => "=",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Bang => "!",
+                    TokenKind::AmpAmp => "&&",
+                    TokenKind::PipePipe => "||",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{text}`")
+            }
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Lexical category and payload.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("taskexit"), Some(TokenKind::TaskExit));
+        assert_eq!(TokenKind::keyword("String"), Some(TokenKind::KwString));
+        assert_eq!(TokenKind::keyword("widget"), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(TokenKind::ColonEq.to_string(), "`:=`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+    }
+}

@@ -1,0 +1,93 @@
+//! Semantic types for the Bamboo DSL's imperative subset.
+
+use crate::ids::ClassId;
+use std::fmt;
+
+/// A resolved type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit float (`float`).
+    Float,
+    /// Boolean (`boolean`).
+    Bool,
+    /// Immutable string (`String`).
+    Str,
+    /// No value (`void`).
+    Void,
+    /// Reference to an instance of a class.
+    Class(ClassId),
+    /// Reference to an array.
+    Array(Box<Type>),
+    /// The type of the `null` literal, assignable to any reference type.
+    Null,
+}
+
+impl Type {
+    /// Returns whether a value of `self` can be assigned to a location of
+    /// type `target`.
+    ///
+    /// The subset has no subtyping or implicit numeric conversion; only
+    /// `null` is assignable to reference types.
+    pub fn assignable_to(&self, target: &Type) -> bool {
+        if self == target {
+            return true;
+        }
+        matches!(
+            (self, target),
+            (Type::Null, Type::Class(_)) | (Type::Null, Type::Array(_)) | (Type::Null, Type::Str)
+        )
+    }
+
+    /// Returns whether this is a reference type (class, array, string, or
+    /// null).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Class(_) | Type::Array(_) | Type::Str | Type::Null)
+    }
+
+    /// Returns whether this is `int` or `float`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Bool => write!(f, "boolean"),
+            Type::Str => write!(f, "String"),
+            Type::Void => write!(f, "void"),
+            Type::Class(id) => write!(f, "{id}"),
+            Type::Array(elem) => write!(f, "{elem}[]"),
+            Type::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_assignable_to_references_only() {
+        assert!(Type::Null.assignable_to(&Type::Class(ClassId::new(0))));
+        assert!(Type::Null.assignable_to(&Type::Array(Box::new(Type::Int))));
+        assert!(Type::Null.assignable_to(&Type::Str));
+        assert!(!Type::Null.assignable_to(&Type::Int));
+    }
+
+    #[test]
+    fn no_implicit_numeric_conversion() {
+        assert!(!Type::Int.assignable_to(&Type::Float));
+        assert!(Type::Int.assignable_to(&Type::Int));
+    }
+
+    #[test]
+    fn display_nested_array() {
+        let t = Type::Array(Box::new(Type::Array(Box::new(Type::Float))));
+        assert_eq!(t.to_string(), "float[][]");
+    }
+}

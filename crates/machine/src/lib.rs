@@ -1,0 +1,341 @@
+#![warn(missing_docs)]
+
+//! # bamboo-machine
+//!
+//! Abstract many-core processor descriptions for the Bamboo implementation
+//! synthesizer and runtime.
+//!
+//! The paper evaluates on a TILEPro64: 64 tiles in an 8×8 grid joined by
+//! an on-chip mesh network, 700 MHz, with 2 tiles dedicated to the PCI bus
+//! (62 usable). The synthesis pipeline only consumes an abstract
+//! description — core count, topology, and transfer costs — which this
+//! crate provides, along with the [`MachineDescription::tilepro64`] preset
+//! used throughout the evaluation and smaller presets for tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use bamboo_machine::{CoreId, MachineDescription};
+//!
+//! let machine = MachineDescription::tilepro64();
+//! assert_eq!(machine.core_count(), 62);
+//! let cost = machine.transfer_cycles(CoreId::new(0), CoreId::new(61), 16);
+//! assert!(cost > machine.transfer_base_cycles());
+//! ```
+
+use std::fmt;
+
+/// Identifies one usable core (logical index; reserved tiles are skipped).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// Creates a core id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        CoreId(index as u32)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core#{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core#{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(index: usize) -> Self {
+        CoreId::new(index)
+    }
+}
+
+/// An abstract many-core processor: grid topology plus network cost model.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MachineDescription {
+    name: String,
+    grid_width: u32,
+    grid_height: u32,
+    /// Physical tile indices (row-major) reserved for I/O and unusable by
+    /// the application.
+    reserved: Vec<u32>,
+    clock_mhz: u32,
+    /// Cycles added per mesh hop of an inter-core object transfer.
+    hop_cycles: u64,
+    /// Fixed cycles per inter-core object transfer.
+    transfer_base_cycles: u64,
+    /// Cycles per transferred payload word.
+    transfer_word_cycles: u64,
+    /// Logical core -> physical tile (precomputed).
+    physical: Vec<u32>,
+}
+
+impl MachineDescription {
+    /// Creates a description for a `width`×`height` grid with the given
+    /// reserved physical tiles and network costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every tile is reserved or a reserved index is out of
+    /// range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        width: u32,
+        height: u32,
+        reserved: Vec<u32>,
+        clock_mhz: u32,
+        hop_cycles: u64,
+        transfer_base_cycles: u64,
+        transfer_word_cycles: u64,
+    ) -> Self {
+        let tiles = width * height;
+        assert!(reserved.iter().all(|&r| r < tiles), "reserved tile out of range");
+        let physical: Vec<u32> = (0..tiles).filter(|t| !reserved.contains(t)).collect();
+        assert!(!physical.is_empty(), "machine must have at least one usable core");
+        MachineDescription {
+            name: name.into(),
+            grid_width: width,
+            grid_height: height,
+            reserved,
+            clock_mhz,
+            hop_cycles,
+            transfer_base_cycles,
+            transfer_word_cycles,
+            physical,
+        }
+    }
+
+    /// The TILEPro64 preset: 8×8 tiles at 700 MHz, two tiles reserved for
+    /// the PCI bus — 62 usable cores, as in the paper's evaluation.
+    pub fn tilepro64() -> Self {
+        MachineDescription::new("TILEPro64", 8, 8, vec![62, 63], 700, 2, 220, 1)
+    }
+
+    /// A quad-core preset (the paper's Figure 4 example target).
+    pub fn quad() -> Self {
+        MachineDescription::new("quad", 2, 2, vec![], 2000, 2, 220, 1)
+    }
+
+    /// A 16-core preset (used by the paper's Figure 10 exhaustive-search
+    /// experiment).
+    pub fn sixteen() -> Self {
+        MachineDescription::new("16-core", 4, 4, vec![], 700, 2, 220, 1)
+    }
+
+    /// An `n`-core preset on the smallest square grid that fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn n_cores(n: usize) -> Self {
+        assert!(n > 0, "machine must have at least one core");
+        let mut side = 1u32;
+        while (side * side) < n as u32 {
+            side += 1;
+        }
+        let reserved: Vec<u32> = (n as u32..side * side).collect();
+        MachineDescription::new(format!("{n}-core"), side, side, reserved, 700, 2, 220, 1)
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of usable cores.
+    pub fn core_count(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// All usable cores.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.core_count()).map(CoreId::new)
+    }
+
+    /// Clock frequency in MHz (reporting only; the model works in cycles).
+    pub fn clock_mhz(&self) -> u32 {
+        self.clock_mhz
+    }
+
+    /// Fixed per-transfer cost in cycles.
+    pub fn transfer_base_cycles(&self) -> u64 {
+        self.transfer_base_cycles
+    }
+
+    /// Manhattan distance between two cores on the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a core id is out of range.
+    pub fn hops(&self, a: CoreId, b: CoreId) -> u64 {
+        let pa = self.physical[a.index()];
+        let pb = self.physical[b.index()];
+        let (ax, ay) = (pa % self.grid_width, pa / self.grid_width);
+        let (bx, by) = (pb % self.grid_width, pb / self.grid_width);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Cycles to move an object of `payload_words` words from `from` to
+    /// `to`. Same-core "transfers" are free.
+    pub fn transfer_cycles(&self, from: CoreId, to: CoreId, payload_words: u64) -> u64 {
+        if from == to {
+            return 0;
+        }
+        self.transfer_base_cycles
+            + self.hops(from, to) * self.hop_cycles
+            + payload_words * self.transfer_word_cycles
+    }
+
+    /// Converts cycles to seconds at this machine's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz as f64 * 1e6)
+    }
+}
+
+impl fmt::Display for MachineDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} usable cores, {}x{} grid, {} MHz)",
+            self.name,
+            self.core_count(),
+            self.grid_width,
+            self.grid_height,
+            self.clock_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tilepro64_has_62_usable_cores() {
+        let m = MachineDescription::tilepro64();
+        assert_eq!(m.core_count(), 62);
+        assert_eq!(m.clock_mhz(), 700);
+    }
+
+    #[test]
+    fn hops_are_manhattan_distance() {
+        let m = MachineDescription::quad();
+        // 2x2 grid: cores 0,1 adjacent; 0,3 diagonal.
+        assert_eq!(m.hops(CoreId::new(0), CoreId::new(1)), 1);
+        assert_eq!(m.hops(CoreId::new(0), CoreId::new(3)), 2);
+        assert_eq!(m.hops(CoreId::new(2), CoreId::new(2)), 0);
+    }
+
+    #[test]
+    fn same_core_transfer_is_free() {
+        let m = MachineDescription::tilepro64();
+        assert_eq!(m.transfer_cycles(CoreId::new(5), CoreId::new(5), 1000), 0);
+    }
+
+    #[test]
+    fn transfer_cost_grows_with_distance_and_size() {
+        let m = MachineDescription::tilepro64();
+        let near = m.transfer_cycles(CoreId::new(0), CoreId::new(1), 8);
+        let far = m.transfer_cycles(CoreId::new(0), CoreId::new(61), 8);
+        let big = m.transfer_cycles(CoreId::new(0), CoreId::new(1), 800);
+        assert!(far > near);
+        assert!(big > near);
+    }
+
+    #[test]
+    fn n_cores_reserves_excess_tiles() {
+        let m = MachineDescription::n_cores(5);
+        assert_eq!(m.core_count(), 5);
+        let m1 = MachineDescription::n_cores(1);
+        assert_eq!(m1.core_count(), 1);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let m = MachineDescription::tilepro64();
+        assert!((m.cycles_to_seconds(700_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        MachineDescription::n_cores(0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = MachineDescription::tilepro64().to_string();
+        assert!(s.contains("62 usable cores"));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn hops_are_symmetric_and_triangle() {
+        let m = MachineDescription::tilepro64();
+        for a in [0usize, 7, 30, 61] {
+            for b in [0usize, 7, 30, 61] {
+                let (ca, cb) = (CoreId::new(a), CoreId::new(b));
+                assert_eq!(m.hops(ca, cb), m.hops(cb, ca));
+                for c in [3usize, 45] {
+                    let cc = CoreId::new(c);
+                    assert!(m.hops(ca, cb) <= m.hops(ca, cc) + m.hops(cc, cb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tilepro64_max_distance_is_fourteen() {
+        // 8x8 grid: opposite corners are 7 + 7 hops apart.
+        let m = MachineDescription::tilepro64();
+        let mut max = 0;
+        for a in m.cores() {
+            for b in m.cores() {
+                max = max.max(m.hops(a, b));
+            }
+        }
+        assert_eq!(max, 14);
+    }
+
+    #[test]
+    fn reserved_tiles_are_skipped() {
+        // TILEPro64 reserves physical tiles 62 and 63; the last logical
+        // core maps to tile 61, adjacent to tile 60.
+        let m = MachineDescription::tilepro64();
+        assert_eq!(m.hops(CoreId::new(60), CoreId::new(61)), 1);
+    }
+
+    #[test]
+    fn cores_iterator_matches_count() {
+        let m = MachineDescription::sixteen();
+        assert_eq!(m.cores().count(), m.core_count());
+        assert_eq!(m.cores().last(), Some(CoreId::new(15)));
+    }
+
+    #[test]
+    fn transfer_cost_is_monotone_in_payload() {
+        let m = MachineDescription::quad();
+        let a = CoreId::new(0);
+        let b = CoreId::new(3);
+        let mut last = 0;
+        for words in [0u64, 1, 16, 256, 4096] {
+            let cost = m.transfer_cycles(a, b, words);
+            assert!(cost >= last);
+            last = cost;
+        }
+    }
+}

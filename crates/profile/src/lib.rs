@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # bamboo-profile
+//!
+//! Profiling infrastructure for the Bamboo implementation-synthesis
+//! pipeline (Zhou & Demsky, PLDI 2010, paper sections 4.3.1 and 4.4).
+//!
+//! Bamboo bootstraps implementation synthesis with a single-core profiling
+//! run: the instrumented executor records per-invocation cycle counts, the
+//! exit each invocation took, and the number of parameter objects each
+//! allocation site produced. This crate provides:
+//!
+//! - [`profile`] — the [`Profile`] data model and the
+//!   [`ProfileCollector`] that executors feed;
+//! - [`markov`] — the deterministic [`MarkovModel`] the scheduling
+//!   simulator uses to predict exits, durations, and allocations without
+//!   executing application code.
+//!
+//! # Examples
+//!
+//! ```
+//! use bamboo_profile::{MarkovModel, Profile, ProfileCollector};
+//! use bamboo_lang::builder::ProgramBuilder;
+//! use bamboo_lang::ids::{ExitId, TaskId};
+//! use bamboo_lang::spec::FlagExpr;
+//!
+//! let mut b: ProgramBuilder<()> = ProgramBuilder::new("demo");
+//! let s = b.class("StartupObject", &["initialstate"]);
+//! let init = b.flag(s, "initialstate");
+//! b.task("startup")
+//!     .param("s", s, FlagExpr::flag(init))
+//!     .exit("", |e| e.set(0, init, false))
+//!     .body(())
+//!     .finish();
+//! let spec = b.build().map_err(|e| e.to_string())?.spec;
+//!
+//! let mut collector = ProfileCollector::new(&spec, "original");
+//! collector.record(TaskId::new(0), ExitId::new(0), 120, &[]);
+//! let profile: Profile = collector.finish();
+//!
+//! let mut model = MarkovModel::new(&profile);
+//! let prediction = model.predict(TaskId::new(0));
+//! assert_eq!(prediction.cycles, 120);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod markov;
+pub mod profile;
+
+pub use markov::{MarkovModel, Prediction};
+pub use profile::{Cycles, ExitStats, Profile, ProfileCollector, TaskProfile};

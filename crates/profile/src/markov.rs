@@ -1,0 +1,239 @@
+//! Markov execution model derived from a profile (paper §4.4).
+//!
+//! The scheduling simulator never executes application code; it predicts,
+//! per simulated invocation, (1) the exit a task takes, (2) the cycles the
+//! invocation consumes, and (3) how many objects each allocation site
+//! produces. The paper's simulator is deterministic: it maintains a count
+//! per destination and "chooses the destination state that minimizes the
+//! difference between these counts and the counts predicted by the task's
+//! recorded statistics". [`MarkovModel`] implements exactly that
+//! count-matching rule, plus the analogous fractional accumulator for
+//! allocation counts, so repeated simulations of the same layout are
+//! reproducible.
+
+use crate::profile::{Cycles, Profile};
+use bamboo_lang::ids::{AllocSiteId, ExitId, TaskId};
+
+/// Per-task prediction state.
+#[derive(Clone, Debug, Default)]
+struct TaskState {
+    /// Simulated invocations that took each exit so far.
+    exit_counts: Vec<u64>,
+    /// Fractional allocation accumulators per site.
+    alloc_accum: Vec<f64>,
+    /// Position in the recorded invocation sequence (replay mode).
+    replay_pos: usize,
+}
+
+/// Deterministic Markov model of a program's execution.
+///
+/// Create one per simulation run; prediction state is internal and
+/// advances with every [`MarkovModel::predict`] call.
+#[derive(Clone, Debug)]
+pub struct MarkovModel<'p> {
+    profile: &'p Profile,
+    states: Vec<TaskState>,
+    replay: bool,
+}
+
+/// One predicted invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// The exit the invocation takes.
+    pub exit: ExitId,
+    /// The cycles it consumes.
+    pub cycles: Cycles,
+    /// Objects produced per allocation site, as `(site, count)` with
+    /// zero-count sites omitted.
+    pub allocs: Vec<(AllocSiteId, u64)>,
+}
+
+impl<'p> MarkovModel<'p> {
+    /// Creates a model over `profile`.
+    pub fn new(profile: &'p Profile) -> Self {
+        let states = profile
+            .tasks
+            .iter()
+            .map(|t| TaskState {
+                exit_counts: vec![0; t.exits.len()],
+                alloc_accum: vec![
+                    0.0;
+                    t.exits.first().map(|e| e.site_allocs.len()).unwrap_or(0)
+                ],
+                replay_pos: 0,
+            })
+            .collect();
+        MarkovModel { profile, states, replay: true }
+    }
+
+    /// Creates a model that ignores the recorded invocation sequence and
+    /// predicts from aggregate statistics only (the paper's plain
+    /// count-matching Markov model; used by the Figure 9 ablation).
+    pub fn without_replay(profile: &'p Profile) -> Self {
+        let mut model = MarkovModel::new(profile);
+        model.replay = false;
+        model
+    }
+
+    /// Predicts the next invocation of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range or was never profiled (zero
+    /// invocations) — the synthesis pipeline only simulates tasks the
+    /// profile observed.
+    pub fn predict(&mut self, task: TaskId) -> Prediction {
+        let tp = self.profile.task(task);
+        let total: u64 = tp.invocations();
+        assert!(total > 0, "task {task} was never profiled");
+        let state = &mut self.states[task.index()];
+
+        // Replay mode: while recorded invocations remain, predict exactly
+        // what the profiled execution did at this position. Control tasks
+        // whose exits encode iteration/phase boundaries are predicted
+        // faithfully; past the recording (larger inputs than profiled)
+        // the count-matching model below takes over.
+        if self.replay && state.replay_pos < tp.sequence.len() {
+            let rec = &tp.sequence[state.replay_pos];
+            state.replay_pos += 1;
+            state.exit_counts[rec.exit as usize] += 1;
+            return Prediction {
+                exit: ExitId::new(rec.exit as usize),
+                cycles: rec.cycles,
+                allocs: rec
+                    .allocs
+                    .iter()
+                    .map(|(s, n)| (AllocSiteId::new(*s as usize), *n as u64))
+                    .collect(),
+            };
+        }
+
+        // Count-matching exit choice, in virtual-finish-time order: exit
+        // `i` is scheduled at multiples of `1/p_i`, so the next prediction
+        // is the exit with the smallest `(c_i + 1) / p_i`. This keeps the
+        // simulated counts matched to the profiled probabilities *and*
+        // defers rare exits to their expected position — a task whose
+        // completion exit was taken once in N profiled invocations
+        // completes on the N-th simulated invocation, not mid-stream.
+        let mut best = 0usize;
+        let mut best_vft = f64::MAX;
+        let mut best_prob = 0.0f64;
+        for (i, stats) in tp.exits.iter().enumerate() {
+            let prob = stats.count as f64 / total as f64;
+            if prob == 0.0 {
+                continue;
+            }
+            let vft = (state.exit_counts[i] + 1) as f64 / prob;
+            if vft < best_vft || (vft == best_vft && prob > best_prob) {
+                best_vft = vft;
+                best_prob = prob;
+                best = i;
+            }
+        }
+        state.exit_counts[best] += 1;
+        let exit = ExitId::new(best);
+        let stats = &tp.exits[best];
+        let cycles = stats.mean_cycles();
+
+        // Allocation counts: accumulate the per-invocation mean and emit
+        // the integer part, carrying the fraction.
+        let mut allocs = Vec::new();
+        for site in 0..state.alloc_accum.len() {
+            let mean = stats.mean_allocs(AllocSiteId::new(site));
+            state.alloc_accum[site] += mean;
+            let emit = state.alloc_accum[site].floor();
+            if emit > 0.0 {
+                state.alloc_accum[site] -= emit;
+                allocs.push((AllocSiteId::new(site), emit as u64));
+            }
+        }
+        Prediction { exit, cycles, allocs }
+    }
+
+    /// Resets prediction state (for a fresh simulation over the same
+    /// profile).
+    pub fn reset(&mut self) {
+        for state in &mut self.states {
+            state.exit_counts.iter_mut().for_each(|c| *c = 0);
+            state.alloc_accum.iter_mut().for_each(|a| *a = 0.0);
+            state.replay_pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ExitStats, TaskProfile};
+
+    fn profile_two_exits() -> Profile {
+        Profile {
+            program: "p".into(),
+            input: "x".into(),
+            tasks: vec![TaskProfile {
+                exits: vec![
+                    ExitStats { count: 3, total_cycles: 30, site_allocs: vec![6] },
+                    ExitStats { count: 1, total_cycles: 100, site_allocs: vec![0] },
+                ],
+                sequence: Vec::new(),
+            }],
+            total_cycles: 130,
+        }
+    }
+
+    #[test]
+    fn exit_choice_matches_probabilities() {
+        let p = profile_two_exits();
+        let mut m = MarkovModel::new(&p);
+        let exits: Vec<usize> =
+            (0..8).map(|_| m.predict(TaskId::new(0)).exit.index()).collect();
+        // 75% exit 0, 25% exit 1 — deterministic interleaving.
+        assert_eq!(exits.iter().filter(|&&e| e == 0).count(), 6);
+        assert_eq!(exits.iter().filter(|&&e| e == 1).count(), 2);
+    }
+
+    #[test]
+    fn cycles_follow_exit_means() {
+        let p = profile_two_exits();
+        let mut m = MarkovModel::new(&p);
+        let pred = m.predict(TaskId::new(0));
+        assert_eq!(pred.cycles, if pred.exit.index() == 0 { 10 } else { 100 });
+    }
+
+    #[test]
+    fn alloc_accumulator_emits_integer_counts() {
+        let p = profile_two_exits();
+        let mut m = MarkovModel::new(&p);
+        // Exit 0 allocates 2 per invocation on average.
+        let mut total = 0;
+        for _ in 0..4 {
+            let pred = m.predict(TaskId::new(0));
+            if pred.exit.index() == 0 {
+                total += pred.allocs.iter().map(|(_, n)| n).sum::<u64>();
+            }
+        }
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn reset_restores_initial_sequence() {
+        let p = profile_two_exits();
+        let mut m = MarkovModel::new(&p);
+        let first: Vec<_> = (0..4).map(|_| m.predict(TaskId::new(0))).collect();
+        m.reset();
+        let second: Vec<_> = (0..4).map(|_| m.predict(TaskId::new(0))).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "never profiled")]
+    fn unprofiled_task_panics() {
+        let p = Profile {
+            program: "p".into(),
+            input: "x".into(),
+            tasks: vec![TaskProfile { exits: vec![ExitStats::default()], sequence: Vec::new() }],
+            total_cycles: 0,
+        };
+        MarkovModel::new(&p).predict(TaskId::new(0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Profile data: what the Bamboo compiler learns from a profiling run.
+//!
+//! A profile records, per task and per exit: how many invocations took the
+//! exit, the cycles they consumed, and how many objects each allocation
+//! site produced (paper §4.3.1). The derived statistics — exit
+//! probability, mean cycles per exit, mean allocations per site per exit —
+//! are the parameters of the Markov model that drives the scheduling
+//! simulator.
+
+use bamboo_lang::ids::{AllocSiteId, ExitId, TaskId};
+use bamboo_lang::spec::ProgramSpec;
+use std::fmt;
+
+/// Abstract processor cycles.
+pub type Cycles = u64;
+
+/// Statistics for one exit of one task.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExitStats {
+    /// Invocations that took this exit.
+    pub count: u64,
+    /// Total cycles across those invocations.
+    pub total_cycles: Cycles,
+    /// Total objects allocated per allocation site across those
+    /// invocations (indexed by [`AllocSiteId`]).
+    pub site_allocs: Vec<u64>,
+}
+
+impl ExitStats {
+    /// Mean cycles per invocation through this exit (0 if never taken).
+    pub fn mean_cycles(&self) -> Cycles {
+        self.total_cycles.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Mean objects allocated at `site` per invocation through this exit.
+    pub fn mean_allocs(&self, site: AllocSiteId) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.site_allocs.get(site.index()).copied().unwrap_or(0) as f64 / self.count as f64
+        }
+    }
+}
+
+/// One profiled invocation, in execution order (enables the simulator's
+/// replay mode: multi-exit control tasks — iteration bounds, phase-final
+/// merges — take their exits at the recorded *positions*, which aggregate
+/// probabilities cannot express).
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InvocationRecord {
+    /// The exit taken.
+    pub exit: u16,
+    /// Cycles consumed.
+    pub cycles: Cycles,
+    /// Objects allocated, as `(site, count)` pairs (zero counts omitted).
+    pub allocs: Vec<(u16, u32)>,
+}
+
+/// Statistics for one task.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TaskProfile {
+    /// Per-exit statistics (indexed by [`ExitId`]).
+    pub exits: Vec<ExitStats>,
+    /// The exact invocation sequence (replay source).
+    pub sequence: Vec<InvocationRecord>,
+}
+
+impl TaskProfile {
+    /// Total invocations of the task.
+    pub fn invocations(&self) -> u64 {
+        self.exits.iter().map(|e| e.count).sum()
+    }
+
+    /// Probability that an invocation takes `exit` (0 if never invoked).
+    pub fn exit_probability(&self, exit: ExitId) -> f64 {
+        let total = self.invocations();
+        if total == 0 {
+            0.0
+        } else {
+            self.exits[exit.index()].count as f64 / total as f64
+        }
+    }
+
+    /// Mean cycles over all exits (0 if never invoked).
+    pub fn mean_cycles(&self) -> Cycles {
+        self.exits
+            .iter()
+            .map(|e| e.total_cycles)
+            .sum::<Cycles>()
+            .checked_div(self.invocations())
+            .unwrap_or(0)
+    }
+}
+
+/// A complete program profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Profile {
+    /// The profiled program's name.
+    pub program: String,
+    /// A label for the profiled input (e.g. `"original"`, `"double"`).
+    pub input: String,
+    /// Per-task statistics (indexed by [`TaskId`]).
+    pub tasks: Vec<TaskProfile>,
+    /// Total cycles of the profiled (single-core) execution.
+    pub total_cycles: Cycles,
+}
+
+impl Profile {
+    /// Returns the profile of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn task(&self, task: TaskId) -> &TaskProfile {
+        &self.tasks[task.index()]
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn summary(&self, spec: &ProgramSpec) -> String {
+        let mut out = format!("profile `{}` on input `{}`\n", self.program, self.input);
+        for (i, tp) in self.tasks.iter().enumerate() {
+            let task = &spec.tasks[i];
+            out.push_str(&format!(
+                "  {:<28} inv={:<8} mean={} cyc\n",
+                task.name,
+                tp.invocations(),
+                tp.mean_cycles()
+            ));
+            for (e, es) in tp.exits.iter().enumerate() {
+                if es.count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "    exit {e}: p={:.2} mean={} cyc, allocs={:?}\n",
+                    tp.exit_probability(ExitId::new(e)),
+                    es.mean_cycles(),
+                    es.site_allocs
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Accumulates profile data during an instrumented run.
+#[derive(Clone, Debug)]
+pub struct ProfileCollector {
+    program: String,
+    input: String,
+    tasks: Vec<TaskProfile>,
+    sites_per_task: Vec<usize>,
+    total_cycles: Cycles,
+}
+
+impl ProfileCollector {
+    /// Creates a collector shaped for `spec`.
+    pub fn new(spec: &ProgramSpec, input: impl Into<String>) -> Self {
+        ProfileCollector {
+            program: spec.name.clone(),
+            input: input.into(),
+            tasks: spec
+                .tasks
+                .iter()
+                .map(|t| TaskProfile {
+                    exits: vec![
+                        ExitStats {
+                            count: 0,
+                            total_cycles: 0,
+                            site_allocs: vec![0; t.alloc_sites.len()],
+                        };
+                        t.exits.len()
+                    ],
+                    sequence: Vec::new(),
+                })
+                .collect(),
+            sites_per_task: spec.tasks.iter().map(|t| t.alloc_sites.len()).collect(),
+            total_cycles: 0,
+        }
+    }
+
+    /// Records one invocation.
+    ///
+    /// `allocs` lists how many objects each allocation site produced
+    /// (missing trailing sites mean zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task, exit, or a site index is out of range.
+    pub fn record(&mut self, task: TaskId, exit: ExitId, cycles: Cycles, allocs: &[(AllocSiteId, u64)]) {
+        let tp = &mut self.tasks[task.index()];
+        let stats = &mut tp.exits[exit.index()];
+        stats.count += 1;
+        stats.total_cycles += cycles;
+        for (site, n) in allocs {
+            assert!(site.index() < self.sites_per_task[task.index()], "site out of range");
+            stats.site_allocs[site.index()] += n;
+        }
+        tp.sequence.push(InvocationRecord {
+            exit: exit.index() as u16,
+            cycles,
+            allocs: allocs
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(s, n)| (s.index() as u16, *n as u32))
+                .collect(),
+        });
+        self.total_cycles += cycles;
+    }
+
+    /// Adds cycles that occurred outside task bodies (dispatch overhead);
+    /// included in the profile's total.
+    pub fn record_overhead(&mut self, cycles: Cycles) {
+        self.total_cycles += cycles;
+    }
+
+    /// Finalizes the profile.
+    pub fn finish(self) -> Profile {
+        Profile {
+            program: self.program,
+            input: self.input,
+            tasks: self.tasks,
+            total_cycles: self.total_cycles,
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile `{}`/`{}`: {} tasks, {} total cycles",
+            self.program,
+            self.input,
+            self.tasks.len(),
+            self.total_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_lang::builder::ProgramBuilder;
+    use bamboo_lang::spec::FlagExpr;
+
+    fn spec() -> ProgramSpec {
+        let mut b: ProgramBuilder<()> = ProgramBuilder::new("p");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let w = b.class("W", &["ready"]);
+        let init = b.flag(s, "initialstate");
+        let ready = b.flag(w, "ready");
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .alloc(w, &[(ready, true)], &[])
+            .exit("", |e| e.set(0, init, false))
+            .body(())
+            .finish();
+        b.task("work")
+            .param("w", w, FlagExpr::flag(ready))
+            .exit("more", |e| e.set(0, ready, true))
+            .exit("done", |e| e.set(0, ready, false))
+            .body(())
+            .finish();
+        b.build().unwrap().spec
+    }
+
+    #[test]
+    fn collector_accumulates_stats() {
+        let spec = spec();
+        let mut c = ProfileCollector::new(&spec, "original");
+        c.record(TaskId::new(0), ExitId::new(0), 100, &[(AllocSiteId::new(0), 4)]);
+        for _ in 0..3 {
+            c.record(TaskId::new(1), ExitId::new(0), 10, &[]);
+        }
+        c.record(TaskId::new(1), ExitId::new(1), 20, &[]);
+        let p = c.finish();
+        assert_eq!(p.total_cycles, 150);
+        let work = p.task(TaskId::new(1));
+        assert_eq!(work.invocations(), 4);
+        assert!((work.exit_probability(ExitId::new(0)) - 0.75).abs() < 1e-9);
+        assert_eq!(work.exits[0].mean_cycles(), 10);
+        assert_eq!(work.exits[1].mean_cycles(), 20);
+        let startup = p.task(TaskId::new(0));
+        assert!((startup.exits[0].mean_allocs(AllocSiteId::new(0)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let spec = spec();
+        let p = ProfileCollector::new(&spec, "x").finish();
+        assert_eq!(p.task(TaskId::new(0)).invocations(), 0);
+        assert_eq!(p.task(TaskId::new(0)).mean_cycles(), 0);
+        assert_eq!(p.task(TaskId::new(0)).exit_probability(ExitId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn summary_lists_tasks() {
+        let spec = spec();
+        let mut c = ProfileCollector::new(&spec, "x");
+        c.record(TaskId::new(1), ExitId::new(1), 20, &[]);
+        let p = c.finish();
+        let s = p.summary(&spec);
+        assert!(s.contains("work"));
+        assert!(s.contains("p=1.00"));
+    }
+
+    #[test]
+    fn clone_preserves_profile() {
+        let spec = spec();
+        let mut c = ProfileCollector::new(&spec, "x");
+        c.record(TaskId::new(0), ExitId::new(0), 5, &[]);
+        let p = c.finish();
+        assert_eq!(p.clone(), p);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # bamboo-runtime
+//!
+//! The Bamboo many-core runtime (Zhou & Demsky, PLDI 2010, §4.7):
+//! distributed per-core schedulers with parameter sets and task-invocation
+//! queues, transactional task dispatch (lock all parameter objects or try
+//! another invocation — no aborts), static routing tables from the
+//! synthesized layout, and shared-lock merging per the disjointness
+//! analysis.
+//!
+//! Executors (see DESIGN.md §2 for why virtual time stands in for the
+//! TILEPro64):
+//!
+//! - [`VirtualExecutor`] — executes real task bodies on N virtual cores
+//!   under a deterministic cycle cost model; single host thread. With a
+//!   single-core layout this is the sequential profiling/1-core-Bamboo
+//!   executor.
+//! - [`ThreadedExecutor`] — real OS threads, one per core, with real
+//!   try-locks and channel-based object transfer; demonstrates the
+//!   concurrent semantics (native programs only).
+
+pub mod cost;
+pub mod program;
+pub mod store;
+pub mod threaded;
+pub mod virtual_exec;
+
+pub use cost::CostModel;
+pub use program::{body, NativeBody, NativePayload, Program, TaskCtx};
+pub use store::{ObjId, ObjectStore, PayloadSlot, RtObject};
+pub use threaded::ThreadedExecutor;
+pub use virtual_exec::{ExecConfig, ExecError, RunReport, VirtualExecutor};

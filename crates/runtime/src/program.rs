@@ -1,0 +1,269 @@
+//! Executable programs: a [`ProgramSpec`] plus task bodies.
+//!
+//! Two body kinds exist, mirroring the two frontends:
+//!
+//! - **Native** bodies are Rust closures over a [`TaskCtx`] — the analog
+//!   of the paper's compiler-generated C code. They downcast their
+//!   parameter payloads, charge compute cycles explicitly, create objects
+//!   at declared allocation sites, and return the index of the exit they
+//!   take.
+//! - **Interpreted** bodies are DSL IR executed by
+//!   [`bamboo_lang::interp::Interp`]; cycle charges come from the
+//!   interpreter's own operation counting.
+
+use bamboo_lang::builder::BuiltProgram;
+use bamboo_lang::ids::TaskId;
+use bamboo_lang::spec::ProgramSpec;
+use bamboo_lang::CompiledProgram;
+use bamboo_profile::Cycles;
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// A payload a native task body operates on.
+pub type NativePayload = Box<dyn Any + Send>;
+
+/// A native task body: runs over a [`TaskCtx`], returns the taken exit's
+/// index.
+pub type NativeBody = Arc<dyn Fn(&mut TaskCtx<'_>) -> usize + Send + Sync>;
+
+/// Convenience constructor for [`NativeBody`] values.
+pub fn body(f: impl Fn(&mut TaskCtx<'_>) -> usize + Send + Sync + 'static) -> NativeBody {
+    Arc::new(f)
+}
+
+/// An executable Bamboo program.
+#[derive(Clone)]
+pub struct Program {
+    /// The declarative model.
+    pub spec: Arc<ProgramSpec>,
+    kind: Kind,
+}
+
+#[derive(Clone)]
+enum Kind {
+    Native(Vec<NativeBody>),
+    Interpreted(Arc<CompiledProgram>),
+}
+
+impl Program {
+    /// Wraps a natively built program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body count does not match the task count (cannot
+    /// happen for [`BuiltProgram`] values from the builder).
+    pub fn from_native(built: BuiltProgram<NativeBody>) -> Self {
+        assert_eq!(built.bodies.len(), built.spec.tasks.len());
+        Program { spec: Arc::new(built.spec), kind: Kind::Native(built.bodies) }
+    }
+
+    /// Wraps a compiled DSL program.
+    pub fn from_compiled(compiled: CompiledProgram) -> Self {
+        Program {
+            spec: Arc::new(compiled.spec.clone()),
+            kind: Kind::Interpreted(Arc::new(compiled)),
+        }
+    }
+
+    /// Returns the native body of `task`, or `None` for interpreted
+    /// programs.
+    pub fn native_body(&self, task: TaskId) -> Option<&NativeBody> {
+        match &self.kind {
+            Kind::Native(bodies) => Some(&bodies[task.index()]),
+            Kind::Interpreted(_) => None,
+        }
+    }
+
+    /// Returns the compiled DSL program, or `None` for native programs.
+    pub fn compiled(&self) -> Option<&Arc<CompiledProgram>> {
+        match &self.kind {
+            Kind::Interpreted(c) => Some(c),
+            Kind::Native(_) => None,
+        }
+    }
+
+    /// Whether this program has native bodies (required by the threaded
+    /// executor).
+    pub fn is_native(&self) -> bool {
+        matches!(self.kind, Kind::Native(_))
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Program({}, {}, {} tasks)",
+            self.spec.name,
+            if self.is_native() { "native" } else { "interpreted" },
+            self.spec.tasks.len()
+        )
+    }
+}
+
+/// Execution context handed to a native task body.
+///
+/// Parameter payloads are moved out of the object store for the duration
+/// of the invocation (the locks are held), so the body has exclusive
+/// access.
+pub struct TaskCtx<'a> {
+    /// Parameter payloads, in parameter order.
+    params: &'a mut [NativePayload],
+    /// Cycles charged so far.
+    charged: Cycles,
+    /// Objects created at allocation sites: `(site index, payload)`.
+    created: Vec<(usize, NativePayload)>,
+    /// Number of allocation sites the task declares.
+    n_sites: usize,
+    /// Number of exits the task declares.
+    n_exits: usize,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Creates a context (used by executors).
+    pub(crate) fn new(params: &'a mut [NativePayload], n_sites: usize, n_exits: usize) -> Self {
+        TaskCtx { params, charged: 0, created: Vec::new(), n_sites, n_exits }
+    }
+
+    /// Charges `cycles` of compute work to this invocation.
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.charged += cycles;
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Borrows parameter `i`'s payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the payload is not a `T`.
+    pub fn param<T: 'static>(&self, i: usize) -> &T {
+        self.params[i].downcast_ref::<T>().expect("parameter payload type mismatch")
+    }
+
+    /// Mutably borrows parameter `i`'s payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the payload is not a `T`.
+    pub fn param_mut<T: 'static>(&mut self, i: usize) -> &mut T {
+        self.params[i].downcast_mut::<T>().expect("parameter payload type mismatch")
+    }
+
+    /// Mutably borrows two distinct parameters at once (the common
+    /// reduce-into pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j`, either index is out of range, or a payload has
+    /// the wrong type.
+    pub fn param_pair_mut<A: 'static, B: 'static>(&mut self, i: usize, j: usize) -> (&mut A, &mut B) {
+        assert_ne!(i, j, "param_pair_mut needs two distinct parameters");
+        let (lo, hi, swap) = if i < j { (i, j, false) } else { (j, i, true) };
+        let (left, right) = self.params.split_at_mut(hi);
+        let a_slot = &mut left[lo];
+        let b_slot = &mut right[0];
+        if swap {
+            let b = a_slot.downcast_mut::<B>().expect("parameter payload type mismatch");
+            let a = b_slot.downcast_mut::<A>().expect("parameter payload type mismatch");
+            (a, b)
+        } else {
+            let a = a_slot.downcast_mut::<A>().expect("parameter payload type mismatch");
+            let b = b_slot.downcast_mut::<B>().expect("parameter payload type mismatch");
+            (a, b)
+        }
+    }
+
+    /// Creates an object at declared allocation site `site` with the given
+    /// payload; the runtime applies the site's initial flags and tag
+    /// bindings and routes the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for the task.
+    pub fn create<T: Send + 'static>(&mut self, site: usize, value: T) {
+        assert!(site < self.n_sites, "allocation site {site} out of range");
+        self.created.push((site, Box::new(value)));
+    }
+
+    /// Number of objects created so far in this invocation.
+    pub fn created_count(&self) -> usize {
+        self.created.len()
+    }
+
+    /// Validates an exit index (helper for executors).
+    pub(crate) fn check_exit(&self, exit: usize) -> usize {
+        assert!(exit < self.n_exits, "exit {exit} out of range");
+        exit
+    }
+
+    /// Consumes the context, returning `(charged, created)`.
+    pub(crate) fn finish(self) -> (Cycles, Vec<(usize, NativePayload)>) {
+        (self.charged, self.created)
+    }
+}
+
+impl fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TaskCtx({} params, {} charged, {} created)",
+            self.params.len(),
+            self.charged,
+            self.created.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_param_access_and_charge() {
+        let mut payloads: Vec<NativePayload> = vec![Box::new(41i64), Box::new("x".to_string())];
+        let mut ctx = TaskCtx::new(&mut payloads, 1, 2);
+        *ctx.param_mut::<i64>(0) += 1;
+        assert_eq!(*ctx.param::<i64>(0), 42);
+        assert_eq!(ctx.param::<String>(1), "x");
+        ctx.charge(100);
+        ctx.create(0, 7u32);
+        let (charged, created) = ctx.finish();
+        assert_eq!(charged, 100);
+        assert_eq!(created.len(), 1);
+    }
+
+    #[test]
+    fn ctx_pair_access_both_orders() {
+        let mut payloads: Vec<NativePayload> = vec![Box::new(1i64), Box::new(2.5f64)];
+        let mut ctx = TaskCtx::new(&mut payloads, 0, 1);
+        {
+            let (a, b) = ctx.param_pair_mut::<i64, f64>(0, 1);
+            *a += 1;
+            *b += 0.5;
+        }
+        let (b, a) = ctx.param_pair_mut::<f64, i64>(1, 0);
+        assert_eq!(*b, 3.0);
+        assert_eq!(*a, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_downcast_panics() {
+        let mut payloads: Vec<NativePayload> = vec![Box::new(1i64)];
+        let ctx = TaskCtx::new(&mut payloads, 0, 1);
+        ctx.param::<String>(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_site_panics() {
+        let mut payloads: Vec<NativePayload> = vec![];
+        let mut ctx = TaskCtx::new(&mut payloads, 0, 1);
+        ctx.create(0, ());
+    }
+}

@@ -1,0 +1,668 @@
+//! The threaded executor: real OS threads, real locks.
+//!
+//! One worker thread per core of the layout. Objects are owned by
+//! messages: a worker holds the objects currently enqueued in its
+//! parameter sets and forwards objects to other workers over crossbeam
+//! channels, exactly as the paper's runtime sends objects between tiles
+//! (§4.7). Before executing an invocation the worker *try-locks* every
+//! parameter object's lock class in a global lock table (sorted order, no
+//! deadlock); on failure it releases everything and tries a different
+//! invocation — Bamboo's transactional task semantics, with no aborts and
+//! no rollback. Lock classes merge per the disjointness analysis's
+//! [`bamboo_analysis::LockPlan`]s.
+//!
+//! This executor demonstrates genuine concurrent semantics; performance
+//! numbers come from the virtual-time executor (see DESIGN.md §2 — the
+//! host machine's core count is unrelated to the modeled TILEPro64).
+
+use crate::cost::CostModel;
+use crate::program::{NativePayload, Program, TaskCtx};
+use bamboo_analysis::{DisjointnessAnalysis, UnionFind};
+use bamboo_lang::ids::{ClassId, ExitId, ParamIdx, TagTypeId, TaskId};
+use bamboo_lang::interp::TagInstance;
+use bamboo_lang::spec::{FlagOrTagAction, FlagSet, ProgramSpec};
+use bamboo_profile::Cycles;
+use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision, Router};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::virtual_exec::ExecError;
+
+/// An object in flight or enqueued at a worker.
+struct TObject {
+    class: ClassId,
+    flags: FlagSet,
+    tags: Vec<(TagTypeId, TagInstance)>,
+    payload: NativePayload,
+    lock: usize,
+}
+
+enum Message {
+    Deliver(Box<TObject>),
+    Shutdown,
+}
+
+/// Global lock table: per-object lock classes with union-find merging.
+struct LockTable {
+    uf: Mutex<UnionFind>,
+    mutexes: Mutex<Vec<Arc<Mutex<()>>>>,
+}
+
+impl LockTable {
+    fn new() -> Self {
+        LockTable { uf: Mutex::new(UnionFind::new(0)), mutexes: Mutex::new(Vec::new()) }
+    }
+
+    fn fresh(&self) -> usize {
+        let id = self.uf.lock().push();
+        self.mutexes.lock().push(Arc::new(Mutex::new(())));
+        id
+    }
+
+    fn merge(&self, a: usize, b: usize) {
+        self.uf.lock().union(a, b);
+    }
+
+    /// Try-locks the lock classes of `ids` in sorted order; returns guards
+    /// or `None` if any class is contended (everything acquired is
+    /// released by dropping).
+    fn try_lock_all(
+        &self,
+        ids: &[usize],
+    ) -> Option<Vec<parking_lot::ArcMutexGuard<parking_lot::RawMutex, ()>>> {
+        let mut reps: Vec<usize> = {
+            let mut uf = self.uf.lock();
+            ids.iter().map(|&i| uf.find(i)).collect()
+        };
+        reps.sort_unstable();
+        reps.dedup();
+        let mutexes = self.mutexes.lock();
+        let handles: Vec<Arc<Mutex<()>>> = reps.iter().map(|&r| mutexes[r].clone()).collect();
+        drop(mutexes);
+        let mut guards = Vec::with_capacity(handles.len());
+        for handle in handles {
+            match handle.try_lock_arc() {
+                Some(guard) => guards.push(guard),
+                None => return None,
+            }
+        }
+        Some(guards)
+    }
+}
+
+struct Shared {
+    program: Program,
+    graph: GroupGraph,
+    layout: Layout,
+    locks_analysis: DisjointnessAnalysis,
+    lock_table: LockTable,
+    router: Mutex<Router>,
+    /// Messages in flight + formed-but-incomplete invocations. Zero means
+    /// quiescence.
+    activity: AtomicI64,
+    invocations: AtomicU64,
+    body_cycles: AtomicU64,
+    next_tag: AtomicU64,
+    senders: Vec<Sender<Message>>,
+    /// Collects objects that left dispatch (for result extraction).
+    graveyard: Sender<Box<TObject>>,
+}
+
+impl Shared {
+    fn spec(&self) -> &ProgramSpec {
+        &self.program.spec
+    }
+
+    fn mint_tag(&self) -> TagInstance {
+        TagInstance(self.next_tag.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    fn send(&self, instance: InstanceId, obj: Box<TObject>) {
+        self.activity.fetch_add(1, Ordering::SeqCst);
+        let core = self.layout.core_of(instance).index();
+        self.senders[core]
+            .send(Message::Deliver(obj))
+            .expect("worker channel open during execution");
+    }
+}
+
+/// A completed run of the threaded executor.
+#[derive(Debug)]
+pub struct ThreadedReport {
+    /// Invocations executed across all workers.
+    pub invocations: u64,
+    /// Total body cycles charged.
+    pub body_cycles: Cycles,
+    /// Final objects' class and payload, for result extraction.
+    pub finished: Vec<(ClassId, NativePayload)>,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl ThreadedReport {
+    /// Returns the payloads of finished objects of `class`, downcast to
+    /// `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a payload of that class is not a `T`.
+    pub fn payloads_of<T: 'static>(&self, class: ClassId) -> Vec<&T> {
+        self.finished
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, p)| p.downcast_ref::<T>().expect("payload type mismatch"))
+            .collect()
+    }
+}
+
+/// Executes native programs on real threads. See the module docs.
+#[derive(Debug)]
+pub struct ThreadedExecutor {
+    _cost: CostModel,
+}
+
+impl ThreadedExecutor {
+    /// Creates an executor. The cost model is accepted for interface
+    /// symmetry with the virtual executor; the threaded executor reports
+    /// real wall time plus body-charged cycles.
+    pub fn new(cost: CostModel) -> Self {
+        ThreadedExecutor { _cost: cost }
+    }
+
+    /// Runs `program` under `layout` with one thread per core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NativeOnly`] for interpreted programs.
+    pub fn run(
+        &self,
+        program: &Program,
+        graph: &GroupGraph,
+        layout: &Layout,
+        locks: &DisjointnessAnalysis,
+        startup: Option<NativePayload>,
+    ) -> Result<ThreadedReport, ExecError> {
+        if !program.is_native() {
+            return Err(ExecError::NativeOnly);
+        }
+        let start = std::time::Instant::now();
+        let core_count = layout.core_count;
+        let mut senders = Vec::with_capacity(core_count);
+        let mut receivers = Vec::with_capacity(core_count);
+        for _ in 0..core_count {
+            let (tx, rx) = unbounded::<Message>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (grave_tx, grave_rx) = unbounded::<Box<TObject>>();
+        let shared = Arc::new(Shared {
+            program: program.clone(),
+            graph: graph.clone(),
+            layout: layout.clone(),
+            locks_analysis: locks.clone(),
+            lock_table: LockTable::new(),
+            router: Mutex::new(Router::new()),
+            activity: AtomicI64::new(0),
+            invocations: AtomicU64::new(0),
+            body_cycles: AtomicU64::new(0),
+            next_tag: AtomicU64::new(0),
+            senders,
+            graveyard: grave_tx,
+        });
+
+        // Inject the startup object.
+        let spec = shared.spec().clone();
+        let startup_obj = Box::new(TObject {
+            class: spec.startup.class,
+            flags: FlagSet::new().with(spec.startup.flag, true),
+            tags: Vec::new(),
+            payload: startup.unwrap_or_else(|| Box::new(())),
+            lock: shared.lock_table.fresh(),
+        });
+        let startup_inst = layout.instances_of(graph.startup_group)[0];
+        shared.send(startup_inst, startup_obj);
+
+        // Spawn workers.
+        let mut handles = Vec::with_capacity(core_count);
+        for (core, rx) in receivers.into_iter().enumerate() {
+            let shared = shared.clone();
+            handles.push(std::thread::spawn(move || worker_loop(core, rx, shared)));
+        }
+
+        // Quiescence: activity stays at zero across a settle delay.
+        loop {
+            std::thread::sleep(Duration::from_micros(300));
+            if shared.activity.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_micros(300));
+                if shared.activity.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+            }
+        }
+        for tx in &shared.senders {
+            let _ = tx.send(Message::Shutdown);
+        }
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+
+        let mut finished = Vec::new();
+        while let Ok(obj) = grave_rx.try_recv() {
+            finished.push((obj.class, obj.payload));
+        }
+        Ok(ThreadedReport {
+            invocations: shared.invocations.load(Ordering::SeqCst),
+            body_cycles: shared.body_cycles.load(Ordering::SeqCst),
+            finished,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+impl Default for ThreadedExecutor {
+    fn default() -> Self {
+        ThreadedExecutor::new(CostModel::DEFAULT)
+    }
+}
+
+/// A formed invocation held by a worker.
+#[allow(clippy::vec_box)] // objects stay boxed so routing re-sends them without moving
+struct PendingInv {
+    task: TaskId,
+    instance: InstanceId,
+    objs: Vec<Box<TObject>>,
+    tag_env: Vec<Option<TagInstance>>,
+}
+
+fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
+    let spec = shared.spec().clone();
+    // Instances on this core, with their (task, param) slots.
+    let instances = shared.layout.instances_on(bamboo_machine::CoreId::new(core));
+    let mut slots: Vec<Vec<(TaskId, ParamIdx)>> = Vec::new();
+    let mut sets: Vec<Vec<VecDeque<Box<TObject>>>> = Vec::new();
+    for inst in &instances {
+        let group = &shared.graph.groups[shared.layout.instances[inst.index()].group.index()];
+        let mut keys = Vec::new();
+        for task in &group.tasks {
+            for p in 0..spec.task(*task).params.len() {
+                keys.push((*task, ParamIdx::new(p)));
+            }
+        }
+        sets.push((0..keys.len()).map(|_| VecDeque::new()).collect());
+        slots.push(keys);
+    }
+    let mut ready: VecDeque<PendingInv> = VecDeque::new();
+
+    loop {
+        // Drain incoming messages (block only when nothing is ready).
+        let msg = if ready.is_empty() { rx.recv().ok() } else { rx.try_recv().ok() };
+        match msg {
+            Some(Message::Deliver(obj)) => {
+                deliver(&shared, &spec, &instances, &slots, &mut sets, obj);
+                form_all(&shared, &spec, &instances, &slots, &mut sets, &mut ready);
+                // The message's activity transfers to any invocations it
+                // formed (counted in form_all); release the message's own.
+                shared.activity.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            Some(Message::Shutdown) => break,
+            None => {}
+        }
+        if let Some(inv) = ready.pop_front() {
+            let lock_ids: Vec<usize> = inv.objs.iter().map(|o| o.lock).collect();
+            match shared.lock_table.try_lock_all(&lock_ids) {
+                Some(guards) => {
+                    execute(&shared, &spec, inv);
+                    drop(guards);
+                }
+                None => {
+                    // Transactional retry: nothing held; try a different
+                    // invocation later.
+                    ready.push_back(inv);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    // Drain remaining parameter-set objects so results are extractable.
+    for inst_sets in sets {
+        for mut set in inst_sets {
+            while let Some(obj) = set.pop_front() {
+                let _ = shared.graveyard.send(obj);
+            }
+        }
+    }
+}
+
+fn deliver(
+    shared: &Shared,
+    spec: &ProgramSpec,
+    instances: &[InstanceId],
+    slots: &[Vec<(TaskId, ParamIdx)>],
+    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    obj: Box<TObject>,
+) {
+    // Enqueue at the first instance on this core with a matching slot.
+    // (With several same-group instances per core this coarsens the
+    // round-robin split; correctness is unaffected because any matching
+    // instance may process the object.) Unlike the virtual executor,
+    // which enqueues an object into every matching parameter set and
+    // reserves it at invocation formation, workers *own* their objects:
+    // single-slot delivery makes double capture impossible by
+    // construction, at the cost of possible starvation when two tasks'
+    // guards overlap and only the second can make progress — the
+    // synthesis pipeline never produces such programs, and the virtual
+    // executor handles them.
+    for (i, _inst) in instances.iter().enumerate() {
+        for (slot, (task, param)) in slots[i].iter().enumerate() {
+            let pspec = &spec.task(*task).params[param.index()];
+            if pspec.class == obj.class && pspec.guard.eval(obj.flags) {
+                sets[i][slot].push_back(obj);
+                return;
+            }
+        }
+    }
+    // No local slot matches: forward to the consuming group, or retire
+    // the object if no task can ever consume it.
+    let inst = instances.first().copied().unwrap_or(InstanceId(0));
+    let hash = obj.tags.first().map(|(_, i)| i.0);
+    let decision = shared.router.lock().route_transition(
+        spec,
+        &shared.graph,
+        &shared.layout,
+        inst,
+        obj.class,
+        obj.flags,
+        hash,
+    );
+    match decision {
+        RouteDecision::Move(dest) => shared.send(dest, obj),
+        _ => {
+            let _ = shared.graveyard.send(obj);
+        }
+    }
+}
+
+fn form_all(
+    shared: &Shared,
+    spec: &ProgramSpec,
+    instances: &[InstanceId],
+    slots: &[Vec<(TaskId, ParamIdx)>],
+    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    ready: &mut VecDeque<PendingInv>,
+) {
+    for (i, inst) in instances.iter().enumerate() {
+        let group = &shared.graph.groups[shared.layout.instances[inst.index()].group.index()];
+        for &task in &group.tasks {
+            'again: loop {
+                let tspec = spec.task(task);
+                let n = tspec.params.len();
+                let mut tag_env: Vec<Option<TagInstance>> = vec![None; tspec.tag_vars.len()];
+                let mut picks: Vec<(usize, usize)> = Vec::new(); // (slot, idx)
+                for p in 0..n {
+                    let slot = slots[i]
+                        .iter()
+                        .position(|(t, pi)| *t == task && pi.index() == p)
+                        .expect("slot exists");
+                    let pspec = &tspec.params[p];
+                    let mut found = None;
+                    for (idx, cand) in sets[i][slot].iter().enumerate() {
+                        if picks.contains(&(slot, idx)) {
+                            continue;
+                        }
+                        if !pspec.guard.eval(cand.flags) {
+                            continue;
+                        }
+                        let mut ok = true;
+                        let mut updates = Vec::new();
+                        for tc in &pspec.tags {
+                            let bound = updates
+                                .iter()
+                                .find(|(v, _)| *v == tc.var.index())
+                                .map(|(_, inst)| *inst)
+                                .or(tag_env[tc.var.index()]);
+                            match bound {
+                                Some(instn) => {
+                                    if !cand.tags.contains(&(tc.tag_type, instn)) {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                None => {
+                                    match cand.tags.iter().find(|(tt, _)| *tt == tc.tag_type) {
+                                        Some((_, instn)) => {
+                                            updates.push((tc.var.index(), *instn))
+                                        }
+                                        None => {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if ok {
+                            for (v, instn) in updates {
+                                tag_env[v] = Some(instn);
+                            }
+                            found = Some((slot, idx));
+                            break;
+                        }
+                    }
+                    match found {
+                        Some(pick) => picks.push(pick),
+                        None => break 'again,
+                    }
+                }
+                if picks.is_empty() {
+                    break;
+                }
+                // Extract picked objects; each param has its own slot, so
+                // earlier removals do not shift later picks.
+                let mut objs = Vec::with_capacity(n);
+                for (slot, idx) in picks {
+                    let obj = sets[i][slot].remove(idx).expect("picked index valid");
+                    objs.push(obj);
+                }
+                shared.activity.fetch_add(1, Ordering::SeqCst);
+                ready.push_back(PendingInv { task, instance: *inst, objs, tag_env });
+            }
+        }
+    }
+}
+
+fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv) {
+    let tspec = spec.task(inv.task);
+    // Mint body-created tag variables.
+    for (v, var) in tspec.tag_vars.iter().enumerate() {
+        if !var.from_param && inv.tag_env[v].is_none() {
+            inv.tag_env[v] = Some(shared.mint_tag());
+        }
+    }
+    // Run the body.
+    let body = shared
+        .program
+        .native_body(inv.task)
+        .expect("threaded executor only runs native programs")
+        .clone();
+    let mut payloads: Vec<NativePayload> = Vec::with_capacity(inv.objs.len());
+    for obj in &mut inv.objs {
+        payloads.push(std::mem::replace(&mut obj.payload, Box::new(())));
+    }
+    let mut ctx = TaskCtx::new(&mut payloads, tspec.alloc_sites.len(), tspec.exits.len());
+    let exit_idx = body(&mut ctx);
+    let exit = ExitId::new(ctx.check_exit(exit_idx));
+    let (charged, created) = ctx.finish();
+    for (obj, payload) in inv.objs.iter_mut().zip(payloads) {
+        obj.payload = payload;
+    }
+    shared.body_cycles.fetch_add(charged, Ordering::Relaxed);
+    shared.invocations.fetch_add(1, Ordering::Relaxed);
+
+    // Shared-lock directive.
+    for group in &shared.locks_analysis.lock_plans[inv.task.index()].groups {
+        for pair in group.windows(2) {
+            shared
+                .lock_table
+                .merge(inv.objs[pair[0].index()].lock, inv.objs[pair[1].index()].lock);
+        }
+    }
+
+    // Exit actions.
+    let exit_spec = tspec.exit(exit);
+    for (param_idx, actions) in &exit_spec.actions {
+        let obj = &mut inv.objs[param_idx.index()];
+        for action in actions {
+            match action {
+                FlagOrTagAction::SetFlag(flag, value) => obj.flags.set(*flag, *value),
+                FlagOrTagAction::AddTag(var) => {
+                    if let Some(instn) = inv.tag_env[var.index()] {
+                        let tt = tspec.tag_vars[var.index()].tag_type;
+                        if !obj.tags.contains(&(tt, instn)) {
+                            obj.tags.push((tt, instn));
+                        }
+                    }
+                }
+                FlagOrTagAction::ClearTag(var) => {
+                    if let Some(instn) = inv.tag_env[var.index()] {
+                        let tt = tspec.tag_vars[var.index()].tag_type;
+                        obj.tags.retain(|t| *t != (tt, instn));
+                    }
+                }
+            }
+        }
+    }
+
+    // Route parameters.
+    for obj in inv.objs {
+        let hash = obj.tags.first().map(|(_, i)| i.0);
+        let decision = shared.router.lock().route_transition(
+            spec,
+            &shared.graph,
+            &shared.layout,
+            inv.instance,
+            obj.class,
+            obj.flags,
+            hash,
+        );
+        match decision {
+            RouteDecision::Stay => shared.send(inv.instance, obj),
+            RouteDecision::Move(dest) => shared.send(dest, obj),
+            RouteDecision::Dead => {
+                let _ = shared.graveyard.send(obj);
+            }
+        }
+    }
+
+    // Created objects.
+    for (site_idx, payload) in created {
+        let site = bamboo_lang::ids::AllocSiteId::new(site_idx);
+        let site_spec = &tspec.alloc_sites[site.index()];
+        let tags: Vec<(TagTypeId, TagInstance)> = site_spec
+            .bound_tags
+            .iter()
+            .filter_map(|var| {
+                inv.tag_env[var.index()].map(|instn| (tspec.tag_vars[var.index()].tag_type, instn))
+            })
+            .collect();
+        let hash = tags.first().map(|(_, i)| i.0);
+        let dest = shared.router.lock().route_new(
+            spec,
+            &shared.graph,
+            &shared.layout,
+            inv.instance,
+            inv.task,
+            site,
+            hash,
+        );
+        let obj = Box::new(TObject {
+            class: site_spec.class,
+            flags: site_spec.initial_flag_set(),
+            tags,
+            payload,
+            lock: shared.lock_table.fresh(),
+        });
+        shared.send(dest, obj);
+    }
+
+    // Invocation complete.
+    shared.activity.fetch_sub(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::virtual_exec::tests_support::fanout_setup;
+
+    #[test]
+    fn threaded_matches_virtual_result() {
+        let (program, graph, layout, _machine, locks) = fanout_setup(24, 3);
+        let report = ThreadedExecutor::default()
+            .run(&program, &graph, &layout, &locks, None)
+            .unwrap();
+        // 1 startup + 24 work + 24 reduce.
+        assert_eq!(report.invocations, 49);
+        let acc_class = program.spec.class_by_name("Acc").unwrap();
+        let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
+        assert_eq!(accs.len(), 1);
+        // Sum of squares 0..24.
+        let expected: i64 = (0..24).map(|i| i * i).sum();
+        assert_eq!(accs[0].0, expected);
+    }
+
+    #[test]
+    fn threaded_single_core_works() {
+        let (program, graph, layout, _machine, locks) = fanout_setup(8, 1);
+        let report = ThreadedExecutor::default()
+            .run(&program, &graph, &layout, &locks, None)
+            .unwrap();
+        assert_eq!(report.invocations, 17);
+        assert!(report.body_cycles > 0);
+    }
+
+    #[test]
+    fn interpreted_program_is_rejected() {
+        let compiled = bamboo_lang::compile_source(
+            "t",
+            r#"
+            class StartupObject { flag initialstate; }
+            task t(StartupObject s in initialstate) { taskexit(s: initialstate := false); }
+            "#,
+        )
+        .unwrap();
+        let locks = DisjointnessAnalysis::all_disjoint(&compiled.spec);
+        let program = Program::from_compiled(compiled);
+        let analysis = bamboo_analysis::DependenceAnalysis::run(&program.spec);
+        let cstg = bamboo_analysis::Cstg::build(&program.spec, &analysis);
+        let empty = bamboo_profile::ProfileCollector::new(&program.spec, "x").finish();
+        let graph = GroupGraph::build(&program.spec, &cstg, &empty);
+        let layout = Layout::single_core(&graph);
+        let err = ThreadedExecutor::default()
+            .run(&program, &graph, &layout, &locks, None)
+            .unwrap_err();
+        assert_eq!(err, ExecError::NativeOnly);
+    }
+
+    #[test]
+    fn lock_contention_retries_preserve_correctness() {
+        // Force all objects into one lock class by marking every task's
+        // parameters shared: heavy contention, same result.
+        let (program, graph, layout, _machine, locks) = fanout_setup(16, 4);
+        let reduce = program.spec.task_by_name("reduce").unwrap();
+        let locks = locks.with_shared(
+            reduce,
+            &[bamboo_lang::ids::ParamIdx::new(0), bamboo_lang::ids::ParamIdx::new(1)],
+        );
+        let report = ThreadedExecutor::default()
+            .run(&program, &graph, &layout, &locks, None)
+            .unwrap();
+        let acc_class = program.spec.class_by_name("Acc").unwrap();
+        let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
+        let expected: i64 = (0..16).map(|i| i * i).sum();
+        assert_eq!(accs[0].0, expected);
+    }
+}

@@ -1,0 +1,310 @@
+//! Directed simulated annealing (paper §4.5).
+//!
+//! Bamboo's optimizer mirrors what a developer does by hand: run the
+//! (simulated) application, find the bottleneck on the critical path,
+//! move work to fix it, repeat. Each iteration simulates the candidate
+//! layouts, prunes them probabilistically (good layouts survive with high
+//! probability, poor ones with low probability — the annealing part),
+//! derives critical-path-directed move proposals for the survivors, and
+//! materializes the moved layouts as the next candidate set. When an
+//! iteration fails to improve the best layout, the search continues with
+//! some probability (escaping local maxima) and otherwise stops.
+
+use crate::critpath::{apply_move, propose_moves};
+use crate::groups::GroupGraph;
+use crate::layout::Layout;
+use crate::sim::{simulate, SimOptions, SimResult};
+use bamboo_lang::spec::ProgramSpec;
+use bamboo_machine::MachineDescription;
+use bamboo_profile::{Cycles, Profile};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// DSA tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DsaOptions {
+    /// Hard cap on iterations.
+    pub max_iterations: usize,
+    /// Probability of keeping one of the better half of candidates.
+    pub keep_best_probability: f64,
+    /// Probability of keeping one of the worse half.
+    pub keep_worse_probability: f64,
+    /// Probability of continuing after a non-improving iteration.
+    pub continue_probability: f64,
+    /// Move proposals materialized per surviving layout per iteration.
+    pub moves_per_layout: usize,
+    /// Upper bound on live candidates per iteration.
+    pub max_candidates: usize,
+    /// Simulator configuration.
+    pub sim: SimOptions,
+}
+
+impl Default for DsaOptions {
+    fn default() -> Self {
+        DsaOptions {
+            max_iterations: 40,
+            keep_best_probability: 0.95,
+            keep_worse_probability: 0.10,
+            continue_probability: 0.75,
+            moves_per_layout: 10,
+            max_candidates: 32,
+            sim: SimOptions { collect_trace: true, ..SimOptions::default() },
+        }
+    }
+}
+
+/// Search statistics, reported alongside the winning layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DsaStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total scheduling simulations run.
+    pub simulations: usize,
+    /// Estimated makespan of the winner.
+    pub best_makespan: Cycles,
+}
+
+/// Runs directed simulated annealing from `initial` candidate layouts.
+///
+/// Returns the best layout found, its simulation result, and search
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty.
+pub fn optimize<R: Rng>(
+    spec: &ProgramSpec,
+    graph: &GroupGraph,
+    profile: &Profile,
+    machine: &MachineDescription,
+    initial: Vec<Layout>,
+    opts: &DsaOptions,
+    rng: &mut R,
+) -> (Layout, SimResult, DsaStats) {
+    assert!(!initial.is_empty(), "DSA needs at least one starting layout");
+    let mut stats = DsaStats::default();
+    let mut candidates = initial;
+    let mut best: Option<(Layout, SimResult)> = None;
+    let mut seen: HashSet<String> = HashSet::new();
+
+    for _ in 0..opts.max_iterations {
+        stats.iterations += 1;
+        // Evaluate.
+        let mut evaluated: Vec<(Layout, SimResult)> = candidates
+            .drain(..)
+            .map(|layout| {
+                stats.simulations += 1;
+                let result = simulate(spec, graph, &layout, profile, machine, &opts.sim);
+                (layout, result)
+            })
+            .collect();
+        evaluated.sort_by_key(|(_, r)| r.makespan);
+
+        let improved = match (&best, evaluated.first()) {
+            (Some((_, b)), Some((_, e))) => e.makespan < b.makespan,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if let Some((layout, result)) = evaluated.first() {
+            if best.as_ref().map(|(_, b)| result.makespan < b.makespan).unwrap_or(true) {
+                best = Some((layout.clone(), result.clone()));
+            }
+        }
+
+        // Prune probabilistically. The round's best candidate always
+        // survives: dropping the sole candidate of a one-start run would
+        // otherwise end the search after a single simulation.
+        let half = evaluated.len().div_ceil(2);
+        let survivors: Vec<(Layout, SimResult)> = evaluated
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                if *i == 0 {
+                    return true;
+                }
+                let p = if *i < half {
+                    opts.keep_best_probability
+                } else {
+                    opts.keep_worse_probability
+                };
+                rng.gen_bool(p)
+            })
+            .map(|(_, x)| x)
+            .collect();
+
+        // Directed move generation, plus undirected exploration (the
+        // annealing part: random moves and swaps escape the proposals'
+        // blind spots — swaps in particular cross pigeonhole plateaus
+        // that no single migration can improve).
+        let mut next: Vec<Layout> = Vec::new();
+        for (layout, result) in &survivors {
+            let Some(trace) = &result.trace else { continue };
+            let mut mutated: Vec<Layout> = Vec::new();
+            for proposal in propose_moves(trace, layout, rng, opts.moves_per_layout) {
+                mutated.push(apply_move(layout, proposal));
+            }
+            for _ in 0..2 {
+                if layout.instances.len() > 1 {
+                    let inst = crate::layout::InstanceId(
+                        rng.gen_range(1..layout.instances.len()) as u32,
+                    );
+                    let core = bamboo_machine::CoreId::new(rng.gen_range(0..layout.core_count));
+                    mutated.push(apply_move(
+                        layout,
+                        crate::critpath::MoveProposal { instance: inst, to_core: core },
+                    ));
+                }
+            }
+            for _ in 0..2 {
+                if layout.instances.len() > 2 {
+                    let a = rng.gen_range(1..layout.instances.len());
+                    let b = rng.gen_range(1..layout.instances.len());
+                    if a != b {
+                        let (ca, cb) = (
+                            layout.instances[a].core,
+                            layout.instances[b].core,
+                        );
+                        if ca != cb {
+                            let swapped = apply_move(
+                                &apply_move(
+                                    layout,
+                                    crate::critpath::MoveProposal {
+                                        instance: crate::layout::InstanceId(a as u32),
+                                        to_core: cb,
+                                    },
+                                ),
+                                crate::critpath::MoveProposal {
+                                    instance: crate::layout::InstanceId(b as u32),
+                                    to_core: ca,
+                                },
+                            );
+                            mutated.push(swapped);
+                        }
+                    }
+                }
+            }
+            for moved in mutated {
+                let sig = format!("{:?}", moved.signature(graph));
+                if seen.insert(sig) {
+                    next.push(moved);
+                }
+                if next.len() >= opts.max_candidates {
+                    break;
+                }
+            }
+        }
+        // Survivors stay in the pool too (their traces may yield different
+        // random groups next round).
+        for (layout, _) in survivors {
+            if next.len() >= opts.max_candidates {
+                break;
+            }
+            next.push(layout);
+        }
+
+        if next.is_empty() {
+            break;
+        }
+        if !improved && !rng.gen_bool(opts.continue_probability) {
+            break;
+        }
+        candidates = next;
+    }
+
+    let (layout, result) = best.expect("at least one candidate evaluated");
+    stats.best_makespan = result.makespan;
+    (layout, result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::random_layouts;
+    use crate::preprocess::scc_tree_transform;
+    use crate::testutil::kc_setup;
+    use crate::transforms::compute_replication;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dsa_improves_on_single_core_start() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&GroupGraph::build(&spec, &cstg, &profile));
+        let machine = MachineDescription::quad();
+        let repl = compute_replication(&spec, &graph, &profile, 4);
+        // Start from the worst layout: everything on core 0.
+        let cores: Vec<Vec<bamboo_machine::CoreId>> = graph
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(g, _)| vec![bamboo_machine::CoreId::new(0); repl.copies[g]])
+            .collect();
+        let start = Layout::new(&graph, &repl, 4, &cores);
+        let start_result = simulate(
+            &spec,
+            &graph,
+            &start,
+            &profile,
+            &machine,
+            &SimOptions { collect_trace: true, ..SimOptions::default() },
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let (_best, result, stats) = optimize(
+            &spec,
+            &graph,
+            &profile,
+            &machine,
+            vec![start],
+            &DsaOptions::default(),
+            &mut rng,
+        );
+        assert!(stats.simulations >= 1);
+        assert!(
+            result.makespan < start_result.makespan,
+            "DSA failed to improve: {} !< {}",
+            result.makespan,
+            start_result.makespan
+        );
+    }
+
+    #[test]
+    fn dsa_finds_near_best_of_random_sample() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&GroupGraph::build(&spec, &cstg, &profile));
+        let machine = MachineDescription::quad();
+        let repl = compute_replication(&spec, &graph, &profile, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample = random_layouts(&graph, &repl, 4, 20, &mut rng);
+        let sample_best = sample
+            .iter()
+            .map(|l| simulate(&spec, &graph, l, &profile, &machine, &SimOptions::default()).makespan)
+            .min()
+            .unwrap();
+        let starts = random_layouts(&graph, &repl, 4, 3, &mut rng);
+        let (_l, result, _s) = optimize(
+            &spec,
+            &graph,
+            &profile,
+            &machine,
+            starts,
+            &DsaOptions::default(),
+            &mut rng,
+        );
+        assert!(
+            result.makespan <= sample_best,
+            "DSA {} worse than random sample best {}",
+            result.makespan,
+            sample_best
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one starting layout")]
+    fn empty_start_panics() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = GroupGraph::build(&spec, &cstg, &profile);
+        let machine = MachineDescription::quad();
+        let mut rng = StdRng::seed_from_u64(0);
+        optimize(&spec, &graph, &profile, &machine, vec![], &DsaOptions::default(), &mut rng);
+    }
+}

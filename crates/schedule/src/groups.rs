@@ -1,0 +1,307 @@
+//! Core groups and the group graph (paper §4.3.1).
+//!
+//! A *core group* is a set of tasks that will be mapped onto the same core
+//! together with the abstract object states those tasks process. The base
+//! grouping implements the **data locality rule**: all states an object
+//! moves through during its lifetime (one connected component of its
+//! class's ASTG) belong to one group, and each task lives in the group of
+//! its first parameter, so by default an object is processed entirely on
+//! the core it was delivered to.
+//!
+//! Groups are connected by *new-object edges*: group A containing task T →
+//! group B whose states T's allocation sites produce, annotated with the
+//! profiled mean number of objects per invocation. The preprocessing and
+//! parallelization transforms ([`crate::preprocess`],
+//! [`crate::transforms`]) rewrite this graph.
+
+use bamboo_analysis::cstg::{Cstg, NodeId};
+use bamboo_analysis::union_find::UnionFind;
+use bamboo_lang::ids::{ClassId, TaskId};
+use bamboo_lang::spec::{GlobalAllocSite, ProgramSpec};
+use bamboo_profile::Profile;
+use std::fmt;
+
+/// Identifies a core group within a [`GroupGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group#{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group#{}", self.0)
+    }
+}
+
+/// One core group.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Group {
+    /// Tasks executed in this group (each task lives in exactly one
+    /// group).
+    pub tasks: Vec<TaskId>,
+    /// CSTG state nodes resident in this group.
+    pub states: Vec<NodeId>,
+    /// Classes of those states.
+    pub classes: Vec<ClassId>,
+    /// The base component this group descends from (stable across
+    /// duplication; used for isomorphism reduction).
+    pub origin: u32,
+}
+
+impl Group {
+    /// Returns whether `task` runs in this group.
+    pub fn has_task(&self, task: TaskId) -> bool {
+        self.tasks.contains(&task)
+    }
+}
+
+/// A new-object edge between groups.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroupNewEdge {
+    /// The group containing the creating task.
+    pub from: GroupId,
+    /// The group whose states the new objects enter.
+    pub to: GroupId,
+    /// The creating task.
+    pub task: TaskId,
+    /// The allocation site.
+    pub site: GlobalAllocSite,
+    /// Profiled mean objects per invocation of the creating task.
+    pub mean_count: f64,
+}
+
+/// The group graph: core groups plus new-object edges.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroupGraph {
+    /// The groups, indexed by [`GroupId`].
+    pub groups: Vec<Group>,
+    /// New-object edges.
+    pub new_edges: Vec<GroupNewEdge>,
+    /// The group containing the startup task/state.
+    pub startup_group: GroupId,
+}
+
+impl GroupGraph {
+    /// Builds the base group graph from the CSTG and a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSTG does not contain the spec's startup state (it
+    /// always does for analysis output).
+    pub fn build(spec: &ProgramSpec, cstg: &Cstg, profile: &Profile) -> Self {
+        // 1. Per-class connected components over task edges.
+        let n = cstg.nodes.len();
+        let mut uf = UnionFind::new(n);
+        for edge in &cstg.task_edges {
+            uf.union(edge.from.index(), edge.to.index());
+        }
+        // 2. Each task joins the components of its param-0 source states.
+        for (task_id, _) in spec.tasks_enumerated() {
+            let sources: Vec<usize> = cstg
+                .task_edges
+                .iter()
+                .filter(|e| e.task == task_id && e.param.index() == 0)
+                .map(|e| e.from.index())
+                .collect();
+            for pair in sources.windows(2) {
+                uf.union(pair[0], pair[1]);
+            }
+        }
+        // 3. Materialize groups.
+        let mut group_of_node = vec![usize::MAX; n];
+        let mut groups: Vec<Group> = Vec::new();
+        for i in 0..n {
+            let rep = uf.find(i);
+            if group_of_node[rep] == usize::MAX {
+                group_of_node[rep] = groups.len();
+                groups.push(Group {
+                    tasks: Vec::new(),
+                    states: Vec::new(),
+                    classes: Vec::new(),
+                    origin: groups.len() as u32,
+                });
+            }
+            let g = group_of_node[rep];
+            group_of_node[i] = g;
+            groups[g].states.push(NodeId(i as u32));
+            let class = cstg.nodes[i].class;
+            if !groups[g].classes.contains(&class) {
+                groups[g].classes.push(class);
+            }
+        }
+        // 4. Assign tasks to the group of their param-0 source states.
+        for (task_id, _) in spec.tasks_enumerated() {
+            let source = cstg
+                .task_edges
+                .iter()
+                .find(|e| e.task == task_id && e.param.index() == 0)
+                .map(|e| e.from.index());
+            if let Some(node) = source {
+                let g = group_of_node[node];
+                if !groups[g].tasks.contains(&task_id) {
+                    groups[g].tasks.push(task_id);
+                }
+            }
+        }
+        // 5. New-object edges with profiled means.
+        let mut new_edges = Vec::new();
+        for edge in &cstg.new_edges {
+            let from_group = groups
+                .iter()
+                .position(|g| g.has_task(edge.task))
+                .map(|i| GroupId(i as u32));
+            let Some(from) = from_group else { continue };
+            let to = GroupId(group_of_node[edge.to.index()] as u32);
+            // The parallelism a site exposes is its *per-exit* mean: a
+            // phase-final merge that allocates the whole next wave on a
+            // rare exit exposes wave-sized parallelism even though the
+            // per-invocation average is ~1.
+            let tp = profile.task(edge.task);
+            let mean_count = tp
+                .exits
+                .iter()
+                .filter(|e| e.count > 0)
+                .map(|e| {
+                    e.site_allocs.get(edge.site.site.index()).copied().unwrap_or(0) as f64
+                        / e.count as f64
+                })
+                .fold(0.0f64, f64::max)
+                .max(if tp.invocations() == 0 { 1.0 } else { 0.0 });
+            new_edges.push(GroupNewEdge { from, to, task: edge.task, site: edge.site, mean_count });
+        }
+        // 6. Locate the startup group.
+        let startup_state = cstg
+            .nodes
+            .iter()
+            .position(|node| {
+                node.class == spec.startup.class && node.allocatable
+            })
+            .expect("startup state present in CSTG");
+        let startup_group = GroupId(group_of_node[startup_state] as u32);
+        GroupGraph { groups, new_edges, startup_group }
+    }
+
+    /// Returns the group containing `task`, if the task is reachable.
+    pub fn group_of_task(&self, task: TaskId) -> Option<GroupId> {
+        self.groups
+            .iter()
+            .position(|g| g.has_task(task))
+            .map(|i| GroupId(i as u32))
+    }
+
+    /// Returns the groups containing `state` (after duplication a state
+    /// can live in several group copies).
+    pub fn groups_of_state(&self, state: NodeId) -> Vec<GroupId> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.states.contains(&state))
+            .map(|(i, _)| GroupId(i as u32))
+            .collect()
+    }
+
+    /// Returns the incoming new edges of `group`.
+    pub fn incoming(&self, group: GroupId) -> impl Iterator<Item = &GroupNewEdge> {
+        self.new_edges.iter().filter(move |e| e.to == group && e.from != group)
+    }
+
+    /// Renders a summary of the graph.
+    pub fn summary(&self, spec: &ProgramSpec) -> String {
+        let mut out = String::new();
+        for (i, group) in self.groups.iter().enumerate() {
+            let tasks: Vec<&str> =
+                group.tasks.iter().map(|t| spec.task(*t).name.as_str()).collect();
+            let classes: Vec<&str> =
+                group.classes.iter().map(|c| spec.class(*c).name.as_str()).collect();
+            out.push_str(&format!(
+                "group#{i} (origin {}): tasks=[{}] classes=[{}] states={}\n",
+                group.origin,
+                tasks.join(","),
+                classes.join(","),
+                group.states.len()
+            ));
+        }
+        for e in &self.new_edges {
+            out.push_str(&format!(
+                "  {} --new {} x{:.1}--> {}\n",
+                e.from,
+                spec.task(e.task).name,
+                e.mean_count,
+                e.to
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::kc_setup;
+
+        #[test]
+    fn base_grouping_matches_paper_example() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = GroupGraph::build(&spec, &cstg, &profile);
+        // Three groups: StartupObject, Text, Results.
+        assert_eq!(graph.groups.len(), 3);
+        let startup_task = spec.task_by_name("startup").unwrap();
+        let process = spec.task_by_name("processText").unwrap();
+        let merge = spec.task_by_name("mergeIntermediateResult").unwrap();
+        let g_startup = graph.group_of_task(startup_task).unwrap();
+        let g_process = graph.group_of_task(process).unwrap();
+        let g_merge = graph.group_of_task(merge).unwrap();
+        assert_eq!(g_startup, graph.startup_group);
+        assert_ne!(g_process, g_merge);
+        // merge lives with Results (its param 0), not with Text.
+        let results = spec.class_by_name("Results").unwrap();
+        assert!(graph.groups[g_merge.index()].classes.contains(&results));
+    }
+
+    #[test]
+    fn new_edge_means_come_from_profile() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = GroupGraph::build(&spec, &cstg, &profile);
+        let startup_task = spec.task_by_name("startup").unwrap();
+        let text = spec.class_by_name("Text").unwrap();
+        let text_edge = graph
+            .new_edges
+            .iter()
+            .find(|e| {
+                e.task == startup_task
+                    && graph.groups[e.to.index()].classes.contains(&text)
+            })
+            .expect("edge to Text group");
+        assert!((text_edge.mean_count - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incoming_excludes_self_edges() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = GroupGraph::build(&spec, &cstg, &profile);
+        // Text group has exactly one incoming edge (from startup).
+        let process = spec.task_by_name("processText").unwrap();
+        let g = graph.group_of_task(process).unwrap();
+        assert_eq!(graph.incoming(g).count(), 1);
+    }
+
+    #[test]
+    fn summary_names_tasks() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = GroupGraph::build(&spec, &cstg, &profile);
+        let s = graph.summary(&spec);
+        assert!(s.contains("processText"));
+        assert!(s.contains("--new"));
+    }
+}

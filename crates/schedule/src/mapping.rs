@@ -1,0 +1,364 @@
+//! Mapping group instances to cores (paper §4.3.4).
+//!
+//! The mapping search enumerates non-isomorphic assignments of group
+//! instances to cores with a backtracking algorithm. Isomorphism is
+//! broken two ways: cores are interchangeable, so a fresh core may only
+//! be opened in index order; and copies of the same group are
+//! interchangeable, so their core indices must be non-decreasing. The
+//! enumerator extends the standard algorithm with random subspace
+//! skipping, so it can draw a random sample of the (often astronomically
+//! large) candidate space, as the paper's synthesizer does.
+
+use crate::groups::GroupGraph;
+use crate::layout::Layout;
+use crate::transforms::Replication;
+use bamboo_machine::CoreId;
+use rand::Rng;
+
+/// Options for the mapping enumeration.
+#[derive(Clone, Debug)]
+pub struct MappingOptions {
+    /// Number of cores available.
+    pub core_count: usize,
+    /// Stop after yielding this many layouts.
+    pub limit: usize,
+    /// Probability of skipping a branch of the search space (0 = full
+    /// enumeration).
+    pub skip_probability: f64,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        MappingOptions { core_count: 4, limit: 1_000_000, skip_probability: 0.0 }
+    }
+}
+
+/// Enumerates candidate layouts, invoking `yield_layout` for each.
+///
+/// The startup group's (single) instance is pinned to core 0, matching
+/// the paper's runtime-initialization convention. Returns the number of
+/// layouts yielded.
+pub fn enumerate_mappings<R: Rng>(
+    graph: &GroupGraph,
+    replication: &Replication,
+    opts: &MappingOptions,
+    rng: &mut R,
+    mut yield_layout: impl FnMut(Layout),
+) -> usize {
+    // Flatten instances: (group, copy), startup first so it is pinned.
+    let mut slots: Vec<(usize, usize)> = Vec::new();
+    let startup = graph.startup_group.index();
+    for copy in 0..replication.copies[startup] {
+        slots.push((startup, copy));
+    }
+    for (g, &copies) in replication.copies.iter().enumerate() {
+        if g == startup {
+            continue;
+        }
+        for copy in 0..copies {
+            slots.push((g, copy));
+        }
+    }
+
+    let mut assignment: Vec<usize> = vec![0; slots.len()];
+    let mut yielded = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    search(
+        graph,
+        replication,
+        opts,
+        rng,
+        &slots,
+        &mut assignment,
+        0,
+        0,
+        &mut yielded,
+        &mut seen,
+        &mut yield_layout,
+    );
+    yielded
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<R: Rng>(
+    graph: &GroupGraph,
+    replication: &Replication,
+    opts: &MappingOptions,
+    rng: &mut R,
+    slots: &[(usize, usize)],
+    assignment: &mut Vec<usize>,
+    pos: usize,
+    max_used: usize,
+    yielded: &mut usize,
+    seen: &mut std::collections::HashSet<Vec<Vec<u32>>>,
+    yield_layout: &mut impl FnMut(Layout),
+) {
+    if *yielded >= opts.limit {
+        return;
+    }
+    if pos == slots.len() {
+        let layout = build_layout(graph, replication, opts.core_count, slots, assignment);
+        // Canonical core-opening order still admits replica-exchange
+        // isomorphs; a signature check removes them.
+        if seen.insert(layout.signature(graph)) {
+            yield_layout(layout);
+            *yielded += 1;
+        }
+        return;
+    }
+    let (_group, copy) = slots[pos];
+    // Canonical core choices: any used core, or the next fresh one.
+    let upper = (max_used + 1).min(opts.core_count);
+    // Same-group copies must map to non-decreasing core indices.
+    let lower = if copy > 0 { assignment[pos - 1] } else { 0 };
+    // The startup instance is pinned to core 0.
+    let choices: Vec<usize> = if pos == 0 {
+        vec![0]
+    } else {
+        (lower..upper).collect()
+    };
+    for core in choices {
+        if *yielded >= opts.limit {
+            return;
+        }
+        if opts.skip_probability > 0.0 && rng.gen_bool(opts.skip_probability) {
+            continue;
+        }
+        assignment[pos] = core;
+        let new_max = max_used.max(core + 1);
+        search(
+            graph,
+            replication,
+            opts,
+            rng,
+            slots,
+            assignment,
+            pos + 1,
+            new_max,
+            yielded,
+            seen,
+            yield_layout,
+        );
+    }
+}
+
+fn build_layout(
+    graph: &GroupGraph,
+    replication: &Replication,
+    core_count: usize,
+    slots: &[(usize, usize)],
+    assignment: &[usize],
+) -> Layout {
+    let mut cores: Vec<Vec<CoreId>> =
+        replication.copies.iter().map(|&c| vec![CoreId::new(0); c]).collect();
+    for (i, &(group, copy)) in slots.iter().enumerate() {
+        cores[group][copy] = CoreId::new(assignment[i]);
+    }
+    Layout::new(graph, replication, core_count, &cores)
+}
+
+/// The canonical data-parallel layout: the startup group's instance goes
+/// to core 0, every other group's copies are dealt round-robin across the
+/// cores (copy `c` of successive groups interleaved so replicated waves
+/// spread out). This is the layout the parallelization transforms imply
+/// and a natural starting candidate for the annealer.
+pub fn spread_layout(
+    graph: &GroupGraph,
+    replication: &Replication,
+    core_count: usize,
+) -> Layout {
+    let mut cores: Vec<Vec<CoreId>> =
+        replication.copies.iter().map(|&c| vec![CoreId::new(0); c]).collect();
+    let mut next = 1usize.min(core_count - 1);
+    for (g, list) in cores.iter_mut().enumerate() {
+        if g == graph.startup_group.index() {
+            continue;
+        }
+        for slot in list.iter_mut() {
+            *slot = CoreId::new(next);
+            next = (next + 1) % core_count;
+        }
+        // Keep canonical per-group copy ordering (non-decreasing cores).
+        list.sort();
+    }
+    Layout::new(graph, replication, core_count, &cores)
+}
+
+/// A spread variant that dedicates core 0 to the *control* groups — the
+/// startup group and every non-replicated group (serial reducers,
+/// aggregators) — and deals replicated copies over the remaining cores.
+/// This is the layout shape behind the paper's pipelined MonteCarlo
+/// implementation: aggregation overlaps with simulation instead of
+/// competing with it for a core.
+pub fn control_spread_layout(
+    graph: &GroupGraph,
+    replication: &Replication,
+    core_count: usize,
+) -> Layout {
+    let mut cores: Vec<Vec<CoreId>> =
+        replication.copies.iter().map(|&c| vec![CoreId::new(0); c]).collect();
+    if core_count > 1 {
+        let worker_cores = core_count - 1;
+        let mut next = 0usize;
+        for (g, copies) in replication.copies.iter().enumerate() {
+            if *copies <= 1 {
+                continue; // control groups stay on core 0
+            }
+            let _ = copies;
+            for slot in cores[g].iter_mut() {
+                *slot = CoreId::new(1 + next % worker_cores);
+                next += 1;
+            }
+            cores[g].sort();
+        }
+    }
+    Layout::new(graph, replication, core_count, &cores)
+}
+
+/// Draws `n` random candidate layouts (uniform-ish via random walks down
+/// the canonical search tree).
+pub fn random_layouts<R: Rng>(
+    graph: &GroupGraph,
+    replication: &Replication,
+    core_count: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Layout> {
+    let mut slots: Vec<(usize, usize)> = Vec::new();
+    let startup = graph.startup_group.index();
+    for copy in 0..replication.copies[startup] {
+        slots.push((startup, copy));
+    }
+    for (g, &copies) in replication.copies.iter().enumerate() {
+        if g == startup {
+            continue;
+        }
+        for copy in 0..copies {
+            slots.push((g, copy));
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut assignment = vec![0usize; slots.len()];
+        let mut max_used = 1usize; // core 0 taken by startup
+        for (pos, &(_, copy)) in slots.iter().enumerate() {
+            if pos == 0 {
+                assignment[pos] = 0;
+                continue;
+            }
+            let lower = if copy > 0 { assignment[pos - 1] } else { 0 };
+            let upper = (max_used + 1).min(core_count);
+            let core = rng.gen_range(lower..upper.max(lower + 1)).min(core_count - 1);
+            assignment[pos] = core;
+            max_used = max_used.max(core + 1);
+        }
+        out.push(build_layout(graph, replication, core_count, &slots, &assignment));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::GroupGraph;
+    use crate::preprocess::scc_tree_transform;
+    use crate::testutil::kc_setup;
+    use crate::transforms::compute_replication;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn setup(core_count: usize) -> (GroupGraph, Replication) {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&GroupGraph::build(&spec, &cstg, &profile));
+        let repl = compute_replication(&spec, &graph, &profile, core_count);
+        (graph, repl)
+    }
+
+    #[test]
+    fn enumeration_yields_distinct_canonical_layouts() {
+        let (graph, repl) = setup(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sigs = HashSet::new();
+        let mut count = 0;
+        enumerate_mappings(
+            &graph,
+            &repl,
+            &MappingOptions { core_count: 4, limit: 100_000, skip_probability: 0.0 },
+            &mut rng,
+            |layout| {
+                count += 1;
+                sigs.insert(format!("{:?}", layout.signature(&graph)));
+            },
+        );
+        assert!(count > 1, "expected multiple candidates");
+        // Canonical enumeration yields no duplicate signatures.
+        assert_eq!(sigs.len(), count);
+    }
+
+    #[test]
+    fn startup_is_pinned_to_core_zero() {
+        let (graph, repl) = setup(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        enumerate_mappings(
+            &graph,
+            &repl,
+            &MappingOptions { core_count: 4, limit: 1000, skip_probability: 0.0 },
+            &mut rng,
+            |layout| {
+                let inst = layout.instances_of(graph.startup_group)[0];
+                assert_eq!(layout.core_of(inst).index(), 0);
+            },
+        );
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let (graph, repl) = setup(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = enumerate_mappings(
+            &graph,
+            &repl,
+            &MappingOptions { core_count: 4, limit: 3, skip_probability: 0.0 },
+            &mut rng,
+            |_| {},
+        );
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn skipping_reduces_yield() {
+        let (graph, repl) = setup(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let full = enumerate_mappings(
+            &graph,
+            &repl,
+            &MappingOptions { core_count: 4, limit: 100_000, skip_probability: 0.0 },
+            &mut rng,
+            |_| {},
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampled = enumerate_mappings(
+            &graph,
+            &repl,
+            &MappingOptions { core_count: 4, limit: 100_000, skip_probability: 0.5 },
+            &mut rng,
+            |_| {},
+        );
+        assert!(sampled < full, "{sampled} !< {full}");
+    }
+
+    #[test]
+    fn random_layouts_are_valid_and_seeded() {
+        let (graph, repl) = setup(8);
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_layouts(&graph, &repl, 8, 5, &mut rng);
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = random_layouts(&graph, &repl, 8, 5, &mut rng);
+        assert_eq!(a, b);
+        for layout in &a {
+            assert_eq!(layout.instances.len(), repl.total_instances());
+            assert!(layout.cores_used() <= 8);
+        }
+    }
+}

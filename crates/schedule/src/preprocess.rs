@@ -1,0 +1,210 @@
+//! CSTG preprocessing: the SCC tree transformation (paper §4.3.2).
+//!
+//! Core groups with more than one incident new-object edge receive work
+//! from several disjoint sources; replicating the group per source exposes
+//! that parallelism and simplifies later routing. This pass duplicates
+//! strongly connected components of the group graph until every SCC
+//! (except the startup's) has exactly one incoming new-object edge from
+//! outside itself.
+
+use crate::groups::{GroupGraph, GroupId, GroupNewEdge};
+use crate::util::strongly_connected_components;
+use std::collections::BTreeSet;
+
+/// Transforms `graph` into a tree of SCCs.
+///
+/// Returns the transformed graph. Terminates because every duplication
+/// strictly decreases the number of (SCC, extra incoming source) pairs;
+/// a safety bound guards against pathological inputs.
+pub fn scc_tree_transform(graph: &GroupGraph) -> GroupGraph {
+    let mut graph = graph.clone();
+    for _round in 0..64 {
+        if !duplicate_one(&mut graph) {
+            break;
+        }
+    }
+    graph
+}
+
+/// SCC membership: `scc_of[g]` is the SCC index of group `g`.
+fn scc_membership(graph: &GroupGraph) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = graph.groups.len();
+    let mut adj = vec![Vec::new(); n];
+    for e in &graph.new_edges {
+        adj[e.from.index()].push(e.to.index());
+    }
+    let sccs = strongly_connected_components(n, &adj);
+    let mut scc_of = vec![0usize; n];
+    for (i, scc) in sccs.iter().enumerate() {
+        for &g in scc {
+            scc_of[g] = i;
+        }
+    }
+    (sccs, scc_of)
+}
+
+/// Finds one SCC with multiple external source SCCs and duplicates it.
+/// Returns whether a duplication happened.
+fn duplicate_one(graph: &mut GroupGraph) -> bool {
+    let (sccs, scc_of) = scc_membership(graph);
+    let startup_scc = scc_of[graph.startup_group.index()];
+    for (scc_idx, scc_groups) in sccs.iter().enumerate() {
+        if scc_idx == startup_scc {
+            continue;
+        }
+        // Distinct external source SCCs feeding this SCC.
+        let sources: BTreeSet<usize> = graph
+            .new_edges
+            .iter()
+            .filter(|e| scc_of[e.to.index()] == scc_idx && scc_of[e.from.index()] != scc_idx)
+            .map(|e| scc_of[e.from.index()])
+            .collect();
+        if sources.len() <= 1 {
+            continue;
+        }
+        // Duplicate: keep the original copy for the first source; make one
+        // fresh copy of the whole SCC per additional source.
+        let sources: Vec<usize> = sources.into_iter().collect();
+        for &extra_source in &sources[1..] {
+            // Map from original group index -> copy group index.
+            let mut copy_of = std::collections::HashMap::new();
+            for &g in scc_groups {
+                let copy_idx = graph.groups.len();
+                let mut clone = graph.groups[g].clone();
+                clone.origin = graph.groups[g].origin;
+                graph.groups.push(clone);
+                copy_of.insert(g, copy_idx);
+            }
+            let mut extra_edges: Vec<GroupNewEdge> = Vec::new();
+            for e in &mut graph.new_edges {
+                let to_in = scc_of[e.to.index()] == scc_idx;
+                let from_in = scc_groups.contains(&e.from.index());
+                if to_in && scc_of[e.from.index()] == extra_source {
+                    // Incoming edge from the extra source: re-point to the
+                    // copy.
+                    e.to = GroupId(copy_of[&e.to.index()] as u32);
+                } else if from_in && to_in {
+                    // Internal edge: mirror it inside the copy.
+                    extra_edges.push(GroupNewEdge {
+                        from: GroupId(copy_of[&e.from.index()] as u32),
+                        to: GroupId(copy_of[&e.to.index()] as u32),
+                        task: e.task,
+                        site: e.site,
+                        mean_count: e.mean_count,
+                    });
+                } else if from_in {
+                    // Outgoing edge: the copy also produces this work.
+                    extra_edges.push(GroupNewEdge {
+                        from: GroupId(copy_of[&e.from.index()] as u32),
+                        to: e.to,
+                        task: e.task,
+                        site: e.site,
+                        mean_count: e.mean_count,
+                    });
+                }
+            }
+            graph.new_edges.extend(extra_edges);
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::{Group, GroupGraph, GroupId, GroupNewEdge};
+    use bamboo_analysis::cstg::NodeId;
+    use bamboo_lang::ids::{AllocSiteId, ClassId, TaskId};
+    use bamboo_lang::spec::GlobalAllocSite;
+
+    fn group(origin: u32, task: usize) -> Group {
+        Group {
+            tasks: vec![TaskId::new(task)],
+            states: vec![NodeId(origin)],
+            classes: vec![ClassId::new(0)],
+            origin,
+        }
+    }
+
+    fn edge(from: usize, to: usize, task: usize) -> GroupNewEdge {
+        GroupNewEdge {
+            from: GroupId(from as u32),
+            to: GroupId(to as u32),
+            task: TaskId::new(task),
+            site: GlobalAllocSite { task: TaskId::new(task), site: AllocSiteId::new(0) },
+            mean_count: 1.0,
+        }
+    }
+
+    #[test]
+    fn diamond_duplicates_shared_consumer() {
+        // startup(0) feeds producers 1 and 2; both feed consumer 3.
+        let graph = GroupGraph {
+            groups: vec![group(0, 0), group(1, 1), group(2, 2), group(3, 3)],
+            new_edges: vec![edge(0, 1, 0), edge(0, 2, 0), edge(1, 3, 1), edge(2, 3, 2)],
+            startup_group: GroupId(0),
+        };
+        let out = scc_tree_transform(&graph);
+        // Consumer duplicated: 5 groups, and each copy has one source.
+        assert_eq!(out.groups.len(), 5);
+        for (i, _) in out.groups.iter().enumerate() {
+            if GroupId(i as u32) == out.startup_group {
+                continue;
+            }
+            assert!(out.incoming(GroupId(i as u32)).count() <= 1, "group {i} has multiple sources");
+        }
+        // The duplicate keeps its origin.
+        assert_eq!(out.groups[4].origin, 3);
+    }
+
+    #[test]
+    fn single_source_graph_is_unchanged() {
+        let graph = GroupGraph {
+            groups: vec![group(0, 0), group(1, 1)],
+            new_edges: vec![edge(0, 1, 0)],
+            startup_group: GroupId(0),
+        };
+        let out = scc_tree_transform(&graph);
+        assert_eq!(out.groups.len(), 2);
+        assert_eq!(out.new_edges.len(), 1);
+    }
+
+    #[test]
+    fn cycles_are_duplicated_as_units() {
+        // 0 feeds {1 <-> 2} (an SCC) and 3 also feeds it.
+        let graph = GroupGraph {
+            groups: vec![group(0, 0), group(1, 1), group(2, 2), group(3, 3)],
+            new_edges: vec![
+                edge(0, 1, 0),
+                edge(1, 2, 1),
+                edge(2, 1, 2),
+                edge(0, 3, 0),
+                edge(3, 1, 3),
+            ],
+            startup_group: GroupId(0),
+        };
+        let out = scc_tree_transform(&graph);
+        // The 2-group SCC is duplicated: 4 + 2 = 6 groups.
+        assert_eq!(out.groups.len(), 6);
+        // Internal cycle mirrored in the copy.
+        let copy_ids: Vec<usize> = vec![4, 5];
+        let internal_copies = out
+            .new_edges
+            .iter()
+            .filter(|e| copy_ids.contains(&e.from.index()) && copy_ids.contains(&e.to.index()))
+            .count();
+        assert_eq!(internal_copies, 2);
+    }
+
+    #[test]
+    fn self_edges_do_not_trigger_duplication() {
+        let graph = GroupGraph {
+            groups: vec![group(0, 0), group(1, 1)],
+            new_edges: vec![edge(0, 1, 0), edge(1, 1, 1)],
+            startup_group: GroupId(0),
+        };
+        let out = scc_tree_transform(&graph);
+        assert_eq!(out.groups.len(), 2);
+    }
+}

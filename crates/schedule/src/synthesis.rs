@@ -1,0 +1,176 @@
+//! Top-level implementation synthesis (paper §4).
+//!
+//! Chains the whole pipeline: group-graph construction → SCC tree
+//! preprocessing → parallelization transforms → random candidate mapping
+//! generation → directed-simulated-annealing optimization. The result is
+//! an optimized [`Layout`] plus the artifacts downstream consumers (the
+//! runtime's executors, the experiment harness) need.
+
+use crate::dsa::{optimize, DsaOptions, DsaStats};
+use crate::groups::GroupGraph;
+use crate::layout::Layout;
+use crate::mapping::{control_spread_layout, random_layouts, spread_layout};
+use crate::preprocess::scc_tree_transform;
+use crate::sim::SimResult;
+use crate::transforms::{compute_replication, replicable, Replication};
+use bamboo_analysis::cstg::Cstg;
+use bamboo_lang::spec::ProgramSpec;
+use bamboo_machine::MachineDescription;
+use bamboo_profile::Profile;
+use rand::Rng;
+
+/// Synthesis configuration.
+#[derive(Clone, Debug)]
+pub struct SynthesisOptions {
+    /// Random starting layouts handed to the annealer.
+    pub initial_candidates: usize,
+    /// Annealer configuration.
+    pub dsa: DsaOptions,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions { initial_candidates: 8, dsa: DsaOptions::default() }
+    }
+}
+
+/// Everything the synthesizer produced.
+#[derive(Clone, Debug)]
+pub struct SynthesisResult {
+    /// The preprocessed group graph the layout refers to.
+    pub graph: GroupGraph,
+    /// Replication factors applied.
+    pub replication: Replication,
+    /// The winning layout.
+    pub layout: Layout,
+    /// Its simulated performance.
+    pub estimate: SimResult,
+    /// Search statistics.
+    pub stats: DsaStats,
+}
+
+/// Runs the full synthesis pipeline for `machine`.
+///
+/// Two replication variants are searched when the program has a serial
+/// (non-replicable) working group: the full variant replicates consumers
+/// up to the core count, while the *reserved* variant caps replication at
+/// `cores - 1`, leaving a dedicated core for the serial group — the shape
+/// behind the paper's pipelined MonteCarlo layout. The annealer runs on
+/// each variant and the better result wins.
+pub fn synthesize<R: Rng>(
+    spec: &ProgramSpec,
+    cstg: &Cstg,
+    profile: &Profile,
+    machine: &MachineDescription,
+    opts: &SynthesisOptions,
+    rng: &mut R,
+) -> SynthesisResult {
+    let graph = scc_tree_transform(&GroupGraph::build(spec, cstg, profile));
+    let cores = machine.core_count();
+    let full = compute_replication(spec, &graph, profile, cores);
+
+    let mut variants = vec![full.clone()];
+    let has_serial_worker = (0..graph.groups.len()).any(|g| {
+        let gid = crate::groups::GroupId(g as u32);
+        gid != graph.startup_group
+            && !graph.groups[g].tasks.is_empty()
+            && !replicable(spec, &graph, gid)
+    });
+    if cores > 1 && has_serial_worker && full.copies.iter().any(|&c| c > cores - 1) {
+        let reserved = Replication {
+            copies: full.copies.iter().map(|&c| c.min(cores - 1)).collect(),
+        };
+        variants.push(reserved);
+    }
+
+    let mut best: Option<SynthesisResult> = None;
+    for replication in variants {
+        let mut initial =
+            random_layouts(&graph, &replication, cores, opts.initial_candidates.max(1), rng);
+        // Seed the annealer with the canonical data-parallel layouts too.
+        initial.push(spread_layout(&graph, &replication, cores));
+        initial.push(control_spread_layout(&graph, &replication, cores));
+        let (layout, estimate, stats) =
+            optimize(spec, &graph, profile, machine, initial, &opts.dsa, rng);
+        let candidate = SynthesisResult {
+            graph: graph.clone(),
+            replication,
+            layout,
+            estimate,
+            stats,
+        };
+        let better = match &best {
+            Some(b) => candidate.estimate.makespan < b.estimate.makespan,
+            None => true,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    let mut result = best.expect("at least one variant searched");
+    result.stats.simulations = result.stats.simulations.max(1);
+    result
+}
+
+/// Builds the trivial single-core plan (profiling bootstrap and the
+/// 1-core Bamboo configuration): base groups, no replication, everything
+/// on core 0.
+pub fn single_core_plan(spec: &ProgramSpec, cstg: &Cstg, profile: &Profile) -> (GroupGraph, Layout) {
+    let graph = GroupGraph::build(spec, cstg, profile);
+    let layout = Layout::single_core(&graph);
+    (graph, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, SimOptions};
+    use crate::testutil::kc_setup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthesis_beats_single_core() {
+        let (spec, cstg, profile) = kc_setup();
+        let machine = MachineDescription::quad();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let result =
+            synthesize(&spec, &cstg, &profile, &machine, &SynthesisOptions::default(), &mut rng);
+        let (graph1, layout1) = single_core_plan(&spec, &cstg, &profile);
+        let single = simulate(
+            &spec,
+            &graph1,
+            &layout1,
+            &profile,
+            &machine,
+            &SimOptions::default(),
+        );
+        assert!(result.estimate.completed);
+        assert!(
+            result.estimate.makespan < single.makespan,
+            "synthesized {} !< single-core {}",
+            result.estimate.makespan,
+            single.makespan
+        );
+    }
+
+    #[test]
+    fn synthesis_is_reproducible_with_seed() {
+        let (spec, cstg, profile) = kc_setup();
+        let machine = MachineDescription::quad();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            synthesize(&spec, &cstg, &profile, &machine, &SynthesisOptions::default(), &mut rng)
+                .estimate
+                .makespan
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn single_core_plan_uses_one_core() {
+        let (spec, cstg, profile) = kc_setup();
+        let (_, layout) = single_core_plan(&spec, &cstg, &profile);
+        assert_eq!(layout.cores_used(), 1);
+    }
+}

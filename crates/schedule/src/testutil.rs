@@ -1,0 +1,68 @@
+//! Shared fixtures for this crate's unit tests.
+
+use bamboo_analysis::astg::DependenceAnalysis;
+use bamboo_analysis::cstg::Cstg;
+use bamboo_lang::compile_source;
+use bamboo_lang::ids::{AllocSiteId, ExitId};
+use bamboo_lang::spec::ProgramSpec;
+use bamboo_profile::{Profile, ProfileCollector};
+
+/// The keyword-counting example (paper §2) with a synthetic profile
+/// mirroring Figure 3: startup creates 4 Text objects and 1 Results
+/// object; `processText` takes 1000 cycles; `mergeIntermediateResult`
+/// takes 300 cycles with a 75%/25% exit split.
+pub fn kc_setup() -> (ProgramSpec, Cstg, Profile) {
+    let spec = compile_source(
+        "kc",
+        r#"
+        class StartupObject { flag initialstate; }
+        class Text { flag process; flag submit; }
+        class Results { flag finished; }
+        task startup(StartupObject s in initialstate) {
+            Text tp = new Text(){ process := true };
+            Results rp = new Results(){ finished := false };
+            taskexit(s: initialstate := false);
+        }
+        task processText(Text tp in process) {
+            taskexit(tp: process := false, submit := true);
+        }
+        task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+            if (1 < 2) { taskexit(rp: finished := true; tp: submit := false); }
+            taskexit(tp: submit := false);
+        }
+        "#,
+    )
+    .unwrap()
+    .spec;
+    let analysis = DependenceAnalysis::run(&spec);
+    let cstg = Cstg::build(&spec, &analysis);
+    let mut c = ProfileCollector::new(&spec, "original");
+    let startup = spec.task_by_name("startup").unwrap();
+    let process = spec.task_by_name("processText").unwrap();
+    let merge = spec.task_by_name("mergeIntermediateResult").unwrap();
+    c.record(startup, ExitId::new(0), 300, &[(AllocSiteId::new(0), 4), (AllocSiteId::new(1), 1)]);
+    for _ in 0..4 {
+        c.record(process, ExitId::new(0), 1000, &[]);
+    }
+    for _ in 0..3 {
+        c.record(merge, ExitId::new(1), 300, &[]);
+    }
+    c.record(merge, ExitId::new(0), 300, &[]);
+    (spec, cstg, c.finish())
+}
+
+use crate::groups::GroupGraph;
+use crate::layout::Layout;
+use crate::transforms::Replication;
+use bamboo_machine::CoreId;
+
+/// A small layout over the keyword-count group graph with everything on
+/// core 0 of a `core_count`-core machine (serial replication).
+pub fn tiny_two_group_layout(core_count: usize) -> (GroupGraph, Replication, Layout) {
+    let (spec, cstg, profile) = kc_setup();
+    let graph = GroupGraph::build(&spec, &cstg, &profile);
+    let repl = Replication::serial(&graph);
+    let cores: Vec<Vec<CoreId>> = graph.groups.iter().map(|_| vec![CoreId::new(0)]).collect();
+    let layout = Layout::new(&graph, &repl, core_count, &cores);
+    (graph, repl, layout)
+}

@@ -1,0 +1,131 @@
+//! Execution traces (the paper's Figure 6).
+//!
+//! Both the scheduling simulator and the runtime's virtual-time executor
+//! emit an [`ExecutionTrace`]: one record per task invocation with its
+//! core, start/end times, the arrivals of its parameter objects (data
+//! edges), and its predecessor on the same core (resource edge). The
+//! critical-path analysis consumes this structure.
+
+use crate::layout::InstanceId;
+use bamboo_lang::ids::TaskId;
+use bamboo_machine::CoreId;
+use bamboo_profile::Cycles;
+
+/// One data dependence of an invocation: a parameter object's arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DataDep {
+    /// The invocation that produced/released the object; `None` for the
+    /// injected startup object.
+    pub producer: Option<usize>,
+    /// When the object arrived at the consuming core (after transfer).
+    pub arrival: Cycles,
+}
+
+/// One task invocation in a trace.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceTask {
+    /// Index of this record within the trace.
+    pub id: usize,
+    /// The invoked task.
+    pub task: TaskId,
+    /// The group instance that executed it.
+    pub instance: InstanceId,
+    /// The hosting core.
+    pub core: CoreId,
+    /// Start time.
+    pub start: Cycles,
+    /// End time.
+    pub end: Cycles,
+    /// Parameter arrivals.
+    pub deps: Vec<DataDep>,
+    /// The previous invocation on the same core, if any.
+    pub prev_on_core: Option<usize>,
+}
+
+impl TraceTask {
+    /// When all parameter objects were available at the core.
+    pub fn data_ready(&self) -> Cycles {
+        self.deps.iter().map(|d| d.arrival).max().unwrap_or(0)
+    }
+
+    /// The invocation's duration.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// A complete trace of one (simulated or real) execution.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExecutionTrace {
+    /// Invocation records, ordered by start time.
+    pub tasks: Vec<TraceTask>,
+    /// Completion time of the whole execution.
+    pub makespan: Cycles,
+}
+
+impl ExecutionTrace {
+    /// Total busy cycles across all cores.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.tasks.iter().map(|t| t.duration()).sum()
+    }
+
+    /// Fraction of `cores`' capacity spent doing useful work.
+    pub fn utilization(&self, cores: usize) -> f64 {
+        if self.makespan == 0 || cores == 0 {
+            return 0.0;
+        }
+        self.busy_cycles() as f64 / (self.makespan as f64 * cores as f64)
+    }
+
+    /// The invocation that finishes last, if any.
+    pub fn last(&self) -> Option<&TraceTask> {
+        self.tasks.iter().max_by_key(|t| t.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: usize, core: usize, start: u64, end: u64) -> TraceTask {
+        TraceTask {
+            id,
+            task: TaskId::new(0),
+            instance: InstanceId(0),
+            core: CoreId::new(core),
+            start,
+            end,
+            deps: vec![],
+            prev_on_core: None,
+        }
+    }
+
+    #[test]
+    fn data_ready_is_max_arrival() {
+        let mut task = t(0, 0, 10, 20);
+        task.deps = vec![
+            DataDep { producer: None, arrival: 3 },
+            DataDep { producer: Some(1), arrival: 9 },
+        ];
+        assert_eq!(task.data_ready(), 9);
+    }
+
+    #[test]
+    fn utilization_counts_busy_share() {
+        let trace = ExecutionTrace {
+            tasks: vec![t(0, 0, 0, 10), t(1, 1, 0, 10)],
+            makespan: 20,
+        };
+        assert!((trace.utilization(2) - 0.5).abs() < 1e-9);
+        assert_eq!(trace.busy_cycles(), 20);
+    }
+
+    #[test]
+    fn last_returns_latest_end() {
+        let trace = ExecutionTrace {
+            tasks: vec![t(0, 0, 0, 10), t(1, 1, 5, 30)],
+            makespan: 30,
+        };
+        assert_eq!(trace.last().map(|x| x.id), Some(1));
+    }
+}

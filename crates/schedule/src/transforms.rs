@@ -1,0 +1,322 @@
+//! Parallelization rules (paper §4.3.3).
+//!
+//! After preprocessing, each group has at most one external work source.
+//! Two rules decide how many copies of each group the layout should offer:
+//!
+//! - **Data parallelization**: a task that allocates `m` objects per
+//!   invocation into a group exposes `m`-way parallelism — replicate the
+//!   destination group to `m` copies.
+//! - **Rate matching**: a short producing cycle can overwhelm one consumer
+//!   copy. With cycle time `t_cycle` and per-object consumer processing
+//!   time `t_process`, `n = ceil(m * t_process / t_cycle)` copies match
+//!   the consumption rate to the production rate. Applied only when the
+//!   producer is in a different SCC than the consumer.
+//!
+//! The larger of the two counts wins, clamped to the machine's core count.
+//! Groups containing a multi-parameter task whose parameters do *not*
+//! share a tag cannot be replicated (§4.3.4): such a task could otherwise
+//! starve with its parameters enqueued at different copies.
+
+use crate::groups::{GroupGraph, GroupId};
+use crate::util::strongly_connected_components;
+use bamboo_lang::spec::ProgramSpec;
+use bamboo_profile::Profile;
+
+/// Replication decision: copies per group.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Replication {
+    /// Copies per group (indexed by [`GroupId`]); always ≥ 1.
+    pub copies: Vec<usize>,
+}
+
+impl Replication {
+    /// One copy of everything (no parallelization).
+    pub fn serial(graph: &GroupGraph) -> Self {
+        Replication { copies: vec![1; graph.groups.len()] }
+    }
+
+    /// Copies of `group`.
+    pub fn of(&self, group: GroupId) -> usize {
+        self.copies[group.index()]
+    }
+
+    /// Total group instances across the layout.
+    pub fn total_instances(&self) -> usize {
+        self.copies.iter().sum()
+    }
+}
+
+/// Returns whether `group` may be replicated: the startup group never is,
+/// and any group containing a multi-parameter task without a shared tag
+/// pins the group to a single instantiation.
+pub fn replicable(spec: &ProgramSpec, graph: &GroupGraph, group: GroupId) -> bool {
+    if group == graph.startup_group {
+        return false;
+    }
+    graph.groups[group.index()].tasks.iter().all(|t| {
+        let task = spec.task(*t);
+        task.params.len() <= 1 || task.all_params_share_tag()
+    })
+}
+
+/// Which parallelization rules to apply (ablation knob; both on by
+/// default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Apply the data-parallelization rule.
+    pub data_parallelization: bool,
+    /// Apply the rate-matching rule.
+    pub rate_matching: bool,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet { data_parallelization: true, rate_matching: true }
+    }
+}
+
+/// Computes replication factors by applying the data-parallelization and
+/// rate-matching rules.
+pub fn compute_replication(
+    spec: &ProgramSpec,
+    graph: &GroupGraph,
+    profile: &Profile,
+    core_count: usize,
+) -> Replication {
+    compute_replication_with(spec, graph, profile, core_count, RuleSet::default())
+}
+
+/// [`compute_replication`] with an explicit rule selection (used by the
+/// ablation benches).
+pub fn compute_replication_with(
+    spec: &ProgramSpec,
+    graph: &GroupGraph,
+    profile: &Profile,
+    core_count: usize,
+    rules: RuleSet,
+) -> Replication {
+    let n = graph.groups.len();
+    let mut copies = vec![1usize; n];
+
+    // SCC membership over new edges, for the rate-matching side condition
+    // and cycle-time estimation.
+    let mut adj = vec![Vec::new(); n];
+    for e in &graph.new_edges {
+        adj[e.from.index()].push(e.to.index());
+    }
+    let sccs = strongly_connected_components(n, &adj);
+    let mut scc_of = vec![0usize; n];
+    for (i, scc) in sccs.iter().enumerate() {
+        for &g in scc {
+            scc_of[g] = i;
+        }
+    }
+
+    for edge in &graph.new_edges {
+        if edge.from == edge.to {
+            continue;
+        }
+        if !replicable(spec, graph, edge.to) {
+            continue;
+        }
+        let m = edge.mean_count;
+        if m <= 0.0 {
+            continue;
+        }
+        // Data parallelization: m copies.
+        let data_copies = if rules.data_parallelization { m.ceil() as usize } else { 1 };
+
+        // Rate matching (different SCCs only): n = ceil(m * t_process /
+        // t_cycle). A producer invoked once in the profile (e.g. startup)
+        // has no production *rate* — only data parallelism applies.
+        let mut rate_copies = 1usize;
+        let repeats = profile.task(edge.task).invocations() > 1;
+        if rules.rate_matching && repeats && scc_of[edge.from.index()] != scc_of[edge.to.index()] {
+            let t_cycle = cycle_time(graph, profile, &scc_of, edge.from, edge.task);
+            let t_process = processing_time(graph, profile, edge.to);
+            if t_cycle > 0 {
+                rate_copies = ((m * t_process as f64) / t_cycle as f64).ceil() as usize;
+            }
+        }
+
+        let wanted = data_copies.max(rate_copies).clamp(1, core_count);
+        copies[edge.to.index()] = copies[edge.to.index()].max(wanted);
+    }
+    Replication { copies }
+}
+
+/// `t_cycle`: the time for the producing task's group to come back around
+/// and allocate again. For an acyclic producer this is the task's own mean
+/// time; inside an SCC it is approximated by the summed mean time of the
+/// SCC's tasks (the shortest recycle path visits each task once in our
+/// group model).
+fn cycle_time(
+    graph: &GroupGraph,
+    profile: &Profile,
+    scc_of: &[usize],
+    producer: GroupId,
+    task: bamboo_lang::ids::TaskId,
+) -> u64 {
+    let scc = scc_of[producer.index()];
+    let in_cycle = scc_of.iter().filter(|&&s| s == scc).count() > 1
+        || graph.new_edges.iter().any(|e| e.from == producer && e.to == producer);
+    if !in_cycle {
+        return profile.task(task).mean_cycles().max(1);
+    }
+    let mut total = 0u64;
+    for (gi, group) in graph.groups.iter().enumerate() {
+        if scc_of[gi] != scc {
+            continue;
+        }
+        for t in &group.tasks {
+            total += profile.task(*t).mean_cycles();
+        }
+    }
+    total.max(1)
+}
+
+/// `t_process`: mean cycles a consumer group spends per delivered object —
+/// the summed mean time of the group's tasks.
+fn processing_time(graph: &GroupGraph, profile: &Profile, consumer: GroupId) -> u64 {
+    graph.groups[consumer.index()]
+        .tasks
+        .iter()
+        .map(|t| profile.task(*t).mean_cycles())
+        .sum::<u64>()
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::kc_setup;
+    use crate::preprocess::scc_tree_transform;
+    use bamboo_analysis::cstg::Cstg;
+    use bamboo_analysis::DependenceAnalysis;
+
+    #[test]
+    fn keyword_count_replicates_text_group() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&crate::groups::GroupGraph::build(&spec, &cstg, &profile));
+        let repl = compute_replication(&spec, &graph, &profile, 62);
+        let process = spec.task_by_name("processText").unwrap();
+        let g = graph.group_of_task(process).unwrap();
+        // startup allocates 4 Text objects per invocation -> 4 copies.
+        assert_eq!(repl.of(g), 4);
+        // startup group never replicated.
+        assert_eq!(repl.of(graph.startup_group), 1);
+    }
+
+    #[test]
+    fn core_count_caps_replication() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&crate::groups::GroupGraph::build(&spec, &cstg, &profile));
+        let repl = compute_replication(&spec, &graph, &profile, 2);
+        let process = spec.task_by_name("processText").unwrap();
+        let g = graph.group_of_task(process).unwrap();
+        assert_eq!(repl.of(g), 2);
+    }
+
+    #[test]
+    fn merge_group_is_not_replicable() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&crate::groups::GroupGraph::build(&spec, &cstg, &profile));
+        let merge = spec.task_by_name("mergeIntermediateResult").unwrap();
+        let g = graph.group_of_task(merge).unwrap();
+        assert!(!replicable(&spec, &graph, g));
+        let repl = compute_replication(&spec, &graph, &profile, 62);
+        assert_eq!(repl.of(g), 1);
+    }
+
+    #[test]
+    fn serial_replication_is_all_ones() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = crate::groups::GroupGraph::build(&spec, &cstg, &profile);
+        let repl = Replication::serial(&graph);
+        assert_eq!(repl.total_instances(), graph.groups.len());
+        let _ = (spec, cstg);
+    }
+
+    #[test]
+    fn rate_matching_exceeds_data_parallelism_for_slow_consumers() {
+        // Build a producer->consumer program where the consumer is 50x
+        // slower than the producer cycle: rate matching should ask for
+        // more copies than m=1.
+        use bamboo_lang::builder::ProgramBuilder;
+        use bamboo_lang::ids::{AllocSiteId, ExitId};
+        use bamboo_lang::spec::FlagExpr;
+        use bamboo_profile::ProfileCollector;
+
+        let mut b: ProgramBuilder<()> = ProgramBuilder::new("rate");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let gen = b.class("Gen", &["go"]);
+        let item = b.class("Item", &["ready"]);
+        let init = b.flag(s, "initialstate");
+        let go = b.flag(gen, "go");
+        let ready = b.flag(item, "ready");
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .alloc(gen, &[(go, true)], &[])
+            .exit("", |e| e.set(0, init, false))
+            .body(())
+            .finish();
+        // produce loops on itself (a cycle), emitting one Item per trip.
+        b.task("produce")
+            .param("g", gen, FlagExpr::flag(go))
+            .alloc(item, &[(ready, true)], &[])
+            .exit("again", |e| e.set(0, go, true))
+            .exit("stop", |e| e.set(0, go, false))
+            .body(())
+            .finish();
+        b.task("consume")
+            .param("i", item, FlagExpr::flag(ready))
+            .exit("", |e| e.set(0, ready, false))
+            .body(())
+            .finish();
+        let built = b.build().unwrap();
+        let spec = built.spec;
+        let analysis = DependenceAnalysis::run(&spec);
+        let cstg = Cstg::build(&spec, &analysis);
+        let mut c = ProfileCollector::new(&spec, "x");
+        let startup = spec.task_by_name("startup").unwrap();
+        let produce = spec.task_by_name("produce").unwrap();
+        let consume = spec.task_by_name("consume").unwrap();
+        c.record(startup, ExitId::new(0), 10, &[(AllocSiteId::new(0), 1)]);
+        for _ in 0..19 {
+            c.record(produce, ExitId::new(0), 100, &[(AllocSiteId::new(0), 1)]);
+        }
+        c.record(produce, ExitId::new(1), 100, &[(AllocSiteId::new(0), 1)]);
+        for _ in 0..20 {
+            c.record(consume, ExitId::new(0), 5000, &[]);
+        }
+        let profile = c.finish();
+        let graph = scc_tree_transform(&crate::groups::GroupGraph::build(&spec, &cstg, &profile));
+        let repl = compute_replication(&spec, &graph, &profile, 62);
+        let g = graph.group_of_task(consume).unwrap();
+        // t_process=5000, t_cycle=100, m=1 -> n=50 copies.
+        assert_eq!(repl.of(g), 50);
+    }
+}
+
+#[cfg(test)]
+mod rule_ablation_tests {
+    use super::*;
+    use crate::preprocess::scc_tree_transform;
+    use crate::testutil::kc_setup;
+
+    #[test]
+    fn disabling_data_parallelization_collapses_copies() {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&crate::groups::GroupGraph::build(&spec, &cstg, &profile));
+        let off = compute_replication_with(
+            &spec,
+            &graph,
+            &profile,
+            62,
+            RuleSet { data_parallelization: false, rate_matching: false },
+        );
+        assert_eq!(off.total_instances(), graph.groups.len());
+        let on = compute_replication(&spec, &graph, &profile, 62);
+        assert!(on.total_instances() > off.total_instances());
+    }
+}

@@ -1,0 +1,107 @@
+//! Graph utilities for the synthesis pipeline.
+
+/// Computes strongly connected components of a directed graph with `n`
+/// nodes given by adjacency lists.
+///
+/// Returns components in reverse topological order (Tarjan's invariant):
+/// every edge leaving a component points to a component that appears
+/// *earlier* in the returned list.
+pub fn strongly_connected_components(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    assert_eq!(adj.len(), n, "adjacency list length must equal node count");
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan: each frame is (node, next edge position).
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+            if *ei == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ei) {
+                *ei += 1;
+                if index[w] == UNVISITED {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let sccs = strongly_connected_components(3, &adj);
+        assert_eq!(sccs, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dag_components_are_singletons_in_reverse_topo_order() {
+        // 0 -> 1 -> 2
+        let adj = vec![vec![1], vec![2], vec![]];
+        let sccs = strongly_connected_components(3, &adj);
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // 0 -> 1 <-> 2, 1 -> 3
+        let adj = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let sccs = strongly_connected_components(4, &adj);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.contains(&vec![1, 2]));
+        // Edges point to earlier components.
+        let pos =
+            |v: usize| sccs.iter().position(|c| c.contains(&v)).expect("present");
+        assert!(pos(3) < pos(1));
+        assert!(pos(1) < pos(0));
+    }
+
+    #[test]
+    fn self_loop_is_single_component() {
+        let adj = vec![vec![0]];
+        assert_eq!(strongly_connected_components(1, &adj), vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(strongly_connected_components(0, &[]).is_empty());
+    }
+}
