@@ -1,0 +1,88 @@
+//! Exports a `chrome://tracing` timeline and a metrics dump for one of
+//! the paper's six benchmarks, using the telemetry subsystem.
+//!
+//! The trace file holds two processes: the scheduling simulator's
+//! *predicted* timeline (pid 1) and the virtual executor's *observed*
+//! telemetry recording (pid 2) — load it in `chrome://tracing` or
+//! Perfetto to compare them side by side (the paper's Fig. 6/9 view).
+//!
+//! Usage: `cargo run -p bamboo-bench --bin trace_dump [-- <benchmark> [cores]]`
+//!
+//! `<benchmark>` is one of the names `bamboo_apps::all()` reports
+//! (default `kmeans`); `cores` defaults to 8. Output goes to
+//! `results/trace_<benchmark>.json` and `results/metrics_<benchmark>.json`.
+
+use bamboo::telemetry::chrome::{ChromeTrace, PID_OBSERVED, PID_PREDICTED};
+use bamboo::telemetry::summary;
+use bamboo::{simulate, ExecConfig, MachineDescription, SimOptions, SynthesisOptions, Telemetry};
+use bamboo_apps::{all, by_name, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "kmeans".to_string());
+    let cores: usize = match args.next() {
+        None => 8,
+        Some(c) => match c.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid core count `{c}`; expected a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let Some(bench) = by_name(&name) else {
+        let names: Vec<&str> = all().iter().map(|b| b.name()).collect();
+        eprintln!("unknown benchmark `{name}`; expected one of {names:?}");
+        std::process::exit(2);
+    };
+
+    // Profile, synthesize a layout, and predict its timeline.
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler.profile_run(None, "trace_dump", |_| ()).expect("profile run");
+    let machine = MachineDescription::n_cores(cores);
+    let mut rng = StdRng::seed_from_u64(17);
+    let telemetry = Telemetry::enabled(cores);
+    let plan = compiler.synthesize_with_telemetry(
+        &profile,
+        &machine,
+        &SynthesisOptions::default(),
+        &mut rng,
+        &telemetry,
+    );
+    let sim = simulate(
+        &compiler.program.spec,
+        &plan.graph,
+        &plan.layout,
+        &profile,
+        &machine,
+        &SimOptions { collect_trace: true, ..SimOptions::default() },
+    );
+
+    // Execute the plan with telemetry recording.
+    let config = ExecConfig { telemetry: telemetry.clone(), ..ExecConfig::default() };
+    let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, config);
+    let run = exec.run(None).expect("benchmark runs");
+    let report = telemetry.report();
+
+    // Predicted timeline next to the observed recording, one document.
+    let mut trace = ChromeTrace::new();
+    if let Some(predicted) = &sim.trace {
+        trace.push_execution_trace(PID_PREDICTED, "predicted (simulator)", predicted, &compiler.program.spec);
+    }
+    trace.push_report(PID_OBSERVED, &format!("{name} (observed)"), &report, &compiler.program.spec);
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let trace_path = format!("results/trace_{name}.json");
+    std::fs::write(&trace_path, trace.finish()).expect("write trace");
+    let metrics_path = format!("results/metrics_{name}.json");
+    std::fs::write(&metrics_path, summary::metrics_json(&report.metrics)).expect("write metrics");
+
+    println!(
+        "{name} on {cores} cores: predicted makespan {} cycles, observed {} cycles ({} tasks, {} transfers)",
+        sim.makespan, run.makespan, run.invocations, run.transfers
+    );
+    print!("{}", summary::per_core_table(&report));
+    println!("wrote {trace_path} and {metrics_path}");
+}

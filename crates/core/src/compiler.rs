@@ -125,6 +125,22 @@ impl Compiler {
     ) -> SynthesisResult {
         synthesize(&self.program.spec, &self.cstg, profile, machine, opts, rng)
     }
+
+    /// Like [`Self::synthesize`], additionally recording the DSA
+    /// optimizer's search statistics (iterations, simulations,
+    /// acceptance rate, best-cost trajectory) into `telemetry`.
+    pub fn synthesize_with_telemetry<R: Rng>(
+        &self,
+        profile: &Profile,
+        machine: &MachineDescription,
+        opts: &SynthesisOptions,
+        rng: &mut R,
+        telemetry: &bamboo_telemetry::Telemetry,
+    ) -> SynthesisResult {
+        let result = self.synthesize(profile, machine, opts, rng);
+        telemetry.record_dsa(&result.stats);
+        result
+    }
 }
 
 #[cfg(test)]

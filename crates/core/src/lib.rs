@@ -77,6 +77,7 @@ pub use bamboo_machine as machine;
 pub use bamboo_profile as profile;
 pub use bamboo_runtime as runtime;
 pub use bamboo_schedule as schedule;
+pub use bamboo_telemetry as telemetry;
 
 // The most commonly used items, re-exported flat.
 pub use bamboo_analysis::{Cstg, DependenceAnalysis, DisjointnessAnalysis, LockPlan};
@@ -93,3 +94,4 @@ pub use bamboo_schedule::{
     simulate, DsaOptions, ExecutionTrace, GroupGraph, Layout, Replication, SimOptions, SimResult,
     SynthesisOptions, SynthesisResult,
 };
+pub use bamboo_telemetry::{Telemetry, TelemetryReport, TimeUnit};

@@ -23,6 +23,7 @@ use bamboo_lang::interp::TagInstance;
 use bamboo_lang::spec::{FlagOrTagAction, FlagSet, ProgramSpec};
 use bamboo_profile::Cycles;
 use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision, Router};
+use bamboo_telemetry::{Counter, Telemetry, TimeUnit, WorkerSink};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -110,7 +111,16 @@ struct Shared {
     senders: Vec<Sender<Message>>,
     /// Collects objects that left dispatch (for result extraction).
     graveyard: Sender<Box<TObject>>,
+    telemetry: Telemetry,
+    dispatches: Counter,
+    lock_retries: Counter,
+    bytes_sent: Counter,
 }
+
+/// Estimated wire size of one object, matching the virtual executor's
+/// default of 16 payload words (the threaded executor moves `Box`ed
+/// payloads, so this is an estimate for telemetry, not a transfer cost).
+const OBJ_BYTES_ESTIMATE: u64 = 16 * 8;
 
 impl Shared {
     fn spec(&self) -> &ProgramSpec {
@@ -121,12 +131,16 @@ impl Shared {
         TagInstance(self.next_tag.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    fn send(&self, instance: InstanceId, obj: Box<TObject>) {
+    /// Sends `obj` to the worker owning `instance`; returns the
+    /// destination core so callers can record the transfer.
+    fn send(&self, instance: InstanceId, obj: Box<TObject>) -> usize {
         self.activity.fetch_add(1, Ordering::SeqCst);
         let core = self.layout.core_of(instance).index();
         self.senders[core]
             .send(Message::Deliver(obj))
             .expect("worker channel open during execution");
+        self.bytes_sent.add(OBJ_BYTES_ESTIMATE);
+        core
     }
 }
 
@@ -186,9 +200,31 @@ impl ThreadedExecutor {
         locks: &DisjointnessAnalysis,
         startup: Option<NativePayload>,
     ) -> Result<ThreadedReport, ExecError> {
+        self.run_with_telemetry(program, graph, layout, locks, startup, &Telemetry::disabled())
+    }
+
+    /// Like [`Self::run`], recording dispatch, contention, traffic, and
+    /// channel-occupancy events into `telemetry` (timestamps in
+    /// nanoseconds since the telemetry session's creation). With
+    /// [`Telemetry::disabled`] every recording site is a no-op and the
+    /// dispatch hot path performs no telemetry allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NativeOnly`] for interpreted programs.
+    pub fn run_with_telemetry(
+        &self,
+        program: &Program,
+        graph: &GroupGraph,
+        layout: &Layout,
+        locks: &DisjointnessAnalysis,
+        startup: Option<NativePayload>,
+        telemetry: &Telemetry,
+    ) -> Result<ThreadedReport, ExecError> {
         if !program.is_native() {
             return Err(ExecError::NativeOnly);
         }
+        telemetry.set_time_unit(TimeUnit::Nanos);
         let start = std::time::Instant::now();
         let core_count = layout.core_count;
         let mut senders = Vec::with_capacity(core_count);
@@ -212,6 +248,10 @@ impl ThreadedExecutor {
             next_tag: AtomicU64::new(0),
             senders,
             graveyard: grave_tx,
+            telemetry: telemetry.clone(),
+            dispatches: telemetry.counter("threaded.dispatches"),
+            lock_retries: telemetry.counter("threaded.lock_retries"),
+            bytes_sent: telemetry.counter("threaded.bytes_sent"),
         });
 
         // Inject the startup object.
@@ -276,10 +316,13 @@ struct PendingInv {
     instance: InstanceId,
     objs: Vec<Box<TObject>>,
     tag_env: Vec<Option<TagInstance>>,
+    /// Failed try-lock-all attempts this invocation has survived.
+    retries: u64,
 }
 
 fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
     let spec = shared.spec().clone();
+    let mut sink = shared.telemetry.worker(core);
     // Instances on this core, with their (task, param) slots.
     let instances = shared.layout.instances_on(bamboo_machine::CoreId::new(core));
     let mut slots: Vec<Vec<(TaskId, ParamIdx)>> = Vec::new();
@@ -302,7 +345,12 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
         let msg = if ready.is_empty() { rx.recv().ok() } else { rx.try_recv().ok() };
         match msg {
             Some(Message::Deliver(obj)) => {
-                deliver(&shared, &spec, &instances, &slots, &mut sets, obj);
+                if sink.is_enabled() {
+                    let ts = sink.now();
+                    sink.obj_recv(ts, OBJ_BYTES_ESTIMATE, u64::MAX);
+                    sink.queue_depth(ts, rx.len() as u64, ready.len() as u64);
+                }
+                deliver(&shared, &spec, &instances, &slots, &mut sets, obj, &mut sink);
                 form_all(&shared, &spec, &instances, &slots, &mut sets, &mut ready);
                 // The message's activity transfers to any invocations it
                 // formed (counted in form_all); release the message's own.
@@ -312,16 +360,20 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
             Some(Message::Shutdown) => break,
             None => {}
         }
-        if let Some(inv) = ready.pop_front() {
+        if let Some(mut inv) = ready.pop_front() {
             let lock_ids: Vec<usize> = inv.objs.iter().map(|o| o.lock).collect();
             match shared.lock_table.try_lock_all(&lock_ids) {
                 Some(guards) => {
-                    execute(&shared, &spec, inv);
+                    sink.lock_acquired(sink.now(), lock_ids.len() as u64, inv.retries);
+                    execute(&shared, &spec, inv, &mut sink);
                     drop(guards);
                 }
                 None => {
                     // Transactional retry: nothing held; try a different
                     // invocation later.
+                    shared.lock_retries.inc();
+                    sink.lock_failed(sink.now(), lock_ids.len() as u64, inv.task.index() as u64);
+                    inv.retries += 1;
                     ready.push_back(inv);
                     std::thread::yield_now();
                 }
@@ -345,6 +397,7 @@ fn deliver(
     slots: &[Vec<(TaskId, ParamIdx)>],
     sets: &mut [Vec<VecDeque<Box<TObject>>>],
     obj: Box<TObject>,
+    sink: &mut WorkerSink,
 ) {
     // Enqueue at the first instance on this core with a matching slot.
     // (With several same-group instances per core this coarsens the
@@ -380,7 +433,10 @@ fn deliver(
         hash,
     );
     match decision {
-        RouteDecision::Move(dest) => shared.send(dest, obj),
+        RouteDecision::Move(dest) => {
+            let core = shared.send(dest, obj);
+            sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
+        }
         _ => {
             let _ = shared.graveyard.send(obj);
         }
@@ -469,13 +525,14 @@ fn form_all(
                     objs.push(obj);
                 }
                 shared.activity.fetch_add(1, Ordering::SeqCst);
-                ready.push_back(PendingInv { task, instance: *inst, objs, tag_env });
+                ready.push_back(PendingInv { task, instance: *inst, objs, tag_env, retries: 0 });
             }
         }
     }
 }
 
-fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv) {
+fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut WorkerSink) {
+    sink.task_start(sink.now(), inv.task.index() as u64, inv.instance.index() as u64);
     let tspec = spec.task(inv.task);
     // Mint body-created tag variables.
     for (v, var) in tspec.tag_vars.iter().enumerate() {
@@ -502,6 +559,7 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv) {
     }
     shared.body_cycles.fetch_add(charged, Ordering::Relaxed);
     shared.invocations.fetch_add(1, Ordering::Relaxed);
+    shared.dispatches.inc();
 
     // Shared-lock directive.
     for group in &shared.locks_analysis.lock_plans[inv.task.index()].groups {
@@ -550,8 +608,14 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv) {
             hash,
         );
         match decision {
-            RouteDecision::Stay => shared.send(inv.instance, obj),
-            RouteDecision::Move(dest) => shared.send(dest, obj),
+            RouteDecision::Stay => {
+                let core = shared.send(inv.instance, obj);
+                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
+            }
+            RouteDecision::Move(dest) => {
+                let core = shared.send(dest, obj);
+                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
+            }
             RouteDecision::Dead => {
                 let _ = shared.graveyard.send(obj);
             }
@@ -586,10 +650,12 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv) {
             payload,
             lock: shared.lock_table.fresh(),
         });
-        shared.send(dest, obj);
+        let core = shared.send(dest, obj);
+        sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
     }
 
     // Invocation complete.
+    sink.task_end(sink.now(), inv.task.index() as u64, inv.instance.index() as u64);
     shared.activity.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -664,5 +730,74 @@ mod tests {
         let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
         let expected: i64 = (0..16).map(|i| i * i).sum();
         assert_eq!(accs[0].0, expected);
+    }
+
+    /// Overhead guard: with `Telemetry::disabled()` the dispatch hot
+    /// path must perform **zero** telemetry heap allocations — asserted
+    /// through the telemetry allocation-counter hook, not wall clock.
+    #[test]
+    fn disabled_telemetry_allocates_nothing_under_contention() {
+        let (program, graph, layout, _machine, locks) = fanout_setup(16, 4);
+        let reduce = program.spec.task_by_name("reduce").unwrap();
+        let locks = locks.with_shared(
+            reduce,
+            &[bamboo_lang::ids::ParamIdx::new(0), bamboo_lang::ids::ParamIdx::new(1)],
+        );
+        let telemetry = Telemetry::disabled();
+        let report = ThreadedExecutor::default()
+            .run_with_telemetry(&program, &graph, &layout, &locks, None, &telemetry)
+            .unwrap();
+        // Same correctness as the plain contention test…
+        let acc_class = program.spec.class_by_name("Acc").unwrap();
+        let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
+        let expected: i64 = (0..16).map(|i| i * i).sum();
+        assert_eq!(accs[0].0, expected);
+        // …and not a single telemetry allocation across 33 invocations.
+        assert_eq!(telemetry.heap_allocations(), 0);
+        assert!(telemetry.report().events.is_empty());
+    }
+
+    /// Enabled telemetry allocates only at setup (rings + counter
+    /// registrations): the count is independent of how many tasks run.
+    #[test]
+    fn enabled_telemetry_allocations_do_not_scale_with_tasks() {
+        let allocs_for = |n: i64| {
+            let (program, graph, layout, _machine, locks) = fanout_setup(n, 2);
+            let telemetry = Telemetry::enabled(2);
+            telemetry.set_time_unit(TimeUnit::Nanos);
+            ThreadedExecutor::default()
+                .run_with_telemetry(&program, &graph, &layout, &locks, None, &telemetry)
+                .unwrap();
+            telemetry.heap_allocations()
+        };
+        let small = allocs_for(4);
+        let large = allocs_for(32);
+        assert!(small > 0);
+        assert_eq!(small, large, "telemetry allocations must be setup-only");
+    }
+
+    #[test]
+    fn threaded_run_records_dispatch_and_traffic_events() {
+        use bamboo_telemetry::EventKind;
+        let (program, graph, layout, _machine, locks) = fanout_setup(12, 3);
+        let telemetry = Telemetry::enabled(3);
+        let report = ThreadedExecutor::default()
+            .run_with_telemetry(&program, &graph, &layout, &locks, None, &telemetry)
+            .unwrap();
+        // 1 startup + 12 work + 12 reduce.
+        assert_eq!(report.invocations, 25);
+        let t = telemetry.report();
+        assert_eq!(t.unit, TimeUnit::Nanos);
+        assert_eq!(t.count(EventKind::TaskStart), 25);
+        assert_eq!(t.count(EventKind::TaskEnd), 25);
+        assert_eq!(t.count(EventKind::LockAcquired), 25);
+        assert!(t.count(EventKind::ObjRecv) > 0);
+        assert!(t.count(EventKind::QueueDepth) > 0);
+        assert_eq!(t.metrics.counters["threaded.dispatches"], 25);
+        // Timestamps are monotone within each core's event stream.
+        for core in t.active_cores() {
+            let ts: Vec<u64> = t.events_on(core).map(|e| e.ts).collect();
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        }
     }
 }

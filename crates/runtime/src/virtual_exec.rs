@@ -24,6 +24,7 @@ use bamboo_machine::MachineDescription;
 use bamboo_profile::{Cycles, Profile, ProfileCollector};
 use bamboo_schedule::trace::{DataDep, ExecutionTrace, TraceTask};
 use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision, Router};
+use bamboo_telemetry::{Telemetry, TimeUnit, WorkerSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
@@ -44,6 +45,9 @@ pub struct ExecConfig {
     pub payload_words: u64,
     /// Per-class payload overrides (falls back to `payload_words`).
     pub payload_words_per_class: std::collections::HashMap<bamboo_lang::ids::ClassId, u64>,
+    /// Telemetry session events are recorded into (timestamps in virtual
+    /// cycles). Disabled by default; recording costs nothing then.
+    pub telemetry: Telemetry,
 }
 
 impl ExecConfig {
@@ -62,6 +66,7 @@ impl Default for ExecConfig {
             max_invocations: 50_000_000,
             payload_words: 16,
             payload_words_per_class: std::collections::HashMap::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -177,6 +182,9 @@ pub struct VirtualExecutor<'p> {
     /// into the next invocation's duration so virtual time and the
     /// overhead accounting agree.
     pending_enqueue: Vec<Cycles>,
+    /// Per-core telemetry sinks (empty when telemetry is disabled).
+    /// Created at the start of `run`, submitted when the report is built.
+    sinks: Vec<WorkerSink>,
 }
 
 impl<'p> VirtualExecutor<'p> {
@@ -237,6 +245,7 @@ impl<'p> VirtualExecutor<'p> {
             arrivals: Vec::new(),
             trap: None,
             pending_enqueue: vec![0; layout.core_count],
+            sinks: Vec::new(),
         }
     }
 
@@ -260,6 +269,12 @@ impl<'p> VirtualExecutor<'p> {
     /// Returns [`ExecError::Trap`] if an interpreted body traps, or
     /// [`ExecError::Diverged`] past the invocation budget.
     pub fn run(&mut self, startup: Option<NativePayload>) -> Result<RunReport, ExecError> {
+        let telemetry = self.config.telemetry.clone();
+        if telemetry.is_enabled() {
+            telemetry.set_time_unit(TimeUnit::Cycles);
+            self.sinks =
+                (0..self.layout.core_count).map(|c| telemetry.worker(c)).collect();
+        }
         let spec = self.program.spec.clone();
         let startup_inst = self.layout.instances_of(self.graph.startup_group)[0];
         let payload = match &mut self.interp {
@@ -288,6 +303,11 @@ impl<'p> VirtualExecutor<'p> {
     }
 
     fn report(&mut self, quiesced: bool) -> RunReport {
+        // Hand the event rings back so `config.telemetry.report()` sees
+        // this run's events without waiting for the executor to drop.
+        for sink in self.sinks.drain(..) {
+            sink.submit();
+        }
         RunReport {
             makespan: self.makespan,
             invocations: self.invocations,
@@ -335,6 +355,14 @@ impl<'p> VirtualExecutor<'p> {
         let home = self.store.get(obj).home;
         let class = self.store.get(obj).class;
         let flags = self.store.get(obj).flags;
+        let arrival_core = self.layout.core_of(home).index();
+        if !self.sinks.is_empty() {
+            let bytes = self.config.payload_words_of(class) * 8;
+            let queued = self.ready[arrival_core].len() as u64;
+            let sink = &mut self.sinks[arrival_core];
+            sink.obj_recv(self.now, bytes, u64::MAX);
+            sink.queue_depth(self.now, queued, 0);
+        }
         let mut touched = false;
         for (slot, (task, param)) in self.param_keys[home.index()].iter().enumerate() {
             let pspec = &self.spec().tasks[task.index()].params[param.index()];
@@ -361,6 +389,11 @@ impl<'p> VirtualExecutor<'p> {
                     self.config.payload_words_of(class),
                 );
                 self.transfers += 1;
+                if !self.sinks.is_empty() {
+                    let bytes = self.config.payload_words_of(class) * 8;
+                    let dest_core = self.layout.core_of(dest).index() as u64;
+                    self.sinks[arrival_core].obj_send(self.now, bytes, dest_core);
+                }
                 self.store.get_mut(obj).home = dest;
                 self.set_arrival(obj, self.now + cost);
                 self.push_event(self.now + cost, EventKey::Arrival(obj.0));
@@ -628,6 +661,14 @@ impl<'p> VirtualExecutor<'p> {
         };
 
         let end = self.now + duration;
+        if !self.sinks.is_empty() {
+            // Virtual dispatch is transactional with atomic reservation,
+            // so lock acquisition always succeeds with zero retries.
+            let sink = &mut self.sinks[core];
+            sink.lock_acquired(self.now, inv.objs.len() as u64, 0);
+            sink.task_start(self.now, inv.task.index() as u64, inv.instance.index() as u64);
+            sink.task_end(end, inv.task.index() as u64, inv.instance.index() as u64);
+        }
         self.running[core] = Some(Running { inv, exit, created, trace_id });
         self.push_event(end, EventKey::CoreFree(core as u32));
     }
@@ -703,6 +744,11 @@ impl<'p> VirtualExecutor<'p> {
                         self.config.payload_words_of(class),
                     );
                     self.transfers += 1;
+                    if !self.sinks.is_empty() {
+                        let bytes = self.config.payload_words_of(class) * 8;
+                        let dest_core = self.layout.core_of(dest).index() as u64;
+                        self.sinks[core].obj_send(self.now, bytes, dest_core);
+                    }
                     self.store.get_mut(obj).home = dest;
                     self.set_arrival(obj, self.now + cost);
                     self.push_event(self.now + cost, EventKey::Arrival(obj.0));
@@ -734,6 +780,11 @@ impl<'p> VirtualExecutor<'p> {
             );
             if cost > 0 {
                 self.transfers += 1;
+                if !self.sinks.is_empty() {
+                    let bytes = self.config.payload_words_of(site_spec.class) * 8;
+                    let dest_core = self.layout.core_of(dest).index() as u64;
+                    self.sinks[core].obj_send(self.now, bytes, dest_core);
+                }
             }
             let obj = self.store.alloc(
                 site_spec.class,
@@ -949,6 +1000,46 @@ mod tests {
         assert_eq!(profile.tasks[2].exits[1].count, 1);
         // startup allocated 10 Work and 1 Acc.
         assert_eq!(profile.tasks[0].exits[0].site_allocs, vec![10, 1]);
+    }
+
+    #[test]
+    fn virtual_run_records_cycle_accurate_events() {
+        use bamboo_telemetry::EventKind;
+        let config = ExecConfig {
+            collect_trace: true,
+            telemetry: Telemetry::enabled(3),
+            ..ExecConfig::default()
+        };
+        let telemetry = config.telemetry.clone();
+        let (report, _) = run_native(3, 12, config);
+        let t = telemetry.report();
+        assert_eq!(t.unit, TimeUnit::Cycles);
+        assert_eq!(t.count(EventKind::TaskStart) as u64, report.invocations);
+        assert_eq!(t.count(EventKind::TaskEnd) as u64, report.invocations);
+        // Every counted transfer shows up as exactly one send event.
+        assert_eq!(t.count(EventKind::ObjSend) as u64, report.transfers);
+        // Virtual reservation never retries locks.
+        assert_eq!(t.count(EventKind::LockAcquired) as u64, report.invocations);
+        assert_eq!(t.count(EventKind::LockFailed), 0);
+        // Event timestamps live on the same clock as the makespan.
+        assert!(t.last_ts() <= report.makespan);
+        // The telemetry task slices agree with the collected trace.
+        let trace = report.trace.unwrap();
+        let trace_busy: u64 = trace.tasks.iter().map(|tt| tt.end - tt.start).sum();
+        let mut event_busy = 0;
+        let mut open = std::collections::HashMap::new();
+        for e in &t.events {
+            match e.kind {
+                EventKind::TaskStart => {
+                    open.insert(e.core, e.ts);
+                }
+                EventKind::TaskEnd => {
+                    event_busy += e.ts - open.remove(&e.core).unwrap();
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(event_busy, trace_busy);
     }
 
     #[test]

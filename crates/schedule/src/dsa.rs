@@ -60,8 +60,28 @@ pub struct DsaStats {
     pub iterations: usize,
     /// Total scheduling simulations run.
     pub simulations: usize,
+    /// Candidates subjected to the probabilistic pruning step.
+    pub candidates_evaluated: usize,
+    /// Candidates that survived pruning (summed over iterations).
+    /// `survivors / candidates_evaluated` is the acceptance rate.
+    pub survivors: usize,
+    /// Best makespan seen after each iteration — the optimizer's
+    /// convergence trajectory (monotonically non-increasing).
+    pub trajectory: Vec<Cycles>,
     /// Estimated makespan of the winner.
     pub best_makespan: Cycles,
+}
+
+impl DsaStats {
+    /// Fraction of evaluated candidates that survived pruning, in
+    /// `[0, 1]` (1.0 when nothing was evaluated).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.candidates_evaluated == 0 {
+            1.0
+        } else {
+            self.survivors as f64 / self.candidates_evaluated as f64
+        }
+    }
 }
 
 /// Runs directed simulated annealing from `initial` candidate layouts.
@@ -99,6 +119,7 @@ pub fn optimize<R: Rng>(
             })
             .collect();
         evaluated.sort_by_key(|(_, r)| r.makespan);
+        stats.candidates_evaluated += evaluated.len();
 
         let improved = match (&best, evaluated.first()) {
             (Some((_, b)), Some((_, e))) => e.makespan < b.makespan,
@@ -131,6 +152,10 @@ pub fn optimize<R: Rng>(
             })
             .map(|(_, x)| x)
             .collect();
+        stats.survivors += survivors.len();
+        if let Some((_, b)) = &best {
+            stats.trajectory.push(b.makespan);
+        }
 
         // Directed move generation, plus undirected exploration (the
         // annealing part: random moves and swaps escape the proposals'

@@ -1,0 +1,96 @@
+//! Telemetry events: fixed-size records cheap enough to emit on the
+//! runtime's dispatch hot path.
+
+/// A timestamp in the recording executor's time base: nanoseconds since
+/// run start for the threaded executor, virtual cycles for the virtual
+/// executor and the scheduling simulator (see
+/// [`crate::TimeUnit`]).
+pub type Timestamp = u64;
+
+/// What happened. The meaning of an event's `a`/`b` payload words is
+/// listed per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A task body started executing. `a` = task id, `b` = instance id.
+    TaskStart = 0,
+    /// A task body finished (exit actions + routing included).
+    /// `a` = task id, `b` = instance id.
+    TaskEnd = 1,
+    /// All parameter locks of an invocation were acquired.
+    /// `a` = number of lock classes taken, `b` = retries that preceded
+    /// this acquisition.
+    LockAcquired = 2,
+    /// A try-lock-all attempt hit contention and the invocation was
+    /// re-queued (Bamboo's transactional retry). `a` = number of lock
+    /// classes requested, `b` = task id.
+    LockFailed = 3,
+    /// An object was sent toward another group instance.
+    /// `a` = estimated payload bytes, `b` = destination core.
+    ObjSend = 4,
+    /// An object was received/delivered at this worker.
+    /// `a` = estimated payload bytes, `b` = source core (or `u64::MAX`
+    /// when unknown).
+    ObjRecv = 5,
+    /// A sample of this worker's incoming channel occupancy.
+    /// `a` = queued messages, `b` = ready-queue length.
+    QueueDepth = 6,
+}
+
+impl EventKind {
+    /// A short stable name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TaskStart => "task_start",
+            EventKind::TaskEnd => "task_end",
+            EventKind::LockAcquired => "lock_acquired",
+            EventKind::LockFailed => "lock_failed",
+            EventKind::ObjSend => "obj_send",
+            EventKind::ObjRecv => "obj_recv",
+            EventKind::QueueDepth => "queue_depth",
+        }
+    }
+}
+
+/// One recorded event. 32 bytes, `Copy`, no heap.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// When (executor time base).
+    pub ts: Timestamp,
+    /// What.
+    pub kind: EventKind,
+    /// The worker/core that recorded it.
+    pub core: u32,
+    /// First payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (see [`EventKind`]).
+    pub b: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_is_small_and_copy() {
+        assert!(std::mem::size_of::<Event>() <= 32);
+        let e = Event { ts: 1, kind: EventKind::TaskStart, core: 0, a: 2, b: 3 };
+        let f = e; // Copy
+        assert_eq!(e.ts, f.ts);
+    }
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let kinds = [
+            EventKind::TaskStart,
+            EventKind::TaskEnd,
+            EventKind::LockAcquired,
+            EventKind::LockFailed,
+            EventKind::ObjSend,
+            EventKind::ObjRecv,
+            EventKind::QueueDepth,
+        ];
+        let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

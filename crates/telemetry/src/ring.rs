@@ -1,0 +1,120 @@
+//! Per-worker event rings.
+//!
+//! Each worker owns its ring exclusively, so recording is a plain
+//! indexed store into memory preallocated at ring creation — no locks,
+//! no atomics, no allocation on the hot path. When the ring is full the
+//! oldest events are overwritten (recent history wins) and the overwrite
+//! count is reported so exporters can flag truncation.
+
+use crate::event::Event;
+
+/// A fixed-capacity overwrite-oldest event buffer.
+#[derive(Debug)]
+pub struct EventRing {
+    core: u32,
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Next write position once the buffer has wrapped.
+    next: usize,
+    /// Total events ever recorded (≥ `buf.len()`).
+    recorded: u64,
+}
+
+impl EventRing {
+    /// Creates a ring for `core` holding up to `capacity` events.
+    ///
+    /// This is the *only* allocation the ring ever performs.
+    pub fn new(core: u32, capacity: usize) -> Self {
+        EventRing {
+            core,
+            buf: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            next: 0,
+            recorded: 0,
+        }
+    }
+
+    /// The core this ring records for.
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+
+    /// Records `event`, overwriting the oldest record when full.
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() < self.capacity {
+            // Within preallocated capacity: push never reallocates.
+            self.buf.push(event);
+        } else {
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Events recorded in total, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn drain_ordered(self) -> Vec<Event> {
+        let EventRing { buf, next, .. } = self;
+        if next == 0 {
+            buf
+        } else {
+            let mut out = Vec::with_capacity(buf.len());
+            out.extend_from_slice(&buf[next..]);
+            out.extend_from_slice(&buf[..next]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64) -> Event {
+        Event { ts, kind: EventKind::TaskStart, core: 0, a: 0, b: 0 }
+    }
+
+    #[test]
+    fn keeps_order_under_capacity() {
+        let mut ring = EventRing::new(0, 8);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.dropped(), 0);
+        let ts: Vec<u64> = ring.drain_ordered().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut ring = EventRing::new(0, 4);
+        for t in 0..10 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 6);
+        let ts: Vec<u64> = ring.drain_ordered().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn never_reallocates_past_creation() {
+        let mut ring = EventRing::new(0, 16);
+        let cap_before = ring.buf.capacity();
+        for t in 0..100 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.buf.capacity(), cap_before);
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`sample_size`/`finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark body runs a single timed
+//! iteration and prints the wall time: enough to exercise the bench code
+//! paths (including under `cargo test`, which executes `harness = false`
+//! bench binaries) and to get coarse numbers, without statistical
+//! sampling.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one timed iteration of a benchmark body.
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times a single call of `body`.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(body());
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { elapsed_ns: 0 };
+    f(&mut bencher);
+    let ms = bencher.elapsed_ns as f64 / 1_000_000.0;
+    println!("bench {label:<48} {ms:>10.3} ms (single sample)");
+}
+
+/// Collects benchmark functions under a group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_bodies_execute() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        c.bench_function("x", |b| b.iter(|| ran += 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("y", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Provides `Mutex`/`MutexGuard` (no poisoning), `RawMutex`, and the
+//! `arc_lock` feature's `ArcMutexGuard` + `try_lock_arc`, which the
+//! runtime's lock table uses for its transactional try-lock-all dispatch.
+//! Implementation: a CAS spinlock that yields after a burst of spins.
+//! Critical sections in this repository are tiny (queue pops, routing
+//! table lookups), so a spin/yield lock performs fine without any OS
+//! parking machinery.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The raw lock state: a CAS spinlock that yields under contention.
+pub struct RawMutex {
+    locked: AtomicBool,
+}
+
+impl RawMutex {
+    const fn new() -> Self {
+        RawMutex { locked: AtomicBool::new(false) }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        while !self.try_lock() {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A mutual-exclusion primitive. Unlike `std::sync::Mutex`, locking never
+/// returns a poison error.
+pub struct Mutex<T: ?Sized> {
+    raw: RawMutex,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock serializes all access to `data`, so the mutex can be
+// shared/sent between threads whenever the protected value can be sent.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { raw: RawMutex::new(), data: UnsafeCell::new(value) }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, spinning/yielding until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.raw.lock();
+        MutexGuard { mutex: self }
+    }
+
+    /// Acquires the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if self.raw.try_lock() {
+            Some(MutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Like [`Mutex::try_lock`], but the guard keeps the mutex alive via
+    /// its `Arc` instead of a borrow (parking_lot's `arc_lock` feature).
+    pub fn try_lock_arc(self: &Arc<Self>) -> Option<ArcMutexGuard<RawMutex, T>> {
+        if self.raw.try_lock() {
+            Some(ArcMutexGuard { mutex: self.clone(), _raw: PhantomData })
+        } else {
+            None
+        }
+    }
+
+    /// Arc-holding blocking acquire (parking_lot's `arc_lock` feature).
+    pub fn lock_arc(self: &Arc<Self>) -> ArcMutexGuard<RawMutex, T> {
+        self.raw.lock();
+        ArcMutexGuard { mutex: self.clone(), _raw: PhantomData }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// A borrowing guard; the lock releases on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard witnesses exclusive lock ownership.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard witnesses exclusive lock ownership.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.raw.unlock();
+    }
+}
+
+/// An owning guard holding the mutex alive through an `Arc`.
+///
+/// The `R` parameter mirrors `lock_api::ArcMutexGuard<R, T>` so type
+/// annotations written against the real parking_lot keep compiling.
+pub struct ArcMutexGuard<R, T: ?Sized> {
+    mutex: Arc<Mutex<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> Deref for ArcMutexGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard witnesses exclusive lock ownership.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> DerefMut for ArcMutexGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard witnesses exclusive lock ownership.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcMutexGuard<R, T> {
+    fn drop(&mut self) {
+        self.mutex.raw.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_excludes_and_releases() {
+        let m = Mutex::new(0u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn try_lock_arc_guards_exclusively() {
+        let m = Arc::new(Mutex::new(()));
+        let g = m.try_lock_arc().expect("free");
+        assert!(m.try_lock_arc().is_none());
+        drop(g);
+        assert!(m.try_lock_arc().is_some());
+    }
+
+    #[test]
+    fn contended_counter_is_exact() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+}

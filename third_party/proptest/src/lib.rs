@@ -1,0 +1,331 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]` header), `prop_assert!`/`prop_assert_eq!`,
+//! `any::<T>()`, integer-range strategies, tuple strategies, a character
+//! class + repetition string strategy (`"[ -~\n]{0,200}"` style), and
+//! `collection::vec`. Cases are sampled from a deterministic seeded
+//! generator; there is no shrinking — a failing case panics with the
+//! sampled inputs' debug representation, which is enough to reproduce
+//! (the seed is fixed per case index).
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::Rng;
+
+    /// A deterministic per-case random source.
+    pub struct TestRng(pub rand::rngs::StdRng);
+
+    impl TestRng {
+        /// The generator for case number `case` of a property.
+        pub fn for_case(case: u32) -> TestRng {
+            use rand::SeedableRng;
+            TestRng(rand::rngs::StdRng::seed_from_u64(0x5eed_0000_0000 + case as u64))
+        }
+
+        /// The next 64 random bits.
+        pub fn bits(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.bits() % bound
+        }
+    }
+
+    /// Generates values of `Self::Value` from random bits.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "empty strategy range");
+                    let off = (rng.bits() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.bits() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bits() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    /// String strategy from a `"[class]{lo,hi}"` pattern literal.
+    ///
+    /// Supports a single character class (with `a-z` ranges and `\n`,
+    /// `\\`, `\-`, `\]` escapes) followed by a `{lo,hi}` repetition.
+    /// Patterns outside that shape fall back to printable ASCII with
+    /// length 0..=64.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+                ((b' '..=b'~').map(char::from).collect(), 0, 64)
+            });
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let (class, tail) = rest.split_at(close);
+        let tail = tail.strip_prefix(']')?.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = tail.split_once(',')?;
+        let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i)? {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => *other,
+                    }
+                }
+                c => c,
+            };
+            // Range `c-d` (a trailing `-` is a literal).
+            if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() {
+                let end = chars[i + 2];
+                for code in c as u32..=end as u32 {
+                    alphabet.push(char::from_u32(code)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(c);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() || hi < lo {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec<E::Value>` with a length drawn from a range.
+    pub struct VecStrategy<E> {
+        element: E,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with length in `len`.
+    pub fn vec<E: Strategy>(element: E, len: core::ops::Range<usize>) -> VecStrategy<E> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    pub use crate::strategy::TestRng;
+
+    /// How many cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; this repository's heavier
+            // end-to-end properties make 32 the practical choice.
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+/// Alias module mirroring `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { ... }`
+/// becomes a `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn vectors_respect_length(v in collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn string_pattern_honors_class(s in "[a-c]{1,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the small slice of the rand 0.8 API the workspace uses — `Rng` with
+//! `gen_range`/`gen_bool`, `SeedableRng::seed_from_u64`, and
+//! `rngs::StdRng` — backed by SplitMix64. Deterministic for a given
+//! seed, which is all the synthesis pipeline and tests require; not
+//! cryptographic.
+
+use core::ops::Range;
+
+/// Types that `Rng::gen_range` can sample uniformly from a `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps 64 random bits into `[start, end)`.
+    fn sample_from(bits: u64, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(bits: u64, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128;
+                debug_assert!(span > 0, "gen_range called with empty range");
+                let off = (bits as u128 % span) as i128;
+                (start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_from(bits: u64, start: Self, end: Self) -> Self {
+        let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + unit * (end - start)
+    }
+}
+
+/// The subset of rand's `Rng` the workspace uses.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on an empty range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let bits = self.next_u64();
+        T::sample_from(bits, range.start, range.end)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring rand's trait of the same name.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard seeded generator: SplitMix64.
+    ///
+    /// (The real `StdRng` is ChaCha12; this reproduction only needs a
+    /// deterministic, well-mixed stream.)
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD3F2_9467_41BA_12F8 }
+        }
+    }
+
+    /// Alias of [`StdRng`]; the real crate's small fast generator.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits plus the matching
+//! no-op derive macros, so `#[derive(serde::Serialize)]` annotations
+//! across the workspace stay legal without network access to crates.io.
+//! Nothing in this repository serializes through serde — all JSON output
+//! goes through `bamboo-telemetry`'s hand-rolled writer.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the real serde's serialization entry point.
+pub trait Serialize {}
+
+/// Marker trait; the real serde's deserialization entry point.
+pub trait Deserialize<'de> {}
