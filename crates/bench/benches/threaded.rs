@@ -1,0 +1,137 @@
+//! A/B benchmark for the threaded runtime's dispatch hot path.
+//!
+//! Measures dispatch throughput (invocations per wall millisecond) and
+//! makespan on kmeans and filterbank deployments synthesized for the
+//! paper's 62-core TILEPro64, comparing [`RunOptions::baseline()`] (the
+//! pre-redesign shape: global router stripe, no stealing, 300µs
+//! sleep-polling quiescence) against [`RunOptions::default()`] (sharded
+//! router, same-group stealing, event-driven quiescence). Writes the
+//! results to `BENCH_threaded.json` at the repository root.
+//!
+//! Modes (custom `main`, `harness = false`):
+//! - `--bench` (what `cargo bench` passes): full measured run + JSON.
+//! - `--test` (CI smoke) or no recognized flag (`cargo test` executes
+//!   `harness = false` bench binaries): one tiny rep, no JSON.
+
+use bamboo::{Compiler, Deployment, MachineDescription, RunOptions, SynthesisOptions, ThreadedExecutor};
+use bamboo_apps::{Benchmark, Scale};
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// One configuration's aggregate over the measured reps.
+struct Outcome {
+    /// Fastest rep — the standard noise-robust estimator for a
+    /// fixed-work benchmark (all slowdown sources are additive).
+    best_wall: Duration,
+    median_wall: Duration,
+    invocations: u64,
+    lock_retries: u64,
+    steals: u64,
+}
+
+impl Outcome {
+    /// Invocations per wall millisecond (best rep).
+    fn throughput(&self) -> f64 {
+        self.invocations as f64 / (self.best_wall.as_secs_f64() * 1e3)
+    }
+}
+
+fn measure(deployment: &Deployment, baseline: bool, reps: usize) -> Outcome {
+    let exec = ThreadedExecutor::default();
+    let options = || if baseline { RunOptions::baseline() } else { RunOptions::default() };
+    // Warmup rep (thread spawn paths, allocator).
+    let _ = exec.run(deployment, options()).expect("warmup run");
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let report = exec.run(deployment, options()).expect("measured run");
+        walls.push(report.wall);
+        last = Some(report);
+    }
+    walls.sort();
+    let report = last.expect("at least one rep");
+    Outcome {
+        best_wall: walls[0],
+        median_wall: walls[walls.len() / 2],
+        invocations: report.invocations,
+        lock_retries: report.lock_retries,
+        steals: report.steals,
+    }
+}
+
+fn deployment_for(bench: &dyn Benchmark, scale: Scale, machine: &MachineDescription) -> (Compiler, Deployment) {
+    let compiler = bench.compiler(scale);
+    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
+    let deployment = compiler.deploy(&plan);
+    (compiler, deployment)
+}
+
+fn json_block(name: &str, base: &Outcome, opt: &Outcome) -> String {
+    let speedup = opt.throughput() / base.throughput();
+    format!(
+        concat!(
+            "    \"{name}\": {{\n",
+            "      \"baseline\": {{ \"best_wall_us\": {bb}, \"median_wall_us\": {bw}, \"invocations\": {bi}, ",
+            "\"throughput_inv_per_ms\": {bt:.2}, \"lock_retries\": {br}, \"steals\": {bs} }},\n",
+            "      \"optimized\": {{ \"best_wall_us\": {ob}, \"median_wall_us\": {ow}, \"invocations\": {oi}, ",
+            "\"throughput_inv_per_ms\": {ot:.2}, \"lock_retries\": {or}, \"steals\": {os} }},\n",
+            "      \"dispatch_throughput_speedup\": {sp:.3}\n",
+            "    }}"
+        ),
+        name = name,
+        bb = base.best_wall.as_micros(),
+        bw = base.median_wall.as_micros(),
+        bi = base.invocations,
+        bt = base.throughput(),
+        br = base.lock_retries,
+        bs = base.steals,
+        ob = opt.best_wall.as_micros(),
+        ow = opt.median_wall.as_micros(),
+        oi = opt.invocations,
+        ot = opt.throughput(),
+        or = opt.lock_retries,
+        os = opt.steals,
+        sp = speedup,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` always injects `--bench`; an explicit `--test`
+    // (the CI smoke step) wins over it.
+    let full = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
+    let (scale, reps) = if full { (Scale::Small, 15) } else { (Scale::Small, 1) };
+    let machine = MachineDescription::tilepro64();
+
+    let mut blocks = Vec::new();
+    for bench in [&bamboo_apps::kmeans::KMeans as &dyn Benchmark, &bamboo_apps::filterbank::FilterBank] {
+        let (_compiler, deployment) = deployment_for(bench, scale, &machine);
+        let base = measure(&deployment, true, reps);
+        let opt = measure(&deployment, false, reps);
+        println!(
+            "bench threaded/{:<12} baseline {:>8.2} inv/ms   optimized {:>8.2} inv/ms   ({:.2}x, {} steals)",
+            bench.name(),
+            base.throughput(),
+            opt.throughput(),
+            opt.throughput() / base.throughput(),
+            opt.steals,
+        );
+        blocks.push(json_block(bench.name(), &base, &opt));
+    }
+
+    if full {
+        let json = format!(
+            "{{\n  \"machine_cores\": {},\n  \"scale\": \"small\",\n  \"reps\": {},\n  \"benches\": {{\n{}\n  }}\n}}\n",
+            machine.core_count(),
+            reps,
+            blocks.join(",\n"),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threaded.json");
+        std::fs::write(path, json).expect("write BENCH_threaded.json");
+        println!("wrote {path}");
+    } else {
+        println!("smoke ok (pass --bench for the measured run)");
+    }
+}

@@ -10,7 +10,10 @@ use bamboo_lang::builder::BuiltProgram;
 use bamboo_lang::span::CompileError;
 use bamboo_machine::MachineDescription;
 use bamboo_profile::{Profile, ProfileCollector};
-use bamboo_runtime::{ExecConfig, ExecError, NativeBody, NativePayload, Program, RunReport, VirtualExecutor};
+use bamboo_runtime::{
+    Deployment, ExecConfig, ExecError, NativeBody, NativePayload, Program, RunReport,
+    VirtualExecutor,
+};
 use bamboo_schedule::{
     synthesize, GroupGraph, Layout, SynthesisOptions, SynthesisResult,
 };
@@ -113,6 +116,14 @@ impl Compiler {
         let profile = report.profile.take().expect("profile collection was requested");
         let value = inspect(&exec);
         Ok((profile, report, value))
+    }
+
+    /// Bundles a synthesizer result with this compiler's program and
+    /// lock plans into a [`Deployment`] — the artifact both executors
+    /// consume (`ThreadedExecutor::run(&deployment, options)`,
+    /// `VirtualExecutor::over(&deployment, ...)`).
+    pub fn deploy(&self, synthesis: &SynthesisResult) -> Deployment {
+        Deployment::from_synthesis(&self.program, &self.locks, synthesis)
     }
 
     /// Runs implementation synthesis for `machine` (paper §4.3-§4.5).

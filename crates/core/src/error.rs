@@ -1,0 +1,101 @@
+//! The unified `bamboo::Error` type.
+//!
+//! Every fallible stage of the pipeline has its own error — the
+//! frontend's [`CompileError`], the executors' [`ExecError`], result
+//! extraction's [`PayloadTypeError`] — and end-to-end callers (the
+//! examples, integration tests, applications) previously had to thread
+//! `Box<dyn Error>` through. [`Error`] wraps them all, with `From`
+//! conversions so `?` composes the whole flow.
+
+use bamboo_lang::span::CompileError;
+use bamboo_runtime::{ExecError, PayloadTypeError};
+use std::fmt;
+
+/// Any error the Bamboo pipeline can produce, from source compilation
+/// through execution and result extraction.
+///
+/// ```
+/// use bamboo::{Compiler, Error};
+///
+/// fn pipeline() -> Result<(), Error> {
+///     let compiler = Compiler::from_source("bad", "class A {")?; // CompileError → Error
+///     let _ = compiler;
+///     Ok(())
+/// }
+/// assert!(matches!(pipeline(), Err(Error::Compile(_))));
+/// ```
+#[derive(Debug)]
+pub enum Error {
+    /// The frontend rejected the program (parse or semantic
+    /// diagnostics).
+    Compile(CompileError),
+    /// An executor failed (trap, divergence, or an interpreted program
+    /// handed to the threaded executor).
+    Exec(ExecError),
+    /// A finished-object payload failed to downcast to the requested
+    /// type.
+    Payload(PayloadTypeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Exec(e) => write!(f, "execution error: {e}"),
+            Error::Payload(e) => write!(f, "payload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Payload(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl From<PayloadTypeError> for Error {
+    fn from(e: PayloadTypeError) -> Self {
+        Error::Payload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn exec_errors_convert_and_chain() {
+        let err: Error = ExecError::Diverged(10).into();
+        assert!(matches!(err, Error::Exec(ExecError::Diverged(10))));
+        assert!(err.to_string().starts_with("execution error:"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn compile_errors_convert_through_question_mark() {
+        fn compile() -> Result<(), Error> {
+            crate::Compiler::from_source("bad", "class A {")?;
+            Ok(())
+        }
+        let err = compile().unwrap_err();
+        assert!(matches!(err, Error::Compile(_)));
+        assert!(err.to_string().starts_with("compile error:"));
+    }
+}

@@ -67,8 +67,11 @@
 //! ```
 
 pub mod compiler;
+pub mod error;
+pub mod prelude;
 
 pub use compiler::Compiler;
+pub use error::Error;
 
 // Subsystem crates, re-exported under stable names.
 pub use bamboo_analysis as analysis;
@@ -87,8 +90,9 @@ pub use bamboo_lang::spec::{FlagExpr, FlagSet, ProgramSpec};
 pub use bamboo_machine::{CoreId, MachineDescription};
 pub use bamboo_profile::{Cycles, MarkovModel, Profile, ProfileCollector};
 pub use bamboo_runtime::{
-    body, CostModel, ExecConfig, ExecError, NativeBody, NativePayload, Program, RunReport,
-    ThreadedExecutor, VirtualExecutor,
+    body, CostModel, Deployment, ExecConfig, ExecError, NativeBody, NativePayload,
+    PayloadTypeError, Program, QuiescencePolicy, RouterPolicy, RunOptions, RunReport,
+    StealPolicy, ThreadedExecutor, ThreadedReport, VirtualExecutor,
 };
 pub use bamboo_schedule::{
     simulate, DsaOptions, ExecutionTrace, GroupGraph, Layout, Replication, SimOptions, SimResult,

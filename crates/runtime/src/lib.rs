@@ -21,13 +21,17 @@
 //!   concurrent semantics (native programs only).
 
 pub mod cost;
+pub mod deploy;
 pub mod program;
+pub mod router;
 pub mod store;
 pub mod threaded;
 pub mod virtual_exec;
 
 pub use cost::CostModel;
+pub use deploy::{Deployment, QuiescencePolicy, RouterPolicy, RunOptions, StealPolicy};
 pub use program::{body, NativeBody, NativePayload, Program, TaskCtx};
+pub use router::ShardedRouter;
 pub use store::{ObjId, ObjectStore, PayloadSlot, RtObject};
-pub use threaded::ThreadedExecutor;
+pub use threaded::{PayloadTypeError, ThreadedExecutor, ThreadedReport};
 pub use virtual_exec::{ExecConfig, ExecError, RunReport, VirtualExecutor};

@@ -1,0 +1,93 @@
+//! Striped routing state for the threaded executor.
+//!
+//! The [`bamboo_schedule::Router`] is stateful (round-robin counters,
+//! a dispatch memo), so the threaded executor must serialize access to
+//! it. The original design used one global `Mutex<Router>` — every
+//! object send in the whole machine contended on a single lock. A
+//! [`ShardedRouter`] stripes that state per core instead: all routing
+//! decisions are keyed by the *sending* instance, each instance lives
+//! on exactly one core, and each core routes only for its own
+//! instances, so giving every core its own `Router` stripe preserves
+//! the exact per-(instance, task) round-robin sequences while making
+//! concurrent routes from different cores contention-free.
+//!
+//! The stripes stay behind try-then-lock mutexes (rather than raw
+//! per-worker ownership) so a work-stealing thief can route on behalf
+//! of the victim instance's stripe; the `contended` counter measures
+//! how often that actually collides (telemetry:
+//! `threaded.router_contention`).
+
+use bamboo_lang::ids::{AllocSiteId, ClassId, TaskId};
+use bamboo_lang::spec::{FlagSet, ProgramSpec};
+use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision, Router};
+use bamboo_telemetry::Counter;
+use parking_lot::Mutex;
+
+/// Per-core striped [`Router`] state. See the module docs.
+#[derive(Debug)]
+pub struct ShardedRouter {
+    shards: Vec<Mutex<Router>>,
+    contended: Counter,
+}
+
+impl ShardedRouter {
+    /// Creates a router with `shards` stripes (clamped to ≥ 1; pass 1
+    /// for the legacy fully-serialized behavior). `contended` counts
+    /// route calls that found their stripe locked.
+    pub fn new(shards: usize, contended: Counter) -> Self {
+        ShardedRouter {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Router::new())).collect(),
+            contended,
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lock_shard(&self, core: usize) -> parking_lot::MutexGuard<'_, Router> {
+        let shard = &self.shards[core % self.shards.len()];
+        match shard.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contended.inc();
+                shard.lock()
+            }
+        }
+    }
+
+    /// [`Router::route_transition`] on the stripe of `core` (the core
+    /// hosting `home`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_transition(
+        &self,
+        core: usize,
+        spec: &ProgramSpec,
+        graph: &GroupGraph,
+        layout: &Layout,
+        home: InstanceId,
+        class: ClassId,
+        flags: FlagSet,
+        tag_hash: Option<u64>,
+    ) -> RouteDecision {
+        self.lock_shard(core).route_transition(spec, graph, layout, home, class, flags, tag_hash)
+    }
+
+    /// [`Router::route_new`] on the stripe of `core` (the core hosting
+    /// `from`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_new(
+        &self,
+        core: usize,
+        spec: &ProgramSpec,
+        graph: &GroupGraph,
+        layout: &Layout,
+        from: InstanceId,
+        task: TaskId,
+        site: AllocSiteId,
+        tag_hash: Option<u64>,
+    ) -> InstanceId {
+        self.lock_shard(core).route_new(spec, graph, layout, from, task, site, tag_hash)
+    }
+}

@@ -11,24 +11,41 @@
 //! no rollback. Lock classes merge per the disjointness analysis's
 //! [`bamboo_analysis::LockPlan`]s.
 //!
+//! The dispatch hot path (see DESIGN.md "The threaded hot path"):
+//!
+//! - **Sharded routing** — routing state is striped per core in a
+//!   [`ShardedRouter`]; concurrent sends from different cores never
+//!   contend.
+//! - **Work stealing** — formed invocations sit in per-core bounded run
+//!   queues; an idle core may steal an invocation whose group also has
+//!   an instance on it (replicas are interchangeable by the paper's
+//!   data-parallelization rule).
+//! - **Event-driven quiescence** — the worker that drops the activity
+//!   count to zero signals the driver thread through a condvar; no
+//!   sleep-polling latency floor.
+//!
 //! This executor demonstrates genuine concurrent semantics; performance
 //! numbers come from the virtual-time executor (see DESIGN.md §2 — the
 //! host machine's core count is unrelated to the modeled TILEPro64).
 
 use crate::cost::CostModel;
+use crate::deploy::{Deployment, QuiescencePolicy, RunOptions, StealPolicy};
 use crate::program::{NativePayload, Program, TaskCtx};
+use crate::router::ShardedRouter;
 use bamboo_analysis::{DisjointnessAnalysis, UnionFind};
 use bamboo_lang::ids::{ClassId, ExitId, ParamIdx, TagTypeId, TaskId};
 use bamboo_lang::interp::TagInstance;
 use bamboo_lang::spec::{FlagOrTagAction, FlagSet, ProgramSpec};
 use bamboo_profile::Cycles;
-use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision, Router};
+use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision};
 use bamboo_telemetry::{Counter, Telemetry, TimeUnit, WorkerSink};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 use crate::virtual_exec::ExecError;
@@ -44,6 +61,9 @@ struct TObject {
 
 enum Message {
     Deliver(Box<TObject>),
+    /// Wakes a blocked worker so it re-checks its run queue and its
+    /// steal peers. Carries no activity.
+    Poke,
     Shutdown,
 }
 
@@ -101,20 +121,46 @@ struct Shared {
     layout: Layout,
     locks_analysis: DisjointnessAnalysis,
     lock_table: LockTable,
-    router: Mutex<Router>,
+    router: ShardedRouter,
     /// Messages in flight + formed-but-incomplete invocations. Zero means
-    /// quiescence.
+    /// quiescence: every increment happens *before* the matching work is
+    /// handed off, and every decrement *after* all follow-on work was
+    /// counted, so the count never transiently dips to zero.
     activity: AtomicI64,
+    /// Lock + condvar the driver thread parks on; the worker that drops
+    /// `activity` to zero notifies under the lock (no lost wakeups).
+    quiesce: StdMutex<()>,
+    quiesce_cv: Condvar,
     invocations: AtomicU64,
     body_cycles: AtomicU64,
     next_tag: AtomicU64,
+    steal_tally: AtomicU64,
+    retry_tally: AtomicU64,
     senders: Vec<Sender<Message>>,
+    /// Per-core run queues of formed invocations (bounded softly by
+    /// `queue_cap`; owners push/pop the front, thieves take the back).
+    ready: Vec<Mutex<VecDeque<PendingInv>>>,
+    /// Whether each worker is parked in `recv` (set before blocking,
+    /// cleared on wake); `poke` swaps it to decide whether to send.
+    idle: Vec<AtomicBool>,
+    /// Cores hosting an instance of each group (deduped). Groups with
+    /// ≥ 2 entries are stealable across those cores.
+    group_cores: Vec<Vec<usize>>,
+    /// `hosted[core][group]`: whether `core` hosts an instance of
+    /// `group` (steal legality check).
+    hosted: Vec<Vec<bool>>,
+    /// Per-core steal victims: cores sharing at least one multi-core
+    /// group with this core.
+    steal_peers: Vec<Vec<usize>>,
+    steal_enabled: bool,
+    queue_cap: usize,
     /// Collects objects that left dispatch (for result extraction).
     graveyard: Sender<Box<TObject>>,
     telemetry: Telemetry,
     dispatches: Counter,
     lock_retries: Counter,
     bytes_sent: Counter,
+    steals: Counter,
 }
 
 /// Estimated wire size of one object, matching the virtual executor's
@@ -142,7 +188,122 @@ impl Shared {
         self.bytes_sent.add(OBJ_BYTES_ESTIMATE);
         core
     }
+
+    /// Releases one unit of activity; the release that reaches zero
+    /// wakes the quiescence waiter.
+    fn release_activity(&self) {
+        if self.activity.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.quiesce.lock().expect("quiescence mutex");
+            self.quiesce_cv.notify_all();
+        }
+    }
+
+    /// Wakes `core` if it is parked; the idle-flag swap guarantees at
+    /// most one poke per park and none to running workers.
+    fn poke(&self, core: usize) {
+        if self.idle[core].swap(false, Ordering::SeqCst) {
+            let _ = self.senders[core].send(Message::Poke);
+        }
+    }
+
+    fn group_of_instance(&self, inst: InstanceId) -> usize {
+        self.layout.instances[inst.index()].group.index()
+    }
+
+    /// Enqueues a formed invocation. The owner's queue is preferred;
+    /// past the soft bound the invocation is shed to the least-loaded
+    /// core hosting the same group (stealing must be enabled — the same
+    /// interchangeability argument makes both legal). Idle same-group
+    /// peers are poked whenever the queue holds more work than the
+    /// owner can start immediately.
+    fn enqueue_ready(&self, core: usize, inv: PendingInv) {
+        let group = self.group_of_instance(inv.instance);
+        let stealable = self.steal_enabled && self.group_cores[group].len() > 1;
+        if !stealable {
+            self.ready[core].lock().push_back(inv);
+            return;
+        }
+        let mut queue = self.ready[core].lock();
+        if queue.len() < self.queue_cap {
+            queue.push_back(inv);
+            let surplus = queue.len() > 1;
+            drop(queue);
+            if surplus {
+                for &peer in &self.group_cores[group] {
+                    if peer != core {
+                        self.poke(peer);
+                    }
+                }
+            }
+            return;
+        }
+        drop(queue);
+        // Shed: the owner's queue is full; hand the invocation to the
+        // least-loaded same-group core (never holding two queue locks).
+        let target = self.group_cores[group]
+            .iter()
+            .copied()
+            .filter(|&c| c != core)
+            .min_by_key(|&c| self.ready[c].lock().len())
+            .unwrap_or(core);
+        self.ready[target].lock().push_back(inv);
+        if target != core {
+            self.poke(target);
+        }
+    }
+
+    /// Attempts to steal one invocation for `thief`: scans its peers'
+    /// queues from the back (owners work the front) for an invocation
+    /// whose group also has an instance on the thief. `rotation`
+    /// staggers the scan order so thieves spread across victims.
+    fn try_steal(&self, thief: usize, rotation: usize) -> Option<PendingInv> {
+        let peers = &self.steal_peers[thief];
+        if peers.is_empty() {
+            return None;
+        }
+        for i in 0..peers.len() {
+            let victim = peers[(i + rotation) % peers.len()];
+            // A contended victim queue is being worked; move on rather
+            // than serialize behind it.
+            let Some(mut queue) = self.ready[victim].try_lock() else { continue };
+            let eligible = queue
+                .iter()
+                .rposition(|inv| self.hosted[thief][self.group_of_instance(inv.instance)]);
+            if let Some(idx) = eligible {
+                let inv = queue.remove(idx).expect("index from rposition");
+                drop(queue);
+                self.steal_tally.fetch_add(1, Ordering::Relaxed);
+                self.steals.inc();
+                return Some(inv);
+            }
+        }
+        None
+    }
 }
+
+/// A finished-object payload failed to downcast to the requested type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PayloadTypeError {
+    /// The class whose payloads were requested.
+    pub class: ClassId,
+    /// Position of the offending object within that class's finished
+    /// objects.
+    pub index: usize,
+    /// The requested Rust type.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for PayloadTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "payload {} of class {:?} is not a {}",
+            self.index, self.class, self.expected
+        )
+    }
+}
+
+impl Error for PayloadTypeError {}
 
 /// A completed run of the threaded executor.
 #[derive(Debug)]
@@ -151,6 +312,11 @@ pub struct ThreadedReport {
     pub invocations: u64,
     /// Total body cycles charged.
     pub body_cycles: Cycles,
+    /// Invocations executed by a core other than the one that formed
+    /// them (work stealing).
+    pub steals: u64,
+    /// Failed try-lock-all attempts across the run.
+    pub lock_retries: u64,
     /// Final objects' class and payload, for result extraction.
     pub finished: Vec<(ClassId, NativePayload)>,
     /// Wall-clock duration of the run.
@@ -161,15 +327,36 @@ impl ThreadedReport {
     /// Returns the payloads of finished objects of `class`, downcast to
     /// `T`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PayloadTypeError`] if a payload of that class is not a
+    /// `T`.
+    pub fn try_payloads_of<T: 'static>(
+        &self,
+        class: ClassId,
+    ) -> Result<Vec<&T>, PayloadTypeError> {
+        self.finished
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .enumerate()
+            .map(|(index, (_, p))| {
+                p.downcast_ref::<T>().ok_or(PayloadTypeError {
+                    class,
+                    index,
+                    expected: std::any::type_name::<T>(),
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`Self::try_payloads_of`], panicking on a type mismatch.
+    ///
     /// # Panics
     ///
     /// Panics if a payload of that class is not a `T`.
     pub fn payloads_of<T: 'static>(&self, class: ClassId) -> Vec<&T> {
-        self.finished
-            .iter()
-            .filter(|(c, _)| *c == class)
-            .map(|(_, p)| p.downcast_ref::<T>().expect("payload type mismatch"))
-            .collect()
+        self.try_payloads_of(class)
+            .unwrap_or_else(|e| panic!("payload type mismatch: {e}"))
     }
 }
 
@@ -187,43 +374,31 @@ impl ThreadedExecutor {
         ThreadedExecutor { _cost: cost }
     }
 
-    /// Runs `program` under `layout` with one thread per core.
+    /// Runs `deployment` with one thread per core, configured by
+    /// `options` (startup payload, telemetry session, steal policy,
+    /// quiescence protocol).
     ///
-    /// # Errors
-    ///
-    /// Returns [`ExecError::NativeOnly`] for interpreted programs.
-    pub fn run(
-        &self,
-        program: &Program,
-        graph: &GroupGraph,
-        layout: &Layout,
-        locks: &DisjointnessAnalysis,
-        startup: Option<NativePayload>,
-    ) -> Result<ThreadedReport, ExecError> {
-        self.run_with_telemetry(program, graph, layout, locks, startup, &Telemetry::disabled())
-    }
-
-    /// Like [`Self::run`], recording dispatch, contention, traffic, and
-    /// channel-occupancy events into `telemetry` (timestamps in
-    /// nanoseconds since the telemetry session's creation). With
+    /// With an enabled [`Telemetry`] session the run records dispatch,
+    /// contention, traffic, and channel-occupancy events (timestamps in
+    /// nanoseconds since the session's creation) plus the
+    /// `threaded.steals` / `threaded.lock_retries` /
+    /// `threaded.router_contention` counters. With
     /// [`Telemetry::disabled`] every recording site is a no-op and the
     /// dispatch hot path performs no telemetry allocations.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::NativeOnly`] for interpreted programs.
-    pub fn run_with_telemetry(
+    pub fn run(
         &self,
-        program: &Program,
-        graph: &GroupGraph,
-        layout: &Layout,
-        locks: &DisjointnessAnalysis,
-        startup: Option<NativePayload>,
-        telemetry: &Telemetry,
+        deployment: &Deployment,
+        options: RunOptions,
     ) -> Result<ThreadedReport, ExecError> {
+        let Deployment { program, graph, layout, locks } = deployment;
         if !program.is_native() {
             return Err(ExecError::NativeOnly);
         }
+        let telemetry = &options.telemetry;
         telemetry.set_time_unit(TimeUnit::Nanos);
         let start = std::time::Instant::now();
         let core_count = layout.core_count;
@@ -235,23 +410,65 @@ impl ThreadedExecutor {
             receivers.push(rx);
         }
         let (grave_tx, grave_rx) = unbounded::<Box<TObject>>();
+
+        // Steal topology: which cores host which groups.
+        let group_count = graph.groups.len();
+        let mut hosted = vec![vec![false; group_count]; core_count];
+        for inst in &layout.instances {
+            hosted[inst.core.index()][inst.group.index()] = true;
+        }
+        let group_cores: Vec<Vec<usize>> = (0..group_count)
+            .map(|g| (0..core_count).filter(|&c| hosted[c][g]).collect())
+            .collect();
+        let steal_peers: Vec<Vec<usize>> = (0..core_count)
+            .map(|c| {
+                (0..core_count)
+                    .filter(|&peer| {
+                        peer != c
+                            && (0..group_count).any(|g| {
+                                hosted[c][g] && hosted[peer][g] && group_cores[g].len() > 1
+                            })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let router_shards = match options.router {
+            crate::deploy::RouterPolicy::Sharded => core_count,
+            crate::deploy::RouterPolicy::Global => 1,
+        };
         let shared = Arc::new(Shared {
             program: program.clone(),
             graph: graph.clone(),
             layout: layout.clone(),
             locks_analysis: locks.clone(),
             lock_table: LockTable::new(),
-            router: Mutex::new(Router::new()),
+            router: ShardedRouter::new(
+                router_shards,
+                telemetry.counter("threaded.router_contention"),
+            ),
             activity: AtomicI64::new(0),
+            quiesce: StdMutex::new(()),
+            quiesce_cv: Condvar::new(),
             invocations: AtomicU64::new(0),
             body_cycles: AtomicU64::new(0),
             next_tag: AtomicU64::new(0),
+            steal_tally: AtomicU64::new(0),
+            retry_tally: AtomicU64::new(0),
             senders,
+            ready: (0..core_count).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: (0..core_count).map(|_| AtomicBool::new(false)).collect(),
+            group_cores,
+            hosted,
+            steal_peers,
+            steal_enabled: options.steal == StealPolicy::SameGroup,
+            queue_cap: options.queue_capacity(),
             graveyard: grave_tx,
             telemetry: telemetry.clone(),
             dispatches: telemetry.counter("threaded.dispatches"),
             lock_retries: telemetry.counter("threaded.lock_retries"),
             bytes_sent: telemetry.counter("threaded.bytes_sent"),
+            steals: telemetry.counter("threaded.steals"),
         });
 
         // Inject the startup object.
@@ -260,7 +477,7 @@ impl ThreadedExecutor {
             class: spec.startup.class,
             flags: FlagSet::new().with(spec.startup.flag, true),
             tags: Vec::new(),
-            payload: startup.unwrap_or_else(|| Box::new(())),
+            payload: options.startup.unwrap_or_else(|| Box::new(())),
             lock: shared.lock_table.fresh(),
         });
         let startup_inst = layout.instances_of(graph.startup_group)[0];
@@ -273,11 +490,31 @@ impl ThreadedExecutor {
             handles.push(std::thread::spawn(move || worker_loop(core, rx, shared)));
         }
 
-        // Quiescence: activity stays at zero across a settle delay.
-        loop {
-            std::thread::sleep(Duration::from_micros(300));
-            if shared.activity.load(Ordering::SeqCst) == 0 {
-                std::thread::sleep(Duration::from_micros(300));
+        // Wait for quiescence.
+        match options.quiescence {
+            QuiescencePolicy::EventDriven => {
+                let mut guard = shared.quiesce.lock().expect("quiescence mutex");
+                while shared.activity.load(Ordering::SeqCst) != 0 {
+                    guard = shared.quiesce_cv.wait(guard).expect("quiescence mutex");
+                }
+                drop(guard);
+            }
+            QuiescencePolicy::Polling { interval } => loop {
+                std::thread::sleep(interval);
+                if shared.activity.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(interval);
+                    if shared.activity.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                }
+            },
+        }
+        if !options.quiescence_settle.is_zero() {
+            // Optional paranoia window: activity is transfer-ordered so
+            // zero is already final, but a caller may ask for a settle
+            // confirmation anyway.
+            loop {
+                std::thread::sleep(options.quiescence_settle);
                 if shared.activity.load(Ordering::SeqCst) == 0 {
                     break;
                 }
@@ -297,6 +534,8 @@ impl ThreadedExecutor {
         Ok(ThreadedReport {
             invocations: shared.invocations.load(Ordering::SeqCst),
             body_cycles: shared.body_cycles.load(Ordering::SeqCst),
+            steals: shared.steal_tally.load(Ordering::SeqCst),
+            lock_retries: shared.retry_tally.load(Ordering::SeqCst),
             finished,
             wall: start.elapsed(),
         })
@@ -309,7 +548,7 @@ impl Default for ThreadedExecutor {
     }
 }
 
-/// A formed invocation held by a worker.
+/// A formed invocation held in a run queue.
 #[allow(clippy::vec_box)] // objects stay boxed so routing re-sends them without moving
 struct PendingInv {
     task: TaskId,
@@ -338,46 +577,54 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
         sets.push((0..keys.len()).map(|_| VecDeque::new()).collect());
         slots.push(keys);
     }
-    let mut ready: VecDeque<PendingInv> = VecDeque::new();
+    let mut steal_rotation = core;
 
-    loop {
-        // Drain incoming messages (block only when nothing is ready).
-        let msg = if ready.is_empty() { rx.recv().ok() } else { rx.try_recv().ok() };
-        match msg {
-            Some(Message::Deliver(obj)) => {
-                if sink.is_enabled() {
-                    let ts = sink.now();
-                    sink.obj_recv(ts, OBJ_BYTES_ESTIMATE, u64::MAX);
-                    sink.queue_depth(ts, rx.len() as u64, ready.len() as u64);
-                }
-                deliver(&shared, &spec, &instances, &slots, &mut sets, obj, &mut sink);
-                form_all(&shared, &spec, &instances, &slots, &mut sets, &mut ready);
-                // The message's activity transfers to any invocations it
-                // formed (counted in form_all); release the message's own.
-                shared.activity.fetch_sub(1, Ordering::SeqCst);
+    'outer: loop {
+        // 1. Drain a pending message without blocking.
+        match rx.try_recv() {
+            Ok(Message::Deliver(obj)) => {
+                on_deliver(core, &shared, &spec, &instances, &slots, &mut sets, obj, &mut sink);
                 continue;
             }
-            Some(Message::Shutdown) => break,
-            None => {}
+            Ok(Message::Poke) => {}
+            Ok(Message::Shutdown) => break,
+            Err(_) => {}
         }
-        if let Some(mut inv) = ready.pop_front() {
-            let lock_ids: Vec<usize> = inv.objs.iter().map(|o| o.lock).collect();
-            match shared.lock_table.try_lock_all(&lock_ids) {
-                Some(guards) => {
-                    sink.lock_acquired(sink.now(), lock_ids.len() as u64, inv.retries);
-                    execute(&shared, &spec, inv, &mut sink);
-                    drop(guards);
-                }
-                None => {
-                    // Transactional retry: nothing held; try a different
-                    // invocation later.
-                    shared.lock_retries.inc();
-                    sink.lock_failed(sink.now(), lock_ids.len() as u64, inv.task.index() as u64);
-                    inv.retries += 1;
-                    ready.push_back(inv);
-                    std::thread::yield_now();
+        // 2. Work the local run queue.
+        let local = shared.ready[core].lock().pop_front();
+        if let Some(inv) = local {
+            dispatch(core, &shared, &spec, inv, &mut sink);
+            continue;
+        }
+        // 3. Steal from a same-group peer.
+        if shared.steal_enabled {
+            steal_rotation = steal_rotation.wrapping_add(1);
+            if let Some(inv) = shared.try_steal(core, steal_rotation) {
+                dispatch(core, &shared, &spec, inv, &mut sink);
+                continue;
+            }
+        }
+        // 4. Nothing to do: publish idleness, re-check (an enqueue may
+        // have raced the empty check), then park in `recv`.
+        shared.idle[core].store(true, Ordering::SeqCst);
+        if !shared.ready[core].lock().is_empty() {
+            shared.idle[core].store(false, Ordering::SeqCst);
+            continue;
+        }
+        match rx.recv() {
+            Ok(msg) => {
+                shared.idle[core].store(false, Ordering::SeqCst);
+                match msg {
+                    Message::Deliver(obj) => {
+                        on_deliver(
+                            core, &shared, &spec, &instances, &slots, &mut sets, obj, &mut sink,
+                        );
+                    }
+                    Message::Poke => {}
+                    Message::Shutdown => break 'outer,
                 }
             }
+            Err(_) => break,
         }
     }
     // Drain remaining parameter-set objects so results are extractable.
@@ -390,7 +637,63 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
     }
 }
 
+/// Handles one delivered object: enqueue or forward it, form every
+/// invocation it completes, then release the message's activity (the
+/// formed invocations carry their own, counted in `form_all` first).
+#[allow(clippy::too_many_arguments)]
+fn on_deliver(
+    core: usize,
+    shared: &Shared,
+    spec: &ProgramSpec,
+    instances: &[InstanceId],
+    slots: &[Vec<(TaskId, ParamIdx)>],
+    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    obj: Box<TObject>,
+    sink: &mut WorkerSink,
+) {
+    if sink.is_enabled() {
+        let ts = sink.now();
+        sink.obj_recv(ts, OBJ_BYTES_ESTIMATE, u64::MAX);
+        let ready = shared.ready[core].lock().len() as u64;
+        sink.queue_depth(ts, shared.senders[core].len() as u64, ready);
+    }
+    deliver(core, shared, spec, instances, slots, sets, obj, sink);
+    form_all(core, shared, spec, instances, slots, sets);
+    shared.release_activity();
+}
+
+/// Pops, locks, and executes one invocation; on lock failure the
+/// invocation re-queues at the back of this core's run queue.
+fn dispatch(
+    core: usize,
+    shared: &Shared,
+    spec: &ProgramSpec,
+    mut inv: PendingInv,
+    sink: &mut WorkerSink,
+) {
+    let lock_ids: Vec<usize> = inv.objs.iter().map(|o| o.lock).collect();
+    match shared.lock_table.try_lock_all(&lock_ids) {
+        Some(guards) => {
+            sink.lock_acquired(sink.now(), lock_ids.len() as u64, inv.retries);
+            execute(shared, spec, inv, sink);
+            drop(guards);
+        }
+        None => {
+            // Transactional retry: nothing held; try a different
+            // invocation later.
+            shared.lock_retries.inc();
+            shared.retry_tally.fetch_add(1, Ordering::Relaxed);
+            sink.lock_failed(sink.now(), lock_ids.len() as u64, inv.task.index() as u64);
+            inv.retries += 1;
+            shared.ready[core].lock().push_back(inv);
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn deliver(
+    core: usize,
     shared: &Shared,
     spec: &ProgramSpec,
     instances: &[InstanceId],
@@ -423,7 +726,8 @@ fn deliver(
     // the object if no task can ever consume it.
     let inst = instances.first().copied().unwrap_or(InstanceId(0));
     let hash = obj.tags.first().map(|(_, i)| i.0);
-    let decision = shared.router.lock().route_transition(
+    let decision = shared.router.route_transition(
+        core,
         spec,
         &shared.graph,
         &shared.layout,
@@ -434,8 +738,8 @@ fn deliver(
     );
     match decision {
         RouteDecision::Move(dest) => {
-            let core = shared.send(dest, obj);
-            sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
+            let dest_core = shared.send(dest, obj);
+            sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
         }
         _ => {
             let _ = shared.graveyard.send(obj);
@@ -444,12 +748,12 @@ fn deliver(
 }
 
 fn form_all(
+    core: usize,
     shared: &Shared,
     spec: &ProgramSpec,
     instances: &[InstanceId],
     slots: &[Vec<(TaskId, ParamIdx)>],
     sets: &mut [Vec<VecDeque<Box<TObject>>>],
-    ready: &mut VecDeque<PendingInv>,
 ) {
     for (i, inst) in instances.iter().enumerate() {
         let group = &shared.graph.groups[shared.layout.instances[inst.index()].group.index()];
@@ -524,8 +828,13 @@ fn form_all(
                     let obj = sets[i][slot].remove(idx).expect("picked index valid");
                     objs.push(obj);
                 }
+                // Count the invocation's activity *before* it becomes
+                // visible to this core's queue (and to thieves).
                 shared.activity.fetch_add(1, Ordering::SeqCst);
-                ready.push_back(PendingInv { task, instance: *inst, objs, tag_env, retries: 0 });
+                shared.enqueue_ready(
+                    core,
+                    PendingInv { task, instance: *inst, objs, tag_env, retries: 0 },
+                );
             }
         }
     }
@@ -534,6 +843,10 @@ fn form_all(
 fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut WorkerSink) {
     sink.task_start(sink.now(), inv.task.index() as u64, inv.instance.index() as u64);
     let tspec = spec.task(inv.task);
+    // Routing state stays striped by the invocation's *home* core, so a
+    // stolen invocation continues the victim instance's round-robin
+    // sequences.
+    let home_core = shared.layout.core_of(inv.instance).index();
     // Mint body-created tag variables.
     for (v, var) in tspec.tag_vars.iter().enumerate() {
         if !var.from_param && inv.tag_env[v].is_none() {
@@ -598,7 +911,8 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
     // Route parameters.
     for obj in inv.objs {
         let hash = obj.tags.first().map(|(_, i)| i.0);
-        let decision = shared.router.lock().route_transition(
+        let decision = shared.router.route_transition(
+            home_core,
             spec,
             &shared.graph,
             &shared.layout,
@@ -609,12 +923,12 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
         );
         match decision {
             RouteDecision::Stay => {
-                let core = shared.send(inv.instance, obj);
-                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
+                let dest_core = shared.send(inv.instance, obj);
+                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
             }
             RouteDecision::Move(dest) => {
-                let core = shared.send(dest, obj);
-                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
+                let dest_core = shared.send(dest, obj);
+                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
             }
             RouteDecision::Dead => {
                 let _ = shared.graveyard.send(obj);
@@ -634,7 +948,8 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
             })
             .collect();
         let hash = tags.first().map(|(_, i)| i.0);
-        let dest = shared.router.lock().route_new(
+        let dest = shared.router.route_new(
+            home_core,
             spec,
             &shared.graph,
             &shared.layout,
@@ -650,29 +965,41 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
             payload,
             lock: shared.lock_table.fresh(),
         });
-        let core = shared.send(dest, obj);
-        sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, core as u64);
+        let dest_core = shared.send(dest, obj);
+        sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
     }
 
     // Invocation complete.
     sink.task_end(sink.now(), inv.task.index() as u64, inv.instance.index() as u64);
-    shared.activity.fetch_sub(1, Ordering::SeqCst);
+    shared.release_activity();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deploy::RouterPolicy;
     use crate::virtual_exec::tests_support::fanout_setup;
+
+    fn deployment(
+        (program, graph, layout, _machine, locks): (
+            Program,
+            GroupGraph,
+            Layout,
+            bamboo_machine::MachineDescription,
+            DisjointnessAnalysis,
+        ),
+    ) -> Deployment {
+        Deployment::new(program, graph, layout, locks)
+    }
 
     #[test]
     fn threaded_matches_virtual_result() {
-        let (program, graph, layout, _machine, locks) = fanout_setup(24, 3);
-        let report = ThreadedExecutor::default()
-            .run(&program, &graph, &layout, &locks, None)
-            .unwrap();
+        let deploy = deployment(fanout_setup(24, 3));
+        let report =
+            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
         // 1 startup + 24 work + 24 reduce.
         assert_eq!(report.invocations, 49);
-        let acc_class = program.spec.class_by_name("Acc").unwrap();
+        let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
         let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
         assert_eq!(accs.len(), 1);
         // Sum of squares 0..24.
@@ -682,12 +1009,25 @@ mod tests {
 
     #[test]
     fn threaded_single_core_works() {
-        let (program, graph, layout, _machine, locks) = fanout_setup(8, 1);
-        let report = ThreadedExecutor::default()
-            .run(&program, &graph, &layout, &locks, None)
-            .unwrap();
+        let deploy = deployment(fanout_setup(8, 1));
+        let report =
+            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
         assert_eq!(report.invocations, 17);
         assert!(report.body_cycles > 0);
+        // One core: nothing to steal from.
+        assert_eq!(report.steals, 0);
+    }
+
+    #[test]
+    fn baseline_options_still_compute_the_same_result() {
+        let deploy = deployment(fanout_setup(16, 4));
+        let report =
+            ThreadedExecutor::default().run(&deploy, RunOptions::baseline()).unwrap();
+        assert_eq!(report.invocations, 33);
+        assert_eq!(report.steals, 0, "baseline disables stealing");
+        let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
+        let expected: i64 = (0..16).map(|i| i * i).sum();
+        assert_eq!(report.payloads_of::<(i64, i64, i64)>(acc_class)[0].0, expected);
     }
 
     #[test]
@@ -702,13 +1042,9 @@ mod tests {
         .unwrap();
         let locks = DisjointnessAnalysis::all_disjoint(&compiled.spec);
         let program = Program::from_compiled(compiled);
-        let analysis = bamboo_analysis::DependenceAnalysis::run(&program.spec);
-        let cstg = bamboo_analysis::Cstg::build(&program.spec, &analysis);
-        let empty = bamboo_profile::ProfileCollector::new(&program.spec, "x").finish();
-        let graph = GroupGraph::build(&program.spec, &cstg, &empty);
-        let layout = Layout::single_core(&graph);
+        let deploy = Deployment::single_core(&program, &locks);
         let err = ThreadedExecutor::default()
-            .run(&program, &graph, &layout, &locks, None)
+            .run(&deploy, RunOptions::default())
             .unwrap_err();
         assert_eq!(err, ExecError::NativeOnly);
     }
@@ -723,13 +1059,122 @@ mod tests {
             reduce,
             &[bamboo_lang::ids::ParamIdx::new(0), bamboo_lang::ids::ParamIdx::new(1)],
         );
-        let report = ThreadedExecutor::default()
-            .run(&program, &graph, &layout, &locks, None)
-            .unwrap();
-        let acc_class = program.spec.class_by_name("Acc").unwrap();
+        let deploy = Deployment::new(program, graph, layout, locks);
+        let report =
+            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
         let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
         let expected: i64 = (0..16).map(|i| i * i).sum();
         assert_eq!(accs[0].0, expected);
+    }
+
+    #[test]
+    fn try_payloads_of_reports_type_mismatch() {
+        let deploy = deployment(fanout_setup(4, 1));
+        let report =
+            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
+        // The Acc payload is (i64, i64, i64), not String.
+        let err = report.try_payloads_of::<String>(acc_class).unwrap_err();
+        assert_eq!(err.class, acc_class);
+        assert!(err.to_string().contains("String"), "{err}");
+        // And the fallible accessor succeeds on the right type.
+        let ok = report.try_payloads_of::<(i64, i64, i64)>(acc_class).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    /// ≥ 8 producer instances hammering the sharded router from
+    /// distinct cores at once: the result must stay exact, with or
+    /// without stealing, under both router policies.
+    #[test]
+    fn sharded_router_stress_with_many_producers() {
+        for (router, steal) in [
+            (RouterPolicy::Sharded, StealPolicy::SameGroup),
+            (RouterPolicy::Sharded, StealPolicy::Disabled),
+            (RouterPolicy::Global, StealPolicy::SameGroup),
+        ] {
+            let deploy = deployment(fanout_setup(96, 8));
+            assert!(
+                deploy.layout.instances.len() >= 8,
+                "need ≥ 8 producer instances, got {}",
+                deploy.layout.instances.len()
+            );
+            let telemetry = Telemetry::enabled(8);
+            let opts = RunOptions::default()
+                .with_router(router)
+                .with_steal(steal)
+                .with_telemetry(telemetry.clone());
+            let report = ThreadedExecutor::default().run(&deploy, opts).unwrap();
+            assert_eq!(report.invocations, 1 + 2 * 96, "{router:?}/{steal:?}");
+            let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
+            let expected: i64 = (0..96).map(|i| i * i).sum();
+            assert_eq!(
+                report.payloads_of::<(i64, i64, i64)>(acc_class)[0].0,
+                expected,
+                "{router:?}/{steal:?}"
+            );
+            let t = telemetry.report();
+            assert_eq!(t.metrics.counters["threaded.dispatches"], 1 + 2 * 96);
+            assert_eq!(t.metrics.counters["threaded.steals"], report.steals);
+        }
+    }
+
+    /// A startup task that allocates nothing: the run must still reach
+    /// quiescence through the event-driven protocol (one invocation,
+    /// zero follow-on messages) rather than hanging in the condvar wait.
+    #[test]
+    fn quiescence_terminates_under_zero_allocation_startup() {
+        use crate::program::{body, NativeBody};
+        use bamboo_lang::builder::ProgramBuilder;
+        use bamboo_lang::spec::FlagExpr;
+        let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("noalloc");
+        let s = b.class("StartupObject", &["initialstate"]);
+        let init = b.flag(s, "initialstate");
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .exit("", |e| e.set(0, init, false))
+            .body(body(|ctx| {
+                ctx.charge(1);
+                0
+            }))
+            .finish();
+        let program = Program::from_native(b.build().unwrap());
+        let locks = DisjointnessAnalysis::all_disjoint(&program.spec);
+        let deploy = Deployment::single_core(&program, &locks);
+        let start = std::time::Instant::now();
+        let report =
+            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        assert_eq!(report.invocations, 1);
+        // No polling floor: even on a loaded machine this finishes far
+        // below the old 600µs double-sleep (allow generous slack).
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    /// Stealing must not change results: the threaded run with stealing
+    /// agrees with the deterministic virtual executor on the same
+    /// deployment, run-to-run.
+    #[test]
+    fn steal_policy_is_result_deterministic_and_matches_virtual() {
+        use crate::virtual_exec::{ExecConfig, VirtualExecutor};
+        let (program, graph, layout, machine, locks) = fanout_setup(48, 6);
+        let deploy = Deployment::new(program, graph, layout, locks);
+        let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
+        // Virtual reference over the same deployment artifact.
+        let mut virt = VirtualExecutor::over(&deploy, &machine, ExecConfig::default());
+        let vreport = virt.run(None).unwrap();
+        let vacc = virt.store.live_of_class(acc_class)[0];
+        let expected = virt.payload::<(i64, i64, i64)>(vacc).0;
+        for round in 0..3 {
+            let report = ThreadedExecutor::default()
+                .run(&deploy, RunOptions::default().with_steal(StealPolicy::SameGroup))
+                .unwrap();
+            assert_eq!(report.invocations, vreport.invocations, "round {round}");
+            assert_eq!(
+                report.payloads_of::<(i64, i64, i64)>(acc_class)[0].0,
+                expected,
+                "round {round}"
+            );
+        }
     }
 
     /// Overhead guard: with `Telemetry::disabled()` the dispatch hot
@@ -743,12 +1188,13 @@ mod tests {
             reduce,
             &[bamboo_lang::ids::ParamIdx::new(0), bamboo_lang::ids::ParamIdx::new(1)],
         );
+        let deploy = Deployment::new(program, graph, layout, locks);
         let telemetry = Telemetry::disabled();
         let report = ThreadedExecutor::default()
-            .run_with_telemetry(&program, &graph, &layout, &locks, None, &telemetry)
+            .run(&deploy, RunOptions::default().with_telemetry(telemetry.clone()))
             .unwrap();
         // Same correctness as the plain contention test…
-        let acc_class = program.spec.class_by_name("Acc").unwrap();
+        let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
         let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
         let expected: i64 = (0..16).map(|i| i * i).sum();
         assert_eq!(accs[0].0, expected);
@@ -762,11 +1208,11 @@ mod tests {
     #[test]
     fn enabled_telemetry_allocations_do_not_scale_with_tasks() {
         let allocs_for = |n: i64| {
-            let (program, graph, layout, _machine, locks) = fanout_setup(n, 2);
+            let deploy = deployment(fanout_setup(n, 2));
             let telemetry = Telemetry::enabled(2);
             telemetry.set_time_unit(TimeUnit::Nanos);
             ThreadedExecutor::default()
-                .run_with_telemetry(&program, &graph, &layout, &locks, None, &telemetry)
+                .run(&deploy, RunOptions::default().with_telemetry(telemetry.clone()))
                 .unwrap();
             telemetry.heap_allocations()
         };
@@ -779,10 +1225,10 @@ mod tests {
     #[test]
     fn threaded_run_records_dispatch_and_traffic_events() {
         use bamboo_telemetry::EventKind;
-        let (program, graph, layout, _machine, locks) = fanout_setup(12, 3);
+        let deploy = deployment(fanout_setup(12, 3));
         let telemetry = Telemetry::enabled(3);
         let report = ThreadedExecutor::default()
-            .run_with_telemetry(&program, &graph, &layout, &locks, None, &telemetry)
+            .run(&deploy, RunOptions::default().with_telemetry(telemetry.clone()))
             .unwrap();
         // 1 startup + 12 work + 12 reduce.
         assert_eq!(report.invocations, 25);

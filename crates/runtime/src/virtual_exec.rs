@@ -249,6 +249,25 @@ impl<'p> VirtualExecutor<'p> {
         }
     }
 
+    /// Creates an executor over a [`Deployment`](crate::Deployment) —
+    /// the same artifact [`crate::ThreadedExecutor::run`] consumes, so
+    /// predicted-vs-observed comparisons are guaranteed to execute the
+    /// identical plan.
+    pub fn over(
+        deployment: &'p crate::deploy::Deployment,
+        machine: &'p MachineDescription,
+        config: ExecConfig,
+    ) -> Self {
+        VirtualExecutor::new(
+            &deployment.program,
+            &deployment.graph,
+            &deployment.layout,
+            machine,
+            &deployment.locks,
+            config,
+        )
+    }
+
     fn spec(&self) -> &ProgramSpec {
         &self.program.spec
     }

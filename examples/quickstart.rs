@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use bamboo::{Compiler, ExecConfig, MachineDescription, SynthesisOptions};
+use bamboo::prelude::*;
 use rand::SeedableRng;
 
 const SOURCE: &str = r#"
@@ -65,7 +65,7 @@ task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
 }
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // 1. Compile: frontend + dependence analysis + disjointness analysis.
     let compiler = Compiler::from_source("keyword-count", SOURCE)?;
     println!("compiled `{}`:", compiler.program.spec.name);
@@ -92,8 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsynthesized layout for {machine}:");
     print!("{}", plan.layout.describe(&compiler.program.spec, &plan.graph));
 
-    // 4. Execute the synthesized implementation.
-    let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, ExecConfig::default());
+    // 4. Execute the synthesized implementation. The deployment bundles
+    // (program, graph, layout, locks) into the one artifact both
+    // executors consume.
+    let deployment = compiler.deploy(&plan);
+    let mut exec = VirtualExecutor::over(&deployment, &machine, ExecConfig::default());
     let parallel = exec.run(None)?;
     println!(
         "quad-core run: {} cycles — {:.2}x speedup",

@@ -1,0 +1,115 @@
+//! The deployment-centric execution API on real threads: build a native
+//! fan-out/reduce program, profile + synthesize a layout, bundle it into
+//! a [`Deployment`], and run the *same artifact* on the virtual-time
+//! executor and on the threaded executor (with work stealing and
+//! telemetry).
+//!
+//! Run with: `cargo run --example threaded_deploy`
+
+use bamboo::prelude::*;
+use rand::SeedableRng;
+
+fn build_program(n: i64) -> Compiler {
+    let mut b: ProgramBuilder<NativeBody> = ProgramBuilder::new("threaded-deploy");
+    let s = b.class("StartupObject", &["initialstate"]);
+    let w = b.class("Work", &["ready", "done"]);
+    let acc = b.class("Acc", &["open", "closed"]);
+    let init = b.flag(s, "initialstate");
+    let ready = b.flag(w, "ready");
+    let done = b.flag(w, "done");
+    let open = b.flag(acc, "open");
+    let closed = b.flag(acc, "closed");
+    b.task("startup")
+        .param("s", s, FlagExpr::flag(init))
+        .alloc(w, &[(ready, true)], &[])
+        .alloc(acc, &[(open, true)], &[])
+        .exit("", |e| e.set(0, init, false))
+        .body(body(move |ctx| {
+            for i in 0..n {
+                ctx.create(0, i);
+            }
+            ctx.create(1, (0i64, 0i64, n));
+            ctx.charge(50);
+            0
+        }))
+        .finish();
+    b.task("work")
+        .param("w", w, FlagExpr::flag(ready))
+        .exit("", |e| e.set(0, ready, false).set(0, done, true))
+        .body(body(|ctx| {
+            let v = ctx.param_mut::<i64>(0);
+            *v *= *v;
+            ctx.charge(2_000);
+            0
+        }))
+        .finish();
+    b.task("reduce")
+        .param("a", acc, FlagExpr::flag(open))
+        .param("w", w, FlagExpr::flag(done))
+        .exit("more", |e| e.set(1, done, false))
+        .exit("finish", |e| e.set(0, open, false).set(0, closed, true).set(1, done, false))
+        .body(body(|ctx| {
+            let w = *ctx.param::<i64>(1);
+            let a = ctx.param_mut::<(i64, i64, i64)>(0);
+            a.0 += w;
+            a.1 += 1;
+            let finished = a.1 == a.2;
+            ctx.charge(80);
+            if finished {
+                1
+            } else {
+                0
+            }
+        }))
+        .finish();
+    Compiler::from_native(b.build().expect("valid program"))
+}
+
+fn main() -> Result<(), Error> {
+    let n = 64i64;
+    let compiler = build_program(n);
+
+    // Profile on one core, synthesize for eight.
+    let (profile, single, ()) = compiler.profile_run(None, "deploy-demo", |_| ())?;
+    let machine = MachineDescription::n_cores(8);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+
+    // One artifact, both executors.
+    let deployment = compiler.deploy(&plan);
+    println!("deployment: {} instances over {} cores", deployment.layout.instances.len(), deployment.core_count());
+
+    let mut virt = VirtualExecutor::over(&deployment, &machine, ExecConfig::default());
+    let predicted = virt.run(None)?;
+    println!(
+        "virtual:  {} invocations, {} cycles ({:.2}x over 1 core)",
+        predicted.invocations,
+        predicted.makespan,
+        single.makespan as f64 / predicted.makespan as f64
+    );
+
+    let telemetry = Telemetry::enabled(deployment.core_count());
+    let options = RunOptions::default()
+        .with_telemetry(telemetry.clone())
+        .with_steal(StealPolicy::SameGroup);
+    let observed = ThreadedExecutor::default().run(&deployment, options)?;
+    println!(
+        "threaded: {} invocations in {:?} ({} stolen, {} lock retries)",
+        observed.invocations, observed.wall, observed.steals, observed.lock_retries
+    );
+
+    // Fallible result extraction through the unified error type.
+    let acc_class = compiler.program.spec.class_by_name("Acc").expect("declared above");
+    let accs = observed.try_payloads_of::<(i64, i64, i64)>(acc_class)?;
+    let expected: i64 = (0..n).map(|i| i * i).sum();
+    println!("sum of squares 0..{n}: {} (expected {expected})", accs[0].0);
+    assert_eq!(accs[0].0, expected);
+
+    let report = telemetry.report();
+    println!(
+        "telemetry: {} dispatches, {} objects sent",
+        report.metrics.counters["threaded.dispatches"],
+        report.metrics.counters["threaded.bytes_sent"] / (16 * 8)
+    );
+    Ok(())
+}

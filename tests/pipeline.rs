@@ -2,8 +2,8 @@
 //! analyses, synthesis, and all three executors must agree.
 
 use bamboo::{
-    body, Compiler, ExecConfig, MachineDescription, NativeBody, ProgramBuilder, SynthesisOptions,
-    ThreadedExecutor,
+    body, Compiler, Deployment, ExecConfig, MachineDescription, NativeBody, ProgramBuilder,
+    RunOptions, SynthesisOptions, ThreadedExecutor, VirtualExecutor,
 };
 use bamboo::{FlagExpr, Layout};
 use rand::SeedableRng;
@@ -156,14 +156,51 @@ fn virtual_and_threaded_executors_agree() {
     let machine = MachineDescription::n_cores(6);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+    let deployment = compiler.deploy(&plan);
     let report = ThreadedExecutor::default()
-        .run(&compiler.program, &plan.graph, &plan.layout, &compiler.locks, None)
+        .run(&deployment, RunOptions::default())
         .expect("threaded run");
     assert_eq!(report.invocations, 1 + 2 * n as u64);
     let acc = compiler.program.spec.class_by_name("Acc").expect("exists");
     let sums = report.payloads_of::<(i64, i64, i64)>(acc);
     assert_eq!(sums.len(), 1);
     assert_eq!(sums[0].0, expected);
+}
+
+/// A `Deployment` built from a `SynthesisResult` carries exactly the
+/// synthesized plan, and both executors consume the same artifact with
+/// matching results.
+#[test]
+fn deployment_round_trips_the_synthesis_result() {
+    let n = 12i64;
+    let expected: i64 = (0..n).map(|i| i * i).sum();
+    let compiler = native_squares(n);
+    let (profile, _, ()) = compiler.profile_run(None, "t", |_| ()).expect("profiles");
+    let machine = MachineDescription::n_cores(4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+
+    // Round trip: the deployment embeds the synthesized graph + layout.
+    let deployment = Deployment::from_synthesis(&compiler.program, &compiler.locks, &plan);
+    assert_eq!(deployment.core_count(), plan.layout.core_count);
+    assert_eq!(deployment.layout.instances.len(), plan.layout.instances.len());
+    assert_eq!(deployment.graph.groups.len(), plan.graph.groups.len());
+    // Compiler::deploy is the same construction.
+    assert_eq!(compiler.deploy(&plan).layout.instances.len(), plan.layout.instances.len());
+
+    // The same artifact feeds both executors.
+    let mut virt = VirtualExecutor::over(&deployment, &machine, ExecConfig::default());
+    let vreport = virt.run(None).expect("virtual run");
+    assert!(vreport.quiesced);
+    let acc = compiler.program.spec.class_by_name("Acc").expect("exists");
+    let vsum = virt.payload::<(i64, i64, i64)>(virt.store.live_of_class(acc)[0]).0;
+    assert_eq!(vsum, expected);
+
+    let treport = ThreadedExecutor::default()
+        .run(&deployment, RunOptions::default())
+        .expect("threaded run");
+    assert_eq!(treport.invocations, vreport.invocations);
+    assert_eq!(treport.payloads_of::<(i64, i64, i64)>(acc)[0].0, expected);
 }
 
 #[test]
