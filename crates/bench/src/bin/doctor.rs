@@ -1,0 +1,231 @@
+//! `bamboo-doctor`: causal critical-path attribution and regression
+//! gating over observed telemetry.
+//!
+//! Two modes:
+//!
+//! * **diagnose** (default): runs a benchmark under the threaded
+//!   executor with telemetry enabled *and* under the virtual executor
+//!   with trace collection, then prints the reconstruction stats, the
+//!   per-core time-breakdown ledger, the observed critical path, and
+//!   the ranked findings — including predicted-vs-observed divergence
+//!   against the virtual trace. `--json PATH` additionally writes the
+//!   machine-readable diagnosis.
+//!
+//!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- kmeans --cores 8`
+//!
+//! * **`--check`**: the CI regression gate. Re-measures every benchmark
+//!   recorded in `BENCH_threaded.json` (same machine model, scale, and
+//!   synthesis seed as the recording harness in
+//!   `crates/bench/benches/threaded.rs`), evaluates the tolerance
+//!   checks in `bamboo::telemetry::analyze::gate`, writes the verdict
+//!   JSON artifact, and exits non-zero if any check fails.
+//!
+//!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --check --out doctor_verdict.json`
+
+use bamboo::telemetry::analyze::{self, gate};
+use bamboo::{
+    Compiler, Deployment, ExecConfig, MachineDescription, RunOptions, SynthesisOptions, Telemetry,
+    ThreadedExecutor,
+};
+use bamboo_apps::{by_name, Benchmark, Scale};
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+/// Synthesis seed shared with the recording harness — the deployment
+/// (and therefore the invocation count) must match the baseline's.
+const SEED: u64 = 42;
+/// Measured reps per configuration in `--check` mode. Fewer than the
+/// recording harness (15): the gate's floors are generous, so a cheap
+/// best-of-5 estimate is plenty.
+const CHECK_REPS: usize = 5;
+
+struct Args {
+    check: bool,
+    bench: String,
+    cores: usize,
+    json_out: Option<String>,
+    baseline_path: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let default_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threaded.json");
+    let mut args = Args {
+        check: false,
+        bench: "kmeans".to_string(),
+        cores: 8,
+        json_out: None,
+        baseline_path: default_baseline.to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--cores" => {
+                args.cores =
+                    value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
+            }
+            "--json" | "--out" => args.json_out = Some(value(&arg)?),
+            "--baseline" => args.baseline_path = value("--baseline")?,
+            "--help" | "-h" => {
+                return Err(concat!(
+                    "usage: bamboo-doctor [BENCH] [--cores N] [--json PATH]\n",
+                    "       bamboo-doctor --check [--baseline PATH] [--out PATH]"
+                )
+                .to_string());
+            }
+            name if !name.starts_with('-') => args.bench = name.to_string(),
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Profiles, synthesizes (fixed seed), and deploys `bench` for `machine`.
+fn deployment_for(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+) -> (Compiler, Deployment) {
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler.profile_run(None, "doctor", |_| ()).expect("profile run");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
+    let deployment = compiler.deploy(&plan);
+    (compiler, deployment)
+}
+
+/// One telemetry-enabled threaded run; returns the recorded report and
+/// the executor's run report.
+fn observed_run(
+    deployment: &Deployment,
+    cores: usize,
+) -> (bamboo::TelemetryReport, bamboo::ThreadedReport) {
+    let telemetry = Telemetry::enabled(cores);
+    let options = RunOptions { telemetry: telemetry.clone(), ..RunOptions::default() };
+    let run = ThreadedExecutor::default().run(deployment, options).expect("observed run");
+    (telemetry.report(), run)
+}
+
+/// Best wall time (µs), invocation count, and lock retries over `reps`
+/// telemetry-free runs of one configuration.
+fn measure(deployment: &Deployment, baseline: bool, reps: usize) -> (f64, u64, u64) {
+    let exec = ThreadedExecutor::default();
+    let options = || if baseline { RunOptions::baseline() } else { RunOptions::default() };
+    let _ = exec.run(deployment, options()).expect("warmup run");
+    let mut best_us = f64::INFINITY;
+    let mut invocations = 0;
+    let mut retries = 0;
+    for _ in 0..reps {
+        let report = exec.run(deployment, options()).expect("measured run");
+        best_us = best_us.min(report.wall.as_secs_f64() * 1e6);
+        invocations = report.invocations;
+        retries = report.lock_retries;
+    }
+    (best_us, invocations, retries)
+}
+
+fn diagnose_mode(args: &Args) -> Result<(), String> {
+    let bench = by_name(&args.bench).ok_or(format!("unknown benchmark {:?}", args.bench))?;
+    let machine = MachineDescription::n_cores(args.cores);
+    let (compiler, deployment) = deployment_for(bench.as_ref(), &machine);
+
+    println!(
+        "bamboo-doctor: diagnosing {} on {} cores (threaded observed vs virtual predicted)\n",
+        bench.name(),
+        args.cores,
+    );
+    let (report, run) = observed_run(&deployment, args.cores);
+
+    // The virtual executor's trace over the same deployment is the
+    // prediction the observed run is compared against.
+    let config = ExecConfig { collect_trace: true, ..ExecConfig::default() };
+    let mut virtual_exec =
+        compiler.executor(&deployment.graph, &deployment.layout, &machine, config);
+    let predicted = virtual_exec.run(None).expect("virtual run").trace.expect("trace requested");
+
+    let diagnosis = analyze::diagnose(&report, Some(&predicted));
+    print!("{}", diagnosis.summary(Some(&compiler.program.spec)));
+    println!(
+        "\nthreaded run: {} invocations, {} steals, {} lock retries, {} router contentions, wall {:?}",
+        run.invocations, run.steals, run.lock_retries, run.router_contention, run.wall,
+    );
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, diagnosis.json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn check_mode(args: &Args) -> Result<bool, String> {
+    let text = std::fs::read_to_string(&args.baseline_path)
+        .map_err(|e| format!("read {}: {e}", args.baseline_path))?;
+    let baseline = gate::parse_baseline(&text)?;
+    let machine = MachineDescription::tilepro64();
+    if machine.core_count() as u64 != baseline.machine_cores {
+        eprintln!(
+            "warning: baseline recorded for {} cores, gating against {}",
+            baseline.machine_cores,
+            machine.core_count(),
+        );
+    }
+
+    let mut observations = Vec::new();
+    for base in &baseline.benches {
+        let Some(bench) = by_name(&base.name) else {
+            eprintln!("warning: baseline bench {:?} not in the app registry; skipping", base.name);
+            continue;
+        };
+        let (_compiler, deployment) = deployment_for(bench.as_ref(), &machine);
+        let (base_us, base_inv, _) = measure(&deployment, true, CHECK_REPS);
+        let (opt_us, invocations, lock_retries) = measure(&deployment, false, CHECK_REPS);
+        let throughput = invocations as f64 / (opt_us / 1e3);
+        let speedup = (invocations as f64 / opt_us) / (base_inv as f64 / base_us);
+
+        // One telemetry-enabled run for the causal health check: the
+        // observed critical path must spend some of its span computing.
+        let (report, _) = observed_run(&deployment, machine.core_count());
+        let diagnosis = analyze::diagnose(&report, None);
+        let compute_share = diagnosis.path.as_ref().map_or(0.0, |p| p.compute_share());
+
+        println!(
+            "measured {:<12} {invocations} invocations, {lock_retries} retries, best {opt_us:.0}µs, \
+             {throughput:.2} inv/ms, {speedup:.2}x, compute share {compute_share:.2}",
+            base.name,
+        );
+        observations.push(gate::Observation {
+            name: base.name.clone(),
+            invocations: invocations as f64,
+            lock_retries: lock_retries as f64,
+            best_wall_us: opt_us,
+            throughput,
+            speedup,
+            compute_share,
+        });
+    }
+
+    let verdict = gate::evaluate(&baseline, &observations);
+    println!("\n{}", verdict.table());
+    let out = args.json_out.as_deref().unwrap_or("doctor_verdict.json");
+    std::fs::write(out, verdict.json()).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(verdict.pass())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = if args.check { check_mode(&args) } else { diagnose_mode(&args).map(|()| true) };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bamboo-doctor: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,12 +22,17 @@ use bamboo_lang::spec::{FlagSet, ProgramSpec};
 use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision, Router};
 use bamboo_telemetry::Counter;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-core striped [`Router`] state. See the module docs.
 #[derive(Debug)]
 pub struct ShardedRouter {
     shards: Vec<Mutex<Router>>,
     contended: Counter,
+    /// Raw contention tally, kept alongside the metric counter so the
+    /// count is reportable even when telemetry is disabled (the
+    /// [`Counter`] is a no-op then).
+    tally: AtomicU64,
 }
 
 impl ShardedRouter {
@@ -38,6 +43,7 @@ impl ShardedRouter {
         ShardedRouter {
             shards: (0..shards.max(1)).map(|_| Mutex::new(Router::new())).collect(),
             contended,
+            tally: AtomicU64::new(0),
         }
     }
 
@@ -46,11 +52,18 @@ impl ShardedRouter {
         self.shards.len()
     }
 
+    /// Route calls so far that found their stripe locked and had to
+    /// wait (mirrors the `threaded.router_contention` counter).
+    pub fn contention_count(&self) -> u64 {
+        self.tally.load(Ordering::Relaxed)
+    }
+
     fn lock_shard(&self, core: usize) -> parking_lot::MutexGuard<'_, Router> {
         let shard = &self.shards[core % self.shards.len()];
         match shard.try_lock() {
             Some(guard) => guard,
             None => {
+                self.tally.fetch_add(1, Ordering::Relaxed);
                 self.contended.inc();
                 shard.lock()
             }

@@ -38,7 +38,7 @@ use bamboo_lang::interp::TagInstance;
 use bamboo_lang::spec::{FlagOrTagAction, FlagSet, ProgramSpec};
 use bamboo_profile::Cycles;
 use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision};
-use bamboo_telemetry::{Counter, Telemetry, TimeUnit, WorkerSink};
+use bamboo_telemetry::{Counter, Telemetry, TimeUnit, WorkerSink, NO_ID};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -57,6 +57,15 @@ struct TObject {
     tags: Vec<(TagTypeId, TagInstance)>,
     payload: NativePayload,
     lock: usize,
+    /// Invocation that released or created this object ([`NO_ID`] for
+    /// the driver-injected startup object). Carried with the object so
+    /// the consuming invocation's causal edge survives forwarding and
+    /// work stealing.
+    producer: u64,
+    /// Message id minted by the send currently carrying the object.
+    msg: u64,
+    /// Core that performed that send ([`NO_ID`] for the driver).
+    src_core: u64,
 }
 
 enum Message {
@@ -134,6 +143,11 @@ struct Shared {
     invocations: AtomicU64,
     body_cycles: AtomicU64,
     next_tag: AtomicU64,
+    /// Invocation-id mint (ids start at 1; 0 is never issued so
+    /// [`NO_ID`] and "unset" stay unambiguous in event streams).
+    next_inv: AtomicU64,
+    /// Message-id mint (ids start at 1).
+    next_msg: AtomicU64,
     steal_tally: AtomicU64,
     retry_tally: AtomicU64,
     senders: Vec<Sender<Message>>,
@@ -177,16 +191,21 @@ impl Shared {
         TagInstance(self.next_tag.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    /// Sends `obj` to the worker owning `instance`; returns the
-    /// destination core so callers can record the transfer.
-    fn send(&self, instance: InstanceId, obj: Box<TObject>) -> usize {
+    /// Sends `obj` to the worker owning `instance`, stamping it with a
+    /// fresh message id and the sending core (`src`, [`NO_ID`] for the
+    /// driver). Returns the destination core and the minted message id
+    /// so callers can record the transfer.
+    fn send(&self, src: u64, instance: InstanceId, mut obj: Box<TObject>) -> (usize, u64) {
+        let msg = self.next_msg.fetch_add(1, Ordering::Relaxed) + 1;
+        obj.msg = msg;
+        obj.src_core = src;
         self.activity.fetch_add(1, Ordering::SeqCst);
         let core = self.layout.core_of(instance).index();
         self.senders[core]
             .send(Message::Deliver(obj))
             .expect("worker channel open during execution");
         self.bytes_sent.add(OBJ_BYTES_ESTIMATE);
-        core
+        (core, msg)
     }
 
     /// Releases one unit of activity; the release that reaches zero
@@ -255,8 +274,10 @@ impl Shared {
     /// Attempts to steal one invocation for `thief`: scans its peers'
     /// queues from the back (owners work the front) for an invocation
     /// whose group also has an instance on the thief. `rotation`
-    /// staggers the scan order so thieves spread across victims.
-    fn try_steal(&self, thief: usize, rotation: usize) -> Option<PendingInv> {
+    /// staggers the scan order so thieves spread across victims. A
+    /// successful theft is recorded into `sink` with the victim core,
+    /// keeping the stolen invocation causally attributable.
+    fn try_steal(&self, thief: usize, rotation: usize, sink: &mut WorkerSink) -> Option<PendingInv> {
         let peers = &self.steal_peers[thief];
         if peers.is_empty() {
             return None;
@@ -274,6 +295,7 @@ impl Shared {
                 drop(queue);
                 self.steal_tally.fetch_add(1, Ordering::Relaxed);
                 self.steals.inc();
+                sink.steal(sink.now(), inv.id, victim as u64);
                 return Some(inv);
             }
         }
@@ -313,10 +335,15 @@ pub struct ThreadedReport {
     /// Total body cycles charged.
     pub body_cycles: Cycles,
     /// Invocations executed by a core other than the one that formed
-    /// them (work stealing).
+    /// them (work stealing). Mirrors the `threaded.steals` counter.
     pub steals: u64,
-    /// Failed try-lock-all attempts across the run.
+    /// Failed try-lock-all attempts across the run. Mirrors the
+    /// `threaded.lock_retries` counter.
     pub lock_retries: u64,
+    /// Route calls that found their router stripe locked. Mirrors the
+    /// `threaded.router_contention` counter (reported here even when
+    /// telemetry is disabled).
+    pub router_contention: u64,
     /// Final objects' class and payload, for result extraction.
     pub finished: Vec<(ClassId, NativePayload)>,
     /// Wall-clock duration of the run.
@@ -453,6 +480,8 @@ impl ThreadedExecutor {
             invocations: AtomicU64::new(0),
             body_cycles: AtomicU64::new(0),
             next_tag: AtomicU64::new(0),
+            next_inv: AtomicU64::new(0),
+            next_msg: AtomicU64::new(0),
             steal_tally: AtomicU64::new(0),
             retry_tally: AtomicU64::new(0),
             senders,
@@ -479,9 +508,12 @@ impl ThreadedExecutor {
             tags: Vec::new(),
             payload: options.startup.unwrap_or_else(|| Box::new(())),
             lock: shared.lock_table.fresh(),
+            producer: NO_ID,
+            msg: NO_ID,
+            src_core: NO_ID,
         });
         let startup_inst = layout.instances_of(graph.startup_group)[0];
-        shared.send(startup_inst, startup_obj);
+        shared.send(NO_ID, startup_inst, startup_obj);
 
         // Spawn workers.
         let mut handles = Vec::with_capacity(core_count);
@@ -536,6 +568,7 @@ impl ThreadedExecutor {
             body_cycles: shared.body_cycles.load(Ordering::SeqCst),
             steals: shared.steal_tally.load(Ordering::SeqCst),
             lock_retries: shared.retry_tally.load(Ordering::SeqCst),
+            router_contention: shared.router.contention_count(),
             finished,
             wall: start.elapsed(),
         })
@@ -551,6 +584,9 @@ impl Default for ThreadedExecutor {
 /// A formed invocation held in a run queue.
 #[allow(clippy::vec_box)] // objects stay boxed so routing re-sends them without moving
 struct PendingInv {
+    /// Run-unique invocation id minted at formation; every telemetry
+    /// event about this invocation carries it.
+    id: u64,
     task: TaskId,
     instance: InstanceId,
     objs: Vec<Box<TObject>>,
@@ -599,7 +635,7 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
         // 3. Steal from a same-group peer.
         if shared.steal_enabled {
             steal_rotation = steal_rotation.wrapping_add(1);
-            if let Some(inv) = shared.try_steal(core, steal_rotation) {
+            if let Some(inv) = shared.try_steal(core, steal_rotation, &mut sink) {
                 dispatch(core, &shared, &spec, inv, &mut sink);
                 continue;
             }
@@ -653,12 +689,12 @@ fn on_deliver(
 ) {
     if sink.is_enabled() {
         let ts = sink.now();
-        sink.obj_recv(ts, OBJ_BYTES_ESTIMATE, u64::MAX);
+        sink.obj_recv(ts, OBJ_BYTES_ESTIMATE, obj.src_core, obj.msg);
         let ready = shared.ready[core].lock().len() as u64;
         sink.queue_depth(ts, shared.senders[core].len() as u64, ready);
     }
     deliver(core, shared, spec, instances, slots, sets, obj, sink);
-    form_all(core, shared, spec, instances, slots, sets);
+    form_all(core, shared, spec, instances, slots, sets, sink);
     shared.release_activity();
 }
 
@@ -674,7 +710,7 @@ fn dispatch(
     let lock_ids: Vec<usize> = inv.objs.iter().map(|o| o.lock).collect();
     match shared.lock_table.try_lock_all(&lock_ids) {
         Some(guards) => {
-            sink.lock_acquired(sink.now(), lock_ids.len() as u64, inv.retries);
+            sink.lock_acquired(sink.now(), lock_ids.len() as u64, inv.retries, inv.id);
             execute(shared, spec, inv, sink);
             drop(guards);
         }
@@ -683,7 +719,7 @@ fn dispatch(
             // invocation later.
             shared.lock_retries.inc();
             shared.retry_tally.fetch_add(1, Ordering::Relaxed);
-            sink.lock_failed(sink.now(), lock_ids.len() as u64, inv.task.index() as u64);
+            sink.lock_failed(sink.now(), lock_ids.len() as u64, inv.task.index() as u64, inv.id);
             inv.retries += 1;
             shared.ready[core].lock().push_back(inv);
             std::thread::yield_now();
@@ -738,8 +774,14 @@ fn deliver(
     );
     match decision {
         RouteDecision::Move(dest) => {
-            let dest_core = shared.send(dest, obj);
-            sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
+            // Forwarding keeps the object's original producer: the
+            // eventual consumer's causal edge must point at whoever
+            // released the object, not at the hop that relayed it.
+            // Timestamp taken before the channel push so the send never
+            // postdates the matching receive.
+            let ts = sink.now();
+            let (dest_core, msg) = shared.send(core as u64, dest, obj);
+            sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
         }
         _ => {
             let _ = shared.graveyard.send(obj);
@@ -754,6 +796,7 @@ fn form_all(
     instances: &[InstanceId],
     slots: &[Vec<(TaskId, ParamIdx)>],
     sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    sink: &mut WorkerSink,
 ) {
     for (i, inst) in instances.iter().enumerate() {
         let group = &shared.graph.groups[shared.layout.instances[inst.index()].group.index()];
@@ -828,12 +871,24 @@ fn form_all(
                     let obj = sets[i][slot].remove(idx).expect("picked index valid");
                     objs.push(obj);
                 }
+                // Mint the invocation id and record formation (the
+                // queue-enter timestamp) plus one causal edge per
+                // consumed object before the invocation becomes
+                // stealable — after that, another core may execute it.
+                let id = shared.next_inv.fetch_add(1, Ordering::Relaxed) + 1;
+                if sink.is_enabled() {
+                    let ts = sink.now();
+                    sink.inv_queued(ts, id, inst.index() as u64, task.index() as u64);
+                    for obj in &objs {
+                        sink.inv_link(ts, id, obj.producer, obj.msg);
+                    }
+                }
                 // Count the invocation's activity *before* it becomes
                 // visible to this core's queue (and to thieves).
                 shared.activity.fetch_add(1, Ordering::SeqCst);
                 shared.enqueue_ready(
                     core,
-                    PendingInv { task, instance: *inst, objs, tag_env, retries: 0 },
+                    PendingInv { id, task, instance: *inst, objs, tag_env, retries: 0 },
                 );
             }
         }
@@ -841,7 +896,7 @@ fn form_all(
 }
 
 fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut WorkerSink) {
-    sink.task_start(sink.now(), inv.task.index() as u64, inv.instance.index() as u64);
+    sink.task_start(sink.now(), inv.task.index() as u64, inv.instance.index() as u64, inv.id);
     let tspec = spec.task(inv.task);
     // Routing state stays striped by the invocation's *home* core, so a
     // stolen invocation continues the victim instance's round-robin
@@ -908,8 +963,11 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
         }
     }
 
-    // Route parameters.
-    for obj in inv.objs {
+    // Route parameters. Released objects are re-stamped with this
+    // invocation as their producer: whoever consumes them next links
+    // back here.
+    for mut obj in inv.objs {
+        obj.producer = inv.id;
         let hash = obj.tags.first().map(|(_, i)| i.0);
         let decision = shared.router.route_transition(
             home_core,
@@ -923,12 +981,14 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
         );
         match decision {
             RouteDecision::Stay => {
-                let dest_core = shared.send(inv.instance, obj);
-                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
+                let ts = sink.now();
+                let (dest_core, msg) = shared.send(home_core as u64, inv.instance, obj);
+                sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
             }
             RouteDecision::Move(dest) => {
-                let dest_core = shared.send(dest, obj);
-                sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
+                let ts = sink.now();
+                let (dest_core, msg) = shared.send(home_core as u64, dest, obj);
+                sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
             }
             RouteDecision::Dead => {
                 let _ = shared.graveyard.send(obj);
@@ -964,13 +1024,17 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
             tags,
             payload,
             lock: shared.lock_table.fresh(),
+            producer: inv.id,
+            msg: NO_ID,
+            src_core: NO_ID,
         });
-        let dest_core = shared.send(dest, obj);
-        sink.obj_send(sink.now(), OBJ_BYTES_ESTIMATE, dest_core as u64);
+        let ts = sink.now();
+        let (dest_core, msg) = shared.send(home_core as u64, dest, obj);
+        sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
     }
 
     // Invocation complete.
-    sink.task_end(sink.now(), inv.task.index() as u64, inv.instance.index() as u64);
+    sink.task_end(sink.now(), inv.task.index() as u64, inv.instance.index() as u64, inv.id);
     shared.release_activity();
 }
 

@@ -379,7 +379,7 @@ impl<'p> VirtualExecutor<'p> {
             let bytes = self.config.payload_words_of(class) * 8;
             let queued = self.ready[arrival_core].len() as u64;
             let sink = &mut self.sinks[arrival_core];
-            sink.obj_recv(self.now, bytes, u64::MAX);
+            sink.obj_recv(self.now, bytes, u64::MAX, u64::MAX);
             sink.queue_depth(self.now, queued, 0);
         }
         let mut touched = false;
@@ -411,7 +411,7 @@ impl<'p> VirtualExecutor<'p> {
                 if !self.sinks.is_empty() {
                     let bytes = self.config.payload_words_of(class) * 8;
                     let dest_core = self.layout.core_of(dest).index() as u64;
-                    self.sinks[arrival_core].obj_send(self.now, bytes, dest_core);
+                    self.sinks[arrival_core].obj_send(self.now, bytes, dest_core, u64::MAX);
                 }
                 self.store.get_mut(obj).home = dest;
                 self.set_arrival(obj, self.now + cost);
@@ -684,9 +684,9 @@ impl<'p> VirtualExecutor<'p> {
             // Virtual dispatch is transactional with atomic reservation,
             // so lock acquisition always succeeds with zero retries.
             let sink = &mut self.sinks[core];
-            sink.lock_acquired(self.now, inv.objs.len() as u64, 0);
-            sink.task_start(self.now, inv.task.index() as u64, inv.instance.index() as u64);
-            sink.task_end(end, inv.task.index() as u64, inv.instance.index() as u64);
+            sink.lock_acquired(self.now, inv.objs.len() as u64, 0, u64::MAX);
+            sink.task_start(self.now, inv.task.index() as u64, inv.instance.index() as u64, u64::MAX);
+            sink.task_end(end, inv.task.index() as u64, inv.instance.index() as u64, u64::MAX);
         }
         self.running[core] = Some(Running { inv, exit, created, trace_id });
         self.push_event(end, EventKey::CoreFree(core as u32));
@@ -766,7 +766,7 @@ impl<'p> VirtualExecutor<'p> {
                     if !self.sinks.is_empty() {
                         let bytes = self.config.payload_words_of(class) * 8;
                         let dest_core = self.layout.core_of(dest).index() as u64;
-                        self.sinks[core].obj_send(self.now, bytes, dest_core);
+                        self.sinks[core].obj_send(self.now, bytes, dest_core, u64::MAX);
                     }
                     self.store.get_mut(obj).home = dest;
                     self.set_arrival(obj, self.now + cost);
@@ -802,7 +802,7 @@ impl<'p> VirtualExecutor<'p> {
                 if !self.sinks.is_empty() {
                     let bytes = self.config.payload_words_of(site_spec.class) * 8;
                     let dest_core = self.layout.core_of(dest).index() as u64;
-                    self.sinks[core].obj_send(self.now, bytes, dest_core);
+                    self.sinks[core].obj_send(self.now, bytes, dest_core, u64::MAX);
                 }
             }
             let obj = self.store.alloc(

@@ -1,0 +1,181 @@
+//! Ranked findings: the diagnosis's actionable output.
+
+use crate::event::Timestamp;
+use crate::json::write_str;
+use std::fmt::Write as _;
+
+/// How much a finding matters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Context worth knowing; not a problem by itself.
+    Info,
+    /// A measurable inefficiency.
+    Warning,
+    /// A correctness-adjacent divergence (e.g. the observed causal
+    /// structure contradicts the predicted one).
+    Critical,
+}
+
+impl Severity {
+    /// Short uppercase label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARN",
+            Severity::Critical => "CRIT",
+        }
+    }
+}
+
+/// One piece of supporting evidence: a free-form detail, optionally
+/// anchored to a time span and core so it can be found in a trace
+/// viewer.
+#[derive(Clone, Debug)]
+pub struct Evidence {
+    /// What was observed.
+    pub detail: String,
+    /// Time window the evidence covers, in the report's unit.
+    pub span: Option<(Timestamp, Timestamp)>,
+    /// Core the evidence is anchored to.
+    pub core: Option<u32>,
+}
+
+impl Evidence {
+    /// Evidence with no anchor.
+    pub fn note(detail: impl Into<String>) -> Self {
+        Evidence { detail: detail.into(), span: None, core: None }
+    }
+
+    /// Evidence anchored to a time span on a core.
+    pub fn at(detail: impl Into<String>, span: (Timestamp, Timestamp), core: u32) -> Self {
+        Evidence { detail: detail.into(), span: Some(span), core: Some(core) }
+    }
+}
+
+/// One diagnosis finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `"lock-contention"`).
+    pub rule: &'static str,
+    /// How much it matters.
+    pub severity: Severity,
+    /// Magnitude used to rank findings of equal severity (rule-specific
+    /// units; bigger is worse).
+    pub score: f64,
+    /// One-line human-readable statement.
+    pub message: String,
+    /// Supporting evidence spans.
+    pub evidence: Vec<Evidence>,
+}
+
+/// Sorts findings most-severe first, then by descending score.
+pub fn rank(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(b.score.total_cmp(&a.score))
+            .then(a.rule.cmp(b.rule))
+    });
+}
+
+/// Renders a ranked findings table with indented evidence lines.
+pub fn render_table(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "findings: none\n".into();
+    }
+    let mut out = format!("findings ({}):\n", findings.len());
+    for (i, f) in findings.iter().enumerate() {
+        let _ = writeln!(out, "{:>3}. [{}] {:<24} {}", i + 1, f.severity.label(), f.rule, f.message);
+        for e in &f.evidence {
+            let anchor = match (e.span, e.core) {
+                (Some((a, b)), Some(core)) => format!(" [core {core}, {a}..{b}]"),
+                (Some((a, b)), None) => format!(" [{a}..{b}]"),
+                (None, Some(core)) => format!(" [core {core}]"),
+                (None, None) => String::new(),
+            };
+            let _ = writeln!(out, "       - {}{anchor}", e.detail);
+        }
+    }
+    out
+}
+
+/// Serializes findings as a JSON array.
+pub fn findings_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        write_str(&mut out, f.rule);
+        let _ = write!(out, ",\"severity\":\"{}\",\"score\":", f.severity.label());
+        crate::json::write_f64(&mut out, f.score);
+        out.push_str(",\"message\":");
+        write_str(&mut out, &f.message);
+        out.push_str(",\"evidence\":[");
+        for (j, e) in f.evidence.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"detail\":");
+            write_str(&mut out, &e.detail);
+            if let Some((a, b)) = e.span {
+                let _ = write!(out, ",\"span\":[{a},{b}]");
+            }
+            if let Some(core) = e.core {
+                let _ = write!(out, ",\"core\":{core}");
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn f(rule: &'static str, severity: Severity, score: f64) -> Finding {
+        Finding { rule, severity, score, message: format!("{rule} happened"), evidence: vec![] }
+    }
+
+    #[test]
+    fn ranking_orders_by_severity_then_score() {
+        let mut findings = vec![
+            f("small-warn", Severity::Warning, 1.0),
+            f("info", Severity::Info, 99.0),
+            f("crit", Severity::Critical, 0.1),
+            f("big-warn", Severity::Warning, 5.0),
+        ];
+        rank(&mut findings);
+        let rules: Vec<&str> = findings.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["crit", "big-warn", "small-warn", "info"]);
+    }
+
+    #[test]
+    fn table_shows_evidence_anchors() {
+        let mut finding = f("lock-contention", Severity::Warning, 2.0);
+        finding.evidence.push(Evidence::at("3 retries on reduce", (2700, 2900), 0));
+        finding.evidence.push(Evidence::note("all retries on one class set"));
+        let table = render_table(&[finding]);
+        assert!(table.contains("[WARN] lock-contention"), "{table}");
+        assert!(table.contains("[core 0, 2700..2900]"), "{table}");
+        assert_eq!(render_table(&[]), "findings: none\n");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut finding = f("steal-storm", Severity::Info, 0.5);
+        finding.evidence.push(Evidence::at("1 steal", (1400, 1400), 1));
+        let doc = json::parse(&findings_json(&[finding])).unwrap();
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("rule").unwrap().as_str(), Some("steal-storm"));
+        assert_eq!(arr[0].get("severity").unwrap().as_str(), Some("INFO"));
+        let ev = arr[0].get("evidence").unwrap().as_arr().unwrap();
+        assert_eq!(ev[0].get("core").unwrap().as_f64(), Some(1.0));
+    }
+}

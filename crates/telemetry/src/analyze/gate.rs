@@ -1,0 +1,355 @@
+//! The CI perf-regression gate.
+//!
+//! `BENCH_threaded.json` (written by the bench crate's A/B harness on a
+//! reference machine) is the baseline; a fresh run on the current build
+//! is the observation. The gate's checks are chosen to be meaningful on
+//! a *different* machine than the one that recorded the baseline:
+//!
+//! * invocation counts are deterministic and must match **exactly** —
+//!   a mismatch is a functional regression, not noise;
+//! * lock retries per invocation get a small absolute tolerance band —
+//!   this is the check that catches an accidentally introduced retry
+//!   loop (the synthetic-slowdown acceptance test);
+//! * throughput and speedup get generous floors (CI containers are
+//!   slow and noisy, but a real regression collapses them by integer
+//!   factors);
+//! * the observed critical path must do *some* compute — a near-zero
+//!   compute share means the executor spent the run waiting, which no
+//!   amount of machine noise explains.
+
+use crate::json::{self, write_str, Value};
+use std::fmt::Write as _;
+
+/// Absolute slack on lock retries per invocation.
+pub const RETRY_SLACK_PER_INVOCATION: f64 = 0.25;
+/// Observed throughput must reach this fraction of the recorded one.
+pub const THROUGHPUT_FLOOR_FRACTION: f64 = 0.05;
+/// Observed dispatch speedup must reach this fraction of the recorded one.
+pub const SPEEDUP_FLOOR_FRACTION: f64 = 0.35;
+/// Minimum compute share of the observed critical path.
+pub const COMPUTE_SHARE_FLOOR: f64 = 0.01;
+
+/// One benchmark's recorded reference numbers (the `optimized` row of
+/// `BENCH_threaded.json`, plus the A/B speedup).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineBench {
+    /// Benchmark name as recorded (e.g. `"KMeans"`).
+    pub name: String,
+    /// Invocations per run (deterministic).
+    pub invocations: f64,
+    /// Lock retries per run.
+    pub lock_retries: f64,
+    /// Best wall time over the recorded reps, microseconds.
+    pub best_wall_us: f64,
+    /// Invocations dispatched per millisecond.
+    pub throughput: f64,
+    /// Optimized-over-baseline dispatch-throughput speedup.
+    pub speedup: f64,
+}
+
+/// The parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Core count of the machine model the deployments were planned for.
+    pub machine_cores: u64,
+    /// One entry per recorded benchmark.
+    pub benches: Vec<BaselineBench>,
+}
+
+/// Parses a `BENCH_threaded.json` document.
+///
+/// # Errors
+///
+/// Returns a message when the text is not JSON or required members are
+/// missing/mistyped.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = json::parse(text)?;
+    let machine_cores = doc
+        .get("machine_cores")
+        .and_then(Value::as_f64)
+        .ok_or("missing machine_cores")? as u64;
+    let Some(Value::Obj(benches)) = doc.get("benches") else {
+        return Err("missing benches object".into());
+    };
+    let mut out = Vec::with_capacity(benches.len());
+    for (name, bench) in benches {
+        let optimized = bench.get("optimized").ok_or_else(|| format!("{name}: missing optimized"))?;
+        let field = |key: &str| -> Result<f64, String> {
+            optimized
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{name}: missing optimized.{key}"))
+        };
+        out.push(BaselineBench {
+            name: name.clone(),
+            invocations: field("invocations")?,
+            lock_retries: field("lock_retries")?,
+            best_wall_us: field("best_wall_us")?,
+            throughput: field("throughput_inv_per_ms")?,
+            speedup: bench
+                .get("dispatch_throughput_speedup")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{name}: missing dispatch_throughput_speedup"))?,
+        });
+    }
+    Ok(Baseline { machine_cores, benches: out })
+}
+
+/// One benchmark's numbers measured on the build under test.
+#[derive(Clone, Debug, Default)]
+pub struct Observation {
+    /// Benchmark name; matched against [`BaselineBench::name`].
+    pub name: String,
+    /// Invocations per run.
+    pub invocations: f64,
+    /// Lock retries per run.
+    pub lock_retries: f64,
+    /// Best wall time, microseconds.
+    pub best_wall_us: f64,
+    /// Invocations dispatched per millisecond.
+    pub throughput: f64,
+    /// Optimized-over-baseline dispatch-throughput speedup.
+    pub speedup: f64,
+    /// Compute share of the observed critical path (0..=1).
+    pub compute_share: f64,
+}
+
+/// One evaluated tolerance check.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Benchmark the check belongs to.
+    pub bench: String,
+    /// Stable check identifier.
+    pub name: &'static str,
+    /// The measured value.
+    pub observed: f64,
+    /// The boundary it was compared against.
+    pub limit: f64,
+    /// Whether the check passed.
+    pub pass: bool,
+    /// Human-readable comparison.
+    pub detail: String,
+}
+
+/// The gate's complete output.
+#[derive(Clone, Debug, Default)]
+pub struct Verdict {
+    /// Every evaluated check.
+    pub checks: Vec<Check>,
+}
+
+impl Verdict {
+    /// Whether every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.pass).count()
+    }
+
+    /// Renders the verdict as an aligned table.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "regression gate: {} ({} checks, {} failed)\n",
+            if self.pass() { "PASS" } else { "FAIL" },
+            self.checks.len(),
+            self.failures(),
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "  [{}] {:<12} {:<28} {}",
+                if c.pass { "ok" } else { "FAIL" },
+                c.bench,
+                c.name,
+                c.detail
+            );
+        }
+        out
+    }
+
+    /// Serializes the verdict as a JSON document (the CI artifact).
+    pub fn json(&self) -> String {
+        let mut out = format!("{{\"pass\":{},\"checks\":[", self.pass());
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"bench\":");
+            write_str(&mut out, &c.bench);
+            out.push_str(",\"check\":");
+            write_str(&mut out, c.name);
+            out.push_str(",\"observed\":");
+            json::write_f64(&mut out, c.observed);
+            out.push_str(",\"limit\":");
+            json::write_f64(&mut out, c.limit);
+            let _ = write!(out, ",\"pass\":{}", c.pass);
+            out.push_str(",\"detail\":");
+            write_str(&mut out, &c.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn check(bench: &str, name: &'static str, observed: f64, limit: f64, pass: bool, cmp: &str) -> Check {
+    Check {
+        bench: bench.to_string(),
+        name,
+        observed,
+        limit,
+        pass,
+        detail: format!("observed {observed:.3} {cmp} {limit:.3}"),
+    }
+}
+
+/// Evaluates every observation against its recorded baseline.
+///
+/// A baseline benchmark with no matching observation fails its
+/// `bench-present` check; observations without a baseline are ignored
+/// (new benchmarks gate only once recorded).
+pub fn evaluate(baseline: &Baseline, observations: &[Observation]) -> Verdict {
+    let mut checks = Vec::new();
+    for base in &baseline.benches {
+        let Some(obs) = observations.iter().find(|o| o.name == base.name) else {
+            checks.push(check(&base.name, "bench-present", 0.0, 1.0, false, "must be"));
+            continue;
+        };
+        checks.push(check(
+            &base.name,
+            "invocations-exact",
+            obs.invocations,
+            base.invocations,
+            obs.invocations == base.invocations,
+            "==",
+        ));
+        let base_rpi = if base.invocations > 0.0 { base.lock_retries / base.invocations } else { 0.0 };
+        let obs_rpi = if obs.invocations > 0.0 { obs.lock_retries / obs.invocations } else { 0.0 };
+        let rpi_limit = base_rpi + RETRY_SLACK_PER_INVOCATION;
+        checks.push(check(
+            &base.name,
+            "retries-per-invocation",
+            obs_rpi,
+            rpi_limit,
+            obs_rpi <= rpi_limit,
+            "<=",
+        ));
+        let throughput_floor = base.throughput * THROUGHPUT_FLOOR_FRACTION;
+        checks.push(check(
+            &base.name,
+            "throughput-floor",
+            obs.throughput,
+            throughput_floor,
+            obs.throughput >= throughput_floor,
+            ">=",
+        ));
+        let speedup_floor = base.speedup * SPEEDUP_FLOOR_FRACTION;
+        checks.push(check(
+            &base.name,
+            "speedup-floor",
+            obs.speedup,
+            speedup_floor,
+            obs.speedup >= speedup_floor,
+            ">=",
+        ));
+        checks.push(check(
+            &base.name,
+            "critpath-compute-share",
+            obs.compute_share,
+            COMPUTE_SHARE_FLOOR,
+            obs.compute_share >= COMPUTE_SHARE_FLOOR,
+            ">=",
+        ));
+    }
+    Verdict { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "machine_cores": 62,
+      "scale": "small",
+      "reps": 15,
+      "benches": {
+        "KMeans": {
+          "baseline": { "best_wall_us": 2747, "invocations": 37, "throughput_inv_per_ms": 13.47, "lock_retries": 0, "steals": 0 },
+          "optimized": { "best_wall_us": 1816, "median_wall_us": 2286, "invocations": 37, "throughput_inv_per_ms": 20.37, "lock_retries": 0, "steals": 0 },
+          "dispatch_throughput_speedup": 1.512
+        }
+      }
+    }"#;
+
+    fn healthy_observation() -> Observation {
+        Observation {
+            name: "KMeans".into(),
+            invocations: 37.0,
+            lock_retries: 0.0,
+            best_wall_us: 2500.0,
+            throughput: 14.0,
+            speedup: 1.3,
+            compute_share: 0.4,
+        }
+    }
+
+    #[test]
+    fn baseline_parses() {
+        let baseline = parse_baseline(BASELINE).unwrap();
+        assert_eq!(baseline.machine_cores, 62);
+        assert_eq!(baseline.benches.len(), 1);
+        let km = &baseline.benches[0];
+        assert_eq!(km.name, "KMeans");
+        assert_eq!(km.invocations, 37.0);
+        assert_eq!(km.throughput, 20.37);
+        assert_eq!(km.speedup, 1.512);
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("nonsense").is_err());
+    }
+
+    #[test]
+    fn healthy_run_passes() {
+        let baseline = parse_baseline(BASELINE).unwrap();
+        let verdict = evaluate(&baseline, &[healthy_observation()]);
+        assert!(verdict.pass(), "{}", verdict.table());
+        assert_eq!(verdict.checks.len(), 5);
+    }
+
+    #[test]
+    fn injected_retry_loop_fails_the_gate() {
+        let baseline = parse_baseline(BASELINE).unwrap();
+        let mut obs = healthy_observation();
+        // A lock-retry loop makes every invocation retry at least once:
+        // 37 invocations, 40 retries — way past the 0.25/invocation band.
+        obs.lock_retries = 40.0;
+        let verdict = evaluate(&baseline, &[obs]);
+        assert!(!verdict.pass());
+        let failed: Vec<&Check> = verdict.checks.iter().filter(|c| !c.pass).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].name, "retries-per-invocation");
+    }
+
+    #[test]
+    fn invocation_drift_and_missing_bench_fail() {
+        let baseline = parse_baseline(BASELINE).unwrap();
+        let mut obs = healthy_observation();
+        obs.invocations = 36.0;
+        let verdict = evaluate(&baseline, &[obs]);
+        assert!(verdict.checks.iter().any(|c| c.name == "invocations-exact" && !c.pass));
+        let verdict = evaluate(&baseline, &[]);
+        assert!(!verdict.pass());
+        assert!(verdict.checks.iter().any(|c| c.name == "bench-present" && !c.pass));
+    }
+
+    #[test]
+    fn verdict_json_parses_back() {
+        let baseline = parse_baseline(BASELINE).unwrap();
+        let verdict = evaluate(&baseline, &[healthy_observation()]);
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        assert_eq!(doc.get("pass"), Some(&crate::json::Value::Bool(true)));
+        assert_eq!(doc.get("checks").unwrap().as_arr().unwrap().len(), 5);
+    }
+}

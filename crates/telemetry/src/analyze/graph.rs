@@ -1,0 +1,346 @@
+//! Causal invocation-graph reconstruction from observed telemetry.
+//!
+//! The threaded executor records, per invocation, a formation event
+//! ([`EventKind::InvQueued`]), one causal edge per consumed object
+//! ([`EventKind::InvLink`], carrying the producing invocation's id and
+//! the delivering message's id), the dispatch window
+//! ([`EventKind::TaskStart`]/[`EventKind::TaskEnd`]), lock outcomes,
+//! and thefts ([`EventKind::Steal`]). This module folds that flat
+//! event stream back into an [`ObservedGraph`]: the who-enabled-whom
+//! DAG the paper's critical-path analysis needs, but over a *real*
+//! execution instead of a simulated one. [`ObservedGraph::to_trace`]
+//! converts the graph into the scheduler's [`ExecutionTrace`] shape so
+//! `bamboo_schedule::critpath` runs on observed data unchanged.
+
+use crate::event::{EventKind, Timestamp, NO_ID};
+use crate::report::TelemetryReport;
+use bamboo_lang::ids::TaskId;
+use bamboo_machine::CoreId;
+use bamboo_schedule::trace::{DataDep, ExecutionTrace, TraceTask};
+use bamboo_schedule::InstanceId;
+use std::collections::HashMap;
+
+/// One causal (data) edge into an invocation: the object it consumed,
+/// traced back to the invocation that released or created it.
+#[derive(Clone, Debug)]
+pub struct ObsEdge {
+    /// The producing invocation's id; `None` for external inputs (the
+    /// injected startup object).
+    pub producer: Option<u64>,
+    /// Id of the message that delivered the object ([`NO_ID`] when the
+    /// recording executor does not track messages).
+    pub msg: u64,
+    /// When the delivering message was sent ([`EventKind::ObjSend`]).
+    pub sent: Option<Timestamp>,
+    /// When it was delivered at the consuming worker
+    /// ([`EventKind::ObjRecv`]).
+    pub received: Option<Timestamp>,
+}
+
+/// One observed invocation with its causal inputs and timing.
+#[derive(Clone, Debug)]
+pub struct ObsInvocation {
+    /// Runtime-minted invocation id (the events' linkage key).
+    pub id: u64,
+    /// Task id word.
+    pub task: u64,
+    /// Group-instance id word.
+    pub instance: u64,
+    /// The core that executed the body.
+    pub core: u32,
+    /// The core that formed and first enqueued the invocation.
+    pub formed_core: u32,
+    /// Queue-enter timestamp (formation).
+    pub queued: Timestamp,
+    /// Body start.
+    pub start: Timestamp,
+    /// Body end (exit actions + routing included).
+    pub end: Timestamp,
+    /// Failed try-lock-all attempts this invocation survived.
+    pub retries: u64,
+    /// The victim core, when the invocation was work-stolen.
+    pub stolen_from: Option<u32>,
+    /// Causal inputs (one per consumed object).
+    pub deps: Vec<ObsEdge>,
+}
+
+impl ObsInvocation {
+    /// Formation-to-start latency (queue wait + lock retries).
+    pub fn queue_wait(&self) -> u64 {
+        self.start.saturating_sub(self.queued)
+    }
+
+    /// Body duration.
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The reconstructed causal graph of one recorded execution.
+#[derive(Clone, Debug, Default)]
+pub struct ObservedGraph {
+    /// Completed invocations, ordered by start timestamp.
+    pub invocations: Vec<ObsInvocation>,
+    /// Event records that could not be assembled into a complete
+    /// invocation (formed but never started, or start/end lost to ring
+    /// overwrites). Non-zero means the graph under-approximates.
+    pub incomplete: usize,
+}
+
+#[derive(Default)]
+struct Builder {
+    task: u64,
+    instance: u64,
+    formed_core: u32,
+    queued: Option<Timestamp>,
+    start: Option<Timestamp>,
+    end: Option<Timestamp>,
+    core: u32,
+    retries: u64,
+    stolen_from: Option<u32>,
+    deps: Vec<(u64, u64)>, // (producer inv id word, msg id)
+}
+
+impl ObservedGraph {
+    /// Reconstructs the causal graph from a recorded report. Events
+    /// whose invocation-id word is [`NO_ID`] (executors that predate
+    /// causal linkage, or the virtual executor's cycle traces) are
+    /// skipped; an empty graph means the report carries no linkage.
+    pub fn from_report(report: &TelemetryReport) -> Self {
+        let mut builders: HashMap<u64, Builder> = HashMap::new();
+        let mut sent: HashMap<u64, Timestamp> = HashMap::new();
+        let mut received: HashMap<u64, Timestamp> = HashMap::new();
+        for e in &report.events {
+            match e.kind {
+                EventKind::InvQueued => {
+                    let b = builders.entry(e.a).or_default();
+                    b.instance = e.b;
+                    b.task = e.c;
+                    b.formed_core = e.core;
+                    b.queued = Some(e.ts);
+                }
+                EventKind::InvLink => {
+                    builders.entry(e.a).or_default().deps.push((e.b, e.c));
+                }
+                EventKind::TaskStart if e.c != NO_ID => {
+                    let b = builders.entry(e.c).or_default();
+                    b.start = Some(e.ts);
+                    b.core = e.core;
+                    b.task = e.a;
+                    b.instance = e.b;
+                }
+                EventKind::TaskEnd if e.c != NO_ID => {
+                    builders.entry(e.c).or_default().end = Some(e.ts);
+                }
+                EventKind::LockAcquired if e.c != NO_ID => {
+                    builders.entry(e.c).or_default().retries = e.b;
+                }
+                EventKind::Steal => {
+                    builders.entry(e.a).or_default().stolen_from = Some(e.b as u32);
+                }
+                EventKind::ObjSend if e.c != NO_ID => {
+                    sent.insert(e.c, e.ts);
+                }
+                EventKind::ObjRecv if e.c != NO_ID => {
+                    received.insert(e.c, e.ts);
+                }
+                _ => {}
+            }
+        }
+        let mut incomplete = 0;
+        let mut invocations: Vec<ObsInvocation> = Vec::with_capacity(builders.len());
+        for (id, b) in builders {
+            let (Some(start), Some(end)) = (b.start, b.end) else {
+                incomplete += 1;
+                continue;
+            };
+            invocations.push(ObsInvocation {
+                id,
+                task: b.task,
+                instance: b.instance,
+                core: b.core,
+                formed_core: b.formed_core,
+                queued: b.queued.unwrap_or(start),
+                start,
+                end,
+                retries: b.retries,
+                stolen_from: b.stolen_from,
+                deps: b
+                    .deps
+                    .into_iter()
+                    .map(|(producer, msg)| ObsEdge {
+                        producer: (producer != NO_ID).then_some(producer),
+                        msg,
+                        sent: sent.get(&msg).copied(),
+                        received: received.get(&msg).copied(),
+                    })
+                    .collect(),
+            });
+        }
+        invocations.sort_by_key(|inv| (inv.start, inv.id));
+        ObservedGraph { invocations, incomplete }
+    }
+
+    /// Position of invocation `id` in [`Self::invocations`].
+    pub fn index_of(&self, id: u64) -> Option<usize> {
+        self.invocations.iter().position(|inv| inv.id == id)
+    }
+
+    /// Invocations executed on a core other than the one that formed
+    /// them (the work-stolen subset).
+    pub fn stolen(&self) -> impl Iterator<Item = &ObsInvocation> {
+        self.invocations.iter().filter(|inv| inv.stolen_from.is_some())
+    }
+
+    /// The causal edge list as a `(producer task, consumer task)`
+    /// multiset. External (startup) edges are excluded. This is the
+    /// rate-matching fingerprint: for a deterministic program it must
+    /// equal the virtual executor's edge list over the same deployment,
+    /// regardless of stealing or interleaving.
+    pub fn edge_task_pairs(&self) -> HashMap<(u64, u64), u64> {
+        let task_of: HashMap<u64, u64> =
+            self.invocations.iter().map(|inv| (inv.id, inv.task)).collect();
+        let mut pairs: HashMap<(u64, u64), u64> = HashMap::new();
+        for inv in &self.invocations {
+            for dep in &inv.deps {
+                if let Some(producer) = dep.producer {
+                    if let Some(&ptask) = task_of.get(&producer) {
+                        *pairs.entry((ptask, inv.task)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Per-task invocation counts.
+    pub fn task_counts(&self) -> HashMap<u64, u64> {
+        let mut counts = HashMap::new();
+        for inv in &self.invocations {
+            *counts.entry(inv.task).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Converts the observed graph into the scheduler's
+    /// [`ExecutionTrace`] shape (trace ids = positions in
+    /// [`Self::invocations`]), so `bamboo_schedule::critpath` runs on
+    /// observed executions unchanged. Dep arrivals use the delivering
+    /// message's receive timestamp when recorded, else the formation
+    /// timestamp.
+    pub fn to_trace(&self) -> ExecutionTrace {
+        let index: HashMap<u64, usize> =
+            self.invocations.iter().enumerate().map(|(i, inv)| (inv.id, i)).collect();
+        let mut last_on_core: HashMap<u32, usize> = HashMap::new();
+        let mut tasks = Vec::with_capacity(self.invocations.len());
+        for (i, inv) in self.invocations.iter().enumerate() {
+            let deps: Vec<DataDep> = inv
+                .deps
+                .iter()
+                .map(|dep| DataDep {
+                    producer: dep.producer.and_then(|p| index.get(&p).copied()),
+                    arrival: dep.received.unwrap_or(inv.queued),
+                })
+                .collect();
+            tasks.push(TraceTask {
+                id: i,
+                task: TaskId::new(inv.task as usize),
+                instance: InstanceId(inv.instance as u32),
+                core: CoreId::new(inv.core as usize),
+                start: inv.start,
+                end: inv.end,
+                deps,
+                prev_on_core: last_on_core.insert(inv.core, i),
+            });
+        }
+        let makespan = tasks.iter().map(|t| t.end).max().unwrap_or(0);
+        ExecutionTrace { tasks, makespan }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::testutil::two_core_report;
+
+    #[test]
+    fn reconstructs_invocations_and_edges() {
+        let report = two_core_report();
+        let graph = ObservedGraph::from_report(&report);
+        assert_eq!(graph.invocations.len(), 4);
+        assert_eq!(graph.incomplete, 0);
+        // Ordered by start.
+        let ids: Vec<u64> = graph.invocations.iter().map(|i| i.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        // The startup invocation has one external dep.
+        let startup = &graph.invocations[0];
+        assert_eq!(startup.deps.len(), 1);
+        assert!(startup.deps[0].producer.is_none());
+        // Both workers link back to the startup invocation.
+        for worker in &graph.invocations[1..3] {
+            assert_eq!(worker.deps[0].producer, Some(1));
+            assert!(worker.deps[0].sent.is_some());
+            assert!(worker.deps[0].received.is_some());
+        }
+    }
+
+    #[test]
+    fn steal_attribution_survives_reconstruction() {
+        let report = two_core_report();
+        let graph = ObservedGraph::from_report(&report);
+        let stolen: Vec<&ObsInvocation> = graph.stolen().collect();
+        assert_eq!(stolen.len(), 1);
+        let inv = stolen[0];
+        assert_eq!(inv.id, 3);
+        assert_eq!(inv.stolen_from, Some(0));
+        assert_eq!(inv.core, 1, "executed by the thief");
+        assert_eq!(inv.formed_core, 0, "formed at the victim");
+        // The stolen invocation's causal edge still points at the true
+        // producer, not at the thief.
+        assert_eq!(inv.deps[0].producer, Some(1));
+    }
+
+    #[test]
+    fn edge_task_pairs_form_the_rate_fingerprint() {
+        let graph = ObservedGraph::from_report(&two_core_report());
+        let pairs = graph.edge_task_pairs();
+        // startup(task 0) -> work(task 1) twice; both works feed the
+        // reduce(task 2); the accumulator edge is startup -> reduce.
+        assert_eq!(pairs.get(&(0, 1)), Some(&2));
+        assert_eq!(pairs.get(&(1, 2)), Some(&2));
+        assert_eq!(pairs.get(&(0, 2)), Some(&1));
+    }
+
+    #[test]
+    fn to_trace_feeds_the_critical_path_analysis() {
+        let graph = ObservedGraph::from_report(&two_core_report());
+        let trace = graph.to_trace();
+        assert_eq!(trace.tasks.len(), 4);
+        assert_eq!(trace.makespan, 9_000);
+        let path = bamboo_schedule::critpath::critical_path(&trace);
+        assert!(!path.is_empty());
+        // The path ends at the reduce invocation (finishes last).
+        let last = *path.last().unwrap();
+        assert_eq!(graph.invocations[last].task, 2);
+        // And starts at the startup invocation.
+        assert_eq!(graph.invocations[path[0]].task, 0);
+    }
+
+    #[test]
+    fn incomplete_records_are_counted_not_invented() {
+        let mut report = two_core_report();
+        // Drop every TaskEnd for invocation 4: it must vanish from the
+        // graph and be counted incomplete.
+        report.events.retain(|e| !(e.kind == EventKind::TaskEnd && e.c == 4));
+        let graph = ObservedGraph::from_report(&report);
+        assert_eq!(graph.invocations.len(), 3);
+        assert_eq!(graph.incomplete, 1);
+    }
+
+    #[test]
+    fn empty_report_yields_empty_graph() {
+        let graph = ObservedGraph::from_report(&TelemetryReport::empty());
+        assert!(graph.invocations.is_empty());
+        assert_eq!(graph.incomplete, 0);
+    }
+}

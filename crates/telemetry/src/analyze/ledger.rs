@@ -1,0 +1,256 @@
+//! Per-core time-breakdown ledger.
+//!
+//! Every core's session span is partitioned into six buckets by
+//! walking its event stream once: each gap between consecutive events
+//! is attributed to the activity that *ended* with the later event
+//! (inside a task body it is compute regardless). The partition is
+//! constructive — nothing is estimated, every moment lands in exactly
+//! one bucket — so per-core buckets sum to the span exactly, and the
+//! whole ledger sums to `span × cores`.
+
+use crate::event::EventKind;
+use crate::report::TelemetryReport;
+use crate::TimeUnit;
+use std::fmt::Write as _;
+
+/// One core's time partition. All fields are in the report's
+/// [`TimeUnit`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreLedger {
+    /// The core index.
+    pub core: u32,
+    /// Time inside task bodies (includes exit actions and routing done
+    /// by the body's worker — the executor's unit of useful work).
+    pub compute: u64,
+    /// Time ended by a lock failure, or by an acquisition that needed
+    /// retries: the parameter-lock protocol stalling progress.
+    pub lock_wait: u64,
+    /// Time between an invocation being runnable and its body starting
+    /// (dispatch latency, contention-free).
+    pub queue_wait: u64,
+    /// Time ended by a successful steal: scanning and popping remote
+    /// queues.
+    pub steal: u64,
+    /// Time ended by message/bookkeeping work outside a body (sends,
+    /// invocation formation, queue samples).
+    pub routing: u64,
+    /// Time ended by an object arrival, plus the tail after the last
+    /// event: the core genuinely had nothing to do.
+    pub idle: u64,
+}
+
+impl CoreLedger {
+    /// Sum of all buckets; equals the ledger's span by construction.
+    pub fn total(&self) -> u64 {
+        self.compute + self.lock_wait + self.queue_wait + self.steal + self.routing + self.idle
+    }
+
+    /// Compute share of the span (0 when the span is empty).
+    pub fn utilization(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.compute as f64 / total as f64
+        }
+    }
+}
+
+/// The per-core time breakdown of one recorded session.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    /// The partitioned span (per core).
+    pub span: u64,
+    /// Time base of `span` and every bucket.
+    pub unit: TimeUnit,
+    /// One row per core the session was created with (cores that never
+    /// recorded an event are fully idle).
+    pub cores: Vec<CoreLedger>,
+}
+
+impl Ledger {
+    /// Builds the ledger by partitioning each core's event stream.
+    pub fn from_report(report: &TelemetryReport) -> Self {
+        let span = match report.unit {
+            TimeUnit::Nanos => report.wall_ns.max(report.last_ts()),
+            TimeUnit::Cycles => report.last_ts(),
+        };
+        let max_core = report.events.iter().map(|e| e.core + 1).max().unwrap_or(0) as usize;
+        let n = report.cores.max(max_core);
+        let mut cores: Vec<CoreLedger> = (0..n)
+            .map(|core| CoreLedger { core: core as u32, ..CoreLedger::default() })
+            .collect();
+        for row in &mut cores {
+            let mut cursor = 0u64;
+            let mut in_task = false;
+            for e in report.events_on(row.core) {
+                let gap = e.ts.saturating_sub(cursor);
+                let bucket = if in_task {
+                    &mut row.compute
+                } else {
+                    match e.kind {
+                        EventKind::TaskStart => &mut row.queue_wait,
+                        // An end without a recorded start: the body was
+                        // running even though the opening event was lost.
+                        EventKind::TaskEnd => &mut row.compute,
+                        EventKind::LockFailed => &mut row.lock_wait,
+                        EventKind::LockAcquired if e.b > 0 => &mut row.lock_wait,
+                        EventKind::LockAcquired => &mut row.queue_wait,
+                        EventKind::Steal => &mut row.steal,
+                        EventKind::ObjRecv => &mut row.idle,
+                        EventKind::ObjSend
+                        | EventKind::QueueDepth
+                        | EventKind::InvQueued
+                        | EventKind::InvLink => &mut row.routing,
+                    }
+                };
+                *bucket += gap;
+                cursor = e.ts.max(cursor);
+                match e.kind {
+                    EventKind::TaskStart => in_task = true,
+                    EventKind::TaskEnd => in_task = false,
+                    _ => {}
+                }
+            }
+            // Tail after the last event. A body left open (lost end
+            // event) still counts as compute.
+            let tail = span.saturating_sub(cursor);
+            if in_task {
+                row.compute += tail;
+            } else {
+                row.idle += tail;
+            }
+        }
+        Ledger { span, unit: report.unit, cores }
+    }
+
+    /// The whole-session aggregate (core field is meaningless).
+    pub fn totals(&self) -> CoreLedger {
+        let mut total = CoreLedger::default();
+        for row in &self.cores {
+            total.compute += row.compute;
+            total.lock_wait += row.lock_wait;
+            total.queue_wait += row.queue_wait;
+            total.steal += row.steal;
+            total.routing += row.routing;
+            total.idle += row.idle;
+        }
+        total
+    }
+
+    /// Renders the breakdown as an aligned table, one row per core plus
+    /// a totals row.
+    pub fn table(&self) -> String {
+        let label = match self.unit {
+            TimeUnit::Nanos => "ns",
+            TimeUnit::Cycles => "cycles",
+        };
+        let mut out = format!("per-core time breakdown (span {} {} per core)\n", self.span, label);
+        let _ = writeln!(
+            out,
+            "core      compute    lock-wait   queue-wait        steal      routing         idle  util%"
+        );
+        let mut render = |name: String, row: &CoreLedger| {
+            let _ = writeln!(
+                out,
+                "{name:>4} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>6.1}",
+                row.compute,
+                row.lock_wait,
+                row.queue_wait,
+                row.steal,
+                row.routing,
+                row.idle,
+                100.0 * row.utilization(),
+            );
+        };
+        for row in &self.cores {
+            render(row.core.to_string(), row);
+        }
+        render("all".into(), &self.totals());
+        out
+    }
+
+    /// Serializes the ledger as a JSON object (`span`, `unit`, `cores`
+    /// array of bucket objects).
+    pub fn json(&self) -> String {
+        let unit = match self.unit {
+            TimeUnit::Nanos => "ns",
+            TimeUnit::Cycles => "cycles",
+        };
+        let mut out = format!("{{\"span\":{},\"unit\":\"{unit}\",\"cores\":[", self.span);
+        for (i, row) in self.cores.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"core\":{},\"compute\":{},\"lock_wait\":{},\"queue_wait\":{},\"steal\":{},\"routing\":{},\"idle\":{}}}",
+                row.core, row.compute, row.lock_wait, row.queue_wait, row.steal, row.routing, row.idle
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::testutil::two_core_report;
+    use crate::json;
+
+    #[test]
+    fn buckets_sum_exactly_to_the_span() {
+        let report = two_core_report();
+        let ledger = Ledger::from_report(&report);
+        assert_eq!(ledger.span, 10_000);
+        assert_eq!(ledger.cores.len(), 2);
+        for row in &ledger.cores {
+            assert_eq!(row.total(), ledger.span, "core {} partition leaks", row.core);
+        }
+        assert_eq!(ledger.totals().total(), ledger.span * 2);
+    }
+
+    #[test]
+    fn buckets_attribute_the_right_activities() {
+        let ledger = Ledger::from_report(&two_core_report());
+        let core0 = &ledger.cores[0];
+        let core1 = &ledger.cores[1];
+        // Core 0 survived a failed try-lock-all and a retried acquire.
+        assert!(core0.lock_wait > 0);
+        assert!(core0.compute > core1.compute, "core 0 ran startup + reduce");
+        // Core 1's only acquisition path was a steal; its tail is idle.
+        assert!(core1.steal > 0);
+        assert!(core1.idle > core0.idle);
+        assert_eq!(core0.steal, 0);
+    }
+
+    #[test]
+    fn idle_cores_are_fully_idle() {
+        let mut report = two_core_report();
+        report.cores = 3; // session created with a third, silent worker
+        let ledger = Ledger::from_report(&report);
+        assert_eq!(ledger.cores.len(), 3);
+        assert_eq!(ledger.cores[2].idle, ledger.span);
+        assert_eq!(ledger.cores[2].total(), ledger.span);
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let ledger = Ledger::from_report(&two_core_report());
+        let table = ledger.table();
+        assert!(table.contains("span 10000 ns"), "{table}");
+        assert!(table.lines().any(|l| l.trim_start().starts_with("all ")));
+        let doc = json::parse(&ledger.json()).unwrap();
+        assert_eq!(doc.get("span").unwrap().as_f64(), Some(10_000.0));
+        assert_eq!(doc.get("cores").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_report_yields_empty_ledger() {
+        let ledger = Ledger::from_report(&crate::report::TelemetryReport::empty());
+        assert_eq!(ledger.span, 0);
+        assert!(ledger.cores.is_empty());
+        assert_eq!(ledger.totals().total(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The observed critical path.
+//!
+//! [`ObservedPath::from_graph`] converts an [`ObservedGraph`] into the
+//! scheduler's trace shape and runs `bamboo_schedule::critpath` on it —
+//! the paper's §4.5.1 analysis, applied to a *real* execution instead
+//! of a simulated one. The result is the chain of invocations whose
+//! completion gated the makespan, split into compute and wait.
+
+use super::graph::ObservedGraph;
+use crate::event::Timestamp;
+use bamboo_lang::spec::ProgramSpec;
+use bamboo_schedule::critpath;
+use std::fmt::Write as _;
+
+/// One invocation on the observed critical path.
+#[derive(Clone, Copy, Debug)]
+pub struct PathStep {
+    /// Runtime-minted invocation id.
+    pub inv: u64,
+    /// Task id word.
+    pub task: u64,
+    /// Group-instance id word.
+    pub instance: u64,
+    /// Executing core.
+    pub core: u32,
+    /// Body start.
+    pub start: Timestamp,
+    /// Body end.
+    pub end: Timestamp,
+    /// Formation-to-start latency.
+    pub queue_wait: u64,
+    /// Whether the invocation was work-stolen.
+    pub stolen: bool,
+}
+
+/// The critical path of an observed execution.
+#[derive(Clone, Debug)]
+pub struct ObservedPath {
+    /// Positions (into [`ObservedGraph::invocations`]) of the path, in
+    /// execution order.
+    pub indexes: Vec<usize>,
+    /// End of the last invocation (the observed makespan).
+    pub makespan: u64,
+    /// Sum of body durations along the path.
+    pub compute: u64,
+    /// Makespan minus path compute: time the path spent waiting on
+    /// queues, locks, or transfers. (Saturating: bodies on the path may
+    /// overlap slightly because objects are released mid-body.)
+    pub wait: u64,
+    /// Path invocations that started later than their data was ready
+    /// (resource-delayed, §4.5.2 — the DSA's migration targets).
+    pub resource_delayed: usize,
+    /// The path, resolved into per-invocation records.
+    pub steps: Vec<PathStep>,
+}
+
+impl ObservedPath {
+    /// Runs the critical-path analysis over the observed graph.
+    pub fn from_graph(graph: &ObservedGraph) -> Self {
+        let trace = graph.to_trace();
+        let indexes = critpath::critical_path(&trace);
+        let resource_delayed = critpath::resource_delayed(&trace, &indexes).len();
+        let compute: u64 = indexes.iter().map(|&i| trace.tasks[i].duration()).sum();
+        let steps = indexes
+            .iter()
+            .map(|&i| {
+                let inv = &graph.invocations[i];
+                PathStep {
+                    inv: inv.id,
+                    task: inv.task,
+                    instance: inv.instance,
+                    core: inv.core,
+                    start: inv.start,
+                    end: inv.end,
+                    queue_wait: inv.queue_wait(),
+                    stolen: inv.stolen_from.is_some(),
+                }
+            })
+            .collect();
+        ObservedPath {
+            indexes,
+            makespan: trace.makespan,
+            compute,
+            wait: trace.makespan.saturating_sub(compute),
+            resource_delayed,
+            steps,
+        }
+    }
+
+    /// Fraction of the makespan the path spent computing (clamped to 1;
+    /// a low share means the execution was gated by waiting, not work).
+    pub fn compute_share(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            (self.compute as f64 / self.makespan as f64).min(1.0)
+        }
+    }
+
+    /// Renders the path as an aligned table; task names resolve through
+    /// `spec` when given.
+    pub fn table(&self, spec: Option<&ProgramSpec>) -> String {
+        let mut out = format!(
+            "observed critical path: {} steps, makespan {}, compute {} ({:.1}%), wait {}, {} resource-delayed\n",
+            self.steps.len(),
+            self.makespan,
+            self.compute,
+            100.0 * self.compute_share(),
+            self.wait,
+            self.resource_delayed,
+        );
+        let _ = writeln!(out, "   # task             inv  core        start          end   queue-wait");
+        for (i, s) in self.steps.iter().enumerate() {
+            let name = spec
+                .and_then(|sp| sp.tasks.get(s.task as usize))
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|| format!("task{}", s.task));
+            let _ = writeln!(
+                out,
+                "{i:>4} {name:<16} {:>4} {:>5} {:>12} {:>12} {:>12}{}",
+                s.inv,
+                s.core,
+                s.start,
+                s.end,
+                s.queue_wait,
+                if s.stolen { "  (stolen)" } else { "" },
+            );
+        }
+        out
+    }
+
+    /// Serializes the path as a JSON object.
+    pub fn json(&self) -> String {
+        let mut out = format!(
+            "{{\"makespan\":{},\"compute\":{},\"wait\":{},\"resource_delayed\":{},\"steps\":[",
+            self.makespan, self.compute, self.wait, self.resource_delayed
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"inv\":{},\"task\":{},\"instance\":{},\"core\":{},\"start\":{},\"end\":{},\"queue_wait\":{},\"stolen\":{}}}",
+                s.inv, s.task, s.instance, s.core, s.start, s.end, s.queue_wait, s.stolen
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::testutil::two_core_report;
+    use crate::json;
+
+    #[test]
+    fn path_runs_startup_to_reduce() {
+        let graph = ObservedGraph::from_report(&two_core_report());
+        let path = ObservedPath::from_graph(&graph);
+        assert_eq!(path.makespan, 9_000);
+        assert_eq!(path.steps.first().map(|s| s.task), Some(0));
+        assert_eq!(path.steps.last().map(|s| s.task), Some(2));
+        assert_eq!(path.compute + path.wait, path.makespan);
+        assert!(path.compute_share() > 0.0 && path.compute_share() <= 1.0);
+    }
+
+    #[test]
+    fn stolen_steps_are_flagged() {
+        let graph = ObservedGraph::from_report(&two_core_report());
+        let path = ObservedPath::from_graph(&graph);
+        // The fixture's path goes through the stolen work invocation
+        // (its output arrives last at the reduce).
+        assert!(path.steps.iter().any(|s| s.stolen));
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let graph = ObservedGraph::from_report(&two_core_report());
+        let path = ObservedPath::from_graph(&graph);
+        let table = path.table(None);
+        assert!(table.contains("observed critical path"), "{table}");
+        assert!(table.contains("(stolen)"), "{table}");
+        let doc = json::parse(&path.json()).unwrap();
+        assert_eq!(doc.get("makespan").unwrap().as_f64(), Some(9_000.0));
+        assert_eq!(
+            doc.get("steps").unwrap().as_arr().unwrap().len(),
+            path.steps.len()
+        );
+    }
+}

@@ -215,6 +215,7 @@ impl ChromeTrace {
                     }
                 }
                 EventKind::LockFailed => self.instant(pid, tid, "lock contention", to_us(e.ts)),
+                EventKind::Steal => self.instant(pid, tid, "steal", to_us(e.ts)),
                 EventKind::QueueDepth => {
                     self.counter(pid, tid, &format!("queue depth (core {core})"), to_us(e.ts), "queued", e.a as f64);
                 }
@@ -222,7 +223,10 @@ impl ChromeTrace {
                     sent[core] += e.a;
                     self.counter(pid, tid, &format!("bytes sent (core {core})"), to_us(e.ts), "bytes", sent[core] as f64);
                 }
-                EventKind::LockAcquired | EventKind::ObjRecv => {}
+                EventKind::LockAcquired
+                | EventKind::ObjRecv
+                | EventKind::InvQueued
+                | EventKind::InvLink => {}
             }
         }
     }

@@ -7,34 +7,57 @@
 /// [`crate::TimeUnit`]).
 pub type Timestamp = u64;
 
-/// What happened. The meaning of an event's `a`/`b` payload words is
-/// listed per variant.
+/// Sentinel for an unknown/external payload word (e.g. the producer of
+/// the injected startup object, or a message id the recorder did not
+/// know).
+pub const NO_ID: u64 = u64::MAX;
+
+/// What happened. The meaning of an event's `a`/`b`/`c` payload words
+/// is listed per variant. Recorders that have no meaningful value for a
+/// word write [`NO_ID`] (identifiers) or 0 (quantities).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
-    /// A task body started executing. `a` = task id, `b` = instance id.
+    /// A task body started executing. `a` = task id, `b` = instance id,
+    /// `c` = invocation id (see [`EventKind::InvQueued`]).
     TaskStart = 0,
     /// A task body finished (exit actions + routing included).
-    /// `a` = task id, `b` = instance id.
+    /// `a` = task id, `b` = instance id, `c` = invocation id.
     TaskEnd = 1,
     /// All parameter locks of an invocation were acquired.
     /// `a` = number of lock classes taken, `b` = retries that preceded
-    /// this acquisition.
+    /// this acquisition, `c` = invocation id.
     LockAcquired = 2,
     /// A try-lock-all attempt hit contention and the invocation was
     /// re-queued (Bamboo's transactional retry). `a` = number of lock
-    /// classes requested, `b` = task id.
+    /// classes requested, `b` = task id, `c` = invocation id.
     LockFailed = 3,
     /// An object was sent toward another group instance.
-    /// `a` = estimated payload bytes, `b` = destination core.
+    /// `a` = estimated payload bytes, `b` = destination core,
+    /// `c` = message id (matches the delivery's [`EventKind::ObjRecv`]).
     ObjSend = 4,
     /// An object was received/delivered at this worker.
-    /// `a` = estimated payload bytes, `b` = source core (or `u64::MAX`
-    /// when unknown).
+    /// `a` = estimated payload bytes, `b` = source core (or [`NO_ID`]
+    /// when unknown), `c` = message id.
     ObjRecv = 5,
     /// A sample of this worker's incoming channel occupancy.
-    /// `a` = queued messages, `b` = ready-queue length.
+    /// `a` = queued messages, `b` = ready-queue length, `c` = 0.
     QueueDepth = 6,
+    /// An invocation was formed and entered a run queue (the queue-enter
+    /// timestamp of the matching [`EventKind::TaskStart`]). `a` =
+    /// invocation id (unique within the run), `b` = instance id,
+    /// `c` = task id.
+    InvQueued = 7,
+    /// One causal edge of a formed invocation: the invocation consumed
+    /// an object released/created by an upstream invocation. `a` =
+    /// consumer invocation id, `b` = producer invocation id ([`NO_ID`]
+    /// for the injected startup object), `c` = id of the message that
+    /// delivered the object.
+    InvLink = 8,
+    /// A queued invocation was taken by a core other than the one that
+    /// formed it. `a` = invocation id, `b` = victim core (whose run
+    /// queue it was stolen from), `c` = 0.
+    Steal = 9,
 }
 
 impl EventKind {
@@ -48,11 +71,14 @@ impl EventKind {
             EventKind::ObjSend => "obj_send",
             EventKind::ObjRecv => "obj_recv",
             EventKind::QueueDepth => "queue_depth",
+            EventKind::InvQueued => "inv_queued",
+            EventKind::InvLink => "inv_link",
+            EventKind::Steal => "steal",
         }
     }
 }
 
-/// One recorded event. 32 bytes, `Copy`, no heap.
+/// One recorded event. 40 bytes, `Copy`, no heap.
 #[derive(Clone, Copy, Debug)]
 pub struct Event {
     /// When (executor time base).
@@ -65,6 +91,10 @@ pub struct Event {
     pub a: u64,
     /// Second payload word (see [`EventKind`]).
     pub b: u64,
+    /// Third payload word (see [`EventKind`]) — causal linkage:
+    /// invocation and message ids that let the analysis layer
+    /// reconstruct the observed invocation graph.
+    pub c: u64,
 }
 
 #[cfg(test)]
@@ -73,10 +103,11 @@ mod tests {
 
     #[test]
     fn event_is_small_and_copy() {
-        assert!(std::mem::size_of::<Event>() <= 32);
-        let e = Event { ts: 1, kind: EventKind::TaskStart, core: 0, a: 2, b: 3 };
+        assert!(std::mem::size_of::<Event>() <= 40);
+        let e = Event { ts: 1, kind: EventKind::TaskStart, core: 0, a: 2, b: 3, c: 4 };
         let f = e; // Copy
         assert_eq!(e.ts, f.ts);
+        assert_eq!(e.c, f.c);
     }
 
     #[test]
@@ -89,6 +120,9 @@ mod tests {
             EventKind::ObjSend,
             EventKind::ObjRecv,
             EventKind::QueueDepth,
+            EventKind::InvQueued,
+            EventKind::InvLink,
+            EventKind::Steal,
         ];
         let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

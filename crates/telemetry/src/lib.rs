@@ -32,8 +32,8 @@
 //! telemetry.set_time_unit(TimeUnit::Cycles);
 //! let dispatches = telemetry.counter("runtime.dispatches");
 //! let mut worker = telemetry.worker(0);
-//! worker.task_start(100, 3, 0);
-//! worker.task_end(180, 3, 0);
+//! worker.task_start(100, 3, 0, 0);
+//! worker.task_end(180, 3, 0, 0);
 //! dispatches.inc();
 //! drop(worker); // submits the worker's ring
 //! let report = telemetry.report();
@@ -41,6 +41,7 @@
 //! assert_eq!(report.metrics.counters["runtime.dispatches"], 1);
 //! ```
 
+pub mod analyze;
 pub mod chrome;
 pub mod event;
 pub mod json;
@@ -49,7 +50,7 @@ pub mod report;
 pub mod ring;
 pub mod summary;
 
-pub use event::{Event, EventKind, Timestamp};
+pub use event::{Event, EventKind, Timestamp, NO_ID};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Series};
 pub use report::TelemetryReport;
 
@@ -302,55 +303,82 @@ impl WorkerSink {
     }
 
     #[inline]
-    fn push(&mut self, ts: Timestamp, kind: EventKind, a: u64, b: u64) {
+    fn push(&mut self, ts: Timestamp, kind: EventKind, a: u64, b: u64, c: u64) {
         if let Some(ring) = &mut self.ring {
             let core = ring.core();
-            ring.push(Event { ts, kind, core, a, b });
+            ring.push(Event { ts, kind, core, a, b, c });
         }
     }
 
-    /// Records a task body starting.
+    /// Records a task body starting (`inv` is the invocation id minted
+    /// at formation; pass [`NO_ID`] when the executor has none).
     #[inline]
-    pub fn task_start(&mut self, ts: Timestamp, task: u64, instance: u64) {
-        self.push(ts, EventKind::TaskStart, task, instance);
+    pub fn task_start(&mut self, ts: Timestamp, task: u64, instance: u64, inv: u64) {
+        self.push(ts, EventKind::TaskStart, task, instance, inv);
     }
 
     /// Records a task body finishing.
     #[inline]
-    pub fn task_end(&mut self, ts: Timestamp, task: u64, instance: u64) {
-        self.push(ts, EventKind::TaskEnd, task, instance);
+    pub fn task_end(&mut self, ts: Timestamp, task: u64, instance: u64, inv: u64) {
+        self.push(ts, EventKind::TaskEnd, task, instance, inv);
     }
 
     /// Records a successful parameter-lock acquisition after `retries`
     /// failed attempts.
     #[inline]
-    pub fn lock_acquired(&mut self, ts: Timestamp, classes: u64, retries: u64) {
-        self.push(ts, EventKind::LockAcquired, classes, retries);
+    pub fn lock_acquired(&mut self, ts: Timestamp, classes: u64, retries: u64, inv: u64) {
+        self.push(ts, EventKind::LockAcquired, classes, retries, inv);
     }
 
     /// Records a failed try-lock-all attempt (the invocation re-queues).
     #[inline]
-    pub fn lock_failed(&mut self, ts: Timestamp, classes: u64, task: u64) {
-        self.push(ts, EventKind::LockFailed, classes, task);
+    pub fn lock_failed(&mut self, ts: Timestamp, classes: u64, task: u64, inv: u64) {
+        self.push(ts, EventKind::LockFailed, classes, task, inv);
     }
 
-    /// Records an object send of `bytes` toward `dest_core`.
+    /// Records an object send of `bytes` toward `dest_core`; `msg` is
+    /// the message id the matching receive will carry ([`NO_ID`] when
+    /// the executor does not track messages).
     #[inline]
-    pub fn obj_send(&mut self, ts: Timestamp, bytes: u64, dest_core: u64) {
-        self.push(ts, EventKind::ObjSend, bytes, dest_core);
+    pub fn obj_send(&mut self, ts: Timestamp, bytes: u64, dest_core: u64, msg: u64) {
+        self.push(ts, EventKind::ObjSend, bytes, dest_core, msg);
     }
 
     /// Records an object receive of `bytes` from `src_core`
-    /// (`u64::MAX` when the source is unknown).
+    /// ([`NO_ID`] when the source is unknown).
     #[inline]
-    pub fn obj_recv(&mut self, ts: Timestamp, bytes: u64, src_core: u64) {
-        self.push(ts, EventKind::ObjRecv, bytes, src_core);
+    pub fn obj_recv(&mut self, ts: Timestamp, bytes: u64, src_core: u64, msg: u64) {
+        self.push(ts, EventKind::ObjRecv, bytes, src_core, msg);
     }
 
     /// Records a queue occupancy sample.
     #[inline]
     pub fn queue_depth(&mut self, ts: Timestamp, queued: u64, ready: u64) {
-        self.push(ts, EventKind::QueueDepth, queued, ready);
+        self.push(ts, EventKind::QueueDepth, queued, ready, 0);
+    }
+
+    /// Records the formation of invocation `inv` of `task` at
+    /// `instance`: the queue-enter timestamp the analysis layer pairs
+    /// with the eventual [`EventKind::TaskStart`] to measure queue
+    /// wait.
+    #[inline]
+    pub fn inv_queued(&mut self, ts: Timestamp, inv: u64, instance: u64, task: u64) {
+        self.push(ts, EventKind::InvQueued, inv, instance, task);
+    }
+
+    /// Records one causal edge: invocation `inv` consumed an object
+    /// released/created by `producer` ([`NO_ID`] for the startup
+    /// object), delivered by message `msg`.
+    #[inline]
+    pub fn inv_link(&mut self, ts: Timestamp, inv: u64, producer: u64, msg: u64) {
+        self.push(ts, EventKind::InvLink, inv, producer, msg);
+    }
+
+    /// Records that invocation `inv` was stolen from `victim`'s run
+    /// queue by this worker.
+    #[inline]
+    pub fn steal(&mut self, ts: Timestamp, inv: u64, victim: u64) {
+        self.push(ts, EventKind::Steal, inv, victim, 0);
     }
 
     /// Submits the ring back to the session explicitly (Drop does the
@@ -386,8 +414,8 @@ mod tests {
         assert!(!telemetry.is_enabled());
         let mut sink = telemetry.worker(0);
         assert!(!sink.is_enabled());
-        sink.task_start(1, 0, 0);
-        sink.task_end(2, 0, 0);
+        sink.task_start(1, 0, 0, 0);
+        sink.task_end(2, 0, 0, 0);
         telemetry.counter("x").add(5);
         telemetry.record_dsa(&DsaStats::default());
         drop(sink);
@@ -403,10 +431,10 @@ mod tests {
         telemetry.set_time_unit(TimeUnit::Cycles);
         let mut w0 = telemetry.worker(0);
         let mut w1 = telemetry.worker(1);
-        w1.task_start(5, 1, 0);
-        w0.task_start(2, 0, 0);
-        w0.task_end(4, 0, 0);
-        w1.task_end(9, 1, 0);
+        w1.task_start(5, 1, 0, 0);
+        w0.task_start(2, 0, 0, 0);
+        w0.task_end(4, 0, 0, 0);
+        w1.task_end(9, 1, 0, 0);
         w0.submit();
         drop(w1);
         let report = telemetry.report();
@@ -426,8 +454,8 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut sink = t.worker(core);
                     for i in 0..100 {
-                        sink.task_start(i * 10, i, 0);
-                        sink.task_end(i * 10 + 5, i, 0);
+                        sink.task_start(i * 10, i, 0, i);
+                        sink.task_end(i * 10 + 5, i, 0, i);
                     }
                 })
             })
@@ -450,8 +478,8 @@ mod tests {
         let after_setup = telemetry.heap_allocations();
         assert_eq!(after_setup, 2);
         for i in 0..10_000u64 {
-            w0.task_start(i, 0, 0);
-            w0.task_end(i, 0, 0);
+            w0.task_start(i, 0, 0, 0);
+            w0.task_end(i, 0, 0, 0);
             c.inc();
         }
         // Recording 20k events through a 64-slot ring allocated nothing.

@@ -16,6 +16,7 @@ struct CoreRow {
     recvs: u64,
     bytes_out: u64,
     max_queue: u64,
+    steals: u64,
 }
 
 /// Renders a per-core utilization/contention/traffic table.
@@ -44,7 +45,8 @@ pub fn per_core_table(report: &TelemetryReport) -> String {
             }
             EventKind::ObjRecv => row.recvs += 1,
             EventKind::QueueDepth => row.max_queue = row.max_queue.max(e.a),
-            EventKind::LockAcquired => {}
+            EventKind::Steal => row.steals += 1,
+            EventKind::LockAcquired | EventKind::InvQueued | EventKind::InvLink => {}
         }
     }
     let span = match report.unit {
@@ -64,7 +66,7 @@ pub fn per_core_table(report: &TelemetryReport) -> String {
     );
     let _ = writeln!(
         out,
-        "core   tasks        busy  util%  retries   sends   recvs    bytes-out  max-queue"
+        "core   tasks        busy  util%  retries   sends   recvs    bytes-out  max-queue  steals"
     );
     for (core, row) in rows.iter().enumerate() {
         if report.events_on(core as u32).next().is_none() {
@@ -73,8 +75,8 @@ pub fn per_core_table(report: &TelemetryReport) -> String {
         let util = 100.0 * row.busy as f64 / span as f64;
         let _ = writeln!(
             out,
-            "{core:>4} {:>7} {:>11} {util:>6.1} {:>8} {:>7} {:>7} {:>12} {:>10}",
-            row.tasks, row.busy, row.retries, row.sends, row.recvs, row.bytes_out, row.max_queue
+            "{core:>4} {:>7} {:>11} {util:>6.1} {:>8} {:>7} {:>7} {:>12} {:>10} {:>7}",
+            row.tasks, row.busy, row.retries, row.sends, row.recvs, row.bytes_out, row.max_queue, row.steals
         );
     }
     out
@@ -151,12 +153,12 @@ mod tests {
         let mut report = TelemetryReport::empty();
         report.unit = TimeUnit::Cycles;
         report.events = vec![
-            Event { ts: 0, kind: EventKind::TaskStart, core: 0, a: 1, b: 0 },
-            Event { ts: 80, kind: EventKind::TaskEnd, core: 0, a: 1, b: 0 },
-            Event { ts: 10, kind: EventKind::LockFailed, core: 1, a: 2, b: 1 },
-            Event { ts: 20, kind: EventKind::ObjSend, core: 1, a: 128, b: 0 },
-            Event { ts: 30, kind: EventKind::QueueDepth, core: 1, a: 7, b: 0 },
-            Event { ts: 100, kind: EventKind::TaskEnd, core: 1, a: 1, b: 0 },
+            Event { ts: 0, kind: EventKind::TaskStart, core: 0, a: 1, b: 0, c: 0 },
+            Event { ts: 80, kind: EventKind::TaskEnd, core: 0, a: 1, b: 0, c: 0 },
+            Event { ts: 10, kind: EventKind::LockFailed, core: 1, a: 2, b: 1, c: 0 },
+            Event { ts: 20, kind: EventKind::ObjSend, core: 1, a: 128, b: 0, c: 0 },
+            Event { ts: 30, kind: EventKind::QueueDepth, core: 1, a: 7, b: 0, c: 0 },
+            Event { ts: 100, kind: EventKind::TaskEnd, core: 1, a: 1, b: 0, c: 0 },
         ];
         report.events.sort_by_key(|e| e.ts);
         let table = per_core_table(&report);

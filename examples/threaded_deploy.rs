@@ -2,7 +2,9 @@
 //! fan-out/reduce program, profile + synthesize a layout, bundle it into
 //! a [`Deployment`], and run the *same artifact* on the virtual-time
 //! executor and on the threaded executor (with work stealing and
-//! telemetry).
+//! telemetry) — then hand the recorded telemetry to the
+//! `bamboo-doctor` analyzer for a causal diagnosis of the observed
+//! run.
 //!
 //! Run with: `cargo run --example threaded_deploy`
 
@@ -111,5 +113,18 @@ fn main() -> Result<(), Error> {
         report.metrics.counters["threaded.dispatches"],
         report.metrics.counters["threaded.bytes_sent"] / (16 * 8)
     );
+
+    // Doctor pass: reconstruct the causal graph from the recorded
+    // events, break each core's wall time down, attribute the observed
+    // critical path, and rank findings against the virtual executor's
+    // prediction of the same deployment.
+    let mut virt = VirtualExecutor::over(
+        &deployment,
+        &machine,
+        ExecConfig { collect_trace: true, ..ExecConfig::default() },
+    );
+    let trace = virt.run(None)?.trace.expect("trace requested");
+    let diagnosis = bamboo::telemetry::analyze::diagnose(&report, Some(&trace));
+    println!("\n{}", diagnosis.summary(Some(&compiler.program.spec)));
     Ok(())
 }

@@ -1,0 +1,164 @@
+//! Integration tests for `bamboo::telemetry::analyze` (the
+//! `bamboo-doctor` analysis layer) over real executor runs.
+//!
+//! Covers the PR's acceptance criteria end to end: the causal graph
+//! reconstructed from a threaded run matches the virtual executor's
+//! edge list on real benchmarks, stolen invocations stay linked to
+//! their original producers, and a full diagnosis yields an exact
+//! per-core time breakdown plus ranked findings.
+
+use bamboo::telemetry::analyze::{diagnose, ObservedGraph};
+use bamboo::{
+    Compiler, Deployment, ExecConfig, ExecutionTrace, MachineDescription, RunOptions,
+    SynthesisOptions, Telemetry, TelemetryReport, ThreadedExecutor, ThreadedReport,
+};
+use bamboo_apps::{by_name, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Profiles `bench_name` at small scale, synthesizes for `cores` cores
+/// with a fixed seed, and deploys.
+fn deploy_for(bench_name: &str, cores: usize, seed: u64) -> (Compiler, Deployment, MachineDescription) {
+    let bench = by_name(bench_name).expect("benchmark exists");
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler.profile_run(None, "doctor", |_| ()).expect("profile run");
+    let machine = MachineDescription::n_cores(cores);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+    let deployment = compiler.deploy(&plan);
+    (compiler, deployment, machine)
+}
+
+/// One telemetry-enabled threaded run.
+fn observed_run(deployment: &Deployment, cores: usize) -> (TelemetryReport, ThreadedReport) {
+    let telemetry = Telemetry::enabled(cores);
+    let options = RunOptions { telemetry: telemetry.clone(), ..RunOptions::default() };
+    let run = ThreadedExecutor::default().run(deployment, options).expect("threaded run");
+    (telemetry.report(), run)
+}
+
+/// The virtual executor's trace over the same deployment.
+fn predicted_trace(
+    compiler: &Compiler,
+    deployment: &Deployment,
+    machine: &MachineDescription,
+) -> ExecutionTrace {
+    let config = ExecConfig { collect_trace: true, ..ExecConfig::default() };
+    let mut exec = compiler.executor(&deployment.graph, &deployment.layout, machine, config);
+    exec.run(None).expect("virtual run").trace.expect("trace requested")
+}
+
+/// A trace's causal edge list as a `(producer task, consumer task)`
+/// multiset (external/startup edges excluded) — the same fingerprint
+/// [`ObservedGraph::edge_task_pairs`] computes for observed runs.
+fn trace_edge_pairs(trace: &ExecutionTrace) -> HashMap<(u64, u64), u64> {
+    let mut pairs = HashMap::new();
+    for t in &trace.tasks {
+        for dep in &t.deps {
+            if let Some(p) = dep.producer {
+                let key = (trace.tasks[p].task.index() as u64, t.task.index() as u64);
+                *pairs.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    pairs
+}
+
+/// Satellite: the causal graph reconstructed from observed telemetry
+/// carries exactly the data edges the deterministic virtual executor
+/// predicts — per-task invocation counts and the (producer task,
+/// consumer task) edge multiset both match, on real benchmarks.
+#[test]
+fn observed_causal_edges_match_virtual_executor() {
+    for bench in ["kmeans", "filterbank"] {
+        let (compiler, deployment, machine) = deploy_for(bench, 8, 42);
+        let (report, run) = observed_run(&deployment, 8);
+        let graph = ObservedGraph::from_report(&report);
+        assert_eq!(graph.incomplete, 0, "{bench}: ring held the whole run");
+        assert_eq!(graph.invocations.len() as u64, run.invocations, "{bench}");
+
+        let predicted = predicted_trace(&compiler, &deployment, &machine);
+        let predicted_counts: HashMap<u64, u64> =
+            predicted.tasks.iter().fold(HashMap::new(), |mut acc, t| {
+                *acc.entry(t.task.index() as u64).or_insert(0) += 1;
+                acc
+            });
+        assert_eq!(graph.task_counts(), predicted_counts, "{bench}: per-task counts");
+        assert_eq!(
+            graph.edge_task_pairs(),
+            trace_edge_pairs(&predicted),
+            "{bench}: causal edge multiset"
+        );
+    }
+}
+
+/// Satellite: a work-stolen invocation's received objects still link to
+/// the invocation that actually produced them — theft changes where the
+/// body runs, never who enabled it. Steals are opportunistic, so the
+/// run repeats until one records a theft (kmeans at 8 cores steals in
+/// ~90% of runs; 25 attempts make a miss astronomically unlikely).
+#[test]
+fn stolen_invocations_link_to_original_producers() {
+    let (compiler, deployment, machine) = deploy_for("kmeans", 8, 42);
+    let predicted_pairs = trace_edge_pairs(&predicted_trace(&compiler, &deployment, &machine));
+    for attempt in 0..25 {
+        let (report, run) = observed_run(&deployment, 8);
+        if run.steals == 0 {
+            continue;
+        }
+        let graph = ObservedGraph::from_report(&report);
+        let stolen: Vec<_> = graph.stolen().collect();
+        assert_eq!(stolen.len() as u64, run.steals, "attempt {attempt}");
+        let task_of: HashMap<u64, u64> =
+            graph.invocations.iter().map(|inv| (inv.id, inv.task)).collect();
+        for inv in stolen {
+            let victim = inv.stolen_from.expect("stolen() filters on this");
+            assert_ne!(victim, inv.core, "thieves only scan other cores' queues");
+            for dep in &inv.deps {
+                let Some(producer) = dep.producer else { continue };
+                // The ObjRecv at the thief matches the ObjSend the
+                // original producer emitted: same message id, send
+                // before receive, producer a real invocation.
+                let ptask = task_of.get(&producer).copied().unwrap_or_else(|| {
+                    panic!("dep of stolen invocation {} names unknown producer {producer}", inv.id)
+                });
+                let sent = dep.sent.expect("producer's ObjSend recorded");
+                let received = dep.received.expect("thief's ObjRecv recorded");
+                assert!(sent <= received, "send {sent} after receive {received}");
+                assert!(
+                    predicted_pairs.contains_key(&(ptask, inv.task)),
+                    "edge task{ptask}->task{} not predicted by the virtual executor",
+                    inv.task,
+                );
+            }
+        }
+        return;
+    }
+    panic!("kmeans at 8 cores recorded no steal in 25 runs");
+}
+
+/// Acceptance: a full diagnosis of kmeans on 8 cores yields a per-core
+/// breakdown that sums to the span exactly (well within the 1%
+/// criterion), an observed critical path, and at least one ranked
+/// finding.
+#[test]
+fn kmeans_diagnosis_breaks_down_wall_time_exactly() {
+    let (compiler, deployment, machine) = deploy_for("kmeans", 8, 42);
+    let (report, _) = observed_run(&deployment, 8);
+    let predicted = predicted_trace(&compiler, &deployment, &machine);
+    let diagnosis = diagnose(&report, Some(&predicted));
+
+    assert_eq!(diagnosis.ledger.cores.len(), 8);
+    for row in &diagnosis.ledger.cores {
+        assert_eq!(row.total(), diagnosis.ledger.span, "core {} ledger partitions the span", row.core);
+    }
+    let path = diagnosis.path.as_ref().expect("causal linkage recorded");
+    assert!(!path.steps.is_empty());
+    assert!(path.makespan > 0);
+    assert!(!diagnosis.findings.is_empty(), "at least one ranked finding");
+    // The summary renders with real task names from the program spec.
+    let summary = diagnosis.summary(Some(&compiler.program.spec));
+    assert!(summary.contains("per-core time breakdown"), "{summary}");
+    assert!(summary.contains("observed critical path"), "{summary}");
+}
