@@ -1,0 +1,170 @@
+//! A/B benchmark for the implementation synthesizer's wall time.
+//!
+//! Measures end-to-end synthesis (random starts → directed simulated
+//! annealing) for all six paper benchmarks targeting the 62-core
+//! TILEPro64 model, comparing the **serial** configuration (1 worker
+//! thread, simulation memoization off — the pre-parallelization shape)
+//! against the **parallel** configuration (`SynthesisOptions::default()`:
+//! candidate evaluations fanned out over every available core,
+//! fingerprint-keyed simulation cache on). Because evaluation is pure
+//! and all randomness stays on the driver thread, both configurations
+//! synthesize bit-identical plans from the same seed — the harness
+//! asserts it on every run. Writes `BENCH_dsa.json` at the repository
+//! root; `bamboo-doctor --check` gates on it.
+//!
+//! Modes (custom `main`, `harness = false`):
+//! - `--bench` (what `cargo bench` passes): full measured run + JSON.
+//! - `--test` (CI smoke) or no recognized flag (`cargo test` executes
+//!   `harness = false` bench binaries): one tiny rep, no JSON.
+
+use bamboo::{
+    Compiler, DsaOptions, MachineDescription, Profile, SynthesisOptions, SynthesisResult,
+};
+use bamboo_apps::Scale;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Synthesis seed shared with `bamboo-doctor --check`.
+const SEED: u64 = 42;
+
+/// One configuration's aggregate over the measured reps.
+struct Outcome {
+    /// Fastest rep — the standard noise-robust estimator for a
+    /// fixed-work benchmark (all slowdown sources are additive).
+    best_wall: Duration,
+    median_wall: Duration,
+    plan: SynthesisResult,
+}
+
+impl Outcome {
+    /// Simulations per second (best rep).
+    fn sims_per_sec(&self) -> f64 {
+        self.plan.stats.simulations as f64 / self.best_wall.as_secs_f64()
+    }
+}
+
+/// The serial A/B leg: one worker thread, no memoization — the shape of
+/// the synthesizer before evaluation was parallelized.
+fn serial_options() -> SynthesisOptions {
+    SynthesisOptions {
+        dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+        ..SynthesisOptions::default()
+    }
+    .with_threads(1)
+}
+
+fn measure(
+    compiler: &Compiler,
+    profile: &Profile,
+    machine: &MachineDescription,
+    opts: &SynthesisOptions,
+    reps: usize,
+) -> Outcome {
+    // Warmup rep (allocator, thread spawn paths).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let _ = compiler.synthesize(profile, machine, opts, &mut rng);
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+        let t0 = std::time::Instant::now();
+        let plan = compiler.synthesize(profile, machine, opts, &mut rng);
+        walls.push(t0.elapsed());
+        last = Some(plan);
+    }
+    walls.sort();
+    Outcome {
+        best_wall: walls[0],
+        median_wall: walls[walls.len() / 2],
+        plan: last.expect("at least one rep"),
+    }
+}
+
+fn json_block(name: &str, serial: &Outcome, parallel: &Outcome) -> String {
+    let speedup = serial.best_wall.as_secs_f64() / parallel.best_wall.as_secs_f64();
+    format!(
+        concat!(
+            "    \"{name}\": {{\n",
+            "      \"serial_wall_us\": {sw}, \"serial_median_wall_us\": {sm}, ",
+            "\"parallel_wall_us\": {pw}, \"parallel_median_wall_us\": {pm},\n",
+            "      \"wall_speedup\": {sp:.3}, \"sims_per_sec_serial\": {ss:.1}, ",
+            "\"sims_per_sec_parallel\": {ps:.1},\n",
+            "      \"simulations\": {sims}, \"cache_hits\": {hits}, ",
+            "\"serial_simulations\": {ssims}, \"best_makespan\": {mk}\n",
+            "    }}"
+        ),
+        name = name,
+        sw = serial.best_wall.as_micros(),
+        sm = serial.median_wall.as_micros(),
+        pw = parallel.best_wall.as_micros(),
+        pm = parallel.median_wall.as_micros(),
+        sp = speedup,
+        ss = serial.sims_per_sec(),
+        ps = parallel.sims_per_sec(),
+        sims = parallel.plan.stats.simulations,
+        hits = parallel.plan.stats.cache_hits,
+        ssims = serial.plan.stats.simulations,
+        mk = parallel.plan.estimate.makespan,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` always injects `--bench`; an explicit `--test`
+    // (the CI smoke step) wins over it.
+    let full = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
+    let (scale, reps) = if full { (Scale::Original, 5) } else { (Scale::Small, 1) };
+    let machine = MachineDescription::tilepro64();
+    let host_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut blocks = Vec::new();
+    for bench in bamboo_apps::all() {
+        let compiler = bench.compiler(scale);
+        let (profile, _, ()) =
+            compiler.profile_run(None, "dsa-bench", |_| ()).expect("profile run");
+        let serial = measure(&compiler, &profile, &machine, &serial_options(), reps);
+        let parallel =
+            measure(&compiler, &profile, &machine, &SynthesisOptions::default(), reps);
+        // The tentpole invariant: parallel, memoized synthesis is
+        // bit-identical to the serial schedule.
+        assert_eq!(
+            parallel.plan.estimate.makespan, serial.plan.estimate.makespan,
+            "{}: parallel synthesis diverged from serial",
+            bench.name(),
+        );
+        assert_eq!(
+            parallel.plan.layout, serial.plan.layout,
+            "{}: parallel layout diverged from serial",
+            bench.name(),
+        );
+        println!(
+            "bench dsa/{:<12} serial {:>9.3?}   parallel {:>9.3?}   ({:.2}x, {} sims, {} cache hits)",
+            bench.name(),
+            serial.best_wall,
+            parallel.best_wall,
+            serial.best_wall.as_secs_f64() / parallel.best_wall.as_secs_f64(),
+            parallel.plan.stats.simulations,
+            parallel.plan.stats.cache_hits,
+        );
+        blocks.push(json_block(bench.name(), &serial, &parallel));
+    }
+
+    if full {
+        let json = format!(
+            concat!(
+                "{{\n  \"machine_cores\": {},\n  \"scale\": \"original\",\n",
+                "  \"reps\": {},\n  \"host_threads\": {},\n  \"benches\": {{\n{}\n  }}\n}}\n"
+            ),
+            machine.core_count(),
+            reps,
+            host_threads,
+            blocks.join(",\n"),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsa.json");
+        std::fs::write(path, json).expect("write BENCH_dsa.json");
+        println!("wrote {path}");
+    } else {
+        println!("smoke ok (pass --bench for the measured run)");
+    }
+}

@@ -18,14 +18,20 @@
 //!   synthesis seed as the recording harness in
 //!   `crates/bench/benches/threaded.rs`), evaluates the tolerance
 //!   checks in `bamboo::telemetry::analyze::gate`, writes the verdict
-//!   JSON artifact, and exits non-zero if any check fails.
+//!   JSON artifact, and exits non-zero if any check fails. When
+//!   `BENCH_dsa.json` is present (recorded by
+//!   `crates/bench/benches/dsa.rs`), the gate additionally re-runs
+//!   serial and parallel synthesis for every recorded benchmark and
+//!   appends the `dsa-*` checks: determinism (parallel == serial
+//!   makespan), exact makespan/simulation-count match against the
+//!   recording, and a host-aware wall-speedup floor.
 //!
 //!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --check --out doctor_verdict.json`
 
 use bamboo::telemetry::analyze::{self, gate};
 use bamboo::{
-    Compiler, Deployment, ExecConfig, MachineDescription, RunOptions, SynthesisOptions, Telemetry,
-    ThreadedExecutor,
+    Compiler, Deployment, DsaOptions, ExecConfig, MachineDescription, RunOptions,
+    SynthesisOptions, Telemetry, ThreadedExecutor,
 };
 use bamboo_apps::{by_name, Benchmark, Scale};
 use rand::SeedableRng;
@@ -38,6 +44,11 @@ const SEED: u64 = 42;
 /// recording harness (15): the gate's floors are generous, so a cheap
 /// best-of-5 estimate is plenty.
 const CHECK_REPS: usize = 5;
+/// Synthesis reps per configuration for the DSA checks. The makespan and
+/// simulation-count checks are exact on the first rep (synthesis is
+/// deterministic); extra reps only sharpen the wall-speedup estimate,
+/// whose floor is generous.
+const DSA_CHECK_REPS: usize = 2;
 
 struct Args {
     check: bool,
@@ -45,16 +56,19 @@ struct Args {
     cores: usize,
     json_out: Option<String>,
     baseline_path: String,
+    dsa_baseline_path: String,
 }
 
 fn parse_args() -> Result<Args, String> {
     let default_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threaded.json");
+    let default_dsa_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsa.json");
     let mut args = Args {
         check: false,
         bench: "kmeans".to_string(),
         cores: 8,
         json_out: None,
         baseline_path: default_baseline.to_string(),
+        dsa_baseline_path: default_dsa_baseline.to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -67,10 +81,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" | "--out" => args.json_out = Some(value(&arg)?),
             "--baseline" => args.baseline_path = value("--baseline")?,
+            "--dsa-baseline" => args.dsa_baseline_path = value("--dsa-baseline")?,
             "--help" | "-h" => {
                 return Err(concat!(
                     "usage: bamboo-doctor [BENCH] [--cores N] [--json PATH]\n",
-                    "       bamboo-doctor --check [--baseline PATH] [--out PATH]"
+                    "       bamboo-doctor --check [--baseline PATH] [--dsa-baseline PATH] [--out PATH]"
                 )
                 .to_string());
             }
@@ -122,6 +137,43 @@ fn measure(deployment: &Deployment, baseline: bool, reps: usize) -> (f64, u64, u
         retries = report.lock_retries;
     }
     (best_us, invocations, retries)
+}
+
+/// Re-synthesizes `bench` serially (1 thread, memoization off) and in
+/// parallel (defaults), timing both, for the `dsa-*` gate checks. Uses
+/// the same scale and seed as the recording harness in
+/// `crates/bench/benches/dsa.rs`.
+fn dsa_observation(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+) -> gate::DsaObservation {
+    let compiler = bench.compiler(Scale::Original);
+    let (profile, _, ()) = compiler.profile_run(None, "doctor", |_| ()).expect("profile run");
+    let run = |opts: &SynthesisOptions| {
+        let mut best_us = f64::INFINITY;
+        let mut plan = None;
+        for _ in 0..DSA_CHECK_REPS {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+            let t0 = std::time::Instant::now();
+            plan = Some(compiler.synthesize(&profile, machine, opts, &mut rng));
+            best_us = best_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        (best_us, plan.expect("at least one rep"))
+    };
+    let serial_opts = SynthesisOptions {
+        dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+        ..SynthesisOptions::default()
+    }
+    .with_threads(1);
+    let (serial_us, serial_plan) = run(&serial_opts);
+    let (parallel_us, parallel_plan) = run(&SynthesisOptions::default());
+    gate::DsaObservation {
+        name: bench.name().to_string(),
+        serial_makespan: serial_plan.estimate.makespan as f64,
+        parallel_makespan: parallel_plan.estimate.makespan as f64,
+        simulations: parallel_plan.stats.simulations as f64,
+        wall_speedup: serial_us / parallel_us,
+    }
 }
 
 fn diagnose_mode(args: &Args) -> Result<(), String> {
@@ -203,7 +255,44 @@ fn check_mode(args: &Args) -> Result<bool, String> {
         });
     }
 
-    let verdict = gate::evaluate(&baseline, &observations);
+    let mut verdict = gate::evaluate(&baseline, &observations);
+
+    // DSA synthesis checks, gated on the recording from the `dsa` bench
+    // harness. A missing recording is a warning, not a failure, so the
+    // gate still works on checkouts that never ran the full bench.
+    match std::fs::read_to_string(&args.dsa_baseline_path) {
+        Ok(text) => {
+            let dsa_baseline = gate::parse_dsa_baseline(&text)?;
+            let host_threads =
+                std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
+            let mut dsa_observations = Vec::new();
+            for base in &dsa_baseline.benches {
+                let Some(bench) = by_name(&base.name) else {
+                    eprintln!(
+                        "warning: DSA baseline bench {:?} not in the app registry; skipping",
+                        base.name,
+                    );
+                    continue;
+                };
+                let obs = dsa_observation(bench.as_ref(), &machine);
+                println!(
+                    "synthesized {:<12} makespan {} ({} sims, serial/parallel wall {:.2}x)",
+                    base.name, obs.parallel_makespan, obs.simulations, obs.wall_speedup,
+                );
+                dsa_observations.push(obs);
+            }
+            verdict.checks.extend(gate::evaluate_dsa(
+                &dsa_baseline,
+                &dsa_observations,
+                host_threads,
+            ));
+        }
+        Err(err) => eprintln!(
+            "warning: no DSA baseline at {} ({err}); skipping dsa-* checks",
+            args.dsa_baseline_path,
+        ),
+    }
+
     println!("\n{}", verdict.table());
     let out = args.json_out.as_deref().unwrap_or("doctor_verdict.json");
     std::fs::write(out, verdict.json()).map_err(|e| format!("write {out}: {e}"))?;

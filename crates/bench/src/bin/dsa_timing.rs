@@ -1,33 +1,48 @@
 //! Reports synthesis (DSA) wall time and search statistics per benchmark,
 //! the §5.1 numbers ("1.3 minutes for Tracking, 10 seconds for KMeans,
-//! under 0.2 seconds for the rest" on the authors' 2-GHz Xeon).
+//! under 0.2 seconds for the rest" on the authors' 2-GHz Xeon), for both
+//! the serial (1 thread, memoization off) and the default parallel,
+//! memoized configuration — the two legs synthesize identical plans.
 //!
 //! Usage: `cargo run --release -p bamboo-bench --bin dsa_timing`
 
-use bamboo::{MachineDescription, SynthesisOptions};
+use bamboo::{DsaOptions, MachineDescription, SynthesisOptions};
 use bamboo_apps::Scale;
 use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
     let machine = MachineDescription::tilepro64();
+    let serial_opts = SynthesisOptions {
+        dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+        ..SynthesisOptions::default()
+    }
+    .with_threads(1);
     println!("== Synthesis time per benchmark (62-core target) ==\n");
-    println!("Benchmark     wall time   iterations  simulations  est. makespan");
+    println!(
+        "Benchmark     serial wall  parallel wall  speedup  simulations  cache hits  est. makespan"
+    );
     for bench in bamboo_apps::all() {
         let compiler = bench.compiler(Scale::Original);
         let (profile, _, ()) =
             compiler.profile_run(None, "original", |_| ()).expect("profiling run succeeds");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let t0 = Instant::now();
-        let plan =
-            compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
-        let wall = t0.elapsed();
+        let time = |opts: &SynthesisOptions| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            let t0 = Instant::now();
+            let plan = compiler.synthesize(&profile, &machine, opts, &mut rng);
+            (t0.elapsed(), plan)
+        };
+        let (serial_wall, serial_plan) = time(&serial_opts);
+        let (parallel_wall, plan) = time(&SynthesisOptions::default());
+        assert_eq!(plan.estimate.makespan, serial_plan.estimate.makespan, "determinism");
         println!(
-            "{:<12} {:>9.3?}  {:>10}  {:>11}  {:>10.2}e8",
+            "{:<12} {:>11.3?}  {:>13.3?}  {:>6.2}x  {:>11}  {:>10}  {:>11.2}e8",
             bench.name(),
-            wall,
-            plan.stats.iterations,
+            serial_wall,
+            parallel_wall,
+            serial_wall.as_secs_f64() / parallel_wall.as_secs_f64(),
             plan.stats.simulations,
+            plan.stats.cache_hits,
             plan.estimate.makespan as f64 / 1e8
         );
     }

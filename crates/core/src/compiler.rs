@@ -127,6 +127,13 @@ impl Compiler {
     }
 
     /// Runs implementation synthesis for `machine` (paper §4.3-§4.5).
+    ///
+    /// Synthesis scales with host cores: candidate evaluations inside
+    /// the annealer and replication-variant searches fan out over
+    /// `opts.threads` workers (`0` = every available core), memoizing
+    /// simulations by layout fingerprint. The plan is bit-identical at
+    /// any thread count — `SynthesisOptions::default()` is already
+    /// parallel, and `opts.with_threads(1)` forces the serial schedule.
     pub fn synthesize<R: Rng>(
         &self,
         profile: &Profile,
@@ -139,7 +146,8 @@ impl Compiler {
 
     /// Like [`Self::synthesize`], additionally recording the DSA
     /// optimizer's search statistics (iterations, simulations,
-    /// acceptance rate, best-cost trajectory) into `telemetry`.
+    /// acceptance rate, simulation-cache hits/misses, best-cost
+    /// trajectory) into `telemetry` as `dsa.*` metrics.
     pub fn synthesize_with_telemetry<R: Rng>(
         &self,
         profile: &Profile,

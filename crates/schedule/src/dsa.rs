@@ -9,16 +9,38 @@
 //! materializes the moved layouts as the next candidate set. When an
 //! iteration fails to improve the best layout, the search continues with
 //! some probability (escaping local maxima) and otherwise stops.
+//!
+//! # Parallel, memoized evaluation
+//!
+//! Candidate evaluation — the expensive part — is a pure function of
+//! `(spec, graph, layout, profile, machine)`: [`simulate`] consumes no
+//! randomness. The optimizer exploits that twice:
+//!
+//! * each iteration's un-memoized candidates fan out across a
+//!   [`std::thread::scope`] worker pool ([`DsaOptions::threads`]) and the
+//!   results are collected back **in candidate index order**, so sorting,
+//!   pruning, and [`DsaStats`] are bit-identical to a serial run;
+//! * a [`SimCache`] keyed by [`Layout::fingerprint`] replays results for
+//!   layouts whose signature was already simulated
+//!   ([`DsaOptions::memoize`]), so survivors re-entering the pool never
+//!   re-simulate.
+//!
+//! All randomness (pruning, move generation) stays on the single driver
+//! thread, which is the determinism argument: the RNG consumption
+//! sequence is independent of the worker count *and* of the cache (the
+//! candidate pool is fingerprint-deduplicated either way), so one seed
+//! produces one trajectory at any thread count.
 
 use crate::critpath::{apply_move, propose_moves};
 use crate::groups::GroupGraph;
 use crate::layout::Layout;
-use crate::sim::{simulate, SimOptions, SimResult};
+use crate::sim::{simulate, SimCache, SimOptions, SimResult};
 use bamboo_lang::spec::ProgramSpec;
 use bamboo_machine::MachineDescription;
 use bamboo_profile::{Cycles, Profile};
 use rand::Rng;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// DSA tuning knobs.
 #[derive(Clone, Debug)]
@@ -35,6 +57,16 @@ pub struct DsaOptions {
     pub moves_per_layout: usize,
     /// Upper bound on live candidates per iteration.
     pub max_candidates: usize,
+    /// Worker threads for candidate evaluation: `0` uses every available
+    /// core, `1` evaluates serially on the driver thread. The result is
+    /// bit-identical at any setting.
+    pub threads: usize,
+    /// Memoize simulation results across iterations by layout
+    /// fingerprint, so survivors re-entering the pool never re-simulate.
+    /// Off reproduces the evaluate-everything shape (the A/B baseline of
+    /// the `dsa` bench harness); the search trajectory is identical
+    /// either way.
+    pub memoize: bool,
     /// Simulator configuration.
     pub sim: SimOptions,
 }
@@ -48,8 +80,19 @@ impl Default for DsaOptions {
             continue_probability: 0.75,
             moves_per_layout: 10,
             max_candidates: 32,
+            threads: 0,
+            memoize: true,
             sim: SimOptions { collect_trace: true, ..SimOptions::default() },
         }
+    }
+}
+
+/// Resolves a thread-count knob: `0` means every available core.
+pub(crate) fn worker_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
     }
 }
 
@@ -65,6 +108,14 @@ pub struct DsaStats {
     /// Candidates that survived pruning (summed over iterations).
     /// `survivors / candidates_evaluated` is the acceptance rate.
     pub survivors: usize,
+    /// Evaluations answered by the memoized simulation cache instead of
+    /// a fresh simulation (`candidates_evaluated = simulations +
+    /// cache_hits` when memoization is on).
+    pub cache_hits: usize,
+    /// Evaluations that ran a simulation and populated the cache. Equal
+    /// to [`Self::simulations`]; kept separate so telemetry can report
+    /// hit rate as `hits / (hits + misses)` uniformly.
+    pub cache_misses: usize,
     /// Best makespan seen after each iteration — the optimizer's
     /// convergence trajectory (monotonically non-increasing).
     pub trajectory: Vec<Cycles>,
@@ -81,6 +132,32 @@ impl DsaStats {
         } else {
             self.survivors as f64 / self.candidates_evaluated as f64
         }
+    }
+
+    /// Fraction of evaluations answered by the simulation cache, in
+    /// `[0, 1]` (0.0 when nothing was evaluated).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another search's volume counters (iterations, simulations,
+    /// candidates, survivors, cache traffic) into `self`, keeping
+    /// `self`'s trajectory and best makespan. This is how `synthesize`
+    /// merges per-replication-variant searches: the winning variant's
+    /// stats absorb the losers' counters, so `simulations` reports total
+    /// work while the trajectory stays the winner's.
+    pub fn merge_counters(&mut self, other: &DsaStats) {
+        self.iterations += other.iterations;
+        self.simulations += other.simulations;
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.survivors += other.survivors;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -102,22 +179,33 @@ pub fn optimize<R: Rng>(
     rng: &mut R,
 ) -> (Layout, SimResult, DsaStats) {
     assert!(!initial.is_empty(), "DSA needs at least one starting layout");
+    let threads = worker_threads(opts.threads);
     let mut stats = DsaStats::default();
-    let mut candidates = initial;
     let mut best: Option<(Layout, SimResult)> = None;
-    let mut seen: HashSet<String> = HashSet::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut cache = SimCache::new();
+
+    // Deduplicate the starting pool by fingerprint and seed the
+    // duplicate set with it. This gives the pool a strict invariant —
+    // every entrant is either signature-fresh or a survivor (the exact
+    // layout already simulated) — which is what lets the memo cache
+    // replay results without ever conflating two signature-equal but
+    // distinct placements, and keeps the search identical whether the
+    // cache is on or off.
+    let mut candidates: Vec<Layout> = Vec::with_capacity(initial.len());
+    for layout in initial {
+        if seen.insert(layout.fingerprint(graph)) {
+            candidates.push(layout);
+        }
+    }
 
     for _ in 0..opts.max_iterations {
         stats.iterations += 1;
-        // Evaluate.
-        let mut evaluated: Vec<(Layout, SimResult)> = candidates
-            .drain(..)
-            .map(|layout| {
-                stats.simulations += 1;
-                let result = simulate(spec, graph, &layout, profile, machine, &opts.sim);
-                (layout, result)
-            })
-            .collect();
+        // Evaluate: replay memoized results, fan the rest out across the
+        // worker pool, and reassemble in candidate index order.
+        let pool = std::mem::take(&mut candidates);
+        let mut evaluated =
+            evaluate_candidates(spec, graph, profile, machine, opts, pool, threads, &mut cache, &mut stats);
         evaluated.sort_by_key(|(_, r)| r.makespan);
         stats.candidates_evaluated += evaluated.len();
 
@@ -209,8 +297,7 @@ pub fn optimize<R: Rng>(
                 }
             }
             for moved in mutated {
-                let sig = format!("{:?}", moved.signature(graph));
-                if seen.insert(sig) {
+                if seen.insert(moved.fingerprint(graph)) {
                     next.push(moved);
                 }
                 if next.len() >= opts.max_candidates {
@@ -239,6 +326,105 @@ pub fn optimize<R: Rng>(
     let (layout, result) = best.expect("at least one candidate evaluated");
     stats.best_makespan = result.makespan;
     (layout, result, stats)
+}
+
+/// Scores one iteration's candidate pool, preserving pool order.
+///
+/// Memoized fingerprints replay from `cache`; the rest simulate — on the
+/// driver thread when `threads <= 1` or only one simulation is due, on a
+/// scoped worker pool otherwise. Workers pull slots from a shared atomic
+/// cursor (simulation costs vary, so static striping would idle the fast
+/// workers) and results are stitched back by slot index, making the
+/// returned vector — and therefore everything downstream — independent
+/// of worker count and scheduling.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_candidates(
+    spec: &ProgramSpec,
+    graph: &GroupGraph,
+    profile: &Profile,
+    machine: &MachineDescription,
+    opts: &DsaOptions,
+    candidates: Vec<Layout>,
+    threads: usize,
+    cache: &mut SimCache,
+    stats: &mut DsaStats,
+) -> Vec<(Layout, SimResult)> {
+    let mut results: Vec<Option<SimResult>> = vec![None; candidates.len()];
+    let mut due: Vec<usize> = Vec::with_capacity(candidates.len());
+    let mut fingerprints: Vec<u64> = vec![0; candidates.len()];
+    for (slot, layout) in candidates.iter().enumerate() {
+        if opts.memoize {
+            let fp = layout.fingerprint(graph);
+            fingerprints[slot] = fp;
+            if let Some(replayed) = cache.lookup(fp) {
+                results[slot] = Some(replayed);
+                continue;
+            }
+        }
+        due.push(slot);
+    }
+    stats.cache_hits += candidates.len() - due.len();
+    stats.cache_misses += due.len();
+    stats.simulations += due.len();
+
+    for (slot, result) in simulate_slots(spec, graph, profile, machine, &opts.sim, &candidates, &due, threads) {
+        if opts.memoize {
+            cache.insert(fingerprints[slot], result.clone());
+        }
+        results[slot] = Some(result);
+    }
+    candidates
+        .into_iter()
+        .zip(results)
+        .map(|(layout, result)| (layout, result.expect("every slot scored")))
+        .collect()
+}
+
+/// Simulates `candidates[slot]` for every slot in `due`, returning
+/// `(slot, result)` pairs sorted by slot.
+#[allow(clippy::too_many_arguments)]
+fn simulate_slots(
+    spec: &ProgramSpec,
+    graph: &GroupGraph,
+    profile: &Profile,
+    machine: &MachineDescription,
+    sim_opts: &SimOptions,
+    candidates: &[Layout],
+    due: &[usize],
+    threads: usize,
+) -> Vec<(usize, SimResult)> {
+    let workers = threads.min(due.len());
+    if workers <= 1 {
+        return due
+            .iter()
+            .map(|&slot| (slot, simulate(spec, graph, &candidates[slot], profile, machine, sim_opts)))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut scored: Vec<(usize, SimResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&slot) = due.get(next) else { break };
+                        local.push((
+                            slot,
+                            simulate(spec, graph, &candidates[slot], profile, machine, sim_opts),
+                        ));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    });
+    scored.sort_by_key(|(slot, _)| *slot);
+    scored
 }
 
 #[cfg(test)]
@@ -321,6 +507,79 @@ mod tests {
             result.makespan,
             sample_best
         );
+    }
+
+    /// One full optimize run with the given worker-thread count and
+    /// memoization setting, from a fixed seed.
+    fn run_with(threads: usize, memoize: bool) -> (Layout, SimResult, DsaStats) {
+        let (spec, cstg, profile) = kc_setup();
+        let graph = scc_tree_transform(&GroupGraph::build(&spec, &cstg, &profile));
+        let machine = MachineDescription::quad();
+        let repl = compute_replication(&spec, &graph, &profile, 4);
+        let mut rng = StdRng::seed_from_u64(23);
+        let starts = random_layouts(&graph, &repl, 4, 6, &mut rng);
+        let opts = DsaOptions { threads, memoize, ..DsaOptions::default() };
+        optimize(&spec, &graph, &profile, &machine, starts, &opts, &mut rng)
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        let (serial_layout, serial_result, serial_stats) = run_with(1, true);
+        for threads in [2, 4, 8] {
+            let (layout, result, stats) = run_with(threads, true);
+            assert_eq!(layout, serial_layout, "{threads} threads: layout diverged");
+            assert_eq!(result.makespan, serial_result.makespan);
+            assert_eq!(stats, serial_stats, "{threads} threads: stats diverged");
+        }
+    }
+
+    #[test]
+    fn memoization_changes_work_but_not_results() {
+        let (cold_layout, cold_result, cold_stats) = run_with(1, false);
+        let (layout, result, stats) = run_with(1, true);
+        assert_eq!(layout, cold_layout);
+        assert_eq!(result.makespan, cold_result.makespan);
+        assert_eq!(stats.trajectory, cold_stats.trajectory);
+        assert_eq!(stats.candidates_evaluated, cold_stats.candidates_evaluated);
+        // The cache only ever removes simulations.
+        assert!(stats.simulations <= cold_stats.simulations);
+        assert_eq!(stats.simulations + stats.cache_hits, stats.candidates_evaluated);
+        assert_eq!(stats.simulations, stats.cache_misses);
+        assert!(stats.cache_hits > 0, "survivors re-entering the pool should hit the cache");
+        assert_eq!(cold_stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn merge_counters_sums_volume_and_keeps_trajectory() {
+        let mut a = DsaStats {
+            iterations: 3,
+            simulations: 30,
+            candidates_evaluated: 40,
+            survivors: 12,
+            cache_hits: 10,
+            cache_misses: 30,
+            trajectory: vec![900, 800],
+            best_makespan: 800,
+        };
+        let b = DsaStats {
+            iterations: 2,
+            simulations: 15,
+            candidates_evaluated: 20,
+            survivors: 9,
+            cache_hits: 5,
+            cache_misses: 15,
+            trajectory: vec![1000, 950],
+            best_makespan: 950,
+        };
+        a.merge_counters(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.simulations, 45);
+        assert_eq!(a.candidates_evaluated, 60);
+        assert_eq!(a.survivors, 21);
+        assert_eq!(a.cache_hits, 15);
+        assert_eq!(a.cache_misses, 45);
+        assert_eq!(a.trajectory, vec![900, 800]);
+        assert_eq!(a.best_makespan, 800);
     }
 
     #[test]

@@ -160,6 +160,32 @@ impl Layout {
         sig
     }
 
+    /// A stable 64-bit fingerprint of [`Self::signature`].
+    ///
+    /// Computed with FNV-1a over the canonical signature (inner lists are
+    /// length-prefixed, so distinct signatures hash distinct byte
+    /// streams), making it reproducible across runs and platforms. Two
+    /// layouts have equal fingerprints exactly when their signatures are
+    /// equal, up to 64-bit hash collisions. The DSA optimizer keys both
+    /// its duplicate-candidate set and its memoized simulation cache on
+    /// this value — it is an order of magnitude cheaper than
+    /// materializing the signature's debug string.
+    pub fn fingerprint(&self, graph: &GroupGraph) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(FNV_PRIME)
+        }
+        let mut h = FNV_OFFSET;
+        for core in self.signature(graph) {
+            h = eat(h, core.len() as u64);
+            for origin in core {
+                h = eat(h, u64::from(origin));
+            }
+        }
+        h
+    }
+
     /// Renders the layout as a per-core table (the shape of the paper's
     /// Figure 4).
     pub fn describe(&self, spec: &ProgramSpec, graph: &GroupGraph) -> String {
@@ -507,6 +533,41 @@ mod tests {
         let a = mk([0, 1, 2, 3]);
         let b = mk([3, 2, 1, 0]);
         assert_eq!(a.signature(&graph), b.signature(&graph));
+    }
+
+    #[test]
+    fn fingerprint_matches_signature_equality_on_mutated_layouts() {
+        use crate::critpath::MoveProposal;
+        let (_, graph, _, base) = quad_layout();
+        // Every single-instance move of the base layout, plus the base
+        // itself: a mix of signature-equal pairs (core renamings, replica
+        // exchanges) and genuinely different placements.
+        let mut layouts = vec![base.clone()];
+        for inst in 1..base.instances.len() {
+            for core in 0..base.core_count {
+                layouts.push(crate::critpath::apply_move(
+                    &base,
+                    MoveProposal {
+                        instance: InstanceId(inst as u32),
+                        to_core: CoreId::new(core),
+                    },
+                ));
+            }
+        }
+        let mut sig_equal_pairs = 0;
+        for a in &layouts {
+            for b in &layouts {
+                let sigs_equal = a.signature(&graph) == b.signature(&graph);
+                sig_equal_pairs += usize::from(sigs_equal && !std::ptr::eq(a, b));
+                assert_eq!(
+                    a.fingerprint(&graph) == b.fingerprint(&graph),
+                    sigs_equal,
+                    "fingerprint equality must coincide with signature equality",
+                );
+            }
+        }
+        // The sweep must actually exercise both directions.
+        assert!(sig_equal_pairs > 0, "no signature-equal pair among mutations");
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use groups::{Group, GroupGraph, GroupId, GroupNewEdge};
 pub use layout::{GroupInstance, InstanceId, Layout, RouteDecision, Router};
 pub use mapping::{control_spread_layout, enumerate_mappings, random_layouts, spread_layout, MappingOptions};
 pub use preprocess::scc_tree_transform;
-pub use sim::{simulate, SimOptions, SimResult};
+pub use sim::{simulate, SimCache, SimOptions, SimResult};
 pub use synthesis::{single_core_plan, synthesize, SynthesisOptions, SynthesisResult};
 pub use trace::{DataDep, ExecutionTrace, TraceTask};
 pub use transforms::{compute_replication, compute_replication_with, replicable, Replication, RuleSet};

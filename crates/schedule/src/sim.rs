@@ -12,12 +12,13 @@
 use crate::groups::GroupGraph;
 use crate::layout::{InstanceId, Layout, RouteDecision, Router};
 use crate::trace::{DataDep, ExecutionTrace, TraceTask};
-use bamboo_lang::ids::{ParamIdx, TaskId};
+use bamboo_analysis::cstg::enabled_params;
+use bamboo_lang::ids::{ClassId, ParamIdx, TaskId};
 use bamboo_lang::spec::{FlagSet, ProgramSpec};
 use bamboo_machine::{CoreId, MachineDescription};
-use bamboo_profile::{Cycles, MarkovModel, Profile};
+use bamboo_profile::{Cycles, MarkovModel, Prediction, Profile};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Simulator options.
 #[derive(Clone, Debug)]
@@ -75,6 +76,66 @@ pub struct SimResult {
     pub trace: Option<ExecutionTrace>,
 }
 
+/// A memoized store of simulation results keyed by layout fingerprint
+/// ([`crate::layout::Layout::fingerprint`]).
+///
+/// [`simulate`] is a pure function of `(spec, graph, layout, profile,
+/// machine, opts)`, so within one optimization run — where everything
+/// but the layout is fixed — a result can be replayed for any layout
+/// whose fingerprint was already simulated. The DSA optimizer uses this
+/// to avoid re-simulating survivors that re-enter the candidate pool
+/// across iterations.
+#[derive(Clone, Debug, Default)]
+pub struct SimCache {
+    map: std::collections::HashMap<u64, SimResult>,
+    hits: usize,
+    misses: usize,
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SimCache::default()
+    }
+
+    /// Replays the memoized result for `fingerprint`, counting a hit;
+    /// `None` counts nothing (the caller simulates and [`Self::insert`]s,
+    /// which counts the miss).
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<SimResult> {
+        let found = self.map.get(&fingerprint).cloned();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Memoizes a freshly simulated result, counting a miss.
+    pub fn insert(&mut self, fingerprint: u64, result: SimResult) {
+        self.misses += 1;
+        self.map.insert(fingerprint, result);
+    }
+
+    /// Results currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Results computed and inserted.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
 /// An abstract simulated object.
 #[derive(Clone, Debug)]
 struct SimObject {
@@ -90,6 +151,15 @@ struct SimObject {
     arrival: Cycles,
     /// Set once the object is reserved by a pending invocation or dead.
     consumed: bool,
+    /// Replayed profile record bound to this object at *release* time —
+    /// the moment it entered its current `(class, flags)` state — when
+    /// that state enables exactly one `(task, param 0)` dispatch entry.
+    /// Release order is the serial program order the profile recorded;
+    /// arrival and start order are scheduling artifacts (mesh distance
+    /// reorders deliveries, queue depth delays starts), so binding the
+    /// record any later hands this object's cycles to whichever
+    /// invocation the simulated schedule happens to assemble first.
+    pred: Option<Prediction>,
 }
 
 /// A formed invocation waiting in a core's ready queue.
@@ -98,6 +168,10 @@ struct ReadyInvocation {
     task: TaskId,
     instance: InstanceId,
     objs: Vec<usize>,
+    /// The invocation's profile record: the primary (param 0) object's
+    /// release-time stamp when it has one (see [`SimObject::pred`]), or
+    /// the task's next sequential record otherwise.
+    pred: Prediction,
 }
 
 /// Runs the scheduling simulation of `layout`.
@@ -118,6 +192,7 @@ struct Simulator<'a> {
     layout: &'a Layout,
     machine: &'a MachineDescription,
     opts: &'a SimOptions,
+    profile: &'a Profile,
     markov: MarkovModel<'a>,
     router: Router,
     objects: Vec<SimObject>,
@@ -127,9 +202,12 @@ struct Simulator<'a> {
     param_keys: Vec<Vec<(TaskId, ParamIdx)>>,
     /// FIFO ready queue per core.
     ready: Vec<VecDeque<ReadyInvocation>>,
+    /// Memoized stamping decision per `(class, flags)`: the unique
+    /// primary-consumer task, if any (see [`SimObject::pred`]).
+    stamp_memo: HashMap<(ClassId, u64), Option<TaskId>>,
     /// Core busy state: current invocation, its prediction, and its trace
     /// record id (when tracing).
-    running: Vec<Option<(ReadyInvocation, bamboo_profile::Prediction, Option<usize>)>>,
+    running: Vec<Option<(ReadyInvocation, Prediction, Option<usize>)>>,
     /// Event queue keyed by (time, sequence).
     events: BinaryHeap<Reverse<(Cycles, u64, EventKey)>>,
     seq: u64,
@@ -179,6 +257,7 @@ impl<'a> Simulator<'a> {
             layout,
             machine,
             opts,
+            profile,
             markov: if opts.replay {
                 MarkovModel::new(profile)
             } else {
@@ -188,6 +267,7 @@ impl<'a> Simulator<'a> {
             objects: Vec::new(),
             param_sets,
             param_keys,
+            stamp_memo: HashMap::new(),
             ready: vec![VecDeque::new(); layout.core_count],
             running: vec![None; layout.core_count],
             events: BinaryHeap::new(),
@@ -220,7 +300,9 @@ impl<'a> Simulator<'a> {
             producer: None,
             arrival: 0,
             consumed: false,
+            pred: None,
         });
+        self.stamp(obj);
         self.push_event(0, EventKey::Arrival(obj));
 
         while let Some(Reverse((time, _, key))) = self.events.pop() {
@@ -255,6 +337,43 @@ impl<'a> Simulator<'a> {
                 None
             },
         }
+    }
+
+    /// Binds the next replayed profile record to `obj` at release time.
+    ///
+    /// An object is *released* when it enters a new `(class, flags)`
+    /// state: at allocation, at startup injection, and after every
+    /// parameter transition. Release order across the simulation tracks
+    /// the serial program order the profile recorded (a producer's
+    /// allocations are stamped in program order before any transfer
+    /// latency can reorder their arrivals), so when the state enables
+    /// exactly one `(task, param 0)` dispatch entry the task's next
+    /// sequential record belongs to *this* object — the same
+    /// data-follows-object identity the executor gets for free by
+    /// running real code. Ambiguous states (several enabled entries, or
+    /// a non-primary parameter) are left unstamped and fall back to
+    /// formation-order prediction.
+    fn stamp(&mut self, obj: usize) {
+        let class = self.objects[obj].class;
+        let flags = self.objects[obj].flags;
+        let key = (class, flags.bits());
+        let task = match self.stamp_memo.get(&key) {
+            Some(t) => *t,
+            None => {
+                let enabled = enabled_params(self.spec, class, flags);
+                let t = match enabled.as_slice() {
+                    // Never-profiled tasks can't be replayed — leave
+                    // their objects unstamped (formation-order fallback).
+                    [(t, p)] if p.index() == 0 && self.profile.task(*t).invocations() > 0 => {
+                        Some(*t)
+                    }
+                    _ => None,
+                };
+                self.stamp_memo.insert(key, t);
+                t
+            }
+        };
+        self.objects[obj].pred = task.map(|t| self.markov.predict(t));
     }
 
     /// Delivers an object to its home instance's parameter sets and tries
@@ -306,10 +425,18 @@ impl<'a> Simulator<'a> {
                     for &o in &objs {
                         self.objects[o].consumed = true;
                     }
+                    // The primary object's release-time stamp is this
+                    // invocation's record; stamping guarantees a stamped
+                    // object can only be consumed by the stamped task.
+                    let pred = match objs.first().and_then(|&o| self.objects[o].pred.take()) {
+                        Some(p) => p,
+                        None => self.markov.predict(task),
+                    };
                     self.ready[core.index()].push_back(ReadyInvocation {
                         task,
                         instance,
                         objs,
+                        pred,
                     });
                     formed = true;
                 }
@@ -399,7 +526,7 @@ impl<'a> Simulator<'a> {
             return;
         }
         let Some(inv) = self.ready[core.index()].pop_front() else { return };
-        let pred = self.markov.predict(inv.task);
+        let pred = inv.pred.clone();
         let duration = pred.cycles + self.opts.dispatch_overhead;
         let start = self.now;
         let end = start + duration;
@@ -451,7 +578,9 @@ impl<'a> Simulator<'a> {
             None
         };
 
-        // Parameter transitions.
+        // Parameter transitions: every surviving object is re-released in
+        // its new flag state and re-stamped (release order, not delivery
+        // order, carries the profile's serial identity).
         for (p, &obj) in inv.objs.iter().enumerate() {
             let new_flags = exit.apply_flags(ParamIdx::new(p), self.objects[obj].flags);
             self.objects[obj].flags = new_flags;
@@ -469,10 +598,12 @@ impl<'a> Simulator<'a> {
                 hash,
             ) {
                 RouteDecision::Stay => {
+                    self.stamp(obj);
                     self.objects[obj].arrival = self.now;
                     self.push_event(self.now, EventKey::Arrival(obj));
                 }
                 RouteDecision::Move(dest) => {
+                    self.stamp(obj);
                     let from_core = self.layout.core_of(self.objects[obj].home);
                     let to_core = self.layout.core_of(dest);
                     let words = self.opts.payload_words_of(self.objects[obj].class);
@@ -483,6 +614,7 @@ impl<'a> Simulator<'a> {
                 }
                 RouteDecision::Dead => {
                     self.objects[obj].consumed = true;
+                    self.objects[obj].pred = None;
                 }
             }
         }
@@ -515,7 +647,9 @@ impl<'a> Simulator<'a> {
                     producer: trace_id,
                     arrival: self.now + cost,
                     consumed: false,
+                    pred: None,
                 });
+                self.stamp(obj);
                 self.push_event(self.now + cost, EventKey::Arrival(obj));
             }
         }

@@ -234,9 +234,13 @@ impl Telemetry {
         self.counter("dsa.simulations").add(stats.simulations as u64);
         self.counter("dsa.candidates_evaluated").add(stats.candidates_evaluated as u64);
         self.counter("dsa.survivors").add(stats.survivors as u64);
+        self.counter("dsa.cache_hits").add(stats.cache_hits as u64);
+        self.counter("dsa.cache_misses").add(stats.cache_misses as u64);
         self.gauge("dsa.best_makespan").set(stats.best_makespan as i64);
         self.gauge("dsa.acceptance_rate_pct")
             .set((stats.acceptance_rate() * 100.0).round() as i64);
+        self.gauge("dsa.cache_hit_rate_pct")
+            .set((stats.cache_hit_rate() * 100.0).round() as i64);
         self.series("dsa.best_makespan_trajectory").extend(&stats.trajectory);
     }
 
@@ -494,17 +498,23 @@ mod tests {
         let telemetry = Telemetry::enabled(1);
         let stats = DsaStats {
             iterations: 7,
-            simulations: 40,
+            simulations: 30,
             candidates_evaluated: 40,
             survivors: 22,
+            cache_hits: 10,
+            cache_misses: 30,
             trajectory: vec![900, 700, 650],
             best_makespan: 650,
         };
         telemetry.record_dsa(&stats);
         let m = telemetry.report().metrics;
         assert_eq!(m.counters["dsa.iterations"], 7);
+        assert_eq!(m.counters["dsa.simulations"], 30);
+        assert_eq!(m.counters["dsa.cache_hits"], 10);
+        assert_eq!(m.counters["dsa.cache_misses"], 30);
         assert_eq!(m.gauges["dsa.best_makespan"], 650);
         assert_eq!(m.gauges["dsa.acceptance_rate_pct"], 55);
+        assert_eq!(m.gauges["dsa.cache_hit_rate_pct"], 25);
         assert_eq!(m.series["dsa.best_makespan_trajectory"], vec![900, 700, 650]);
     }
 }

@@ -1,0 +1,89 @@
+//! Determinism of parallel, memoized synthesis (paper §4.5 machinery).
+//!
+//! Candidate evaluation inside the DSA annealer and the per-variant
+//! replication search both fan out over worker threads, and simulations
+//! are memoized by layout fingerprint — none of which may change what
+//! gets synthesized. These tests pin the contract on real benchmarks:
+//! the same seed yields the identical best layout, makespan, and
+//! [`DsaStats`] trajectory at any worker-thread count, with and without
+//! the simulation cache.
+
+use bamboo::{DsaOptions, MachineDescription, SynthesisOptions, SynthesisResult};
+use bamboo_apps::{by_name, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synthesizes `bench` at `Scale::Small` for the paper's 62-core
+/// machine with the given options, from a fixed seed.
+fn synthesize(bench: &str, opts: &SynthesisOptions) -> SynthesisResult {
+    let bench = by_name(bench).expect("benchmark registered");
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler.profile_run(None, "t", |_| ()).expect("profile run");
+    let machine = MachineDescription::tilepro64();
+    let mut rng = StdRng::seed_from_u64(4242);
+    compiler.synthesize(&profile, &machine, opts, &mut rng)
+}
+
+#[test]
+fn same_seed_is_identical_at_any_thread_count() {
+    for bench in ["KMeans", "FilterBank"] {
+        let serial = synthesize(bench, &SynthesisOptions::default().with_threads(1));
+        for threads in [4, 8] {
+            let parallel = synthesize(bench, &SynthesisOptions::default().with_threads(threads));
+            assert_eq!(
+                parallel.layout, serial.layout,
+                "{bench}: layout diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.estimate.makespan, serial.estimate.makespan,
+                "{bench}: makespan diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.stats.trajectory, serial.stats.trajectory,
+                "{bench}: search trajectory diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.stats, serial.stats,
+                "{bench}: DSA statistics diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.replication, serial.replication,
+                "{bench}: replication choice diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn memoization_does_not_change_what_is_synthesized() {
+    for bench in ["KMeans", "FilterBank"] {
+        let memoized = synthesize(bench, &SynthesisOptions::default());
+        let cold = synthesize(
+            bench,
+            &SynthesisOptions {
+                dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+                ..SynthesisOptions::default()
+            },
+        );
+        assert_eq!(memoized.layout, cold.layout, "{bench}: layout diverged");
+        assert_eq!(
+            memoized.estimate.makespan, cold.estimate.makespan,
+            "{bench}: makespan diverged"
+        );
+        assert_eq!(
+            memoized.stats.trajectory, cold.stats.trajectory,
+            "{bench}: trajectory diverged"
+        );
+        // The cache trades simulations for replayed hits, one for one.
+        assert!(memoized.stats.cache_hits > 0, "{bench}: cache never hit");
+        assert_eq!(
+            memoized.stats.simulations + memoized.stats.cache_hits,
+            memoized.stats.candidates_evaluated,
+            "{bench}: evaluation accounting broken"
+        );
+        assert_eq!(
+            cold.stats.simulations, cold.stats.candidates_evaluated,
+            "{bench}: cold run should simulate every candidate"
+        );
+    }
+}
