@@ -17,7 +17,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// 1-limited count of tag instances of one type bound to an object.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum TagCount {
     /// No instance bound.
     Zero,
@@ -66,7 +68,9 @@ impl fmt::Display for TagCount {
 
 /// An abstract object state: guard-relevant flags plus per-tag-type
 /// 1-limited counts.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct AbstractState {
     /// Flag valuation, masked to the class's guard-relevant flags.
     pub flags: FlagSet,
@@ -78,7 +82,10 @@ pub struct AbstractState {
 impl AbstractState {
     /// Creates a state from flags only.
     pub fn from_flags(flags: FlagSet) -> Self {
-        AbstractState { flags, tags: Vec::new() }
+        AbstractState {
+            flags,
+            tags: Vec::new(),
+        }
     }
 
     /// Returns the count for `tag_type`.
@@ -93,18 +100,27 @@ impl AbstractState {
     /// Returns a copy with `tag_type`'s count replaced (normalizing away
     /// `Zero`).
     pub fn with_tag_count(&self, tag_type: TagTypeId, count: TagCount) -> Self {
-        let mut tags: Vec<(TagTypeId, TagCount)> =
-            self.tags.iter().copied().filter(|(tt, _)| *tt != tag_type).collect();
+        let mut tags: Vec<(TagTypeId, TagCount)> = self
+            .tags
+            .iter()
+            .copied()
+            .filter(|(tt, _)| *tt != tag_type)
+            .collect();
         if count != TagCount::Zero {
             tags.push((tag_type, count));
         }
         tags.sort_by_key(|(tt, _)| *tt);
-        AbstractState { flags: self.flags, tags }
+        AbstractState {
+            flags: self.flags,
+            tags,
+        }
     }
 }
 
 /// Index of a state node within its class's ASTG.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct StateIdx(pub u32);
 
 impl StateIdx {
@@ -151,7 +167,10 @@ pub struct Astg {
 impl Astg {
     /// Returns the index of `state`, if present.
     pub fn find(&self, state: &AbstractState) -> Option<StateIdx> {
-        self.states.iter().position(|s| s == state).map(|i| StateIdx(i as u32))
+        self.states
+            .iter()
+            .position(|s| s == state)
+            .map(|i| StateIdx(i as u32))
     }
 
     /// Returns the outgoing edges of `state`.
@@ -176,13 +195,24 @@ impl Astg {
             class_spec.name
         );
         for (i, state) in self.states.iter().enumerate() {
-            let mut label: Vec<String> =
-                state.flags.iter().map(|f| class_spec.flag_name(f).to_string()).collect();
+            let mut label: Vec<String> = state
+                .flags
+                .iter()
+                .map(|f| class_spec.flag_name(f).to_string())
+                .collect();
             for (tt, count) in &state.tags {
                 label.push(format!("{}:{count}", spec.tag_types[tt.index()].name));
             }
-            let label = if label.is_empty() { "(none)".to_string() } else { label.join(",") };
-            let peripheries = if self.is_alloc_state(StateIdx(i as u32)) { 2 } else { 1 };
+            let label = if label.is_empty() {
+                "(none)".to_string()
+            } else {
+                label.join(",")
+            };
+            let peripheries = if self.is_alloc_state(StateIdx(i as u32)) {
+                2
+            } else {
+                1
+            };
             out.push_str(&format!(
                 "  s{i} [label=\"{{{label}}}\" peripheries={peripheries}];\n"
             ));
@@ -266,22 +296,30 @@ impl<'s> Builder<'s> {
     fn run(mut self) -> DependenceAnalysis {
         // Seed: startup object.
         let startup = self.spec.startup;
-        let startup_flags =
-            FlagSet::new().with(startup.flag, true).masked(self.relevant[startup.class.index()]);
+        let startup_flags = FlagSet::new()
+            .with(startup.flag, true)
+            .masked(self.relevant[startup.class.index()]);
         let idx = self.intern(startup.class, AbstractState::from_flags(startup_flags));
-        self.astgs[startup.class.index()].alloc_states.push((idx, None));
+        self.astgs[startup.class.index()]
+            .alloc_states
+            .push((idx, None));
 
         // Seed: every allocation site.
         for (task_id, task) in self.spec.tasks_enumerated() {
             for (site_i, site) in task.alloc_sites.iter().enumerate() {
-                let flags = site.initial_flag_set().masked(self.relevant[site.class.index()]);
+                let flags = site
+                    .initial_flag_set()
+                    .masked(self.relevant[site.class.index()]);
                 let mut state = AbstractState::from_flags(flags);
                 for var in &site.bound_tags {
                     let tt = task.tag_vars[var.index()].tag_type;
                     state = state.with_tag_count(tt, state.tag_count(tt).inc());
                 }
                 let idx = self.intern(site.class, state);
-                let gsite = GlobalAllocSite { task: task_id, site: site_i.into() };
+                let gsite = GlobalAllocSite {
+                    task: task_id,
+                    site: site_i.into(),
+                };
                 let astg = &mut self.astgs[site.class.index()];
                 if !astg.alloc_states.contains(&(idx, Some(gsite))) {
                     astg.alloc_states.push((idx, Some(gsite)));
@@ -309,7 +347,11 @@ impl<'s> Builder<'s> {
                 }
                 // Tag constraints: each requires ≥1 bound instance of the
                 // constrained tag type.
-                if !param.tags.iter().all(|tc| state.tag_count(tc.tag_type).at_least_one()) {
+                if !param
+                    .tags
+                    .iter()
+                    .all(|tc| state.tag_count(tc.tag_type).at_least_one())
+                {
                     continue;
                 }
                 let param_idx = ParamIdx::new(pi);
@@ -319,7 +361,10 @@ impl<'s> Builder<'s> {
                         .apply_flags(param_idx, state.flags)
                         .masked(self.relevant[class.index()]);
                     // Tag actions can branch (1-limited decrement).
-                    let mut successors = vec![AbstractState { flags: new_flags, tags: state.tags.clone() }];
+                    let mut successors = vec![AbstractState {
+                        flags: new_flags,
+                        tags: state.tags.clone(),
+                    }];
                     for action in exit.tag_actions(param_idx) {
                         let mut next = Vec::new();
                         for s in &successors {
@@ -470,7 +515,10 @@ mod tests {
         let image = spec.class_by_name("Image").unwrap();
         let astg = analysis.astg(image);
         let alloc_state = &astg.states[astg.alloc_states[0].0.index()];
-        assert_eq!(alloc_state.tag_count(bamboo_lang::ids::TagTypeId::new(0)), TagCount::One);
+        assert_eq!(
+            alloc_state.tag_count(bamboo_lang::ids::TagTypeId::new(0)),
+            TagCount::One
+        );
         // The work task's exit clears the tag: destination has Zero.
         assert!(astg.edges.iter().any(|e| {
             astg.states[e.to.index()].tag_count(bamboo_lang::ids::TagTypeId::new(0))

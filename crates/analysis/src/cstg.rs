@@ -15,7 +15,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Global index of a CSTG state node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -100,7 +102,14 @@ impl Cstg {
         }
         for (class, _) in spec.classes_enumerated() {
             let astg = analysis.astg(class);
-            for AstgEdge { from, to, task, exit, param } in &astg.edges {
+            for AstgEdge {
+                from,
+                to,
+                task,
+                exit,
+                param,
+            } in &astg.edges
+            {
                 cstg.task_edges.push(TaskEdge {
                     from: cstg.index[&(class, *from)],
                     to: cstg.index[&(class, *to)],
@@ -145,8 +154,12 @@ impl Cstg {
 
     /// Returns the tasks whose transitions leave `node`.
     pub fn tasks_from(&self, node: NodeId) -> Vec<TaskId> {
-        let mut tasks: Vec<TaskId> =
-            self.task_edges.iter().filter(|e| e.from == node).map(|e| e.task).collect();
+        let mut tasks: Vec<TaskId> = self
+            .task_edges
+            .iter()
+            .filter(|e| e.from == node)
+            .map(|e| e.task)
+            .collect();
         tasks.sort();
         tasks.dedup();
         tasks
@@ -159,12 +172,19 @@ impl Cstg {
         for (i, node) in self.nodes.iter().enumerate() {
             let class = spec.class(node.class);
             let state = &analysis.astg(node.class).states[node.state.index()];
-            let mut label: Vec<String> =
-                state.flags.iter().map(|f| class.flag_name(f).to_string()).collect();
+            let mut label: Vec<String> = state
+                .flags
+                .iter()
+                .map(|f| class.flag_name(f).to_string())
+                .collect();
             for (tt, count) in &state.tags {
                 label.push(format!("{}:{count}", spec.tag_types[tt.index()].name));
             }
-            let label = if label.is_empty() { "(none)".to_string() } else { label.join(",") };
+            let label = if label.is_empty() {
+                "(none)".to_string()
+            } else {
+                label.join(",")
+            };
             let peripheries = if node.allocatable { 2 } else { 1 };
             out.push_str(&format!(
                 "  n{i} [label=\"{}\\n{{{label}}}\" peripheries={peripheries}];\n",
@@ -207,7 +227,11 @@ impl Cstg {
 ///
 /// Tag constraints are not checked here (they need instance identity, not
 /// counts); callers filter those separately.
-pub fn enabled_params(spec: &ProgramSpec, class: ClassId, flags: FlagSet) -> Vec<(TaskId, ParamIdx)> {
+pub fn enabled_params(
+    spec: &ProgramSpec,
+    class: ClassId,
+    flags: FlagSet,
+) -> Vec<(TaskId, ParamIdx)> {
     let mut out = Vec::new();
     for (task_id, task) in spec.tasks_enumerated() {
         for (pi, param) in task.params.iter().enumerate() {
@@ -295,7 +319,10 @@ mod tests {
         assert_eq!(enabled[0].0, spec.task_by_name("processText").unwrap());
         let in_submit = FlagSet::new().with(submit, true);
         let enabled = enabled_params(&spec, text, in_submit);
-        assert_eq!(enabled[0].0, spec.task_by_name("mergeIntermediateResult").unwrap());
+        assert_eq!(
+            enabled[0].0,
+            spec.task_by_name("mergeIntermediateResult").unwrap()
+        );
         assert_eq!(enabled[0].1, ParamIdx::new(1));
     }
 

@@ -43,7 +43,9 @@ impl LockPlan {
     /// The plan for a task whose parameters stay disjoint: every parameter
     /// in its own group.
     pub fn all_disjoint(n_params: usize) -> Self {
-        LockPlan { groups: (0..n_params).map(|i| vec![ParamIdx::new(i)]).collect() }
+        LockPlan {
+            groups: (0..n_params).map(|i| vec![ParamIdx::new(i)]).collect(),
+        }
     }
 
     /// Returns whether any group holds more than one parameter.
@@ -222,7 +224,11 @@ impl<'a> Walker<'a> {
                     }
                 }
             }
-            IrStmt::If { cond, then_blk, else_blk } => {
+            IrStmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.eval(cond, state);
                 self.walk_block(then_blk, state);
                 self.walk_block(else_blk, state);
@@ -231,7 +237,12 @@ impl<'a> Walker<'a> {
                 self.eval(cond, state);
                 self.walk_block(body, state);
             }
-            IrStmt::For { init, cond, step, body } => {
+            IrStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.walk_block(init, state);
                 if let Some(c) = cond {
                     self.eval(c, state);
@@ -276,7 +287,12 @@ impl<'a> Walker<'a> {
                 let base = self.eval(arr, state);
                 state.rep_set(&base)
             }
-            IrExpr::CallMethod { obj, class, method, args } => {
+            IrExpr::CallMethod {
+                obj,
+                class,
+                method,
+                args,
+            } => {
                 let mut actuals: Vec<TokenSet> = Vec::with_capacity(args.len() + 1);
                 actuals.push(self.eval(obj, state));
                 for a in args {
@@ -419,7 +435,12 @@ fn analyze_task(
     for i in 0..n_params {
         state.locals[i] = [i].into_iter().collect();
     }
-    let mut walker = Walker { ir, summaries, fresh_base: n_params, next_fresh: n_params };
+    let mut walker = Walker {
+        ir,
+        summaries,
+        fresh_base: n_params,
+        next_fresh: n_params,
+    };
     loop {
         state.changed = false;
         walker.next_fresh = walker.fresh_base;

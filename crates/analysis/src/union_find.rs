@@ -11,7 +11,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates a structure with `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        UnionFind { parent: (0..len as u32).collect(), rank: vec![0; len] }
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+        }
     }
 
     /// Returns the number of elements.

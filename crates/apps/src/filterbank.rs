@@ -37,9 +37,21 @@ impl Params {
     /// Parameters for a scale.
     pub fn for_scale(scale: Scale) -> Params {
         match scale {
-            Scale::Small => Params { channels: 6, len: 256, taps: 16 },
-            Scale::Original => Params { channels: 62, len: 4096, taps: 64 },
-            Scale::Double => Params { channels: 124, len: 4096, taps: 64 },
+            Scale::Small => Params {
+                channels: 6,
+                len: 256,
+                taps: 16,
+            },
+            Scale::Original => Params {
+                channels: 62,
+                len: 4096,
+                taps: 64,
+            },
+            Scale::Double => Params {
+                channels: 124,
+                len: 4096,
+                taps: 64,
+            },
         }
     }
 }
@@ -147,7 +159,13 @@ pub fn build(params: Params) -> Compiler {
         .exit("spawned", |e| e.set(0, init, false))
         .body(body(move |ctx| {
             for id in 0..p.channels {
-                ctx.create(0, ChannelData { id, output: Vec::new() });
+                ctx.create(
+                    0,
+                    ChannelData {
+                        id,
+                        output: Vec::new(),
+                    },
+                );
             }
             ctx.create(
                 1,
@@ -181,7 +199,9 @@ pub fn build(params: Params) -> Compiler {
         .param("c", chan, FlagExpr::flag(done))
         .exit("more", |e| e.set(1, done, false))
         .exit("finished", |e| {
-            e.set(0, collecting, false).set(0, finished, true).set(1, done, false)
+            e.set(0, collecting, false)
+                .set(0, finished, true)
+                .set(1, done, false)
         })
         .body(body(move |ctx| {
             let (r, c) = ctx.param_pair_mut::<CombineData, ChannelData>(0, 1);
@@ -263,15 +283,33 @@ impl Benchmark for FilterBank {
                 *acc += v;
             }
         }
-        SerialOutcome { cycles, checksum: checksum_combined(&digests, &combined) }
+        SerialOutcome {
+            cycles,
+            checksum: checksum_combined(&digests, &combined),
+        }
     }
 
     fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
-        let comb = compiler.program.spec.class_by_name("Combiner").expect("class exists");
+        let comb = compiler
+            .program
+            .spec
+            .class_by_name("Combiner")
+            .expect("class exists");
         let objs = exec.store.live_of_class(comb);
         assert_eq!(objs.len(), 1);
         let r = exec.payload::<CombineData>(objs[0]);
         checksum_combined(&r.digests, &r.combined)
+    }
+
+    fn threaded_checksum(&self, compiler: &Compiler, report: &bamboo::ThreadedReport) -> u64 {
+        let comb = compiler
+            .program
+            .spec
+            .class_by_name("Combiner")
+            .expect("class exists");
+        let objs = report.payloads_of::<CombineData>(comb);
+        assert_eq!(objs.len(), 1);
+        checksum_combined(&objs[0].digests, &objs[0].combined)
     }
 }
 
@@ -302,7 +340,9 @@ mod tests {
         let serial = bench.serial(Scale::Small);
         let compiler = bench.compiler(Scale::Small);
         let (_, report, digest) = compiler
-            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .profile_run(None, "test", |exec| {
+                bench.parallel_checksum(&compiler, exec)
+            })
             .unwrap();
         assert!(report.quiesced);
         assert_eq!(digest, serial.checksum);

@@ -37,9 +37,24 @@ impl Params {
     /// Parameters for a scale.
     pub fn for_scale(scale: Scale) -> Params {
         match scale {
-            Scale::Small => Params { width: 64, height: 32, bands: 8, max_iter: 64 },
-            Scale::Original => Params { width: 512, height: 496, bands: 124, max_iter: 128 },
-            Scale::Double => Params { width: 512, height: 992, bands: 124, max_iter: 128 },
+            Scale::Small => Params {
+                width: 64,
+                height: 32,
+                bands: 8,
+                max_iter: 64,
+            },
+            Scale::Original => Params {
+                width: 512,
+                height: 496,
+                bands: 124,
+                max_iter: 128,
+            },
+            Scale::Double => Params {
+                width: 512,
+                height: 992,
+                bands: 124,
+                max_iter: 128,
+            },
         }
     }
 
@@ -113,7 +128,15 @@ pub fn build(params: Params) -> Compiler {
         .body(body(move |ctx| {
             let rows = p.rows_per_band();
             for id in 0..p.bands {
-                ctx.create(0, BandData { id, y0: id * rows, rows, counts: Vec::new() });
+                ctx.create(
+                    0,
+                    BandData {
+                        id,
+                        y0: id * rows,
+                        rows,
+                        counts: Vec::new(),
+                    },
+                );
             }
             ctx.create(
                 1,
@@ -146,7 +169,9 @@ pub fn build(params: Params) -> Compiler {
         .param("b", band, FlagExpr::flag(done))
         .exit("more", |e| e.set(1, done, false))
         .exit("finished", |e| {
-            e.set(0, collecting, false).set(0, finished, true).set(1, done, false)
+            e.set(0, collecting, false)
+                .set(0, finished, true)
+                .set(1, done, false)
         })
         .body(body(move |ctx| {
             let (c, band) = ctx.param_pair_mut::<CanvasData, BandData>(0, 1);
@@ -210,14 +235,32 @@ impl Benchmark for Fractal {
             cycles += iters * CYCLES_PER_ITER;
             cycles += counts.len() as u64 * CYCLES_PER_MERGE_PIXEL;
         }
-        SerialOutcome { cycles, checksum: checksum_pixels(&pixels) }
+        SerialOutcome {
+            cycles,
+            checksum: checksum_pixels(&pixels),
+        }
     }
 
     fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
-        let canvas = compiler.program.spec.class_by_name("Canvas").expect("class exists");
+        let canvas = compiler
+            .program
+            .spec
+            .class_by_name("Canvas")
+            .expect("class exists");
         let objs = exec.store.live_of_class(canvas);
         assert_eq!(objs.len(), 1);
         checksum_pixels(&exec.payload::<CanvasData>(objs[0]).pixels)
+    }
+
+    fn threaded_checksum(&self, compiler: &Compiler, report: &bamboo::ThreadedReport) -> u64 {
+        let canvas = compiler
+            .program
+            .spec
+            .class_by_name("Canvas")
+            .expect("class exists");
+        let objs = report.payloads_of::<CanvasData>(canvas);
+        assert_eq!(objs.len(), 1);
+        checksum_pixels(&objs[0].pixels)
     }
 }
 
@@ -240,7 +283,9 @@ mod tests {
         let serial = bench.serial(Scale::Small);
         let compiler = bench.compiler(Scale::Small);
         let (_, report, digest) = compiler
-            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .profile_run(None, "test", |exec| {
+                bench.parallel_checksum(&compiler, exec)
+            })
             .unwrap();
         assert!(report.quiesced);
         assert_eq!(digest, serial.checksum);
@@ -251,8 +296,9 @@ mod tests {
         // Load imbalance is the point of this benchmark.
         let p = Params::for_scale(Scale::Small);
         let rows = p.rows_per_band();
-        let works: Vec<u64> =
-            (0..p.bands).map(|i| render_band(&p, i * rows, rows).1).collect();
+        let works: Vec<u64> = (0..p.bands)
+            .map(|i| render_band(&p, i * rows, rows).1)
+            .collect();
         let min = works.iter().min().unwrap();
         let max = works.iter().max().unwrap();
         assert!(max > &(min * 2), "expected ≥2x imbalance, got {min}..{max}");

@@ -101,8 +101,11 @@ mod tests {
         let compiler = compiler(4);
         let (_, report, total) = compiler
             .profile_run(None, "test", |exec| {
-                let results =
-                    compiler.program.spec.class_by_name("Results").expect("class exists");
+                let results = compiler
+                    .program
+                    .spec
+                    .class_by_name("Results")
+                    .expect("class exists");
                 let objs = exec.store.live_of_class(results);
                 assert_eq!(objs.len(), 1);
                 let r = match exec.store.get(objs[0]).payload {

@@ -53,13 +53,27 @@ impl Params {
     /// Parameters for a scale.
     pub fn for_scale(scale: Scale) -> Params {
         match scale {
-            Scale::Small => Params { chunks: 4, points_per_chunk: 32, k: 4, dims: 2, iters: 3 },
-            Scale::Original => {
-                Params { chunks: 61, points_per_chunk: 407, k: 8, dims: 4, iters: 10 }
-            }
-            Scale::Double => {
-                Params { chunks: 61, points_per_chunk: 814, k: 8, dims: 4, iters: 10 }
-            }
+            Scale::Small => Params {
+                chunks: 4,
+                points_per_chunk: 32,
+                k: 4,
+                dims: 2,
+                iters: 3,
+            },
+            Scale::Original => Params {
+                chunks: 61,
+                points_per_chunk: 407,
+                k: 8,
+                dims: 4,
+                iters: 10,
+            },
+            Scale::Double => Params {
+                chunks: 61,
+                points_per_chunk: 814,
+                k: 8,
+                dims: 4,
+                iters: 10,
+            },
         }
     }
 }
@@ -86,12 +100,19 @@ fn true_center(cluster: usize, dim: usize) -> f64 {
 /// Deterministic initial centroids.
 pub fn initial_centroids(p: &Params) -> Vec<f64> {
     let mut rng = Lcg::new(0xCE27401D);
-    (0..p.k * p.dims).map(|_| 8.0 * (rng.next_f64() - 0.5)).collect()
+    (0..p.k * p.dims)
+        .map(|_| 8.0 * (rng.next_f64() - 0.5))
+        .collect()
 }
 
 /// Assigns each point of a chunk to its nearest centroid; returns partial
 /// sums (`k*dims`) and counts (`k`).
-pub fn assign_chunk(points: &[f64], centroids: &[f64], k: usize, dims: usize) -> (Vec<f64>, Vec<u64>) {
+pub fn assign_chunk(
+    points: &[f64],
+    centroids: &[f64],
+    k: usize,
+    dims: usize,
+) -> (Vec<f64>, Vec<u64>) {
     let mut sums = vec![0.0f64; k * dims];
     let mut counts = vec![0u64; k];
     for point in points.chunks_exact(dims) {
@@ -236,7 +257,9 @@ pub fn build(params: Params) -> Compiler {
             if last {
                 m.b_count = 0;
             }
-            ctx.charge(bamboo_charge((p.k * p.dims) as u64 * CYCLES_PER_BCAST_VALUE));
+            ctx.charge(bamboo_charge(
+                (p.k * p.dims) as u64 * CYCLES_PER_BCAST_VALUE,
+            ));
             if last {
                 1
             } else {
@@ -247,7 +270,9 @@ pub fn build(params: Params) -> Compiler {
 
     b.task("assign")
         .param("c", chunk, FlagExpr::flag(ready))
-        .exit("assigned", |e| e.set(0, ready, false).set(0, submitted, true))
+        .exit("assigned", |e| {
+            e.set(0, ready, false).set(0, submitted, true)
+        })
         .body(body(move |ctx| {
             let c = ctx.param_mut::<ChunkData>(0);
             c.partial = assign_chunk(&c.points, &c.centroids, p.k, p.dims);
@@ -274,8 +299,10 @@ pub fn build(params: Params) -> Compiler {
         })
         .body(body(move |ctx| {
             let (m, c) = ctx.param_pair_mut::<MasterData, ChunkData>(0, 1);
-            m.partials[c.id] =
-                (std::mem::take(&mut c.partial.0), std::mem::take(&mut c.partial.1));
+            m.partials[c.id] = (
+                std::mem::take(&mut c.partial.0),
+                std::mem::take(&mut c.partial.1),
+            );
             m.r_count += 1;
             let mut charge = (p.k * (p.dims + 1)) as u64 * CYCLES_PER_REDUCE_VALUE;
             let mut exit = 0;
@@ -283,8 +310,7 @@ pub fn build(params: Params) -> Compiler {
                 m.r_count = 0;
                 m.centroids = recompute_centroids(&m.partials, &m.centroids, p.k, p.dims);
                 m.iter += 1;
-                charge +=
-                    (p.k * p.dims * p.chunks) as u64 * CYCLES_PER_RECOMPUTE_VALUE;
+                charge += (p.k * p.dims * p.chunks) as u64 * CYCLES_PER_RECOMPUTE_VALUE;
                 exit = if m.iter == p.iters { 2 } else { 1 };
             }
             ctx.charge(bamboo_charge(charge));
@@ -331,8 +357,7 @@ impl Benchmark for KMeans {
         let p = Params::for_scale(scale);
         let chunks: Vec<Vec<f64>> = (0..p.chunks).map(|id| chunk_points(&p, id)).collect();
         let mut centroids = initial_centroids(&p);
-        let mut partials: Vec<(Vec<f64>, Vec<u64>)> =
-            vec![(Vec::new(), Vec::new()); p.chunks];
+        let mut partials: Vec<(Vec<f64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); p.chunks];
         let mut cycles = p.chunks as u64 * 60;
         for _ in 0..p.iters {
             for (id, points) in chunks.iter().enumerate() {
@@ -345,15 +370,33 @@ impl Benchmark for KMeans {
             centroids = recompute_centroids(&partials, &centroids, p.k, p.dims);
             cycles += (p.k * p.dims * p.chunks) as u64 * CYCLES_PER_RECOMPUTE_VALUE;
         }
-        SerialOutcome { cycles, checksum: checksum_kmeans(&centroids, &partials) }
+        SerialOutcome {
+            cycles,
+            checksum: checksum_kmeans(&centroids, &partials),
+        }
     }
 
     fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
-        let master = compiler.program.spec.class_by_name("Master").expect("class exists");
+        let master = compiler
+            .program
+            .spec
+            .class_by_name("Master")
+            .expect("class exists");
         let objs = exec.store.live_of_class(master);
         assert_eq!(objs.len(), 1);
         let m = exec.payload::<MasterData>(objs[0]);
         checksum_kmeans(&m.centroids, &m.partials)
+    }
+
+    fn threaded_checksum(&self, compiler: &Compiler, report: &bamboo::ThreadedReport) -> u64 {
+        let master = compiler
+            .program
+            .spec
+            .class_by_name("Master")
+            .expect("class exists");
+        let objs = report.payloads_of::<MasterData>(master);
+        assert_eq!(objs.len(), 1);
+        checksum_kmeans(&objs[0].centroids, &objs[0].partials)
     }
 }
 
@@ -372,7 +415,13 @@ mod tests {
 
     #[test]
     fn centroids_move_toward_true_centers() {
-        let p = Params { chunks: 4, points_per_chunk: 200, k: 4, dims: 2, iters: 12 };
+        let p = Params {
+            chunks: 4,
+            points_per_chunk: 200,
+            k: 4,
+            dims: 2,
+            iters: 12,
+        };
         let chunks: Vec<Vec<f64>> = (0..p.chunks).map(|id| chunk_points(&p, id)).collect();
         let mut centroids = initial_centroids(&p);
         for _ in 0..p.iters {
@@ -407,7 +456,9 @@ mod tests {
         let serial = bench.serial(Scale::Small);
         let compiler = bench.compiler(Scale::Small);
         let (_, report, digest) = compiler
-            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .profile_run(None, "test", |exec| {
+                bench.parallel_checksum(&compiler, exec)
+            })
             .unwrap();
         assert!(report.quiesced);
         assert_eq!(digest, serial.checksum);

@@ -35,7 +35,7 @@ pub mod series;
 pub mod tracking;
 pub mod util;
 
-use bamboo::{Compiler, Cycles, VirtualExecutor};
+use bamboo::{Compiler, Cycles, ThreadedReport, VirtualExecutor};
 
 /// Input scale for a benchmark run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -88,6 +88,11 @@ pub trait Benchmark: Sync {
 
     /// Extracts the parallel run's result digest from a finished executor.
     fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64;
+
+    /// Extracts the same result digest from a threaded executor's
+    /// report, so threaded runs (including chaos runs) can be compared
+    /// bit-exactly against serial and virtual results.
+    fn threaded_checksum(&self, compiler: &Compiler, report: &ThreadedReport) -> u64;
 }
 
 /// All six benchmarks, in the paper's table order.
@@ -104,7 +109,9 @@ pub fn all() -> Vec<Box<dyn Benchmark>> {
 
 /// Looks a benchmark up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
-    all().into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -116,7 +123,14 @@ mod tests {
         let names: Vec<&str> = all().iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["Tracking", "KMeans", "MonteCarlo", "FilterBank", "Fractal", "Series"]
+            vec![
+                "Tracking",
+                "KMeans",
+                "MonteCarlo",
+                "FilterBank",
+                "Fractal",
+                "Series"
+            ]
         );
     }
 

@@ -37,9 +37,18 @@ impl Params {
     /// Parameters for a scale.
     pub fn for_scale(scale: Scale) -> Params {
         match scale {
-            Scale::Small => Params { sims: 12, steps: 128 },
-            Scale::Original => Params { sims: 248, steps: 2000 },
-            Scale::Double => Params { sims: 496, steps: 2000 },
+            Scale::Small => Params {
+                sims: 12,
+                steps: 128,
+            },
+            Scale::Original => Params {
+                sims: 248,
+                steps: 2000,
+            },
+            Scale::Double => Params {
+                sims: 496,
+                steps: 2000,
+            },
         }
     }
 }
@@ -129,7 +138,9 @@ pub fn build(params: Params) -> Compiler {
         .param("m", sim, FlagExpr::flag(done))
         .exit("more", |e| e.set(1, done, false))
         .exit("finished", |e| {
-            e.set(0, collecting, false).set(0, finished, true).set(1, done, false)
+            e.set(0, collecting, false)
+                .set(0, finished, true)
+                .set(1, done, false)
         })
         .body(body(move |ctx| {
             let (a, m) = ctx.param_pair_mut::<AggData, SimData>(0, 1);
@@ -194,15 +205,33 @@ impl Benchmark for MonteCarlo {
         }
         let sum: f64 = slots.iter().sum();
         let sum_sq: f64 = slots.iter().map(|v| v * v).sum();
-        SerialOutcome { cycles, checksum: checksum_agg(&slots, sum, sum_sq) }
+        SerialOutcome {
+            cycles,
+            checksum: checksum_agg(&slots, sum, sum_sq),
+        }
     }
 
     fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
-        let agg = compiler.program.spec.class_by_name("Agg").expect("class exists");
+        let agg = compiler
+            .program
+            .spec
+            .class_by_name("Agg")
+            .expect("class exists");
         let objs = exec.store.live_of_class(agg);
         assert_eq!(objs.len(), 1);
         let a = exec.payload::<AggData>(objs[0]);
         checksum_agg(&a.slots, a.sum, a.sum_sq)
+    }
+
+    fn threaded_checksum(&self, compiler: &Compiler, report: &bamboo::ThreadedReport) -> u64 {
+        let agg = compiler
+            .program
+            .spec
+            .class_by_name("Agg")
+            .expect("class exists");
+        let objs = report.payloads_of::<AggData>(agg);
+        assert_eq!(objs.len(), 1);
+        checksum_agg(&objs[0].slots, objs[0].sum, objs[0].sum_sq)
     }
 }
 
@@ -230,7 +259,9 @@ mod tests {
         let serial = bench.serial(Scale::Small);
         let compiler = bench.compiler(Scale::Small);
         let (_, report, digest) = compiler
-            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .profile_run(None, "test", |exec| {
+                bench.parallel_checksum(&compiler, exec)
+            })
             .unwrap();
         assert!(report.quiesced);
         assert_eq!(digest, serial.checksum);

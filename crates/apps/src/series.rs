@@ -37,9 +37,21 @@ impl Params {
     /// Parameters for a scale.
     pub fn for_scale(scale: Scale) -> Params {
         match scale {
-            Scale::Small => Params { chunks: 8, coeffs_per_chunk: 4, points: 64 },
-            Scale::Original => Params { chunks: 124, coeffs_per_chunk: 8, points: 200 },
-            Scale::Double => Params { chunks: 124, coeffs_per_chunk: 16, points: 200 },
+            Scale::Small => Params {
+                chunks: 8,
+                coeffs_per_chunk: 4,
+                points: 64,
+            },
+            Scale::Original => Params {
+                chunks: 124,
+                coeffs_per_chunk: 8,
+                points: 200,
+            },
+            Scale::Double => Params {
+                chunks: 124,
+                coeffs_per_chunk: 16,
+                points: 200,
+            },
         }
     }
 
@@ -125,7 +137,11 @@ pub fn build(params: Params) -> Compiler {
             for id in 0..p.chunks {
                 ctx.create(
                     0,
-                    ChunkData { id, first: id * p.coeffs_per_chunk, coeffs: Vec::new() },
+                    ChunkData {
+                        id,
+                        first: id * p.coeffs_per_chunk,
+                        coeffs: Vec::new(),
+                    },
                 );
             }
             ctx.create(
@@ -157,7 +173,9 @@ pub fn build(params: Params) -> Compiler {
         .param("c", chunk, FlagExpr::flag(done))
         .exit("more", |e| e.set(1, done, false))
         .exit("finished", |e| {
-            e.set(0, collecting, false).set(0, finished, true).set(1, done, false)
+            e.set(0, collecting, false)
+                .set(0, finished, true)
+                .set(1, done, false)
         })
         .body(body(move |ctx| {
             let (r, c) = ctx.param_pair_mut::<ResultData, ChunkData>(0, 1);
@@ -225,14 +243,32 @@ impl Benchmark for Series {
             cycles += chunk_units(&p) * CYCLES_PER_POINT;
             cycles += p.coeffs_per_chunk as u64 * CYCLES_PER_MERGE_COEFF;
         }
-        SerialOutcome { cycles, checksum: checksum_slots(&slots) }
+        SerialOutcome {
+            cycles,
+            checksum: checksum_slots(&slots),
+        }
     }
 
     fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
-        let result_class = compiler.program.spec.class_by_name("Result").expect("class exists");
+        let result_class = compiler
+            .program
+            .spec
+            .class_by_name("Result")
+            .expect("class exists");
         let results = exec.store.live_of_class(result_class);
         assert_eq!(results.len(), 1, "exactly one result object");
         checksum_slots(&exec.payload::<ResultData>(results[0]).slots)
+    }
+
+    fn threaded_checksum(&self, compiler: &Compiler, report: &bamboo::ThreadedReport) -> u64 {
+        let result_class = compiler
+            .program
+            .spec
+            .class_by_name("Result")
+            .expect("class exists");
+        let results = report.payloads_of::<ResultData>(result_class);
+        assert_eq!(results.len(), 1, "exactly one result object");
+        checksum_slots(&results[0].slots)
     }
 }
 
@@ -255,7 +291,9 @@ mod tests {
         let serial = bench.serial(Scale::Small);
         let compiler = bench.compiler(Scale::Small);
         let (_, report, digest) = compiler
-            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .profile_run(None, "test", |exec| {
+                bench.parallel_checksum(&compiler, exec)
+            })
             .unwrap();
         assert!(report.quiesced);
         assert_eq!(digest, serial.checksum);
@@ -271,7 +309,12 @@ mod tests {
         // Integer rounding of per-invocation overhead keeps this within
         // one permille.
         let diff = (report.body_cycles as f64 - expected as f64).abs() / expected as f64;
-        assert!(diff < 0.001, "body {} vs expected {}", report.body_cycles, expected);
+        assert!(
+            diff < 0.001,
+            "body {} vs expected {}",
+            report.body_cycles,
+            expected
+        );
     }
 
     #[test]

@@ -55,13 +55,27 @@ impl Params {
     /// Parameters for a scale.
     pub fn for_scale(scale: Scale) -> Params {
         match scale {
-            Scale::Small => Params { width: 32, height: 16, bands: 8, features: 12, radius: 2 },
-            Scale::Original => {
-                Params { width: 128, height: 124, bands: 62, features: 124, radius: 3 }
-            }
-            Scale::Double => {
-                Params { width: 128, height: 248, bands: 62, features: 248, radius: 3 }
-            }
+            Scale::Small => Params {
+                width: 32,
+                height: 16,
+                bands: 8,
+                features: 12,
+                radius: 2,
+            },
+            Scale::Original => Params {
+                width: 128,
+                height: 124,
+                bands: 62,
+                features: 124,
+                radius: 3,
+            },
+            Scale::Double => Params {
+                width: 128,
+                height: 248,
+                bands: 62,
+                features: 248,
+                radius: 3,
+            },
         }
     }
 
@@ -121,7 +135,12 @@ pub fn blur_band(src: &[f64], p: &Params, y0: usize, rows: usize) -> Vec<f64> {
             let mut acc = 0.0;
             for (dy, krow) in K.iter().enumerate() {
                 for (dx, k) in krow.iter().enumerate() {
-                    acc += k * at(src, p, x as isize + dx as isize - 1, y as isize + dy as isize - 1);
+                    acc += k * at(
+                        src,
+                        p,
+                        x as isize + dx as isize - 1,
+                        y as isize + dy as isize - 1,
+                    );
                 }
             }
             out.push(acc / 16.0);
@@ -178,19 +197,17 @@ pub fn select_features(score: &[f64], p: &Params, n: usize) -> Vec<(usize, usize
         }
     }
     candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.1.cmp(&b.1)).then(a.0.cmp(&b.0)));
-    candidates.into_iter().take(n).map(|(x, y, _)| (x, y)).collect()
+    candidates
+        .into_iter()
+        .take(n)
+        .map(|(x, y, _)| (x, y))
+        .collect()
 }
 
 /// Tracks one feature from blurred frame A to blurred frame B: SSD search
 /// over ±radius with a 7×7 patch. Returns (dx, dy) and the number of SSD
 /// samples evaluated.
-pub fn track_feature(
-    a: &[f64],
-    b: &[f64],
-    p: &Params,
-    fx: usize,
-    fy: usize,
-) -> ((i32, i32), u64) {
+pub fn track_feature(a: &[f64], b: &[f64], p: &Params, fx: usize, fy: usize) -> ((i32, i32), u64) {
     let mut best = (0i32, 0i32);
     let mut best_ssd = f64::MAX;
     let mut samples = 0u64;
@@ -278,16 +295,11 @@ pub fn build(params: Params) -> Compiler {
     let cblur2 = b.flag(acc, "cblur2");
     let ctrack = b.flag(acc, "ctrack");
     let finished = b.flag(acc, "finished");
-    let flags: Vec<(bamboo::ClassId, bamboo::FlagId, bamboo::FlagId)> = [
-        blur_piece,
-        grad_piece,
-        feat_piece,
-        blur2_piece,
-        track_piece,
-    ]
-    .iter()
-    .map(|&c| (c, b.flag(c, "ready"), b.flag(c, "done")))
-    .collect();
+    let flags: Vec<(bamboo::ClassId, bamboo::FlagId, bamboo::FlagId)> =
+        [blur_piece, grad_piece, feat_piece, blur2_piece, track_piece]
+            .iter()
+            .map(|&c| (c, b.flag(c, "ready"), b.flag(c, "done")))
+            .collect();
     let (bp_ready, bp_done) = (flags[0].1, flags[0].2);
     let (gp_ready, gp_done) = (flags[1].1, flags[1].2);
     let (fp_ready, fp_done) = (flags[2].1, flags[2].2);
@@ -356,7 +368,9 @@ pub fn build(params: Params) -> Compiler {
         .alloc(grad_piece, &[(gp_ready, true)], &[])
         .exit("more", |e| e.set(1, bp_done, false))
         .exit("phaseDone", |e| {
-            e.set(0, cblur, false).set(0, cgrad, true).set(1, bp_done, false)
+            e.set(0, cblur, false)
+                .set(0, cgrad, true)
+                .set(1, bp_done, false)
         })
         .body(body(move |ctx| {
             let (phase_done, px, next_src) = {
@@ -418,7 +432,9 @@ pub fn build(params: Params) -> Compiler {
         .alloc(feat_piece, &[(fp_ready, true)], &[])
         .exit("more", |e| e.set(1, gp_done, false))
         .exit("phaseDone", |e| {
-            e.set(0, cgrad, false).set(0, cfeat, true).set(1, gp_done, false)
+            e.set(0, cgrad, false)
+                .set(0, cfeat, true)
+                .set(1, gp_done, false)
         })
         .body(body(move |ctx| {
             let (phase_done, px, next_src) = {
@@ -431,8 +447,7 @@ pub fn build(params: Params) -> Compiler {
                 if phase_done {
                     a.merged = 0;
                 }
-                let src = phase_done
-                    .then(|| (Arc::new(a.ix.clone()), Arc::new(a.iy.clone())));
+                let src = phase_done.then(|| (Arc::new(a.ix.clone()), Arc::new(a.iy.clone())));
                 (phase_done, piece.out.len() as u64, src)
             };
             if let Some((ix, iy)) = next_src {
@@ -467,7 +482,11 @@ pub fn build(params: Params) -> Compiler {
         .exit("", |e| e.set(0, fp_ready, false).set(0, fp_done, true))
         .body(body(move |ctx| {
             let piece = ctx.param_mut::<RasterPiece>(0);
-            let iy = piece.src2.as_ref().expect("feature pieces carry iy").clone();
+            let iy = piece
+                .src2
+                .as_ref()
+                .expect("feature pieces carry iy")
+                .clone();
             piece.out = feature_band(&piece.src, &iy, &p, piece.y0, piece.rows);
             let px = (piece.rows * p.width) as u64;
             ctx.charge(bamboo_charge(px * CYCLES_PER_FEAT_PX));
@@ -481,7 +500,9 @@ pub fn build(params: Params) -> Compiler {
         .alloc(blur2_piece, &[(b2_ready, true)], &[])
         .exit("more", |e| e.set(1, fp_done, false))
         .exit("phaseDone", |e| {
-            e.set(0, cfeat, false).set(0, cblur2, true).set(1, fp_done, false)
+            e.set(0, cfeat, false)
+                .set(0, cblur2, true)
+                .set(1, fp_done, false)
         })
         .body(body(move |ctx| {
             let (phase_done, charge) = {
@@ -544,7 +565,9 @@ pub fn build(params: Params) -> Compiler {
         .alloc(track_piece, &[(tp_ready, true)], &[])
         .exit("more", |e| e.set(1, b2_done, false))
         .exit("phaseDone", |e| {
-            e.set(0, cblur2, false).set(0, ctrack, true).set(1, b2_done, false)
+            e.set(0, cblur2, false)
+                .set(0, ctrack, true)
+                .set(1, b2_done, false)
         })
         .body(body(move |ctx| {
             let (phase_done, px, next) = {
@@ -558,12 +581,15 @@ pub fn build(params: Params) -> Compiler {
                 }
                 let next = phase_done.then(|| {
                     // Distribute features over track pieces round-robin.
-                    let mut feats: Vec<Vec<(usize, usize, usize)>> =
-                        vec![Vec::new(); p.bands];
+                    let mut feats: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); p.bands];
                     for (i, (x, y)) in a.features.iter().enumerate() {
                         feats[i % p.bands].push((*x, *y, i));
                     }
-                    (Arc::new(a.blurred_a.clone()), Arc::new(a.blurred_b.clone()), feats)
+                    (
+                        Arc::new(a.blurred_a.clone()),
+                        Arc::new(a.blurred_b.clone()),
+                        feats,
+                    )
                 });
                 (phase_done, piece.out.len() as u64, next)
             };
@@ -614,7 +640,9 @@ pub fn build(params: Params) -> Compiler {
         .param("t", track_piece, FlagExpr::flag(tp_done))
         .exit("more", |e| e.set(1, tp_done, false))
         .exit("finished", |e| {
-            e.set(0, ctrack, false).set(0, finished, true).set(1, tp_done, false)
+            e.set(0, ctrack, false)
+                .set(0, finished, true)
+                .set(1, tp_done, false)
         })
         .body(body(move |ctx| {
             let (a, piece) = ctx.param_pair_mut::<AccData, TrackPieceData>(0, 1);
@@ -682,8 +710,7 @@ impl Benchmark for Tracking {
         let mut blurred_a = vec![0.0; p.pixels()];
         for id in 0..p.bands {
             let out = blur_band(&src, &p, id * rows, rows);
-            blurred_a[id * rows * p.width..id * rows * p.width + out.len()]
-                .copy_from_slice(&out);
+            blurred_a[id * rows * p.width..id * rows * p.width + out.len()].copy_from_slice(&out);
             cycles += px_band * (CYCLES_PER_BLUR_PX + CYCLES_PER_MERGE_PX);
         }
         let (mut ix, mut iy) = (vec![0.0; p.pixels()], vec![0.0; p.pixels()]);
@@ -724,15 +751,33 @@ impl Benchmark for Tracking {
         for count in piece_counts {
             cycles += (count + 1) * 40_000;
         }
-        SerialOutcome { cycles, checksum: checksum_tracks(&features, &tracks) }
+        SerialOutcome {
+            cycles,
+            checksum: checksum_tracks(&features, &tracks),
+        }
     }
 
     fn parallel_checksum(&self, compiler: &Compiler, exec: &VirtualExecutor<'_>) -> u64 {
-        let acc = compiler.program.spec.class_by_name("Acc").expect("class exists");
+        let acc = compiler
+            .program
+            .spec
+            .class_by_name("Acc")
+            .expect("class exists");
         let objs = exec.store.live_of_class(acc);
         assert_eq!(objs.len(), 1);
         let a = exec.payload::<AccData>(objs[0]);
         checksum_tracks(&a.features, &a.tracks)
+    }
+
+    fn threaded_checksum(&self, compiler: &Compiler, report: &bamboo::ThreadedReport) -> u64 {
+        let acc = compiler
+            .program
+            .spec
+            .class_by_name("Acc")
+            .expect("class exists");
+        let objs = report.payloads_of::<AccData>(acc);
+        assert_eq!(objs.len(), 1);
+        checksum_tracks(&objs[0].features, &objs[0].tracks)
     }
 }
 
@@ -767,7 +812,11 @@ mod tests {
                 dx == 2 && dy == 1
             })
             .count();
-        assert!(hits * 2 >= features.len(), "only {hits}/{} tracked", features.len());
+        assert!(
+            hits * 2 >= features.len(),
+            "only {hits}/{} tracked",
+            features.len()
+        );
     }
 
     #[test]
@@ -776,7 +825,9 @@ mod tests {
         let serial = bench.serial(Scale::Small);
         let compiler = bench.compiler(Scale::Small);
         let (_, report, digest) = compiler
-            .profile_run(None, "test", |exec| bench.parallel_checksum(&compiler, exec))
+            .profile_run(None, "test", |exec| {
+                bench.parallel_checksum(&compiler, exec)
+            })
             .unwrap();
         assert!(report.quiesced);
         assert_eq!(digest, serial.checksum);
@@ -804,7 +855,13 @@ mod kernel_tests {
 
     #[test]
     fn blur_preserves_constant_images() {
-        let p = Params { width: 16, height: 8, bands: 4, features: 4, radius: 2 };
+        let p = Params {
+            width: 16,
+            height: 8,
+            bands: 4,
+            features: 4,
+            radius: 2,
+        };
         let img = vec![5.0; p.pixels()];
         let out = blur_band(&img, &p, 2, 2);
         assert!(out.iter().all(|v| (v - 5.0).abs() < 1e-12));
@@ -812,9 +869,16 @@ mod kernel_tests {
 
     #[test]
     fn gradients_of_a_ramp_are_constant() {
-        let p = Params { width: 16, height: 8, bands: 4, features: 4, radius: 2 };
-        let img: Vec<f64> =
-            (0..p.pixels()).map(|i| (i % p.width) as f64 * 3.0).collect();
+        let p = Params {
+            width: 16,
+            height: 8,
+            bands: 4,
+            features: 4,
+            radius: 2,
+        };
+        let img: Vec<f64> = (0..p.pixels())
+            .map(|i| (i % p.width) as f64 * 3.0)
+            .collect();
         let (ix, iy) = grad_band(&img, &p, 2, 2);
         // Interior x-gradient = 3; y-gradient = 0.
         for x in 1..p.width - 1 {
@@ -827,7 +891,13 @@ mod kernel_tests {
     fn corner_scores_peak_at_corners() {
         // A checkerboard has strong corners everywhere; a flat image has
         // zero score.
-        let p = Params { width: 16, height: 8, bands: 4, features: 4, radius: 2 };
+        let p = Params {
+            width: 16,
+            height: 8,
+            bands: 4,
+            features: 4,
+            radius: 2,
+        };
         let flat = vec![1.0; p.pixels()];
         let (ix, iy) = grad_band(&flat, &p, 0, p.height);
         let score = feature_band(&ix, &iy, &p, 0, p.height);
@@ -836,8 +906,20 @@ mod kernel_tests {
 
     #[test]
     fn track_samples_scale_with_radius() {
-        let p1 = Params { width: 32, height: 16, bands: 4, features: 4, radius: 1 };
-        let p3 = Params { width: 32, height: 16, bands: 4, features: 4, radius: 3 };
+        let p1 = Params {
+            width: 32,
+            height: 16,
+            bands: 4,
+            features: 4,
+            radius: 1,
+        };
+        let p3 = Params {
+            width: 32,
+            height: 16,
+            bands: 4,
+            features: 4,
+            radius: 3,
+        };
         let a = frame_a(&p1);
         let b = frame_b(&p1);
         let (_, n1) = track_feature(&a, &b, &p1, 10, 8);

@@ -11,13 +11,18 @@ pub struct Lcg {
 impl Lcg {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Lcg { state: seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1) }
+        Lcg {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+        }
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         // Numerical Recipes LCG constants + xorshift mix.
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut x = self.state;
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51AFD7ED558CCD);
@@ -59,7 +64,9 @@ pub struct Checksum {
 impl Checksum {
     /// Creates a fresh checksum.
     pub fn new() -> Self {
-        Checksum { state: 0xcbf29ce484222325 }
+        Checksum {
+            state: 0xcbf29ce484222325,
+        }
     }
 
     /// Folds one 64-bit word.

@@ -19,7 +19,9 @@ use std::hint::black_box;
 fn bench_ablation(c: &mut Criterion) {
     let bench = bamboo_apps::montecarlo::MonteCarlo;
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "bench", |_| ())
+        .expect("profiles");
     let spec = &compiler.program.spec;
     let machine = MachineDescription::n_cores(8);
     let graph = scc_tree_transform(&compiler.graph_with_profile(&profile));
@@ -35,7 +37,10 @@ fn bench_ablation(c: &mut Criterion) {
                 &profile,
                 &machine,
                 starts,
-                &DsaOptions { max_iterations: 10, ..DsaOptions::default() },
+                &DsaOptions {
+                    max_iterations: 10,
+                    ..DsaOptions::default()
+                },
                 &mut rng,
             );
             black_box(result.makespan)
@@ -60,7 +65,14 @@ fn bench_ablation(c: &mut Criterion) {
     let layout = bamboo::schedule::spread_layout(&graph, &repl, 8);
     c.bench_function("sim_replay_mode", |b| {
         b.iter(|| {
-            black_box(simulate(spec, &graph, &layout, &profile, &machine, &SimOptions::default()))
+            black_box(simulate(
+                spec,
+                &graph,
+                &layout,
+                &profile,
+                &machine,
+                &SimOptions::default(),
+            ))
         });
     });
     c.bench_function("sim_aggregate_mode", |b| {
@@ -71,7 +83,10 @@ fn bench_ablation(c: &mut Criterion) {
                 &layout,
                 &profile,
                 &machine,
-                &SimOptions { replay: false, ..SimOptions::default() },
+                &SimOptions {
+                    replay: false,
+                    ..SimOptions::default()
+                },
             ))
         });
     });

@@ -47,7 +47,10 @@ impl Outcome {
 /// the synthesizer before evaluation was parallelized.
 fn serial_options() -> SynthesisOptions {
     SynthesisOptions {
-        dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+        dsa: DsaOptions {
+            memoize: false,
+            ..DsaOptions::default()
+        },
         ..SynthesisOptions::default()
     }
     .with_threads(1)
@@ -113,28 +116,41 @@ fn main() {
     // `cargo bench` always injects `--bench`; an explicit `--test`
     // (the CI smoke step) wins over it.
     let full = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
-    let (scale, reps) = if full { (Scale::Original, 5) } else { (Scale::Small, 1) };
+    let (scale, reps) = if full {
+        (Scale::Original, 5)
+    } else {
+        (Scale::Small, 1)
+    };
     let machine = MachineDescription::tilepro64();
-    let host_threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let mut blocks = Vec::new();
     for bench in bamboo_apps::all() {
         let compiler = bench.compiler(scale);
-        let (profile, _, ()) =
-            compiler.profile_run(None, "dsa-bench", |_| ()).expect("profile run");
+        let (profile, _, ()) = compiler
+            .profile_run(None, "dsa-bench", |_| ())
+            .expect("profile run");
         let serial = measure(&compiler, &profile, &machine, &serial_options(), reps);
-        let parallel =
-            measure(&compiler, &profile, &machine, &SynthesisOptions::default(), reps);
+        let parallel = measure(
+            &compiler,
+            &profile,
+            &machine,
+            &SynthesisOptions::default(),
+            reps,
+        );
         // The tentpole invariant: parallel, memoized synthesis is
         // bit-identical to the serial schedule.
         assert_eq!(
-            parallel.plan.estimate.makespan, serial.plan.estimate.makespan,
+            parallel.plan.estimate.makespan,
+            serial.plan.estimate.makespan,
             "{}: parallel synthesis diverged from serial",
             bench.name(),
         );
         assert_eq!(
-            parallel.plan.layout, serial.plan.layout,
+            parallel.plan.layout,
+            serial.plan.layout,
             "{}: parallel layout diverged from serial",
             bench.name(),
         );

@@ -13,7 +13,9 @@ use std::hint::black_box;
 
 fn pipeline(bench: &dyn Benchmark, machine: &MachineDescription) -> u64 {
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "bench", |_| ())
+        .expect("profiles");
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
     let mut exec = compiler.executor(&plan.graph, &plan.layout, machine, ExecConfig::default());

@@ -13,7 +13,9 @@ use std::hint::black_box;
 
 fn bench_synthesis(c: &mut Criterion) {
     let compiler = bamboo_apps::keyword::compiler(16);
-    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "bench", |_| ())
+        .expect("profiles");
     let spec = &compiler.program.spec;
     let machine = MachineDescription::sixteen();
     let graph = scc_tree_transform(&compiler.graph_with_profile(&profile));
@@ -22,7 +24,14 @@ fn bench_synthesis(c: &mut Criterion) {
 
     c.bench_function("simulate_one_layout", |b| {
         b.iter(|| {
-            black_box(simulate(spec, &graph, &layout, &profile, &machine, &SimOptions::default()))
+            black_box(simulate(
+                spec,
+                &graph,
+                &layout,
+                &profile,
+                &machine,
+                &SimOptions::default(),
+            ))
         });
     });
 

@@ -13,7 +13,9 @@
 //! - `--test` (CI smoke) or no recognized flag (`cargo test` executes
 //!   `harness = false` bench binaries): one tiny rep, no JSON.
 
-use bamboo::{Compiler, Deployment, MachineDescription, RunOptions, SynthesisOptions, ThreadedExecutor};
+use bamboo::{
+    Compiler, Deployment, MachineDescription, RunOptions, SynthesisOptions, ThreadedExecutor,
+};
 use bamboo_apps::{Benchmark, Scale};
 use rand::SeedableRng;
 use std::time::Duration;
@@ -38,7 +40,13 @@ impl Outcome {
 
 fn measure(deployment: &Deployment, baseline: bool, reps: usize) -> Outcome {
     let exec = ThreadedExecutor::default();
-    let options = || if baseline { RunOptions::baseline() } else { RunOptions::default() };
+    let options = || {
+        if baseline {
+            RunOptions::baseline()
+        } else {
+            RunOptions::default()
+        }
+    };
     // Warmup rep (thread spawn paths, allocator).
     let _ = exec.run(deployment, options()).expect("warmup run");
     let mut walls = Vec::with_capacity(reps);
@@ -59,9 +67,15 @@ fn measure(deployment: &Deployment, baseline: bool, reps: usize) -> Outcome {
     }
 }
 
-fn deployment_for(bench: &dyn Benchmark, scale: Scale, machine: &MachineDescription) -> (Compiler, Deployment) {
+fn deployment_for(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    machine: &MachineDescription,
+) -> (Compiler, Deployment) {
     let compiler = bench.compiler(scale);
-    let (profile, _, ()) = compiler.profile_run(None, "bench", |_| ()).expect("profiles");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "bench", |_| ())
+        .expect("profiles");
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
     let deployment = compiler.deploy(&plan);
@@ -102,11 +116,18 @@ fn main() {
     // `cargo bench` always injects `--bench`; an explicit `--test`
     // (the CI smoke step) wins over it.
     let full = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
-    let (scale, reps) = if full { (Scale::Small, 15) } else { (Scale::Small, 1) };
+    let (scale, reps) = if full {
+        (Scale::Small, 15)
+    } else {
+        (Scale::Small, 1)
+    };
     let machine = MachineDescription::tilepro64();
 
     let mut blocks = Vec::new();
-    for bench in [&bamboo_apps::kmeans::KMeans as &dyn Benchmark, &bamboo_apps::filterbank::FilterBank] {
+    for bench in [
+        &bamboo_apps::kmeans::KMeans as &dyn Benchmark,
+        &bamboo_apps::filterbank::FilterBank,
+    ] {
         let (_compiler, deployment) = deployment_for(bench, scale, &machine);
         let base = measure(&deployment, true, reps);
         let opt = measure(&deployment, false, reps);

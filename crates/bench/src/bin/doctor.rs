@@ -27,13 +27,27 @@
 //!   recording, and a host-aware wall-speedup floor.
 //!
 //!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --check --out doctor_verdict.json`
+//!
+//! * **`--check --chaos`**: the fault-injection gate. Every benchmark
+//!   runs clean once and twice under the seeded default fault plan
+//!   (`FaultSpec::default_plan`); the chaos checks require termination,
+//!   a byte-identical fault schedule across the two same-seed runs, and
+//!   faulty output identical to the fault-free run. `--chaos-seed` and
+//!   `--chaos-cores` pick the plan seed and thread count (the CI matrix
+//!   sweeps both).
+//!
+//!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --check --chaos --chaos-seed 7 --chaos-cores 16`
+//!
+//!   `--chaos` also composes with diagnose mode: the observed run
+//!   executes under the fault plan and the diagnosis includes the
+//!   `fault.*`-attribution findings plus the rendered schedule.
 
 use bamboo::telemetry::analyze::{self, gate};
 use bamboo::{
-    Compiler, Deployment, DsaOptions, ExecConfig, MachineDescription, RunOptions,
+    Compiler, Deployment, DsaOptions, ExecConfig, FaultSpec, MachineDescription, RunOptions,
     SynthesisOptions, Telemetry, ThreadedExecutor,
 };
-use bamboo_apps::{by_name, Benchmark, Scale};
+use bamboo_apps::{all, by_name, Benchmark, Scale};
 use rand::SeedableRng;
 use std::process::ExitCode;
 
@@ -52,6 +66,9 @@ const DSA_CHECK_REPS: usize = 2;
 
 struct Args {
     check: bool,
+    chaos: bool,
+    chaos_seed: u64,
+    chaos_cores: usize,
     bench: String,
     cores: usize,
     json_out: Option<String>,
@@ -64,6 +81,9 @@ fn parse_args() -> Result<Args, String> {
     let default_dsa_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsa.json");
     let mut args = Args {
         check: false,
+        chaos: false,
+        chaos_seed: 7,
+        chaos_cores: 16,
         bench: "kmeans".to_string(),
         cores: 8,
         json_out: None,
@@ -75,17 +95,30 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
         match arg.as_str() {
             "--check" => args.check = true,
+            "--chaos" => args.chaos = true,
+            "--chaos-seed" => {
+                args.chaos_seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?;
+            }
+            "--chaos-cores" => {
+                args.chaos_cores = value("--chaos-cores")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-cores: {e}"))?;
+            }
             "--cores" => {
-                args.cores =
-                    value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
+                args.cores = value("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?;
             }
             "--json" | "--out" => args.json_out = Some(value(&arg)?),
             "--baseline" => args.baseline_path = value("--baseline")?,
             "--dsa-baseline" => args.dsa_baseline_path = value("--dsa-baseline")?,
             "--help" | "-h" => {
                 return Err(concat!(
-                    "usage: bamboo-doctor [BENCH] [--cores N] [--json PATH]\n",
-                    "       bamboo-doctor --check [--baseline PATH] [--dsa-baseline PATH] [--out PATH]"
+                    "usage: bamboo-doctor [BENCH] [--cores N] [--json PATH] [--chaos] [--chaos-seed N]\n",
+                    "       bamboo-doctor --check [--baseline PATH] [--dsa-baseline PATH] [--out PATH]\n",
+                    "       bamboo-doctor --check --chaos [--chaos-seed N] [--chaos-cores N] [--out PATH]"
                 )
                 .to_string());
             }
@@ -97,27 +130,34 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// Profiles, synthesizes (fixed seed), and deploys `bench` for `machine`.
-fn deployment_for(
-    bench: &dyn Benchmark,
-    machine: &MachineDescription,
-) -> (Compiler, Deployment) {
+fn deployment_for(bench: &dyn Benchmark, machine: &MachineDescription) -> (Compiler, Deployment) {
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "doctor", |_| ()).expect("profile run");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "doctor", |_| ())
+        .expect("profile run");
     let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
     let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
     let deployment = compiler.deploy(&plan);
     (compiler, deployment)
 }
 
-/// One telemetry-enabled threaded run; returns the recorded report and
-/// the executor's run report.
+/// One telemetry-enabled threaded run, optionally under an injected
+/// fault plan; returns the recorded report and the executor's run
+/// report.
 fn observed_run(
     deployment: &Deployment,
     cores: usize,
+    faults: Option<FaultSpec>,
 ) -> (bamboo::TelemetryReport, bamboo::ThreadedReport) {
     let telemetry = Telemetry::enabled(cores);
-    let options = RunOptions { telemetry: telemetry.clone(), ..RunOptions::default() };
-    let run = ThreadedExecutor::default().run(deployment, options).expect("observed run");
+    let options = RunOptions {
+        telemetry: telemetry.clone(),
+        faults,
+        ..RunOptions::default()
+    };
+    let run = ThreadedExecutor::default()
+        .run(deployment, options)
+        .expect("observed run");
     (telemetry.report(), run)
 }
 
@@ -125,7 +165,13 @@ fn observed_run(
 /// telemetry-free runs of one configuration.
 fn measure(deployment: &Deployment, baseline: bool, reps: usize) -> (f64, u64, u64) {
     let exec = ThreadedExecutor::default();
-    let options = || if baseline { RunOptions::baseline() } else { RunOptions::default() };
+    let options = || {
+        if baseline {
+            RunOptions::baseline()
+        } else {
+            RunOptions::default()
+        }
+    };
     let _ = exec.run(deployment, options()).expect("warmup run");
     let mut best_us = f64::INFINITY;
     let mut invocations = 0;
@@ -143,12 +189,11 @@ fn measure(deployment: &Deployment, baseline: bool, reps: usize) -> (f64, u64, u
 /// parallel (defaults), timing both, for the `dsa-*` gate checks. Uses
 /// the same scale and seed as the recording harness in
 /// `crates/bench/benches/dsa.rs`.
-fn dsa_observation(
-    bench: &dyn Benchmark,
-    machine: &MachineDescription,
-) -> gate::DsaObservation {
+fn dsa_observation(bench: &dyn Benchmark, machine: &MachineDescription) -> gate::DsaObservation {
     let compiler = bench.compiler(Scale::Original);
-    let (profile, _, ()) = compiler.profile_run(None, "doctor", |_| ()).expect("profile run");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "doctor", |_| ())
+        .expect("profile run");
     let run = |opts: &SynthesisOptions| {
         let mut best_us = f64::INFINITY;
         let mut plan = None;
@@ -161,7 +206,10 @@ fn dsa_observation(
         (best_us, plan.expect("at least one rep"))
     };
     let serial_opts = SynthesisOptions {
-        dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+        dsa: DsaOptions {
+            memoize: false,
+            ..DsaOptions::default()
+        },
         ..SynthesisOptions::default()
     }
     .with_threads(1);
@@ -182,18 +230,27 @@ fn diagnose_mode(args: &Args) -> Result<(), String> {
     let (compiler, deployment) = deployment_for(bench.as_ref(), &machine);
 
     println!(
-        "bamboo-doctor: diagnosing {} on {} cores (threaded observed vs virtual predicted)\n",
+        "bamboo-doctor: diagnosing {} on {} cores (threaded observed vs virtual predicted){}\n",
         bench.name(),
         args.cores,
+        if args.chaos { " under chaos" } else { "" },
     );
-    let (report, run) = observed_run(&deployment, args.cores);
+    let faults = args.chaos.then(|| FaultSpec::default_plan(args.chaos_seed));
+    let (report, run) = observed_run(&deployment, args.cores, faults);
 
     // The virtual executor's trace over the same deployment is the
     // prediction the observed run is compared against.
-    let config = ExecConfig { collect_trace: true, ..ExecConfig::default() };
+    let config = ExecConfig {
+        collect_trace: true,
+        ..ExecConfig::default()
+    };
     let mut virtual_exec =
         compiler.executor(&deployment.graph, &deployment.layout, &machine, config);
-    let predicted = virtual_exec.run(None).expect("virtual run").trace.expect("trace requested");
+    let predicted = virtual_exec
+        .run(None)
+        .expect("virtual run")
+        .trace
+        .expect("trace requested");
 
     let diagnosis = analyze::diagnose(&report, Some(&predicted));
     print!("{}", diagnosis.summary(Some(&compiler.program.spec)));
@@ -201,11 +258,103 @@ fn diagnose_mode(args: &Args) -> Result<(), String> {
         "\nthreaded run: {} invocations, {} steals, {} lock retries, {} router contentions, wall {:?}",
         run.invocations, run.steals, run.lock_retries, run.router_contention, run.wall,
     );
+    if let Some(schedule) = &run.fault_schedule {
+        println!(
+            "\nfault schedule (seed {}): {} fault(s) injected, {} recovery action(s)\n{}",
+            args.chaos_seed, run.faults_injected, run.recovery_actions, schedule,
+        );
+    }
     if let Some(path) = &args.json_out {
         std::fs::write(path, diagnosis.json()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// Runs one benchmark clean and twice under the same seeded fault plan,
+/// producing the observation the chaos gate checks evaluate.
+fn chaos_observation(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+    seed: u64,
+) -> Result<gate::ChaosObservation, String> {
+    let (compiler, deployment) = deployment_for(bench, machine);
+    let exec = ThreadedExecutor::default();
+    let clean = exec
+        .run(&deployment, RunOptions::default())
+        .map_err(|e| format!("{}: clean run failed: {e}", bench.name()))?;
+    let clean_checksum = bench.threaded_checksum(&compiler, &clean);
+
+    // Two independent runs with identical seed and thread count: the
+    // determinism contract requires byte-identical schedules, and
+    // recovery transparency requires both outputs to match the clean
+    // run. A faulty run that errors out still yields an observation —
+    // `terminated: false` fails the `chaos-terminates` check rather
+    // than aborting the whole gate.
+    let faulty = || {
+        exec.run(
+            &deployment,
+            RunOptions::default().with_faults(FaultSpec::default_plan(seed)),
+        )
+    };
+    let mut terminated = true;
+    let mut observe = |label: &str| match faulty() {
+        Ok(run) => (
+            run.fault_schedule.clone().unwrap_or_default(),
+            bench.threaded_checksum(&compiler, &run),
+            run.faults_injected,
+        ),
+        Err(err) => {
+            eprintln!("warning: {} faulty run {label} failed: {err}", bench.name());
+            terminated = false;
+            (String::new(), 0, 0)
+        }
+    };
+    let (schedule_a, faulty_checksum, faults_injected) = observe("a");
+    let (schedule_b, faulty_checksum_b, _) = observe("b");
+    Ok(gate::ChaosObservation {
+        name: bench.name().to_string(),
+        schedule_a,
+        schedule_b,
+        clean_checksum,
+        faulty_checksum,
+        faulty_checksum_b,
+        terminated,
+        faults_injected,
+    })
+}
+
+/// `--check --chaos`: the fault-injection gate. Every benchmark must
+/// terminate under the default fault plan, reproduce the same fault
+/// schedule for the same seed, and produce output identical to its
+/// fault-free run.
+fn chaos_check_mode(args: &Args) -> Result<bool, String> {
+    let machine = MachineDescription::n_cores(args.chaos_cores);
+    println!(
+        "bamboo-doctor: chaos gate on {} cores, seed {}\n",
+        args.chaos_cores, args.chaos_seed,
+    );
+    let mut observations = Vec::new();
+    for bench in all() {
+        let obs = chaos_observation(bench.as_ref(), &machine, args.chaos_seed)?;
+        println!(
+            "chaos {:<12} clean {:#018x} faulty {:#018x}/{:#018x}, {} fault(s) injected",
+            obs.name,
+            obs.clean_checksum,
+            obs.faulty_checksum,
+            obs.faulty_checksum_b,
+            obs.faults_injected,
+        );
+        observations.push(obs);
+    }
+    let verdict = gate::Verdict {
+        checks: gate::evaluate_chaos(&observations),
+    };
+    println!("\n{}", verdict.table());
+    let out = args.json_out.as_deref().unwrap_or("doctor_verdict.json");
+    std::fs::write(out, verdict.json()).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(verdict.pass())
 }
 
 fn check_mode(args: &Args) -> Result<bool, String> {
@@ -224,7 +373,10 @@ fn check_mode(args: &Args) -> Result<bool, String> {
     let mut observations = Vec::new();
     for base in &baseline.benches {
         let Some(bench) = by_name(&base.name) else {
-            eprintln!("warning: baseline bench {:?} not in the app registry; skipping", base.name);
+            eprintln!(
+                "warning: baseline bench {:?} not in the app registry; skipping",
+                base.name
+            );
             continue;
         };
         let (_compiler, deployment) = deployment_for(bench.as_ref(), &machine);
@@ -235,7 +387,7 @@ fn check_mode(args: &Args) -> Result<bool, String> {
 
         // One telemetry-enabled run for the causal health check: the
         // observed critical path must spend some of its span computing.
-        let (report, _) = observed_run(&deployment, machine.core_count());
+        let (report, _) = observed_run(&deployment, machine.core_count(), None);
         let diagnosis = analyze::diagnose(&report, None);
         let compute_share = diagnosis.path.as_ref().map_or(0.0, |p| p.compute_share());
 
@@ -263,8 +415,9 @@ fn check_mode(args: &Args) -> Result<bool, String> {
     match std::fs::read_to_string(&args.dsa_baseline_path) {
         Ok(text) => {
             let dsa_baseline = gate::parse_dsa_baseline(&text)?;
-            let host_threads =
-                std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
+            let host_threads = std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1);
             let mut dsa_observations = Vec::new();
             for base in &dsa_baseline.benches {
                 let Some(bench) = by_name(&base.name) else {
@@ -308,7 +461,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = if args.check { check_mode(&args) } else { diagnose_mode(&args).map(|()| true) };
+    let outcome = match (args.check, args.chaos) {
+        (true, true) => chaos_check_mode(&args),
+        (true, false) => check_mode(&args),
+        (false, _) => diagnose_mode(&args).map(|()| true),
+    };
     match outcome {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,

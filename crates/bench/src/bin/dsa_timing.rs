@@ -14,7 +14,10 @@ use std::time::Instant;
 fn main() {
     let machine = MachineDescription::tilepro64();
     let serial_opts = SynthesisOptions {
-        dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+        dsa: DsaOptions {
+            memoize: false,
+            ..DsaOptions::default()
+        },
         ..SynthesisOptions::default()
     }
     .with_threads(1);
@@ -24,8 +27,9 @@ fn main() {
     );
     for bench in bamboo_apps::all() {
         let compiler = bench.compiler(Scale::Original);
-        let (profile, _, ()) =
-            compiler.profile_run(None, "original", |_| ()).expect("profiling run succeeds");
+        let (profile, _, ()) = compiler
+            .profile_run(None, "original", |_| ())
+            .expect("profiling run succeeds");
         let time = |opts: &SynthesisOptions| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(42);
             let t0 = Instant::now();
@@ -34,7 +38,10 @@ fn main() {
         };
         let (serial_wall, serial_plan) = time(&serial_opts);
         let (parallel_wall, plan) = time(&SynthesisOptions::default());
-        assert_eq!(plan.estimate.makespan, serial_plan.estimate.makespan, "determinism");
+        assert_eq!(
+            plan.estimate.makespan, serial_plan.estimate.makespan,
+            "determinism"
+        );
         println!(
             "{:<12} {:>11.3?}  {:>13.3?}  {:>6.2}x  {:>11}  {:>10}  {:>11.2}e8",
             bench.name(),

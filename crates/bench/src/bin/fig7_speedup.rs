@@ -9,7 +9,10 @@ use bamboo_bench::fig7;
 
 fn main() {
     let machine = MachineDescription::tilepro64();
-    println!("== Figure 7: speedup of the benchmarks on {} cores ==\n", machine.core_count());
+    println!(
+        "== Figure 7: speedup of the benchmarks on {} cores ==\n",
+        machine.core_count()
+    );
     let rows = fig7::run_all(Scale::Original, &machine, 42);
     print!("{}", fig7::format_table(&rows));
 }

@@ -18,7 +18,8 @@ fn save(name: &str, contents: &str) {
     fs::create_dir_all("results").expect("results dir");
     let path = format!("results/{name}");
     let mut file = fs::File::create(&path).expect("create result file");
-    file.write_all(contents.as_bytes()).expect("write result file");
+    file.write_all(contents.as_bytes())
+        .expect("write result file");
     println!("wrote {path}");
 }
 
@@ -42,14 +43,24 @@ fn main() {
     save("fig11.txt", &table);
 
     let opts = if full {
-        fig10::Fig10Options { dsa_starts: 500, enumerate_cap: 50_000, ..Default::default() }
+        fig10::Fig10Options {
+            dsa_starts: 500,
+            enumerate_cap: 50_000,
+            ..Default::default()
+        }
     } else {
-        fig10::Fig10Options { dsa_starts: 100, enumerate_cap: 5_000, ..Default::default() }
+        fig10::Fig10Options {
+            dsa_starts: 100,
+            enumerate_cap: 5_000,
+            ..Default::default()
+        }
     };
     let mut out = String::new();
     for bench in bamboo_apps::all() {
         if bench.name() == "Tracking" {
-            out.push_str("== Tracking ==\nskipped (exhaustive enumeration prohibitive, as in the paper)\n\n");
+            out.push_str(
+                "== Tracking ==\nskipped (exhaustive enumeration prohibitive, as in the paper)\n\n",
+            );
             continue;
         }
         let result = fig10::run_benchmark(bench.as_ref(), &opts, 42);
@@ -60,8 +71,14 @@ fn main() {
     save("fig10.txt", &out);
 
     let (compiler, profile) = figures::keyword_setup(4);
-    save("fig3.dot", &figures::fig3_annotated_cstg(&compiler, &profile));
-    save("fig4.txt", &figures::fig4_quad_layout(&compiler, &profile, 42));
+    save(
+        "fig3.dot",
+        &figures::fig3_annotated_cstg(&compiler, &profile),
+    );
+    save(
+        "fig4.txt",
+        &figures::fig4_quad_layout(&compiler, &profile, 42),
+    );
     save("fig6.txt", &figures::fig6_trace(&compiler, &profile));
     save("fig8.dot", &figures::fig8_tracking_taskflow());
     println!("\nall experiments complete; see results/ and EXPERIMENTS.md");

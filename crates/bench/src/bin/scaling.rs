@@ -16,7 +16,11 @@ fn main() {
         .skip(1)
         .map(|a| a.parse().expect("core counts must be numbers"))
         .collect();
-    let cores: Vec<usize> = if args.is_empty() { vec![1, 2, 4, 8, 16, 31, 62] } else { args };
+    let cores: Vec<usize> = if args.is_empty() {
+        vec![1, 2, 4, 8, 16, 31, 62]
+    } else {
+        args
+    };
 
     println!("== Speedup vs core count (over 1-core Bamboo; input Scale::Original) ==\n");
     print!("{:<12}", "Benchmark");
@@ -52,7 +56,10 @@ fn main() {
                 "{} wrong on {n} cores",
                 bench.name()
             );
-            print!(" {:>7.2}", one_core.makespan as f64 / report.makespan as f64);
+            print!(
+                " {:>7.2}",
+                one_core.makespan as f64 / report.makespan as f64
+            );
         }
         println!();
     }

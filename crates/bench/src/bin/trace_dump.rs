@@ -40,7 +40,9 @@ fn main() {
 
     // Profile, synthesize a layout, and predict its timeline.
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "trace_dump", |_| ()).expect("profile run");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "trace_dump", |_| ())
+        .expect("profile run");
     let machine = MachineDescription::n_cores(cores);
     let mut rng = StdRng::seed_from_u64(17);
     let telemetry = Telemetry::enabled(cores);
@@ -57,11 +59,17 @@ fn main() {
         &plan.layout,
         &profile,
         &machine,
-        &SimOptions { collect_trace: true, ..SimOptions::default() },
+        &SimOptions {
+            collect_trace: true,
+            ..SimOptions::default()
+        },
     );
 
     // Execute the plan with telemetry recording.
-    let config = ExecConfig { telemetry: telemetry.clone(), ..ExecConfig::default() };
+    let config = ExecConfig {
+        telemetry: telemetry.clone(),
+        ..ExecConfig::default()
+    };
     let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, config);
     let run = exec.run(None).expect("benchmark runs");
     let report = telemetry.report();
@@ -69,9 +77,19 @@ fn main() {
     // Predicted timeline next to the observed recording, one document.
     let mut trace = ChromeTrace::new();
     if let Some(predicted) = &sim.trace {
-        trace.push_execution_trace(PID_PREDICTED, "predicted (simulator)", predicted, &compiler.program.spec);
+        trace.push_execution_trace(
+            PID_PREDICTED,
+            "predicted (simulator)",
+            predicted,
+            &compiler.program.spec,
+        );
     }
-    trace.push_report(PID_OBSERVED, &format!("{name} (observed)"), &report, &compiler.program.spec);
+    trace.push_report(
+        PID_OBSERVED,
+        &format!("{name} (observed)"),
+        &report,
+        &compiler.program.spec,
+    );
 
     std::fs::create_dir_all("results").expect("create results/");
     let trace_path = format!("results/trace_{name}.json");

@@ -14,9 +14,9 @@ use bamboo::schedule::{
     compute_replication, enumerate_mappings, optimize, random_layouts, scc_tree_transform,
     simulate, DsaOptions, MappingOptions, SimOptions,
 };
+use bamboo::Cycles;
 use bamboo::{Compiler, MachineDescription};
 use bamboo_apps::{Benchmark, Scale};
-use bamboo::Cycles;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,7 +35,12 @@ pub struct Fig10Options {
 
 impl Default for Fig10Options {
     fn default() -> Self {
-        Fig10Options { cores: 16, enumerate_cap: 20_000, dsa_starts: 200, scale: Scale::Original }
+        Fig10Options {
+            cores: 16,
+            enumerate_cap: 20_000,
+            dsa_starts: 200,
+            scale: Scale::Original,
+        }
     }
 }
 
@@ -85,8 +90,9 @@ fn hit_rate(values: &[Cycles], best: Cycles, tol: f64) -> f64 {
 /// Runs the experiment for one benchmark.
 pub fn run_benchmark(bench: &dyn Benchmark, opts: &Fig10Options, seed: u64) -> Fig10Result {
     let compiler: Compiler = bench.compiler(opts.scale);
-    let (profile, _, ()) =
-        compiler.profile_run(None, "original", |_| ()).expect("profiling run succeeds");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "original", |_| ())
+        .expect("profiling run succeeds");
     let machine = MachineDescription::n_cores(opts.cores);
     let graph = scc_tree_transform(&compiler.graph_with_profile(&profile));
     let replication = compute_replication(&compiler.program.spec, &graph, &profile, opts.cores);
@@ -105,7 +111,14 @@ pub fn run_benchmark(bench: &dyn Benchmark, opts: &Fig10Options, seed: u64) -> F
         },
         &mut rng,
         |layout| {
-            let result = simulate(spec, &graph, &layout, &profile, &machine, &SimOptions::default());
+            let result = simulate(
+                spec,
+                &graph,
+                &layout,
+                &profile,
+                &machine,
+                &SimOptions::default(),
+            );
             candidates.push(result.makespan);
         },
     );
@@ -121,12 +134,16 @@ pub fn run_benchmark(bench: &dyn Benchmark, opts: &Fig10Options, seed: u64) -> F
     for i in 0..opts.dsa_starts {
         let mut rng = StdRng::seed_from_u64(seed ^ (0x5EED << 8) ^ i as u64);
         let start = random_layouts(&graph, &replication, opts.cores, 1, &mut rng);
-        let (_, result, _) =
-            optimize(spec, &graph, &profile, &machine, start, &dsa_opts, &mut rng);
+        let (_, result, _) = optimize(spec, &graph, &profile, &machine, start, &dsa_opts, &mut rng);
         dsa_results.push(result.makespan);
     }
 
-    Fig10Result { name: bench.name(), candidates, exhaustive, dsa_results }
+    Fig10Result {
+        name: bench.name(),
+        candidates,
+        exhaustive,
+        dsa_results,
+    }
 }
 
 /// Renders an ASCII histogram of `values` (relative percentages, like the
@@ -149,7 +166,12 @@ pub fn histogram(values: &[Cycles], buckets: usize) -> String {
         let lo = min + span * i as u64 / buckets as u64;
         let pct = count as f64 / total * 100.0;
         let bar = "#".repeat((pct / 2.0).round() as usize);
-        out.push_str(&format!("{:>10.2}e8 {:>6.2}% {}\n", lo as f64 / 1e8, pct, bar));
+        out.push_str(&format!(
+            "{:>10.2}e8 {:>6.2}% {}\n",
+            lo as f64 / 1e8,
+            pct,
+            bar
+        ));
     }
     out
 }
@@ -160,7 +182,11 @@ pub fn format_result(result: &Fig10Result, tol: f64) -> String {
         "== {} ==\ncandidates: {}{}  best={:.2}e8  within {:.0}% of best: {:.2}%\n",
         result.name,
         result.candidates.len(),
-        if result.exhaustive { " (exhaustive)" } else { " (capped sample)" },
+        if result.exhaustive {
+            " (exhaustive)"
+        } else {
+            " (capped sample)"
+        },
         result.best() as f64 / 1e8,
         tol * 100.0,
         result.candidate_hit_rate(tol) * 100.0,
@@ -198,7 +224,11 @@ mod tests {
         // DSA reaches within 5% of best far more reliably than a random
         // candidate does.
         assert!(result.dsa_hit_rate(0.05) >= result.candidate_hit_rate(0.05));
-        assert!(result.dsa_hit_rate(0.05) >= 0.6, "hit rate {}", result.dsa_hit_rate(0.05));
+        assert!(
+            result.dsa_hit_rate(0.05) >= 0.6,
+            "hit rate {}",
+            result.dsa_hit_rate(0.05)
+        );
     }
 
     #[test]

@@ -56,18 +56,24 @@ pub fn run_benchmark_scaled(
 
     // Profile the original input.
     let compiler_orig: Compiler = bench.compiler(base);
-    let (profile_orig, _, ()) =
-        compiler_orig.profile_run(None, "original", |_| ()).expect("profiling run succeeds");
+    let (profile_orig, _, ()) = compiler_orig
+        .profile_run(None, "original", |_| ())
+        .expect("profiling run succeeds");
 
     // Profile the doubled input (also the 1-core number on the new input).
     let compiler_double: Compiler = bench.compiler(larger);
-    let (profile_double, one_core_double, ()) =
-        compiler_double.profile_run(None, "double", |_| ()).expect("profiling run succeeds");
+    let (profile_double, one_core_double, ()) = compiler_double
+        .profile_run(None, "double", |_| ())
+        .expect("profiling run succeeds");
 
     // Synthesize both layouts.
     let mut rng = StdRng::seed_from_u64(seed);
-    let plan_orig =
-        compiler_orig.synthesize(&profile_orig, machine, &SynthesisOptions::default(), &mut rng);
+    let plan_orig = compiler_orig.synthesize(
+        &profile_orig,
+        machine,
+        &SynthesisOptions::default(),
+        &mut rng,
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let plan_double = compiler_double.synthesize(
         &profile_double,
@@ -109,11 +115,7 @@ pub fn run_benchmark_scaled(
 
 /// Runs the experiment for one benchmark (original vs doubled input, as
 /// in the paper).
-pub fn run_benchmark(
-    bench: &dyn Benchmark,
-    machine: &MachineDescription,
-    seed: u64,
-) -> Fig11Row {
+pub fn run_benchmark(bench: &dyn Benchmark, machine: &MachineDescription, seed: u64) -> Fig11Row {
     run_benchmark_scaled(bench, machine, seed, Scale::Original, Scale::Double)
 }
 
@@ -156,8 +158,16 @@ mod tests {
         let row = run_benchmark_scaled(&bench, &machine, 5, Scale::Small, Scale::Original);
         assert!(row.verified);
         // Both layouts parallelize the doubled input.
-        assert!(row.speedup_original() > 2.0, "orig {}", row.speedup_original());
-        assert!(row.speedup_double() > 2.0, "double {}", row.speedup_double());
+        assert!(
+            row.speedup_original() > 2.0,
+            "orig {}",
+            row.speedup_original()
+        );
+        assert!(
+            row.speedup_double() > 2.0,
+            "double {}",
+            row.speedup_double()
+        );
         let table = format_table(&[row]);
         assert!(table.contains("MonteCarlo"));
     }

@@ -58,8 +58,9 @@ pub fn run_benchmark(
     seed: u64,
 ) -> Fig9Row {
     let compiler: Compiler = bench.compiler(scale);
-    let (profile, one_core, ()) =
-        compiler.profile_run(None, "original", |_| ()).expect("single-core run succeeds");
+    let (profile, one_core, ()) = compiler
+        .profile_run(None, "original", |_| ())
+        .expect("single-core run succeeds");
     // Single-core estimate: simulate the single-core layout.
     let graph1 = compiler.graph_with_profile(&profile);
     let layout1 = Layout::single_core(&graph1);
@@ -84,7 +85,10 @@ pub fn run_benchmark(
         &plan.layout,
         &profile,
         machine,
-        &SimOptions { replay: false, ..SimOptions::default() },
+        &SimOptions {
+            replay: false,
+            ..SimOptions::default()
+        },
     );
     Fig9Row {
         name: bench.name(),
@@ -137,7 +141,11 @@ mod tests {
         let bench = bamboo_apps::montecarlo::MonteCarlo;
         let machine = MachineDescription::n_cores(8);
         let row = run_benchmark(&bench, Scale::Small, &machine, 11);
-        assert!(row.error_1core().abs() < 5.0, "1-core error {}", row.error_1core());
+        assert!(
+            row.error_1core().abs() < 5.0,
+            "1-core error {}",
+            row.error_1core()
+        );
         assert!(row.error_n().abs() < 5.0, "n-core error {}", row.error_n());
         let table = format_table(&[row]);
         assert!(table.contains("MonteCarlo"));

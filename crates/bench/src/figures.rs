@@ -16,8 +16,9 @@ use std::fmt::Write as _;
 /// substrate).
 pub fn keyword_setup(sections: usize) -> (Compiler, Profile) {
     let compiler = bamboo_apps::keyword::compiler(sections);
-    let (profile, _, ()) =
-        compiler.profile_run(None, "original", |_| ()).expect("keyword-count runs");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "original", |_| ())
+        .expect("keyword-count runs");
     (compiler, profile)
 }
 
@@ -34,8 +35,11 @@ pub fn fig3_annotated_cstg(compiler: &Compiler, profile: &Profile) -> String {
     for (i, node) in cstg.nodes.iter().enumerate() {
         let class = spec.class(node.class);
         let state = &analysis.astg(node.class).states[node.state.index()];
-        let mut flags: Vec<String> =
-            state.flags.iter().map(|f| class.flag_name(f).to_string()).collect();
+        let mut flags: Vec<String> = state
+            .flags
+            .iter()
+            .map(|f| class.flag_name(f).to_string())
+            .collect();
         if flags.is_empty() {
             flags.push("(none)".to_string());
         }
@@ -57,8 +61,12 @@ pub fn fig3_annotated_cstg(compiler: &Compiler, profile: &Profile) -> String {
             stats.mean_cycles(),
             tp.exit_probability(edge.exit) * 100.0
         );
-        writeln!(out, "  n{} -> n{} [label=\"{label}\"];", edge.from.0, edge.to.0)
-            .expect("write to string");
+        writeln!(
+            out,
+            "  n{} -> n{} [label=\"{label}\"];",
+            edge.from.0, edge.to.0
+        )
+        .expect("write to string");
     }
     for edge in &cstg.new_edges {
         let tp = profile.task(edge.task);
@@ -66,7 +74,12 @@ pub fn fig3_annotated_cstg(compiler: &Compiler, profile: &Profile) -> String {
         let total: u64 = tp
             .exits
             .iter()
-            .map(|e| e.site_allocs.get(edge.site.site.index()).copied().unwrap_or(0))
+            .map(|e| {
+                e.site_allocs
+                    .get(edge.site.site.index())
+                    .copied()
+                    .unwrap_or(0)
+            })
             .sum();
         let sources: Vec<u32> = cstg
             .task_edges
@@ -125,7 +138,10 @@ pub fn fig6_trace(compiler: &Compiler, profile: &Profile) -> String {
         &layout,
         profile,
         &machine,
-        &SimOptions { collect_trace: true, ..SimOptions::default() },
+        &SimOptions {
+            collect_trace: true,
+            ..SimOptions::default()
+        },
     );
     let trace = result.trace.expect("trace requested");
     let cp = critical_path(&trace);
@@ -133,7 +149,9 @@ pub fn fig6_trace(compiler: &Compiler, profile: &Profile) -> String {
         "simulated execution on 4 cores: makespan {} cycles, {} invocations\n",
         result.makespan, result.invocations
     );
-    out.push_str("  id core       start         end  task                         on critical path\n");
+    out.push_str(
+        "  id core       start         end  task                         on critical path\n",
+    );
     for t in &trace.tasks {
         writeln!(
             out,

@@ -14,9 +14,7 @@ use bamboo_runtime::{
     Deployment, ExecConfig, ExecError, NativeBody, NativePayload, Program, RunReport,
     VirtualExecutor,
 };
-use bamboo_schedule::{
-    synthesize, GroupGraph, Layout, SynthesisOptions, SynthesisResult,
-};
+use bamboo_schedule::{synthesize, GroupGraph, Layout, SynthesisOptions, SynthesisResult};
 use rand::Rng;
 
 /// A fully analyzed, executable Bamboo program.
@@ -44,7 +42,12 @@ impl Compiler {
         let cstg = Cstg::build(&compiled.spec, &dependence);
         let locks = DisjointnessAnalysis::run(&compiled.spec, &compiled.ir);
         let program = Program::from_compiled(compiled);
-        Ok(Compiler { program, dependence, cstg, locks })
+        Ok(Compiler {
+            program,
+            dependence,
+            cstg,
+            locks,
+        })
     }
 
     /// Wraps a natively built program.
@@ -57,7 +60,12 @@ impl Compiler {
         let dependence = DependenceAnalysis::run(&program.spec);
         let cstg = Cstg::build(&program.spec, &dependence);
         let locks = DisjointnessAnalysis::all_disjoint(&program.spec);
-        Compiler { program, dependence, cstg, locks }
+        Compiler {
+            program,
+            dependence,
+            cstg,
+            locks,
+        }
     }
 
     /// Replaces the lock plans (for native programs with cross-parameter
@@ -113,7 +121,10 @@ impl Compiler {
         };
         let mut exec = self.executor(&graph, &layout, &machine, config);
         let mut report = exec.run(startup)?;
-        let profile = report.profile.take().expect("profile collection was requested");
+        let profile = report
+            .profile
+            .take()
+            .expect("profile collection was requested");
         let value = inspect(&exec);
         Ok((profile, report, value))
     }
@@ -165,9 +176,9 @@ impl Compiler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bamboo_runtime::body;
     use bamboo_lang::builder::ProgramBuilder;
     use bamboo_lang::spec::FlagExpr;
+    use bamboo_runtime::body;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -244,7 +255,12 @@ mod tests {
         .unwrap();
         let (profile, report, ()) = compiler.profile_run(None, "x", |_| ()).unwrap();
         assert_eq!(report.invocations, 7);
-        assert_eq!(profile.task(compiler.program.spec.task_by_name("run").unwrap()).invocations(), 6);
+        assert_eq!(
+            profile
+                .task(compiler.program.spec.task_by_name("run").unwrap())
+                .invocations(),
+            6
+        );
     }
 
     #[test]

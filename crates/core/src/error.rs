@@ -35,6 +35,15 @@ pub enum Error {
     /// A finished-object payload failed to downcast to the requested
     /// type.
     Payload(PayloadTypeError),
+    /// A core died under fault injection and its work could not be
+    /// recovered (no live replica of a hosted group, or recovery was
+    /// disabled). Surfaced as its own variant — distinct from
+    /// [`Error::Exec`] — so chaos-aware callers can match on it without
+    /// destructuring executor internals.
+    CoreLost {
+        /// The core that was lost.
+        core: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -43,6 +52,12 @@ impl fmt::Display for Error {
             Error::Compile(e) => write!(f, "compile error: {e}"),
             Error::Exec(e) => write!(f, "execution error: {e}"),
             Error::Payload(e) => write!(f, "payload error: {e}"),
+            Error::CoreLost { core } => {
+                write!(
+                    f,
+                    "core {core} was lost and its work could not be recovered"
+                )
+            }
         }
     }
 }
@@ -53,6 +68,7 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Exec(e) => Some(e),
             Error::Payload(e) => Some(e),
+            Error::CoreLost { .. } => None,
         }
     }
 }
@@ -65,7 +81,10 @@ impl From<CompileError> for Error {
 
 impl From<ExecError> for Error {
     fn from(e: ExecError) -> Self {
-        Error::Exec(e)
+        match e {
+            ExecError::CoreLost { core } => Error::CoreLost { core },
+            other => Error::Exec(other),
+        }
     }
 }
 
@@ -86,6 +105,21 @@ mod tests {
         assert!(matches!(err, Error::Exec(ExecError::Diverged(10))));
         assert!(err.to_string().starts_with("execution error:"));
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn core_loss_surfaces_as_its_own_variant() {
+        let err: Error = ExecError::CoreLost { core: 3 }.into();
+        assert!(matches!(err, Error::CoreLost { core: 3 }));
+        assert!(err.to_string().contains("core 3"), "{err}");
+        // Terminal variant: no inner source to chain to.
+        assert!(err.source().is_none());
+        // Message loss stays an ordinary executor error.
+        let err: Error = ExecError::MessageLost { msg: 9 }.into();
+        assert!(matches!(
+            err,
+            Error::Exec(ExecError::MessageLost { msg: 9 })
+        ));
     }
 
     #[test]

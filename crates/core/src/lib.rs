@@ -90,9 +90,10 @@ pub use bamboo_lang::spec::{FlagExpr, FlagSet, ProgramSpec};
 pub use bamboo_machine::{CoreId, MachineDescription};
 pub use bamboo_profile::{Cycles, MarkovModel, Profile, ProfileCollector};
 pub use bamboo_runtime::{
-    body, CostModel, Deployment, ExecConfig, ExecError, NativeBody, NativePayload,
-    PayloadTypeError, Program, QuiescencePolicy, RouterPolicy, RunOptions, RunReport,
-    StealPolicy, ThreadedExecutor, ThreadedReport, VirtualExecutor,
+    body, CoreKill, CoreStall, CostModel, Deployment, ExecConfig, ExecError, FaultPlan, FaultSpec,
+    KillTarget, NativeBody, NativePayload, PayloadTypeError, Program, QuiescencePolicy,
+    RecoveryPolicy, RouterPolicy, RunOptions, RunReport, StealPolicy, ThreadedExecutor,
+    ThreadedReport, VirtualExecutor,
 };
 pub use bamboo_schedule::{
     simulate, DsaOptions, ExecutionTrace, GroupGraph, Layout, Replication, SimOptions, SimResult,

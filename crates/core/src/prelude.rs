@@ -18,8 +18,8 @@ pub use bamboo_lang::spec::FlagExpr;
 pub use bamboo_machine::MachineDescription;
 pub use bamboo_profile::Profile;
 pub use bamboo_runtime::{
-    body, Deployment, ExecConfig, ExecError, NativeBody, Program, RunOptions, StealPolicy,
-    ThreadedExecutor, VirtualExecutor,
+    body, Deployment, ExecConfig, ExecError, FaultSpec, NativeBody, Program, RunOptions,
+    StealPolicy, ThreadedExecutor, VirtualExecutor,
 };
 pub use bamboo_schedule::{GroupGraph, Layout, SynthesisOptions, SynthesisResult};
 pub use bamboo_telemetry::Telemetry;

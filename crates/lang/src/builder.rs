@@ -115,7 +115,9 @@ impl<B> ProgramBuilder<B> {
     /// Declares a tag type and returns its id.
     pub fn tag_type(&mut self, name: &str) -> TagTypeId {
         let id = TagTypeId::new(self.tag_types.len());
-        self.tag_types.push(TagTypeSpec { name: name.to_string() });
+        self.tag_types.push(TagTypeSpec {
+            name: name.to_string(),
+        });
         id
     }
 
@@ -167,7 +169,10 @@ impl<B> ProgramBuilder<B> {
                     "no startup class: declare `StartupObject` with flag `initialstate` or call `startup()`"
                         .to_string(),
                 );
-                StartupSpec { class: ClassId::new(0), flag: FlagId::new(0) }
+                StartupSpec {
+                    class: ClassId::new(0),
+                    flag: FlagId::new(0),
+                }
             }
         };
         let spec = ProgramSpec {
@@ -258,7 +263,11 @@ impl<B> TaskBuilder<'_, B> {
     /// Panics if called before any `param`.
     pub fn with_tag(mut self, tag_type: TagTypeId, var_name: &str) -> Self {
         let var = self.intern_tag_var(var_name, tag_type, true);
-        let param = self.spec.params.last_mut().expect("with_tag requires a preceding param");
+        let param = self
+            .spec
+            .params
+            .last_mut()
+            .expect("with_tag requires a preceding param");
         param.tags.push(TagConstraint { tag_type, var });
         self
     }
@@ -315,7 +324,10 @@ impl<B> TaskBuilder<'_, B> {
     /// that index when returning.
     pub fn exit(mut self, label: &str, build: impl FnOnce(ExitBuilder) -> ExitBuilder) -> Self {
         let eb = build(ExitBuilder::default());
-        self.spec.exits.push(ExitSpec { label: label.to_string(), actions: eb.actions });
+        self.spec.exits.push(ExitSpec {
+            label: label.to_string(),
+            actions: eb.actions,
+        });
         self
     }
 
@@ -375,7 +387,10 @@ mod tests {
     fn startup_class_is_autodetected() {
         let b = two_task_builder();
         let built = b.build().unwrap();
-        assert_eq!(built.spec.class(built.spec.startup.class).name, "StartupObject");
+        assert_eq!(
+            built.spec.class(built.spec.startup.class).name,
+            "StartupObject"
+        );
     }
 
     #[test]
@@ -396,7 +411,10 @@ mod tests {
         let mut b: ProgramBuilder<u32> = ProgramBuilder::new("t");
         let s = b.class("StartupObject", &["initialstate"]);
         let init = b.flag(s, "initialstate");
-        b.task("startup").param("s", s, FlagExpr::flag(init)).body(0).finish();
+        b.task("startup")
+            .param("s", s, FlagExpr::flag(init))
+            .body(0)
+            .finish();
         let err = b.build().unwrap_err();
         assert!(err.problems.iter().any(|p| p.contains("no exits")));
     }

@@ -85,7 +85,9 @@ define_id!(
 );
 
 /// Zero-based position of a parameter in a task's parameter list.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ParamIdx(pub u32);
 
 impl ParamIdx {

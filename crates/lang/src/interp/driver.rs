@@ -72,11 +72,19 @@ impl<'p> ReferenceDriver<'p> {
         let startup = program.spec.startup;
         let obj = interp.alloc_raw(startup.class);
         let mut meta = HashMap::new();
-        meta.insert(obj, ObjectMeta {
-            flags: FlagSet::new().with(startup.flag, true),
-            tags: Vec::new(),
-        });
-        ReferenceDriver { program, interp, meta, objects: vec![obj] }
+        meta.insert(
+            obj,
+            ObjectMeta {
+                flags: FlagSet::new().with(startup.flag, true),
+                tags: Vec::new(),
+            },
+        );
+        ReferenceDriver {
+            program,
+            interp,
+            meta,
+            objects: vec![obj],
+        }
     }
 
     /// Runs until no task can fire, or until `max_invocations`.
@@ -147,7 +155,9 @@ impl<'p> ReferenceDriver<'p> {
             if assignment.contains(&obj) {
                 continue;
             }
-            let Some(meta) = self.meta.get(&obj) else { continue };
+            let Some(meta) = self.meta.get(&obj) else {
+                continue;
+            };
             if self.interp.heap.class_of(obj) != spec.class {
                 continue;
             }
@@ -214,7 +224,10 @@ impl<'p> ReferenceDriver<'p> {
         let exit = task.exit(outcome.exit);
         for (param_idx, actions) in &exit.actions {
             let obj = params[param_idx.index()];
-            let meta = self.meta.get_mut(&obj).expect("parameter object has metadata");
+            let meta = self
+                .meta
+                .get_mut(&obj)
+                .expect("parameter object has metadata");
             for action in actions {
                 match action {
                     FlagOrTagAction::SetFlag(flag, value) => meta.flags.set(*flag, *value),
@@ -235,10 +248,13 @@ impl<'p> ReferenceDriver<'p> {
         }
         for created in &outcome.created {
             let site = &task.alloc_sites[created.site.index()];
-            self.meta.insert(created.obj, ObjectMeta {
-                flags: site.initial_flag_set(),
-                tags: created.tags.clone(),
-            });
+            self.meta.insert(
+                created.obj,
+                ObjectMeta {
+                    flags: site.initial_flag_set(),
+                    tags: created.tags.clone(),
+                },
+            );
             self.objects.push(created.obj);
         }
     }
@@ -322,8 +338,11 @@ mod tests {
         assert_eq!(driver.interp.heap.field(results[0], 0), &Value::Int(22));
         // It ended in the `finished` state.
         let meta = &driver.meta[&results[0]];
-        let finished =
-            program.spec.class(results_class).flag_by_name("finished").unwrap();
+        let finished = program
+            .spec
+            .class(results_class)
+            .flag_by_name("finished")
+            .unwrap();
         assert!(meta.flags.contains(finished));
     }
 
@@ -333,7 +352,11 @@ mod tests {
         let mut driver = ReferenceDriver::new(&program);
         let report = driver.run(1000).unwrap();
         let startup_id = program.spec.task_by_name("startup").unwrap();
-        let count = report.invocations.iter().filter(|r| r.task == startup_id).count();
+        let count = report
+            .invocations
+            .iter()
+            .filter(|r| r.task == startup_id)
+            .count();
         assert_eq!(count, 1);
     }
 

@@ -28,7 +28,9 @@ pub struct TrapError {
 
 impl TrapError {
     fn new(message: impl Into<String>) -> Self {
-        TrapError { message: message.into() }
+        TrapError {
+            message: message.into(),
+        }
     }
 }
 
@@ -164,7 +166,12 @@ impl<'p> Interp<'p> {
             }
         };
         self.total_cycles += inv.cycles;
-        Ok(TaskOutcome { exit, created: inv.created, tag_env: inv.tag_env, cycles: inv.cycles })
+        Ok(TaskOutcome {
+            exit,
+            created: inv.created,
+            tag_env: inv.tag_env,
+            cycles: inv.cycles,
+        })
     }
 
     /// Calls a method directly (test helper).
@@ -179,8 +186,12 @@ impl<'p> Interp<'p> {
         method: u32,
         args: Vec<Value>,
     ) -> EResult<Value> {
-        let mut inv =
-            Invocation { task: None, created: Vec::new(), tag_env: Vec::new(), cycles: 0 };
+        let mut inv = Invocation {
+            task: None,
+            created: Vec::new(),
+            tag_env: Vec::new(),
+            cycles: 0,
+        };
         let result = self.invoke_method(obj, class, method, args, &mut inv);
         self.total_cycles += inv.cycles;
         result
@@ -252,7 +263,11 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            IrStmt::If { cond, then_blk, else_blk } => {
+            IrStmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 if self.eval(cond, frame, inv)?.as_bool() {
                     self.exec_block(then_blk, frame, inv)
                 } else {
@@ -270,7 +285,12 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            IrStmt::For { init, cond, step, body } => {
+            IrStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let f @ (Flow::Return(_) | Flow::TaskExit(_)) =
                     self.exec_block(init, frame, inv)?
                 {
@@ -319,7 +339,12 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn eval_ref(&mut self, expr: &IrExpr, frame: &mut Frame, inv: &mut Invocation) -> EResult<ObjRef> {
+    fn eval_ref(
+        &mut self,
+        expr: &IrExpr,
+        frame: &mut Frame,
+        inv: &mut Invocation,
+    ) -> EResult<ObjRef> {
         match self.eval(expr, frame, inv)? {
             Value::Ref(r) => Ok(r),
             Value::Null => Err(TrapError::new("null dereference")),
@@ -330,7 +355,9 @@ impl<'p> Interp<'p> {
     fn charge(&mut self, inv: &mut Invocation, cycles: u64) -> EResult<()> {
         inv.cycles += cycles;
         if self.step_budget <= cycles {
-            return Err(TrapError::new("step budget exhausted (non-terminating program?)"));
+            return Err(TrapError::new(
+                "step budget exhausted (non-terminating program?)",
+            ));
         }
         self.step_budget -= cycles;
         Ok(())
@@ -353,12 +380,16 @@ impl<'p> Interp<'p> {
                 let r = self.eval_ref(arr, frame, inv)?;
                 let i = self.eval(idx, frame, inv)?.as_int();
                 let items = self.heap.array(r);
-                items
-                    .get(i as usize)
-                    .cloned()
-                    .ok_or_else(|| TrapError::new(format!("index {i} out of bounds (len {})", items.len())))
+                items.get(i as usize).cloned().ok_or_else(|| {
+                    TrapError::new(format!("index {i} out of bounds (len {})", items.len()))
+                })
             }
-            IrExpr::CallMethod { obj, class, method, args } => {
+            IrExpr::CallMethod {
+                obj,
+                class,
+                method,
+                args,
+            } => {
                 let r = self.eval_ref(obj, frame, inv)?;
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
@@ -385,12 +416,13 @@ impl<'p> Interp<'p> {
                 }
                 if let Some(site) = site {
                     let task = inv.task.expect("alloc sites only occur in task bodies");
-                    let site_spec = &self.program.spec.tasks[task.index()].alloc_sites[site.index()];
+                    let site_spec =
+                        &self.program.spec.tasks[task.index()].alloc_sites[site.index()];
                     let mut tags = Vec::new();
                     for var in &site_spec.bound_tags {
                         if let Some(instance) = inv.tag_env[var.index()] {
-                            let tt =
-                                self.program.spec.tasks[task.index()].tag_vars[var.index()].tag_type;
+                            let tt = self.program.spec.tasks[task.index()].tag_vars[var.index()]
+                                .tag_type;
                             tags.push((tt, instance));
                         } else {
                             return Err(TrapError::new(format!(
@@ -398,7 +430,11 @@ impl<'p> Interp<'p> {
                             )));
                         }
                     }
-                    inv.created.push(CreatedObject { site: *site, obj, tags });
+                    inv.created.push(CreatedObject {
+                        site: *site,
+                        obj,
+                        tags,
+                    });
                 }
                 Ok(Value::Ref(obj))
             }
@@ -408,7 +444,9 @@ impl<'p> Interp<'p> {
                     return Err(TrapError::new(format!("negative array length {n}")));
                 }
                 self.charge(inv, n as u64 / 8 + 1)?;
-                Ok(Value::Ref(self.heap.alloc_array(n as usize, default_for(elem))))
+                Ok(Value::Ref(
+                    self.heap.alloc_array(n as usize, default_for(elem)),
+                ))
             }
             IrExpr::Unary { op, expr } => {
                 let v = self.eval(expr, frame, inv)?;
@@ -475,9 +513,7 @@ impl<'p> Interp<'p> {
                 Value::Str(s) => Value::Int(s.len() as i64),
                 Value::Ref(r) => match self.heap.slot(r) {
                     Slot::Array(items) => Value::Int(items.len() as i64),
-                    Slot::Object { .. } => {
-                        return Err(TrapError::new("len of non-array object"))
-                    }
+                    Slot::Object { .. } => return Err(TrapError::new("len of non-array object")),
                 },
                 Value::Null => return Err(TrapError::new("len of null")),
                 other => return Err(TrapError::new(format!("len of {other}"))),
@@ -488,7 +524,9 @@ impl<'p> Interp<'p> {
                     _ => return Err(TrapError::new("split expects strings")),
                 };
                 let parts: Vec<Value> = if sep.is_empty() {
-                    s.chars().map(|c| Value::Str(Rc::from(c.to_string().as_str()))).collect()
+                    s.chars()
+                        .map(|c| Value::Str(Rc::from(c.to_string().as_str())))
+                        .collect()
                 } else {
                     s.split(&*sep)
                         .filter(|p| !p.is_empty())
@@ -618,7 +656,9 @@ struct Frame {
 
 impl Frame {
     fn for_body(body: &IrBody) -> Self {
-        Frame { locals: vec![Value::Null; body.n_slots] }
+        Frame {
+            locals: vec![Value::Null; body.n_slots],
+        }
     }
 }
 
@@ -679,12 +719,13 @@ mod tests {
         let out = outcome
             .created
             .iter()
-            .find(|c| {
-                compiled.spec.class(interp.heap.class_of(c.obj)).name == "Out"
-            })
+            .find(|c| compiled.spec.class(interp.heap.class_of(c.obj)).name == "Out")
             .expect("Out created")
             .obj;
-        (interp.heap.field(out, 0).clone(), interp.heap.field(out, 1).clone())
+        (
+            interp.heap.field(out, 0).clone(),
+            interp.heap.field(out, 1).clone(),
+        )
     }
 
     #[test]
@@ -763,7 +804,9 @@ mod tests {
         .expect("compiles");
         let mut interp = Interp::new(&compiled);
         let startup = interp.alloc_raw(compiled.spec.startup.class);
-        let err = interp.run_task(TaskId::new(0), &[startup], vec![]).unwrap_err();
+        let err = interp
+            .run_task(TaskId::new(0), &[startup], vec![])
+            .unwrap_err();
         assert!(err.message.contains("out of bounds"), "{}", err.message);
     }
 
@@ -784,7 +827,9 @@ mod tests {
         .expect("compiles");
         let mut interp = Interp::new(&compiled);
         let startup = interp.alloc_raw(compiled.spec.startup.class);
-        let err = interp.run_task(TaskId::new(0), &[startup], vec![]).unwrap_err();
+        let err = interp
+            .run_task(TaskId::new(0), &[startup], vec![])
+            .unwrap_err();
         assert!(err.message.contains("null dereference"), "{}", err.message);
     }
 
@@ -805,7 +850,9 @@ mod tests {
         let mut interp = Interp::new(&compiled);
         interp.step_budget = 10_000;
         let startup = interp.alloc_raw(compiled.spec.startup.class);
-        let err = interp.run_task(TaskId::new(0), &[startup], vec![]).unwrap_err();
+        let err = interp
+            .run_task(TaskId::new(0), &[startup], vec![])
+            .unwrap_err();
         assert!(err.message.contains("step budget"), "{}", err.message);
     }
 
@@ -825,7 +872,9 @@ mod tests {
         .expect("compiles");
         let mut interp = Interp::new(&compiled);
         let startup = interp.alloc_raw(compiled.spec.startup.class);
-        interp.run_task(TaskId::new(0), &[startup], vec![]).expect("runs");
+        interp
+            .run_task(TaskId::new(0), &[startup], vec![])
+            .expect("runs");
         assert_eq!(interp.output, "hello world\n");
     }
 }

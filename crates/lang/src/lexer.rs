@@ -27,7 +27,13 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(source: &'s str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -148,11 +154,13 @@ impl<'s> Lexer<'s> {
         let text = std::str::from_utf8(&self.src[start.0..self.pos]).expect("ascii digits");
         let kind = if is_float {
             TokenKind::FloatLit(
-                text.parse().map_err(|_| self.error(start, format!("malformed float `{text}`")))?,
+                text.parse()
+                    .map_err(|_| self.error(start, format!("malformed float `{text}`")))?,
             )
         } else {
             TokenKind::IntLit(
-                text.parse().map_err(|_| self.error(start, format!("malformed integer `{text}`")))?,
+                text.parse()
+                    .map_err(|_| self.error(start, format!("malformed integer `{text}`")))?,
             )
         };
         self.push(kind, start);
@@ -310,7 +318,18 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             kinds("< <= > >= == != ! && ||"),
-            vec![T::Lt, T::Le, T::Gt, T::Ge, T::EqEq, T::NotEq, T::Bang, T::AmpAmp, T::PipePipe, T::Eof]
+            vec![
+                T::Lt,
+                T::Le,
+                T::Gt,
+                T::Ge,
+                T::EqEq,
+                T::NotEq,
+                T::Bang,
+                T::AmpAmp,
+                T::PipePipe,
+                T::Eof
+            ]
         );
     }
 

@@ -31,7 +31,11 @@ pub fn parse(tokens: Vec<Token>) -> Result<Unit, Diagnostic> {
 /// managed to parse plus all diagnostics, so one compile reports many
 /// errors.
 pub fn parse_recovering(tokens: Vec<Token>) -> (Unit, Vec<Diagnostic>) {
-    let mut parser = Parser { tokens, pos: 0, diags: Vec::new() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: Vec::new(),
+    };
     let unit = parser.unit_recovering();
     (unit, parser.diags)
 }
@@ -93,7 +97,10 @@ impl Parser {
         let span = self.span();
         match self.bump() {
             TokenKind::Ident(name) => Ok((name, span)),
-            other => Err(Diagnostic::new(span, format!("expected {what}, found {other}"))),
+            other => Err(Diagnostic::new(
+                span,
+                format!("expected {what}, found {other}"),
+            )),
         }
     }
 
@@ -134,10 +141,7 @@ impl Parser {
     fn synchronize_top_level(&mut self) {
         loop {
             match self.peek() {
-                TokenKind::Eof
-                | TokenKind::Class
-                | TokenKind::TagType
-                | TokenKind::Task => return,
+                TokenKind::Eof | TokenKind::Class | TokenKind::TagType | TokenKind::Task => return,
                 _ => {
                     self.bump();
                 }
@@ -245,7 +249,11 @@ impl Parser {
                 });
             } else {
                 self.expect(TokenKind::Semi)?;
-                decl.fields.push(FieldDecl { ty, name: mname, span: mspan });
+                decl.fields.push(FieldDecl {
+                    ty,
+                    name: mname,
+                    span: mspan,
+                });
             }
         }
         Ok(decl)
@@ -306,7 +314,12 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(TaskDecl { name, params, body, span: start })
+        Ok(TaskDecl {
+            name,
+            params,
+            body,
+            span: start,
+        })
     }
 
     fn task_param(&mut self) -> PResult<TaskParamDecl> {
@@ -325,7 +338,13 @@ impl Parser {
                 }
             }
         }
-        Ok(TaskParamDecl { class, name, guard, tags, span })
+        Ok(TaskParamDecl {
+            class,
+            name,
+            guard,
+            tags,
+            span,
+        })
     }
 
     // flagexp := and-level (or and-level)*
@@ -413,8 +432,11 @@ impl Parser {
             TokenKind::For => self.for_stmt(),
             TokenKind::Return => {
                 self.bump();
-                let value =
-                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -447,14 +469,21 @@ impl Parser {
         let else_blk = if self.eat(&TokenKind::Else) {
             if self.peek() == &TokenKind::If {
                 let nested = self.if_stmt()?;
-                Some(Block { stmts: vec![nested] })
+                Some(Block {
+                    stmts: vec![nested],
+                })
             } else {
                 Some(self.branch_body()?)
             }
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_blk, else_blk, span })
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            span,
+        })
     }
 
     /// A branch body: either a block or a single statement.
@@ -476,7 +505,11 @@ impl Parser {
             Some(Box::new(self.simple_stmt()?))
         };
         self.expect(TokenKind::Semi)?;
-        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+        let cond = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::Semi)?;
         let step = if self.peek() == &TokenKind::RParen {
             None
@@ -485,7 +518,13 @@ impl Parser {
         };
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
-        Ok(Stmt::For { init, cond, step, body, span })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        })
     }
 
     fn taskexit_stmt(&mut self) -> PResult<Stmt> {
@@ -556,7 +595,11 @@ impl Parser {
         let (tag_type, _) = self.expect_ident("tag type")?;
         self.expect(TokenKind::RParen)?;
         self.expect(TokenKind::Semi)?;
-        Ok(Stmt::NewTag { var, tag_type, span })
+        Ok(Stmt::NewTag {
+            var,
+            tag_type,
+            span,
+        })
     }
 
     /// A statement without its trailing `;`: local declaration, assignment,
@@ -566,8 +609,17 @@ impl Parser {
         if self.starts_local_decl() {
             let ty = self.type_expr()?;
             let (name, _) = self.expect_ident("variable name")?;
-            let init = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
-            return Ok(Stmt::Local { ty, name, init, span });
+            let init = if self.eat(&TokenKind::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Local {
+                ty,
+                name,
+                init,
+                span,
+            });
         }
         let lhs = self.expr()?;
         if self.eat(&TokenKind::Eq) {
@@ -587,7 +639,8 @@ impl Parser {
             _ => return false,
         };
         // Skip `[]` pairs belonging to an array type.
-        while self.peek_at(off) == &TokenKind::LBracket && self.peek_at(off + 1) == &TokenKind::RBracket
+        while self.peek_at(off) == &TokenKind::LBracket
+            && self.peek_at(off + 1) == &TokenKind::RBracket
         {
             off += 2;
         }
@@ -612,7 +665,12 @@ impl Parser {
                     self.bump();
                     let rhs = next(self)?;
                     let span = lhs.span().to(rhs.span());
-                    lhs = Expr::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        span,
+                    };
                     continue 'outer;
                 }
             }
@@ -650,7 +708,10 @@ impl Parser {
     fn additive_expr(&mut self) -> PResult<Expr> {
         self.binary_level(
             Self::term_expr,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
@@ -671,12 +732,20 @@ impl Parser {
             TokenKind::Bang => {
                 self.bump();
                 let expr = self.unary_expr()?;
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr), span })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                    span,
+                })
             }
             TokenKind::Minus => {
                 self.bump();
                 let expr = self.unary_expr()?;
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr), span })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                    span,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -690,14 +759,27 @@ impl Parser {
                 let (name, _) = self.expect_ident("member name")?;
                 if self.peek() == &TokenKind::LParen {
                     let args = self.call_args()?;
-                    expr = Expr::Call { recv: Some(Box::new(expr)), name, args, span };
+                    expr = Expr::Call {
+                        recv: Some(Box::new(expr)),
+                        name,
+                        args,
+                        span,
+                    };
                 } else {
-                    expr = Expr::Field { obj: Box::new(expr), name, span };
+                    expr = Expr::Field {
+                        obj: Box::new(expr),
+                        name,
+                        span,
+                    };
                 }
             } else if self.eat(&TokenKind::LBracket) {
                 let idx = self.expr()?;
                 self.expect(TokenKind::RBracket)?;
-                expr = Expr::Index { arr: Box::new(expr), idx: Box::new(idx), span };
+                expr = Expr::Index {
+                    arr: Box::new(expr),
+                    idx: Box::new(idx),
+                    span,
+                };
             } else {
                 return Ok(expr);
             }
@@ -762,14 +844,20 @@ impl Parser {
                 self.bump();
                 if self.peek() == &TokenKind::LParen {
                     let args = self.call_args()?;
-                    Ok(Expr::Call { recv: None, name, args, span })
+                    Ok(Expr::Call {
+                        recv: None,
+                        name,
+                        args,
+                        span,
+                    })
                 } else {
                     Ok(Expr::Var(name, span))
                 }
             }
-            other => {
-                Err(Diagnostic::new(span, format!("expected expression, found {other}")))
-            }
+            other => Err(Diagnostic::new(
+                span,
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 
@@ -800,7 +888,11 @@ impl Parser {
                 self.bump();
                 let len = self.expr()?;
                 self.expect(TokenKind::RBracket)?;
-                return Ok(Expr::NewArray { elem, len: Box::new(len), span });
+                return Ok(Expr::NewArray {
+                    elem,
+                    len: Box::new(len),
+                    span,
+                });
             }
         }
         let class = match elem {
@@ -823,7 +915,12 @@ impl Parser {
                 self.expect(TokenKind::Comma)?;
             }
         }
-        Ok(Expr::New { class, args, state, span })
+        Ok(Expr::New {
+            class,
+            args,
+            state,
+            span,
+        })
     }
 }
 
@@ -884,7 +981,10 @@ mod tests {
             }"#,
         );
         let task = &unit.tasks[0];
-        assert_eq!(task.params[0].tags, vec![("link".to_string(), "t".to_string())]);
+        assert_eq!(
+            task.params[0].tags,
+            vec![("link".to_string(), "t".to_string())]
+        );
         assert_eq!(task.params[1].tags.len(), 1);
     }
 
@@ -897,7 +997,12 @@ mod tests {
             }"#,
         );
         match &unit.tasks[0].body.stmts[0] {
-            Stmt::Local { init: Some(Expr::New { class, args, state, .. }), .. } => {
+            Stmt::Local {
+                init: Some(Expr::New {
+                    class, args, state, ..
+                }),
+                ..
+            } => {
                 assert_eq!(class, "B");
                 assert_eq!(args.len(), 2);
                 assert_eq!(state.len(), 2);
@@ -914,8 +1019,10 @@ mod tests {
                 taskexit(a: x := false, add tg);
             }"#,
         );
-        assert!(matches!(&unit.tasks[0].body.stmts[0], Stmt::NewTag { var, tag_type, .. }
-            if var == "tg" && tag_type == "link"));
+        assert!(
+            matches!(&unit.tasks[0].body.stmts[0], Stmt::NewTag { var, tag_type, .. }
+            if var == "tg" && tag_type == "link")
+        );
     }
 
     #[test]
@@ -943,7 +1050,9 @@ mod tests {
             }"#,
         );
         match &unit.tasks[0].body.stmts[1] {
-            Stmt::If { else_blk: Some(b), .. } => {
+            Stmt::If {
+                else_blk: Some(b), ..
+            } => {
                 assert!(matches!(&b.stmts[0], Stmt::If { .. }));
             }
             other => panic!("expected if, got {other:?}"),
@@ -963,7 +1072,11 @@ mod tests {
         );
         assert_eq!(unit.tasks[0].body.stmts.len(), 5);
         match &unit.tasks[0].body.stmts[1] {
-            Stmt::Local { ty: TypeExpr::Array(inner), init: Some(Expr::NewArray { elem, .. }), .. } => {
+            Stmt::Local {
+                ty: TypeExpr::Array(inner),
+                init: Some(Expr::NewArray { elem, .. }),
+                ..
+            } => {
                 assert!(matches!(**inner, TypeExpr::Array(_)));
                 assert!(matches!(elem, TypeExpr::Array(_)));
             }
@@ -973,11 +1086,17 @@ mod tests {
 
     #[test]
     fn precedence_binds_mul_tighter() {
-        let unit = parse_src(
-            r#"task t(A a in x) { int v = 1 + 2 * 3; taskexit(a: x := false); }"#,
-        );
+        let unit = parse_src(r#"task t(A a in x) { int v = 1 + 2 * 3; taskexit(a: x := false); }"#);
         match &unit.tasks[0].body.stmts[0] {
-            Stmt::Local { init: Some(Expr::Binary { op: BinOp::Add, rhs, .. }), .. } => {
+            Stmt::Local {
+                init:
+                    Some(Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    }),
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -994,16 +1113,23 @@ mod tests {
                 taskexit(a: x := false);
             }"#,
         );
-        assert!(matches!(&unit.tasks[0].body.stmts[0], Stmt::Expr(Expr::Call { recv: Some(_), .. })));
-        assert!(matches!(&unit.tasks[0].body.stmts[1], Stmt::Expr(Expr::Call { recv: None, .. })));
+        assert!(matches!(
+            &unit.tasks[0].body.stmts[0],
+            Stmt::Expr(Expr::Call { recv: Some(_), .. })
+        ));
+        assert!(matches!(
+            &unit.tasks[0].body.stmts[1],
+            Stmt::Expr(Expr::Call { recv: None, .. })
+        ));
     }
 
     #[test]
     fn guard_or_and_parens() {
-        let unit = parse_src(
-            r#"task t(A a in (p or q) and !r) { taskexit(a: p := false); }"#,
-        );
-        assert!(matches!(unit.tasks[0].params[0].guard, FlagExprAst::And(..)));
+        let unit = parse_src(r#"task t(A a in (p or q) and !r) { taskexit(a: p := false); }"#);
+        assert!(matches!(
+            unit.tasks[0].params[0].guard,
+            FlagExprAst::And(..)
+        ));
     }
 
     #[test]

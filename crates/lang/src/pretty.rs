@@ -41,7 +41,13 @@ pub fn class_to_source(class: &ClassDecl) -> String {
             .map(|(ty, name)| format!("{} {name}", type_to_source(ty)))
             .collect();
         if method.is_ctor {
-            let _ = writeln!(out, "    {}({}) {}", method.name, params.join(", "), block_to_source(&method.body, 1));
+            let _ = writeln!(
+                out,
+                "    {}({}) {}",
+                method.name,
+                params.join(", "),
+                block_to_source(&method.body, 1)
+            );
         } else {
             let _ = writeln!(
                 out,
@@ -63,10 +69,18 @@ pub fn task_to_source(task: &TaskDecl) -> String {
         .params
         .iter()
         .map(|p| {
-            let mut s = format!("{} {} in {}", p.class, p.name, flag_expr_to_source(&p.guard));
+            let mut s = format!(
+                "{} {} in {}",
+                p.class,
+                p.name,
+                flag_expr_to_source(&p.guard)
+            );
             if !p.tags.is_empty() {
-                let tags: Vec<String> =
-                    p.tags.iter().map(|(tt, var)| format!("{tt} {var}")).collect();
+                let tags: Vec<String> = p
+                    .tags
+                    .iter()
+                    .map(|(tt, var)| format!("{tt} {var}"))
+                    .collect();
                 let _ = write!(s, " with {}", tags.join(" and "));
             }
             s
@@ -102,7 +116,11 @@ pub fn flag_expr_to_source(expr: &FlagExprAst) -> String {
         FlagExprAst::Const(false, _) => "false".to_string(),
         FlagExprAst::Not(inner) => format!("!({})", flag_expr_to_source(inner)),
         FlagExprAst::And(a, b) => {
-            format!("({} and {})", flag_expr_to_source(a), flag_expr_to_source(b))
+            format!(
+                "({} and {})",
+                flag_expr_to_source(a),
+                flag_expr_to_source(b)
+            )
         }
         FlagExprAst::Or(a, b) => {
             format!("({} or {})", flag_expr_to_source(a), flag_expr_to_source(b))
@@ -137,7 +155,12 @@ fn stmt_to_source(stmt: &Stmt, depth: usize) -> String {
         Stmt::Assign { lhs, rhs, .. } => {
             format!("{pad}{} = {};\n", expr_to_source(lhs), expr_to_source(rhs))
         }
-        Stmt::If { cond, then_blk, else_blk, .. } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
             let mut out = format!(
                 "{pad}if ({}) {}",
                 expr_to_source(cond),
@@ -156,7 +179,13 @@ fn stmt_to_source(stmt: &Stmt, depth: usize) -> String {
                 block_to_source(body, depth)
             )
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             let simple = |s: &Option<Box<Stmt>>| match s {
                 Some(s) => {
                     let rendered = stmt_to_source(s, 0);
@@ -219,7 +248,10 @@ pub fn expr_to_source(expr: &Expr) -> String {
         Expr::BoolLit(v, _) => v.to_string(),
         Expr::StrLit(s, _) => format!(
             "\"{}\"",
-            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\t', "\\t")
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
         ),
         Expr::Var(name, _) => name.clone(),
         Expr::This(_) => "this".to_string(),
@@ -227,14 +259,18 @@ pub fn expr_to_source(expr: &Expr) -> String {
         Expr::Index { arr, idx, .. } => {
             format!("{}[{}]", expr_to_source(arr), expr_to_source(idx))
         }
-        Expr::Call { recv, name, args, .. } => {
+        Expr::Call {
+            recv, name, args, ..
+        } => {
             let args: Vec<String> = args.iter().map(expr_to_source).collect();
             match recv {
                 Some(recv) => format!("{}.{name}({})", expr_to_source(recv), args.join(", ")),
                 None => format!("{name}({})", args.join(", ")),
             }
         }
-        Expr::New { class, args, state, .. } => {
+        Expr::New {
+            class, args, state, ..
+        } => {
             let args: Vec<String> = args.iter().map(expr_to_source).collect();
             let mut out = format!("new {class}({})", args.join(", "));
             if !state.is_empty() {

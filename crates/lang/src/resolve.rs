@@ -109,17 +109,26 @@ impl<'a> Resolver<'a> {
                     flags.push(flag.clone());
                 }
             }
-            self.classes.push(ClassSpec { name: class.name.clone(), flags });
+            self.classes.push(ClassSpec {
+                name: class.name.clone(),
+                flags,
+            });
         }
         for (i, tt) in self.unit.tag_types.iter().enumerate() {
-            if self.tag_type_ids.insert(tt.name.clone(), TagTypeId::new(i)).is_some() {
+            if self
+                .tag_type_ids
+                .insert(tt.name.clone(), TagTypeId::new(i))
+                .is_some()
+            {
                 self.err(tt.span, format!("duplicate tag type `{}`", tt.name));
             }
         }
         // Field and method tables (types can now be resolved).
         for class in &self.unit.classes {
-            let mut table =
-                ClassTable { fields: HashMap::new(), methods: HashMap::new() };
+            let mut table = ClassTable {
+                fields: HashMap::new(),
+                methods: HashMap::new(),
+            };
             let mut ir = IrClass::default();
             for field in &class.fields {
                 let ty = self.resolve_type(&field.ty, field.span);
@@ -130,11 +139,17 @@ impl<'a> Resolver<'a> {
                 {
                     self.err(field.span, format!("duplicate field `{}`", field.name));
                 }
-                ir.fields.push(IrField { name: field.name.clone(), ty });
+                ir.fields.push(IrField {
+                    name: field.name.clone(),
+                    ty,
+                });
             }
             for method in &class.methods {
-                let params: Vec<Type> =
-                    method.params.iter().map(|(t, _)| self.resolve_type(t, method.span)).collect();
+                let params: Vec<Type> = method
+                    .params
+                    .iter()
+                    .map(|(t, _)| self.resolve_type(t, method.span))
+                    .collect();
                 let ret = if method.is_ctor {
                     Type::Void
                 } else {
@@ -143,7 +158,16 @@ impl<'a> Resolver<'a> {
                 let idx = ir.methods.len() as u32;
                 if table
                     .methods
-                    .insert(method.name.clone(), (idx, MethodSig { params, ret: ret.clone() }))
+                    .insert(
+                        method.name.clone(),
+                        (
+                            idx,
+                            MethodSig {
+                                params,
+                                ret: ret.clone(),
+                            },
+                        ),
+                    )
                     .is_some()
                 {
                     self.err(method.span, format!("duplicate method `{}`", method.name));
@@ -266,7 +290,12 @@ impl<'a> Resolver<'a> {
                 }
                 tags.push(TagConstraint { tag_type, var });
             }
-            params.push(ParamSpec { name: p.name.clone(), class, guard, tags });
+            params.push(ParamSpec {
+                name: p.name.clone(),
+                class,
+                guard,
+                tags,
+            });
         }
 
         let mut collect = TaskCollect {
@@ -287,7 +316,10 @@ impl<'a> Resolver<'a> {
             // Control can fall off the end: give the task an implicit
             // actionless exit so the runtime always observes a taskexit.
             let exit = ExitId::new(collect.exits.len());
-            collect.exits.push(ExitSpec { label: "_implicit".to_string(), actions: Vec::new() });
+            collect.exits.push(ExitSpec {
+                label: "_implicit".to_string(),
+                actions: Vec::new(),
+            });
             stmts.push(IrStmt::TaskExit(exit));
         }
         let spec = TaskSpec {
@@ -297,14 +329,22 @@ impl<'a> Resolver<'a> {
             alloc_sites: collect.alloc_sites,
             tag_vars: collect.tag_vars,
         };
-        let body = IrBody { n_slots, n_tag_slots: spec.tag_vars.len(), stmts };
+        let body = IrBody {
+            n_slots,
+            n_tag_slots: spec.tag_vars.len(),
+            stmts,
+        };
         (spec, body)
     }
 
     fn resolve_guard(&mut self, guard: &FlagExprAst, class: ClassId) -> FlagExpr {
         match guard {
             FlagExprAst::Flag(name, span) => {
-                match self.classes.get(class.index()).and_then(|c| c.flag_by_name(name)) {
+                match self
+                    .classes
+                    .get(class.index())
+                    .and_then(|c| c.flag_by_name(name))
+                {
                     Some(flag) => FlagExpr::Flag(flag),
                     None => {
                         let class_name = self
@@ -312,22 +352,19 @@ impl<'a> Resolver<'a> {
                             .get(class.index())
                             .map(|c| c.name.clone())
                             .unwrap_or_default();
-                        self.err(
-                            *span,
-                            format!("class `{class_name}` has no flag `{name}`"),
-                        );
+                        self.err(*span, format!("class `{class_name}` has no flag `{name}`"));
                         FlagExpr::Const(false)
                     }
                 }
             }
             FlagExprAst::Const(b, _) => FlagExpr::Const(*b),
             FlagExprAst::Not(inner) => self.resolve_guard(inner, class).not(),
-            FlagExprAst::And(a, b) => {
-                self.resolve_guard(a, class).and(self.resolve_guard(b, class))
-            }
-            FlagExprAst::Or(a, b) => {
-                self.resolve_guard(a, class).or(self.resolve_guard(b, class))
-            }
+            FlagExprAst::And(a, b) => self
+                .resolve_guard(a, class)
+                .and(self.resolve_guard(b, class)),
+            FlagExprAst::Or(a, b) => self
+                .resolve_guard(a, class)
+                .or(self.resolve_guard(b, class)),
         }
     }
 
@@ -342,12 +379,18 @@ impl<'a> Resolver<'a> {
                         Span::DUMMY,
                         "class `StartupObject` must declare flag `initialstate`",
                     );
-                    StartupSpec { class, flag: crate::ids::FlagId::new(0) }
+                    StartupSpec {
+                        class,
+                        flag: crate::ids::FlagId::new(0),
+                    }
                 }
             },
             None => {
                 self.err(Span::DUMMY, "program must declare class `StartupObject`");
-                StartupSpec { class: ClassId::new(0), flag: crate::ids::FlagId::new(0) }
+                StartupSpec {
+                    class: ClassId::new(0),
+                    flag: crate::ids::FlagId::new(0),
+                }
             }
         };
         if !self.diags.is_empty() {
@@ -360,7 +403,9 @@ impl<'a> Resolver<'a> {
                 .unit
                 .tag_types
                 .iter()
-                .map(|t| TagTypeSpec { name: t.name.clone() })
+                .map(|t| TagTypeSpec {
+                    name: t.name.clone(),
+                })
                 .collect(),
             tasks: self.tasks,
             startup,
@@ -368,10 +413,16 @@ impl<'a> Resolver<'a> {
         let problems = spec.validate();
         if !problems.is_empty() {
             return Err(CompileError::from_list(
-                problems.into_iter().map(|p| Diagnostic::new(Span::DUMMY, p)).collect(),
+                problems
+                    .into_iter()
+                    .map(|p| Diagnostic::new(Span::DUMMY, p))
+                    .collect(),
             ));
         }
-        let ir = IrProgram { classes: self.ir_classes, tasks: self.task_bodies };
+        let ir = IrProgram {
+            classes: self.ir_classes,
+            tasks: self.task_bodies,
+        };
         Ok(CompiledProgram { spec, ir })
     }
 }
@@ -431,8 +482,11 @@ impl<'r, 'a> BodyCx<'r, 'a> {
         collect: &'r mut TaskCollect,
         task: &ast::TaskDecl,
     ) -> Self {
-        let param_info: Vec<(String, ClassId)> =
-            collect.params.iter().map(|p| (p.name.clone(), p.class)).collect();
+        let param_info: Vec<(String, ClassId)> = collect
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.class))
+            .collect();
         let mut cx = BodyCx {
             res,
             diags: Vec::new(),
@@ -458,7 +512,10 @@ impl<'r, 'a> BodyCx<'r, 'a> {
         self.slot_types.push(ty);
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.clone(), slot).is_some() {
-            self.err(span, format!("variable `{name}` already declared in this scope"));
+            self.err(
+                span,
+                format!("variable `{name}` already declared in this scope"),
+            );
         }
         slot
     }
@@ -471,14 +528,23 @@ impl<'r, 'a> BodyCx<'r, 'a> {
 
     fn lower_block(&mut self, block: &Block) -> Vec<IrStmt> {
         self.scopes.push(HashMap::new());
-        let stmts = block.stmts.iter().filter_map(|s| self.lower_stmt(s)).collect();
+        let stmts = block
+            .stmts
+            .iter()
+            .filter_map(|s| self.lower_stmt(s))
+            .collect();
         self.scopes.pop();
         stmts
     }
 
     fn lower_stmt(&mut self, stmt: &Stmt) -> Option<IrStmt> {
         match stmt {
-            Stmt::Local { ty, name, init, span } => {
+            Stmt::Local {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 let ty = self.res.resolve_type(ty, *span);
                 let init_ir = match init {
                     Some(expr) => {
@@ -503,16 +569,33 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                 let (value, vty) = self.lower_expr(rhs)?;
                 let (place, pty) = self.lower_place(lhs)?;
                 if !vty.assignable_to(&pty) {
-                    self.err(*span, format!("cannot assign `{vty}` to location of type `{pty}`"));
+                    self.err(
+                        *span,
+                        format!("cannot assign `{vty}` to location of type `{pty}`"),
+                    );
                 }
-                Some(IrStmt::Assign { target: place, value })
+                Some(IrStmt::Assign {
+                    target: place,
+                    value,
+                })
             }
-            Stmt::If { cond, then_blk, else_blk, span } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
                 let cond = self.lower_bool(cond, *span);
                 let then_blk = self.lower_block(then_blk);
-                let else_blk =
-                    else_blk.as_ref().map(|b| self.lower_block(b)).unwrap_or_default();
-                Some(IrStmt::If { cond: cond?, then_blk, else_blk })
+                let else_blk = else_blk
+                    .as_ref()
+                    .map(|b| self.lower_block(b))
+                    .unwrap_or_default();
+                Some(IrStmt::If {
+                    cond: cond?,
+                    then_blk,
+                    else_blk,
+                })
             }
             Stmt::While { cond, body, span } => {
                 let cond = self.lower_bool(cond, *span);
@@ -521,23 +604,45 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                 self.loop_depth -= 1;
                 Some(IrStmt::While { cond: cond?, body })
             }
-            Stmt::For { init, cond, step, body, span } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 self.scopes.push(HashMap::new());
-                let init = init.as_ref().and_then(|s| self.lower_stmt(s)).into_iter().collect();
+                let init = init
+                    .as_ref()
+                    .and_then(|s| self.lower_stmt(s))
+                    .into_iter()
+                    .collect();
                 let cond = match cond {
                     Some(c) => Some(self.lower_bool(c, *span)?),
                     None => None,
                 };
-                let step = step.as_ref().and_then(|s| self.lower_stmt(s)).into_iter().collect();
+                let step = step
+                    .as_ref()
+                    .and_then(|s| self.lower_stmt(s))
+                    .into_iter()
+                    .collect();
                 self.loop_depth += 1;
                 let body = self.lower_block(body);
                 self.loop_depth -= 1;
                 self.scopes.pop();
-                Some(IrStmt::For { init, cond, step, body })
+                Some(IrStmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Stmt::Return { value, span } => {
                 if self.task.is_some() {
-                    self.err(*span, "`return` is not allowed in a task body; use `taskexit`");
+                    self.err(
+                        *span,
+                        "`return` is not allowed in a task body; use `taskexit`",
+                    );
                     return None;
                 }
                 match (value, self.ret.clone()) {
@@ -553,7 +658,10 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                     (Some(expr), ret) => {
                         let (ir, ty) = self.lower_expr(expr)?;
                         if !ty.assignable_to(&ret) {
-                            self.err(*span, format!("cannot return `{ty}` from method returning `{ret}`"));
+                            self.err(
+                                *span,
+                                format!("cannot return `{ty}` from method returning `{ret}`"),
+                            );
                         }
                         Some(IrStmt::Return(Some(ir)))
                     }
@@ -572,7 +680,11 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                 Some(IrStmt::Continue)
             }
             Stmt::TaskExit { actions, span } => self.lower_taskexit(actions, *span),
-            Stmt::NewTag { var, tag_type, span } => {
+            Stmt::NewTag {
+                var,
+                tag_type,
+                span,
+            } => {
                 let tag_type_id = match self.res.tag_type_ids.get(tag_type) {
                     Some(&id) => id,
                     None => {
@@ -599,7 +711,10 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                     from_param: false,
                 });
                 task.tag_scope.insert(var.clone(), id);
-                Some(IrStmt::NewTag { var: id, tag_type: tag_type_id })
+                Some(IrStmt::NewTag {
+                    var: id,
+                    tag_type: tag_type_id,
+                })
             }
             Stmt::Expr(expr) => {
                 let (ir, _) = self.lower_expr(expr)?;
@@ -608,7 +723,11 @@ impl<'r, 'a> BodyCx<'r, 'a> {
             Stmt::Block(block) => {
                 let stmts = self.lower_block(block);
                 // Represent a bare block as an `if (true)` for simplicity.
-                Some(IrStmt::If { cond: IrExpr::ConstBool(true), then_blk: stmts, else_blk: vec![] })
+                Some(IrStmt::If {
+                    cond: IrExpr::ConstBool(true),
+                    then_blk: stmts,
+                    else_blk: vec![],
+                })
             }
         }
     }
@@ -624,9 +743,14 @@ impl<'r, 'a> BodyCx<'r, 'a> {
         }
         let mut spec_actions: Vec<(ParamIdx, Vec<FlagOrTagAction>)> = Vec::new();
         for (param_name, list) in actions {
-            let Some(task) = self.task.as_ref() else { unreachable!() };
+            let Some(task) = self.task.as_ref() else {
+                unreachable!()
+            };
             let Some(pos) = task.params.iter().position(|p| &p.name == param_name) else {
-                self.err(span, format!("`taskexit` names unknown parameter `{param_name}`"));
+                self.err(
+                    span,
+                    format!("`taskexit` names unknown parameter `{param_name}`"),
+                );
                 continue;
             };
             let class = task.params[pos].class;
@@ -638,10 +762,8 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                         match class_spec.flag_by_name(flag) {
                             Some(id) => resolved.push(FlagOrTagAction::SetFlag(id, *value)),
                             None => {
-                                let msg = format!(
-                                    "class `{}` has no flag `{flag}`",
-                                    class_spec.name
-                                );
+                                let msg =
+                                    format!("class `{}` has no flag `{flag}`", class_spec.name);
                                 self.err(*aspan, msg);
                             }
                         }
@@ -666,7 +788,10 @@ impl<'r, 'a> BodyCx<'r, 'a> {
         }
         let task = self.task.as_mut().expect("checked above");
         let exit = ExitId::new(task.exits.len());
-        task.exits.push(ExitSpec { label: format!("exit{}", exit.index()), actions: spec_actions });
+        task.exits.push(ExitSpec {
+            label: format!("exit{}", exit.index()),
+            actions: spec_actions,
+        });
         Some(IrStmt::TaskExit(exit))
     }
 
@@ -675,9 +800,7 @@ impl<'r, 'a> BodyCx<'r, 'a> {
     fn lower_place(&mut self, expr: &Expr) -> Option<(IrPlace, Type)> {
         match expr {
             Expr::Var(name, span) => match self.lookup(name) {
-                Some(slot) => {
-                    Some((IrPlace::Local(slot), self.slot_types[slot as usize].clone()))
-                }
+                Some(slot) => Some((IrPlace::Local(slot), self.slot_types[slot as usize].clone())),
                 None => {
                     self.err(*span, format!("unknown variable `{name}`"));
                     None
@@ -687,18 +810,31 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                 let (obj_ir, obj_ty) = self.lower_expr(obj)?;
                 let class = self.expect_class(&obj_ty, *span)?;
                 let (idx, ty) = self.field_of(class, name, *span)?;
-                Some((IrPlace::Field { obj: obj_ir, field: idx }, ty))
+                Some((
+                    IrPlace::Field {
+                        obj: obj_ir,
+                        field: idx,
+                    },
+                    ty,
+                ))
             }
             Expr::Index { arr, idx, span } => {
                 let (arr_ir, arr_ty) = self.lower_expr(arr)?;
                 let (idx_ir, idx_ty) = self.lower_expr(idx)?;
                 if idx_ty != Type::Int {
-                    self.err(*span, format!("array index must be `int`, found `{idx_ty}`"));
+                    self.err(
+                        *span,
+                        format!("array index must be `int`, found `{idx_ty}`"),
+                    );
                 }
                 match arr_ty {
-                    Type::Array(elem) => {
-                        Some((IrPlace::Index { arr: arr_ir, idx: idx_ir }, *elem))
-                    }
+                    Type::Array(elem) => Some((
+                        IrPlace::Index {
+                            arr: arr_ir,
+                            idx: idx_ir,
+                        },
+                        *elem,
+                    )),
                     other => {
                         self.err(*span, format!("cannot index non-array type `{other}`"));
                         None
@@ -774,17 +910,29 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                 let (obj_ir, obj_ty) = self.lower_expr(obj)?;
                 let class = self.expect_class(&obj_ty, *span)?;
                 let (idx, ty) = self.field_of(class, name, *span)?;
-                Some((IrExpr::Field { obj: Box::new(obj_ir), field: idx }, ty))
+                Some((
+                    IrExpr::Field {
+                        obj: Box::new(obj_ir),
+                        field: idx,
+                    },
+                    ty,
+                ))
             }
             Expr::Index { arr, idx, span } => {
                 let (arr_ir, arr_ty) = self.lower_expr(arr)?;
                 let (idx_ir, idx_ty) = self.lower_expr(idx)?;
                 if idx_ty != Type::Int {
-                    self.err(*span, format!("array index must be `int`, found `{idx_ty}`"));
+                    self.err(
+                        *span,
+                        format!("array index must be `int`, found `{idx_ty}`"),
+                    );
                 }
                 match arr_ty {
                     Type::Array(elem) => Some((
-                        IrExpr::Index { arr: Box::new(arr_ir), idx: Box::new(idx_ir) },
+                        IrExpr::Index {
+                            arr: Box::new(arr_ir),
+                            idx: Box::new(idx_ir),
+                        },
                         *elem,
                     )),
                     other => {
@@ -793,14 +941,22 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                     }
                 }
             }
-            Expr::Call { recv: Some(recv), name, args, span } => {
+            Expr::Call {
+                recv: Some(recv),
+                name,
+                args,
+                span,
+            } => {
                 let (obj_ir, obj_ty) = self.lower_expr(recv)?;
                 let class = self.expect_class(&obj_ty, *span)?;
                 let (idx, sig) = match self.res.tables[class.index()].methods.get(name) {
                     Some((idx, sig)) => (*idx, sig.clone()),
                     None => {
                         let class_name = self.res.classes[class.index()].name.clone();
-                        self.err(*span, format!("class `{class_name}` has no method `{name}`"));
+                        self.err(
+                            *span,
+                            format!("class `{class_name}` has no method `{name}`"),
+                        );
                         return None;
                     }
                 };
@@ -815,22 +971,41 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                     sig.ret,
                 ))
             }
-            Expr::Call { recv: None, name, args, span } => {
+            Expr::Call {
+                recv: None,
+                name,
+                args,
+                span,
+            } => {
                 let Some(builtin) = Builtin::by_name(name) else {
-                    self.err(*span, format!("unknown function `{name}` (methods need a receiver)"));
+                    self.err(
+                        *span,
+                        format!("unknown function `{name}` (methods need a receiver)"),
+                    );
                     return None;
                 };
                 self.lower_builtin(builtin, args, *span)
             }
-            Expr::New { class, args, state, span } => self.lower_new(class, args, state, *span),
+            Expr::New {
+                class,
+                args,
+                state,
+                span,
+            } => self.lower_new(class, args, state, *span),
             Expr::NewArray { elem, len, span } => {
                 let elem_ty = self.res.resolve_type(elem, *span);
                 let (len_ir, len_ty) = self.lower_expr(len)?;
                 if len_ty != Type::Int {
-                    self.err(*span, format!("array length must be `int`, found `{len_ty}`"));
+                    self.err(
+                        *span,
+                        format!("array length must be `int`, found `{len_ty}`"),
+                    );
                 }
                 Some((
-                    IrExpr::NewArray { elem: elem_ty.clone(), len: Box::new(len_ir) },
+                    IrExpr::NewArray {
+                        elem: elem_ty.clone(),
+                        len: Box::new(len_ir),
+                    },
                     Type::Array(Box::new(elem_ty)),
                 ))
             }
@@ -844,14 +1019,24 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                         return None;
                     }
                 };
-                Some((IrExpr::Unary { op: *op, expr: Box::new(ir) }, out))
+                Some((
+                    IrExpr::Unary {
+                        op: *op,
+                        expr: Box::new(ir),
+                    },
+                    out,
+                ))
             }
             Expr::Binary { op, lhs, rhs, span } => {
                 let (lir, lty) = self.lower_expr(lhs)?;
                 let (rir, rty) = self.lower_expr(rhs)?;
                 let out = self.binary_type(*op, &lty, &rty, *span)?;
                 Some((
-                    IrExpr::Binary { op: *op, lhs: Box::new(lir), rhs: Box::new(rir) },
+                    IrExpr::Binary {
+                        op: *op,
+                        lhs: Box::new(lir),
+                        rhs: Box::new(rir),
+                    },
                     out,
                 ))
             }
@@ -868,7 +1053,11 @@ impl<'r, 'a> BodyCx<'r, 'a> {
         if args.len() != params.len() {
             self.err(
                 span,
-                format!("`{what}` expects {} arguments, found {}", params.len(), args.len()),
+                format!(
+                    "`{what}` expects {} arguments, found {}",
+                    params.len(),
+                    args.len()
+                ),
             );
             return None;
         }
@@ -941,7 +1130,10 @@ impl<'r, 'a> BodyCx<'r, 'a> {
         if args.len() != builtin.arity() {
             self.err(
                 span,
-                format!("builtin `{builtin:?}` expects {} arguments", builtin.arity()),
+                format!(
+                    "builtin `{builtin:?}` expects {} arguments",
+                    builtin.arity()
+                ),
             );
             return None;
         }
@@ -1014,7 +1206,10 @@ impl<'r, 'a> BodyCx<'r, 'a> {
         found: &Type,
         span: Span,
     ) -> Option<(IrExpr, Type)> {
-        self.err(span, format!("builtin `{builtin:?}` is not defined on `{found}`"));
+        self.err(
+            span,
+            format!("builtin `{builtin:?}` is not defined on `{found}`"),
+        );
         None
     }
 
@@ -1081,7 +1276,11 @@ impl<'r, 'a> BodyCx<'r, 'a> {
                 }
             }
             let site = AllocSiteId::new(task.alloc_sites.len());
-            task.alloc_sites.push(AllocSiteSpec { class, initial_flags, bound_tags });
+            task.alloc_sites.push(AllocSiteSpec {
+                class,
+                initial_flags,
+                bound_tags,
+            });
             Some(site)
         } else {
             if !state.is_empty() {
@@ -1094,7 +1293,14 @@ impl<'r, 'a> BodyCx<'r, 'a> {
             }
             None
         };
-        Some((IrExpr::New { class, args: args_ir, site }, Type::Class(class)))
+        Some((
+            IrExpr::New {
+                class,
+                args: args_ir,
+                site,
+            },
+            Type::Class(class),
+        ))
     }
 }
 
@@ -1119,9 +1325,9 @@ fn block_terminates(stmts: &[IrStmt]) -> bool {
 fn stmt_terminates(stmt: &IrStmt) -> bool {
     match stmt {
         IrStmt::TaskExit(_) | IrStmt::Return(_) => true,
-        IrStmt::If { then_blk, else_blk, .. } => {
-            block_terminates(then_blk) && block_terminates(else_blk)
-        }
+        IrStmt::If {
+            then_blk, else_blk, ..
+        } => block_terminates(then_blk) && block_terminates(else_blk),
         _ => false,
     }
 }
@@ -1181,14 +1387,20 @@ mod tests {
         let task = compiled.spec.task(startup);
         assert_eq!(task.alloc_sites.len(), 2);
         assert_eq!(task.exits.len(), 1);
-        let merge = compiled.spec.task_by_name("mergeIntermediateResult").unwrap();
+        let merge = compiled
+            .spec
+            .task_by_name("mergeIntermediateResult")
+            .unwrap();
         assert_eq!(compiled.spec.task(merge).exits.len(), 2);
     }
 
     #[test]
     fn startup_class_is_required() {
-        let err = compile_source("x", "class A { flag f; } task t(A a in f) { taskexit(a: f := false); }")
-            .unwrap_err();
+        let err = compile_source(
+            "x",
+            "class A { flag f; } task t(A a in f) { taskexit(a: f := false); }",
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("StartupObject"));
     }
 
@@ -1248,7 +1460,9 @@ mod tests {
             task u(W w in ready) { taskexit(w: ready := false); }
         "#;
         let err = compile_source("x", src).unwrap_err();
-        assert!(err.to_string().contains("may only be allocated in task bodies"));
+        assert!(err
+            .to_string()
+            .contains("may only be allocated in task bodies"));
     }
 
     #[test]
@@ -1317,11 +1531,15 @@ mod tests {
             }
         "#;
         let compiled = compile_source("x", src).unwrap();
-        let startsave = compiled.spec.task(compiled.spec.task_by_name("startsave").unwrap());
+        let startsave = compiled
+            .spec
+            .task(compiled.spec.task_by_name("startsave").unwrap());
         assert_eq!(startsave.tag_vars.len(), 1);
         assert!(!startsave.tag_vars[0].from_param);
         assert_eq!(startsave.alloc_sites[0].bound_tags.len(), 1);
-        let finishsave = compiled.spec.task(compiled.spec.task_by_name("finishsave").unwrap());
+        let finishsave = compiled
+            .spec
+            .task(compiled.spec.task_by_name("finishsave").unwrap());
         assert!(finishsave.all_params_share_tag());
     }
 

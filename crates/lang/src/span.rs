@@ -4,7 +4,9 @@ use std::error::Error;
 use std::fmt;
 
 /// A half-open byte range into a source file, with line/column of its start.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Span {
     /// Byte offset of the first character.
     pub start: u32,
@@ -18,18 +20,32 @@ pub struct Span {
 
 impl Span {
     /// A span covering nothing, used for synthesized nodes.
-    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+    pub const DUMMY: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
 
     /// Creates a span from raw coordinates.
     pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// Returns the smallest span covering both `self` and `other`.
     ///
     /// Line/column information is taken from whichever span starts first.
     pub fn to(self, other: Span) -> Span {
-        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
@@ -58,7 +74,10 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates a diagnostic at `span`.
     pub fn new(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { span, message: message.into() }
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
     }
 }
 
@@ -84,7 +103,9 @@ pub struct CompileError {
 impl CompileError {
     /// Wraps a single diagnostic.
     pub fn single(diag: Diagnostic) -> Self {
-        CompileError { diagnostics: vec![diag] }
+        CompileError {
+            diagnostics: vec![diag],
+        }
     }
 
     /// Wraps a list of diagnostics.
@@ -93,7 +114,10 @@ impl CompileError {
     ///
     /// Panics if `diagnostics` is empty.
     pub fn from_list(diagnostics: Vec<Diagnostic>) -> Self {
-        assert!(!diagnostics.is_empty(), "CompileError requires at least one diagnostic");
+        assert!(
+            !diagnostics.is_empty(),
+            "CompileError requires at least one diagnostic"
+        );
         CompileError { diagnostics }
     }
 }

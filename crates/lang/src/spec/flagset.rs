@@ -11,7 +11,9 @@ pub const MAX_FLAGS: usize = 64;
 /// Bamboo objects may simultaneously be in multiple abstract states; a
 /// `FlagSet` is the concrete representation of that valuation. Flag ids are
 /// local to the owning class.
-#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct FlagSet(u64);
 
 impl FlagSet {
@@ -81,7 +83,9 @@ impl FlagSet {
 
     /// Iterates over the set flags in increasing id order.
     pub fn iter(self) -> impl Iterator<Item = FlagId> {
-        (0..MAX_FLAGS as u32).filter(move |i| self.0 & (1 << i) != 0).map(FlagId)
+        (0..MAX_FLAGS as u32)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(FlagId)
     }
 }
 
@@ -136,7 +140,9 @@ mod tests {
 
     #[test]
     fn iter_yields_sorted_flags() {
-        let s: FlagSet = [FlagId::new(5), FlagId::new(1), FlagId::new(9)].into_iter().collect();
+        let s: FlagSet = [FlagId::new(5), FlagId::new(1), FlagId::new(9)]
+            .into_iter()
+            .collect();
         let got: Vec<usize> = s.iter().map(FlagId::index).collect();
         assert_eq!(got, vec![1, 5, 9]);
     }

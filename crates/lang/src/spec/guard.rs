@@ -95,7 +95,9 @@ mod tests {
         assert!(FlagExpr::flag(f(0)).eval(flags));
         assert!(!FlagExpr::flag(f(1)).eval(flags));
         assert!(FlagExpr::flag(f(1)).not().eval(flags));
-        assert!(FlagExpr::flag(f(0)).and(FlagExpr::flag(f(1)).not()).eval(flags));
+        assert!(FlagExpr::flag(f(0))
+            .and(FlagExpr::flag(f(1)).not())
+            .eval(flags));
         assert!(FlagExpr::flag(f(1)).or(FlagExpr::flag(f(0))).eval(flags));
         assert!(FlagExpr::Const(true).eval(FlagSet::EMPTY));
         assert!(!FlagExpr::Const(false).eval(flags));

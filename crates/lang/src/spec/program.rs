@@ -203,9 +203,11 @@ impl TaskSpec {
             return false;
         }
         let first: Vec<TagVarId> = self.params[0].tags.iter().map(|t| t.var).collect();
-        first
-            .iter()
-            .any(|var| self.params.iter().all(|p| p.tags.iter().any(|t| t.var == *var)))
+        first.iter().any(|var| {
+            self.params
+                .iter()
+                .all(|p| p.tags.iter().any(|t| t.var == *var))
+        })
     }
 }
 
@@ -256,27 +258,42 @@ impl ProgramSpec {
 
     /// Looks up a class by name.
     pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
-        self.classes.iter().position(|c| c.name == name).map(ClassId::new)
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId::new)
     }
 
     /// Looks up a task by name.
     pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
-        self.tasks.iter().position(|t| t.name == name).map(TaskId::new)
+        self.tasks
+            .iter()
+            .position(|t| t.name == name)
+            .map(TaskId::new)
     }
 
     /// Looks up a tag type by name.
     pub fn tag_type_by_name(&self, name: &str) -> Option<TagTypeId> {
-        self.tag_types.iter().position(|t| t.name == name).map(TagTypeId::new)
+        self.tag_types
+            .iter()
+            .position(|t| t.name == name)
+            .map(TagTypeId::new)
     }
 
     /// Iterates over `(TaskId, &TaskSpec)`.
     pub fn tasks_enumerated(&self) -> impl Iterator<Item = (TaskId, &TaskSpec)> {
-        self.tasks.iter().enumerate().map(|(i, t)| (TaskId::new(i), t))
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId::new(i), t))
     }
 
     /// Iterates over `(ClassId, &ClassSpec)`.
     pub fn classes_enumerated(&self) -> impl Iterator<Item = (ClassId, &ClassSpec)> {
-        self.classes.iter().enumerate().map(|(i, c)| (ClassId::new(i), c))
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId::new(i), c))
     }
 
     /// Returns, per class, the set of flags mentioned in any task guard —
@@ -352,7 +369,10 @@ impl ProgramSpec {
         }
         for param in &task.params {
             if param.class.index() >= self.classes.len() {
-                problems.push(bad(format!("parameter `{}` has out-of-range class", param.name)));
+                problems.push(bad(format!(
+                    "parameter `{}` has out-of-range class",
+                    param.name
+                )));
                 continue;
             }
             let class = self.class(param.class);
@@ -448,7 +468,11 @@ impl ProgramSpec {
                 ));
             }
             for (i, e) in task.exits.iter().enumerate() {
-                out.push_str(&format!("  exit {i} `{}`: {} action groups\n", e.label, e.actions.len()));
+                out.push_str(&format!(
+                    "  exit {i} `{}`: {} action groups\n",
+                    e.label,
+                    e.actions.len()
+                ));
             }
             for (i, s) in task.alloc_sites.iter().enumerate() {
                 out.push_str(&format!(
@@ -475,7 +499,9 @@ impl fmt::Display for ProgramSpec {
 }
 
 /// References an allocation site globally: which task, which site within it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct GlobalAllocSite {
     /// The task containing the site.
     pub task: TaskId,
@@ -553,7 +579,10 @@ mod tests {
                     tag_vars: vec![],
                 },
             ],
-            startup: StartupSpec { class: ClassId::new(0), flag: FlagId::new(0) },
+            startup: StartupSpec {
+                class: ClassId::new(0),
+                flag: FlagId::new(0),
+            },
         }
     }
 
@@ -607,8 +636,14 @@ mod tests {
     #[test]
     fn validation_detects_duplicate_class() {
         let mut spec = tiny_spec();
-        spec.classes.push(ClassSpec { name: "Work".to_string(), flags: vec![] });
-        assert!(spec.validate().iter().any(|p| p.contains("duplicate class")));
+        spec.classes.push(ClassSpec {
+            name: "Work".to_string(),
+            flags: vec![],
+        });
+        assert!(spec
+            .validate()
+            .iter()
+            .any(|p| p.contains("duplicate class")));
     }
 
     #[test]
@@ -645,9 +680,15 @@ mod param_validation_tests {
                 alloc_sites: vec![],
                 tag_vars: vec![],
             }],
-            startup: StartupSpec { class: ClassId::new(0), flag: FlagId::new(0) },
+            startup: StartupSpec {
+                class: ClassId::new(0),
+                flag: FlagId::new(0),
+            },
         };
         let problems = spec.validate();
-        assert!(problems.iter().any(|p| p.contains("no parameters")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("no parameters")),
+            "{problems:?}"
+        );
     }
 }

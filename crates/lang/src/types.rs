@@ -43,7 +43,10 @@ impl Type {
     /// Returns whether this is a reference type (class, array, string, or
     /// null).
     pub fn is_reference(&self) -> bool {
-        matches!(self, Type::Class(_) | Type::Array(_) | Type::Str | Type::Null)
+        matches!(
+            self,
+            Type::Class(_) | Type::Array(_) | Type::Str | Type::Null
+        )
     }
 
     /// Returns whether this is `int` or `float`.

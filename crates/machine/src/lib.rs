@@ -26,7 +26,9 @@
 use std::fmt;
 
 /// Identifies one usable core (logical index; reserved tiles are skipped).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct CoreId(pub u32);
 
 impl CoreId {
@@ -99,9 +101,15 @@ impl MachineDescription {
         transfer_word_cycles: u64,
     ) -> Self {
         let tiles = width * height;
-        assert!(reserved.iter().all(|&r| r < tiles), "reserved tile out of range");
+        assert!(
+            reserved.iter().all(|&r| r < tiles),
+            "reserved tile out of range"
+        );
         let physical: Vec<u32> = (0..tiles).filter(|t| !reserved.contains(t)).collect();
-        assert!(!physical.is_empty(), "machine must have at least one usable core");
+        assert!(
+            !physical.is_empty(),
+            "machine must have at least one usable core"
+        );
         MachineDescription {
             name: name.into(),
             grid_width: width,

@@ -56,14 +56,15 @@ impl<'p> MarkovModel<'p> {
             .iter()
             .map(|t| TaskState {
                 exit_counts: vec![0; t.exits.len()],
-                alloc_accum: vec![
-                    0.0;
-                    t.exits.first().map(|e| e.site_allocs.len()).unwrap_or(0)
-                ],
+                alloc_accum: vec![0.0; t.exits.first().map(|e| e.site_allocs.len()).unwrap_or(0)],
                 replay_pos: 0,
             })
             .collect();
-        MarkovModel { profile, states, replay: true }
+        MarkovModel {
+            profile,
+            states,
+            replay: true,
+        }
     }
 
     /// Creates a model that ignores the recorded invocation sequence and
@@ -147,7 +148,11 @@ impl<'p> MarkovModel<'p> {
                 allocs.push((AllocSiteId::new(site), emit as u64));
             }
         }
-        Prediction { exit, cycles, allocs }
+        Prediction {
+            exit,
+            cycles,
+            allocs,
+        }
     }
 
     /// Resets prediction state (for a fresh simulation over the same
@@ -172,8 +177,16 @@ mod tests {
             input: "x".into(),
             tasks: vec![TaskProfile {
                 exits: vec![
-                    ExitStats { count: 3, total_cycles: 30, site_allocs: vec![6] },
-                    ExitStats { count: 1, total_cycles: 100, site_allocs: vec![0] },
+                    ExitStats {
+                        count: 3,
+                        total_cycles: 30,
+                        site_allocs: vec![6],
+                    },
+                    ExitStats {
+                        count: 1,
+                        total_cycles: 100,
+                        site_allocs: vec![0],
+                    },
                 ],
                 sequence: Vec::new(),
             }],
@@ -185,8 +198,9 @@ mod tests {
     fn exit_choice_matches_probabilities() {
         let p = profile_two_exits();
         let mut m = MarkovModel::new(&p);
-        let exits: Vec<usize> =
-            (0..8).map(|_| m.predict(TaskId::new(0)).exit.index()).collect();
+        let exits: Vec<usize> = (0..8)
+            .map(|_| m.predict(TaskId::new(0)).exit.index())
+            .collect();
         // 75% exit 0, 25% exit 1 — deterministic interleaving.
         assert_eq!(exits.iter().filter(|&&e| e == 0).count(), 6);
         assert_eq!(exits.iter().filter(|&&e| e == 1).count(), 2);
@@ -231,7 +245,10 @@ mod tests {
         let p = Profile {
             program: "p".into(),
             input: "x".into(),
-            tasks: vec![TaskProfile { exits: vec![ExitStats::default()], sequence: Vec::new() }],
+            tasks: vec![TaskProfile {
+                exits: vec![ExitStats::default()],
+                sequence: Vec::new(),
+            }],
             total_cycles: 0,
         };
         MarkovModel::new(&p).predict(TaskId::new(0));

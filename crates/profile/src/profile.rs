@@ -186,13 +186,22 @@ impl ProfileCollector {
     /// # Panics
     ///
     /// Panics if the task, exit, or a site index is out of range.
-    pub fn record(&mut self, task: TaskId, exit: ExitId, cycles: Cycles, allocs: &[(AllocSiteId, u64)]) {
+    pub fn record(
+        &mut self,
+        task: TaskId,
+        exit: ExitId,
+        cycles: Cycles,
+        allocs: &[(AllocSiteId, u64)],
+    ) {
         let tp = &mut self.tasks[task.index()];
         let stats = &mut tp.exits[exit.index()];
         stats.count += 1;
         stats.total_cycles += cycles;
         for (site, n) in allocs {
-            assert!(site.index() < self.sites_per_task[task.index()], "site out of range");
+            assert!(
+                site.index() < self.sites_per_task[task.index()],
+                "site out of range"
+            );
             stats.site_allocs[site.index()] += n;
         }
         tp.sequence.push(InvocationRecord {
@@ -268,7 +277,12 @@ mod tests {
     fn collector_accumulates_stats() {
         let spec = spec();
         let mut c = ProfileCollector::new(&spec, "original");
-        c.record(TaskId::new(0), ExitId::new(0), 100, &[(AllocSiteId::new(0), 4)]);
+        c.record(
+            TaskId::new(0),
+            ExitId::new(0),
+            100,
+            &[(AllocSiteId::new(0), 4)],
+        );
         for _ in 0..3 {
             c.record(TaskId::new(1), ExitId::new(0), 10, &[]);
         }

@@ -26,11 +26,20 @@ pub struct CostModel {
 
 impl CostModel {
     /// The default model used throughout the evaluation.
-    pub const DEFAULT: CostModel =
-        CostModel { dispatch: 30, lock_per_param: 6, enqueue: 8, alloc: 12 };
+    pub const DEFAULT: CostModel = CostModel {
+        dispatch: 30,
+        lock_per_param: 6,
+        enqueue: 8,
+        alloc: 12,
+    };
 
     /// A zero-overhead model (for isolating body costs in tests).
-    pub const FREE: CostModel = CostModel { dispatch: 0, lock_per_param: 0, enqueue: 0, alloc: 0 };
+    pub const FREE: CostModel = CostModel {
+        dispatch: 0,
+        lock_per_param: 0,
+        enqueue: 0,
+        alloc: 0,
+    };
 
     /// Total runtime-side cycles for one invocation with `n_params`
     /// parameters.

@@ -12,6 +12,7 @@
 //! telemetry session, steal policy, quiescence protocol) that used to
 //! be positional arguments or hard-coded constants.
 
+use crate::chaos::FaultSpec;
 use crate::program::{NativePayload, Program};
 use bamboo_analysis::{Cstg, DependenceAnalysis, DisjointnessAnalysis};
 use bamboo_profile::ProfileCollector;
@@ -45,7 +46,12 @@ impl Deployment {
         layout: Layout,
         locks: DisjointnessAnalysis,
     ) -> Self {
-        Deployment { program, graph, layout, locks }
+        Deployment {
+            program,
+            graph,
+            layout,
+            locks,
+        }
     }
 
     /// Builds a deployment from a synthesizer result: the graph and the
@@ -73,7 +79,12 @@ impl Deployment {
         let empty = ProfileCollector::new(&program.spec, "bootstrap").finish();
         let graph = GroupGraph::build(&program.spec, &cstg, &empty);
         let layout = Layout::single_core(&graph);
-        Deployment { program: program.clone(), graph, layout, locks: locks.clone() }
+        Deployment {
+            program: program.clone(),
+            graph,
+            layout,
+            locks: locks.clone(),
+        }
     }
 
     /// Number of cores the layout targets.
@@ -160,6 +171,11 @@ pub struct RunOptions {
     /// invocations past the bound sheds the surplus to the least
     /// loaded same-group core (if stealing is enabled and one exists).
     pub run_queue_capacity: usize,
+    /// Deterministic fault injection (`None` = fault-free). Compiled
+    /// into a [`crate::chaos::FaultPlan`] against the deployment's
+    /// steal topology at run start; the resulting fault schedule is
+    /// reported in `ThreadedReport::fault_schedule`.
+    pub faults: Option<FaultSpec>,
 }
 
 impl RunOptions {
@@ -178,7 +194,9 @@ impl RunOptions {
     pub fn baseline() -> Self {
         RunOptions {
             steal: StealPolicy::Disabled,
-            quiescence: QuiescencePolicy::Polling { interval: Duration::from_micros(300) },
+            quiescence: QuiescencePolicy::Polling {
+                interval: Duration::from_micros(300),
+            },
             router: RouterPolicy::Global,
             ..RunOptions::default()
         }
@@ -233,6 +251,13 @@ impl RunOptions {
         self
     }
 
+    /// Injects the given faults into the run (see [`FaultSpec`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// The effective queue bound (the default when left at 0).
     pub fn queue_capacity(&self) -> usize {
         if self.run_queue_capacity == 0 {
@@ -265,12 +290,19 @@ mod tests {
         assert_eq!(opts.router, RouterPolicy::Global);
         assert_eq!(
             opts.quiescence,
-            QuiescencePolicy::Polling { interval: Duration::from_micros(300) }
+            QuiescencePolicy::Polling {
+                interval: Duration::from_micros(300)
+            }
         );
     }
 
     #[test]
     fn builder_clamps_queue_capacity() {
-        assert_eq!(RunOptions::default().with_queue_capacity(0).queue_capacity(), 1);
+        assert_eq!(
+            RunOptions::default()
+                .with_queue_capacity(0)
+                .queue_capacity(),
+            1
+        );
     }
 }

@@ -20,6 +20,7 @@
 //!   try-locks and channel-based object transfer; demonstrates the
 //!   concurrent semantics (native programs only).
 
+pub mod chaos;
 pub mod cost;
 pub mod deploy;
 pub mod program;
@@ -28,6 +29,7 @@ pub mod store;
 pub mod threaded;
 pub mod virtual_exec;
 
+pub use chaos::{CoreKill, CoreStall, FaultPlan, FaultSpec, KillTarget, RecoveryPolicy};
 pub use cost::CostModel;
 pub use deploy::{Deployment, QuiescencePolicy, RouterPolicy, RunOptions, StealPolicy};
 pub use program::{body, NativeBody, NativePayload, Program, TaskCtx};

@@ -55,7 +55,10 @@ impl Program {
     /// happen for [`BuiltProgram`] values from the builder).
     pub fn from_native(built: BuiltProgram<NativeBody>) -> Self {
         assert_eq!(built.bodies.len(), built.spec.tasks.len());
-        Program { spec: Arc::new(built.spec), kind: Kind::Native(built.bodies) }
+        Program {
+            spec: Arc::new(built.spec),
+            kind: Kind::Native(built.bodies),
+        }
     }
 
     /// Wraps a compiled DSL program.
@@ -96,7 +99,11 @@ impl fmt::Debug for Program {
             f,
             "Program({}, {}, {} tasks)",
             self.spec.name,
-            if self.is_native() { "native" } else { "interpreted" },
+            if self.is_native() {
+                "native"
+            } else {
+                "interpreted"
+            },
             self.spec.tasks.len()
         )
     }
@@ -123,7 +130,13 @@ pub struct TaskCtx<'a> {
 impl<'a> TaskCtx<'a> {
     /// Creates a context (used by executors).
     pub(crate) fn new(params: &'a mut [NativePayload], n_sites: usize, n_exits: usize) -> Self {
-        TaskCtx { params, charged: 0, created: Vec::new(), n_sites, n_exits }
+        TaskCtx {
+            params,
+            charged: 0,
+            created: Vec::new(),
+            n_sites,
+            n_exits,
+        }
     }
 
     /// Charges `cycles` of compute work to this invocation.
@@ -142,7 +155,9 @@ impl<'a> TaskCtx<'a> {
     ///
     /// Panics if `i` is out of range or the payload is not a `T`.
     pub fn param<T: 'static>(&self, i: usize) -> &T {
-        self.params[i].downcast_ref::<T>().expect("parameter payload type mismatch")
+        self.params[i]
+            .downcast_ref::<T>()
+            .expect("parameter payload type mismatch")
     }
 
     /// Mutably borrows parameter `i`'s payload.
@@ -151,7 +166,9 @@ impl<'a> TaskCtx<'a> {
     ///
     /// Panics if `i` is out of range or the payload is not a `T`.
     pub fn param_mut<T: 'static>(&mut self, i: usize) -> &mut T {
-        self.params[i].downcast_mut::<T>().expect("parameter payload type mismatch")
+        self.params[i]
+            .downcast_mut::<T>()
+            .expect("parameter payload type mismatch")
     }
 
     /// Mutably borrows two distinct parameters at once (the common
@@ -161,19 +178,31 @@ impl<'a> TaskCtx<'a> {
     ///
     /// Panics if `i == j`, either index is out of range, or a payload has
     /// the wrong type.
-    pub fn param_pair_mut<A: 'static, B: 'static>(&mut self, i: usize, j: usize) -> (&mut A, &mut B) {
+    pub fn param_pair_mut<A: 'static, B: 'static>(
+        &mut self,
+        i: usize,
+        j: usize,
+    ) -> (&mut A, &mut B) {
         assert_ne!(i, j, "param_pair_mut needs two distinct parameters");
         let (lo, hi, swap) = if i < j { (i, j, false) } else { (j, i, true) };
         let (left, right) = self.params.split_at_mut(hi);
         let a_slot = &mut left[lo];
         let b_slot = &mut right[0];
         if swap {
-            let b = a_slot.downcast_mut::<B>().expect("parameter payload type mismatch");
-            let a = b_slot.downcast_mut::<A>().expect("parameter payload type mismatch");
+            let b = a_slot
+                .downcast_mut::<B>()
+                .expect("parameter payload type mismatch");
+            let a = b_slot
+                .downcast_mut::<A>()
+                .expect("parameter payload type mismatch");
             (a, b)
         } else {
-            let a = a_slot.downcast_mut::<A>().expect("parameter payload type mismatch");
-            let b = b_slot.downcast_mut::<B>().expect("parameter payload type mismatch");
+            let a = a_slot
+                .downcast_mut::<A>()
+                .expect("parameter payload type mismatch");
+            let b = b_slot
+                .downcast_mut::<B>()
+                .expect("parameter payload type mismatch");
             (a, b)
         }
     }

@@ -22,7 +22,7 @@ use bamboo_lang::spec::{FlagSet, ProgramSpec};
 use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision, Router};
 use bamboo_telemetry::Counter;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Per-core striped [`Router`] state. See the module docs.
 #[derive(Debug)]
@@ -33,23 +33,71 @@ pub struct ShardedRouter {
     /// count is reportable even when telemetry is disabled (the
     /// [`Counter`] is a no-op then).
     tally: AtomicU64,
+    /// `dead[core]`: the core was killed by fault injection and must be
+    /// excluded from re-striped routing (one flag per *core*, not per
+    /// stripe — a global-stripe router still tracks every core).
+    dead: Vec<AtomicBool>,
 }
 
 impl ShardedRouter {
     /// Creates a router with `shards` stripes (clamped to ≥ 1; pass 1
-    /// for the legacy fully-serialized behavior). `contended` counts
-    /// route calls that found their stripe locked.
-    pub fn new(shards: usize, contended: Counter) -> Self {
+    /// for the legacy fully-serialized behavior) tracking liveness for
+    /// `cores` cores. `contended` counts route calls that found their
+    /// stripe locked.
+    pub fn new(shards: usize, cores: usize, contended: Counter) -> Self {
         ShardedRouter {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(Router::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Router::new()))
+                .collect(),
             contended,
             tally: AtomicU64::new(0),
+            dead: (0..cores.max(1)).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
     /// Number of stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Marks `core` dead: [`Self::restripe`] excludes it from now on.
+    pub fn mark_dead(&self, core: usize) {
+        if let Some(flag) = self.dead.get(core) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether `core` was marked dead.
+    pub fn is_dead(&self, core: usize) -> bool {
+        self.dead
+            .get(core)
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    /// Number of cores still live.
+    pub fn live_count(&self) -> usize {
+        self.dead
+            .iter()
+            .filter(|flag| !flag.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Re-stripes a routing decision around dead cores: of the
+    /// `candidates` (the cores hosting the destination group), keeps
+    /// the live ones and picks `live[key % live.len()]`. Total over any
+    /// non-empty live subset, and — for a dense key range — each live
+    /// core receives a load within 1 of uniform. Returns `None` when
+    /// every candidate is dead (the caller must fail the run, typed).
+    pub fn restripe(&self, candidates: &[usize], key: u64) -> Option<usize> {
+        let live: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| !self.is_dead(c))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        Some(live[(key % live.len() as u64) as usize])
     }
 
     /// Route calls so far that found their stripe locked and had to
@@ -84,7 +132,8 @@ impl ShardedRouter {
         flags: FlagSet,
         tag_hash: Option<u64>,
     ) -> RouteDecision {
-        self.lock_shard(core).route_transition(spec, graph, layout, home, class, flags, tag_hash)
+        self.lock_shard(core)
+            .route_transition(spec, graph, layout, home, class, flags, tag_hash)
     }
 
     /// [`Router::route_new`] on the stripe of `core` (the core hosting
@@ -101,6 +150,7 @@ impl ShardedRouter {
         site: AllocSiteId,
         tag_hash: Option<u64>,
     ) -> InstanceId {
-        self.lock_shard(core).route_new(spec, graph, layout, from, task, site, tag_hash)
+        self.lock_shard(core)
+            .route_new(spec, graph, layout, from, task, site, tag_hash)
     }
 }

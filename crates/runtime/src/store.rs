@@ -128,7 +128,15 @@ impl ObjectStore {
     ) -> ObjId {
         let lock = self.locks.push();
         let id = ObjId(self.objects.len() as u32);
-        self.objects.push(RtObject { class, flags, tags, home, lock, reserved: false, payload });
+        self.objects.push(RtObject {
+            class,
+            flags,
+            tags,
+            home,
+            lock,
+            reserved: false,
+            payload,
+        });
         id
     }
 
@@ -193,7 +201,10 @@ impl ObjectStore {
 
     /// Iterates over all `(ObjId, &RtObject)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjId, &RtObject)> {
-        self.objects.iter().enumerate().map(|(i, o)| (ObjId(i as u32), o))
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), o))
     }
 
     /// Returns live (non-dead) objects of `class`.

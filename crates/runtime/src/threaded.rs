@@ -28,6 +28,7 @@
 //! numbers come from the virtual-time executor (see DESIGN.md §2 — the
 //! host machine's core count is unrelated to the modeled TILEPro64).
 
+use crate::chaos::FaultPlan;
 use crate::cost::CostModel;
 use crate::deploy::{Deployment, QuiescencePolicy, RunOptions, StealPolicy};
 use crate::program::{NativePayload, Program, TaskCtx};
@@ -38,8 +39,9 @@ use bamboo_lang::interp::TagInstance;
 use bamboo_lang::spec::{FlagOrTagAction, FlagSet, ProgramSpec};
 use bamboo_profile::Cycles;
 use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision};
+use bamboo_telemetry::event::{fault_code, recover_code};
 use bamboo_telemetry::{Counter, Telemetry, TimeUnit, WorkerSink, NO_ID};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -84,7 +86,10 @@ struct LockTable {
 
 impl LockTable {
     fn new() -> Self {
-        LockTable { uf: Mutex::new(UnionFind::new(0)), mutexes: Mutex::new(Vec::new()) }
+        LockTable {
+            uf: Mutex::new(UnionFind::new(0)),
+            mutexes: Mutex::new(Vec::new()),
+        }
     }
 
     fn fresh(&self) -> usize {
@@ -170,11 +175,25 @@ struct Shared {
     queue_cap: usize,
     /// Collects objects that left dispatch (for result extraction).
     graveyard: Sender<Box<TObject>>,
+    /// Compiled fault-injection plan (`None` = fault-free run).
+    chaos: Option<FaultPlan>,
+    /// First unrecoverable fault, if any. Setting it wakes the
+    /// quiescence waiter, so a run that loses a core errors out instead
+    /// of hanging on activity that will never drain.
+    failure: StdMutex<Option<ExecError>>,
+    /// Injected faults that fired (kills, stalls, drops, delays,
+    /// slowdowns). Mirrors the `chaos.faults` counter.
+    faults_injected: AtomicU64,
+    /// Completed recovery actions (redeliveries, reroutes, failover
+    /// drains). Mirrors the `chaos.recoveries` counter.
+    recovery_tally: AtomicU64,
     telemetry: Telemetry,
     dispatches: Counter,
     lock_retries: Counter,
     bytes_sent: Counter,
     steals: Counter,
+    fault_counter: Counter,
+    recover_counter: Counter,
 }
 
 /// Estimated wire size of one object, matching the virtual executor's
@@ -195,17 +214,131 @@ impl Shared {
     /// fresh message id and the sending core (`src`, [`NO_ID`] for the
     /// driver). Returns the destination core and the minted message id
     /// so callers can record the transfer.
-    fn send(&self, src: u64, instance: InstanceId, mut obj: Box<TObject>) -> (usize, u64) {
+    ///
+    /// Under a fault plan this is the wire: the message id decides (as
+    /// a pure hash of the plan's seed) whether the message is dropped —
+    /// redelivered with exponential backoff, charged to the sender — or
+    /// delayed in flight. A destination on a dead core is re-striped to
+    /// a live host of the same group; with none left the run fails with
+    /// [`ExecError::CoreLost`] (the object retires to the graveyard and
+    /// no activity is counted, so quiescence still resolves).
+    fn send(
+        &self,
+        src: u64,
+        instance: InstanceId,
+        mut obj: Box<TObject>,
+        sink: &mut WorkerSink,
+    ) -> (usize, u64) {
         let msg = self.next_msg.fetch_add(1, Ordering::Relaxed) + 1;
         obj.msg = msg;
         obj.src_core = src;
+        // Simulated wire faults apply to worker sends only; the driver's
+        // startup injection is exempt so every run has work to lose.
+        if src != NO_ID {
+            if let Some(plan) = &self.chaos {
+                let drops = plan.drop_attempts(msg);
+                if drops > 0 {
+                    self.faults_injected
+                        .fetch_add(u64::from(drops), Ordering::Relaxed);
+                    self.fault_counter.add(u64::from(drops));
+                    sink.fault(sink.now(), fault_code::MSG_DROP, u64::from(drops), msg);
+                    let mut lost = drops >= plan.max_redeliveries();
+                    let mut waited = Duration::ZERO;
+                    for attempt in 0..drops {
+                        let pause = plan.backoff(attempt);
+                        if waited + pause > plan.message_deadline() {
+                            lost = true;
+                            break;
+                        }
+                        waited += pause;
+                        std::thread::sleep(pause);
+                    }
+                    if lost {
+                        self.fail(ExecError::MessageLost { msg });
+                        let core = self.layout.core_of(instance).index();
+                        let _ = self.graveyard.send(obj);
+                        return (core, msg);
+                    }
+                    self.recovery_tally.fetch_add(1, Ordering::Relaxed);
+                    self.recover_counter.inc();
+                    sink.recover(sink.now(), recover_code::REDELIVER, u64::from(drops), msg);
+                }
+                if let Some(delay) = plan.delay_of(msg) {
+                    self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                    self.fault_counter.inc();
+                    sink.fault(
+                        sink.now(),
+                        fault_code::MSG_DELAY,
+                        delay.as_nanos() as u64,
+                        msg,
+                    );
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        let mut core = self.layout.core_of(instance).index();
+        if self.router.is_dead(core) {
+            match self.failover_core(instance, msg) {
+                Some(live) => {
+                    self.recovery_tally.fetch_add(1, Ordering::Relaxed);
+                    self.recover_counter.inc();
+                    sink.recover(sink.now(), recover_code::REROUTE, live as u64, msg);
+                    core = live;
+                }
+                None => {
+                    self.fail(ExecError::CoreLost { core });
+                    let _ = self.graveyard.send(obj);
+                    return (core, msg);
+                }
+            }
+        }
         self.activity.fetch_add(1, Ordering::SeqCst);
-        let core = self.layout.core_of(instance).index();
-        self.senders[core]
-            .send(Message::Deliver(obj))
-            .expect("worker channel open during execution");
-        self.bytes_sent.add(OBJ_BYTES_ESTIMATE);
+        match self.senders[core].send(Message::Deliver(obj)) {
+            Ok(()) => self.bytes_sent.add(OBJ_BYTES_ESTIMATE),
+            Err(returned) => {
+                // Reachable only through a dead core's forwarder racing
+                // shutdown: the destination worker already exited. Retire
+                // the object so results stay extractable (the graveyard
+                // is drained after the join).
+                assert!(self.chaos.is_some(), "worker channel open during execution");
+                if let Message::Deliver(obj) = returned.into_inner() {
+                    let _ = self.graveyard.send(obj);
+                }
+                self.release_activity();
+            }
+        }
         (core, msg)
+    }
+
+    /// Picks a live same-group host for an instance whose home core is
+    /// dead, keyed deterministically by the message id. `None` when
+    /// recovery is off, stealing is off (replica interchangeability is
+    /// the correctness argument for both), or no live host remains.
+    fn failover_core(&self, instance: InstanceId, key: u64) -> Option<usize> {
+        let recoverable = self.chaos.as_ref().is_some_and(|p| p.recovery_enabled());
+        if !recoverable || !self.steal_enabled {
+            return None;
+        }
+        let group = self.group_of_instance(instance);
+        self.router.restripe(&self.group_cores[group], key)
+    }
+
+    /// Records the first unrecoverable fault and wakes the quiescence
+    /// waiter so the driver stops waiting on activity that will never
+    /// drain. Later failures are ignored (first error wins).
+    fn fail(&self, err: ExecError) {
+        let mut slot = self.failure.lock().expect("failure mutex");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        drop(slot);
+        let _guard = self.quiesce.lock().expect("quiescence mutex");
+        self.quiesce_cv.notify_all();
+    }
+
+    /// Whether an unrecoverable fault has been recorded.
+    fn failed(&self) -> bool {
+        self.failure.lock().expect("failure mutex").is_some()
     }
 
     /// Releases one unit of activity; the release that reaches zero
@@ -258,11 +391,12 @@ impl Shared {
         }
         drop(queue);
         // Shed: the owner's queue is full; hand the invocation to the
-        // least-loaded same-group core (never holding two queue locks).
+        // least-loaded *live* same-group core (never holding two queue
+        // locks).
         let target = self.group_cores[group]
             .iter()
             .copied()
-            .filter(|&c| c != core)
+            .filter(|&c| c != core && !self.router.is_dead(c))
             .min_by_key(|&c| self.ready[c].lock().len())
             .unwrap_or(core);
         self.ready[target].lock().push_back(inv);
@@ -277,7 +411,12 @@ impl Shared {
     /// staggers the scan order so thieves spread across victims. A
     /// successful theft is recorded into `sink` with the victim core,
     /// keeping the stolen invocation causally attributable.
-    fn try_steal(&self, thief: usize, rotation: usize, sink: &mut WorkerSink) -> Option<PendingInv> {
+    fn try_steal(
+        &self,
+        thief: usize,
+        rotation: usize,
+        sink: &mut WorkerSink,
+    ) -> Option<PendingInv> {
         let peers = &self.steal_peers[thief];
         if peers.is_empty() {
             return None;
@@ -286,7 +425,9 @@ impl Shared {
             let victim = peers[(i + rotation) % peers.len()];
             // A contended victim queue is being worked; move on rather
             // than serialize behind it.
-            let Some(mut queue) = self.ready[victim].try_lock() else { continue };
+            let Some(mut queue) = self.ready[victim].try_lock() else {
+                continue;
+            };
             let eligible = queue
                 .iter()
                 .rposition(|inv| self.hosted[thief][self.group_of_instance(inv.instance)]);
@@ -348,6 +489,18 @@ pub struct ThreadedReport {
     pub finished: Vec<(ClassId, NativePayload)>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Injected faults that fired during the run (kills, stalls, drops,
+    /// delays, lock slowdowns). Zero on fault-free runs. Mirrors the
+    /// `chaos.faults` counter.
+    pub faults_injected: u64,
+    /// Recovery actions completed (redeliveries, reroutes, failover
+    /// drains). Mirrors the `chaos.recoveries` counter.
+    pub recovery_actions: u64,
+    /// Rendered fault schedule of the run's compiled plan (`None` on
+    /// fault-free runs). Byte-identical for identical
+    /// [`crate::chaos::FaultSpec`] + deployment topology — the
+    /// determinism contract CI's chaos gate checks.
+    pub fault_schedule: Option<String>,
 }
 
 impl ThreadedReport {
@@ -358,10 +511,7 @@ impl ThreadedReport {
     ///
     /// Returns [`PayloadTypeError`] if a payload of that class is not a
     /// `T`.
-    pub fn try_payloads_of<T: 'static>(
-        &self,
-        class: ClassId,
-    ) -> Result<Vec<&T>, PayloadTypeError> {
+    pub fn try_payloads_of<T: 'static>(&self, class: ClassId) -> Result<Vec<&T>, PayloadTypeError> {
         self.finished
             .iter()
             .filter(|(c, _)| *c == class)
@@ -413,15 +563,31 @@ impl ThreadedExecutor {
     /// [`Telemetry::disabled`] every recording site is a no-op and the
     /// dispatch hot path performs no telemetry allocations.
     ///
+    /// With [`RunOptions::with_faults`] the run compiles the spec into a
+    /// deterministic [`FaultPlan`] and injects it: core kills, stalls,
+    /// message drops/delays, and lock slowdowns, each recorded as
+    /// `fault.*` / `recover.*` telemetry. Recoverable faults leave the
+    /// result identical to a fault-free run; unrecoverable ones fail
+    /// fast instead of hanging.
+    ///
     /// # Errors
     ///
-    /// Returns [`ExecError::NativeOnly`] for interpreted programs.
+    /// Returns [`ExecError::NativeOnly`] for interpreted programs,
+    /// [`ExecError::CoreLost`] when a killed core's work has no live
+    /// same-group host (or recovery/stealing is disabled), and
+    /// [`ExecError::MessageLost`] when a message exhausts its
+    /// redelivery budget.
     pub fn run(
         &self,
         deployment: &Deployment,
         options: RunOptions,
     ) -> Result<ThreadedReport, ExecError> {
-        let Deployment { program, graph, layout, locks } = deployment;
+        let Deployment {
+            program,
+            graph,
+            layout,
+            locks,
+        } = deployment;
         if !program.is_native() {
             return Err(ExecError::NativeOnly);
         }
@@ -464,6 +630,12 @@ impl ThreadedExecutor {
             crate::deploy::RouterPolicy::Sharded => core_count,
             crate::deploy::RouterPolicy::Global => 1,
         };
+        // Compile the fault plan against the steal topology so kill
+        // targeting can prove every victim's groups survive elsewhere.
+        let chaos = options
+            .faults
+            .as_ref()
+            .map(|fspec| FaultPlan::compile(fspec, &group_cores, &hosted));
         let shared = Arc::new(Shared {
             program: program.clone(),
             graph: graph.clone(),
@@ -472,6 +644,7 @@ impl ThreadedExecutor {
             lock_table: LockTable::new(),
             router: ShardedRouter::new(
                 router_shards,
+                core_count,
                 telemetry.counter("threaded.router_contention"),
             ),
             activity: AtomicI64::new(0),
@@ -485,7 +658,9 @@ impl ThreadedExecutor {
             steal_tally: AtomicU64::new(0),
             retry_tally: AtomicU64::new(0),
             senders,
-            ready: (0..core_count).map(|_| Mutex::new(VecDeque::new())).collect(),
+            ready: (0..core_count)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             idle: (0..core_count).map(|_| AtomicBool::new(false)).collect(),
             group_cores,
             hosted,
@@ -493,11 +668,17 @@ impl ThreadedExecutor {
             steal_enabled: options.steal == StealPolicy::SameGroup,
             queue_cap: options.queue_capacity(),
             graveyard: grave_tx,
+            chaos,
+            failure: StdMutex::new(None),
+            faults_injected: AtomicU64::new(0),
+            recovery_tally: AtomicU64::new(0),
             telemetry: telemetry.clone(),
             dispatches: telemetry.counter("threaded.dispatches"),
             lock_retries: telemetry.counter("threaded.lock_retries"),
             bytes_sent: telemetry.counter("threaded.bytes_sent"),
             steals: telemetry.counter("threaded.steals"),
+            fault_counter: telemetry.counter("chaos.faults"),
+            recover_counter: telemetry.counter("chaos.recoveries"),
         });
 
         // Inject the startup object.
@@ -513,7 +694,12 @@ impl ThreadedExecutor {
             src_core: NO_ID,
         });
         let startup_inst = layout.instances_of(graph.startup_group)[0];
-        shared.send(NO_ID, startup_inst, startup_obj);
+        shared.send(
+            NO_ID,
+            startup_inst,
+            startup_obj,
+            &mut WorkerSink::disabled(),
+        );
 
         // Spawn workers.
         let mut handles = Vec::with_capacity(core_count);
@@ -522,17 +708,24 @@ impl ThreadedExecutor {
             handles.push(std::thread::spawn(move || worker_loop(core, rx, shared)));
         }
 
-        // Wait for quiescence.
+        // Wait for quiescence — or for the first unrecoverable fault,
+        // which wakes the same condvar so a lost core can't hang the run.
         match options.quiescence {
             QuiescencePolicy::EventDriven => {
                 let mut guard = shared.quiesce.lock().expect("quiescence mutex");
-                while shared.activity.load(Ordering::SeqCst) != 0 {
+                while shared.activity.load(Ordering::SeqCst) != 0 && !shared.failed() {
                     guard = shared.quiesce_cv.wait(guard).expect("quiescence mutex");
                 }
                 drop(guard);
             }
             QuiescencePolicy::Polling { interval } => loop {
+                if shared.failed() {
+                    break;
+                }
                 std::thread::sleep(interval);
+                if shared.failed() {
+                    break;
+                }
                 if shared.activity.load(Ordering::SeqCst) == 0 {
                     std::thread::sleep(interval);
                     if shared.activity.load(Ordering::SeqCst) == 0 {
@@ -541,13 +734,13 @@ impl ThreadedExecutor {
                 }
             },
         }
-        if !options.quiescence_settle.is_zero() {
+        if !options.quiescence_settle.is_zero() && !shared.failed() {
             // Optional paranoia window: activity is transfer-ordered so
             // zero is already final, but a caller may ask for a settle
             // confirmation anyway.
             loop {
                 std::thread::sleep(options.quiescence_settle);
-                if shared.activity.load(Ordering::SeqCst) == 0 {
+                if shared.activity.load(Ordering::SeqCst) == 0 || shared.failed() {
                     break;
                 }
             }
@@ -557,6 +750,10 @@ impl ThreadedExecutor {
         }
         for handle in handles {
             handle.join().expect("worker thread panicked");
+        }
+
+        if let Some(err) = shared.failure.lock().expect("failure mutex").take() {
+            return Err(err);
         }
 
         let mut finished = Vec::new();
@@ -571,6 +768,9 @@ impl ThreadedExecutor {
             router_contention: shared.router.contention_count(),
             finished,
             wall: start.elapsed(),
+            faults_injected: shared.faults_injected.load(Ordering::SeqCst),
+            recovery_actions: shared.recovery_tally.load(Ordering::SeqCst),
+            fault_schedule: shared.chaos.as_ref().map(|p| p.schedule().to_string()),
         })
     }
 }
@@ -599,7 +799,9 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
     let spec = shared.spec().clone();
     let mut sink = shared.telemetry.worker(core);
     // Instances on this core, with their (task, param) slots.
-    let instances = shared.layout.instances_on(bamboo_machine::CoreId::new(core));
+    let instances = shared
+        .layout
+        .instances_on(bamboo_machine::CoreId::new(core));
     let mut slots: Vec<Vec<(TaskId, ParamIdx)>> = Vec::new();
     let mut sets: Vec<Vec<VecDeque<Box<TObject>>>> = Vec::new();
     for inst in &instances {
@@ -614,12 +816,24 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
         slots.push(keys);
     }
     let mut steal_rotation = core;
+    // Chaos bookkeeping: faults are scheduled at exact dispatch counts,
+    // so the tick runs once per count — at count 0 before any work, then
+    // after every completed dispatch.
+    let mut dispatched: u64 = 0;
+    if chaos_tick(core, &shared, dispatched, &mut sink) {
+        die_and_forward(
+            core, &rx, &shared, &spec, &instances, &slots, &mut sets, &mut sink,
+        );
+        return;
+    }
 
     'outer: loop {
         // 1. Drain a pending message without blocking.
         match rx.try_recv() {
             Ok(Message::Deliver(obj)) => {
-                on_deliver(core, &shared, &spec, &instances, &slots, &mut sets, obj, &mut sink);
+                on_deliver(
+                    core, &shared, &spec, &instances, &slots, &mut sets, obj, &mut sink,
+                );
                 continue;
             }
             Ok(Message::Poke) => {}
@@ -630,6 +844,13 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
         let local = shared.ready[core].lock().pop_front();
         if let Some(inv) = local {
             dispatch(core, &shared, &spec, inv, &mut sink);
+            dispatched += 1;
+            if chaos_tick(core, &shared, dispatched, &mut sink) {
+                die_and_forward(
+                    core, &rx, &shared, &spec, &instances, &slots, &mut sets, &mut sink,
+                );
+                return;
+            }
             continue;
         }
         // 3. Steal from a same-group peer.
@@ -637,6 +858,13 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
             steal_rotation = steal_rotation.wrapping_add(1);
             if let Some(inv) = shared.try_steal(core, steal_rotation, &mut sink) {
                 dispatch(core, &shared, &spec, inv, &mut sink);
+                dispatched += 1;
+                if chaos_tick(core, &shared, dispatched, &mut sink) {
+                    die_and_forward(
+                        core, &rx, &shared, &spec, &instances, &slots, &mut sets, &mut sink,
+                    );
+                    return;
+                }
                 continue;
             }
         }
@@ -669,6 +897,167 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
             while let Some(obj) = set.pop_front() {
                 let _ = shared.graveyard.send(obj);
             }
+        }
+    }
+}
+
+/// Runs this core's scheduled faults for the current dispatch count:
+/// injects a stall if one is due, and returns `true` when the kill
+/// threshold has been reached (the caller must run the die sequence).
+fn chaos_tick(core: usize, shared: &Shared, dispatched: u64, sink: &mut WorkerSink) -> bool {
+    let Some(plan) = &shared.chaos else {
+        return false;
+    };
+    if let Some(stall) = plan.stall_at(core, dispatched) {
+        shared.faults_injected.fetch_add(1, Ordering::Relaxed);
+        shared.fault_counter.inc();
+        sink.fault(
+            sink.now(),
+            fault_code::CORE_STALL,
+            stall.as_nanos() as u64,
+            NO_ID,
+        );
+        std::thread::sleep(stall);
+    }
+    plan.kill_after(core).is_some_and(|k| dispatched >= k)
+}
+
+/// The die sequence for a killed core. The worker stops dispatching
+/// forever; its queued invocations drain through peers' steal path and
+/// its buffered parameter-set objects are re-sent to live same-group
+/// hosts. The thread then lingers as a forwarder — late arrivals are
+/// re-routed, never processed — until shutdown.
+///
+/// With recovery (or stealing) disabled, or when any queued invocation's
+/// group has no live host left, the run fails with
+/// [`ExecError::CoreLost`] instead: typed, immediate, no hang.
+#[allow(clippy::too_many_arguments)]
+fn die_and_forward(
+    core: usize,
+    rx: &Receiver<Message>,
+    shared: &Shared,
+    spec: &ProgramSpec,
+    instances: &[InstanceId],
+    slots: &[Vec<(TaskId, ParamIdx)>],
+    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    sink: &mut WorkerSink,
+) {
+    shared.faults_injected.fetch_add(1, Ordering::Relaxed);
+    shared.fault_counter.inc();
+    sink.fault(sink.now(), fault_code::CORE_KILL, core as u64, NO_ID);
+    shared.router.mark_dead(core);
+    let recoverable =
+        shared.chaos.as_ref().is_some_and(|p| p.recovery_enabled()) && shared.steal_enabled;
+    // Every queued invocation needs a live same-group host to steal it;
+    // a stranded group means the work is genuinely unrecoverable.
+    let stranded = shared.ready[core].lock().iter().any(|inv| {
+        let group = shared.group_of_instance(inv.instance);
+        !shared.group_cores[group]
+            .iter()
+            .any(|&c| !shared.router.is_dead(c))
+    });
+    if !recoverable || stranded {
+        shared.fail(ExecError::CoreLost { core });
+    } else {
+        // Hand buffered parameter-set objects to live same-group hosts;
+        // `send` performs the dead-destination failover since this core
+        // is already marked dead.
+        let mut moved = 0u64;
+        for (i, inst_sets) in sets.iter_mut().enumerate() {
+            for set in inst_sets.iter_mut() {
+                while let Some(obj) = set.pop_front() {
+                    // Buffered objects hold no activity (their delivery
+                    // units were released on arrival); the re-send mints
+                    // a fresh unit inside `send` before the handoff.
+                    let ts = sink.now();
+                    let (dest_core, msg) = shared.send(core as u64, instances[i], obj, sink);
+                    sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
+                    moved += 1;
+                }
+            }
+        }
+        shared.recovery_tally.fetch_add(1, Ordering::Relaxed);
+        shared.recover_counter.inc();
+        sink.recover(sink.now(), recover_code::FAILOVER_DRAIN, moved, NO_ID);
+    }
+    // Forward until shutdown. The timeout re-pokes peers while our run
+    // queue holds work: a peer that was mid-park when the first poke
+    // fired would otherwise sleep through the steal it owes us.
+    loop {
+        for &peer in &shared.steal_peers[core] {
+            if !shared.router.is_dead(peer) {
+                shared.poke(peer);
+            }
+        }
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(Message::Deliver(obj)) => {
+                // Late arrival: re-route it (activity stays
+                // transfer-ordered — the re-send is counted before this
+                // message's unit is released).
+                forward_obj(core, shared, spec, instances, slots, obj, sink);
+                shared.release_activity();
+            }
+            Ok(Message::Poke) => {}
+            Ok(Message::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.ready[core].lock().is_empty() && !shared.failed() {
+                    // Queue drained and nothing to forward: park longer.
+                    std::thread::yield_now();
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Re-routes an object that reached a dead core: sends it to the local
+/// instance whose slot would have buffered it (the dead-destination
+/// failover in `send` redirects to a live same-group host), or forwards
+/// it along the route a live worker would have used.
+fn forward_obj(
+    core: usize,
+    shared: &Shared,
+    spec: &ProgramSpec,
+    instances: &[InstanceId],
+    slots: &[Vec<(TaskId, ParamIdx)>],
+    obj: Box<TObject>,
+    sink: &mut WorkerSink,
+) {
+    let target = instances.iter().enumerate().find_map(|(i, inst)| {
+        slots[i]
+            .iter()
+            .any(|(task, param)| {
+                let pspec = &spec.task(*task).params[param.index()];
+                pspec.class == obj.class && pspec.guard.eval(obj.flags)
+            })
+            .then_some(*inst)
+    });
+    if let Some(inst) = target {
+        let ts = sink.now();
+        let (dest_core, msg) = shared.send(core as u64, inst, obj, sink);
+        sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
+        return;
+    }
+    let inst = instances.first().copied().unwrap_or(InstanceId(0));
+    let hash = obj.tags.first().map(|(_, i)| i.0);
+    let decision = shared.router.route_transition(
+        core,
+        spec,
+        &shared.graph,
+        &shared.layout,
+        inst,
+        obj.class,
+        obj.flags,
+        hash,
+    );
+    match decision {
+        RouteDecision::Move(dest) => {
+            let ts = sink.now();
+            let (dest_core, msg) = shared.send(core as u64, dest, obj, sink);
+            sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
+        }
+        _ => {
+            let _ = shared.graveyard.send(obj);
         }
     }
 }
@@ -707,6 +1096,23 @@ fn dispatch(
     mut inv: PendingInv,
     sink: &mut WorkerSink,
 ) {
+    // Lock slowdown: holds the invocation at the acquisition point once
+    // (first attempt only — retries must not compound the injection).
+    if inv.retries == 0 {
+        if let Some(plan) = &shared.chaos {
+            if let Some(slow) = plan.lock_slowdown_of(inv.id) {
+                shared.faults_injected.fetch_add(1, Ordering::Relaxed);
+                shared.fault_counter.inc();
+                sink.fault(
+                    sink.now(),
+                    fault_code::LOCK_SLOW,
+                    slow.as_nanos() as u64,
+                    inv.id,
+                );
+                std::thread::sleep(slow);
+            }
+        }
+    }
     let lock_ids: Vec<usize> = inv.objs.iter().map(|o| o.lock).collect();
     match shared.lock_table.try_lock_all(&lock_ids) {
         Some(guards) => {
@@ -719,7 +1125,12 @@ fn dispatch(
             // invocation later.
             shared.lock_retries.inc();
             shared.retry_tally.fetch_add(1, Ordering::Relaxed);
-            sink.lock_failed(sink.now(), lock_ids.len() as u64, inv.task.index() as u64, inv.id);
+            sink.lock_failed(
+                sink.now(),
+                lock_ids.len() as u64,
+                inv.task.index() as u64,
+                inv.id,
+            );
             inv.retries += 1;
             shared.ready[core].lock().push_back(inv);
             std::thread::yield_now();
@@ -780,7 +1191,7 @@ fn deliver(
             // Timestamp taken before the channel push so the send never
             // postdates the matching receive.
             let ts = sink.now();
-            let (dest_core, msg) = shared.send(core as u64, dest, obj);
+            let (dest_core, msg) = shared.send(core as u64, dest, obj, sink);
             sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
         }
         _ => {
@@ -835,17 +1246,13 @@ fn form_all(
                                         break;
                                     }
                                 }
-                                None => {
-                                    match cand.tags.iter().find(|(tt, _)| *tt == tc.tag_type) {
-                                        Some((_, instn)) => {
-                                            updates.push((tc.var.index(), *instn))
-                                        }
-                                        None => {
-                                            ok = false;
-                                            break;
-                                        }
+                                None => match cand.tags.iter().find(|(tt, _)| *tt == tc.tag_type) {
+                                    Some((_, instn)) => updates.push((tc.var.index(), *instn)),
+                                    None => {
+                                        ok = false;
+                                        break;
                                     }
-                                }
+                                },
                             }
                         }
                         if ok {
@@ -888,7 +1295,14 @@ fn form_all(
                 shared.activity.fetch_add(1, Ordering::SeqCst);
                 shared.enqueue_ready(
                     core,
-                    PendingInv { id, task, instance: *inst, objs, tag_env, retries: 0 },
+                    PendingInv {
+                        id,
+                        task,
+                        instance: *inst,
+                        objs,
+                        tag_env,
+                        retries: 0,
+                    },
                 );
             }
         }
@@ -896,7 +1310,12 @@ fn form_all(
 }
 
 fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut WorkerSink) {
-    sink.task_start(sink.now(), inv.task.index() as u64, inv.instance.index() as u64, inv.id);
+    sink.task_start(
+        sink.now(),
+        inv.task.index() as u64,
+        inv.instance.index() as u64,
+        inv.id,
+    );
     let tspec = spec.task(inv.task);
     // Routing state stays striped by the invocation's *home* core, so a
     // stolen invocation continues the victim instance's round-robin
@@ -932,9 +1351,10 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
     // Shared-lock directive.
     for group in &shared.locks_analysis.lock_plans[inv.task.index()].groups {
         for pair in group.windows(2) {
-            shared
-                .lock_table
-                .merge(inv.objs[pair[0].index()].lock, inv.objs[pair[1].index()].lock);
+            shared.lock_table.merge(
+                inv.objs[pair[0].index()].lock,
+                inv.objs[pair[1].index()].lock,
+            );
         }
     }
 
@@ -982,12 +1402,12 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
         match decision {
             RouteDecision::Stay => {
                 let ts = sink.now();
-                let (dest_core, msg) = shared.send(home_core as u64, inv.instance, obj);
+                let (dest_core, msg) = shared.send(home_core as u64, inv.instance, obj, sink);
                 sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
             }
             RouteDecision::Move(dest) => {
                 let ts = sink.now();
-                let (dest_core, msg) = shared.send(home_core as u64, dest, obj);
+                let (dest_core, msg) = shared.send(home_core as u64, dest, obj, sink);
                 sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
             }
             RouteDecision::Dead => {
@@ -1029,12 +1449,17 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
             src_core: NO_ID,
         });
         let ts = sink.now();
-        let (dest_core, msg) = shared.send(home_core as u64, dest, obj);
+        let (dest_core, msg) = shared.send(home_core as u64, dest, obj, sink);
         sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
     }
 
     // Invocation complete.
-    sink.task_end(sink.now(), inv.task.index() as u64, inv.instance.index() as u64, inv.id);
+    sink.task_end(
+        sink.now(),
+        inv.task.index() as u64,
+        inv.instance.index() as u64,
+        inv.id,
+    );
     shared.release_activity();
 }
 
@@ -1059,8 +1484,9 @@ mod tests {
     #[test]
     fn threaded_matches_virtual_result() {
         let deploy = deployment(fanout_setup(24, 3));
-        let report =
-            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        let report = ThreadedExecutor::default()
+            .run(&deploy, RunOptions::default())
+            .unwrap();
         // 1 startup + 24 work + 24 reduce.
         assert_eq!(report.invocations, 49);
         let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
@@ -1074,8 +1500,9 @@ mod tests {
     #[test]
     fn threaded_single_core_works() {
         let deploy = deployment(fanout_setup(8, 1));
-        let report =
-            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        let report = ThreadedExecutor::default()
+            .run(&deploy, RunOptions::default())
+            .unwrap();
         assert_eq!(report.invocations, 17);
         assert!(report.body_cycles > 0);
         // One core: nothing to steal from.
@@ -1085,13 +1512,17 @@ mod tests {
     #[test]
     fn baseline_options_still_compute_the_same_result() {
         let deploy = deployment(fanout_setup(16, 4));
-        let report =
-            ThreadedExecutor::default().run(&deploy, RunOptions::baseline()).unwrap();
+        let report = ThreadedExecutor::default()
+            .run(&deploy, RunOptions::baseline())
+            .unwrap();
         assert_eq!(report.invocations, 33);
         assert_eq!(report.steals, 0, "baseline disables stealing");
         let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
         let expected: i64 = (0..16).map(|i| i * i).sum();
-        assert_eq!(report.payloads_of::<(i64, i64, i64)>(acc_class)[0].0, expected);
+        assert_eq!(
+            report.payloads_of::<(i64, i64, i64)>(acc_class)[0].0,
+            expected
+        );
     }
 
     #[test]
@@ -1121,11 +1552,15 @@ mod tests {
         let reduce = program.spec.task_by_name("reduce").unwrap();
         let locks = locks.with_shared(
             reduce,
-            &[bamboo_lang::ids::ParamIdx::new(0), bamboo_lang::ids::ParamIdx::new(1)],
+            &[
+                bamboo_lang::ids::ParamIdx::new(0),
+                bamboo_lang::ids::ParamIdx::new(1),
+            ],
         );
         let deploy = Deployment::new(program, graph, layout, locks);
-        let report =
-            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        let report = ThreadedExecutor::default()
+            .run(&deploy, RunOptions::default())
+            .unwrap();
         let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
         let accs = report.payloads_of::<(i64, i64, i64)>(acc_class);
         let expected: i64 = (0..16).map(|i| i * i).sum();
@@ -1135,15 +1570,18 @@ mod tests {
     #[test]
     fn try_payloads_of_reports_type_mismatch() {
         let deploy = deployment(fanout_setup(4, 1));
-        let report =
-            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        let report = ThreadedExecutor::default()
+            .run(&deploy, RunOptions::default())
+            .unwrap();
         let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
         // The Acc payload is (i64, i64, i64), not String.
         let err = report.try_payloads_of::<String>(acc_class).unwrap_err();
         assert_eq!(err.class, acc_class);
         assert!(err.to_string().contains("String"), "{err}");
         // And the fallible accessor succeeds on the right type.
-        let ok = report.try_payloads_of::<(i64, i64, i64)>(acc_class).unwrap();
+        let ok = report
+            .try_payloads_of::<(i64, i64, i64)>(acc_class)
+            .unwrap();
         assert_eq!(ok.len(), 1);
     }
 
@@ -1206,8 +1644,9 @@ mod tests {
         let locks = DisjointnessAnalysis::all_disjoint(&program.spec);
         let deploy = Deployment::single_core(&program, &locks);
         let start = std::time::Instant::now();
-        let report =
-            ThreadedExecutor::default().run(&deploy, RunOptions::default()).unwrap();
+        let report = ThreadedExecutor::default()
+            .run(&deploy, RunOptions::default())
+            .unwrap();
         assert_eq!(report.invocations, 1);
         // No polling floor: even on a loaded machine this finishes far
         // below the old 600µs double-sleep (allow generous slack).
@@ -1230,7 +1669,10 @@ mod tests {
         let expected = virt.payload::<(i64, i64, i64)>(vacc).0;
         for round in 0..3 {
             let report = ThreadedExecutor::default()
-                .run(&deploy, RunOptions::default().with_steal(StealPolicy::SameGroup))
+                .run(
+                    &deploy,
+                    RunOptions::default().with_steal(StealPolicy::SameGroup),
+                )
                 .unwrap();
             assert_eq!(report.invocations, vreport.invocations, "round {round}");
             assert_eq!(
@@ -1250,12 +1692,18 @@ mod tests {
         let reduce = program.spec.task_by_name("reduce").unwrap();
         let locks = locks.with_shared(
             reduce,
-            &[bamboo_lang::ids::ParamIdx::new(0), bamboo_lang::ids::ParamIdx::new(1)],
+            &[
+                bamboo_lang::ids::ParamIdx::new(0),
+                bamboo_lang::ids::ParamIdx::new(1),
+            ],
         );
         let deploy = Deployment::new(program, graph, layout, locks);
         let telemetry = Telemetry::disabled();
         let report = ThreadedExecutor::default()
-            .run(&deploy, RunOptions::default().with_telemetry(telemetry.clone()))
+            .run(
+                &deploy,
+                RunOptions::default().with_telemetry(telemetry.clone()),
+            )
             .unwrap();
         // Same correctness as the plain contention test…
         let acc_class = deploy.program.spec.class_by_name("Acc").unwrap();
@@ -1276,7 +1724,10 @@ mod tests {
             let telemetry = Telemetry::enabled(2);
             telemetry.set_time_unit(TimeUnit::Nanos);
             ThreadedExecutor::default()
-                .run(&deploy, RunOptions::default().with_telemetry(telemetry.clone()))
+                .run(
+                    &deploy,
+                    RunOptions::default().with_telemetry(telemetry.clone()),
+                )
                 .unwrap();
             telemetry.heap_allocations()
         };
@@ -1292,7 +1743,10 @@ mod tests {
         let deploy = deployment(fanout_setup(12, 3));
         let telemetry = Telemetry::enabled(3);
         let report = ThreadedExecutor::default()
-            .run(&deploy, RunOptions::default().with_telemetry(telemetry.clone()))
+            .run(
+                &deploy,
+                RunOptions::default().with_telemetry(telemetry.clone()),
+            )
             .unwrap();
         // 1 startup + 12 work + 12 reduce.
         assert_eq!(report.invocations, 25);

@@ -16,9 +16,9 @@ use crate::cost::CostModel;
 use crate::program::{NativePayload, Program, TaskCtx};
 use crate::store::{ObjId, ObjectStore, PayloadSlot, RtObject};
 use bamboo_analysis::DisjointnessAnalysis;
+use bamboo_lang::ids::TagTypeId;
 use bamboo_lang::ids::{ExitId, ParamIdx, TaskId};
 use bamboo_lang::interp::{Interp, TagInstance};
-use bamboo_lang::ids::TagTypeId;
 use bamboo_lang::spec::{FlagOrTagAction, FlagSet, ProgramSpec};
 use bamboo_machine::MachineDescription;
 use bamboo_profile::{Cycles, Profile, ProfileCollector};
@@ -53,7 +53,10 @@ pub struct ExecConfig {
 impl ExecConfig {
     /// Payload size for `class`.
     pub fn payload_words_of(&self, class: bamboo_lang::ids::ClassId) -> u64 {
-        self.payload_words_per_class.get(&class).copied().unwrap_or(self.payload_words)
+        self.payload_words_per_class
+            .get(&class)
+            .copied()
+            .unwrap_or(self.payload_words)
     }
 }
 
@@ -80,6 +83,20 @@ pub enum ExecError {
     Diverged(u64),
     /// The threaded executor was asked to run an interpreted program.
     NativeOnly,
+    /// A core was killed (fault injection) and its work could not be
+    /// recovered — recovery disabled, or a stranded group had no live
+    /// host. The run terminates with this error instead of hanging in
+    /// quiescence.
+    CoreLost {
+        /// The dead core.
+        core: usize,
+    },
+    /// A message exhausted its redelivery budget or deadline under
+    /// injected drops and was declared permanently lost.
+    MessageLost {
+        /// The lost message's id.
+        msg: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -88,6 +105,18 @@ impl fmt::Display for ExecError {
             ExecError::Trap(msg) => write!(f, "runtime trap: {msg}"),
             ExecError::Diverged(n) => write!(f, "exceeded invocation budget of {n}"),
             ExecError::NativeOnly => write!(f, "this executor requires native task bodies"),
+            ExecError::CoreLost { core } => {
+                write!(
+                    f,
+                    "core {core} was lost and its work could not be recovered"
+                )
+            }
+            ExecError::MessageLost { msg } => {
+                write!(
+                    f,
+                    "message {msg} exceeded its redelivery budget and was lost"
+                )
+            }
         }
     }
 }
@@ -291,8 +320,9 @@ impl<'p> VirtualExecutor<'p> {
         let telemetry = self.config.telemetry.clone();
         if telemetry.is_enabled() {
             telemetry.set_time_unit(TimeUnit::Cycles);
-            self.sinks =
-                (0..self.layout.core_count).map(|c| telemetry.worker(c)).collect();
+            self.sinks = (0..self.layout.core_count)
+                .map(|c| telemetry.worker(c))
+                .collect();
         }
         let spec = self.program.spec.clone();
         let startup_inst = self.layout.instances_of(self.graph.startup_group)[0];
@@ -301,7 +331,9 @@ impl<'p> VirtualExecutor<'p> {
             None => PayloadSlot::Native(startup.unwrap_or_else(|| Box::new(()))),
         };
         let flags = FlagSet::new().with(spec.startup.flag, true);
-        let obj = self.store.alloc(spec.startup.class, flags, vec![], startup_inst, payload);
+        let obj = self
+            .store
+            .alloc(spec.startup.class, flags, vec![], startup_inst, payload);
         self.push_event(0, EventKey::Arrival(obj.0));
 
         while let Some(Reverse((time, _, key))) = self.events.pop() {
@@ -335,7 +367,10 @@ impl<'p> VirtualExecutor<'p> {
             transfers: self.transfers,
             quiesced,
             trace: if self.config.collect_trace {
-                Some(ExecutionTrace { tasks: std::mem::take(&mut self.trace), makespan: self.makespan })
+                Some(ExecutionTrace {
+                    tasks: std::mem::take(&mut self.trace),
+                    makespan: self.makespan,
+                })
             } else {
                 None
             },
@@ -400,7 +435,13 @@ impl<'p> VirtualExecutor<'p> {
             let hash = self.store.get(obj).tag_hash();
             let spec = self.program.spec.clone();
             if let RouteDecision::Move(dest) = self.router.route_transition(
-                &spec, self.graph, self.layout, home, class, flags, hash,
+                &spec,
+                self.graph,
+                self.layout,
+                home,
+                class,
+                flags,
+                hash,
             ) {
                 let cost = self.machine.transfer_cycles(
                     self.layout.core_of(home),
@@ -431,7 +472,12 @@ impl<'p> VirtualExecutor<'p> {
             .clone();
             for task in tasks {
                 if let Some((objs, tag_env)) = self.match_task(instance, task) {
-                    self.ready[core].push_back(ReadyInv { task, instance, objs, tag_env });
+                    self.ready[core].push_back(ReadyInv {
+                        task,
+                        instance,
+                        objs,
+                        tag_env,
+                    });
                     formed = true;
                 }
             }
@@ -551,7 +597,9 @@ impl<'p> VirtualExecutor<'p> {
         if self.running[core].is_some() {
             return;
         }
-        let Some(mut inv) = self.ready[core].pop_front() else { return };
+        let Some(mut inv) = self.ready[core].pop_front() else {
+            return;
+        };
         let spec = self.program.spec.clone();
         let tspec = spec.task(inv.task);
 
@@ -566,8 +614,11 @@ impl<'p> VirtualExecutor<'p> {
         let (exit, charged, created) = match self.program.native_body(inv.task) {
             Some(body) => {
                 let body = body.clone();
-                let mut payloads: Vec<NativePayload> =
-                    inv.objs.iter().map(|&o| self.store.take_native(o)).collect();
+                let mut payloads: Vec<NativePayload> = inv
+                    .objs
+                    .iter()
+                    .map(|&o| self.store.take_native(o))
+                    .collect();
                 let mut ctx =
                     TaskCtx::new(&mut payloads, tspec.alloc_sites.len(), tspec.exits.len());
                 let exit_idx = body(&mut ctx);
@@ -585,18 +636,24 @@ impl<'p> VirtualExecutor<'p> {
                             .bound_tags
                             .iter()
                             .filter_map(|var| {
-                                inv.tag_env[var.index()].map(|inst| {
-                                    (tspec.tag_vars[var.index()].tag_type, inst)
-                                })
+                                inv.tag_env[var.index()]
+                                    .map(|inst| (tspec.tag_vars[var.index()].tag_type, inst))
                             })
                             .collect();
-                        CreatedRt { site, payload: PayloadSlot::Native(payload), tags }
+                        CreatedRt {
+                            site,
+                            payload: PayloadSlot::Native(payload),
+                            tags,
+                        }
                     })
                     .collect();
                 (exit, charged, created)
             }
             None => {
-                let interp = self.interp.as_mut().expect("interpreted program has interp");
+                let interp = self
+                    .interp
+                    .as_mut()
+                    .expect("interpreted program has interp");
                 let refs: Vec<bamboo_lang::interp::ObjRef> = inv
                     .objs
                     .iter()
@@ -685,10 +742,25 @@ impl<'p> VirtualExecutor<'p> {
             // so lock acquisition always succeeds with zero retries.
             let sink = &mut self.sinks[core];
             sink.lock_acquired(self.now, inv.objs.len() as u64, 0, u64::MAX);
-            sink.task_start(self.now, inv.task.index() as u64, inv.instance.index() as u64, u64::MAX);
-            sink.task_end(end, inv.task.index() as u64, inv.instance.index() as u64, u64::MAX);
+            sink.task_start(
+                self.now,
+                inv.task.index() as u64,
+                inv.instance.index() as u64,
+                u64::MAX,
+            );
+            sink.task_end(
+                end,
+                inv.task.index() as u64,
+                inv.instance.index() as u64,
+                u64::MAX,
+            );
         }
-        self.running[core] = Some(Running { inv, exit, created, trace_id });
+        self.running[core] = Some(Running {
+            inv,
+            exit,
+            created,
+            trace_id,
+        });
         self.push_event(end, EventKey::CoreFree(core as u32));
     }
 
@@ -696,7 +768,13 @@ impl<'p> VirtualExecutor<'p> {
         if let Some(msg) = self.trap.take() {
             return Err(ExecError::Trap(msg));
         }
-        let Some(Running { inv, exit, created, trace_id }) = self.running[core].take() else {
+        let Some(Running {
+            inv,
+            exit,
+            created,
+            trace_id,
+        }) = self.running[core].take()
+        else {
             return Ok(());
         };
         let spec = self.program.spec.clone();
@@ -706,7 +784,8 @@ impl<'p> VirtualExecutor<'p> {
         // Shared-lock directive: merge lock classes of grouped params.
         for group in &self.locks.lock_plans[inv.task.index()].groups {
             for pair in group.windows(2) {
-                self.store.merge_locks(inv.objs[pair[0].index()], inv.objs[pair[1].index()]);
+                self.store
+                    .merge_locks(inv.objs[pair[0].index()], inv.objs[pair[1].index()]);
             }
         }
 
@@ -750,7 +829,13 @@ impl<'p> VirtualExecutor<'p> {
                 (o.class, o.flags, o.home, o.tag_hash())
             };
             match self.router.route_transition(
-                &spec, self.graph, self.layout, home, class, flags, hash,
+                &spec,
+                self.graph,
+                self.layout,
+                home,
+                class,
+                flags,
+                hash,
             ) {
                 RouteDecision::Stay => {
                     self.set_arrival(obj, self.now);
@@ -890,7 +975,11 @@ pub(crate) mod tests_support {
             .param("a", acc, FlagExpr::flag(open))
             .param("w", w, FlagExpr::flag(done))
             .exit("more", |e| e.set(1, done, false))
-            .exit("finish", |e| e.set(0, open, false).set(0, closed, true).set(1, done, false))
+            .exit("finish", |e| {
+                e.set(0, open, false)
+                    .set(0, closed, true)
+                    .set(1, done, false)
+            })
             .body(body(|ctx| {
                 let w = *ctx.param::<i64>(1);
                 let a = ctx.param_mut::<(i64, i64, i64)>(0);
@@ -898,7 +987,11 @@ pub(crate) mod tests_support {
                 a.1 += 1;
                 let finished = a.1 == a.2;
                 ctx.charge(60);
-                if finished { 1 } else { 0 }
+                if finished {
+                    1
+                } else {
+                    0
+                }
             }))
             .finish();
         Program::from_native(b.build().unwrap())
@@ -909,7 +1002,13 @@ pub(crate) mod tests_support {
     pub(crate) fn fanout_setup(
         n: i64,
         cores: usize,
-    ) -> (Program, GroupGraph, Layout, MachineDescription, DisjointnessAnalysis) {
+    ) -> (
+        Program,
+        GroupGraph,
+        Layout,
+        MachineDescription,
+        DisjointnessAnalysis,
+    ) {
         let program = native_program(n);
         let analysis = DependenceAnalysis::run(&program.spec);
         let cstg = Cstg::build(&program.spec, &analysis);
@@ -983,7 +1082,12 @@ mod tests {
         let (one, t1) = run_native(1, 16, ExecConfig::default());
         let (four, t4) = run_native(4, 16, ExecConfig::default());
         assert_eq!(t1, t4);
-        assert!(four.makespan < one.makespan, "{} !< {}", four.makespan, one.makespan);
+        assert!(
+            four.makespan < one.makespan,
+            "{} !< {}",
+            four.makespan,
+            one.makespan
+        );
         assert!(four.transfers > 0);
     }
 
@@ -998,7 +1102,10 @@ mod tests {
 
     #[test]
     fn free_cost_model_has_zero_overhead() {
-        let config = ExecConfig { cost: CostModel::FREE, ..ExecConfig::default() };
+        let config = ExecConfig {
+            cost: CostModel::FREE,
+            ..ExecConfig::default()
+        };
         let (report, _) = run_native(1, 8, config);
         assert_eq!(report.overhead_cycles, 0);
         assert_eq!(report.makespan, report.body_cycles);
@@ -1063,7 +1170,10 @@ mod tests {
 
     #[test]
     fn trace_is_consistent_with_report() {
-        let config = ExecConfig { collect_trace: true, ..ExecConfig::default() };
+        let config = ExecConfig {
+            collect_trace: true,
+            ..ExecConfig::default()
+        };
         let (report, _) = run_native(4, 12, config);
         let trace = report.trace.unwrap();
         assert_eq!(trace.tasks.len() as u64, report.invocations);
@@ -1185,8 +1295,14 @@ mod tests {
         let _ = native_program; // fixture also exercised directly elsewhere
         let reduce = program.spec.task_by_name("reduce").unwrap();
         let locks = locks.with_shared(reduce, &[ParamIdx::new(0), ParamIdx::new(1)]);
-        let mut exec =
-            VirtualExecutor::new(&program, &graph, &layout, &machine, &locks, ExecConfig::default());
+        let mut exec = VirtualExecutor::new(
+            &program,
+            &graph,
+            &layout,
+            &machine,
+            &locks,
+            ExecConfig::default(),
+        );
         exec.run(None).unwrap();
         let acc_class = program.spec.class_by_name("Acc").unwrap();
         let work_class = program.spec.class_by_name("Work").unwrap();
@@ -1236,7 +1352,10 @@ mod error_tests {
         let layout = Layout::single_core(&graph);
         let machine = MachineDescription::n_cores(1);
         let locks = DisjointnessAnalysis::all_disjoint(&program.spec);
-        let config = ExecConfig { max_invocations: 500, ..ExecConfig::default() };
+        let config = ExecConfig {
+            max_invocations: 500,
+            ..ExecConfig::default()
+        };
         let mut exec = VirtualExecutor::new(&program, &graph, &layout, &machine, &locks, config);
         let err = exec.run(None).unwrap_err();
         assert_eq!(err, ExecError::Diverged(500));
@@ -1289,7 +1408,10 @@ mod error_tests {
     fn cost_model_free_vs_default_changes_only_overhead() {
         let (program, graph, layout, machine, locks) = fanout_setup(6, 1);
         let run = |cost| {
-            let config = ExecConfig { cost, ..ExecConfig::default() };
+            let config = ExecConfig {
+                cost,
+                ..ExecConfig::default()
+            };
             let mut exec =
                 VirtualExecutor::new(&program, &graph, &layout, &machine, &locks, config);
             exec.run(None).expect("runs")
@@ -1318,8 +1440,13 @@ mod payload_tests {
         let light = run(ExecConfig::default());
         let work_class = program.spec.class_by_name("Work").expect("exists");
         let mut heavy_cfg = ExecConfig::default();
-        heavy_cfg.payload_words_per_class.insert(work_class, 100_000);
+        heavy_cfg
+            .payload_words_per_class
+            .insert(work_class, 100_000);
         let heavy = run(heavy_cfg);
-        assert!(heavy > light, "heavy payloads must cost time: {heavy} !> {light}");
+        assert!(
+            heavy > light,
+            "heavy payloads must cost time: {heavy} !> {light}"
+        );
     }
 }

@@ -30,7 +30,9 @@ pub struct MoveProposal {
 /// predecessor whose completion gated the start, or the latest-arriving
 /// parameter's producer — becomes the previous node.
 pub fn critical_path(trace: &ExecutionTrace) -> Vec<usize> {
-    let Some(last) = trace.last() else { return Vec::new() };
+    let Some(last) = trace.last() else {
+        return Vec::new();
+    };
     let mut path = vec![last.id];
     let mut cur = last.id;
     loop {
@@ -127,7 +129,10 @@ pub fn propose_moves<R: Rng>(
         let home = layout.core_of(inst);
         for &core in cores_by_load.iter().take(3) {
             if core != home {
-                proposals.push(MoveProposal { instance: inst, to_core: core });
+                proposals.push(MoveProposal {
+                    instance: inst,
+                    to_core: core,
+                });
             }
         }
     }
@@ -136,7 +141,10 @@ pub fn propose_moves<R: Rng>(
         // Group by data-ready time; pick one group at random.
         let mut groups: HashMap<Cycles, Vec<usize>> = HashMap::new();
         for id in &delayed {
-            groups.entry(trace.tasks[*id].data_ready()).or_default().push(*id);
+            groups
+                .entry(trace.tasks[*id].data_ready())
+                .or_default()
+                .push(*id);
         }
         let mut keys: Vec<Cycles> = groups.keys().copied().collect();
         keys.sort_unstable();
@@ -151,7 +159,10 @@ pub fn propose_moves<R: Rng>(
                 let home = layout.core_of(inst);
                 for &core in cores_by_load.iter().take(5) {
                     if core != home {
-                        proposals.push(MoveProposal { instance: inst, to_core: core });
+                        proposals.push(MoveProposal {
+                            instance: inst,
+                            to_core: core,
+                        });
                     }
                 }
                 if proposals.len() >= max_proposals * 3 {
@@ -171,7 +182,10 @@ pub fn propose_moves<R: Rng>(
             let home = layout.core_of(ta.instance);
             for &core in cores_by_load.iter().take(2) {
                 if core != home {
-                    proposals.push(MoveProposal { instance: ta.instance, to_core: core });
+                    proposals.push(MoveProposal {
+                        instance: ta.instance,
+                        to_core: core,
+                    });
                 }
             }
         }
@@ -179,9 +193,7 @@ pub fn propose_moves<R: Rng>(
 
     // Order-preserving dedup; never move the startup-pinned instance.
     let mut seen = std::collections::HashSet::new();
-    proposals.retain(|p| {
-        (p.instance.index() != 0 || p.to_core.index() == 0) && seen.insert(*p)
-    });
+    proposals.retain(|p| (p.instance.index() != 0 || p.to_core.index() == 0) && seen.insert(*p));
     proposals.truncate(max_proposals);
     proposals
 }
@@ -222,10 +234,43 @@ mod tests {
     /// Chain: 0 produces for 1; 2 runs on core 0 after 0, delaying
     /// nothing critical.
     fn linear_trace() -> ExecutionTrace {
-        let t0 = t(0, 0, 0, 10, vec![DataDep { producer: None, arrival: 0 }], None);
-        let t1 = t(1, 1, 12, 30, vec![DataDep { producer: Some(0), arrival: 12 }], None);
-        let t2 = t(2, 0, 10, 14, vec![DataDep { producer: Some(0), arrival: 10 }], Some(0));
-        ExecutionTrace { tasks: vec![t0, t1, t2], makespan: 30 }
+        let t0 = t(
+            0,
+            0,
+            0,
+            10,
+            vec![DataDep {
+                producer: None,
+                arrival: 0,
+            }],
+            None,
+        );
+        let t1 = t(
+            1,
+            1,
+            12,
+            30,
+            vec![DataDep {
+                producer: Some(0),
+                arrival: 12,
+            }],
+            None,
+        );
+        let t2 = t(
+            2,
+            0,
+            10,
+            14,
+            vec![DataDep {
+                producer: Some(0),
+                arrival: 10,
+            }],
+            Some(0),
+        );
+        ExecutionTrace {
+            tasks: vec![t0, t1, t2],
+            makespan: 30,
+        }
     }
 
     #[test]
@@ -238,9 +283,32 @@ mod tests {
     fn resource_delay_detected() {
         // Invocation 1 is ready at 5 but starts at 20 behind 0 on the same
         // core.
-        let t0 = t(0, 0, 0, 20, vec![DataDep { producer: None, arrival: 0 }], None);
-        let t1 = t(1, 0, 20, 40, vec![DataDep { producer: None, arrival: 5 }], Some(0));
-        let trace = ExecutionTrace { tasks: vec![t0, t1], makespan: 40 };
+        let t0 = t(
+            0,
+            0,
+            0,
+            20,
+            vec![DataDep {
+                producer: None,
+                arrival: 0,
+            }],
+            None,
+        );
+        let t1 = t(
+            1,
+            0,
+            20,
+            40,
+            vec![DataDep {
+                producer: None,
+                arrival: 5,
+            }],
+            Some(0),
+        );
+        let trace = ExecutionTrace {
+            tasks: vec![t0, t1],
+            makespan: 40,
+        };
         let path = critical_path(&trace);
         assert_eq!(path, vec![0, 1]);
         assert_eq!(resource_delayed(&trace, &path), vec![1]);
@@ -258,9 +326,32 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         // Two instances on core 0 of a 2-core layout; 1 delayed.
-        let t0 = t(0, 0, 0, 20, vec![DataDep { producer: None, arrival: 0 }], None);
-        let t1 = t(1, 0, 20, 40, vec![DataDep { producer: None, arrival: 0 }], Some(0));
-        let trace = ExecutionTrace { tasks: vec![t0, t1], makespan: 40 };
+        let t0 = t(
+            0,
+            0,
+            0,
+            20,
+            vec![DataDep {
+                producer: None,
+                arrival: 0,
+            }],
+            None,
+        );
+        let t1 = t(
+            1,
+            0,
+            20,
+            40,
+            vec![DataDep {
+                producer: None,
+                arrival: 0,
+            }],
+            Some(0),
+        );
+        let trace = ExecutionTrace {
+            tasks: vec![t0, t1],
+            makespan: 40,
+        };
         // Build a tiny layout by hand through the public constructor path.
         let (graph, repl, layout) = crate::testutil::tiny_two_group_layout(2);
         let _ = (&graph, &repl);

@@ -82,7 +82,10 @@ impl Default for DsaOptions {
             max_candidates: 32,
             threads: 0,
             memoize: true,
-            sim: SimOptions { collect_trace: true, ..SimOptions::default() },
+            sim: SimOptions {
+                collect_trace: true,
+                ..SimOptions::default()
+            },
         }
     }
 }
@@ -90,7 +93,9 @@ impl Default for DsaOptions {
 /// Resolves a thread-count knob: `0` means every available core.
 pub(crate) fn worker_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         requested
     }
@@ -178,7 +183,10 @@ pub fn optimize<R: Rng>(
     opts: &DsaOptions,
     rng: &mut R,
 ) -> (Layout, SimResult, DsaStats) {
-    assert!(!initial.is_empty(), "DSA needs at least one starting layout");
+    assert!(
+        !initial.is_empty(),
+        "DSA needs at least one starting layout"
+    );
     let threads = worker_threads(opts.threads);
     let mut stats = DsaStats::default();
     let mut best: Option<(Layout, SimResult)> = None;
@@ -204,8 +212,9 @@ pub fn optimize<R: Rng>(
         // Evaluate: replay memoized results, fan the rest out across the
         // worker pool, and reassemble in candidate index order.
         let pool = std::mem::take(&mut candidates);
-        let mut evaluated =
-            evaluate_candidates(spec, graph, profile, machine, opts, pool, threads, &mut cache, &mut stats);
+        let mut evaluated = evaluate_candidates(
+            spec, graph, profile, machine, opts, pool, threads, &mut cache, &mut stats,
+        );
         evaluated.sort_by_key(|(_, r)| r.makespan);
         stats.candidates_evaluated += evaluated.len();
 
@@ -215,7 +224,11 @@ pub fn optimize<R: Rng>(
             _ => false,
         };
         if let Some((layout, result)) = evaluated.first() {
-            if best.as_ref().map(|(_, b)| result.makespan < b.makespan).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|(_, b)| result.makespan < b.makespan)
+                .unwrap_or(true)
+            {
                 best = Some((layout.clone(), result.clone()));
             }
         }
@@ -258,13 +271,15 @@ pub fn optimize<R: Rng>(
             }
             for _ in 0..2 {
                 if layout.instances.len() > 1 {
-                    let inst = crate::layout::InstanceId(
-                        rng.gen_range(1..layout.instances.len()) as u32,
-                    );
+                    let inst =
+                        crate::layout::InstanceId(rng.gen_range(1..layout.instances.len()) as u32);
                     let core = bamboo_machine::CoreId::new(rng.gen_range(0..layout.core_count));
                     mutated.push(apply_move(
                         layout,
-                        crate::critpath::MoveProposal { instance: inst, to_core: core },
+                        crate::critpath::MoveProposal {
+                            instance: inst,
+                            to_core: core,
+                        },
                     ));
                 }
             }
@@ -273,10 +288,7 @@ pub fn optimize<R: Rng>(
                     let a = rng.gen_range(1..layout.instances.len());
                     let b = rng.gen_range(1..layout.instances.len());
                     if a != b {
-                        let (ca, cb) = (
-                            layout.instances[a].core,
-                            layout.instances[b].core,
-                        );
+                        let (ca, cb) = (layout.instances[a].core, layout.instances[b].core);
                         if ca != cb {
                             let swapped = apply_move(
                                 &apply_move(
@@ -367,7 +379,16 @@ fn evaluate_candidates(
     stats.cache_misses += due.len();
     stats.simulations += due.len();
 
-    for (slot, result) in simulate_slots(spec, graph, profile, machine, &opts.sim, &candidates, &due, threads) {
+    for (slot, result) in simulate_slots(
+        spec,
+        graph,
+        profile,
+        machine,
+        &opts.sim,
+        &candidates,
+        &due,
+        threads,
+    ) {
         if opts.memoize {
             cache.insert(fingerprints[slot], result.clone());
         }
@@ -397,7 +418,12 @@ fn simulate_slots(
     if workers <= 1 {
         return due
             .iter()
-            .map(|&slot| (slot, simulate(spec, graph, &candidates[slot], profile, machine, sim_opts)))
+            .map(|&slot| {
+                (
+                    slot,
+                    simulate(spec, graph, &candidates[slot], profile, machine, sim_opts),
+                )
+            })
             .collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -457,7 +483,10 @@ mod tests {
             &start,
             &profile,
             &machine,
-            &SimOptions { collect_trace: true, ..SimOptions::default() },
+            &SimOptions {
+                collect_trace: true,
+                ..SimOptions::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(11);
         let (_best, result, stats) = optimize(
@@ -488,7 +517,9 @@ mod tests {
         let sample = random_layouts(&graph, &repl, 4, 20, &mut rng);
         let sample_best = sample
             .iter()
-            .map(|l| simulate(&spec, &graph, l, &profile, &machine, &SimOptions::default()).makespan)
+            .map(|l| {
+                simulate(&spec, &graph, l, &profile, &machine, &SimOptions::default()).makespan
+            })
             .min()
             .unwrap();
         let starts = random_layouts(&graph, &repl, 4, 3, &mut rng);
@@ -518,7 +549,11 @@ mod tests {
         let repl = compute_replication(&spec, &graph, &profile, 4);
         let mut rng = StdRng::seed_from_u64(23);
         let starts = random_layouts(&graph, &repl, 4, 6, &mut rng);
-        let opts = DsaOptions { threads, memoize, ..DsaOptions::default() };
+        let opts = DsaOptions {
+            threads,
+            memoize,
+            ..DsaOptions::default()
+        };
         optimize(&spec, &graph, &profile, &machine, starts, &opts, &mut rng)
     }
 
@@ -543,9 +578,15 @@ mod tests {
         assert_eq!(stats.candidates_evaluated, cold_stats.candidates_evaluated);
         // The cache only ever removes simulations.
         assert!(stats.simulations <= cold_stats.simulations);
-        assert_eq!(stats.simulations + stats.cache_hits, stats.candidates_evaluated);
+        assert_eq!(
+            stats.simulations + stats.cache_hits,
+            stats.candidates_evaluated
+        );
         assert_eq!(stats.simulations, stats.cache_misses);
-        assert!(stats.cache_hits > 0, "survivors re-entering the pool should hit the cache");
+        assert!(
+            stats.cache_hits > 0,
+            "survivors re-entering the pool should hit the cache"
+        );
         assert_eq!(cold_stats.cache_hits, 0);
     }
 
@@ -589,6 +630,14 @@ mod tests {
         let graph = GroupGraph::build(&spec, &cstg, &profile);
         let machine = MachineDescription::quad();
         let mut rng = StdRng::seed_from_u64(0);
-        optimize(&spec, &graph, &profile, &machine, vec![], &DsaOptions::default(), &mut rng);
+        optimize(
+            &spec,
+            &graph,
+            &profile,
+            &machine,
+            vec![],
+            &DsaOptions::default(),
+            &mut rng,
+        );
     }
 }

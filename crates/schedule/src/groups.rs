@@ -22,7 +22,9 @@ use bamboo_profile::Profile;
 use std::fmt;
 
 /// Identifies a core group within a [`GroupGraph`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct GroupId(pub u32);
 
 impl GroupId {
@@ -173,23 +175,34 @@ impl GroupGraph {
                 .iter()
                 .filter(|e| e.count > 0)
                 .map(|e| {
-                    e.site_allocs.get(edge.site.site.index()).copied().unwrap_or(0) as f64
+                    e.site_allocs
+                        .get(edge.site.site.index())
+                        .copied()
+                        .unwrap_or(0) as f64
                         / e.count as f64
                 })
                 .fold(0.0f64, f64::max)
                 .max(if tp.invocations() == 0 { 1.0 } else { 0.0 });
-            new_edges.push(GroupNewEdge { from, to, task: edge.task, site: edge.site, mean_count });
+            new_edges.push(GroupNewEdge {
+                from,
+                to,
+                task: edge.task,
+                site: edge.site,
+                mean_count,
+            });
         }
         // 6. Locate the startup group.
         let startup_state = cstg
             .nodes
             .iter()
-            .position(|node| {
-                node.class == spec.startup.class && node.allocatable
-            })
+            .position(|node| node.class == spec.startup.class && node.allocatable)
             .expect("startup state present in CSTG");
         let startup_group = GroupId(group_of_node[startup_state] as u32);
-        GroupGraph { groups, new_edges, startup_group }
+        GroupGraph {
+            groups,
+            new_edges,
+            startup_group,
+        }
     }
 
     /// Returns the group containing `task`, if the task is reachable.
@@ -213,17 +226,25 @@ impl GroupGraph {
 
     /// Returns the incoming new edges of `group`.
     pub fn incoming(&self, group: GroupId) -> impl Iterator<Item = &GroupNewEdge> {
-        self.new_edges.iter().filter(move |e| e.to == group && e.from != group)
+        self.new_edges
+            .iter()
+            .filter(move |e| e.to == group && e.from != group)
     }
 
     /// Renders a summary of the graph.
     pub fn summary(&self, spec: &ProgramSpec) -> String {
         let mut out = String::new();
         for (i, group) in self.groups.iter().enumerate() {
-            let tasks: Vec<&str> =
-                group.tasks.iter().map(|t| spec.task(*t).name.as_str()).collect();
-            let classes: Vec<&str> =
-                group.classes.iter().map(|c| spec.class(*c).name.as_str()).collect();
+            let tasks: Vec<&str> = group
+                .tasks
+                .iter()
+                .map(|t| spec.task(*t).name.as_str())
+                .collect();
+            let classes: Vec<&str> = group
+                .classes
+                .iter()
+                .map(|c| spec.class(*c).name.as_str())
+                .collect();
             out.push_str(&format!(
                 "group#{i} (origin {}): tasks=[{}] classes=[{}] states={}\n",
                 group.origin,
@@ -250,7 +271,7 @@ mod tests {
     use super::*;
     use crate::testutil::kc_setup;
 
-        #[test]
+    #[test]
     fn base_grouping_matches_paper_example() {
         let (spec, cstg, profile) = kc_setup();
         let graph = GroupGraph::build(&spec, &cstg, &profile);
@@ -278,10 +299,7 @@ mod tests {
         let text_edge = graph
             .new_edges
             .iter()
-            .find(|e| {
-                e.task == startup_task
-                    && graph.groups[e.to.index()].classes.contains(&text)
-            })
+            .find(|e| e.task == startup_task && graph.groups[e.to.index()].classes.contains(&text))
             .expect("edge to Text group");
         assert!((text_edge.mean_count - 4.0).abs() < 1e-9);
     }

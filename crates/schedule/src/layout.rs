@@ -22,7 +22,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Identifies one group instance within a layout.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct InstanceId(pub u32);
 
 impl InstanceId {
@@ -87,15 +89,27 @@ impl Layout {
         let mut instances = Vec::new();
         let mut group_instances = vec![Vec::new(); graph.groups.len()];
         for (g, list) in cores.iter().enumerate() {
-            assert_eq!(list.len(), replication.copies[g], "copy count mismatch for group {g}");
+            assert_eq!(
+                list.len(),
+                replication.copies[g],
+                "copy count mismatch for group {g}"
+            );
             for (copy, &core) in list.iter().enumerate() {
                 assert!(core.index() < core_count, "core out of range");
                 let id = InstanceId(instances.len() as u32);
-                instances.push(GroupInstance { group: GroupId(g as u32), copy: copy as u32, core });
+                instances.push(GroupInstance {
+                    group: GroupId(g as u32),
+                    copy: copy as u32,
+                    core,
+                });
                 group_instances[g].push(id);
             }
         }
-        Layout { core_count, instances, group_instances }
+        Layout {
+            core_count,
+            instances,
+            group_instances,
+        }
     }
 
     /// The trivial single-core layout (everything on core 0).
@@ -200,8 +214,11 @@ impl Layout {
             for inst in insts {
                 let gi = &self.instances[inst.index()];
                 let group = &graph.groups[gi.group.index()];
-                let tasks: Vec<&str> =
-                    group.tasks.iter().map(|t| spec.task(*t).name.as_str()).collect();
+                let tasks: Vec<&str> = group
+                    .tasks
+                    .iter()
+                    .map(|t| spec.task(*t).name.as_str())
+                    .collect();
                 out.push_str(&format!(
                     "  {} = {}[copy {}] tasks=[{}]\n",
                     inst,
@@ -254,7 +271,12 @@ impl Router {
     }
 
     /// Memoized [`enabled_params`].
-    fn enabled(&mut self, spec: &ProgramSpec, class: ClassId, flags: FlagSet) -> &[(TaskId, bamboo_lang::ids::ParamIdx)] {
+    fn enabled(
+        &mut self,
+        spec: &ProgramSpec,
+        class: ClassId,
+        flags: FlagSet,
+    ) -> &[(TaskId, bamboo_lang::ids::ParamIdx)] {
         self.dispatch_memo
             .entry((class, flags.bits()))
             .or_insert_with(|| enabled_params(spec, class, flags))
@@ -285,9 +307,7 @@ impl Router {
         let dest_group = graph
             .new_edges
             .iter()
-            .find(|e| {
-                e.from == from_group && e.task == task && e.site.site == site
-            })
+            .find(|e| e.from == from_group && e.task == task && e.site.site == site)
             .map(|e| e.to)
             .unwrap_or_else(|| {
                 // Fallback: any group holding the destination state class;
@@ -361,7 +381,9 @@ impl Router {
         // Otherwise transfer to the first enabled task that is deployed
         // somewhere.
         for (task, _) in &enabled {
-            let Some(task_group) = graph.group_of_task(*task) else { continue };
+            let Some(task_group) = graph.group_of_task(*task) else {
+                continue;
+            };
             let candidates = layout.instances_of(task_group);
             if candidates.is_empty() {
                 continue;
@@ -525,7 +547,9 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(g, _)| {
-                    (0..repl.copies[g]).map(|c| CoreId::new(perm[c % 4])).collect()
+                    (0..repl.copies[g])
+                        .map(|c| CoreId::new(perm[c % 4]))
+                        .collect()
                 })
                 .collect();
             Layout::new(&graph, &repl, 4, &cores)
@@ -567,7 +591,10 @@ mod tests {
             }
         }
         // The sweep must actually exercise both directions.
-        assert!(sig_equal_pairs > 0, "no signature-equal pair among mutations");
+        assert!(
+            sig_equal_pairs > 0,
+            "no signature-equal pair among mutations"
+        );
     }
 
     #[test]

@@ -45,9 +45,13 @@ pub use critpath::{critical_path, propose_moves, MoveProposal};
 pub use dsa::{optimize, DsaOptions, DsaStats};
 pub use groups::{Group, GroupGraph, GroupId, GroupNewEdge};
 pub use layout::{GroupInstance, InstanceId, Layout, RouteDecision, Router};
-pub use mapping::{control_spread_layout, enumerate_mappings, random_layouts, spread_layout, MappingOptions};
+pub use mapping::{
+    control_spread_layout, enumerate_mappings, random_layouts, spread_layout, MappingOptions,
+};
 pub use preprocess::scc_tree_transform;
 pub use sim::{simulate, SimCache, SimOptions, SimResult};
 pub use synthesis::{single_core_plan, synthesize, SynthesisOptions, SynthesisResult};
 pub use trace::{DataDep, ExecutionTrace, TraceTask};
-pub use transforms::{compute_replication, compute_replication_with, replicable, Replication, RuleSet};
+pub use transforms::{
+    compute_replication, compute_replication_with, replicable, Replication, RuleSet,
+};

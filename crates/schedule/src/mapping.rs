@@ -29,7 +29,11 @@ pub struct MappingOptions {
 
 impl Default for MappingOptions {
     fn default() -> Self {
-        MappingOptions { core_count: 4, limit: 1_000_000, skip_probability: 0.0 }
+        MappingOptions {
+            core_count: 4,
+            limit: 1_000_000,
+            skip_probability: 0.0,
+        }
     }
 }
 
@@ -149,8 +153,11 @@ fn build_layout(
     slots: &[(usize, usize)],
     assignment: &[usize],
 ) -> Layout {
-    let mut cores: Vec<Vec<CoreId>> =
-        replication.copies.iter().map(|&c| vec![CoreId::new(0); c]).collect();
+    let mut cores: Vec<Vec<CoreId>> = replication
+        .copies
+        .iter()
+        .map(|&c| vec![CoreId::new(0); c])
+        .collect();
     for (i, &(group, copy)) in slots.iter().enumerate() {
         cores[group][copy] = CoreId::new(assignment[i]);
     }
@@ -162,13 +169,12 @@ fn build_layout(
 /// cores (copy `c` of successive groups interleaved so replicated waves
 /// spread out). This is the layout the parallelization transforms imply
 /// and a natural starting candidate for the annealer.
-pub fn spread_layout(
-    graph: &GroupGraph,
-    replication: &Replication,
-    core_count: usize,
-) -> Layout {
-    let mut cores: Vec<Vec<CoreId>> =
-        replication.copies.iter().map(|&c| vec![CoreId::new(0); c]).collect();
+pub fn spread_layout(graph: &GroupGraph, replication: &Replication, core_count: usize) -> Layout {
+    let mut cores: Vec<Vec<CoreId>> = replication
+        .copies
+        .iter()
+        .map(|&c| vec![CoreId::new(0); c])
+        .collect();
     let mut next = 1usize.min(core_count - 1);
     for (g, list) in cores.iter_mut().enumerate() {
         if g == graph.startup_group.index() {
@@ -195,8 +201,11 @@ pub fn control_spread_layout(
     replication: &Replication,
     core_count: usize,
 ) -> Layout {
-    let mut cores: Vec<Vec<CoreId>> =
-        replication.copies.iter().map(|&c| vec![CoreId::new(0); c]).collect();
+    let mut cores: Vec<Vec<CoreId>> = replication
+        .copies
+        .iter()
+        .map(|&c| vec![CoreId::new(0); c])
+        .collect();
     if core_count > 1 {
         let worker_cores = core_count - 1;
         let mut next = 0usize;
@@ -248,11 +257,19 @@ pub fn random_layouts<R: Rng>(
             }
             let lower = if copy > 0 { assignment[pos - 1] } else { 0 };
             let upper = (max_used + 1).min(core_count);
-            let core = rng.gen_range(lower..upper.max(lower + 1)).min(core_count - 1);
+            let core = rng
+                .gen_range(lower..upper.max(lower + 1))
+                .min(core_count - 1);
             assignment[pos] = core;
             max_used = max_used.max(core + 1);
         }
-        out.push(build_layout(graph, replication, core_count, &slots, &assignment));
+        out.push(build_layout(
+            graph,
+            replication,
+            core_count,
+            &slots,
+            &assignment,
+        ));
     }
     out
 }
@@ -284,7 +301,11 @@ mod tests {
         enumerate_mappings(
             &graph,
             &repl,
-            &MappingOptions { core_count: 4, limit: 100_000, skip_probability: 0.0 },
+            &MappingOptions {
+                core_count: 4,
+                limit: 100_000,
+                skip_probability: 0.0,
+            },
             &mut rng,
             |layout| {
                 count += 1;
@@ -303,7 +324,11 @@ mod tests {
         enumerate_mappings(
             &graph,
             &repl,
-            &MappingOptions { core_count: 4, limit: 1000, skip_probability: 0.0 },
+            &MappingOptions {
+                core_count: 4,
+                limit: 1000,
+                skip_probability: 0.0,
+            },
             &mut rng,
             |layout| {
                 let inst = layout.instances_of(graph.startup_group)[0];
@@ -319,7 +344,11 @@ mod tests {
         let n = enumerate_mappings(
             &graph,
             &repl,
-            &MappingOptions { core_count: 4, limit: 3, skip_probability: 0.0 },
+            &MappingOptions {
+                core_count: 4,
+                limit: 3,
+                skip_probability: 0.0,
+            },
             &mut rng,
             |_| {},
         );
@@ -333,7 +362,11 @@ mod tests {
         let full = enumerate_mappings(
             &graph,
             &repl,
-            &MappingOptions { core_count: 4, limit: 100_000, skip_probability: 0.0 },
+            &MappingOptions {
+                core_count: 4,
+                limit: 100_000,
+                skip_probability: 0.0,
+            },
             &mut rng,
             |_| {},
         );
@@ -341,7 +374,11 @@ mod tests {
         let sampled = enumerate_mappings(
             &graph,
             &repl,
-            &MappingOptions { core_count: 4, limit: 100_000, skip_probability: 0.5 },
+            &MappingOptions {
+                core_count: 4,
+                limit: 100_000,
+                skip_probability: 0.5,
+            },
             &mut rng,
             |_| {},
         );

@@ -132,7 +132,10 @@ mod tests {
             from: GroupId(from as u32),
             to: GroupId(to as u32),
             task: TaskId::new(task),
-            site: GlobalAllocSite { task: TaskId::new(task), site: AllocSiteId::new(0) },
+            site: GlobalAllocSite {
+                task: TaskId::new(task),
+                site: AllocSiteId::new(0),
+            },
             mean_count: 1.0,
         }
     }
@@ -152,7 +155,10 @@ mod tests {
             if GroupId(i as u32) == out.startup_group {
                 continue;
             }
-            assert!(out.incoming(GroupId(i as u32)).count() <= 1, "group {i} has multiple sources");
+            assert!(
+                out.incoming(GroupId(i as u32)).count() <= 1,
+                "group {i} has multiple sources"
+            );
         }
         // The duplicate keeps its origin.
         assert_eq!(out.groups[4].origin, 3);

@@ -44,7 +44,10 @@ pub struct SimOptions {
 impl SimOptions {
     /// Payload size for `class`.
     pub fn payload_words_of(&self, class: bamboo_lang::ids::ClassId) -> u64 {
-        self.payload_words_per_class.get(&class).copied().unwrap_or(self.payload_words)
+        self.payload_words_per_class
+            .get(&class)
+            .copied()
+            .unwrap_or(self.payload_words)
     }
 }
 
@@ -332,7 +335,10 @@ impl<'a> Simulator<'a> {
             invocations: self.invocations,
             utilization,
             trace: if self.opts.collect_trace {
-                Some(ExecutionTrace { tasks: self.trace, makespan: self.makespan })
+                Some(ExecutionTrace {
+                    tasks: self.trace,
+                    makespan: self.makespan,
+                })
             } else {
                 None
             },
@@ -396,7 +402,13 @@ impl<'a> Simulator<'a> {
             // No local slot matches: forward to the consuming group.
             let hash = self.objects[obj].tag_hash;
             if let RouteDecision::Move(dest) = self.router.route_transition(
-                self.spec, self.graph, self.layout, home, class, flags, hash,
+                self.spec,
+                self.graph,
+                self.layout,
+                home,
+                class,
+                flags,
+                hash,
             ) {
                 let from_core = self.layout.core_of(home);
                 let to_core = self.layout.core_of(dest);
@@ -417,7 +429,8 @@ impl<'a> Simulator<'a> {
         loop {
             let mut formed = false;
             let tasks: Vec<TaskId> = {
-                let group = &self.graph.groups[self.layout.instances[instance.index()].group.index()];
+                let group =
+                    &self.graph.groups[self.layout.instances[instance.index()].group.index()];
                 group.tasks.clone()
             };
             for task in tasks {
@@ -525,7 +538,9 @@ impl<'a> Simulator<'a> {
         if self.running[core.index()].is_some() {
             return;
         }
-        let Some(inv) = self.ready[core.index()].pop_front() else { return };
+        let Some(inv) = self.ready[core.index()].pop_front() else {
+            return;
+        };
         let pred = inv.pred.clone();
         let duration = pred.cycles + self.opts.dispatch_overhead;
         let start = self.now;
@@ -557,14 +572,17 @@ impl<'a> Simulator<'a> {
         }
 
         // Completion is handled at CoreFree.
-        let trace_id = if self.opts.collect_trace { Some(self.trace.len() - 1) } else { None };
+        let trace_id = if self.opts.collect_trace {
+            Some(self.trace.len() - 1)
+        } else {
+            None
+        };
         self.running[core.index()] = Some((inv, pred, trace_id));
         self.push_event(end, EventKey::CoreFree(core.0));
     }
 
     fn handle_core_free(&mut self, core: CoreId) {
-        let (inv, pred, trace_id) =
-            self.running[core.index()].take().expect("core was running");
+        let (inv, pred, trace_id) = self.running[core.index()].take().expect("core was running");
         let tspec = self.spec.task(inv.task);
         let exit = tspec.exit(pred.exit);
 
@@ -624,7 +642,11 @@ impl<'a> Simulator<'a> {
             let site_spec = &tspec.alloc_sites[site.index()];
             let tagged = !site_spec.bound_tags.is_empty();
             for _ in 0..*count {
-                let hash = if tagged { minted_hash.or(param_hash) } else { None };
+                let hash = if tagged {
+                    minted_hash.or(param_hash)
+                } else {
+                    None
+                };
                 let dest = self.router.route_new(
                     self.spec,
                     self.graph,
@@ -690,7 +712,10 @@ mod tests {
             })
             .collect();
         let layout = Layout::new(&graph, &repl, core_count, &cores);
-        let opts = SimOptions { collect_trace: true, ..SimOptions::default() };
+        let opts = SimOptions {
+            collect_trace: true,
+            ..SimOptions::default()
+        };
         let result = simulate(&spec, &graph, &layout, &profile, &machine, &opts);
         (result, profile.total_cycles)
     }
@@ -708,7 +733,12 @@ mod tests {
         let (one, _) = sim_kc(1);
         let (four, _) = sim_kc(4);
         assert!(four.completed);
-        assert!(four.makespan < one.makespan, "{} !< {}", four.makespan, one.makespan);
+        assert!(
+            four.makespan < one.makespan,
+            "{} !< {}",
+            four.makespan,
+            one.makespan
+        );
     }
 
     #[test]

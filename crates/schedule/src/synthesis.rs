@@ -39,7 +39,11 @@ pub struct SynthesisOptions {
 
 impl Default for SynthesisOptions {
     fn default() -> Self {
-        SynthesisOptions { initial_candidates: 8, threads: 0, dsa: DsaOptions::default() }
+        SynthesisOptions {
+            initial_candidates: 8,
+            threads: 0,
+            dsa: DsaOptions::default(),
+        }
     }
 }
 
@@ -112,7 +116,10 @@ pub fn synthesize<R: Rng>(
     // the caller's stream advances identically however the variants are
     // scheduled.
     let seeds: Vec<u64> = variants.iter().map(|_| rng.next_u64()).collect();
-    let dsa_opts = DsaOptions { threads: opts.threads, ..opts.dsa.clone() };
+    let dsa_opts = DsaOptions {
+        threads: opts.threads,
+        ..opts.dsa.clone()
+    };
     let run_variant = |replication: Replication, seed: u64| -> SynthesisResult {
         let mut vrng = StdRng::seed_from_u64(seed);
         let mut initial = random_layouts(
@@ -125,34 +132,38 @@ pub fn synthesize<R: Rng>(
         // Seed the annealer with the canonical data-parallel layouts too.
         initial.push(spread_layout(&graph, &replication, cores));
         initial.push(control_spread_layout(&graph, &replication, cores));
-        let (layout, estimate, stats) =
-            optimize(spec, &graph, profile, machine, initial, &dsa_opts, &mut vrng);
-        SynthesisResult { graph: graph.clone(), replication, layout, estimate, stats }
+        let (layout, estimate, stats) = optimize(
+            spec, &graph, profile, machine, initial, &dsa_opts, &mut vrng,
+        );
+        SynthesisResult {
+            graph: graph.clone(),
+            replication,
+            layout,
+            estimate,
+            stats,
+        }
     };
 
-    let searched: Vec<SynthesisResult> =
-        if worker_threads(opts.threads) > 1 && variants.len() > 1 {
-            let run_variant = &run_variant;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = variants
-                    .into_iter()
-                    .zip(seeds)
-                    .map(|(replication, seed)| {
-                        scope.spawn(move || run_variant(replication, seed))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("variant search panicked"))
-                    .collect()
-            })
-        } else {
-            variants
+    let searched: Vec<SynthesisResult> = if worker_threads(opts.threads) > 1 && variants.len() > 1 {
+        let run_variant = &run_variant;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = variants
                 .into_iter()
                 .zip(seeds)
-                .map(|(replication, seed)| run_variant(replication, seed))
+                .map(|(replication, seed)| scope.spawn(move || run_variant(replication, seed)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("variant search panicked"))
                 .collect()
-        };
+        })
+    } else {
+        variants
+            .into_iter()
+            .zip(seeds)
+            .map(|(replication, seed)| run_variant(replication, seed))
+            .collect()
+    };
 
     let winner = searched
         .iter()
@@ -166,7 +177,10 @@ pub fn synthesize<R: Rng>(
             merged_stats.merge_counters(&other.stats);
         }
     }
-    let mut result = searched.into_iter().nth(winner).expect("winner index in range");
+    let mut result = searched
+        .into_iter()
+        .nth(winner)
+        .expect("winner index in range");
     result.stats = merged_stats;
     result
 }
@@ -174,7 +188,11 @@ pub fn synthesize<R: Rng>(
 /// Builds the trivial single-core plan (profiling bootstrap and the
 /// 1-core Bamboo configuration): base groups, no replication, everything
 /// on core 0.
-pub fn single_core_plan(spec: &ProgramSpec, cstg: &Cstg, profile: &Profile) -> (GroupGraph, Layout) {
+pub fn single_core_plan(
+    spec: &ProgramSpec,
+    cstg: &Cstg,
+    profile: &Profile,
+) -> (GroupGraph, Layout) {
     let graph = GroupGraph::build(spec, cstg, profile);
     let layout = Layout::single_core(&graph);
     (graph, layout)
@@ -193,8 +211,14 @@ mod tests {
         let (spec, cstg, profile) = kc_setup();
         let machine = MachineDescription::quad();
         let mut rng = StdRng::seed_from_u64(2024);
-        let result =
-            synthesize(&spec, &cstg, &profile, &machine, &SynthesisOptions::default(), &mut rng);
+        let result = synthesize(
+            &spec,
+            &cstg,
+            &profile,
+            &machine,
+            &SynthesisOptions::default(),
+            &mut rng,
+        );
         let (graph1, layout1) = single_core_plan(&spec, &cstg, &profile);
         let single = simulate(
             &spec,
@@ -219,9 +243,16 @@ mod tests {
         let machine = MachineDescription::quad();
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            synthesize(&spec, &cstg, &profile, &machine, &SynthesisOptions::default(), &mut rng)
-                .estimate
-                .makespan
+            synthesize(
+                &spec,
+                &cstg,
+                &profile,
+                &machine,
+                &SynthesisOptions::default(),
+                &mut rng,
+            )
+            .estimate
+            .makespan
         };
         assert_eq!(run(7), run(7));
     }
@@ -238,9 +269,15 @@ mod tests {
         let serial = run(1);
         for threads in [4, 8] {
             let parallel = run(threads);
-            assert_eq!(parallel.layout, serial.layout, "{threads} threads: layout diverged");
+            assert_eq!(
+                parallel.layout, serial.layout,
+                "{threads} threads: layout diverged"
+            );
             assert_eq!(parallel.estimate.makespan, serial.estimate.makespan);
-            assert_eq!(parallel.stats, serial.stats, "{threads} threads: stats diverged");
+            assert_eq!(
+                parallel.stats, serial.stats,
+                "{threads} threads: stats diverged"
+            );
             assert_eq!(parallel.replication, serial.replication);
         }
     }
@@ -250,14 +287,23 @@ mod tests {
         let (spec, cstg, profile) = kc_setup();
         let machine = MachineDescription::quad();
         let mut rng = StdRng::seed_from_u64(2024);
-        let result =
-            synthesize(&spec, &cstg, &profile, &machine, &SynthesisOptions::default(), &mut rng);
+        let result = synthesize(
+            &spec,
+            &cstg,
+            &profile,
+            &machine,
+            &SynthesisOptions::default(),
+            &mut rng,
+        );
         let stats = &result.stats;
         // Volume counters are real sums over every variant searched, not
         // a clamped placeholder.
         assert!(stats.simulations > 1);
         assert_eq!(stats.simulations, stats.cache_misses);
-        assert_eq!(stats.simulations + stats.cache_hits, stats.candidates_evaluated);
+        assert_eq!(
+            stats.simulations + stats.cache_hits,
+            stats.candidates_evaluated
+        );
         assert!(stats.iterations >= stats.trajectory.len());
         // The trajectory stays the winning variant's: non-increasing and
         // ending at the reported best makespan.

@@ -40,7 +40,12 @@ pub fn kc_setup() -> (ProgramSpec, Cstg, Profile) {
     let startup = spec.task_by_name("startup").unwrap();
     let process = spec.task_by_name("processText").unwrap();
     let merge = spec.task_by_name("mergeIntermediateResult").unwrap();
-    c.record(startup, ExitId::new(0), 300, &[(AllocSiteId::new(0), 4), (AllocSiteId::new(1), 1)]);
+    c.record(
+        startup,
+        ExitId::new(0),
+        300,
+        &[(AllocSiteId::new(0), 4), (AllocSiteId::new(1), 1)],
+    );
     for _ in 0..4 {
         c.record(process, ExitId::new(0), 1000, &[]);
     }

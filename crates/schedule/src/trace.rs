@@ -104,8 +104,14 @@ mod tests {
     fn data_ready_is_max_arrival() {
         let mut task = t(0, 0, 10, 20);
         task.deps = vec![
-            DataDep { producer: None, arrival: 3 },
-            DataDep { producer: Some(1), arrival: 9 },
+            DataDep {
+                producer: None,
+                arrival: 3,
+            },
+            DataDep {
+                producer: Some(1),
+                arrival: 9,
+            },
         ];
         assert_eq!(task.data_ready(), 9);
     }

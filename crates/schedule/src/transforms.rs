@@ -32,7 +32,9 @@ pub struct Replication {
 impl Replication {
     /// One copy of everything (no parallelization).
     pub fn serial(graph: &GroupGraph) -> Self {
-        Replication { copies: vec![1; graph.groups.len()] }
+        Replication {
+            copies: vec![1; graph.groups.len()],
+        }
     }
 
     /// Copies of `group`.
@@ -71,7 +73,10 @@ pub struct RuleSet {
 
 impl Default for RuleSet {
     fn default() -> Self {
-        RuleSet { data_parallelization: true, rate_matching: true }
+        RuleSet {
+            data_parallelization: true,
+            rate_matching: true,
+        }
     }
 }
 
@@ -124,7 +129,11 @@ pub fn compute_replication_with(
             continue;
         }
         // Data parallelization: m copies.
-        let data_copies = if rules.data_parallelization { m.ceil() as usize } else { 1 };
+        let data_copies = if rules.data_parallelization {
+            m.ceil() as usize
+        } else {
+            1
+        };
 
         // Rate matching (different SCCs only): n = ceil(m * t_process /
         // t_cycle). A producer invoked once in the profile (e.g. startup)
@@ -159,7 +168,10 @@ fn cycle_time(
 ) -> u64 {
     let scc = scc_of[producer.index()];
     let in_cycle = scc_of.iter().filter(|&&s| s == scc).count() > 1
-        || graph.new_edges.iter().any(|e| e.from == producer && e.to == producer);
+        || graph
+            .new_edges
+            .iter()
+            .any(|e| e.from == producer && e.to == producer);
     if !in_cycle {
         return profile.task(task).mean_cycles().max(1);
     }
@@ -189,8 +201,8 @@ fn processing_time(graph: &GroupGraph, profile: &Profile, consumer: GroupId) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::kc_setup;
     use crate::preprocess::scc_tree_transform;
+    use crate::testutil::kc_setup;
     use bamboo_analysis::cstg::Cstg;
     use bamboo_analysis::DependenceAnalysis;
 
@@ -313,7 +325,10 @@ mod rule_ablation_tests {
             &graph,
             &profile,
             62,
-            RuleSet { data_parallelization: false, rate_matching: false },
+            RuleSet {
+                data_parallelization: false,
+                rate_matching: false,
+            },
         );
         assert_eq!(off.total_instances(), graph.groups.len());
         let on = compute_replication(&spec, &graph, &profile, 62);

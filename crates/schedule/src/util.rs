@@ -88,8 +88,7 @@ mod tests {
         assert_eq!(sccs.len(), 3);
         assert!(sccs.contains(&vec![1, 2]));
         // Edges point to earlier components.
-        let pos =
-            |v: usize| sccs.iter().position(|c| c.contains(&v)).expect("present");
+        let pos = |v: usize| sccs.iter().position(|c| c.contains(&v)).expect("present");
         assert!(pos(3) < pos(1));
         assert!(pos(1) < pos(0));
     }

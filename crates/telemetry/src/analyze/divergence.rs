@@ -14,6 +14,8 @@ use super::findings::{Evidence, Finding, Severity};
 use super::graph::ObservedGraph;
 use super::ledger::Ledger;
 use super::path::ObservedPath;
+use crate::event::{fault_code, recover_code, EventKind};
+use crate::report::TelemetryReport;
 use bamboo_schedule::trace::ExecutionTrace;
 use std::collections::HashMap;
 
@@ -163,18 +165,141 @@ pub fn local_findings(
                 ),
                 evidence: vec![
                     Evidence::at(
-                        format!("busiest: core {} computed {}", busiest.core, busiest.compute),
+                        format!(
+                            "busiest: core {} computed {}",
+                            busiest.core, busiest.compute
+                        ),
                         (0, ledger.span),
                         busiest.core,
                     ),
                     Evidence::at(
-                        format!("lightest active: core {} computed {}", lightest.core, lightest.compute),
+                        format!(
+                            "lightest active: core {} computed {}",
+                            lightest.core, lightest.compute
+                        ),
                         (0, ledger.span),
                         lightest.core,
                     ),
                 ],
             });
         }
+    }
+
+    out
+}
+
+/// Findings attributing slowdown to *injected* faults: when the run
+/// carried a chaos plan, every `fault.*` event names its cause
+/// precisely, so the diagnosis can say "core 3 was killed and peers
+/// absorbed its work" instead of guessing from symptoms. Recovery
+/// events are matched against their faults to price the recovery cost.
+pub fn fault_findings(report: &TelemetryReport) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let faults: Vec<_> = report
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Fault)
+        .collect();
+    if faults.is_empty() {
+        return out;
+    }
+    let recovers: Vec<_> = report
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Recover)
+        .collect();
+
+    // Core kills: name the dead core and price its failover.
+    for kill in faults.iter().filter(|e| e.a == fault_code::CORE_KILL) {
+        let dead_core = kill.b;
+        let drained = recovers
+            .iter()
+            .filter(|e| e.a == recover_code::FAILOVER_DRAIN && u64::from(e.core) == dead_core)
+            .map(|e| e.b)
+            .sum::<u64>();
+        let rerouted = recovers
+            .iter()
+            .filter(|e| e.a == recover_code::REROUTE)
+            .count();
+        out.push(Finding {
+            rule: "injected-core-kill",
+            severity: Severity::Warning,
+            score: 1.0 + drained as f64 + rerouted as f64,
+            message: format!(
+                "core {dead_core} was killed by the fault plan; {drained} buffered object(s) \
+                 failed over and {rerouted} send(s) re-routed to live replicas"
+            ),
+            evidence: vec![Evidence::at(
+                format!("fault.core_kill on core {dead_core}"),
+                (kill.ts, kill.ts),
+                kill.core,
+            )],
+        });
+    }
+
+    // Message drops: redelivery pressure is injected latency, not a
+    // runtime defect.
+    let drops: Vec<_> = faults
+        .iter()
+        .filter(|e| e.a == fault_code::MSG_DROP)
+        .collect();
+    if !drops.is_empty() {
+        let attempts: u64 = drops.iter().map(|e| e.b).sum();
+        let redelivered = recovers
+            .iter()
+            .filter(|e| e.a == recover_code::REDELIVER)
+            .count();
+        let worst = drops.iter().max_by_key(|e| e.b).expect("non-empty drops");
+        out.push(Finding {
+            rule: "injected-message-drops",
+            severity: Severity::Info,
+            score: attempts as f64,
+            message: format!(
+                "{} message(s) were dropped by the fault plan ({attempts} simulated \
+                 retransmission(s), {redelivered} redelivered with backoff)",
+                drops.len()
+            ),
+            evidence: vec![Evidence::at(
+                format!("worst message {} needed {} attempt(s)", worst.c, worst.b),
+                (worst.ts, worst.ts),
+                worst.core,
+            )],
+        });
+    }
+
+    // Stalls, delays, and lock slowdowns: pure injected latency.
+    let latency: Vec<_> = faults
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.a,
+                fault_code::CORE_STALL | fault_code::MSG_DELAY | fault_code::LOCK_SLOW
+            )
+        })
+        .collect();
+    if !latency.is_empty() {
+        let injected_ns: u64 = latency.iter().map(|e| e.b).sum();
+        let worst = latency
+            .iter()
+            .max_by_key(|e| e.b)
+            .expect("non-empty latency faults");
+        out.push(Finding {
+            rule: "injected-latency",
+            severity: Severity::Info,
+            score: injected_ns as f64,
+            message: format!(
+                "{} stall/delay/slowdown fault(s) injected ~{injected_ns} ns of artificial latency",
+                latency.len()
+            ),
+            evidence: vec![Evidence::at(
+                format!(
+                    "largest single injection: {} ns on core {}",
+                    worst.b, worst.core
+                ),
+                (worst.ts, worst.ts),
+                worst.core,
+            )],
+        });
     }
 
     out
@@ -196,7 +321,11 @@ pub fn predicted_vs_observed(graph: &ObservedGraph, predicted: &ExecutionTrace) 
         *pred_counts.entry(t.task.index() as u64).or_insert(0) += 1;
     }
     let mut count_diffs: Vec<(u64, u64, u64)> = Vec::new();
-    let mut tasks: Vec<u64> = obs_counts.keys().chain(pred_counts.keys()).copied().collect();
+    let mut tasks: Vec<u64> = obs_counts
+        .keys()
+        .chain(pred_counts.keys())
+        .copied()
+        .collect();
     tasks.sort_unstable();
     tasks.dedup();
     for task in tasks {
@@ -234,7 +363,9 @@ pub fn predicted_vs_observed(graph: &ObservedGraph, predicted: &ExecutionTrace) 
         for d in &t.deps {
             if let Some(p) = d.producer {
                 let ptask = predicted.tasks[p].task.index() as u64;
-                *pred_pairs.entry((ptask, t.task.index() as u64)).or_insert(0) += 1;
+                *pred_pairs
+                    .entry((ptask, t.task.index() as u64))
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -288,15 +419,17 @@ pub fn predicted_vs_observed(graph: &ObservedGraph, predicted: &ExecutionTrace) 
         let mut drifts: Vec<(u64, f64, f64)> = Vec::new();
         for (&task, &busy) in &obs_busy {
             let obs_share = busy as f64 / obs_total as f64;
-            let pred_share =
-                pred_busy.get(&task).copied().unwrap_or(0) as f64 / pred_total as f64;
+            let pred_share = pred_busy.get(&task).copied().unwrap_or(0) as f64 / pred_total as f64;
             if (obs_share - pred_share).abs() > 0.15 {
                 drifts.push((task, pred_share, obs_share));
             }
         }
         if !drifts.is_empty() {
             drifts.sort_by(|a, b| (b.2 - b.1).abs().total_cmp(&(a.2 - a.1).abs()));
-            let score = drifts.iter().map(|(_, p, o)| (o - p).abs()).fold(0.0, f64::max);
+            let score = drifts
+                .iter()
+                .map(|(_, p, o)| (o - p).abs())
+                .fold(0.0, f64::max);
             out.push(Finding {
                 rule: "task-weight-divergence",
                 severity: Severity::Warning,
@@ -389,9 +522,39 @@ mod tests {
     /// startup -> work x2 -> reduce, plus the accumulator edge.
     fn matching_prediction() -> ExecutionTrace {
         let tasks = vec![
-            tt(0, 0, 0, 0, 1000, vec![DataDep { producer: None, arrival: 0 }]),
-            tt(1, 1, 0, 1000, 2200, vec![DataDep { producer: Some(0), arrival: 1000 }]),
-            tt(2, 1, 1, 1000, 2000, vec![DataDep { producer: Some(0), arrival: 1000 }]),
+            tt(
+                0,
+                0,
+                0,
+                0,
+                1000,
+                vec![DataDep {
+                    producer: None,
+                    arrival: 0,
+                }],
+            ),
+            tt(
+                1,
+                1,
+                0,
+                1000,
+                2200,
+                vec![DataDep {
+                    producer: Some(0),
+                    arrival: 1000,
+                }],
+            ),
+            tt(
+                2,
+                1,
+                1,
+                1000,
+                2000,
+                vec![DataDep {
+                    producer: Some(0),
+                    arrival: 1000,
+                }],
+            ),
             tt(
                 3,
                 2,
@@ -399,13 +562,25 @@ mod tests {
                 2200,
                 8200,
                 vec![
-                    DataDep { producer: Some(0), arrival: 1050 },
-                    DataDep { producer: Some(1), arrival: 2200 },
-                    DataDep { producer: Some(2), arrival: 2100 },
+                    DataDep {
+                        producer: Some(0),
+                        arrival: 1050,
+                    },
+                    DataDep {
+                        producer: Some(1),
+                        arrival: 2200,
+                    },
+                    DataDep {
+                        producer: Some(2),
+                        arrival: 2100,
+                    },
                 ],
             ),
         ];
-        ExecutionTrace { tasks, makespan: 8200 }
+        ExecutionTrace {
+            tasks,
+            makespan: 8200,
+        }
     }
 
     #[test]
@@ -467,5 +642,87 @@ mod tests {
         assert!(predicted_vs_observed(&graph, &matching_prediction()).is_empty());
         let ledger = Ledger::default();
         assert!(local_findings(&graph, &ledger, None).is_empty());
+    }
+
+    #[test]
+    fn fault_findings_attribute_injected_faults() {
+        use crate::event::Event;
+        let mut report = TelemetryReport::empty();
+        report.events = vec![
+            Event {
+                ts: 10,
+                kind: EventKind::Fault,
+                core: 2,
+                a: fault_code::CORE_KILL,
+                b: 2,
+                c: u64::MAX,
+            },
+            Event {
+                ts: 12,
+                kind: EventKind::Recover,
+                core: 2,
+                a: recover_code::FAILOVER_DRAIN,
+                b: 3,
+                c: u64::MAX,
+            },
+            Event {
+                ts: 14,
+                kind: EventKind::Recover,
+                core: 0,
+                a: recover_code::REROUTE,
+                b: 1,
+                c: 9,
+            },
+            Event {
+                ts: 20,
+                kind: EventKind::Fault,
+                core: 0,
+                a: fault_code::MSG_DROP,
+                b: 2,
+                c: 9,
+            },
+            Event {
+                ts: 21,
+                kind: EventKind::Recover,
+                core: 0,
+                a: recover_code::REDELIVER,
+                b: 2,
+                c: 9,
+            },
+            Event {
+                ts: 30,
+                kind: EventKind::Fault,
+                core: 1,
+                a: fault_code::MSG_DELAY,
+                b: 50_000,
+                c: 11,
+            },
+        ];
+        let findings = fault_findings(&report);
+        let kill = findings
+            .iter()
+            .find(|f| f.rule == "injected-core-kill")
+            .expect("kill finding");
+        assert!(kill.message.contains("core 2"), "{}", kill.message);
+        assert!(
+            kill.message.contains("3 buffered object(s)"),
+            "{}",
+            kill.message
+        );
+        let drops = findings
+            .iter()
+            .find(|f| f.rule == "injected-message-drops")
+            .expect("drop finding");
+        assert!(drops.message.contains("1 message(s)"), "{}", drops.message);
+        assert!(findings.iter().any(|f| f.rule == "injected-latency"));
+        for f in &findings {
+            assert!(!f.evidence.is_empty(), "{} has no evidence", f.rule);
+        }
+    }
+
+    #[test]
+    fn fault_free_report_yields_no_fault_findings() {
+        assert!(fault_findings(&two_core_report()).is_empty());
+        assert!(fault_findings(&TelemetryReport::empty()).is_empty());
     }
 }

@@ -43,12 +43,20 @@ pub struct Evidence {
 impl Evidence {
     /// Evidence with no anchor.
     pub fn note(detail: impl Into<String>) -> Self {
-        Evidence { detail: detail.into(), span: None, core: None }
+        Evidence {
+            detail: detail.into(),
+            span: None,
+            core: None,
+        }
     }
 
     /// Evidence anchored to a time span on a core.
     pub fn at(detail: impl Into<String>, span: (Timestamp, Timestamp), core: u32) -> Self {
-        Evidence { detail: detail.into(), span: Some(span), core: Some(core) }
+        Evidence {
+            detail: detail.into(),
+            span: Some(span),
+            core: Some(core),
+        }
     }
 }
 
@@ -85,7 +93,14 @@ pub fn render_table(findings: &[Finding]) -> String {
     }
     let mut out = format!("findings ({}):\n", findings.len());
     for (i, f) in findings.iter().enumerate() {
-        let _ = writeln!(out, "{:>3}. [{}] {:<24} {}", i + 1, f.severity.label(), f.rule, f.message);
+        let _ = writeln!(
+            out,
+            "{:>3}. [{}] {:<24} {}",
+            i + 1,
+            f.severity.label(),
+            f.rule,
+            f.message
+        );
         for e in &f.evidence {
             let anchor = match (e.span, e.core) {
                 (Some((a, b)), Some(core)) => format!(" [core {core}, {a}..{b}]"),
@@ -139,7 +154,13 @@ mod tests {
     use crate::json;
 
     fn f(rule: &'static str, severity: Severity, score: f64) -> Finding {
-        Finding { rule, severity, score, message: format!("{rule} happened"), evidence: vec![] }
+        Finding {
+            rule,
+            severity,
+            score,
+            message: format!("{rule} happened"),
+            evidence: vec![],
+        }
     }
 
     #[test]
@@ -158,8 +179,12 @@ mod tests {
     #[test]
     fn table_shows_evidence_anchors() {
         let mut finding = f("lock-contention", Severity::Warning, 2.0);
-        finding.evidence.push(Evidence::at("3 retries on reduce", (2700, 2900), 0));
-        finding.evidence.push(Evidence::note("all retries on one class set"));
+        finding
+            .evidence
+            .push(Evidence::at("3 retries on reduce", (2700, 2900), 0));
+        finding
+            .evidence
+            .push(Evidence::note("all retries on one class set"));
         let table = render_table(&[finding]);
         assert!(table.contains("[WARN] lock-contention"), "{table}");
         assert!(table.contains("[core 0, 2700..2900]"), "{table}");
@@ -169,7 +194,9 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let mut finding = f("steal-storm", Severity::Info, 0.5);
-        finding.evidence.push(Evidence::at("1 steal", (1400, 1400), 1));
+        finding
+            .evidence
+            .push(Evidence::at("1 steal", (1400, 1400), 1));
         let doc = json::parse(&findings_json(&[finding])).unwrap();
         let arr = doc.as_arr().unwrap();
         assert_eq!(arr.len(), 1);

@@ -73,7 +73,9 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
     };
     let mut out = Vec::with_capacity(benches.len());
     for (name, bench) in benches {
-        let optimized = bench.get("optimized").ok_or_else(|| format!("{name}: missing optimized"))?;
+        let optimized = bench
+            .get("optimized")
+            .ok_or_else(|| format!("{name}: missing optimized"))?;
         let field = |key: &str| -> Result<f64, String> {
             optimized
                 .get(key)
@@ -92,7 +94,10 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
                 .ok_or_else(|| format!("{name}: missing dispatch_throughput_speedup"))?,
         });
     }
-    Ok(Baseline { machine_cores, benches: out })
+    Ok(Baseline {
+        machine_cores,
+        benches: out,
+    })
 }
 
 /// One benchmark's numbers measured on the build under test.
@@ -235,7 +240,9 @@ pub struct DsaBaseline {
 pub fn parse_dsa_baseline(text: &str) -> Result<DsaBaseline, String> {
     let doc = json::parse(text)?;
     let top = |key: &str| -> Result<f64, String> {
-        doc.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing {key}"))
+        doc.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("missing {key}"))
     };
     let machine_cores = top("machine_cores")? as u64;
     let host_threads = top("host_threads")? as u64;
@@ -260,7 +267,11 @@ pub fn parse_dsa_baseline(text: &str) -> Result<DsaBaseline, String> {
             best_makespan: field("best_makespan")?,
         });
     }
-    Ok(DsaBaseline { machine_cores, host_threads, benches: out })
+    Ok(DsaBaseline {
+        machine_cores,
+        host_threads,
+        benches: out,
+    })
 }
 
 /// One benchmark's synthesis numbers measured on the build under test.
@@ -301,7 +312,14 @@ pub fn evaluate_dsa(
     let mut checks = Vec::new();
     for base in &baseline.benches {
         let Some(obs) = observations.iter().find(|o| o.name == base.name) else {
-            checks.push(check(&base.name, "dsa-bench-present", 0.0, 1.0, false, "must be"));
+            checks.push(check(
+                &base.name,
+                "dsa-bench-present",
+                0.0,
+                1.0,
+                false,
+                "must be",
+            ));
             continue;
         };
         checks.push(check(
@@ -357,7 +375,96 @@ pub fn evaluate_dsa(
     checks
 }
 
-fn check(bench: &str, name: &'static str, observed: f64, limit: f64, pass: bool, cmp: &str) -> Check {
+/// One benchmark's chaos-run measurements: a clean (fault-free) run and
+/// two same-seed faulty runs under the default fault plan.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosObservation {
+    /// Benchmark name.
+    pub name: String,
+    /// Rendered fault schedule of the first faulty run.
+    pub schedule_a: String,
+    /// Rendered fault schedule of the second same-seed faulty run.
+    pub schedule_b: String,
+    /// Result checksum of the fault-free run.
+    pub clean_checksum: u64,
+    /// Result checksum of the first faulty run.
+    pub faulty_checksum: u64,
+    /// Result checksum of the second faulty run.
+    pub faulty_checksum_b: u64,
+    /// Whether every run terminated (no hang, no error).
+    pub terminated: bool,
+    /// Faults that actually fired in the first faulty run.
+    pub faults_injected: u64,
+}
+
+/// Evaluates chaos observations: the determinism contract (same seed ⇒
+/// byte-identical fault schedule) and recovery transparency (faulty
+/// output identical to the fault-free run), per benchmark.
+///
+/// `chaos-fault-activity` is a meta-check on the harness itself: a plan
+/// that injects nothing would make the other checks vacuous. Boolean
+/// outcomes are encoded 1.0/0.0 in [`Check::observed`].
+pub fn evaluate_chaos(observations: &[ChaosObservation]) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for obs in observations {
+        checks.push(check(
+            &obs.name,
+            "chaos-terminates",
+            if obs.terminated { 1.0 } else { 0.0 },
+            1.0,
+            obs.terminated,
+            "==",
+        ));
+        let schedules_match = !obs.schedule_a.is_empty() && obs.schedule_a == obs.schedule_b;
+        checks.push(Check {
+            bench: obs.name.clone(),
+            name: "chaos-schedule-deterministic",
+            observed: if schedules_match { 1.0 } else { 0.0 },
+            limit: 1.0,
+            pass: schedules_match,
+            detail: if schedules_match {
+                "same seed, byte-identical fault schedule".into()
+            } else {
+                format!(
+                    "schedules diverge:\n    a: {}\n    b: {}",
+                    obs.schedule_a.replace('\n', "; "),
+                    obs.schedule_b.replace('\n', "; ")
+                )
+            },
+        });
+        let outputs_match = obs.faulty_checksum == obs.clean_checksum
+            && obs.faulty_checksum_b == obs.clean_checksum;
+        checks.push(Check {
+            bench: obs.name.clone(),
+            name: "chaos-output-identical",
+            observed: obs.faulty_checksum as f64,
+            limit: obs.clean_checksum as f64,
+            pass: outputs_match,
+            detail: format!(
+                "clean {:#x} vs faulty {:#x}/{:#x}",
+                obs.clean_checksum, obs.faulty_checksum, obs.faulty_checksum_b
+            ),
+        });
+        checks.push(check(
+            &obs.name,
+            "chaos-fault-activity",
+            obs.faults_injected as f64,
+            1.0,
+            obs.faults_injected >= 1,
+            ">=",
+        ));
+    }
+    checks
+}
+
+fn check(
+    bench: &str,
+    name: &'static str,
+    observed: f64,
+    limit: f64,
+    pass: bool,
+    cmp: &str,
+) -> Check {
     Check {
         bench: bench.to_string(),
         name,
@@ -377,7 +484,14 @@ pub fn evaluate(baseline: &Baseline, observations: &[Observation]) -> Verdict {
     let mut checks = Vec::new();
     for base in &baseline.benches {
         let Some(obs) = observations.iter().find(|o| o.name == base.name) else {
-            checks.push(check(&base.name, "bench-present", 0.0, 1.0, false, "must be"));
+            checks.push(check(
+                &base.name,
+                "bench-present",
+                0.0,
+                1.0,
+                false,
+                "must be",
+            ));
             continue;
         };
         checks.push(check(
@@ -388,8 +502,16 @@ pub fn evaluate(baseline: &Baseline, observations: &[Observation]) -> Verdict {
             obs.invocations == base.invocations,
             "==",
         ));
-        let base_rpi = if base.invocations > 0.0 { base.lock_retries / base.invocations } else { 0.0 };
-        let obs_rpi = if obs.invocations > 0.0 { obs.lock_retries / obs.invocations } else { 0.0 };
+        let base_rpi = if base.invocations > 0.0 {
+            base.lock_retries / base.invocations
+        } else {
+            0.0
+        };
+        let obs_rpi = if obs.invocations > 0.0 {
+            obs.lock_retries / obs.invocations
+        } else {
+            0.0
+        };
         let rpi_limit = base_rpi + RETRY_SLACK_PER_INVOCATION;
         checks.push(check(
             &base.name,
@@ -500,10 +622,16 @@ mod tests {
         let mut obs = healthy_observation();
         obs.invocations = 36.0;
         let verdict = evaluate(&baseline, &[obs]);
-        assert!(verdict.checks.iter().any(|c| c.name == "invocations-exact" && !c.pass));
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| c.name == "invocations-exact" && !c.pass));
         let verdict = evaluate(&baseline, &[]);
         assert!(!verdict.pass());
-        assert!(verdict.checks.iter().any(|c| c.name == "bench-present" && !c.pass));
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| c.name == "bench-present" && !c.pass));
     }
 
     const DSA_BASELINE: &str = r#"{
@@ -557,14 +685,20 @@ mod tests {
         let mut obs = healthy_dsa_observation();
         obs.parallel_makespan = 3168000001.0;
         let checks = evaluate_dsa(&baseline, &[obs], 8);
-        assert!(checks.iter().any(|c| c.name == "dsa-determinism" && !c.pass));
-        assert!(checks.iter().any(|c| c.name == "dsa-makespan-exact" && !c.pass));
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "dsa-determinism" && !c.pass));
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "dsa-makespan-exact" && !c.pass));
         let mut obs = healthy_dsa_observation();
         obs.simulations = 81.0;
         let checks = evaluate_dsa(&baseline, &[obs], 8);
         assert!(checks.iter().any(|c| c.name == "dsa-sims-exact" && !c.pass));
         let checks = evaluate_dsa(&baseline, &[], 8);
-        assert!(checks.iter().any(|c| c.name == "dsa-bench-present" && !c.pass));
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "dsa-bench-present" && !c.pass));
     }
 
     #[test]
@@ -574,14 +708,80 @@ mod tests {
         let mut obs = healthy_dsa_observation();
         obs.wall_speedup = 0.9;
         let checks = evaluate_dsa(&baseline, &[obs.clone()], 8);
-        let floor = checks.iter().find(|c| c.name == "dsa-speedup-floor").unwrap();
+        let floor = checks
+            .iter()
+            .find(|c| c.name == "dsa-speedup-floor")
+            .unwrap();
         assert!(!floor.pass);
         // ...but is skipped (passing, explained) on a serial host, where
         // no parallel speedup is physically possible.
         let checks = evaluate_dsa(&baseline, &[obs], 1);
-        let floor = checks.iter().find(|c| c.name == "dsa-speedup-floor").unwrap();
+        let floor = checks
+            .iter()
+            .find(|c| c.name == "dsa-speedup-floor")
+            .unwrap();
         assert!(floor.pass);
         assert!(floor.detail.contains("skipped"));
+    }
+
+    fn healthy_chaos_observation() -> ChaosObservation {
+        ChaosObservation {
+            name: "KMeans".into(),
+            schedule_a: "kill core 3 after 2 dispatches\ndrop 2% of messages".into(),
+            schedule_b: "kill core 3 after 2 dispatches\ndrop 2% of messages".into(),
+            clean_checksum: 0xdead_beef,
+            faulty_checksum: 0xdead_beef,
+            faulty_checksum_b: 0xdead_beef,
+            terminated: true,
+            faults_injected: 5,
+        }
+    }
+
+    #[test]
+    fn healthy_chaos_run_passes() {
+        let checks = evaluate_chaos(&[healthy_chaos_observation()]);
+        assert_eq!(checks.len(), 4);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+    }
+
+    #[test]
+    fn chaos_divergence_and_corruption_fail() {
+        let mut obs = healthy_chaos_observation();
+        obs.schedule_b = "kill core 5 after 2 dispatches".into();
+        let checks = evaluate_chaos(&[obs]);
+        let sched = checks
+            .iter()
+            .find(|c| c.name == "chaos-schedule-deterministic")
+            .unwrap();
+        assert!(!sched.pass);
+        assert!(sched.detail.contains("diverge"), "{}", sched.detail);
+
+        let mut obs = healthy_chaos_observation();
+        obs.faulty_checksum_b = 1;
+        let checks = evaluate_chaos(&[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "chaos-output-identical" && !c.pass));
+
+        let mut obs = healthy_chaos_observation();
+        obs.terminated = false;
+        obs.faults_injected = 0;
+        let checks = evaluate_chaos(&[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "chaos-terminates" && !c.pass));
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "chaos-fault-activity" && !c.pass));
+
+        // An empty schedule must not pass vacuously.
+        let mut obs = healthy_chaos_observation();
+        obs.schedule_a = String::new();
+        obs.schedule_b = String::new();
+        let checks = evaluate_chaos(&[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "chaos-schedule-deterministic" && !c.pass));
     }
 
     #[test]

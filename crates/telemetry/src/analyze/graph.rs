@@ -178,7 +178,10 @@ impl ObservedGraph {
             });
         }
         invocations.sort_by_key(|inv| (inv.start, inv.id));
-        ObservedGraph { invocations, incomplete }
+        ObservedGraph {
+            invocations,
+            incomplete,
+        }
     }
 
     /// Position of invocation `id` in [`Self::invocations`].
@@ -189,7 +192,9 @@ impl ObservedGraph {
     /// Invocations executed on a core other than the one that formed
     /// them (the work-stolen subset).
     pub fn stolen(&self) -> impl Iterator<Item = &ObsInvocation> {
-        self.invocations.iter().filter(|inv| inv.stolen_from.is_some())
+        self.invocations
+            .iter()
+            .filter(|inv| inv.stolen_from.is_some())
     }
 
     /// The causal edge list as a `(producer task, consumer task)`
@@ -198,8 +203,11 @@ impl ObservedGraph {
     /// equal the virtual executor's edge list over the same deployment,
     /// regardless of stealing or interleaving.
     pub fn edge_task_pairs(&self) -> HashMap<(u64, u64), u64> {
-        let task_of: HashMap<u64, u64> =
-            self.invocations.iter().map(|inv| (inv.id, inv.task)).collect();
+        let task_of: HashMap<u64, u64> = self
+            .invocations
+            .iter()
+            .map(|inv| (inv.id, inv.task))
+            .collect();
         let mut pairs: HashMap<(u64, u64), u64> = HashMap::new();
         for inv in &self.invocations {
             for dep in &inv.deps {
@@ -229,8 +237,12 @@ impl ObservedGraph {
     /// message's receive timestamp when recorded, else the formation
     /// timestamp.
     pub fn to_trace(&self) -> ExecutionTrace {
-        let index: HashMap<u64, usize> =
-            self.invocations.iter().enumerate().map(|(i, inv)| (inv.id, i)).collect();
+        let index: HashMap<u64, usize> = self
+            .invocations
+            .iter()
+            .enumerate()
+            .map(|(i, inv)| (inv.id, i))
+            .collect();
         let mut last_on_core: HashMap<u32, usize> = HashMap::new();
         let mut tasks = Vec::with_capacity(self.invocations.len());
         for (i, inv) in self.invocations.iter().enumerate() {
@@ -331,7 +343,9 @@ mod tests {
         let mut report = two_core_report();
         // Drop every TaskEnd for invocation 4: it must vanish from the
         // graph and be counted incomplete.
-        report.events.retain(|e| !(e.kind == EventKind::TaskEnd && e.c == 4));
+        report
+            .events
+            .retain(|e| !(e.kind == EventKind::TaskEnd && e.c == 4));
         let graph = ObservedGraph::from_report(&report);
         assert_eq!(graph.invocations.len(), 3);
         assert_eq!(graph.incomplete, 1);

@@ -78,7 +78,10 @@ impl Ledger {
         let max_core = report.events.iter().map(|e| e.core + 1).max().unwrap_or(0) as usize;
         let n = report.cores.max(max_core);
         let mut cores: Vec<CoreLedger> = (0..n)
-            .map(|core| CoreLedger { core: core as u32, ..CoreLedger::default() })
+            .map(|core| CoreLedger {
+                core: core as u32,
+                ..CoreLedger::default()
+            })
             .collect();
         for row in &mut cores {
             let mut cursor = 0u64;
@@ -97,11 +100,15 @@ impl Ledger {
                         EventKind::LockAcquired if e.b > 0 => &mut row.lock_wait,
                         EventKind::LockAcquired => &mut row.queue_wait,
                         EventKind::Steal => &mut row.steal,
-                        EventKind::ObjRecv => &mut row.idle,
+                        // Time leading up to a fault firing is ordinary
+                        // idleness; time leading up to a completed
+                        // recovery action was spent re-routing work.
+                        EventKind::ObjRecv | EventKind::Fault => &mut row.idle,
                         EventKind::ObjSend
                         | EventKind::QueueDepth
                         | EventKind::InvQueued
-                        | EventKind::InvLink => &mut row.routing,
+                        | EventKind::InvLink
+                        | EventKind::Recover => &mut row.routing,
                     }
                 };
                 *bucket += gap;
@@ -121,7 +128,11 @@ impl Ledger {
                 row.idle += tail;
             }
         }
-        Ledger { span, unit: report.unit, cores }
+        Ledger {
+            span,
+            unit: report.unit,
+            cores,
+        }
     }
 
     /// The whole-session aggregate (core field is meaningless).
@@ -145,7 +156,10 @@ impl Ledger {
             TimeUnit::Nanos => "ns",
             TimeUnit::Cycles => "cycles",
         };
-        let mut out = format!("per-core time breakdown (span {} {} per core)\n", self.span, label);
+        let mut out = format!(
+            "per-core time breakdown (span {} {} per core)\n",
+            self.span, label
+        );
         let _ = writeln!(
             out,
             "core      compute    lock-wait   queue-wait        steal      routing         idle  util%"
@@ -206,7 +220,12 @@ mod tests {
         assert_eq!(ledger.span, 10_000);
         assert_eq!(ledger.cores.len(), 2);
         for row in &ledger.cores {
-            assert_eq!(row.total(), ledger.span, "core {} partition leaks", row.core);
+            assert_eq!(
+                row.total(),
+                ledger.span,
+                "core {} partition leaks",
+                row.core
+            );
         }
         assert_eq!(ledger.totals().total(), ledger.span * 2);
     }

@@ -71,8 +71,16 @@ pub fn diagnose(report: &TelemetryReport, predicted: Option<&ExecutionTrace>) ->
     if let Some(predicted) = predicted {
         all.extend(divergence::predicted_vs_observed(&graph, predicted));
     }
+    // Chaos runs carry fault/recover events; attribute slowdown to the
+    // injected faults by name before ranking.
+    all.extend(divergence::fault_findings(report));
     findings::rank(&mut all);
-    Diagnosis { graph, ledger, path, findings: all }
+    Diagnosis {
+        graph,
+        ledger,
+        path,
+        findings: all,
+    }
 }
 
 impl Diagnosis {
@@ -134,7 +142,10 @@ mod tests {
         assert_eq!(diagnosis.graph.invocations.len(), 4);
         let path = diagnosis.path.as_ref().expect("causal linkage present");
         assert_eq!(path.makespan, 9_000);
-        assert!(!diagnosis.findings.is_empty(), "at least one ranked finding");
+        assert!(
+            !diagnosis.findings.is_empty(),
+            "at least one ranked finding"
+        );
         // Severities are ranked, most severe first.
         for pair in diagnosis.findings.windows(2) {
             assert!(pair[0].severity >= pair[1].severity);

@@ -109,7 +109,10 @@ impl ObservedPath {
             self.wait,
             self.resource_delayed,
         );
-        let _ = writeln!(out, "   # task             inv  core        start          end   queue-wait");
+        let _ = writeln!(
+            out,
+            "   # task             inv  core        start          end   queue-wait"
+        );
         for (i, s) in self.steps.iter().enumerate() {
             let name = spec
                 .and_then(|sp| sp.tasks.get(s.task as usize))

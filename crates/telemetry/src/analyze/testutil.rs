@@ -5,7 +5,14 @@ use crate::report::TelemetryReport;
 use crate::TimeUnit;
 
 fn ev(ts: u64, core: u32, kind: EventKind, a: u64, b: u64, c: u64) -> Event {
-    Event { ts, kind, core, a, b, c }
+    Event {
+        ts,
+        kind,
+        core,
+        a,
+        b,
+        c,
+    }
 }
 
 /// A hand-built two-core run with full causal linkage:

@@ -114,7 +114,15 @@ impl ChromeTrace {
     }
 
     /// Adds a counter ("C") sample; the viewer plots `series` over time.
-    pub fn counter(&mut self, pid: u64, tid: u64, name: &str, ts_us: f64, series: &str, value: f64) {
+    pub fn counter(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        ts_us: f64,
+        series: &str,
+        value: f64,
+    ) {
         let mut e = self.event_header("C", name, pid, tid, ts_us);
         e.push_str(",\"args\":{");
         write_str(&mut e, series);
@@ -126,7 +134,8 @@ impl ChromeTrace {
 
     /// Serializes the document (`{"traceEvents": [...], ...}`).
     pub fn finish(self) -> String {
-        let mut out = String::with_capacity(64 + self.events.iter().map(|e| e.len() + 2).sum::<usize>());
+        let mut out =
+            String::with_capacity(64 + self.events.iter().map(|e| e.len() + 2).sum::<usize>());
         out.push_str("{\"traceEvents\":[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
@@ -178,7 +187,13 @@ impl ChromeTrace {
     /// task slices per core (from paired start/end events), instants
     /// for lock contention, and counter tracks for queue depth and
     /// payload traffic.
-    pub fn push_report(&mut self, pid: u64, label: &str, report: &TelemetryReport, spec: &ProgramSpec) {
+    pub fn push_report(
+        &mut self,
+        pid: u64,
+        label: &str,
+        report: &TelemetryReport,
+        spec: &ProgramSpec,
+    ) {
         self.process_name(pid, label);
         for &core in &report.active_cores() {
             self.thread_name(pid, core as u64, &format!("core {core}"));
@@ -216,12 +231,28 @@ impl ChromeTrace {
                 }
                 EventKind::LockFailed => self.instant(pid, tid, "lock contention", to_us(e.ts)),
                 EventKind::Steal => self.instant(pid, tid, "steal", to_us(e.ts)),
+                EventKind::Fault => self.instant(pid, tid, "fault", to_us(e.ts)),
+                EventKind::Recover => self.instant(pid, tid, "recover", to_us(e.ts)),
                 EventKind::QueueDepth => {
-                    self.counter(pid, tid, &format!("queue depth (core {core})"), to_us(e.ts), "queued", e.a as f64);
+                    self.counter(
+                        pid,
+                        tid,
+                        &format!("queue depth (core {core})"),
+                        to_us(e.ts),
+                        "queued",
+                        e.a as f64,
+                    );
                 }
                 EventKind::ObjSend => {
                     sent[core] += e.a;
-                    self.counter(pid, tid, &format!("bytes sent (core {core})"), to_us(e.ts), "bytes", sent[core] as f64);
+                    self.counter(
+                        pid,
+                        tid,
+                        &format!("bytes sent (core {core})"),
+                        to_us(e.ts),
+                        "bytes",
+                        sent[core] as f64,
+                    );
                 }
                 EventKind::LockAcquired
                 | EventKind::ObjRecv

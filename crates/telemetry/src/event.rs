@@ -58,6 +58,48 @@ pub enum EventKind {
     /// formed it. `a` = invocation id, `b` = victim core (whose run
     /// queue it was stolen from), `c` = 0.
     Steal = 9,
+    /// An injected fault fired (`fault.*` namespace). `a` = fault code
+    /// (see [`fault_code`]), `b` = code-specific detail (drop attempts,
+    /// stall/slowdown nanoseconds, or the dead core), `c` = the message
+    /// or invocation id the fault hit ([`NO_ID`] for core-scoped
+    /// faults).
+    Fault = 10,
+    /// A recovery action completed (`recover.*` namespace). `a` =
+    /// recovery code (see [`recover_code`]), `b` = code-specific detail
+    /// (redelivery attempts, the failover core, or objects drained),
+    /// `c` = the message id involved ([`NO_ID`] for core-scoped
+    /// recovery).
+    Recover = 11,
+}
+
+/// Codes carried in the `a` word of [`EventKind::Fault`] events.
+pub mod fault_code {
+    /// A core was killed. `b` = the dead core.
+    pub const CORE_KILL: u64 = 1;
+    /// A core stalled. `b` = stall nanoseconds.
+    pub const CORE_STALL: u64 = 2;
+    /// A message's transmission(s) dropped. `b` = consecutive attempts
+    /// dropped, `c` = message id.
+    pub const MSG_DROP: u64 = 3;
+    /// A message was delivered late. `b` = delay nanoseconds, `c` =
+    /// message id.
+    pub const MSG_DELAY: u64 = 4;
+    /// An invocation's lock acquisition was slowed. `b` = slowdown
+    /// nanoseconds, `c` = invocation id.
+    pub const LOCK_SLOW: u64 = 5;
+}
+
+/// Codes carried in the `a` word of [`EventKind::Recover`] events.
+pub mod recover_code {
+    /// A dropped message was redelivered after backoff. `b` = attempts,
+    /// `c` = message id.
+    pub const REDELIVER: u64 = 1;
+    /// A send destined to a dead core was re-routed to a live
+    /// same-group host. `b` = the failover core, `c` = message id.
+    pub const REROUTE: u64 = 2;
+    /// A dying core handed its parameter-set objects and late
+    /// deliveries to live hosts. `b` = objects re-sent.
+    pub const FAILOVER_DRAIN: u64 = 3;
 }
 
 impl EventKind {
@@ -74,6 +116,8 @@ impl EventKind {
             EventKind::InvQueued => "inv_queued",
             EventKind::InvLink => "inv_link",
             EventKind::Steal => "steal",
+            EventKind::Fault => "fault",
+            EventKind::Recover => "recover",
         }
     }
 }
@@ -104,7 +148,14 @@ mod tests {
     #[test]
     fn event_is_small_and_copy() {
         assert!(std::mem::size_of::<Event>() <= 40);
-        let e = Event { ts: 1, kind: EventKind::TaskStart, core: 0, a: 2, b: 3, c: 4 };
+        let e = Event {
+            ts: 1,
+            kind: EventKind::TaskStart,
+            core: 0,
+            a: 2,
+            b: 3,
+            c: 4,
+        };
         let f = e; // Copy
         assert_eq!(e.ts, f.ts);
         assert_eq!(e.c, f.c);
@@ -123,6 +174,8 @@ mod tests {
             EventKind::InvQueued,
             EventKind::InvLink,
             EventKind::Steal,
+            EventKind::Fault,
+            EventKind::Recover,
         ];
         let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

@@ -111,7 +111,9 @@ impl Telemetry {
             metrics: MetricsRegistry::new(),
             allocations: AtomicU64::new(0),
         };
-        Telemetry { inner: Some(Arc::new(inner)) }
+        Telemetry {
+            inner: Some(Arc::new(inner)),
+        }
     }
 
     /// The no-op session: every sink and handle it hands out records
@@ -231,17 +233,22 @@ impl Telemetry {
             return;
         }
         self.counter("dsa.iterations").add(stats.iterations as u64);
-        self.counter("dsa.simulations").add(stats.simulations as u64);
-        self.counter("dsa.candidates_evaluated").add(stats.candidates_evaluated as u64);
+        self.counter("dsa.simulations")
+            .add(stats.simulations as u64);
+        self.counter("dsa.candidates_evaluated")
+            .add(stats.candidates_evaluated as u64);
         self.counter("dsa.survivors").add(stats.survivors as u64);
         self.counter("dsa.cache_hits").add(stats.cache_hits as u64);
-        self.counter("dsa.cache_misses").add(stats.cache_misses as u64);
-        self.gauge("dsa.best_makespan").set(stats.best_makespan as i64);
+        self.counter("dsa.cache_misses")
+            .add(stats.cache_misses as u64);
+        self.gauge("dsa.best_makespan")
+            .set(stats.best_makespan as i64);
         self.gauge("dsa.acceptance_rate_pct")
             .set((stats.acceptance_rate() * 100.0).round() as i64);
         self.gauge("dsa.cache_hit_rate_pct")
             .set((stats.cache_hit_rate() * 100.0).round() as i64);
-        self.series("dsa.best_makespan_trajectory").extend(&stats.trajectory);
+        self.series("dsa.best_makespan_trajectory")
+            .extend(&stats.trajectory);
     }
 
     /// Merges every submitted ring into one ordered [`TelemetryReport`]
@@ -285,7 +292,11 @@ pub struct WorkerSink {
 impl WorkerSink {
     /// A sink that records nothing.
     pub fn disabled() -> Self {
-        WorkerSink { inner: None, ring: None, start: Instant::now() }
+        WorkerSink {
+            inner: None,
+            ring: None,
+            start: Instant::now(),
+        }
     }
 
     /// Whether this sink records anything.
@@ -310,7 +321,14 @@ impl WorkerSink {
     fn push(&mut self, ts: Timestamp, kind: EventKind, a: u64, b: u64, c: u64) {
         if let Some(ring) = &mut self.ring {
             let core = ring.core();
-            ring.push(Event { ts, kind, core, a, b, c });
+            ring.push(Event {
+                ts,
+                kind,
+                core,
+                a,
+                b,
+                c,
+            });
         }
     }
 
@@ -383,6 +401,21 @@ impl WorkerSink {
     #[inline]
     pub fn steal(&mut self, ts: Timestamp, inv: u64, victim: u64) {
         self.push(ts, EventKind::Steal, inv, victim, 0);
+    }
+
+    /// Records an injected fault firing (`fault.*` namespace): `code`
+    /// is one of [`event::fault_code`], `detail` is code-specific, and
+    /// `id` the message/invocation hit ([`NO_ID`] for core faults).
+    #[inline]
+    pub fn fault(&mut self, ts: Timestamp, code: u64, detail: u64, id: u64) {
+        self.push(ts, EventKind::Fault, code, detail, id);
+    }
+
+    /// Records a completed recovery action (`recover.*` namespace):
+    /// `code` is one of [`event::recover_code`].
+    #[inline]
+    pub fn recover(&mut self, ts: Timestamp, code: u64, detail: u64, id: u64) {
+        self.push(ts, EventKind::Recover, code, detail, id);
     }
 
     /// Submits the ring back to the session explicitly (Drop does the
@@ -515,6 +548,9 @@ mod tests {
         assert_eq!(m.gauges["dsa.best_makespan"], 650);
         assert_eq!(m.gauges["dsa.acceptance_rate_pct"], 55);
         assert_eq!(m.gauges["dsa.cache_hit_rate_pct"], 25);
-        assert_eq!(m.series["dsa.best_makespan_trajectory"], vec![900, 700, 650]);
+        assert_eq!(
+            m.series["dsa.best_makespan_trajectory"],
+            vec![900, 700, 650]
+        );
     }
 }

@@ -349,7 +349,12 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.lock().expect("series").clone()))
             .collect();
-        MetricsSnapshot { counters, gauges, histograms, series }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            series,
+        }
     }
 }
 

@@ -84,7 +84,14 @@ mod tests {
     use super::*;
 
     fn ev(ts: u64, core: u32, kind: EventKind) -> Event {
-        Event { ts, kind, core, a: 0, b: 0, c: 0 }
+        Event {
+            ts,
+            kind,
+            core,
+            a: 0,
+            b: 0,
+            c: 0,
+        }
     }
 
     #[test]
@@ -134,7 +141,10 @@ mod tests {
         };
         // Half-open: [20, 40) keeps ts 20 and 30, drops 40.
         let window = report.events_in(20..40);
-        assert_eq!(window.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![20, 30]);
+        assert_eq!(
+            window.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![20, 30]
+        );
         assert!(report.events_in(0..10).is_empty());
         assert!(report.events_in(41..100).is_empty());
         assert_eq!(report.events_in(0..u64::MAX).len(), 4);

@@ -82,7 +82,14 @@ mod tests {
     use crate::event::EventKind;
 
     fn ev(ts: u64) -> Event {
-        Event { ts, kind: EventKind::TaskStart, core: 0, a: 0, b: 0, c: 0 }
+        Event {
+            ts,
+            kind: EventKind::TaskStart,
+            core: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+        }
     }
 
     #[test]

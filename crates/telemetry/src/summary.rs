@@ -46,7 +46,11 @@ pub fn per_core_table(report: &TelemetryReport) -> String {
             EventKind::ObjRecv => row.recvs += 1,
             EventKind::QueueDepth => row.max_queue = row.max_queue.max(e.a),
             EventKind::Steal => row.steals += 1,
-            EventKind::LockAcquired | EventKind::InvQueued | EventKind::InvLink => {}
+            EventKind::LockAcquired
+            | EventKind::InvQueued
+            | EventKind::InvLink
+            | EventKind::Fault
+            | EventKind::Recover => {}
         }
     }
     let span = match report.unit {
@@ -76,7 +80,14 @@ pub fn per_core_table(report: &TelemetryReport) -> String {
         let _ = writeln!(
             out,
             "{core:>4} {:>7} {:>11} {util:>6.1} {:>8} {:>7} {:>7} {:>12} {:>10} {:>7}",
-            row.tasks, row.busy, row.retries, row.sends, row.recvs, row.bytes_out, row.max_queue, row.steals
+            row.tasks,
+            row.busy,
+            row.retries,
+            row.sends,
+            row.recvs,
+            row.bytes_out,
+            row.max_queue,
+            row.steals
         );
     }
     out
@@ -110,9 +121,18 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
         }
         out.push_str("\n    ");
         write_str(&mut out, name);
-        let _ = write!(out, ": {{\"count\": {}, \"sum\": {}, \"mean\": ", h.count, h.sum);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"sum\": {}, \"mean\": ",
+            h.count, h.sum
+        );
         write_f64(&mut out, h.mean());
-        let _ = write!(out, ", \"p50\": {}, \"p99\": {}, \"buckets\": [", h.quantile(0.5), h.quantile(0.99));
+        let _ = write!(
+            out,
+            ", \"p50\": {}, \"p99\": {}, \"buckets\": [",
+            h.quantile(0.5),
+            h.quantile(0.99)
+        );
         for (j, (idx, n)) in h.buckets.iter().enumerate() {
             if j > 0 {
                 out.push(',');
@@ -153,21 +173,73 @@ mod tests {
         let mut report = TelemetryReport::empty();
         report.unit = TimeUnit::Cycles;
         report.events = vec![
-            Event { ts: 0, kind: EventKind::TaskStart, core: 0, a: 1, b: 0, c: 0 },
-            Event { ts: 80, kind: EventKind::TaskEnd, core: 0, a: 1, b: 0, c: 0 },
-            Event { ts: 10, kind: EventKind::LockFailed, core: 1, a: 2, b: 1, c: 0 },
-            Event { ts: 20, kind: EventKind::ObjSend, core: 1, a: 128, b: 0, c: 0 },
-            Event { ts: 30, kind: EventKind::QueueDepth, core: 1, a: 7, b: 0, c: 0 },
-            Event { ts: 100, kind: EventKind::TaskEnd, core: 1, a: 1, b: 0, c: 0 },
+            Event {
+                ts: 0,
+                kind: EventKind::TaskStart,
+                core: 0,
+                a: 1,
+                b: 0,
+                c: 0,
+            },
+            Event {
+                ts: 80,
+                kind: EventKind::TaskEnd,
+                core: 0,
+                a: 1,
+                b: 0,
+                c: 0,
+            },
+            Event {
+                ts: 10,
+                kind: EventKind::LockFailed,
+                core: 1,
+                a: 2,
+                b: 1,
+                c: 0,
+            },
+            Event {
+                ts: 20,
+                kind: EventKind::ObjSend,
+                core: 1,
+                a: 128,
+                b: 0,
+                c: 0,
+            },
+            Event {
+                ts: 30,
+                kind: EventKind::QueueDepth,
+                core: 1,
+                a: 7,
+                b: 0,
+                c: 0,
+            },
+            Event {
+                ts: 100,
+                kind: EventKind::TaskEnd,
+                core: 1,
+                a: 1,
+                b: 0,
+                c: 0,
+            },
         ];
         report.events.sort_by_key(|e| e.ts);
         let table = per_core_table(&report);
         assert!(table.contains("span 100 cycles"), "{table}");
-        let core0: Vec<&str> = table.lines().find(|l| l.trim_start().starts_with("0 ")).unwrap().split_whitespace().collect();
+        let core0: Vec<&str> = table
+            .lines()
+            .find(|l| l.trim_start().starts_with("0 "))
+            .unwrap()
+            .split_whitespace()
+            .collect();
         assert_eq!(core0[1], "1"); // tasks
         assert_eq!(core0[2], "80"); // busy
         assert_eq!(core0[3], "80.0"); // util%
-        let core1: Vec<&str> = table.lines().find(|l| l.trim_start().starts_with("1 ")).unwrap().split_whitespace().collect();
+        let core1: Vec<&str> = table
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .unwrap()
+            .split_whitespace()
+            .collect();
         assert_eq!(core1[4], "1"); // retries
         assert_eq!(core1[7], "128"); // bytes out
         assert_eq!(core1[8], "7"); // max queue
@@ -182,12 +254,28 @@ mod tests {
         reg.series("traj").extend(&[30, 20, 20]);
         let text = metrics_json(&reg.snapshot());
         let doc = json::parse(&text).unwrap();
-        assert_eq!(doc.get("counters").unwrap().get("dispatches").unwrap().as_f64(), Some(9.0));
-        assert_eq!(doc.get("gauges").unwrap().get("depth").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("dispatches")
+                .unwrap()
+                .as_f64(),
+            Some(9.0)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("depth").unwrap().as_f64(),
+            Some(-3.0)
+        );
         let lat = doc.get("histograms").unwrap().get("lat").unwrap();
         assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(lat.get("p50").unwrap().as_f64(), Some(4.0));
-        let traj = doc.get("series").unwrap().get("traj").unwrap().as_arr().unwrap();
+        let traj = doc
+            .get("series")
+            .unwrap()
+            .get("traj")
+            .unwrap()
+            .as_arr()
+            .unwrap();
         assert_eq!(traj.len(), 3);
     }
 }

@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Re-optimization: the "system library" step — rerun synthesis from
     // the field profile and produce a new layout.
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let plan = compiler.synthesize(&field_profile, &machine, &SynthesisOptions::default(), &mut rng);
+    let plan = compiler.synthesize(
+        &field_profile,
+        &machine,
+        &SynthesisOptions::default(),
+        &mut rng,
+    );
     println!(
         "re-optimized layout (estimated):  {:>9} cycles, {} DSA simulations",
         plan.estimate.makespan, plan.stats.simulations
@@ -56,8 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Generation 1: same executable, new layout data.
     let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, ExecConfig::default());
     let report1 = exec.run(None)?;
-    let verified =
-        bench.parallel_checksum(&compiler, &exec) == bench.serial(Scale::Small).checksum;
+    let verified = bench.parallel_checksum(&compiler, &exec) == bench.serial(Scale::Small).checksum;
     println!(
         "generation 1 (field-optimized):   {:>9} cycles — {:.2}x faster, verified: {verified}",
         report1.makespan,

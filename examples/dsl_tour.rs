@@ -105,10 +105,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             astg.edges.len()
         );
     }
-    println!("CSTG: {} nodes, {} task edges, {} new-object edges",
+    println!(
+        "CSTG: {} nodes, {} task edges, {} new-object edges",
         compiler.cstg.nodes.len(),
         compiler.cstg.task_edges.len(),
-        compiler.cstg.new_edges.len());
+        compiler.cstg.new_edges.len()
+    );
     for (i, plan) in compiler.locks.lock_plans.iter().enumerate() {
         println!("lock plan `{}`: {}", spec.tasks[i].name, plan);
     }

@@ -71,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("declared above");
     println!(
         "finishsave params share a tag: {} (so it may be replicated with tag-hash routing)",
-        compiler.program.spec.task(finishsave).all_params_share_tag()
+        compiler
+            .program
+            .spec
+            .task(finishsave)
+            .all_params_share_tag()
     );
 
     let (profile, _, ()) = compiler.profile_run(None, "imagepipe", |_| ())?;
@@ -80,9 +84,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
     let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, ExecConfig::default());
     let report = exec.run(None)?;
-    println!("ran {} invocations on {} cores", report.invocations, machine.core_count());
+    println!(
+        "ran {} invocations on {} cores",
+        report.invocations,
+        machine.core_count()
+    );
 
-    let drawing_class = compiler.program.spec.class_by_name("Drawing").expect("declared above");
+    let drawing_class = compiler
+        .program
+        .spec
+        .class_by_name("Drawing")
+        .expect("declared above");
     let heap = exec.interp_heap().expect("interpreted program");
     for obj in exec.store.live_of_class(drawing_class) {
         let r = match exec.store.get(obj).payload {
@@ -92,7 +104,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let id = heap.field(r, 0);
         let paired = heap.field(r, 1);
         println!("drawing {id} paired with image {paired}");
-        assert_eq!(format!("{id}"), format!("{paired}"), "tag pairing must match ids");
+        assert_eq!(
+            format!("{id}"),
+            format!("{paired}"),
+            "tag pairing must match ids"
+        );
     }
     println!("every drawing got its own image — tags disambiguated the saves.");
     Ok(())

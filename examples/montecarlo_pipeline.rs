@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
 
     println!("synthesized layout on {machine}:");
-    print!("{}", plan.layout.describe(&compiler.program.spec, &plan.graph));
+    print!(
+        "{}",
+        plan.layout.describe(&compiler.program.spec, &plan.graph)
+    );
 
     // Where did aggregation land relative to the simulations?
     let spec = &compiler.program.spec;
@@ -49,13 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Quantify: simulate the alternative where everything is spread
     // uniformly so aggregation competes with a simulation replica.
     let uniform = bamboo::schedule::spread_layout(&plan.graph, &plan.replication, 8);
-    let uniform_est =
-        simulate(spec, &plan.graph, &uniform, &profile, &machine, &SimOptions::default());
+    let uniform_est = simulate(
+        spec,
+        &plan.graph,
+        &uniform,
+        &profile,
+        &machine,
+        &SimOptions::default(),
+    );
     println!(
         "\nmakespan with pipelined layout:  {:>10} cycles",
         plan.estimate.makespan
     );
-    println!("makespan with uniform layout:    {:>10} cycles", uniform_est.makespan);
+    println!(
+        "makespan with uniform layout:    {:>10} cycles",
+        uniform_est.makespan
+    );
     println!(
         "pipelining benefit: {:.1}%",
         (uniform_est.makespan as f64 / plan.estimate.makespan as f64 - 1.0) * 100.0

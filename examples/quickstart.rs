@@ -71,26 +71,39 @@ fn main() -> Result<(), Error> {
     println!("compiled `{}`:", compiler.program.spec.name);
     println!("  classes: {}", compiler.program.spec.classes.len());
     println!("  tasks:   {}", compiler.program.spec.tasks.len());
-    println!("  abstract states (CSTG nodes): {}", compiler.cstg.nodes.len());
+    println!(
+        "  abstract states (CSTG nodes): {}",
+        compiler.cstg.nodes.len()
+    );
     for (i, plan) in compiler.locks.lock_plans.iter().enumerate() {
         println!(
             "  lock plan for `{}`: {} {}",
             compiler.program.spec.tasks[i].name,
             plan,
-            if plan.has_sharing() { "(shared lock!)" } else { "(disjoint)" }
+            if plan.has_sharing() {
+                "(shared lock!)"
+            } else {
+                "(disjoint)"
+            }
         );
     }
 
     // 2. Profile on a single core (this also runs the program for real).
     let (profile, single, ()) = compiler.profile_run(None, "quickstart", |_| ())?;
-    println!("\nsingle-core run: {} invocations, {} cycles", single.invocations, single.makespan);
+    println!(
+        "\nsingle-core run: {} invocations, {} cycles",
+        single.invocations, single.makespan
+    );
 
     // 3. Synthesize an implementation for a quad-core machine.
     let machine = MachineDescription::quad();
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
     println!("\nsynthesized layout for {machine}:");
-    print!("{}", plan.layout.describe(&compiler.program.spec, &plan.graph));
+    print!(
+        "{}",
+        plan.layout.describe(&compiler.program.spec, &plan.graph)
+    );
 
     // 4. Execute the synthesized implementation. The deployment bundles
     // (program, graph, layout, locks) into the one artifact both
@@ -105,7 +118,11 @@ fn main() -> Result<(), Error> {
     );
 
     // 5. Read the result out of the final Results object.
-    let results_class = compiler.program.spec.class_by_name("Results").expect("declared above");
+    let results_class = compiler
+        .program
+        .spec
+        .class_by_name("Results")
+        .expect("declared above");
     let objs = exec.store.live_of_class(results_class);
     let r = match exec.store.get(objs[0]).payload {
         bamboo::runtime::PayloadSlot::Interp(r) => r,

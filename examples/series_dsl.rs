@@ -130,7 +130,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Extract the DSL-computed coefficients and compare against the
     // native Rust kernel, bit for bit.
-    let result_class = compiler.program.spec.class_by_name("Result").expect("declared");
+    let result_class = compiler
+        .program
+        .spec
+        .class_by_name("Result")
+        .expect("declared");
     let objs = exec.store.live_of_class(result_class);
     let r = match exec.store.get(objs[0]).payload {
         bamboo::runtime::PayloadSlot::Interp(r) => r,
@@ -159,6 +163,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{exact}/{} coefficients bit-identical between DSL and native Rust",
         native.len()
     );
-    assert_eq!(exact, native.len(), "interpreter float math must match native");
+    assert_eq!(
+        exact,
+        native.len(),
+        "interpreter float math must match native"
+    );
     Ok(())
 }

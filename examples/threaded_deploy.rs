@@ -49,7 +49,11 @@ fn build_program(n: i64) -> Compiler {
         .param("a", acc, FlagExpr::flag(open))
         .param("w", w, FlagExpr::flag(done))
         .exit("more", |e| e.set(1, done, false))
-        .exit("finish", |e| e.set(0, open, false).set(0, closed, true).set(1, done, false))
+        .exit("finish", |e| {
+            e.set(0, open, false)
+                .set(0, closed, true)
+                .set(1, done, false)
+        })
         .body(body(|ctx| {
             let w = *ctx.param::<i64>(1);
             let a = ctx.param_mut::<(i64, i64, i64)>(0);
@@ -79,7 +83,11 @@ fn main() -> Result<(), Error> {
 
     // One artifact, both executors.
     let deployment = compiler.deploy(&plan);
-    println!("deployment: {} instances over {} cores", deployment.layout.instances.len(), deployment.core_count());
+    println!(
+        "deployment: {} instances over {} cores",
+        deployment.layout.instances.len(),
+        deployment.core_count()
+    );
 
     let mut virt = VirtualExecutor::over(&deployment, &machine, ExecConfig::default());
     let predicted = virt.run(None)?;
@@ -101,7 +109,11 @@ fn main() -> Result<(), Error> {
     );
 
     // Fallible result extraction through the unified error type.
-    let acc_class = compiler.program.spec.class_by_name("Acc").expect("declared above");
+    let acc_class = compiler
+        .program
+        .spec
+        .class_by_name("Acc")
+        .expect("declared above");
     let accs = observed.try_payloads_of::<(i64, i64, i64)>(acc_class)?;
     let expected: i64 = (0..n).map(|i| i * i).sum();
     println!("sum of squares 0..{n}: {} (expected {expected})", accs[0].0);
@@ -121,7 +133,10 @@ fn main() -> Result<(), Error> {
     let mut virt = VirtualExecutor::over(
         &deployment,
         &machine,
-        ExecConfig { collect_trace: true, ..ExecConfig::default() },
+        ExecConfig {
+            collect_trace: true,
+            ..ExecConfig::default()
+        },
     );
     let trace = virt.run(None)?.trace.expect("trace requested");
     let diagnosis = bamboo::telemetry::analyze::diagnose(&report, Some(&trace));

@@ -18,8 +18,8 @@ fn every_benchmark_verifies_on_one_core() {
         assert!(report.quiesced, "{} did not quiesce", bench.name());
         assert_eq!(digest, serial.checksum, "{} result mismatch", bench.name());
         // The modeled language overhead stays within the paper's range.
-        let overhead = report.overhead_cycles as f64 + report.body_cycles as f64
-            - serial.cycles as f64;
+        let overhead =
+            report.overhead_cycles as f64 + report.body_cycles as f64 - serial.cycles as f64;
         let pct = overhead / serial.cycles as f64 * 100.0;
         assert!(
             (0.0..=12.0).contains(&pct),
@@ -35,11 +35,9 @@ fn every_benchmark_verifies_and_speeds_up_on_eight_cores() {
     for bench in all() {
         let serial = bench.serial(Scale::Small);
         let compiler = bench.compiler(Scale::Small);
-        let (profile, single, ()) =
-            compiler.profile_run(None, "t", |_| ()).expect("profiles");
+        let (profile, single, ()) = compiler.profile_run(None, "t", |_| ()).expect("profiles");
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-        let plan =
-            compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+        let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
         let mut exec =
             compiler.executor(&plan.graph, &plan.layout, &machine, ExecConfig::default());
         let report = exec.run(None).expect("runs");
@@ -62,14 +60,18 @@ fn simulator_estimate_tracks_real_execution() {
         let compiler = bench.compiler(Scale::Small);
         let (profile, _, ()) = compiler.profile_run(None, "t", |_| ()).expect("profiles");
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
-        let plan =
-            compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+        let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
         let mut exec =
             compiler.executor(&plan.graph, &plan.layout, &machine, ExecConfig::default());
         let report = exec.run(None).expect("runs");
         let err = (plan.estimate.makespan as f64 / report.makespan as f64 - 1.0).abs();
         // The paper's Figure 9 errors are under 8%; replay mode does better.
-        assert!(err < 0.08, "{} estimate off by {:.1}%", bench.name(), err * 100.0);
+        assert!(
+            err < 0.08,
+            "{} estimate off by {:.1}%",
+            bench.name(),
+            err * 100.0
+        );
     }
 }
 

@@ -19,10 +19,16 @@ use std::collections::HashMap;
 
 /// Profiles `bench_name` at small scale, synthesizes for `cores` cores
 /// with a fixed seed, and deploys.
-fn deploy_for(bench_name: &str, cores: usize, seed: u64) -> (Compiler, Deployment, MachineDescription) {
+fn deploy_for(
+    bench_name: &str,
+    cores: usize,
+    seed: u64,
+) -> (Compiler, Deployment, MachineDescription) {
     let bench = by_name(bench_name).expect("benchmark exists");
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "doctor", |_| ()).expect("profile run");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "doctor", |_| ())
+        .expect("profile run");
     let machine = MachineDescription::n_cores(cores);
     let mut rng = StdRng::seed_from_u64(seed);
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
@@ -33,8 +39,13 @@ fn deploy_for(bench_name: &str, cores: usize, seed: u64) -> (Compiler, Deploymen
 /// One telemetry-enabled threaded run.
 fn observed_run(deployment: &Deployment, cores: usize) -> (TelemetryReport, ThreadedReport) {
     let telemetry = Telemetry::enabled(cores);
-    let options = RunOptions { telemetry: telemetry.clone(), ..RunOptions::default() };
-    let run = ThreadedExecutor::default().run(deployment, options).expect("threaded run");
+    let options = RunOptions {
+        telemetry: telemetry.clone(),
+        ..RunOptions::default()
+    };
+    let run = ThreadedExecutor::default()
+        .run(deployment, options)
+        .expect("threaded run");
     (telemetry.report(), run)
 }
 
@@ -44,9 +55,15 @@ fn predicted_trace(
     deployment: &Deployment,
     machine: &MachineDescription,
 ) -> ExecutionTrace {
-    let config = ExecConfig { collect_trace: true, ..ExecConfig::default() };
+    let config = ExecConfig {
+        collect_trace: true,
+        ..ExecConfig::default()
+    };
     let mut exec = compiler.executor(&deployment.graph, &deployment.layout, machine, config);
-    exec.run(None).expect("virtual run").trace.expect("trace requested")
+    exec.run(None)
+        .expect("virtual run")
+        .trace
+        .expect("trace requested")
 }
 
 /// A trace's causal edge list as a `(producer task, consumer task)`
@@ -84,7 +101,11 @@ fn observed_causal_edges_match_virtual_executor() {
                 *acc.entry(t.task.index() as u64).or_insert(0) += 1;
                 acc
             });
-        assert_eq!(graph.task_counts(), predicted_counts, "{bench}: per-task counts");
+        assert_eq!(
+            graph.task_counts(),
+            predicted_counts,
+            "{bench}: per-task counts"
+        );
         assert_eq!(
             graph.edge_task_pairs(),
             trace_edge_pairs(&predicted),
@@ -110,18 +131,26 @@ fn stolen_invocations_link_to_original_producers() {
         let graph = ObservedGraph::from_report(&report);
         let stolen: Vec<_> = graph.stolen().collect();
         assert_eq!(stolen.len() as u64, run.steals, "attempt {attempt}");
-        let task_of: HashMap<u64, u64> =
-            graph.invocations.iter().map(|inv| (inv.id, inv.task)).collect();
+        let task_of: HashMap<u64, u64> = graph
+            .invocations
+            .iter()
+            .map(|inv| (inv.id, inv.task))
+            .collect();
         for inv in stolen {
             let victim = inv.stolen_from.expect("stolen() filters on this");
             assert_ne!(victim, inv.core, "thieves only scan other cores' queues");
             for dep in &inv.deps {
-                let Some(producer) = dep.producer else { continue };
+                let Some(producer) = dep.producer else {
+                    continue;
+                };
                 // The ObjRecv at the thief matches the ObjSend the
                 // original producer emitted: same message id, send
                 // before receive, producer a real invocation.
                 let ptask = task_of.get(&producer).copied().unwrap_or_else(|| {
-                    panic!("dep of stolen invocation {} names unknown producer {producer}", inv.id)
+                    panic!(
+                        "dep of stolen invocation {} names unknown producer {producer}",
+                        inv.id
+                    )
                 });
                 let sent = dep.sent.expect("producer's ObjSend recorded");
                 let received = dep.received.expect("thief's ObjRecv recorded");
@@ -151,12 +180,20 @@ fn kmeans_diagnosis_breaks_down_wall_time_exactly() {
 
     assert_eq!(diagnosis.ledger.cores.len(), 8);
     for row in &diagnosis.ledger.cores {
-        assert_eq!(row.total(), diagnosis.ledger.span, "core {} ledger partitions the span", row.core);
+        assert_eq!(
+            row.total(),
+            diagnosis.ledger.span,
+            "core {} ledger partitions the span",
+            row.core
+        );
     }
     let path = diagnosis.path.as_ref().expect("causal linkage recorded");
     assert!(!path.steps.is_empty());
     assert!(path.makespan > 0);
-    assert!(!diagnosis.findings.is_empty(), "at least one ranked finding");
+    assert!(
+        !diagnosis.findings.is_empty(),
+        "at least one ranked finding"
+    );
     // The summary renders with real task names from the program spec.
     let summary = diagnosis.summary(Some(&compiler.program.spec));
     assert!(summary.contains("per-core time breakdown"), "{summary}");

@@ -51,7 +51,11 @@ const PIPELINE_SRC: &str = r#"
 const EXPECTED_SUM: i64 = 650 + 12 * 1000;
 
 fn counter_sum(compiler: &Compiler, exec: &bamboo::VirtualExecutor<'_>) -> String {
-    let class = compiler.program.spec.class_by_name("Counter").expect("class exists");
+    let class = compiler
+        .program
+        .spec
+        .class_by_name("Counter")
+        .expect("class exists");
     let obj = exec.store.live_of_class(class)[0];
     let r = match exec.store.get(obj).payload {
         bamboo::runtime::PayloadSlot::Interp(r) => r,
@@ -63,8 +67,9 @@ fn counter_sum(compiler: &Compiler, exec: &bamboo::VirtualExecutor<'_>) -> Strin
 #[test]
 fn dsl_pipeline_agrees_across_core_counts() {
     let compiler = Compiler::from_source("pipeline", PIPELINE_SRC).expect("compiles");
-    let (profile, single, sum1) =
-        compiler.profile_run(None, "t", |e| counter_sum(&compiler, e)).expect("runs");
+    let (profile, single, sum1) = compiler
+        .profile_run(None, "t", |e| counter_sum(&compiler, e))
+        .expect("runs");
     assert_eq!(sum1, EXPECTED_SUM.to_string());
 
     for cores in [2usize, 5, 13] {
@@ -77,7 +82,10 @@ fn dsl_pipeline_agrees_across_core_counts() {
         assert!(report.quiesced);
         assert_eq!(counter_sum(&compiler, &exec), EXPECTED_SUM.to_string());
         if cores > 1 {
-            assert!(report.makespan < single.makespan, "no speedup on {cores} cores");
+            assert!(
+                report.makespan < single.makespan,
+                "no speedup on {cores} cores"
+            );
         }
     }
 }
@@ -120,7 +128,11 @@ fn native_squares(n: i64) -> Compiler {
         .param("a", acc, FlagExpr::flag(open))
         .param("w", w, FlagExpr::flag(done))
         .exit("more", |e| e.set(1, done, false))
-        .exit("done", |e| e.set(0, open, false).set(0, closed, true).set(1, done, false))
+        .exit("done", |e| {
+            e.set(0, open, false)
+                .set(0, closed, true)
+                .set(1, done, false)
+        })
         .body(body(|ctx| {
             let w = *ctx.param::<i64>(1);
             let a = ctx.param_mut::<(i64, i64, i64)>(0);
@@ -183,17 +195,25 @@ fn deployment_round_trips_the_synthesis_result() {
     // Round trip: the deployment embeds the synthesized graph + layout.
     let deployment = Deployment::from_synthesis(&compiler.program, &compiler.locks, &plan);
     assert_eq!(deployment.core_count(), plan.layout.core_count);
-    assert_eq!(deployment.layout.instances.len(), plan.layout.instances.len());
+    assert_eq!(
+        deployment.layout.instances.len(),
+        plan.layout.instances.len()
+    );
     assert_eq!(deployment.graph.groups.len(), plan.graph.groups.len());
     // Compiler::deploy is the same construction.
-    assert_eq!(compiler.deploy(&plan).layout.instances.len(), plan.layout.instances.len());
+    assert_eq!(
+        compiler.deploy(&plan).layout.instances.len(),
+        plan.layout.instances.len()
+    );
 
     // The same artifact feeds both executors.
     let mut virt = VirtualExecutor::over(&deployment, &machine, ExecConfig::default());
     let vreport = virt.run(None).expect("virtual run");
     assert!(vreport.quiesced);
     let acc = compiler.program.spec.class_by_name("Acc").expect("exists");
-    let vsum = virt.payload::<(i64, i64, i64)>(virt.store.live_of_class(acc)[0]).0;
+    let vsum = virt
+        .payload::<(i64, i64, i64)>(virt.store.live_of_class(acc)[0])
+        .0;
     assert_eq!(vsum, expected);
 
     let treport = ThreadedExecutor::default()
@@ -263,11 +283,19 @@ fn tagged_pairs_meet_across_replicated_instances() {
         "#
     );
     let compiler = Compiler::from_source("tagged", &src).expect("compiles");
-    let join = compiler.program.spec.task_by_name("join").expect("declared");
+    let join = compiler
+        .program
+        .spec
+        .task_by_name("join")
+        .expect("declared");
     assert!(compiler.program.spec.task(join).all_params_share_tag());
 
     let check = |exec: &bamboo::VirtualExecutor<'_>| {
-        let right = compiler.program.spec.class_by_name("Right").expect("declared");
+        let right = compiler
+            .program
+            .spec
+            .class_by_name("Right")
+            .expect("declared");
         let heap = exec.interp_heap().expect("interpreted");
         let mut joined = 0;
         for obj in exec.store.live_of_class(right) {
@@ -342,7 +370,11 @@ fn dsl_float_math_matches_native_bit_for_bit() {
     let compiler = Compiler::from_source("parity", &src).expect("compiles");
     let (_, _, dsl_a1) = compiler
         .profile_run(None, "t", |exec| {
-            let out = compiler.program.spec.class_by_name("Out").expect("declared");
+            let out = compiler
+                .program
+                .spec
+                .class_by_name("Out")
+                .expect("declared");
             let obj = exec.store.live_of_class(out)[0];
             let r = match exec.store.get(obj).payload {
                 bamboo::runtime::PayloadSlot::Interp(r) => r,
@@ -355,7 +387,11 @@ fn dsl_float_math_matches_native_bit_for_bit() {
         })
         .expect("runs");
     let native = bamboo_apps::series::fourier_coefficients(1, 1, points)[0].0;
-    assert_eq!(dsl_a1.to_bits(), native.to_bits(), "dsl {dsl_a1} vs native {native}");
+    assert_eq!(
+        dsl_a1.to_bits(),
+        native.to_bits(),
+        "dsl {dsl_a1} vs native {native}"
+    );
 }
 
 /// SCC tree preprocessing end-to-end: two producer tasks feed the same
@@ -407,7 +443,11 @@ fn diamond_producers_duplicate_the_consumer_group() {
     let compiler = Compiler::from_source("diamond", src).expect("compiles");
     let (profile, _, sum1) = compiler
         .profile_run(None, "t", |e| {
-            let class = compiler.program.spec.class_by_name("Total").expect("declared");
+            let class = compiler
+                .program
+                .spec
+                .class_by_name("Total")
+                .expect("declared");
             let obj = e.store.live_of_class(class)[0];
             let r = match e.store.get(obj).payload {
                 bamboo::runtime::PayloadSlot::Interp(r) => r,
@@ -419,10 +459,17 @@ fn diamond_producers_duplicate_the_consumer_group() {
     assert_eq!(sum1, expected.to_string());
 
     // The preprocessed graph duplicated the CItem group per source.
-    let graph =
-        bamboo::schedule::scc_tree_transform(&compiler.graph_with_profile(&profile));
-    let citem = compiler.program.spec.class_by_name("CItem").expect("declared");
-    let consume = compiler.program.spec.task_by_name("consume").expect("declared");
+    let graph = bamboo::schedule::scc_tree_transform(&compiler.graph_with_profile(&profile));
+    let citem = compiler
+        .program
+        .spec
+        .class_by_name("CItem")
+        .expect("declared");
+    let consume = compiler
+        .program
+        .spec
+        .task_by_name("consume")
+        .expect("declared");
     let copies = graph
         .groups
         .iter()
@@ -437,7 +484,11 @@ fn diamond_producers_duplicate_the_consumer_group() {
     let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, ExecConfig::default());
     let report = exec.run(None).expect("runs");
     assert!(report.quiesced);
-    let class = compiler.program.spec.class_by_name("Total").expect("declared");
+    let class = compiler
+        .program
+        .spec
+        .class_by_name("Total")
+        .expect("declared");
     let obj = exec.store.live_of_class(class)[0];
     let r = match exec.store.get(obj).payload {
         bamboo::runtime::PayloadSlot::Interp(r) => r,
@@ -537,7 +588,11 @@ fn dsl_mandelbrot_matches_native_kernel() {
     let compiler = Compiler::from_source("mandel", &src).expect("compiles");
     let (_, _, dsl_counts) = compiler
         .profile_run(None, "t", |exec| {
-            let row = compiler.program.spec.class_by_name("Row").expect("declared");
+            let row = compiler
+                .program
+                .spec
+                .class_by_name("Row")
+                .expect("declared");
             let obj = exec.store.live_of_class(row)[0];
             let r = match exec.store.get(obj).payload {
                 bamboo::runtime::PayloadSlot::Interp(r) => r,
@@ -579,7 +634,10 @@ fn virtual_execution_is_deterministic() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
     let run = || {
-        let config = ExecConfig { collect_trace: true, ..ExecConfig::default() };
+        let config = ExecConfig {
+            collect_trace: true,
+            ..ExecConfig::default()
+        };
         let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, config);
         exec.run(None).expect("runs").trace.expect("trace")
     };
@@ -587,6 +645,9 @@ fn virtual_execution_is_deterministic() {
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.tasks.len(), b.tasks.len());
     for (x, y) in a.tasks.iter().zip(&b.tasks) {
-        assert_eq!((x.task, x.core, x.start, x.end), (y.task, y.core, y.start, y.end));
+        assert_eq!(
+            (x.task, x.core, x.start, x.end),
+            (y.task, y.core, y.start, y.end)
+        );
     }
 }

@@ -18,7 +18,9 @@ use rand::SeedableRng;
 fn synthesize(bench: &str, opts: &SynthesisOptions) -> SynthesisResult {
     let bench = by_name(bench).expect("benchmark registered");
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "t", |_| ()).expect("profile run");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "t", |_| ())
+        .expect("profile run");
     let machine = MachineDescription::tilepro64();
     let mut rng = StdRng::seed_from_u64(4242);
     compiler.synthesize(&profile, &machine, opts, &mut rng)
@@ -61,7 +63,10 @@ fn memoization_does_not_change_what_is_synthesized() {
         let cold = synthesize(
             bench,
             &SynthesisOptions {
-                dsa: DsaOptions { memoize: false, ..DsaOptions::default() },
+                dsa: DsaOptions {
+                    memoize: false,
+                    ..DsaOptions::default()
+                },
                 ..SynthesisOptions::default()
             },
         );

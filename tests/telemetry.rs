@@ -24,7 +24,9 @@ fn plan_for(
 ) -> (Compiler, Profile, SynthesisResult, MachineDescription) {
     let bench = by_name(bench_name).expect("benchmark exists");
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "telemetry", |_| ()).expect("profile run");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "telemetry", |_| ())
+        .expect("profile run");
     let machine = MachineDescription::n_cores(cores);
     let mut rng = StdRng::seed_from_u64(seed);
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
@@ -48,8 +50,14 @@ fn exported_chrome_trace_has_valid_structure() {
     assert!(run.quiesced);
 
     let report = telemetry.report();
-    assert!(!report.events.is_empty(), "an enabled session records events");
-    assert_eq!(report.dropped, 0, "default ring capacity holds a small-scale run");
+    assert!(
+        !report.events.is_empty(),
+        "an enabled session records events"
+    );
+    assert_eq!(
+        report.dropped, 0,
+        "default ring capacity holds a small-scale run"
+    );
     let active = report.active_cores();
     assert!(active.len() >= 2, "synthesized layout uses multiple cores");
 
@@ -62,7 +70,10 @@ fn exported_chrome_trace_has_valid_structure() {
     assert!(!events.is_empty());
     for event in events {
         for field in ["ph", "pid", "tid", "ts", "name"] {
-            assert!(event.get(field).is_some(), "event missing {field}: {event:?}");
+            assert!(
+                event.get(field).is_some(),
+                "event missing {field}: {event:?}"
+            );
         }
     }
     // Every active core contributes at least one non-metadata event.
@@ -74,18 +85,26 @@ fn exported_chrome_trace_has_valid_structure() {
                     && e.get("tid").unwrap().as_f64() == Some(*core as f64)
             })
             .count();
-        assert!(on_core >= 1, "core {core} recorded events but exported none");
+        assert!(
+            on_core >= 1,
+            "core {core} recorded events but exported none"
+        );
     }
     // One complete ("X") slice per dispatched task.
-    let slices =
-        events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("X")).count() as u64;
+    let slices = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        .count() as u64;
     assert_eq!(slices, run.invocations);
 
     // The human-readable summary and the metrics dump render from the
     // same report.
     let table = summary::per_core_table(&report);
     for core in &active {
-        assert!(table.contains(&format!("\n{core:>4} ")), "summary row for core {core}");
+        assert!(
+            table.contains(&format!("\n{core:>4} ")),
+            "summary row for core {core}"
+        );
     }
     let metrics = summary::metrics_json(&report.metrics);
     json::parse(&metrics).expect("metrics dump is valid JSON");
@@ -118,7 +137,10 @@ fn virtual_traces_are_byte_identical_across_runs() {
     let (trace_a, report_a) = run_once();
     let (trace_b, report_b) = run_once();
     assert_eq!(trace_a, trace_b, "executor traces must be byte-identical");
-    assert_eq!(report_a, report_b, "telemetry event streams must be byte-identical");
+    assert_eq!(
+        report_a, report_b,
+        "telemetry event streams must be byte-identical"
+    );
 }
 
 /// Satellite: the simulator's predicted timeline and the executor's
@@ -132,11 +154,17 @@ fn predicted_and_observed_traces_export_side_by_side() {
         &plan.layout,
         &profile,
         &machine,
-        &SimOptions { collect_trace: true, ..SimOptions::default() },
+        &SimOptions {
+            collect_trace: true,
+            ..SimOptions::default()
+        },
     );
     let predicted = sim.trace.expect("simulator trace was requested");
 
-    let config = ExecConfig { collect_trace: true, ..ExecConfig::default() };
+    let config = ExecConfig {
+        collect_trace: true,
+        ..ExecConfig::default()
+    };
     let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, config);
     let run = exec.run(None).expect("benchmark runs");
     let observed = run.trace.expect("executor trace was requested");
@@ -162,7 +190,9 @@ fn predicted_and_observed_traces_export_side_by_side() {
 fn dsa_statistics_flow_into_telemetry() {
     let bench = by_name("kmeans").expect("benchmark exists");
     let compiler = bench.compiler(Scale::Small);
-    let (profile, _, ()) = compiler.profile_run(None, "telemetry", |_| ()).expect("profile run");
+    let (profile, _, ()) = compiler
+        .profile_run(None, "telemetry", |_| ())
+        .expect("profile run");
     let machine = MachineDescription::n_cores(8);
     let telemetry = Telemetry::enabled(1);
     let mut rng = StdRng::seed_from_u64(5);
@@ -179,11 +209,20 @@ fn dsa_statistics_flow_into_telemetry() {
     assert!(metrics.counters["dsa.simulations"] >= 1);
     assert!(metrics.counters["dsa.candidates_evaluated"] >= 1);
     let rate = metrics.gauges["dsa.acceptance_rate_pct"];
-    assert!((0..=100).contains(&rate), "acceptance rate {rate}% out of range");
-    assert_eq!(metrics.gauges["dsa.best_makespan"], plan.stats.best_makespan as i64);
+    assert!(
+        (0..=100).contains(&rate),
+        "acceptance rate {rate}% out of range"
+    );
+    assert_eq!(
+        metrics.gauges["dsa.best_makespan"],
+        plan.stats.best_makespan as i64
+    );
 
     let trajectory = &metrics.series["dsa.best_makespan_trajectory"];
-    assert!(!trajectory.is_empty(), "trajectory records per-iteration best cost");
+    assert!(
+        !trajectory.is_empty(),
+        "trajectory records per-iteration best cost"
+    );
     assert!(
         trajectory.windows(2).all(|w| w[1] <= w[0]),
         "best-cost trajectory must be non-increasing: {trajectory:?}"
@@ -198,7 +237,10 @@ fn dsa_statistics_flow_into_telemetry() {
 fn telemetry_events_match_run_report() {
     let (compiler, _profile, plan, machine) = plan_for("filterbank", 8, 41);
     let telemetry = Telemetry::enabled(8);
-    let config = ExecConfig { telemetry: telemetry.clone(), ..ExecConfig::default() };
+    let config = ExecConfig {
+        telemetry: telemetry.clone(),
+        ..ExecConfig::default()
+    };
     let mut exec = compiler.executor(&plan.graph, &plan.layout, &machine, config);
     let run = exec.run(None).expect("benchmark runs");
 

@@ -37,7 +37,10 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
     }
 
     /// Runs a stand-alone benchmark.
@@ -120,7 +123,9 @@ mod tests {
         let mut ran = 0;
         c.bench_function("x", |b| b.iter(|| ran += 1));
         let mut group = c.benchmark_group("g");
-        group.sample_size(10).bench_function("y", |b| b.iter(|| ran += 1));
+        group
+            .sample_size(10)
+            .bench_function("y", |b| b.iter(|| ran += 1));
         group.finish();
         assert_eq!(ran, 2);
     }

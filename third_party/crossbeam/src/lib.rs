@@ -13,6 +13,7 @@ pub mod channel {
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
@@ -35,6 +36,13 @@ pub mod channel {
     #[derive(PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    impl<T> SendError<T> {
+        /// Returns the undelivered message.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
     impl<T> fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             // Like the real crossbeam: no `T: Debug` bound.
@@ -52,6 +60,15 @@ pub mod channel {
         /// No message is currently queued.
         Empty,
         /// No message is queued and all senders are gone.
+        Disconnected,
+    }
+
+    /// Outcome of a bounded-wait receive attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with no message.
+        Timeout,
+        /// The channel is drained and all senders are gone.
         Disconnected,
     }
 
@@ -144,6 +161,37 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when the wait elapses,
+        /// [`RecvTimeoutError::Disconnected`] when the channel is
+        /// drained and no sender remains.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.chan.queue.lock().expect("channel mutex");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _result) = self
+                    .chan
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .expect("channel mutex");
+                queue = guard;
+            }
+        }
+
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
             self.chan.queue.lock().expect("channel mutex").len()
@@ -158,14 +206,18 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.chan.senders.fetch_add(1, Ordering::AcqRel);
-            Sender { chan: self.chan.clone() }
+            Sender {
+                chan: self.chan.clone(),
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.chan.receivers.fetch_add(1, Ordering::AcqRel);
-            Receiver { chan: self.chan.clone() }
+            Receiver {
+                chan: self.chan.clone(),
+            }
         }
     }
 
@@ -208,6 +260,22 @@ pub mod channel {
             let (tx2, rx2) = unbounded();
             drop(rx2);
             assert_eq!(tx2.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

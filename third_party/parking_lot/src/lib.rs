@@ -22,7 +22,9 @@ pub struct RawMutex {
 
 impl RawMutex {
     const fn new() -> Self {
-        RawMutex { locked: AtomicBool::new(false) }
+        RawMutex {
+            locked: AtomicBool::new(false),
+        }
     }
 
     fn try_lock(&self) -> bool {
@@ -63,7 +65,10 @@ unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 impl<T> Mutex<T> {
     /// Wraps `value` in a new unlocked mutex.
     pub const fn new(value: T) -> Self {
-        Mutex { raw: RawMutex::new(), data: UnsafeCell::new(value) }
+        Mutex {
+            raw: RawMutex::new(),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the protected value.
@@ -92,7 +97,10 @@ impl<T: ?Sized> Mutex<T> {
     /// its `Arc` instead of a borrow (parking_lot's `arc_lock` feature).
     pub fn try_lock_arc(self: &Arc<Self>) -> Option<ArcMutexGuard<RawMutex, T>> {
         if self.raw.try_lock() {
-            Some(ArcMutexGuard { mutex: self.clone(), _raw: PhantomData })
+            Some(ArcMutexGuard {
+                mutex: self.clone(),
+                _raw: PhantomData,
+            })
         } else {
             None
         }
@@ -101,7 +109,10 @@ impl<T: ?Sized> Mutex<T> {
     /// Arc-holding blocking acquire (parking_lot's `arc_lock` feature).
     pub fn lock_arc(self: &Arc<Self>) -> ArcMutexGuard<RawMutex, T> {
         self.raw.lock();
-        ArcMutexGuard { mutex: self.clone(), _raw: PhantomData }
+        ArcMutexGuard {
+            mutex: self.clone(),
+            _raw: PhantomData,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).

@@ -22,7 +22,9 @@ pub mod strategy {
         /// The generator for case number `case` of a property.
         pub fn for_case(case: u32) -> TestRng {
             use rand::SeedableRng;
-            TestRng(rand::rngs::StdRng::seed_from_u64(0x5eed_0000_0000 + case as u64))
+            TestRng(rand::rngs::StdRng::seed_from_u64(
+                0x5eed_0000_0000 + case as u64,
+            ))
         }
 
         /// The next 64 random bits.
@@ -128,9 +130,8 @@ pub mod strategy {
     impl Strategy for &str {
         type Value = String;
         fn sample(&self, rng: &mut TestRng) -> String {
-            let (alphabet, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
-                ((b' '..=b'~').map(char::from).collect(), 0, 64)
-            });
+            let (alphabet, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| ((b' '..=b'~').map(char::from).collect(), 0, 64));
             let len = lo + rng.below((hi - lo + 1) as u64) as usize;
             (0..len)
                 .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
@@ -142,7 +143,10 @@ pub mod strategy {
         let rest = pat.strip_prefix('[')?;
         let close = rest.find(']')?;
         let (class, tail) = rest.split_at(close);
-        let tail = tail.strip_prefix(']')?.strip_prefix('{')?.strip_suffix('}')?;
+        let tail = tail
+            .strip_prefix(']')?
+            .strip_prefix('{')?
+            .strip_suffix('}')?;
         let (lo, hi) = tail.split_once(',')?;
         let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
         let mut alphabet = Vec::new();

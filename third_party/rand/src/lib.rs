@@ -101,7 +101,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD3F2_9467_41BA_12F8 }
+            StdRng {
+                state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD3F2_9467_41BA_12F8,
+            }
         }
     }
 
