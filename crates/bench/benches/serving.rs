@@ -1,0 +1,274 @@
+//! Open-loop serving benchmark: maximum sustainable throughput under a
+//! p99 latency SLO (DESIGN.md §15).
+//!
+//! For each application, deployments are synthesized for an 8-core
+//! machine model with a fixed seed, then:
+//!
+//! 1. a *solo* run (stepped pacing, micro-batches of one — each request
+//!    runs uncontended) measures the intrinsic p99 latency;
+//! 2. the SLO is set to `SLO_MULTIPLIER ×` solo p99;
+//! 3. a load ladder doubles the offered Poisson rate per level; the max
+//!    sustainable throughput is the highest level whose p99 met the SLO
+//!    with nothing shed at admission or on the router.
+//!
+//! Writes `BENCH_serving.json` at the repository root — the baseline
+//! `bamboo-doctor --check` gates against (`serving-*` checks).
+//!
+//! Modes (custom `main`, `harness = false`):
+//! - `--bench` (what `cargo bench` passes): full sweep + JSON.
+//! - `--test` (CI smoke) or no recognized flag: two apps, one tiny
+//!   level, no JSON.
+
+use bamboo::{
+    Compiler, Deployment, MachineDescription, Pacing, Poisson, RunOptions, Server, ServingOptions,
+    ServingReport, SynthesisOptions, ThreadedExecutor,
+};
+use bamboo_apps::{Benchmark, Scale};
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Synthesis and arrival seed — the sweep is reproducible end to end.
+const SEED: u64 = 42;
+/// Machine model the deployments are planned for.
+const CORES: usize = 8;
+/// The p99 SLO is this multiple of the measured solo p99.
+const SLO_MULTIPLIER: f64 = 10.0;
+/// Absolute SLO floor, microseconds. The solo run measures hot workers
+/// (stepped pacing never parks them); under wall pacing a sparse
+/// arrival finds every worker parked and pays wakeup latency plus
+/// scheduler jitter, which on a loaded host is milliseconds regardless
+/// of the app's intrinsic service time. The floor keeps the SLO above
+/// that noise so the sweep measures the runtime, not the scheduler.
+const SLO_FLOOR_US: f64 = 5_000.0;
+/// First ladder level, requests per second.
+const START_RPS: f64 = 50.0;
+/// Ladder levels double from [`START_RPS`] at most this many times.
+const MAX_LEVELS: usize = 12;
+/// A level only counts as sustained when completions kept at least this
+/// pace relative to the offered rate. With a fixed request count per
+/// level, high offered rates degenerate into a single burst whose p99
+/// stays bounded even when the system completes far slower than it
+/// admits — the pace criterion keeps the recorded max honest.
+const PACE_FRACTION: f64 = 0.5;
+
+/// One ladder level's outcome.
+struct Level {
+    offered_rps: f64,
+    /// Completions per second of wall time, first arrival to drain.
+    completed_rps: f64,
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+    router_shed: u64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+impl Level {
+    fn from_report(offered_rps: f64, report: &ServingReport, elapsed_secs: f64) -> Level {
+        Level {
+            offered_rps,
+            completed_rps: report.completed as f64 / elapsed_secs.max(1e-9),
+            admitted: report.admitted,
+            completed: report.completed,
+            shed: report.shed,
+            router_shed: report.executor.router_shed,
+            p50_us: report.latency_us.p50(),
+            p99_us: report.latency_us.p99(),
+            p999_us: report.latency_us.p999(),
+        }
+    }
+
+    /// Whether this level sustained the SLO: everything admitted and
+    /// completed, nothing shed anywhere, p99 inside the objective, and
+    /// completions kept pace with the offered rate.
+    fn sustained(&self, slo_p99_us: f64) -> bool {
+        self.shed == 0
+            && self.router_shed == 0
+            && self.completed == self.admitted
+            && (self.p99_us as f64) <= slo_p99_us
+            && self.completed_rps >= self.offered_rps * PACE_FRACTION
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"offered_rps\": {:.1}, \"completed_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"p999_us\": {}, \"admitted\": {}, \"completed\": {}, \"shed\": {} }}",
+            self.offered_rps,
+            self.completed_rps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.admitted,
+            self.completed,
+            self.shed,
+        )
+    }
+}
+
+/// One application's sweep result.
+struct Sweep {
+    name: String,
+    solo_p99_us: u64,
+    slo_p99_us: f64,
+    max_sustainable_rps: f64,
+    /// Index into `levels` of the sustainable level (last passing one).
+    sustainable: usize,
+    levels: Vec<Level>,
+}
+
+fn deployment_for(bench: &dyn Benchmark, machine: &MachineDescription) -> (Compiler, Deployment) {
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler
+        .profile_run(None, "serving", |_| ())
+        .expect("profiles");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
+    let deployment = compiler.deploy(&plan);
+    (compiler, deployment)
+}
+
+/// Serves `total` Poisson arrivals at `rate`; returns the report and
+/// the wall seconds from first arrival to drain (worker spawn and
+/// shutdown excluded).
+fn serve_at(
+    deployment: &Deployment,
+    options: ServingOptions,
+    rate: f64,
+    seed: u64,
+    total: usize,
+) -> (ServingReport, f64) {
+    let exec = ThreadedExecutor::default();
+    let mut server =
+        Server::start(&exec, deployment, RunOptions::default(), options).expect("server starts");
+    let mut arrivals = Poisson::new(rate, seed);
+    let t0 = std::time::Instant::now();
+    server
+        .serve(&mut arrivals, total, |_| Box::new(()))
+        .expect("serving run");
+    server.await_idle().expect("serving drain");
+    let elapsed = t0.elapsed().as_secs_f64();
+    (server.finish().expect("serving finish"), elapsed)
+}
+
+fn sweep(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+    solo_reqs: usize,
+    level_reqs: usize,
+    max_levels: usize,
+) -> Sweep {
+    let (_compiler, deployment) = deployment_for(bench, machine);
+
+    // Stepped pacing with micro-batches of one runs every request to
+    // completion before the next is injected: uncontended latency.
+    let solo_options = ServingOptions::new()
+        .with_pacing(Pacing::Stepped)
+        .with_batching(1, Duration::ZERO);
+    let (solo, _) = serve_at(&deployment, solo_options, 1_000.0, SEED, solo_reqs);
+    let solo_p99_us = solo.latency_us.p99().max(1);
+    let slo_p99_us = (solo_p99_us as f64 * SLO_MULTIPLIER).max(SLO_FLOOR_US);
+
+    let mut levels = Vec::new();
+    let mut sustainable = 0usize;
+    let mut max_sustainable_rps = 0.0;
+    let mut rate = START_RPS;
+    for step in 0..max_levels {
+        let (report, elapsed) = serve_at(
+            &deployment,
+            ServingOptions::new(),
+            rate,
+            SEED + step as u64,
+            level_reqs,
+        );
+        let level = Level::from_report(rate, &report, elapsed);
+        let sustained = level.sustained(slo_p99_us);
+        levels.push(level);
+        if !sustained {
+            break;
+        }
+        sustainable = levels.len() - 1;
+        max_sustainable_rps = rate;
+        rate *= 2.0;
+    }
+
+    Sweep {
+        name: bench.name().to_string(),
+        solo_p99_us,
+        slo_p99_us,
+        max_sustainable_rps,
+        sustainable,
+        levels,
+    }
+}
+
+fn json_block(s: &Sweep) -> String {
+    let at = &s.levels[s.sustainable];
+    let levels: Vec<String> = s
+        .levels
+        .iter()
+        .map(|l| format!("        {}", l.json()))
+        .collect();
+    format!(
+        "    \"{}\": {{\n      \"solo_p99_us\": {}, \"slo_p99_us\": {:.1}, \"max_sustainable_rps\": {:.1},\n      \"at_sustainable\": {},\n      \"levels\": [\n{}\n      ]\n    }}",
+        s.name,
+        s.solo_p99_us,
+        s.slo_p99_us,
+        s.max_sustainable_rps,
+        at.json(),
+        levels.join(",\n"),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` always injects `--bench`; an explicit `--test`
+    // (the CI smoke step) wins over it.
+    let full = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
+    let machine = MachineDescription::n_cores(CORES);
+    let apps: Vec<&dyn Benchmark> = if full {
+        vec![
+            &bamboo_apps::kmeans::KMeans,
+            &bamboo_apps::filterbank::FilterBank,
+            &bamboo_apps::montecarlo::MonteCarlo,
+            &bamboo_apps::series::Series,
+        ]
+    } else {
+        vec![
+            &bamboo_apps::kmeans::KMeans,
+            &bamboo_apps::filterbank::FilterBank,
+        ]
+    };
+    let (solo_reqs, level_reqs, max_levels) = if full {
+        (12, 40, MAX_LEVELS)
+    } else {
+        (4, 6, 1)
+    };
+
+    let mut blocks = Vec::new();
+    for bench in apps {
+        let s = sweep(bench, &machine, solo_reqs, level_reqs, max_levels);
+        let at = &s.levels[s.sustainable];
+        println!(
+            "bench serving/{:<12} solo p99 {:>7}us   SLO {:>9.0}us   sustainable {:>7.0} rps (p99 {}us, {} levels)",
+            s.name, s.solo_p99_us, s.slo_p99_us, s.max_sustainable_rps, at.p99_us, s.levels.len(),
+        );
+        blocks.push(json_block(&s));
+    }
+
+    if full {
+        let json = format!(
+            "{{\n  \"machine_cores\": {},\n  \"scale\": \"small\",\n  \"seed\": {},\n  \"slo_multiplier\": {:.1},\n  \"benches\": {{\n{}\n  }}\n}}\n",
+            machine.core_count(),
+            SEED,
+            SLO_MULTIPLIER,
+            blocks.join(",\n"),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+        std::fs::write(path, json).expect("write BENCH_serving.json");
+        println!("wrote {path}");
+    } else {
+        println!("smoke ok (pass --bench for the measured sweep)");
+    }
+}

@@ -24,7 +24,15 @@
 //!   serial and parallel synthesis for every recorded benchmark and
 //!   appends the `dsa-*` checks: determinism (parallel == serial
 //!   makespan), exact makespan/simulation-count match against the
-//!   recording, and a host-aware wall-speedup floor.
+//!   recording, and a host-aware wall-speedup floor. When
+//!   `BENCH_serving.json` is present (recorded by
+//!   `crates/bench/benches/serving.rs`), the gate additionally serves a
+//!   short fixed-seed open-loop probe per recorded app and appends the
+//!   `serving-*` checks — exact request accounting (admitted ==
+//!   completed), zero shedding at admission and on the router, p99
+//!   within a host-slack band of the recorded SLO, and a completion-
+//!   throughput floor — summarized in the verdict JSON's `serving`
+//!   section.
 //!
 //!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --check --out doctor_verdict.json`
 //!
@@ -44,8 +52,8 @@
 
 use bamboo::telemetry::analyze::{self, gate};
 use bamboo::{
-    Compiler, Deployment, DsaOptions, ExecConfig, FaultSpec, MachineDescription, RunOptions,
-    SynthesisOptions, Telemetry, ThreadedExecutor,
+    Compiler, Deployment, DsaOptions, ExecConfig, FaultSpec, MachineDescription, Poisson,
+    RunOptions, Server, ServingOptions, SynthesisOptions, Telemetry, ThreadedExecutor,
 };
 use bamboo_apps::{all, by_name, Benchmark, Scale};
 use rand::SeedableRng;
@@ -63,6 +71,13 @@ const CHECK_REPS: usize = 5;
 /// deterministic); extra reps only sharpen the wall-speedup estimate,
 /// whose floor is generous.
 const DSA_CHECK_REPS: usize = 2;
+/// Requests per serving probe run in `--check` mode.
+const SERVING_CHECK_REQS: usize = 64;
+/// Serving probe offered load as a fraction of the recorded sustainable
+/// rate — far enough under it that a healthy build completes everything
+/// without shedding even on a much slower host, high enough that the
+/// completion throughput clears the gate's floor.
+const SERVING_CHECK_LOAD_FRACTION: f64 = 0.25;
 
 struct Args {
     check: bool,
@@ -74,11 +89,13 @@ struct Args {
     json_out: Option<String>,
     baseline_path: String,
     dsa_baseline_path: String,
+    serving_baseline_path: String,
 }
 
 fn parse_args() -> Result<Args, String> {
     let default_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threaded.json");
     let default_dsa_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsa.json");
+    let default_serving_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     let mut args = Args {
         check: false,
         chaos: false,
@@ -89,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         json_out: None,
         baseline_path: default_baseline.to_string(),
         dsa_baseline_path: default_dsa_baseline.to_string(),
+        serving_baseline_path: default_serving_baseline.to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -114,10 +132,12 @@ fn parse_args() -> Result<Args, String> {
             "--json" | "--out" => args.json_out = Some(value(&arg)?),
             "--baseline" => args.baseline_path = value("--baseline")?,
             "--dsa-baseline" => args.dsa_baseline_path = value("--dsa-baseline")?,
+            "--serving-baseline" => args.serving_baseline_path = value("--serving-baseline")?,
             "--help" | "-h" => {
                 return Err(concat!(
                     "usage: bamboo-doctor [BENCH] [--cores N] [--json PATH] [--chaos] [--chaos-seed N]\n",
-                    "       bamboo-doctor --check [--baseline PATH] [--dsa-baseline PATH] [--out PATH]\n",
+                    "       bamboo-doctor --check [--baseline PATH] [--dsa-baseline PATH]\n",
+                    "                      [--serving-baseline PATH] [--out PATH]\n",
                     "       bamboo-doctor --check --chaos [--chaos-seed N] [--chaos-cores N] [--out PATH]"
                 )
                 .to_string());
@@ -222,6 +242,52 @@ fn dsa_observation(bench: &dyn Benchmark, machine: &MachineDescription) -> gate:
         simulations: parallel_plan.stats.simulations as f64,
         wall_speedup: serial_us / parallel_us,
     }
+}
+
+/// Serves a short fixed-seed open-loop Poisson probe against `bench` at
+/// a fraction of its recorded sustainable load, for the `serving-*`
+/// gate checks. Completion throughput is measured from first arrival to
+/// drain (excluding worker spawn and shutdown).
+fn serving_observation(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+    base: &gate::ServingBaselineBench,
+) -> Result<gate::ServingObservation, String> {
+    let (_compiler, deployment) = deployment_for(bench, machine);
+    let exec = ThreadedExecutor::default();
+    // Warmup rep (thread spawn paths, allocator).
+    exec.run(&deployment, RunOptions::default())
+        .map_err(|e| format!("{}: warmup failed: {e}", bench.name()))?;
+    let offered_rps = (base.max_sustainable_rps * SERVING_CHECK_LOAD_FRACTION).max(200.0);
+    let mut server = Server::start(
+        &exec,
+        &deployment,
+        RunOptions::default(),
+        ServingOptions::new(),
+    )
+    .map_err(|e| format!("{}: server start failed: {e}", bench.name()))?;
+    let mut arrivals = Poisson::new(offered_rps, SEED);
+    let t0 = std::time::Instant::now();
+    server
+        .serve(&mut arrivals, SERVING_CHECK_REQS, |_| Box::new(()))
+        .map_err(|e| format!("{}: probe serve failed: {e}", bench.name()))?;
+    server
+        .await_idle()
+        .map_err(|e| format!("{}: probe drain failed: {e}", bench.name()))?;
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let report = server
+        .finish()
+        .map_err(|e| format!("{}: probe finish failed: {e}", bench.name()))?;
+    Ok(gate::ServingObservation {
+        name: bench.name().to_string(),
+        offered_rps,
+        completed_rps: report.completed as f64 / elapsed,
+        admitted: report.admitted as f64,
+        completed: report.completed as f64,
+        shed: report.shed as f64,
+        router_shed: report.executor.router_shed as f64,
+        p99_us: report.latency_us.p99() as f64,
+    })
 }
 
 fn diagnose_mode(args: &Args) -> Result<(), String> {
@@ -443,6 +509,40 @@ fn check_mode(args: &Args) -> Result<bool, String> {
         Err(err) => eprintln!(
             "warning: no DSA baseline at {} ({err}); skipping dsa-* checks",
             args.dsa_baseline_path,
+        ),
+    }
+
+    // Serving checks, gated on the recording from the `serving` bench
+    // harness (same missing-recording-is-a-warning contract as DSA).
+    match std::fs::read_to_string(&args.serving_baseline_path) {
+        Ok(text) => {
+            let serving_baseline = gate::parse_serving_baseline(&text)?;
+            let serving_machine =
+                MachineDescription::n_cores(serving_baseline.machine_cores as usize);
+            let mut serving_observations = Vec::new();
+            for base in &serving_baseline.benches {
+                let Some(bench) = by_name(&base.name) else {
+                    eprintln!(
+                        "warning: serving baseline bench {:?} not in the app registry; skipping",
+                        base.name,
+                    );
+                    continue;
+                };
+                let obs = serving_observation(bench.as_ref(), &serving_machine, base)?;
+                println!(
+                    "served {:<12} {}/{} completed at {:.0} rps offered, p99 {:.0}µs, {} shed",
+                    base.name, obs.completed, obs.admitted, obs.offered_rps, obs.p99_us, obs.shed,
+                );
+                serving_observations.push(obs);
+            }
+            verdict.checks.extend(gate::evaluate_serving(
+                &serving_baseline,
+                &serving_observations,
+            ));
+        }
+        Err(err) => eprintln!(
+            "warning: no serving baseline at {} ({err}); skipping serving-* checks",
+            args.serving_baseline_path,
         ),
     }
 

@@ -9,6 +9,7 @@
 
 use bamboo_lang::span::CompileError;
 use bamboo_runtime::{ExecError, PayloadTypeError};
+use bamboo_serving::{ServingError, ShedReason};
 use std::fmt;
 
 /// Any error the Bamboo pipeline can produce, from source compilation
@@ -44,6 +45,13 @@ pub enum Error {
         /// The core that was lost.
         core: usize,
     },
+    /// The serving layer refused a request at admission (token-bucket
+    /// rate limit or queue-depth shedding). A typed backpressure
+    /// signal: the server is healthy, the caller should back off.
+    Overloaded {
+        /// Which admission policy refused the request.
+        reason: ShedReason,
+    },
 }
 
 impl fmt::Display for Error {
@@ -58,6 +66,9 @@ impl fmt::Display for Error {
                     "core {core} was lost and its work could not be recovered"
                 )
             }
+            Error::Overloaded { reason } => {
+                write!(f, "request shed at admission ({reason})")
+            }
         }
     }
 }
@@ -68,7 +79,16 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Exec(e) => Some(e),
             Error::Payload(e) => Some(e),
-            Error::CoreLost { .. } => None,
+            Error::CoreLost { .. } | Error::Overloaded { .. } => None,
+        }
+    }
+}
+
+impl From<ServingError> for Error {
+    fn from(e: ServingError) -> Self {
+        match e {
+            ServingError::Overloaded { reason } => Error::Overloaded { reason },
+            ServingError::Exec(exec) => exec.into(),
         }
     }
 }
@@ -120,6 +140,25 @@ mod tests {
             err,
             Error::Exec(ExecError::MessageLost { msg: 9 })
         ));
+    }
+
+    #[test]
+    fn serving_overload_converts_typed() {
+        let err: Error = ServingError::Overloaded {
+            reason: ShedReason::RateLimit,
+        }
+        .into();
+        assert!(matches!(
+            err,
+            Error::Overloaded {
+                reason: ShedReason::RateLimit
+            }
+        ));
+        assert!(err.to_string().contains("rate limit"), "{err}");
+        assert!(err.source().is_none());
+        // A serving-wrapped core loss still surfaces as CoreLost.
+        let err: Error = ServingError::Exec(ExecError::CoreLost { core: 5 }).into();
+        assert!(matches!(err, Error::CoreLost { core: 5 }));
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub use bamboo_machine as machine;
 pub use bamboo_profile as profile;
 pub use bamboo_runtime as runtime;
 pub use bamboo_schedule as schedule;
+pub use bamboo_serving as serving;
 pub use bamboo_telemetry as telemetry;
 
 // The most commonly used items, re-exported flat.
@@ -90,13 +91,17 @@ pub use bamboo_lang::spec::{FlagExpr, FlagSet, ProgramSpec};
 pub use bamboo_machine::{CoreId, MachineDescription};
 pub use bamboo_profile::{Cycles, MarkovModel, Profile, ProfileCollector};
 pub use bamboo_runtime::{
-    body, CoreKill, CoreStall, CostModel, Deployment, ExecConfig, ExecError, FaultPlan, FaultSpec,
-    KillTarget, NativeBody, NativePayload, PayloadTypeError, Program, QuiescencePolicy,
-    RecoveryPolicy, RouterPolicy, RunOptions, RunReport, StealPolicy, ThreadedExecutor,
-    ThreadedReport, VirtualExecutor,
+    body, Completion, CoreKill, CoreStall, CostModel, Deployment, ExecConfig, ExecError, FaultPlan,
+    FaultSpec, KillTarget, NativeBody, NativePayload, PayloadTypeError, Program, QuiescencePolicy,
+    RecoveryPolicy, RequestLedger, ResidentRun, RouterPolicy, RunOptions, RunReport, StealPolicy,
+    ThreadedExecutor, ThreadedReport, VirtualExecutor,
 };
 pub use bamboo_schedule::{
     simulate, DsaOptions, ExecutionTrace, GroupGraph, Layout, Replication, SimOptions, SimResult,
     SynthesisOptions, SynthesisResult,
+};
+pub use bamboo_serving::{
+    AdmissionControl, ArrivalProcess, Bursty, ChannelIngress, IngressHandle, Pacing, Poisson,
+    Server, ServingError, ServingOptions, ServingReport, ShedReason, TokenBucket, Trace,
 };
 pub use bamboo_telemetry::{Telemetry, TelemetryReport, TimeUnit};

@@ -8,7 +8,8 @@
 //! [`ProgramBuilder`] + [`body`] for native programs) → profile →
 //! synthesize ([`SynthesisOptions`], [`MachineDescription`]) → deploy
 //! ([`Deployment`], [`RunOptions`]) → execute ([`VirtualExecutor`],
-//! [`ThreadedExecutor`]) → inspect ([`Telemetry`]), with [`Error`]
+//! [`ThreadedExecutor`]) → serve ([`Server`], [`ServingOptions`],
+//! arrival processes) → inspect ([`Telemetry`]), with [`Error`]
 //! threading the failures.
 
 pub use crate::error::Error;
@@ -22,4 +23,5 @@ pub use bamboo_runtime::{
     StealPolicy, ThreadedExecutor, VirtualExecutor,
 };
 pub use bamboo_schedule::{GroupGraph, Layout, SynthesisOptions, SynthesisResult};
+pub use bamboo_serving::{Bursty, Poisson, Server, ServingOptions};
 pub use bamboo_telemetry::Telemetry;

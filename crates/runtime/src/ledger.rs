@@ -1,0 +1,183 @@
+//! The request ledger: per-request outstanding-invocation refcounts.
+//!
+//! The threaded executor's quiescence protocol counts *global* activity
+//! (messages in flight + formed-but-incomplete invocations) in one
+//! transfer-ordered atomic. Serving mode needs the same signal per
+//! request: a resident deployment completes request 17 when *its*
+//! activity drains, regardless of what requests 18 and 19 are doing.
+//!
+//! The ledger mirrors every global activity increment/decrement into a
+//! per-request count, keyed by the request id stamped on each object
+//! and invocation. Because every unit of work inherits the request of
+//! the work that spawned it (request isolation: an invocation only
+//! combines objects of one request, and everything it releases or
+//! creates carries that request), the per-request count obeys the same
+//! transfer-ordered invariant as the global counter — every increment
+//! happens before the matching hand-off and every decrement after all
+//! follow-on work was counted — so a count reaching zero is a
+//! *definitive* completion signal, never a transient dip.
+//!
+//! Completions are pushed to an unbounded channel the driver (or the
+//! serving front-end) drains; each carries the request's executed
+//! invocation tally so per-request exactness can be cross-checked
+//! against the virtual executor's causal graph.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Stripes for the per-request count maps (request id modulo).
+const STRIPES: usize = 16;
+
+/// A request whose outstanding work drained to zero.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The completed request's id.
+    pub request: u64,
+    /// Task invocations the request executed (transitively, from its
+    /// root object to quiescence).
+    pub invocations: u64,
+    /// When the last unit of the request's activity was released.
+    pub completed_at: Instant,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    count: i64,
+    invocations: u64,
+}
+
+/// Striped per-request activity counts with a completion channel. See
+/// the module docs for the correctness argument.
+#[derive(Debug)]
+pub struct RequestLedger {
+    stripes: Vec<Mutex<HashMap<u64, Entry>>>,
+    open: AtomicUsize,
+    completions: Sender<Completion>,
+}
+
+impl RequestLedger {
+    /// Creates a ledger and the receiving end of its completion
+    /// channel.
+    pub fn new() -> (Self, Receiver<Completion>) {
+        let (tx, rx) = unbounded();
+        let ledger = RequestLedger {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            open: AtomicUsize::new(0),
+            completions: tx,
+        };
+        (ledger, rx)
+    }
+
+    fn stripe(&self, request: u64) -> &Mutex<HashMap<u64, Entry>> {
+        &self.stripes[(request % STRIPES as u64) as usize]
+    }
+
+    /// Counts one unit of activity against `request` (mirror of the
+    /// global `activity.fetch_add`). The first unit opens the request.
+    pub fn inc(&self, request: u64) {
+        let mut map = self.stripe(request).lock();
+        let entry = map.entry(request).or_default();
+        if entry.count == 0 {
+            self.open.fetch_add(1, Ordering::Relaxed);
+        }
+        entry.count += 1;
+    }
+
+    /// Charges one executed invocation to `request` (called while the
+    /// invocation's own activity unit is still held, so the entry is
+    /// guaranteed live).
+    pub fn charge_invocation(&self, request: u64) {
+        let mut map = self.stripe(request).lock();
+        if let Some(entry) = map.get_mut(&request) {
+            entry.invocations += 1;
+        }
+    }
+
+    /// Releases one unit of `request`'s activity (mirror of the global
+    /// `release_activity`). The release that drains the request removes
+    /// its entry, pushes a [`Completion`] on the channel, and returns
+    /// it so the caller can emit telemetry and sweep buffered objects.
+    pub fn dec(&self, request: u64) -> Option<Completion> {
+        let mut map = self.stripe(request).lock();
+        let entry = map.get_mut(&request)?;
+        entry.count -= 1;
+        if entry.count > 0 {
+            return None;
+        }
+        debug_assert_eq!(entry.count, 0, "request {request} over-released");
+        let invocations = entry.invocations;
+        map.remove(&request);
+        drop(map);
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        let completion = Completion {
+            request,
+            invocations,
+            completed_at: Instant::now(),
+        };
+        // Receiver gone (batch caller dropped it) is fine: the return
+        // value still drives events and sweeps.
+        let _ = self.completions.send(completion);
+        Some(completion)
+    }
+
+    /// Requests currently holding activity.
+    pub fn outstanding(&self) -> usize {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Whether no request holds activity (the no-leak invariant checked
+    /// after a drain).
+    pub fn is_empty(&self) -> bool {
+        self.outstanding() == 0 && self.stripes.iter().all(|s| s.lock().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_fires_exactly_at_zero() {
+        let (ledger, rx) = RequestLedger::new();
+        ledger.inc(7);
+        ledger.inc(7);
+        ledger.charge_invocation(7);
+        assert_eq!(ledger.outstanding(), 1);
+        assert!(ledger.dec(7).is_none());
+        assert!(rx.try_recv().is_err());
+        let done = ledger.dec(7).expect("second release drains");
+        assert_eq!(done.request, 7);
+        assert_eq!(done.invocations, 1);
+        assert_eq!(rx.try_recv().unwrap().request, 7);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn requests_are_independent() {
+        let (ledger, _rx) = RequestLedger::new();
+        ledger.inc(1);
+        ledger.inc(2);
+        assert_eq!(ledger.outstanding(), 2);
+        assert!(ledger.dec(1).is_some());
+        assert_eq!(ledger.outstanding(), 1);
+        assert!(!ledger.is_empty());
+        assert!(ledger.dec(2).is_some());
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn reopening_a_request_id_works() {
+        // Batch mode reuses the ledger across sequential requests; a
+        // drained id must be re-openable without residue.
+        let (ledger, rx) = RequestLedger::new();
+        ledger.inc(1);
+        ledger.charge_invocation(1);
+        assert_eq!(ledger.dec(1).unwrap().invocations, 1);
+        ledger.inc(1);
+        assert_eq!(ledger.dec(1).unwrap().invocations, 0);
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+}

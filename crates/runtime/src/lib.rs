@@ -23,6 +23,7 @@
 pub mod chaos;
 pub mod cost;
 pub mod deploy;
+pub mod ledger;
 pub mod program;
 pub mod router;
 pub mod store;
@@ -32,8 +33,9 @@ pub mod virtual_exec;
 pub use chaos::{CoreKill, CoreStall, FaultPlan, FaultSpec, KillTarget, RecoveryPolicy};
 pub use cost::CostModel;
 pub use deploy::{Deployment, QuiescencePolicy, RouterPolicy, RunOptions, StealPolicy};
+pub use ledger::{Completion, RequestLedger};
 pub use program::{body, NativeBody, NativePayload, Program, TaskCtx};
 pub use router::ShardedRouter;
 pub use store::{ObjId, ObjectStore, PayloadSlot, RtObject};
-pub use threaded::{PayloadTypeError, ThreadedExecutor, ThreadedReport};
+pub use threaded::{PayloadTypeError, ResidentRun, ThreadedExecutor, ThreadedReport};
 pub use virtual_exec::{ExecConfig, ExecError, RunReport, VirtualExecutor};

@@ -31,6 +31,7 @@
 use crate::chaos::FaultPlan;
 use crate::cost::CostModel;
 use crate::deploy::{Deployment, QuiescencePolicy, RunOptions, StealPolicy};
+use crate::ledger::{Completion, RequestLedger};
 use crate::program::{NativePayload, Program, TaskCtx};
 use crate::router::ShardedRouter;
 use bamboo_analysis::{DisjointnessAnalysis, UnionFind};
@@ -68,6 +69,12 @@ struct TObject {
     msg: u64,
     /// Core that performed that send ([`NO_ID`] for the driver).
     src_core: u64,
+    /// The serving request this object belongs to. Every object
+    /// descends from exactly one injected root object and inherits its
+    /// request id through release, creation, forwarding, and stealing
+    /// (request isolation — see `form_all`). Batch runs use a single
+    /// request for the whole run.
+    request: u64,
 }
 
 enum Message {
@@ -75,6 +82,10 @@ enum Message {
     /// Wakes a blocked worker so it re-checks its run queue and its
     /// steal peers. Carries no activity.
     Poke,
+    /// A request completed: evict its leftover buffered objects to the
+    /// graveyard. Safe because a request's ledger count reaching zero
+    /// is final — no new work for it can appear. Carries no activity.
+    Sweep(u64),
     Shutdown,
 }
 
@@ -93,8 +104,16 @@ impl LockTable {
     }
 
     fn fresh(&self) -> usize {
-        let id = self.uf.lock().push();
+        // Both pushes happen under the union-find lock: two interleaved
+        // allocations would otherwise let the second caller return an id
+        // whose mutex slot is not pushed yet, and a concurrent
+        // `try_lock_all` on that id would index past the table. (Safe
+        // lock order: `try_lock_all` never holds `uf` while taking
+        // `mutexes`.)
+        let mut uf = self.uf.lock();
+        let id = uf.push();
         self.mutexes.lock().push(Arc::new(Mutex::new(())));
+        drop(uf);
         id
     }
 
@@ -145,6 +164,14 @@ struct Shared {
     /// `activity` to zero notifies under the lock (no lost wakeups).
     quiesce: StdMutex<()>,
     quiesce_cv: Condvar,
+    /// Per-request mirror of `activity`: outstanding-invocation
+    /// refcounts keyed by request id, so a resident deployment detects
+    /// each request's completion without waiting for global quiescence.
+    ledger: RequestLedger,
+    /// Whether a completed request's leftover buffered objects are
+    /// swept to the graveyard (resident mode; batch runs keep the
+    /// legacy drain-at-shutdown semantics).
+    sweep_on_complete: bool,
     invocations: AtomicU64,
     body_cycles: AtomicU64,
     next_tag: AtomicU64,
@@ -155,6 +182,11 @@ struct Shared {
     next_msg: AtomicU64,
     steal_tally: AtomicU64,
     retry_tally: AtomicU64,
+    /// Run-queue overflow sheds: invocations that entered `enqueue_ready`
+    /// past the owner's soft queue bound and were handed to the
+    /// least-loaded live same-group core. Mirrors the `router.shed`
+    /// counter.
+    shed_tally: AtomicU64,
     senders: Vec<Sender<Message>>,
     /// Per-core run queues of formed invocations (bounded softly by
     /// `queue_cap`; owners push/pop the front, thieves take the back).
@@ -192,6 +224,7 @@ struct Shared {
     lock_retries: Counter,
     bytes_sent: Counter,
     steals: Counter,
+    shed_counter: Counter,
     fault_counter: Counter,
     recover_counter: Counter,
 }
@@ -232,6 +265,7 @@ impl Shared {
         let msg = self.next_msg.fetch_add(1, Ordering::Relaxed) + 1;
         obj.msg = msg;
         obj.src_core = src;
+        let request = obj.request;
         // Simulated wire faults apply to worker sends only; the driver's
         // startup injection is exempt so every run has work to lose.
         if src != NO_ID {
@@ -293,6 +327,7 @@ impl Shared {
             }
         }
         self.activity.fetch_add(1, Ordering::SeqCst);
+        self.ledger.inc(request);
         match self.senders[core].send(Message::Deliver(obj)) {
             Ok(()) => self.bytes_sent.add(OBJ_BYTES_ESTIMATE),
             Err(returned) => {
@@ -304,7 +339,7 @@ impl Shared {
                 if let Message::Deliver(obj) = returned.into_inner() {
                     let _ = self.graveyard.send(obj);
                 }
-                self.release_activity();
+                self.release_activity(request, sink);
             }
         }
         (core, msg)
@@ -341,9 +376,20 @@ impl Shared {
         self.failure.lock().expect("failure mutex").is_some()
     }
 
-    /// Releases one unit of activity; the release that reaches zero
-    /// wakes the quiescence waiter.
-    fn release_activity(&self) {
+    /// Releases one unit of activity for `request`; mirrors the global
+    /// decrement into the request ledger. The release that drains a
+    /// request records its completion event (and broadcasts a sweep in
+    /// resident mode); the release that reaches global zero wakes the
+    /// quiescence waiter.
+    fn release_activity(&self, request: u64, sink: &mut WorkerSink) {
+        if let Some(done) = self.ledger.dec(request) {
+            sink.req_complete(sink.now(), done.request, done.invocations);
+            if self.sweep_on_complete {
+                for tx in &self.senders {
+                    let _ = tx.send(Message::Sweep(request));
+                }
+            }
+        }
         if self.activity.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _guard = self.quiesce.lock().expect("quiescence mutex");
             self.quiesce_cv.notify_all();
@@ -392,7 +438,10 @@ impl Shared {
         drop(queue);
         // Shed: the owner's queue is full; hand the invocation to the
         // least-loaded *live* same-group core (never holding two queue
-        // locks).
+        // locks). Counted in `router.shed` so overload is visible
+        // instead of silently rebalanced.
+        self.shed_tally.fetch_add(1, Ordering::Relaxed);
+        self.shed_counter.inc();
         let target = self.group_cores[group]
             .iter()
             .copied()
@@ -485,6 +534,10 @@ pub struct ThreadedReport {
     /// `threaded.router_contention` counter (reported here even when
     /// telemetry is disabled).
     pub router_contention: u64,
+    /// Invocations shed off their forming core's full run queue to a
+    /// same-group peer (`enqueue_ready`'s overflow path). Zero in any
+    /// clean under-capacity run. Mirrors the `router.shed` counter.
+    pub router_shed: u64,
     /// Final objects' class and payload, for result extraction.
     pub finished: Vec<(ClassId, NativePayload)>,
     /// Wall-clock duration of the run.
@@ -580,8 +633,45 @@ impl ThreadedExecutor {
     pub fn run(
         &self,
         deployment: &Deployment,
-        options: RunOptions,
+        mut options: RunOptions,
     ) -> Result<ThreadedReport, ExecError> {
+        let payload = options.startup.take().unwrap_or_else(|| Box::new(()));
+        // Batch mode: one request for the whole run, no sweeping —
+        // leftover buffered objects drain at shutdown exactly as
+        // before the request-ledger refactor.
+        let mut run = self.start_with(deployment, options, false)?;
+        run.inject(payload);
+        run.shutdown()
+    }
+
+    /// Starts `deployment` resident: workers spawn and wait for work,
+    /// and the returned [`ResidentRun`] injects root objects on demand
+    /// ([`ResidentRun::inject`]), each as its own *request* whose
+    /// completion is detected individually through the request ledger
+    /// (see [`crate::ledger::RequestLedger`]) instead of by global
+    /// quiescence. Completed requests have their leftover buffered
+    /// objects swept to the result graveyard immediately, so a
+    /// long-running server's parameter sets do not accumulate garbage.
+    ///
+    /// `options.startup` is ignored — payloads arrive per injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NativeOnly`] for interpreted programs.
+    pub fn start(
+        &self,
+        deployment: &Deployment,
+        options: RunOptions,
+    ) -> Result<ResidentRun, ExecError> {
+        self.start_with(deployment, options, true)
+    }
+
+    fn start_with(
+        &self,
+        deployment: &Deployment,
+        options: RunOptions,
+        sweep_on_complete: bool,
+    ) -> Result<ResidentRun, ExecError> {
         let Deployment {
             program,
             graph,
@@ -636,6 +726,7 @@ impl ThreadedExecutor {
             .faults
             .as_ref()
             .map(|fspec| FaultPlan::compile(fspec, &group_cores, &hosted));
+        let (ledger, completions) = RequestLedger::new();
         let shared = Arc::new(Shared {
             program: program.clone(),
             graph: graph.clone(),
@@ -650,6 +741,8 @@ impl ThreadedExecutor {
             activity: AtomicI64::new(0),
             quiesce: StdMutex::new(()),
             quiesce_cv: Condvar::new(),
+            ledger,
+            sweep_on_complete,
             invocations: AtomicU64::new(0),
             body_cycles: AtomicU64::new(0),
             next_tag: AtomicU64::new(0),
@@ -657,6 +750,7 @@ impl ThreadedExecutor {
             next_msg: AtomicU64::new(0),
             steal_tally: AtomicU64::new(0),
             retry_tally: AtomicU64::new(0),
+            shed_tally: AtomicU64::new(0),
             senders,
             ready: (0..core_count)
                 .map(|_| Mutex::new(VecDeque::new()))
@@ -677,29 +771,10 @@ impl ThreadedExecutor {
             lock_retries: telemetry.counter("threaded.lock_retries"),
             bytes_sent: telemetry.counter("threaded.bytes_sent"),
             steals: telemetry.counter("threaded.steals"),
+            shed_counter: telemetry.counter("router.shed"),
             fault_counter: telemetry.counter("chaos.faults"),
             recover_counter: telemetry.counter("chaos.recoveries"),
         });
-
-        // Inject the startup object.
-        let spec = shared.spec().clone();
-        let startup_obj = Box::new(TObject {
-            class: spec.startup.class,
-            flags: FlagSet::new().with(spec.startup.flag, true),
-            tags: Vec::new(),
-            payload: options.startup.unwrap_or_else(|| Box::new(())),
-            lock: shared.lock_table.fresh(),
-            producer: NO_ID,
-            msg: NO_ID,
-            src_core: NO_ID,
-        });
-        let startup_inst = layout.instances_of(graph.startup_group)[0];
-        shared.send(
-            NO_ID,
-            startup_inst,
-            startup_obj,
-            &mut WorkerSink::disabled(),
-        );
 
         // Spawn workers.
         let mut handles = Vec::with_capacity(core_count);
@@ -708,9 +783,164 @@ impl ThreadedExecutor {
             handles.push(std::thread::spawn(move || worker_loop(core, rx, shared)));
         }
 
-        // Wait for quiescence — or for the first unrecoverable fault,
-        // which wakes the same condvar so a lost core can't hang the run.
-        match options.quiescence {
+        // In resident mode the driver records its ingress events
+        // (admissions, injections) on a pseudo-core one past the last
+        // worker. Batch mode keeps the pre-ledger telemetry shape: the
+        // single startup injection is not an ingress event, so the
+        // per-core ledger still partitions over exactly the worker
+        // cores.
+        let driver_sink = if sweep_on_complete {
+            telemetry.worker(core_count)
+        } else {
+            WorkerSink::disabled()
+        };
+        Ok(ResidentRun {
+            shared,
+            handles,
+            grave_rx,
+            completions,
+            driver_sink,
+            next_request: 1,
+            quiescence: options.quiescence,
+            quiescence_settle: options.quiescence_settle,
+            start,
+        })
+    }
+}
+
+/// A resident threaded deployment: workers are live and waiting; root
+/// objects are injected per request and completions surface through
+/// [`ResidentRun::try_completions`]. Obtained from
+/// [`ThreadedExecutor::start`]; consumed by [`ResidentRun::shutdown`].
+pub struct ResidentRun {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    grave_rx: Receiver<Box<TObject>>,
+    completions: Receiver<Completion>,
+    driver_sink: WorkerSink,
+    next_request: u64,
+    quiescence: QuiescencePolicy,
+    quiescence_settle: Duration,
+    start: std::time::Instant,
+}
+
+impl ResidentRun {
+    /// Number of worker cores.
+    pub fn core_count(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// The request id the next injection will receive (ids start at 1
+    /// and increase by injection order). The serving front-end peeks
+    /// this to stamp arrival events with the id an arrival will get if
+    /// admitted.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request
+    }
+
+    /// Injects one root object as a fresh request and returns its
+    /// request id (ids start at 1 and increase by injection order).
+    pub fn inject(&mut self, payload: NativePayload) -> u64 {
+        self.inject_batch(vec![payload])[0]
+    }
+
+    /// Injects a micro-batch of root objects — one request each, all
+    /// stamped with the same batch size — and returns their request
+    /// ids. Requests round-robin across the startup group's instances
+    /// (request 1 lands on instance 0, matching batch mode).
+    pub fn inject_batch(&mut self, payloads: Vec<NativePayload>) -> Vec<u64> {
+        let batch = payloads.len() as u64;
+        let spec = self.shared.spec().clone();
+        let instances = self
+            .shared
+            .layout
+            .instances_of(self.shared.graph.startup_group)
+            .to_vec();
+        let mut ids = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let request = self.next_request;
+            self.next_request += 1;
+            let obj = Box::new(TObject {
+                class: spec.startup.class,
+                flags: FlagSet::new().with(spec.startup.flag, true),
+                tags: Vec::new(),
+                payload,
+                lock: self.shared.lock_table.fresh(),
+                producer: NO_ID,
+                msg: NO_ID,
+                src_core: NO_ID,
+                request,
+            });
+            let inst = instances[((request - 1) as usize) % instances.len()];
+            let ts = self.driver_sink.now();
+            self.driver_sink.req_admit(ts, request, batch);
+            let (dest_core, msg) = self.shared.send(NO_ID, inst, obj, &mut self.driver_sink);
+            self.driver_sink
+                .obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
+            ids.push(request);
+        }
+        ids
+    }
+
+    /// Drains every completion detected so far without blocking.
+    pub fn try_completions(&mut self) -> Vec<Completion> {
+        self.completions.try_iter().collect()
+    }
+
+    /// Waits up to `timeout` for the next completion.
+    pub fn next_completion(&mut self, timeout: Duration) -> Option<Completion> {
+        self.completions.recv_timeout(timeout).ok()
+    }
+
+    /// Requests currently holding outstanding work.
+    pub fn outstanding(&self) -> usize {
+        self.shared.ledger.outstanding()
+    }
+
+    /// Whether the request ledger is fully drained (the no-leak
+    /// invariant: nothing outstanding, no residual entries).
+    pub fn ledger_is_empty(&self) -> bool {
+        self.shared.ledger.is_empty()
+    }
+
+    /// The deepest ingress backlog across the startup group's host
+    /// cores: pending channel messages plus ready-queue length. The
+    /// admission layer sheds against this depth.
+    pub fn ingress_depth(&self) -> usize {
+        let group = self.shared.graph.startup_group.index();
+        self.shared.group_cores[group]
+            .iter()
+            .map(|&c| self.shared.senders[c].len() + self.shared.ready[c].lock().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The configured soft bound on each worker's run queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_cap
+    }
+
+    /// The first unrecoverable fault, if one has been recorded.
+    pub fn failure(&self) -> Option<ExecError> {
+        self.shared.failure.lock().expect("failure mutex").clone()
+    }
+
+    /// Records a serving-layer event (arrival, shed) into the driver's
+    /// pseudo-core sink; the serving front-end uses this so its events
+    /// interleave with the executor's in one ring.
+    pub fn driver_sink(&mut self) -> &mut WorkerSink {
+        &mut self.driver_sink
+    }
+
+    /// Blocks until global activity drains (all injected requests
+    /// complete) or an unrecoverable fault fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns the run's first unrecoverable fault.
+    pub fn drain(&mut self) -> Result<(), ExecError> {
+        let shared = &self.shared;
+        match self.quiescence {
             QuiescencePolicy::EventDriven => {
                 let mut guard = shared.quiesce.lock().expect("quiescence mutex");
                 while shared.activity.load(Ordering::SeqCst) != 0 && !shared.failed() {
@@ -734,30 +964,47 @@ impl ThreadedExecutor {
                 }
             },
         }
-        if !options.quiescence_settle.is_zero() && !shared.failed() {
+        if !self.quiescence_settle.is_zero() && !shared.failed() {
             // Optional paranoia window: activity is transfer-ordered so
             // zero is already final, but a caller may ask for a settle
             // confirmation anyway.
             loop {
-                std::thread::sleep(options.quiescence_settle);
+                std::thread::sleep(self.quiescence_settle);
                 if shared.activity.load(Ordering::SeqCst) == 0 || shared.failed() {
                     break;
                 }
             }
         }
+        match self.failure() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Drains outstanding work, stops the workers, and builds the final
+    /// report (finished objects include everything swept or left
+    /// buffered).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the run's first unrecoverable fault, matching batch
+    /// `run` semantics.
+    pub fn shutdown(mut self) -> Result<ThreadedReport, ExecError> {
+        let drained = self.drain();
+        let shared = &self.shared;
         for tx in &shared.senders {
             let _ = tx.send(Message::Shutdown);
         }
-        for handle in handles {
+        for handle in self.handles.drain(..) {
             handle.join().expect("worker thread panicked");
         }
-
-        if let Some(err) = shared.failure.lock().expect("failure mutex").take() {
-            return Err(err);
-        }
+        // Submit the driver's ring before the caller snapshots the
+        // telemetry session.
+        self.driver_sink = WorkerSink::disabled();
+        drained?;
 
         let mut finished = Vec::new();
-        while let Ok(obj) = grave_rx.try_recv() {
+        while let Ok(obj) = self.grave_rx.try_recv() {
             finished.push((obj.class, obj.payload));
         }
         Ok(ThreadedReport {
@@ -766,8 +1013,9 @@ impl ThreadedExecutor {
             steals: shared.steal_tally.load(Ordering::SeqCst),
             lock_retries: shared.retry_tally.load(Ordering::SeqCst),
             router_contention: shared.router.contention_count(),
+            router_shed: shared.shed_tally.load(Ordering::SeqCst),
             finished,
-            wall: start.elapsed(),
+            wall: self.start.elapsed(),
             faults_injected: shared.faults_injected.load(Ordering::SeqCst),
             recovery_actions: shared.recovery_tally.load(Ordering::SeqCst),
             fault_schedule: shared.chaos.as_ref().map(|p| p.schedule().to_string()),
@@ -793,6 +1041,9 @@ struct PendingInv {
     tag_env: Vec<Option<TagInstance>>,
     /// Failed try-lock-all attempts this invocation has survived.
     retries: u64,
+    /// The request all parameter objects belong to (request isolation:
+    /// `form_all` never mixes requests in one invocation).
+    request: u64,
 }
 
 fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
@@ -837,6 +1088,10 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
                 continue;
             }
             Ok(Message::Poke) => {}
+            Ok(Message::Sweep(request)) => {
+                sweep_sets(shared.as_ref(), &mut sets, request);
+                continue;
+            }
             Ok(Message::Shutdown) => break,
             Err(_) => {}
         }
@@ -885,6 +1140,7 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
                         );
                     }
                     Message::Poke => {}
+                    Message::Sweep(request) => sweep_sets(shared.as_ref(), &mut sets, request),
                     Message::Shutdown => break 'outer,
                 }
             }
@@ -897,6 +1153,26 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
             while let Some(obj) = set.pop_front() {
                 let _ = shared.graveyard.send(obj);
             }
+        }
+    }
+}
+
+/// Evicts every buffered object of a completed request to the
+/// graveyard. Safe because the request's ledger count reaching zero is
+/// final: no invocation of that request can form afterwards, so the
+/// leftovers are exactly the run's finished objects for that request.
+fn sweep_sets(shared: &Shared, sets: &mut [Vec<VecDeque<Box<TObject>>>], request: u64) {
+    for inst_sets in sets.iter_mut() {
+        for set in inst_sets.iter_mut() {
+            let mut kept = VecDeque::with_capacity(set.len());
+            while let Some(obj) = set.pop_front() {
+                if obj.request == request {
+                    let _ = shared.graveyard.send(obj);
+                } else {
+                    kept.push_back(obj);
+                }
+            }
+            *set = kept;
         }
     }
 }
@@ -994,10 +1270,14 @@ fn die_and_forward(
                 // Late arrival: re-route it (activity stays
                 // transfer-ordered — the re-send is counted before this
                 // message's unit is released).
+                let request = obj.request;
                 forward_obj(core, shared, spec, instances, slots, obj, sink);
-                shared.release_activity();
+                shared.release_activity(request, sink);
             }
             Ok(Message::Poke) => {}
+            // This core's sets were already drained in the failover;
+            // nothing left to sweep here.
+            Ok(Message::Sweep(_)) => {}
             Ok(Message::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {
                 if shared.ready[core].lock().is_empty() && !shared.failed() {
@@ -1082,9 +1362,10 @@ fn on_deliver(
         let ready = shared.ready[core].lock().len() as u64;
         sink.queue_depth(ts, shared.senders[core].len() as u64, ready);
     }
+    let request = obj.request;
     deliver(core, shared, spec, instances, slots, sets, obj, sink);
     form_all(core, shared, spec, instances, slots, sets, sink);
-    shared.release_activity();
+    shared.release_activity(request, sink);
 }
 
 /// Pops, locks, and executes one invocation; on lock failure the
@@ -1215,62 +1496,36 @@ fn form_all(
             'again: loop {
                 let tspec = spec.task(task);
                 let n = tspec.params.len();
-                let mut tag_env: Vec<Option<TagInstance>> = vec![None; tspec.tag_vars.len()];
-                let mut picks: Vec<(usize, usize)> = Vec::new(); // (slot, idx)
-                for p in 0..n {
-                    let slot = slots[i]
-                        .iter()
-                        .position(|(t, pi)| *t == task && pi.index() == p)
-                        .expect("slot exists");
-                    let pspec = &tspec.params[p];
-                    let mut found = None;
-                    for (idx, cand) in sets[i][slot].iter().enumerate() {
-                        if picks.contains(&(slot, idx)) {
-                            continue;
-                        }
-                        if !pspec.guard.eval(cand.flags) {
-                            continue;
-                        }
-                        let mut ok = true;
-                        let mut updates = Vec::new();
-                        for tc in &pspec.tags {
-                            let bound = updates
-                                .iter()
-                                .find(|(v, _)| *v == tc.var.index())
-                                .map(|(_, inst)| *inst)
-                                .or(tag_env[tc.var.index()]);
-                            match bound {
-                                Some(instn) => {
-                                    if !cand.tags.contains(&(tc.tag_type, instn)) {
-                                        ok = false;
-                                        break;
-                                    }
-                                }
-                                None => match cand.tags.iter().find(|(tt, _)| *tt == tc.tag_type) {
-                                    Some((_, instn)) => updates.push((tc.var.index(), *instn)),
-                                    None => {
-                                        ok = false;
-                                        break;
-                                    }
-                                },
-                            }
-                        }
-                        if ok {
-                            for (v, instn) in updates {
-                                tag_env[v] = Some(instn);
-                            }
-                            found = Some((slot, idx));
-                            break;
-                        }
-                    }
-                    match found {
-                        Some(pick) => picks.push(pick),
-                        None => break 'again,
-                    }
-                }
-                if picks.is_empty() {
+                if n == 0 {
                     break;
                 }
+                // Request isolation: an invocation only combines
+                // objects of one request. Try each distinct request
+                // present in the first parameter's slot (FIFO order, so
+                // older requests are not starved by newer arrivals)
+                // until one can complete a full parameter pick. A
+                // single-request (batch) run degenerates to exactly the
+                // pre-ledger formation order.
+                let slot0 = slots[i]
+                    .iter()
+                    .position(|(t, pi)| *t == task && pi.index() == 0)
+                    .expect("slot exists");
+                let mut tried: Vec<u64> = Vec::new();
+                let mut formed = None;
+                for idx0 in 0..sets[i][slot0].len() {
+                    let request = sets[i][slot0][idx0].request;
+                    if tried.contains(&request) {
+                        continue;
+                    }
+                    tried.push(request);
+                    if let Some((picks, tag_env)) = try_form(spec, task, i, slots, sets, request) {
+                        formed = Some((picks, tag_env, request));
+                        break;
+                    }
+                }
+                let Some((picks, tag_env, request)) = formed else {
+                    break 'again;
+                };
                 // Extract picked objects; each param has its own slot, so
                 // earlier removals do not shift later picks.
                 let mut objs = Vec::with_capacity(n);
@@ -1293,6 +1548,7 @@ fn form_all(
                 // Count the invocation's activity *before* it becomes
                 // visible to this core's queue (and to thieves).
                 shared.activity.fetch_add(1, Ordering::SeqCst);
+                shared.ledger.inc(request);
                 shared.enqueue_ready(
                     core,
                     PendingInv {
@@ -1302,11 +1558,92 @@ fn form_all(
                         objs,
                         tag_env,
                         retries: 0,
+                        request,
                     },
                 );
             }
         }
     }
+}
+
+/// A completed parameter-set pick: the `(slot, idx)` positions of the
+/// chosen objects plus the tag environment they bound.
+type FormedSet = (Vec<(usize, usize)>, Vec<Option<TagInstance>>);
+
+/// Attempts to pick one object per parameter of `task` at instance
+/// index `i`, restricted to objects of `request`. Returns the picked
+/// `(slot, idx)` positions and the bound tag environment, or `None`
+/// when the request cannot complete a full parameter set yet.
+fn try_form(
+    spec: &ProgramSpec,
+    task: TaskId,
+    i: usize,
+    slots: &[Vec<(TaskId, ParamIdx)>],
+    sets: &[Vec<VecDeque<Box<TObject>>>],
+    request: u64,
+) -> Option<FormedSet> {
+    let tspec = spec.task(task);
+    let n = tspec.params.len();
+    let mut tag_env: Vec<Option<TagInstance>> = vec![None; tspec.tag_vars.len()];
+    let mut picks: Vec<(usize, usize)> = Vec::new(); // (slot, idx)
+    for p in 0..n {
+        let slot = slots[i]
+            .iter()
+            .position(|(t, pi)| *t == task && pi.index() == p)
+            .expect("slot exists");
+        let pspec = &tspec.params[p];
+        let mut found = None;
+        for (idx, cand) in sets[i][slot].iter().enumerate() {
+            if picks.contains(&(slot, idx)) {
+                continue;
+            }
+            if cand.request != request {
+                continue;
+            }
+            if !pspec.guard.eval(cand.flags) {
+                continue;
+            }
+            let mut ok = true;
+            let mut updates = Vec::new();
+            for tc in &pspec.tags {
+                let bound = updates
+                    .iter()
+                    .find(|(v, _)| *v == tc.var.index())
+                    .map(|(_, inst)| *inst)
+                    .or(tag_env[tc.var.index()]);
+                match bound {
+                    Some(instn) => {
+                        if !cand.tags.contains(&(tc.tag_type, instn)) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => match cand.tags.iter().find(|(tt, _)| *tt == tc.tag_type) {
+                        Some((_, instn)) => updates.push((tc.var.index(), *instn)),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if ok {
+                for (v, instn) in updates {
+                    tag_env[v] = Some(instn);
+                }
+                found = Some((slot, idx));
+                break;
+            }
+        }
+        match found {
+            Some(pick) => picks.push(pick),
+            None => return None,
+        }
+    }
+    if picks.is_empty() {
+        return None;
+    }
+    Some((picks, tag_env))
 }
 
 fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut WorkerSink) {
@@ -1346,6 +1683,7 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
     }
     shared.body_cycles.fetch_add(charged, Ordering::Relaxed);
     shared.invocations.fetch_add(1, Ordering::Relaxed);
+    shared.ledger.charge_invocation(inv.request);
     shared.dispatches.inc();
 
     // Shared-lock directive.
@@ -1447,6 +1785,7 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
             producer: inv.id,
             msg: NO_ID,
             src_core: NO_ID,
+            request: inv.request,
         });
         let ts = sink.now();
         let (dest_core, msg) = shared.send(home_core as u64, dest, obj, sink);
@@ -1460,7 +1799,7 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
         inv.instance.index() as u64,
         inv.id,
     );
-    shared.release_activity();
+    shared.release_activity(inv.request, sink);
 }
 
 #[cfg(test)]

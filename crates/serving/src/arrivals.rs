@@ -1,0 +1,315 @@
+//! Open-loop arrival processes.
+//!
+//! An [`ArrivalProcess`] yields inter-arrival gaps: the server advances
+//! its clock by each gap and injects (or sheds) one request, never
+//! waiting for completions — the defining property of open-loop load,
+//! which is what makes overload *visible* (a closed loop self-throttles
+//! and can never drive the system past saturation).
+//!
+//! All processes are seeded and deterministic: the same seed yields the
+//! same arrival sequence, so serving runs are replayable end to end.
+
+use std::time::Duration;
+
+/// A source of inter-arrival gaps.
+pub trait ArrivalProcess {
+    /// The gap between the previous arrival and the next one.
+    fn next_gap(&mut self) -> Duration;
+
+    /// The telemetry source tag recorded on each `req_arrive` event
+    /// ([`bamboo_telemetry::event::arrival_source`]).
+    fn source_tag(&self) -> u64;
+}
+
+/// splitmix64 — the same tiny generator the runtime's chaos layer uses
+/// for deterministic derivation; good enough statistical quality for
+/// arrival sampling and dependency-free.
+#[derive(Clone, Copy, Debug)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in the open interval (0, 1].
+    fn next_unit(&mut self) -> f64 {
+        // 53 random bits; +1 keeps ln() away from zero.
+        ((self.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+    }
+
+    /// An exponential draw with the given rate (events per second),
+    /// as a duration.
+    fn next_exp(&mut self, rate_per_sec: f64) -> Duration {
+        let gap_secs = -self.next_unit().ln() / rate_per_sec;
+        Duration::from_nanos((gap_secs * 1e9) as u64)
+    }
+}
+
+/// A Poisson process: exponentially distributed inter-arrival gaps at a
+/// constant rate.
+#[derive(Clone, Debug)]
+pub struct Poisson {
+    rate_per_sec: f64,
+    rng: SplitMix,
+}
+
+impl Poisson {
+    /// A Poisson process at `rate_per_sec` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rate is not strictly positive.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        Poisson {
+            rate_per_sec,
+            rng: SplitMix::new(seed),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap(&mut self) -> Duration {
+        self.rng.next_exp(self.rate_per_sec)
+    }
+
+    fn source_tag(&self) -> u64 {
+        bamboo_telemetry::event::arrival_source::POISSON
+    }
+}
+
+/// A two-state Markov-modulated Poisson process: the process alternates
+/// between a *calm* and a *burst* state, each with its own Poisson
+/// rate; after every arrival it switches state with the configured
+/// probability. The classic minimal model of bursty traffic.
+#[derive(Clone, Debug)]
+pub struct Bursty {
+    calm_rate: f64,
+    burst_rate: f64,
+    switch_prob: f64,
+    bursting: bool,
+    rng: SplitMix,
+}
+
+impl Bursty {
+    /// A bursty process alternating between `calm_rate` and
+    /// `burst_rate` arrivals per second, switching state after each
+    /// arrival with probability `switch_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is not strictly positive or the switch
+    /// probability is outside (0, 1].
+    pub fn new(calm_rate: f64, burst_rate: f64, switch_prob: f64, seed: u64) -> Self {
+        assert!(
+            calm_rate > 0.0 && burst_rate > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            switch_prob > 0.0 && switch_prob <= 1.0,
+            "switch probability must be in (0, 1]"
+        );
+        Bursty {
+            calm_rate,
+            burst_rate,
+            switch_prob,
+            bursting: false,
+            rng: SplitMix::new(seed),
+        }
+    }
+
+    /// The long-run mean rate (states are symmetric under a constant
+    /// switch probability, so each is occupied half the time).
+    pub fn mean_rate(&self) -> f64 {
+        (self.calm_rate + self.burst_rate) / 2.0
+    }
+}
+
+impl ArrivalProcess for Bursty {
+    fn next_gap(&mut self) -> Duration {
+        let rate = if self.bursting {
+            self.burst_rate
+        } else {
+            self.calm_rate
+        };
+        let gap = self.rng.next_exp(rate);
+        if self.rng.next_unit() <= self.switch_prob {
+            self.bursting = !self.bursting;
+        }
+        gap
+    }
+
+    fn source_tag(&self) -> u64 {
+        bamboo_telemetry::event::arrival_source::BURSTY
+    }
+}
+
+/// Replays a recorded gap sequence, cycling when it runs out — the
+/// trace-replay arrival source. [`Trace::diurnal`] builds the classic
+/// day-curve shape synthetically.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    gaps: Vec<Duration>,
+    next: usize,
+}
+
+impl Trace {
+    /// Replays `gaps` in order, cycling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn replay(gaps: Vec<Duration>) -> Self {
+        assert!(!gaps.is_empty(), "trace must contain at least one gap");
+        Trace { gaps, next: 0 }
+    }
+
+    /// A synthetic diurnal trace: `len` seeded Poisson gaps whose rate
+    /// follows one sinusoidal day cycle between `trough_rate` and
+    /// `peak_rate` arrivals per second (a scaled stand-in for replaying
+    /// a production day).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero or a rate is not strictly positive.
+    pub fn diurnal(trough_rate: f64, peak_rate: f64, len: usize, seed: u64) -> Self {
+        assert!(len > 0, "trace must contain at least one gap");
+        assert!(
+            trough_rate > 0.0 && peak_rate > 0.0,
+            "rates must be positive"
+        );
+        let mut rng = SplitMix::new(seed);
+        let mid = (peak_rate + trough_rate) / 2.0;
+        let amp = (peak_rate - trough_rate) / 2.0;
+        let gaps = (0..len)
+            .map(|i| {
+                let phase = i as f64 / len as f64 * std::f64::consts::TAU;
+                // Peak mid-trace: -cos starts at the trough.
+                let rate = mid - amp * phase.cos();
+                rng.next_exp(rate)
+            })
+            .collect();
+        Trace { gaps, next: 0 }
+    }
+
+    /// Number of gaps before the trace cycles.
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Whether the trace is empty (never true — construction forbids
+    /// it; provided for `len` convention).
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+}
+
+impl ArrivalProcess for Trace {
+    fn next_gap(&mut self) -> Duration {
+        let gap = self.gaps[self.next];
+        self.next = (self.next + 1) % self.gaps.len();
+        gap
+    }
+
+    fn source_tag(&self) -> u64 {
+        bamboo_telemetry::event::arrival_source::TRACE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap(process: &mut dyn ArrivalProcess, n: usize) -> f64 {
+        (0..n)
+            .map(|_| process.next_gap().as_secs_f64())
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut p = Poisson::new(1000.0, 7);
+        let mean = mean_gap(&mut p, 20_000);
+        // 1/rate = 1ms; the sample mean of 20k exponentials is within
+        // a few percent with overwhelming probability.
+        assert!((0.0009..0.0011).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Poisson::new(500.0, 42);
+        let mut b = Poisson::new(500.0, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+        let mut a = Bursty::new(100.0, 2000.0, 0.1, 42);
+        let mut b = Bursty::new(100.0, 2000.0, 0.1, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+    }
+
+    #[test]
+    fn bursty_mixes_two_rates() {
+        let mut p = Bursty::new(10.0, 10_000.0, 0.2, 3);
+        let gaps: Vec<f64> = (0..5_000).map(|_| p.next_gap().as_secs_f64()).collect();
+        let short = gaps.iter().filter(|g| **g < 0.001).count();
+        let long = gaps.iter().filter(|g| **g > 0.01).count();
+        assert!(short > 500, "burst-state gaps present ({short})");
+        assert!(long > 500, "calm-state gaps present ({long})");
+    }
+
+    #[test]
+    fn trace_replays_and_cycles() {
+        let mut t = Trace::replay(vec![Duration::from_millis(1), Duration::from_millis(2)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.next_gap(), Duration::from_millis(1));
+        assert_eq!(t.next_gap(), Duration::from_millis(2));
+        assert_eq!(t.next_gap(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn diurnal_trace_peaks_mid_cycle() {
+        let t = Trace::diurnal(10.0, 1000.0, 10_000, 9);
+        // Mean gap over the middle fifth (peak) vs the first fifth
+        // (trough): peak gaps must be much shorter.
+        let fifth = t.gaps.len() / 5;
+        let trough: f64 = t.gaps[..fifth].iter().map(|g| g.as_secs_f64()).sum();
+        let peak: f64 = t.gaps[fifth * 2..fifth * 3]
+            .iter()
+            .map(|g| g.as_secs_f64())
+            .sum();
+        assert!(
+            trough > peak * 5.0,
+            "trough sum {trough} not ≫ peak sum {peak}"
+        );
+    }
+
+    #[test]
+    fn source_tags_are_distinct() {
+        let tags = [
+            Poisson::new(1.0, 0).source_tag(),
+            Bursty::new(1.0, 2.0, 0.5, 0).source_tag(),
+            Trace::replay(vec![Duration::ZERO]).source_tag(),
+        ];
+        assert_eq!(
+            tags.len(),
+            tags.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Channel ingress: request submission from other threads.
+//!
+//! [`channel`] builds a capacity-bounded mpsc pair: any number of
+//! cloned [`IngressHandle`]s (one per accepted socket, per producer
+//! thread, …) submit payloads; the server drains the single
+//! [`ChannelIngress`] and injects each payload as a request. The
+//! third-party channel stand-in only provides unbounded channels, so
+//! the capacity bound is a shared pending counter: `submit` refuses
+//! with [`ServingError::Overloaded`] once `capacity` payloads are
+//! queued, and the server decrements as it drains — backpressure with
+//! a typed rejection instead of an ever-growing queue.
+
+use crate::error::{ServingError, ShedReason};
+use bamboo_runtime::NativePayload;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Creates a capacity-bounded ingress pair. `capacity` is the maximum
+/// number of submitted-but-not-yet-drained payloads.
+///
+/// # Panics
+///
+/// Panics on zero capacity.
+pub fn channel(capacity: usize) -> (IngressHandle, ChannelIngress) {
+    assert!(capacity > 0, "ingress capacity must be positive");
+    let (tx, rx) = unbounded();
+    let pending = Arc::new(AtomicUsize::new(0));
+    (
+        IngressHandle {
+            tx,
+            pending: pending.clone(),
+            capacity,
+        },
+        ChannelIngress { rx, pending },
+    )
+}
+
+/// The submitting half: cloneable, sharable across threads (e.g. one
+/// clone per socket-accept loop worker).
+#[derive(Clone, Debug)]
+pub struct IngressHandle {
+    tx: Sender<NativePayload>,
+    pending: Arc<AtomicUsize>,
+    capacity: usize,
+}
+
+impl IngressHandle {
+    /// Submits one request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Overloaded`] (queue-depth) when `capacity`
+    /// payloads are already queued — the typed backpressure signal a
+    /// socket adapter turns into HTTP 503 / retry-after. Also returned
+    /// when the serving side has shut down and dropped the receiver.
+    pub fn submit(&self, payload: NativePayload) -> Result<(), ServingError> {
+        // Optimistic reserve: claim a slot, then roll back if over.
+        let prior = self.pending.fetch_add(1, Ordering::AcqRel);
+        if prior >= self.capacity {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServingError::Overloaded {
+                reason: ShedReason::QueueDepth,
+            });
+        }
+        if self.tx.send(payload).is_err() {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServingError::Overloaded {
+                reason: ShedReason::QueueDepth,
+            });
+        }
+        Ok(())
+    }
+
+    /// Payloads submitted and not yet drained by the server.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// The draining half, owned by the server.
+#[derive(Debug)]
+pub struct ChannelIngress {
+    rx: Receiver<NativePayload>,
+    pending: Arc<AtomicUsize>,
+}
+
+/// Outcome of a bounded-wait drain attempt.
+pub(crate) enum Drained {
+    /// One payload.
+    Payload(NativePayload),
+    /// Nothing arrived within the wait.
+    Empty,
+    /// Every handle has been dropped and the queue is empty.
+    Closed,
+}
+
+impl ChannelIngress {
+    /// Takes one payload if immediately available.
+    pub(crate) fn try_drain(&mut self) -> Drained {
+        match self.rx.try_recv() {
+            Ok(payload) => {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                Drained::Payload(payload)
+            }
+            Err(TryRecvError::Empty) => Drained::Empty,
+            Err(TryRecvError::Disconnected) => Drained::Closed,
+        }
+    }
+
+    /// Waits up to `timeout` for a payload.
+    pub(crate) fn drain_timeout(&mut self, timeout: Duration) -> Drained {
+        match self.rx.recv_timeout(timeout) {
+            Ok(payload) => {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                Drained::Payload(payload)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Drained::Empty,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Drained::Closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bound_rejects_typed() {
+        let (handle, mut ingress) = channel(2);
+        handle.submit(Box::new(1u32)).unwrap();
+        handle.submit(Box::new(2u32)).unwrap();
+        let err = handle.submit(Box::new(3u32)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServingError::Overloaded {
+                reason: ShedReason::QueueDepth
+            }
+        ));
+        assert_eq!(handle.pending(), 2);
+        // Draining frees a slot.
+        assert!(matches!(ingress.try_drain(), Drained::Payload(_)));
+        assert_eq!(handle.pending(), 1);
+        handle.submit(Box::new(3u32)).unwrap();
+    }
+
+    #[test]
+    fn drain_observes_close() {
+        let (handle, mut ingress) = channel(4);
+        handle.submit(Box::new(7u32)).unwrap();
+        drop(handle);
+        assert!(matches!(ingress.try_drain(), Drained::Payload(_)));
+        assert!(matches!(ingress.try_drain(), Drained::Closed));
+    }
+
+    #[test]
+    fn handles_submit_from_other_threads() {
+        let (handle, mut ingress) = channel(64);
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        handle.submit(Box::new((t, i))).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        drop(handle);
+        let mut seen = 0;
+        loop {
+            match ingress.try_drain() {
+                Drained::Payload(_) => seen += 1,
+                Drained::Closed => break,
+                Drained::Empty => {}
+            }
+        }
+        assert_eq!(seen, 40);
+    }
+}

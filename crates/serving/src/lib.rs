@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # bamboo-serving
+//!
+//! Resident Bamboo deployments under open-loop traffic (DESIGN.md §15).
+//!
+//! The batch executors answer *how fast does one workload drain*; this
+//! crate answers the serving question: a deployment stays resident
+//! ([`bamboo_runtime::ThreadedExecutor::start`]), root objects arrive
+//! from an open-loop process — the arrival clock never waits for
+//! completions, so overload is visible instead of self-throttled — and
+//! each injection is its own *request* whose completion the runtime's
+//! request ledger detects individually (no global quiescence).
+//!
+//! The pieces:
+//!
+//! - [`arrivals`] — pluggable seeded arrival processes: [`Poisson`],
+//!   [`Bursty`] (two-state Markov-modulated Poisson), [`Trace`] replay
+//!   (including a diurnal day-curve constructor).
+//! - [`ingress`] — an mpsc channel ingress ([`channel`]) whose cloneable
+//!   [`IngressHandle`] is usable from a socket-accept loop or any other
+//!   thread; capacity-bounded, rejecting with
+//!   [`ServingError::Overloaded`].
+//! - [`admission`] — ingress admission control: a [`TokenBucket`] rate
+//!   limiter plus queue-depth shedding against the executor's ingress
+//!   backlog (the router's shed-on-overflow path, surfaced at
+//!   admission time instead of deep in the run queues).
+//! - [`server`] — the [`Server`] loop: collect a micro-batch per
+//!   arrival tick, admit or shed, inject, track completions, and fold
+//!   per-request latencies into a
+//!   [`bamboo_telemetry::analyze::LatencyHistogram`].
+//!
+//! Every lifecycle edge is stamped into the ordinary telemetry rings
+//! (`serving.*` namespace in METRICS.md: `req_arrive`, `req_admit`,
+//! `req_shed`, `req_complete`) so latency distributions can also be
+//! reconstructed offline from a recorded report via
+//! [`bamboo_telemetry::analyze::ServingStats`].
+
+pub mod admission;
+pub mod arrivals;
+pub mod error;
+pub mod ingress;
+pub mod server;
+
+pub use admission::{AdmissionControl, AdmissionVerdict, TokenBucket};
+pub use arrivals::{ArrivalProcess, Bursty, Poisson, Trace};
+pub use error::{ServingError, ShedReason};
+pub use ingress::{channel, ChannelIngress, IngressHandle};
+pub use server::{Pacing, Server, ServingOptions, ServingReport};

@@ -1,0 +1,421 @@
+//! The serving loop: a resident deployment fed by an arrival process.
+//!
+//! A [`Server`] wraps a [`ResidentRun`] (workers live, waiting) and
+//! drives it open-loop: the arrival clock advances by each gap the
+//! [`ArrivalProcess`] yields regardless of what the executor is doing,
+//! so offered load past capacity shows up as latency and shed — never
+//! as a silently slowed generator.
+//!
+//! Arrivals that land within one *batch window* coalesce into a
+//! micro-batch injected with a single ledger/router pass per request
+//! but one clock advance per tick — the cheap way to absorb bursty
+//! processes whose instantaneous rate far exceeds the tick rate.
+//!
+//! Two pacing modes:
+//!
+//! - [`Pacing::Wall`] — gaps are slept; latencies are real wall time
+//!   including queueing delay. The mode the load-sweep benchmark uses.
+//! - [`Pacing::Stepped`] — gaps advance a virtual clock only, and the
+//!   executor drains fully after every micro-batch; completions within
+//!   a tick are ordered by request id. Same seed ⇒ same admission
+//!   decisions, same injection order, same completion order, at any
+//!   worker-thread count — the mode the determinism tests use.
+
+use crate::admission::{AdmissionControl, AdmissionVerdict};
+use crate::arrivals::ArrivalProcess;
+use crate::error::ServingError;
+use crate::ingress::{ChannelIngress, Drained};
+use bamboo_runtime::ledger::Completion;
+use bamboo_runtime::{
+    Deployment, NativePayload, ResidentRun, RunOptions, ThreadedExecutor, ThreadedReport,
+};
+use bamboo_telemetry::analyze::LatencyHistogram;
+use bamboo_telemetry::event::arrival_source;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How the server treats arrival gaps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Pacing {
+    /// Sleep each gap: real open-loop load, wall-clock latencies.
+    #[default]
+    Wall,
+    /// Advance a virtual clock only and drain the executor after every
+    /// micro-batch: deterministic end-to-end, used by tests.
+    Stepped,
+}
+
+/// Serving configuration.
+#[derive(Debug, Default)]
+pub struct ServingOptions {
+    /// Admission policy applied to every arrival.
+    pub admission: AdmissionControl,
+    /// Gap handling (see [`Pacing`]).
+    pub pacing: Pacing,
+    /// Micro-batch cap: at most this many admitted arrivals are
+    /// injected per tick (0 means 1).
+    pub max_batch: usize,
+    /// Arrivals separated by gaps at or below this coalesce into the
+    /// current micro-batch.
+    pub batch_window: Duration,
+}
+
+impl ServingOptions {
+    /// Defaults: open admission, wall pacing, micro-batches of up to 8
+    /// arrivals within 100µs of each other.
+    pub fn new() -> Self {
+        ServingOptions {
+            admission: AdmissionControl::open(),
+            pacing: Pacing::Wall,
+            max_batch: 8,
+            batch_window: Duration::from_micros(100),
+        }
+    }
+
+    /// Sets the admission policy.
+    pub fn with_admission(mut self, admission: AdmissionControl) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the pacing mode.
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Sets the micro-batch cap and window.
+    pub fn with_batching(mut self, max_batch: usize, window: Duration) -> Self {
+        self.max_batch = max_batch;
+        self.batch_window = window;
+        self
+    }
+}
+
+/// Everything a serving run produced.
+#[derive(Debug)]
+pub struct ServingReport {
+    /// Arrivals offered by the process.
+    pub arrivals: u64,
+    /// Arrivals admitted and injected.
+    pub admitted: u64,
+    /// Arrivals shed at admission (either policy).
+    pub shed: u64,
+    /// Sheds attributed to the token bucket.
+    pub shed_rate_limit: u64,
+    /// Sheds attributed to queue depth.
+    pub shed_queue_depth: u64,
+    /// Requests whose work drained to zero.
+    pub completed: u64,
+    /// Admit→complete wall latency per completed request, microseconds.
+    pub latency_us: LatencyHistogram,
+    /// Every completion, in detection order (request-id order within a
+    /// tick under [`Pacing::Stepped`]).
+    pub completions: Vec<Completion>,
+    /// The resident executor's final report.
+    pub executor: ThreadedReport,
+}
+
+impl ServingReport {
+    /// One-line latency summary.
+    pub fn latency_summary(&self) -> String {
+        format!(
+            "arrivals={} admitted={} shed={} completed={} latency[{}]",
+            self.arrivals,
+            self.admitted,
+            self.shed,
+            self.completed,
+            self.latency_us.summary("us"),
+        )
+    }
+}
+
+/// A resident deployment being served. Create with [`Server::start`],
+/// drive with [`Server::serve`] / [`Server::serve_channel`], finish
+/// with [`Server::finish`].
+pub struct Server {
+    run: ResidentRun,
+    admission: AdmissionControl,
+    pacing: Pacing,
+    max_batch: usize,
+    batch_window: Duration,
+    /// Virtual arrival clock: the sum of all gaps so far. Wall pacing
+    /// sleeps until `started + clock`; the admission bucket always
+    /// refills from this clock so both pacings decide identically.
+    clock: Duration,
+    started: Instant,
+    admit_at: HashMap<u64, Instant>,
+    latency_us: LatencyHistogram,
+    completions: Vec<Completion>,
+    arrivals: u64,
+    admitted: u64,
+    shed: u64,
+    shed_rate_limit: u64,
+    shed_queue_depth: u64,
+}
+
+impl Server {
+    /// Starts `deployment` resident under `executor` and wraps it in a
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Exec`] when the deployment cannot start (e.g. an
+    /// interpreted program).
+    pub fn start(
+        executor: &ThreadedExecutor,
+        deployment: &Deployment,
+        run_options: RunOptions,
+        options: ServingOptions,
+    ) -> Result<Self, ServingError> {
+        let run = executor.start(deployment, run_options)?;
+        Ok(Server {
+            run,
+            admission: options.admission,
+            pacing: options.pacing,
+            max_batch: options.max_batch.max(1),
+            batch_window: options.batch_window,
+            clock: Duration::ZERO,
+            started: Instant::now(),
+            admit_at: HashMap::new(),
+            latency_us: LatencyHistogram::new(),
+            completions: Vec::new(),
+            arrivals: 0,
+            admitted: 0,
+            shed: 0,
+            shed_rate_limit: 0,
+            shed_queue_depth: 0,
+        })
+    }
+
+    /// Number of worker cores under the resident deployment.
+    pub fn core_count(&self) -> usize {
+        self.run.core_count()
+    }
+
+    /// Requests admitted but not yet complete.
+    pub fn outstanding(&self) -> usize {
+        self.run.outstanding()
+    }
+
+    /// Whether the runtime's request ledger is fully drained.
+    pub fn ledger_is_empty(&self) -> bool {
+        self.run.ledger_is_empty()
+    }
+
+    /// Offers `total` arrivals from `process`, open-loop: each arrival
+    /// advances the clock by the process's gap, passes admission, and
+    /// (if admitted) joins the current micro-batch; `make` builds the
+    /// root payload per admitted request, keyed by its request id.
+    /// Completions are collected as they surface; call
+    /// [`Server::finish`] (or [`Server::await_idle`]) afterwards to
+    /// wait for stragglers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Exec`] when the executor fails underneath
+    /// (stepped pacing drains between ticks and surfaces failures
+    /// immediately; wall pacing surfaces them on the next poll).
+    pub fn serve(
+        &mut self,
+        process: &mut dyn ArrivalProcess,
+        total: usize,
+        mut make: impl FnMut(u64) -> NativePayload,
+    ) -> Result<(), ServingError> {
+        let source = process.source_tag();
+        let mut batch: Vec<NativePayload> = Vec::new();
+        for _ in 0..total {
+            let gap = process.next_gap();
+            if !batch.is_empty() && (gap > self.batch_window || batch.len() >= self.max_batch) {
+                self.flush(std::mem::take(&mut batch))?;
+            }
+            self.advance(gap)?;
+            if let Some(payload) = self.offer(source, batch.len(), &mut make) {
+                batch.push(payload);
+            }
+        }
+        if !batch.is_empty() {
+            self.flush(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Serves payloads submitted through a [`ChannelIngress`] until
+    /// every [`crate::IngressHandle`] is dropped and the queue is
+    /// drained. Admission applies to each submission; the arrival
+    /// clock is wall time (there is no process to pace).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Exec`] when the executor fails underneath.
+    pub fn serve_channel(&mut self, mut ingress: ChannelIngress) -> Result<(), ServingError> {
+        loop {
+            match ingress.drain_timeout(Duration::from_millis(1)) {
+                Drained::Closed => return Ok(()),
+                Drained::Empty => {
+                    self.poll()?;
+                }
+                Drained::Payload(first) => {
+                    self.clock = self.started.elapsed();
+                    let mut batch = Vec::new();
+                    if let Some(p) = self.offer_payload(arrival_source::CHANNEL, 0, first) {
+                        batch.push(p);
+                    }
+                    // Coalesce whatever else is already queued.
+                    while batch.len() < self.max_batch {
+                        match ingress.try_drain() {
+                            Drained::Payload(p) => {
+                                if let Some(p) =
+                                    self.offer_payload(arrival_source::CHANNEL, batch.len(), p)
+                                {
+                                    batch.push(p);
+                                }
+                            }
+                            Drained::Empty | Drained::Closed => break,
+                        }
+                    }
+                    if !batch.is_empty() {
+                        self.flush(batch)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the arrival clock by `gap` (sleeping under wall
+    /// pacing) and polls completions.
+    fn advance(&mut self, gap: Duration) -> Result<(), ServingError> {
+        self.clock += gap;
+        if self.pacing == Pacing::Wall {
+            let target = self.started + self.clock;
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+        }
+        self.poll()
+    }
+
+    /// Records one arrival, runs admission, and builds its payload if
+    /// admitted. `queued` is how many admitted arrivals are already
+    /// waiting in the current micro-batch.
+    fn offer(
+        &mut self,
+        source: u64,
+        queued: usize,
+        make: &mut impl FnMut(u64) -> NativePayload,
+    ) -> Option<NativePayload> {
+        // The id this arrival receives if admitted: ids are minted in
+        // injection order, and `queued` batch-mates inject first.
+        let request = self.run.next_request_id() + queued as u64;
+        let ts = self.run.driver_sink().now();
+        self.run.driver_sink().req_arrive(ts, request, source);
+        self.arrivals += 1;
+        let depth = self.run.ingress_depth() + queued;
+        match self.admission.decide(self.clock, depth) {
+            AdmissionVerdict::Admit => Some(make(request)),
+            AdmissionVerdict::Shed(reason) => {
+                self.run.driver_sink().req_shed(ts, request, reason.tag());
+                self.shed += 1;
+                match reason {
+                    crate::error::ShedReason::RateLimit => self.shed_rate_limit += 1,
+                    crate::error::ShedReason::QueueDepth => self.shed_queue_depth += 1,
+                }
+                None
+            }
+        }
+    }
+
+    /// [`Server::offer`] for an already-built payload (channel
+    /// ingress); sheds drop the payload.
+    fn offer_payload(
+        &mut self,
+        source: u64,
+        queued: usize,
+        payload: NativePayload,
+    ) -> Option<NativePayload> {
+        let mut slot = Some(payload);
+        self.offer(source, queued, &mut |_| slot.take().expect("one payload"))
+    }
+
+    /// Injects a micro-batch and, under stepped pacing, drains the
+    /// executor so the tick's completions surface deterministically.
+    fn flush(&mut self, batch: Vec<NativePayload>) -> Result<(), ServingError> {
+        let now = Instant::now();
+        let ids = self.run.inject_batch(batch);
+        self.admitted += ids.len() as u64;
+        for id in ids {
+            self.admit_at.insert(id, now);
+        }
+        if self.pacing == Pacing::Stepped {
+            self.run.drain()?;
+            let mut tick: Vec<Completion> = self.run.try_completions();
+            tick.sort_by_key(|c| c.request);
+            for c in tick {
+                self.record(c);
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects surfaced completions and checks executor health.
+    fn poll(&mut self) -> Result<(), ServingError> {
+        for c in self.run.try_completions() {
+            self.record(c);
+        }
+        match self.run.failure() {
+            Some(err) => Err(err.into()),
+            None => Ok(()),
+        }
+    }
+
+    fn record(&mut self, c: Completion) {
+        if let Some(admitted) = self.admit_at.remove(&c.request) {
+            let us = c
+                .completed_at
+                .saturating_duration_since(admitted)
+                .as_micros() as u64;
+            self.latency_us.record(us);
+        }
+        self.completions.push(c);
+    }
+
+    /// Waits until every admitted request completes (or the executor
+    /// fails).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Exec`] with the executor's first unrecoverable
+    /// fault; outstanding requests of a failed run never complete.
+    pub fn await_idle(&mut self) -> Result<(), ServingError> {
+        self.run.drain()?;
+        self.poll()
+    }
+
+    /// Waits for outstanding requests, shuts the deployment down, and
+    /// returns the combined report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Exec`] with the executor's first unrecoverable
+    /// fault (shutdown never hangs on a failed run).
+    pub fn finish(mut self) -> Result<ServingReport, ServingError> {
+        let idle = self.await_idle();
+        // Always stop the workers — even on a failed run — so a typed
+        // error never leaks live threads.
+        let executor = self.run.shutdown();
+        idle?;
+        let executor = executor?;
+        Ok(ServingReport {
+            arrivals: self.arrivals,
+            admitted: self.admitted,
+            shed: self.shed,
+            shed_rate_limit: self.shed_rate_limit,
+            shed_queue_depth: self.shed_queue_depth,
+            completed: self.completions.len() as u64,
+            latency_us: self.latency_us,
+            completions: self.completions,
+            executor,
+        })
+    }
+}

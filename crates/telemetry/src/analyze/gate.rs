@@ -176,8 +176,27 @@ impl Verdict {
     }
 
     /// Serializes the verdict as a JSON document (the CI artifact).
+    ///
+    /// When any `serving-*` checks are present a `serving` section
+    /// summarizes them, so CI jobs gating only on the serving surface
+    /// can read one member instead of filtering the flat check list.
     pub fn json(&self) -> String {
-        let mut out = format!("{{\"pass\":{},\"checks\":[", self.pass());
+        let mut out = format!("{{\"pass\":{}", self.pass());
+        let serving: Vec<&Check> = self
+            .checks
+            .iter()
+            .filter(|c| c.name.starts_with("serving-"))
+            .collect();
+        if !serving.is_empty() {
+            let _ = write!(
+                out,
+                ",\"serving\":{{\"pass\":{},\"checks\":{},\"failed\":{}}}",
+                serving.iter().all(|c| c.pass),
+                serving.len(),
+                serving.iter().filter(|c| !c.pass).count(),
+            );
+        }
+        out.push_str(",\"checks\":[");
         for (i, c) in self.checks.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -451,6 +470,170 @@ pub fn evaluate_chaos(observations: &[ChaosObservation]) -> Vec<Check> {
             obs.faults_injected as f64,
             1.0,
             obs.faults_injected >= 1,
+            ">=",
+        ));
+    }
+    checks
+}
+
+/// One application's recorded serving reference numbers (from
+/// `BENCH_serving.json`, written by the bench crate's `serving` harness).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServingBaselineBench {
+    /// Application name as recorded (e.g. `"KMeans"`).
+    pub name: String,
+    /// p99 latency of an uncontended (solo) request, microseconds.
+    pub solo_p99_us: f64,
+    /// The p99 service-level objective the sweep held, microseconds.
+    pub slo_p99_us: f64,
+    /// Highest offered load (requests/second) that met the SLO with
+    /// zero shedding.
+    pub max_sustainable_rps: f64,
+}
+
+/// The parsed `BENCH_serving.json` baseline.
+#[derive(Clone, Debug, Default)]
+pub struct ServingBaseline {
+    /// Core count of the machine model the deployments were planned for.
+    pub machine_cores: u64,
+    /// SLO multiplier over solo p99 the recording sweep used.
+    pub slo_multiplier: f64,
+    /// One entry per recorded application.
+    pub benches: Vec<ServingBaselineBench>,
+}
+
+/// Parses a `BENCH_serving.json` document.
+///
+/// # Errors
+///
+/// Returns a message when the text is not JSON or required members are
+/// missing/mistyped.
+pub fn parse_serving_baseline(text: &str) -> Result<ServingBaseline, String> {
+    let doc = json::parse(text)?;
+    let top = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("missing {key}"))
+    };
+    let machine_cores = top("machine_cores")? as u64;
+    let slo_multiplier = top("slo_multiplier")?;
+    let Some(Value::Obj(benches)) = doc.get("benches") else {
+        return Err("missing benches object".into());
+    };
+    let mut out = Vec::with_capacity(benches.len());
+    for (name, bench) in benches {
+        let field = |key: &str| -> Result<f64, String> {
+            bench
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{name}: missing {key}"))
+        };
+        out.push(ServingBaselineBench {
+            name: name.clone(),
+            solo_p99_us: field("solo_p99_us")?,
+            slo_p99_us: field("slo_p99_us")?,
+            max_sustainable_rps: field("max_sustainable_rps")?,
+        });
+    }
+    Ok(ServingBaseline {
+        machine_cores,
+        slo_multiplier,
+        benches: out,
+    })
+}
+
+/// One application's serving numbers measured on the build under test:
+/// a short fixed-seed open-loop run at a fraction of the recorded
+/// sustainable load.
+#[derive(Clone, Debug, Default)]
+pub struct ServingObservation {
+    /// Application name; matched against [`ServingBaselineBench::name`].
+    pub name: String,
+    /// Offered load of the probe run, requests/second.
+    pub offered_rps: f64,
+    /// Completed requests per second of wall time.
+    pub completed_rps: f64,
+    /// Requests past admission.
+    pub admitted: f64,
+    /// Requests whose ledger entry reached zero.
+    pub completed: f64,
+    /// Requests refused at admission.
+    pub shed: f64,
+    /// Invocations shed on the router's overflow path.
+    pub router_shed: f64,
+    /// Observed p99 latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Observed p99 may exceed the recorded SLO by this factor — the
+/// baseline host and the gating host can differ wildly, but a real
+/// latency regression (a stalled ledger, a lost completion retried into
+/// a timeout) blows past any constant factor.
+pub const SERVING_P99_HOST_SLACK: f64 = 20.0;
+/// Observed completion throughput must reach this fraction of the
+/// recorded max sustainable load.
+pub const SERVING_THROUGHPUT_FLOOR_FRACTION: f64 = 0.05;
+
+/// Evaluates serving observations against the `BENCH_serving.json`
+/// baseline, returning checks to append to the verdict (they also feed
+/// the verdict's `serving` JSON section).
+///
+/// Request accounting is exact on any host — every admitted request
+/// must complete and a clean low-load probe must shed nothing, at
+/// admission or on the router. Latency and throughput get the usual
+/// cross-host slack: p99 within [`SERVING_P99_HOST_SLACK`]× the
+/// recorded SLO, completion throughput above
+/// [`SERVING_THROUGHPUT_FLOOR_FRACTION`] of the recorded sustainable
+/// load.
+pub fn evaluate_serving(
+    baseline: &ServingBaseline,
+    observations: &[ServingObservation],
+) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for base in &baseline.benches {
+        let Some(obs) = observations.iter().find(|o| o.name == base.name) else {
+            checks.push(check(
+                &base.name,
+                "serving-bench-present",
+                0.0,
+                1.0,
+                false,
+                "must be",
+            ));
+            continue;
+        };
+        checks.push(check(
+            &base.name,
+            "serving-completions-exact",
+            obs.completed,
+            obs.admitted,
+            obs.completed == obs.admitted && obs.admitted > 0.0,
+            "==",
+        ));
+        checks.push(check(
+            &base.name,
+            "serving-shed-clean",
+            obs.shed + obs.router_shed,
+            0.0,
+            obs.shed + obs.router_shed == 0.0,
+            "==",
+        ));
+        let p99_limit = base.slo_p99_us * SERVING_P99_HOST_SLACK;
+        checks.push(check(
+            &base.name,
+            "serving-p99-slo",
+            obs.p99_us,
+            p99_limit,
+            obs.p99_us <= p99_limit,
+            "<=",
+        ));
+        let floor = base.max_sustainable_rps * SERVING_THROUGHPUT_FLOOR_FRACTION;
+        checks.push(check(
+            &base.name,
+            "serving-throughput-floor",
+            obs.completed_rps,
+            floor,
+            obs.completed_rps >= floor,
             ">=",
         ));
     }
@@ -782,6 +965,125 @@ mod tests {
         assert!(checks
             .iter()
             .any(|c| c.name == "chaos-schedule-deterministic" && !c.pass));
+    }
+
+    const SERVING_BASELINE: &str = r#"{
+      "machine_cores": 8,
+      "scale": "small",
+      "seed": 42,
+      "slo_multiplier": 10.0,
+      "benches": {
+        "KMeans": {
+          "solo_p99_us": 900.0, "slo_p99_us": 9000.0, "max_sustainable_rps": 1600.0,
+          "at_sustainable": { "offered_rps": 1600.0, "p50_us": 700.0, "p99_us": 4100.0, "p999_us": 5000.0, "admitted": 40, "completed": 40, "shed": 0 }
+        }
+      }
+    }"#;
+
+    fn healthy_serving_observation() -> ServingObservation {
+        ServingObservation {
+            name: "KMeans".into(),
+            offered_rps: 160.0,
+            completed_rps: 152.5,
+            admitted: 24.0,
+            completed: 24.0,
+            shed: 0.0,
+            router_shed: 0.0,
+            p99_us: 2400.0,
+        }
+    }
+
+    #[test]
+    fn serving_baseline_parses() {
+        let baseline = parse_serving_baseline(SERVING_BASELINE).unwrap();
+        assert_eq!(baseline.machine_cores, 8);
+        assert_eq!(baseline.slo_multiplier, 10.0);
+        assert_eq!(baseline.benches.len(), 1);
+        let km = &baseline.benches[0];
+        assert_eq!(km.name, "KMeans");
+        assert_eq!(km.solo_p99_us, 900.0);
+        assert_eq!(km.slo_p99_us, 9000.0);
+        assert_eq!(km.max_sustainable_rps, 1600.0);
+        assert!(parse_serving_baseline("{}").is_err());
+        assert!(parse_serving_baseline("nonsense").is_err());
+    }
+
+    #[test]
+    fn healthy_serving_run_passes() {
+        let baseline = parse_serving_baseline(SERVING_BASELINE).unwrap();
+        let checks = evaluate_serving(&baseline, &[healthy_serving_observation()]);
+        assert_eq!(checks.len(), 4);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+    }
+
+    #[test]
+    fn serving_loss_shed_and_latency_fail() {
+        let baseline = parse_serving_baseline(SERVING_BASELINE).unwrap();
+        // A lost completion (request ledger leak) is a functional bug.
+        let mut obs = healthy_serving_observation();
+        obs.completed = 23.0;
+        let checks = evaluate_serving(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "serving-completions-exact" && !c.pass));
+        // Shedding at 5% of the recorded sustainable load is a
+        // regression in admission or the router, not host noise.
+        let mut obs = healthy_serving_observation();
+        obs.shed = 2.0;
+        let checks = evaluate_serving(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "serving-shed-clean" && !c.pass));
+        let mut obs = healthy_serving_observation();
+        obs.router_shed = 1.0;
+        let checks = evaluate_serving(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "serving-shed-clean" && !c.pass));
+        // p99 past the host-slack band fails.
+        let mut obs = healthy_serving_observation();
+        obs.p99_us = 9000.0 * SERVING_P99_HOST_SLACK + 1.0;
+        let checks = evaluate_serving(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "serving-p99-slo" && !c.pass));
+        // Collapsed completion throughput fails.
+        let mut obs = healthy_serving_observation();
+        obs.completed_rps = 1600.0 * SERVING_THROUGHPUT_FLOOR_FRACTION - 1.0;
+        let checks = evaluate_serving(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "serving-throughput-floor" && !c.pass));
+        // Missing app fails its presence check.
+        let checks = evaluate_serving(&baseline, &[]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "serving-bench-present" && !c.pass));
+    }
+
+    #[test]
+    fn serving_section_appears_in_verdict_json() {
+        let baseline = parse_serving_baseline(SERVING_BASELINE).unwrap();
+        let mut verdict = Verdict::default();
+        // Without serving checks, no serving section.
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        assert!(doc.get("serving").is_none());
+        verdict.checks.extend(evaluate_serving(
+            &baseline,
+            &[healthy_serving_observation()],
+        ));
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        let serving = doc.get("serving").expect("serving section");
+        assert_eq!(serving.get("pass"), Some(&crate::json::Value::Bool(true)));
+        assert_eq!(serving.get("checks").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(serving.get("failed").and_then(Value::as_f64), Some(0.0));
+        // A failing serving check flips the section.
+        let mut obs = healthy_serving_observation();
+        obs.completed = 0.0;
+        verdict.checks = evaluate_serving(&baseline, &[obs]);
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        let serving = doc.get("serving").expect("serving section");
+        assert_eq!(serving.get("pass"), Some(&crate::json::Value::Bool(false)));
     }
 
     #[test]

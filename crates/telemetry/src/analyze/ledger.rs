@@ -103,12 +103,22 @@ impl Ledger {
                         // Time leading up to a fault firing is ordinary
                         // idleness; time leading up to a completed
                         // recovery action was spent re-routing work.
-                        EventKind::ObjRecv | EventKind::Fault => &mut row.idle,
+                        // Serving ingress events land on the driver's
+                        // pseudo-core: the gap leading up to an arrival
+                        // or a detected completion is time the core was
+                        // not doing its own work (idle); admitting or
+                        // shedding a request is routing-side work.
+                        EventKind::ObjRecv
+                        | EventKind::Fault
+                        | EventKind::ReqArrive
+                        | EventKind::ReqComplete => &mut row.idle,
                         EventKind::ObjSend
                         | EventKind::QueueDepth
                         | EventKind::InvQueued
                         | EventKind::InvLink
-                        | EventKind::Recover => &mut row.routing,
+                        | EventKind::Recover
+                        | EventKind::ReqAdmit
+                        | EventKind::ReqShed => &mut row.routing,
                     }
                 };
                 *bucket += gap;

@@ -32,6 +32,7 @@ pub mod gate;
 pub mod graph;
 pub mod ledger;
 pub mod path;
+pub mod serving;
 #[cfg(test)]
 pub(crate) mod testutil;
 
@@ -39,6 +40,7 @@ pub use findings::{Evidence, Finding, Severity};
 pub use graph::{ObsEdge, ObsInvocation, ObservedGraph};
 pub use ledger::{CoreLedger, Ledger};
 pub use path::{ObservedPath, PathStep};
+pub use serving::{LatencyHistogram, RequestTimeline, ServingStats};
 
 use crate::report::TelemetryReport;
 use bamboo_lang::spec::ProgramSpec;

@@ -1,0 +1,316 @@
+//! Serving-mode analysis: request latencies out of the event stream.
+//!
+//! The serving front-end (`bamboo-serving`) stamps every request's
+//! lifecycle into the ordinary event rings — [`EventKind::ReqArrive`],
+//! [`EventKind::ReqAdmit`], [`EventKind::ReqShed`],
+//! [`EventKind::ReqComplete`] — so latency distributions fall out of a
+//! recorded [`TelemetryReport`] with no serving-specific recording
+//! machinery: pair each request's admit and complete timestamps and
+//! feed the spans into a [`LatencyHistogram`].
+
+use crate::event::EventKind;
+use crate::report::TelemetryReport;
+use std::fmt::Write as _;
+
+/// Sub-buckets per power-of-two octave: ~3% relative resolution,
+/// HDR-histogram style (log-bucketed, fixed memory, any range).
+const SUBS: u64 = 32;
+/// Values below `SUBS * 2` get exact unit buckets.
+const LINEAR_LIMIT: u64 = SUBS * 2;
+
+/// A log-bucketed latency histogram (HDR style): exact below 64,
+/// ~3%-relative-error buckets above, O(1) record, fixed memory.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: Vec<(usize, u64)>, // sparse (bucket index, count), sorted
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+fn bucket_of(value: u64) -> usize {
+    if value < LINEAR_LIMIT {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros() as u64; // >= 6
+    let sub = (value >> (octave - 5)) & (SUBS - 1);
+    (LINEAR_LIMIT + (octave - 6) * SUBS + sub) as usize
+}
+
+/// Upper bound of the values mapping to `bucket` (the quantile
+/// estimate the histogram reports).
+fn bucket_top(bucket: usize) -> u64 {
+    let bucket = bucket as u64;
+    if bucket < LINEAR_LIMIT {
+        return bucket;
+    }
+    let rel = bucket - LINEAR_LIMIT;
+    let octave = rel / SUBS + 6;
+    let sub = rel % SUBS;
+    // Bucket covers [base + sub*w, base + (sub+1)*w) where w = 2^(octave-5).
+    (1u64 << octave) + (sub + 1) * (1u64 << (octave - 5)) - 1
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_of(value);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in [0, 1]: the upper bound of the
+    /// first bucket whose cumulative count reaches `q * count`,
+    /// clamped to the observed max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_top(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// p99 shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// p999 shorthand.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// One-line human summary (`unit` is a label, e.g. "us").
+    pub fn summary(&self, unit: &str) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "n={} mean={:.1}{unit} p50={}{unit} p99={}{unit} p999={}{unit} max={}{unit}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max
+        );
+        out
+    }
+}
+
+/// Per-request lifecycle milestones reconstructed from the event
+/// stream (timestamps in the report's time base).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestTimeline {
+    /// Request id.
+    pub request: u64,
+    /// `ReqArrive` timestamp, if recorded.
+    pub arrived: Option<u64>,
+    /// `ReqAdmit` timestamp, if recorded.
+    pub admitted: Option<u64>,
+    /// `ReqComplete` timestamp, if recorded.
+    pub completed: Option<u64>,
+    /// Invocations the request executed (from the complete event).
+    pub invocations: u64,
+}
+
+/// Serving statistics reconstructed from a recorded report: arrival /
+/// admission / shed / completion counts and the admit→complete latency
+/// distribution.
+#[derive(Clone, Debug, Default)]
+pub struct ServingStats {
+    /// `ReqArrive` events seen.
+    pub arrivals: u64,
+    /// `ReqAdmit` events seen.
+    pub admitted: u64,
+    /// `ReqShed` events seen.
+    pub shed: u64,
+    /// `ReqComplete` events seen.
+    pub completed: u64,
+    /// Admit→complete latency per completed request, in the report's
+    /// time base (nanoseconds for threaded runs).
+    pub latency: LatencyHistogram,
+    /// Every request with at least one lifecycle event, sorted by id.
+    pub timelines: Vec<RequestTimeline>,
+}
+
+impl ServingStats {
+    /// Reconstructs serving statistics by pairing each request id's
+    /// admit and complete events.
+    pub fn from_report(report: &TelemetryReport) -> Self {
+        let mut stats = ServingStats::default();
+        let mut timelines: Vec<RequestTimeline> = Vec::new();
+        let slot = |req: u64, rows: &mut Vec<RequestTimeline>| -> usize {
+            match rows.binary_search_by_key(&req, |t| t.request) {
+                Ok(pos) => pos,
+                Err(pos) => {
+                    rows.insert(
+                        pos,
+                        RequestTimeline {
+                            request: req,
+                            ..RequestTimeline::default()
+                        },
+                    );
+                    pos
+                }
+            }
+        };
+        for e in &report.events {
+            match e.kind {
+                EventKind::ReqArrive => {
+                    stats.arrivals += 1;
+                    let i = slot(e.a, &mut timelines);
+                    timelines[i].arrived = Some(e.ts);
+                }
+                EventKind::ReqAdmit => {
+                    stats.admitted += 1;
+                    let i = slot(e.a, &mut timelines);
+                    timelines[i].admitted = Some(e.ts);
+                }
+                EventKind::ReqShed => stats.shed += 1,
+                EventKind::ReqComplete => {
+                    stats.completed += 1;
+                    let i = slot(e.a, &mut timelines);
+                    timelines[i].completed = Some(e.ts);
+                    timelines[i].invocations = e.b;
+                }
+                _ => {}
+            }
+        }
+        for t in &timelines {
+            if let (Some(admit), Some(done)) = (t.admitted, t.completed) {
+                stats.latency.record(done.saturating_sub(admit));
+            }
+        }
+        stats.timelines = timelines;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::TimeUnit;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0, 1, 5, 17, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn large_values_stay_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for v in [1_000u64, 10_000, 100_000, 1_000_000, 123_456_789] {
+            h.record(v);
+            let est = bucket_top(bucket_of(v));
+            assert!(est >= v, "estimate {est} below sample {v}");
+            assert!(
+                (est - v) as f64 / v as f64 <= 1.0 / SUBS as f64,
+                "estimate {est} more than 1/{SUBS} above {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_order_and_clamp_to_max() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max());
+        // p50 of 100..100_000 uniform is ~50_000; the bucket estimate
+        // must land within one bucket width (~3%).
+        assert!((45_000..=55_000).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn stats_pair_admit_and_complete_by_request() {
+        let mut report = TelemetryReport::empty();
+        report.unit = TimeUnit::Nanos;
+        let ev = |ts, kind, a, b| Event {
+            ts,
+            kind,
+            core: 9,
+            a,
+            b,
+            c: 0,
+        };
+        report.events = vec![
+            ev(10, EventKind::ReqArrive, 1, 1),
+            ev(11, EventKind::ReqAdmit, 1, 1),
+            ev(20, EventKind::ReqArrive, 2, 1),
+            ev(21, EventKind::ReqShed, 2, 2),
+            ev(511, EventKind::ReqComplete, 1, 37),
+        ];
+        let stats = ServingStats::from_report(&report);
+        assert_eq!(stats.arrivals, 2);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.latency.count(), 1);
+        assert_eq!(stats.latency.max(), 500);
+        let t = stats
+            .timelines
+            .iter()
+            .find(|t| t.request == 1)
+            .expect("request 1 timeline");
+        assert_eq!(t.invocations, 37);
+        assert_eq!(t.arrived, Some(10));
+    }
+}

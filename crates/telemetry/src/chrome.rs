@@ -254,10 +254,16 @@ impl ChromeTrace {
                         sent[core] as f64,
                     );
                 }
+                EventKind::ReqShed => self.instant(pid, tid, "request shed", to_us(e.ts)),
+                EventKind::ReqComplete => {
+                    self.instant(pid, tid, "request complete", to_us(e.ts));
+                }
                 EventKind::LockAcquired
                 | EventKind::ObjRecv
                 | EventKind::InvQueued
-                | EventKind::InvLink => {}
+                | EventKind::InvLink
+                | EventKind::ReqArrive
+                | EventKind::ReqAdmit => {}
             }
         }
     }

@@ -70,6 +70,23 @@ pub enum EventKind {
     /// `c` = the message id involved ([`NO_ID`] for core-scoped
     /// recovery).
     Recover = 11,
+    /// A serving request arrived at the ingress (`serving.*`
+    /// namespace). `a` = request id, `b` = arrival-source tag (see
+    /// [`arrival_source`]), `c` = 0.
+    ReqArrive = 12,
+    /// A serving request passed admission and its root object was
+    /// injected. `a` = request id, `b` = number of requests injected in
+    /// the same micro-batch tick, `c` = 0.
+    ReqAdmit = 13,
+    /// A serving request was shed at admission. `a` = request id, `b` =
+    /// shed reason (see [`shed_reason`]), `c` = 0.
+    ReqShed = 14,
+    /// A serving request completed: its outstanding-invocation refcount
+    /// in the request ledger reached zero. `a` = request id, `b` =
+    /// invocations the request executed, `c` = 0. Latency is the span
+    /// from the request's [`EventKind::ReqAdmit`] timestamp to this
+    /// event's timestamp.
+    ReqComplete = 15,
 }
 
 /// Codes carried in the `a` word of [`EventKind::Fault`] events.
@@ -87,6 +104,28 @@ pub mod fault_code {
     /// An invocation's lock acquisition was slowed. `b` = slowdown
     /// nanoseconds, `c` = invocation id.
     pub const LOCK_SLOW: u64 = 5;
+}
+
+/// Source tags carried in the `b` word of [`EventKind::ReqArrive`]
+/// events: which arrival process produced the request.
+pub mod arrival_source {
+    /// Seeded Poisson process.
+    pub const POISSON: u64 = 1;
+    /// Bursty Markov-modulated (MMPP) process.
+    pub const BURSTY: u64 = 2;
+    /// Diurnal trace replay.
+    pub const TRACE: u64 = 3;
+    /// Channel ingress (e.g. a socket adapter submitting requests).
+    pub const CHANNEL: u64 = 4;
+}
+
+/// Shed reasons carried in the `b` word of [`EventKind::ReqShed`]
+/// events.
+pub mod shed_reason {
+    /// Token-bucket rate limit exhausted.
+    pub const RATE_LIMIT: u64 = 1;
+    /// Ingress queue depth over the configured bound.
+    pub const QUEUE_DEPTH: u64 = 2;
 }
 
 /// Codes carried in the `a` word of [`EventKind::Recover`] events.
@@ -118,6 +157,10 @@ impl EventKind {
             EventKind::Steal => "steal",
             EventKind::Fault => "fault",
             EventKind::Recover => "recover",
+            EventKind::ReqArrive => "req_arrive",
+            EventKind::ReqAdmit => "req_admit",
+            EventKind::ReqShed => "req_shed",
+            EventKind::ReqComplete => "req_complete",
         }
     }
 }
@@ -176,6 +219,10 @@ mod tests {
             EventKind::Steal,
             EventKind::Fault,
             EventKind::Recover,
+            EventKind::ReqArrive,
+            EventKind::ReqAdmit,
+            EventKind::ReqShed,
+            EventKind::ReqComplete,
         ];
         let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

@@ -418,6 +418,35 @@ impl WorkerSink {
         self.push(ts, EventKind::Recover, code, detail, id);
     }
 
+    /// Records a serving request arriving at the ingress; `source` is
+    /// one of [`event::arrival_source`].
+    #[inline]
+    pub fn req_arrive(&mut self, ts: Timestamp, request: u64, source: u64) {
+        self.push(ts, EventKind::ReqArrive, request, source, 0);
+    }
+
+    /// Records a serving request passing admission; `batch` is the
+    /// number of requests injected in the same micro-batch tick.
+    #[inline]
+    pub fn req_admit(&mut self, ts: Timestamp, request: u64, batch: u64) {
+        self.push(ts, EventKind::ReqAdmit, request, batch, 0);
+    }
+
+    /// Records a serving request shed at admission; `reason` is one of
+    /// [`event::shed_reason`].
+    #[inline]
+    pub fn req_shed(&mut self, ts: Timestamp, request: u64, reason: u64) {
+        self.push(ts, EventKind::ReqShed, request, reason, 0);
+    }
+
+    /// Records a serving request completing (its outstanding-invocation
+    /// refcount reached zero); `invocations` is the request's executed
+    /// invocation count.
+    #[inline]
+    pub fn req_complete(&mut self, ts: Timestamp, request: u64, invocations: u64) {
+        self.push(ts, EventKind::ReqComplete, request, invocations, 0);
+    }
+
     /// Submits the ring back to the session explicitly (Drop does the
     /// same; this form makes the handoff visible at call sites).
     pub fn submit(mut self) {

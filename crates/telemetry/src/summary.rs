@@ -50,7 +50,11 @@ pub fn per_core_table(report: &TelemetryReport) -> String {
             | EventKind::InvQueued
             | EventKind::InvLink
             | EventKind::Fault
-            | EventKind::Recover => {}
+            | EventKind::Recover
+            | EventKind::ReqArrive
+            | EventKind::ReqAdmit
+            | EventKind::ReqShed
+            | EventKind::ReqComplete => {}
         }
     }
     let span = match report.unit {

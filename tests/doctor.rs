@@ -130,7 +130,16 @@ fn stolen_invocations_link_to_original_producers() {
         }
         let graph = ObservedGraph::from_report(&report);
         let stolen: Vec<_> = graph.stolen().collect();
-        assert_eq!(stolen.len() as u64, run.steals, "attempt {attempt}");
+        // `run.steals` counts steal *events*; the graph records distinct
+        // stolen *invocations*. A stolen invocation that fails its locks
+        // re-queues on the thief (same id) and can be stolen again, so
+        // events can exceed invocations — never the other way around.
+        assert!(
+            !stolen.is_empty() && (stolen.len() as u64) <= run.steals,
+            "attempt {attempt}: {} stolen invocations vs {} steal events",
+            stolen.len(),
+            run.steals,
+        );
         let task_of: HashMap<u64, u64> = graph
             .invocations
             .iter()

@@ -1,0 +1,324 @@
+//! Serving integration tests: resident deployments, the request
+//! ledger, admission control, and chaos interplay (DESIGN.md §15).
+//!
+//! The acceptance criterion under test throughout: per-request
+//! completion is *exact* — a request's completion fires iff all the
+//! invocations it transitively spawned finished, with the tally
+//! verified against the deterministic virtual executor's causal graph.
+
+use bamboo::telemetry::analyze::ServingStats;
+use bamboo::{
+    AdmissionControl, Compiler, Deployment, Error, ExecConfig, FaultSpec, KillTarget,
+    MachineDescription, Pacing, Poisson, RecoveryPolicy, RunOptions, Server, ServingError,
+    ServingOptions, ServingReport, SynthesisOptions, Telemetry, ThreadedExecutor, TokenBucket,
+};
+use bamboo_apps::{by_name, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Profiles `bench_name` at small scale, synthesizes for `cores` cores
+/// with a fixed seed, and deploys (same recipe as the doctor tests).
+fn deploy_for(
+    bench_name: &str,
+    cores: usize,
+    seed: u64,
+) -> (Compiler, Deployment, MachineDescription) {
+    let bench = by_name(bench_name).expect("benchmark exists");
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler
+        .profile_run(None, "serving", |_| ())
+        .expect("profile run");
+    let machine = MachineDescription::n_cores(cores);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+    let deployment = compiler.deploy(&plan);
+    (compiler, deployment, machine)
+}
+
+/// Invocations one full workload executes, from the virtual executor's
+/// causal graph over the same deployment.
+fn predicted_invocations(
+    compiler: &Compiler,
+    deployment: &Deployment,
+    machine: &MachineDescription,
+) -> u64 {
+    let config = ExecConfig {
+        collect_trace: true,
+        ..ExecConfig::default()
+    };
+    let mut exec = compiler.executor(&deployment.graph, &deployment.layout, machine, config);
+    let trace = exec
+        .run(None)
+        .expect("virtual run")
+        .trace
+        .expect("trace requested");
+    trace.tasks.len() as u64
+}
+
+/// Serves `total` Poisson arrivals and returns the report.
+fn serve_poisson(
+    deployment: &Deployment,
+    run_options: RunOptions,
+    options: ServingOptions,
+    rate: f64,
+    seed: u64,
+    total: usize,
+) -> Result<ServingReport, ServingError> {
+    let exec = ThreadedExecutor::default();
+    let mut server = Server::start(&exec, deployment, run_options, options)?;
+    let mut arrivals = Poisson::new(rate, seed);
+    server.serve(&mut arrivals, total, |_| Box::new(()))?;
+    server.finish()
+}
+
+/// Acceptance: every request's completion tally equals the invocation
+/// count of the virtual executor's causal graph — even under wall
+/// pacing where requests overlap arbitrarily on the cores — and the
+/// `serving.*` events in the telemetry rings reconstruct the same
+/// counts with a full latency distribution.
+#[test]
+fn per_request_completion_is_exact_against_virtual_graph() {
+    for bench in ["kmeans", "filterbank"] {
+        let (compiler, deployment, machine) = deploy_for(bench, 8, 42);
+        let expected = predicted_invocations(&compiler, &deployment, &machine);
+        assert!(expected > 0, "{bench}: virtual graph is non-trivial");
+
+        let telemetry = Telemetry::enabled(9); // 8 workers + driver
+        let run_options = RunOptions {
+            telemetry: telemetry.clone(),
+            ..RunOptions::default()
+        };
+        let total = 12;
+        let report = serve_poisson(
+            &deployment,
+            run_options,
+            ServingOptions::new(),
+            800.0,
+            7,
+            total,
+        )
+        .expect("serving run");
+
+        assert_eq!(report.arrivals, total as u64, "{bench}");
+        assert_eq!(report.admitted, total as u64, "{bench}");
+        assert_eq!(report.completed, total as u64, "{bench}");
+        assert_eq!(report.completions.len(), total, "{bench}");
+        for c in &report.completions {
+            assert_eq!(
+                c.invocations, expected,
+                "{bench}: request {} tallied {} invocations, virtual graph has {}",
+                c.request, c.invocations, expected
+            );
+        }
+        assert_eq!(
+            report.executor.invocations,
+            expected * total as u64,
+            "{bench}: executor total is the sum of per-request tallies"
+        );
+
+        // The same numbers fall out of the recorded event rings.
+        let stats = ServingStats::from_report(&telemetry.report());
+        assert_eq!(stats.arrivals, total as u64, "{bench}");
+        assert_eq!(stats.admitted, total as u64, "{bench}");
+        assert_eq!(stats.shed, 0, "{bench}");
+        assert_eq!(stats.completed, total as u64, "{bench}");
+        assert_eq!(stats.latency.count(), total as u64, "{bench}");
+        assert!(stats.latency.p99() >= stats.latency.p50(), "{bench}");
+        for t in &stats.timelines {
+            assert_eq!(t.invocations, expected, "{bench}: request {}", t.request);
+        }
+    }
+}
+
+/// Satellite: under stepped pacing the same seed yields the same
+/// per-request completion order and tallies at 1 worker thread and at
+/// 8 — and byte-identical reports across repeated 8-thread runs.
+#[test]
+fn stepped_completion_order_is_thread_count_invariant() {
+    let stepped = || {
+        ServingOptions::new()
+            .with_pacing(Pacing::Stepped)
+            .with_batching(4, Duration::from_micros(500))
+    };
+    let run = |cores: usize| -> Vec<(u64, u64)> {
+        let (_compiler, deployment, _machine) = deploy_for("kmeans", cores, 42);
+        let report = serve_poisson(
+            &deployment,
+            RunOptions::default(),
+            stepped(),
+            2_000.0,
+            9,
+            10,
+        )
+        .expect("stepped run");
+        assert_eq!(report.completed, 10);
+        report
+            .completions
+            .iter()
+            .map(|c| (c.request, c.invocations))
+            .collect()
+    };
+    let one = run(1);
+    let eight_a = run(8);
+    let eight_b = run(8);
+    let order = |v: &[(u64, u64)]| v.iter().map(|&(r, _)| r).collect::<Vec<_>>();
+    assert_eq!(
+        order(&one),
+        order(&eight_a),
+        "completion order diverged between 1 and 8 threads"
+    );
+    assert_eq!(eight_a, eight_b, "same-seed 8-thread runs diverged");
+}
+
+/// Satellite: after a drain the request ledger is empty — no leaked
+/// per-request entries, nothing outstanding.
+#[test]
+fn ledger_is_empty_after_drain() {
+    let (_compiler, deployment, _machine) = deploy_for("filterbank", 8, 42);
+    let exec = ThreadedExecutor::default();
+    let mut server = Server::start(
+        &exec,
+        &deployment,
+        RunOptions::default(),
+        ServingOptions::new(),
+    )
+    .expect("server starts");
+    let mut arrivals = Poisson::new(500.0, 3);
+    server
+        .serve(&mut arrivals, 8, |_| Box::new(()))
+        .expect("serve");
+    server.await_idle().expect("drain");
+    assert_eq!(server.outstanding(), 0);
+    assert!(server.ledger_is_empty(), "ledger leaked entries");
+    let report = server.finish().expect("finish");
+    assert_eq!(report.admitted, 8);
+    assert_eq!(report.completed, 8);
+}
+
+/// Satellite: a clean run — no faults, offered load far under capacity,
+/// open admission — sheds nothing anywhere: neither at serving
+/// admission nor on the router's shed-on-overflow path
+/// (`router.shed` / [`bamboo::ThreadedReport::router_shed`]).
+#[test]
+fn clean_run_sheds_nothing() {
+    let (_compiler, deployment, _machine) = deploy_for("kmeans", 8, 42);
+    let report = serve_poisson(
+        &deployment,
+        RunOptions::default(),
+        ServingOptions::new(),
+        200.0,
+        11,
+        10,
+    )
+    .expect("clean run");
+    assert_eq!(report.shed, 0, "admission shed on a clean run");
+    assert_eq!(report.shed_rate_limit, 0);
+    assert_eq!(report.shed_queue_depth, 0);
+    assert_eq!(
+        report.executor.router_shed, 0,
+        "router shed invocations on a clean run"
+    );
+    assert_eq!(report.admitted, report.completed);
+}
+
+/// Admission control sheds typed and accounted: a one-token bucket
+/// against a burst admits exactly what the bucket sustains, every
+/// refusal lands in the rate-limit tally, and nothing admitted is
+/// lost.
+#[test]
+fn token_bucket_sheds_are_typed_and_accounted() {
+    let (_compiler, deployment, _machine) = deploy_for("filterbank", 8, 42);
+    // 50/s sustained, burst 2, offered ~2000/s in stepped (virtual)
+    // time: most arrivals must shed.
+    let options = ServingOptions::new()
+        .with_pacing(Pacing::Stepped)
+        .with_admission(AdmissionControl::open().with_rate(TokenBucket::new(50.0, 2.0)));
+    let report = serve_poisson(&deployment, RunOptions::default(), options, 2_000.0, 5, 30)
+        .expect("rate-limited run");
+    assert_eq!(report.arrivals, 30);
+    assert_eq!(report.admitted + report.shed, report.arrivals);
+    assert!(report.shed > 0, "bucket never refused");
+    assert_eq!(report.shed, report.shed_rate_limit);
+    assert_eq!(report.shed_queue_depth, 0);
+    assert_eq!(
+        report.completed, report.admitted,
+        "admitted requests all completed"
+    );
+}
+
+/// The channel ingress refuses over-capacity submissions with the
+/// typed overload error, which converts into `bamboo::Error::Overloaded`.
+#[test]
+fn channel_overflow_is_typed_overloaded() {
+    let (handle, _ingress) = bamboo::serving::channel(1);
+    handle.submit(Box::new(())).expect("first fits");
+    let err: Error = handle.submit(Box::new(())).unwrap_err().into();
+    assert!(
+        matches!(err, Error::Overloaded { .. }),
+        "unexpected error: {err:?}"
+    );
+}
+
+/// Chaos interplay: an expendable-core kill mid-stream is absorbed by
+/// failover — every admitted request still completes with the exact
+/// invocation tally.
+#[test]
+fn expendable_kill_mid_request_still_completes_every_request() {
+    let (compiler, deployment, machine) = deploy_for("kmeans", 8, 42);
+    let expected = predicted_invocations(&compiler, &deployment, &machine);
+    let run_options = RunOptions::default()
+        .with_faults(FaultSpec::seeded(7).with_kill(KillTarget::Expendable, 1));
+    let report = serve_poisson(
+        &deployment,
+        run_options,
+        ServingOptions::new(),
+        500.0,
+        13,
+        6,
+    )
+    .expect("recovered chaos run");
+    assert_eq!(report.completed, 6, "a request was lost to the kill");
+    for c in &report.completions {
+        assert_eq!(
+            c.invocations, expected,
+            "request {} tally drifted under failover",
+            c.request
+        );
+    }
+}
+
+/// Chaos interplay: an unrecoverable kill fails the serving run with
+/// the typed `CoreLost` — it never hangs waiting for a completion that
+/// cannot come.
+#[test]
+fn unrecoverable_kill_is_typed_core_lost_not_a_hang() {
+    let (_compiler, deployment, _machine) = deploy_for("fractal", 8, 42);
+    // Kill every core before its first dispatch, recovery disabled.
+    let spec = (0..8).fold(
+        FaultSpec::seeded(7).with_recovery(RecoveryPolicy::Disabled),
+        |s, c| s.with_kill(KillTarget::Core(c), 0),
+    );
+    let exec = ThreadedExecutor::default();
+    let mut server = Server::start(
+        &exec,
+        &deployment,
+        RunOptions::default().with_faults(spec),
+        ServingOptions::new(),
+    )
+    .expect("server starts");
+    let mut arrivals = Poisson::new(1_000.0, 1);
+    // serve() may or may not observe the failure depending on when the
+    // kill lands; finish() must surface it either way (and always
+    // stops the workers, so the error path never leaks threads).
+    let served = server.serve(&mut arrivals, 2, |_| Box::new(()));
+    let finished = server.finish().map(|_| ());
+    let err: Error = match served.and(finished) {
+        Err(e) => e.into(),
+        Ok(()) => panic!("unrecovered kill did not fail the serving run"),
+    };
+    assert!(
+        matches!(err, Error::CoreLost { .. }),
+        "unexpected error: {err:?}"
+    );
+}
