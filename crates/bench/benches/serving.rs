@@ -20,8 +20,9 @@
 //!   level, no JSON.
 
 use bamboo::{
-    Compiler, Deployment, MachineDescription, Pacing, Poisson, RunOptions, Server, ServingOptions,
-    ServingReport, SynthesisOptions, ThreadedExecutor,
+    AdaptPolicy, Bursty, Compiler, CoreId, Deployment, DeploymentHandle, MachineDescription,
+    Pacing, Poisson, Profile, RunOptions, Server, ServingOptions, ServingReport, SynthesisOptions,
+    ThreadedExecutor,
 };
 use bamboo_apps::{Benchmark, Scale};
 use rand::SeedableRng;
@@ -50,6 +51,14 @@ const MAX_LEVELS: usize = 12;
 /// stays bounded even when the system completes far slower than it
 /// admits — the pace criterion keeps the recorded max honest.
 const PACE_FRACTION: f64 = 0.5;
+/// Requests per run of the adaptive-vs-frozen comparison (full mode).
+const ADAPT_REQS: usize = 160;
+/// Requests per run of the comparison in smoke mode.
+const ADAPT_REQS_SMOKE: usize = 16;
+/// Reps of each fixed-layout leg of the comparison; the best p99 is
+/// recorded (same convention as the threaded bench's best-wall-over-
+/// reps — the tail of a single rep is host-scheduler noise).
+const ADAPT_REPS: usize = 3;
 
 /// One ladder level's outcome.
 struct Level {
@@ -116,9 +125,36 @@ struct Sweep {
     /// Index into `levels` of the sustainable level (last passing one).
     sustainable: usize,
     levels: Vec<Level>,
+    adapt: AdaptOutcome,
 }
 
-fn deployment_for(bench: &dyn Benchmark, machine: &MachineDescription) -> (Compiler, Deployment) {
+/// Adaptive-vs-frozen outcome under a shifting bursty mix from a
+/// deliberately stale (all-on-core-0) layout.
+struct AdaptOutcome {
+    frozen_p99_us: u64,
+    /// p99 of the shifted mix served under the layout the controller
+    /// converged on (the post-relayout latency).
+    adaptive_p99_us: u64,
+    /// p99 of the adaptive run itself — includes the stale warmup
+    /// phase before the first relayout committed.
+    midrun_p99_us: u64,
+    relayouts: u64,
+    layout_epoch: u64,
+    decisions: u64,
+    /// Observed↔baseline exit-rate divergence before the first
+    /// relayout; negative when unmeasured.
+    pre_divergence: f64,
+    /// Divergence after the last relayout; negative when unmeasured
+    /// (e.g. no relayout committed).
+    post_divergence: f64,
+    /// Both runs completed every admitted request.
+    exact: bool,
+}
+
+fn deployment_for(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+) -> (Compiler, Deployment, Profile) {
     let compiler = bench.compiler(Scale::Small);
     let (profile, _, ()) = compiler
         .profile_run(None, "serving", |_| ())
@@ -126,7 +162,7 @@ fn deployment_for(bench: &dyn Benchmark, machine: &MachineDescription) -> (Compi
     let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
     let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
     let deployment = compiler.deploy(&plan);
-    (compiler, deployment)
+    (compiler, deployment, profile)
 }
 
 /// Serves `total` Poisson arrivals at `rate`; returns the report and
@@ -152,23 +188,124 @@ fn serve_at(
     (server.finish().expect("serving finish"), elapsed)
 }
 
+/// Measures the intrinsic (uncontended) p99 once per app and derives
+/// the SLO target from it. Hoisted out of the ladder: every rung gates
+/// against this one number, so the target cannot drift with host noise
+/// between rungs.
+fn solo_slo(deployment: &Deployment, solo_reqs: usize) -> (u64, f64) {
+    // Stepped pacing with micro-batches of one runs every request to
+    // completion before the next is injected: uncontended latency.
+    let solo_options = ServingOptions::new()
+        .with_pacing(Pacing::Stepped)
+        .with_batching(1, Duration::ZERO);
+    let (solo, _) = serve_at(deployment, solo_options, 1_000.0, SEED, solo_reqs);
+    let solo_p99_us = solo.latency_us.p99().max(1);
+    let slo_p99_us = (solo_p99_us as f64 * SLO_MULTIPLIER).max(SLO_FLOOR_US);
+    (solo_p99_us, slo_p99_us)
+}
+
+/// Serves `total` shifting bursty arrivals (stepped pacing, a batch
+/// window wide enough that a burst's requests actually overlap — which
+/// is exactly where the layout matters) with adaptation optionally
+/// armed. Returns the report and the layout the run ended on.
+fn serve_shifted(
+    deployment: &Deployment,
+    policy: Option<AdaptPolicy>,
+    total: usize,
+) -> (ServingReport, bamboo::Layout) {
+    let mut handle = DeploymentHandle::from_deployment(deployment.clone());
+    if let Some(policy) = policy {
+        handle = handle.with_adapt(policy);
+    }
+    let mut session = handle
+        .serve(
+            ServingOptions::new()
+                .with_pacing(Pacing::Stepped)
+                .with_batching(16, Duration::from_millis(4)),
+        )
+        .expect("server starts");
+    // A Markov-modulated mix: calm 400/s punctuated by 8000/s bursts —
+    // the phase change the synthesized layout never saw. During bursts
+    // the 4ms window fills whole batches, so the serialized stale
+    // layout pays its full price.
+    let mut arrivals = Bursty::new(400.0, 8_000.0, 0.25, SEED);
+    session
+        .serve(&mut arrivals, total, |_| Box::new(()))
+        .expect("shifted serve");
+    let snapshot = session.snapshot();
+    (session.stop().expect("shifted finish"), snapshot.layout)
+}
+
+/// The adaptive-vs-frozen comparison. Both start from the same
+/// deliberately stale layout (every instance on core 0). The frozen run
+/// keeps it end to end. The adaptive run hot-migrates off it mid-stream;
+/// the layout it converges on is then replayed over the same mix, so
+/// `adaptive_p99_us` is the post-relayout latency uncontaminated by the
+/// stale warmup phase (`midrun_p99_us` keeps the contaminated number).
+fn adapt_comparison(
+    deployment: &Deployment,
+    profile: &Profile,
+    machine: &MachineDescription,
+    total: usize,
+) -> AdaptOutcome {
+    let mut squeezed = deployment.clone();
+    for inst in &mut squeezed.layout.instances {
+        inst.core = CoreId::new(0);
+    }
+    // Best p99 over reps of a fixed-layout leg; exact accounting must
+    // hold on every rep.
+    let best_p99 = |layout: &Deployment, exact: &mut bool| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..ADAPT_REPS {
+            let (report, _) = serve_shifted(layout, None, total);
+            *exact &= report.completed == total as u64;
+            best = best.min(report.latency_us.p99());
+        }
+        best
+    };
+    let mut exact = true;
+    let frozen_p99_us = best_p99(&squeezed, &mut exact);
+    let policy = AdaptPolicy::new(machine.clone())
+        .with_min_invocations(16)
+        .with_baseline(profile.clone())
+        .with_seed(SEED);
+    let (adaptive, adapted_layout) = serve_shifted(&squeezed, Some(policy), total);
+    exact &= adaptive.completed == total as u64;
+    let mut adapted = squeezed.clone();
+    for (inst, landed) in adapted
+        .layout
+        .instances
+        .iter_mut()
+        .zip(&adapted_layout.instances)
+    {
+        inst.core = landed.core;
+    }
+    let adaptive_p99_us = best_p99(&adapted, &mut exact);
+    let adapt = adaptive.adapt.clone().unwrap_or_default();
+    AdaptOutcome {
+        frozen_p99_us,
+        adaptive_p99_us,
+        midrun_p99_us: adaptive.latency_us.p99(),
+        relayouts: adapt.relayouts,
+        layout_epoch: adaptive.layout_epoch,
+        decisions: adapt.decisions,
+        pre_divergence: adapt.pre_divergence.unwrap_or(-1.0),
+        post_divergence: adapt.post_divergence.unwrap_or(-1.0),
+        exact,
+    }
+}
+
 fn sweep(
     bench: &dyn Benchmark,
     machine: &MachineDescription,
     solo_reqs: usize,
     level_reqs: usize,
     max_levels: usize,
+    adapt_reqs: usize,
 ) -> Sweep {
-    let (_compiler, deployment) = deployment_for(bench, machine);
-
-    // Stepped pacing with micro-batches of one runs every request to
-    // completion before the next is injected: uncontended latency.
-    let solo_options = ServingOptions::new()
-        .with_pacing(Pacing::Stepped)
-        .with_batching(1, Duration::ZERO);
-    let (solo, _) = serve_at(&deployment, solo_options, 1_000.0, SEED, solo_reqs);
-    let solo_p99_us = solo.latency_us.p99().max(1);
-    let slo_p99_us = (solo_p99_us as f64 * SLO_MULTIPLIER).max(SLO_FLOOR_US);
+    let (_compiler, deployment, profile) = deployment_for(bench, machine);
+    let (solo_p99_us, slo_p99_us) = solo_slo(&deployment, solo_reqs);
+    let adapt = adapt_comparison(&deployment, &profile, machine, adapt_reqs);
 
     let mut levels = Vec::new();
     let mut sustainable = 0usize;
@@ -200,6 +337,7 @@ fn sweep(
         max_sustainable_rps,
         sustainable,
         levels,
+        adapt,
     }
 }
 
@@ -210,13 +348,30 @@ fn json_block(s: &Sweep) -> String {
         .iter()
         .map(|l| format!("        {}", l.json()))
         .collect();
+    let a = &s.adapt;
+    let adapt = format!(
+        "{{ \"frozen_p99_us\": {}, \"adaptive_p99_us\": {}, \"midrun_p99_us\": {}, \
+         \"relayouts\": {}, \
+         \"layout_epoch\": {}, \"decisions\": {}, \"pre_divergence\": {:.6}, \
+         \"post_divergence\": {:.6}, \"exact\": {} }}",
+        a.frozen_p99_us,
+        a.adaptive_p99_us,
+        a.midrun_p99_us,
+        a.relayouts,
+        a.layout_epoch,
+        a.decisions,
+        a.pre_divergence,
+        a.post_divergence,
+        a.exact,
+    );
     format!(
-        "    \"{}\": {{\n      \"solo_p99_us\": {}, \"slo_p99_us\": {:.1}, \"max_sustainable_rps\": {:.1},\n      \"at_sustainable\": {},\n      \"levels\": [\n{}\n      ]\n    }}",
+        "    \"{}\": {{\n      \"solo_p99_us\": {}, \"slo_p99_us\": {:.1}, \"max_sustainable_rps\": {:.1},\n      \"at_sustainable\": {},\n      \"adapt\": {},\n      \"levels\": [\n{}\n      ]\n    }}",
         s.name,
         s.solo_p99_us,
         s.slo_p99_us,
         s.max_sustainable_rps,
         at.json(),
+        adapt,
         levels.join(",\n"),
     )
 }
@@ -240,19 +395,29 @@ fn main() {
             &bamboo_apps::filterbank::FilterBank,
         ]
     };
-    let (solo_reqs, level_reqs, max_levels) = if full {
-        (12, 40, MAX_LEVELS)
+    let (solo_reqs, level_reqs, max_levels, adapt_reqs) = if full {
+        (12, 40, MAX_LEVELS, ADAPT_REQS)
     } else {
-        (4, 6, 1)
+        (4, 6, 1, ADAPT_REQS_SMOKE)
     };
 
     let mut blocks = Vec::new();
     for bench in apps {
-        let s = sweep(bench, &machine, solo_reqs, level_reqs, max_levels);
+        let s = sweep(bench, &machine, solo_reqs, level_reqs, max_levels, adapt_reqs);
         let at = &s.levels[s.sustainable];
         println!(
             "bench serving/{:<12} solo p99 {:>7}us   SLO {:>9.0}us   sustainable {:>7.0} rps (p99 {}us, {} levels)",
             s.name, s.solo_p99_us, s.slo_p99_us, s.max_sustainable_rps, at.p99_us, s.levels.len(),
+        );
+        println!(
+            "      adapt/{:<12} frozen p99 {:>7}us → adaptive p99 {:>7}us   {} relayouts (epoch {}, {} decisions, exact={})",
+            s.name,
+            s.adapt.frozen_p99_us,
+            s.adapt.adaptive_p99_us,
+            s.adapt.relayouts,
+            s.adapt.layout_epoch,
+            s.adapt.decisions,
+            s.adapt.exact,
         );
         blocks.push(json_block(&s));
     }

@@ -49,11 +49,25 @@
 //!   `--chaos` also composes with diagnose mode: the observed run
 //!   executes under the fault plan and the diagnosis includes the
 //!   `fault.*`-attribution findings plus the rendered schedule.
+//!
+//! * **`--adapt-smoke`**: the adaptive re-layout smoke gate. Serves one
+//!   app (default `kmeans`) under a shifting bursty mix from a
+//!   deliberately stale layout — every instance squeezed onto core 0 —
+//!   with the re-layout controller armed under stepped pacing, then
+//!   requires at least one committed hot relayout, exact request
+//!   accounting, and post-relayout model divergence no worse than pre
+//!   (`adapt-improves-or-holds`). Writes the same verdict JSON artifact
+//!   as `--check`. When `BENCH_serving.json` carries recorded `adapt`
+//!   sections, `--check` additionally runs this probe per recorded app
+//!   and appends the full `adapt-*` check set.
+//!
+//!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --adapt-smoke --out doctor_verdict.json`
 
 use bamboo::telemetry::analyze::{self, gate};
 use bamboo::{
-    Compiler, Deployment, DsaOptions, ExecConfig, FaultSpec, MachineDescription, Poisson,
-    RunOptions, Server, ServingOptions, SynthesisOptions, Telemetry, ThreadedExecutor,
+    AdaptPolicy, Bursty, Compiler, CoreId, Deployment, DeploymentHandle, DsaOptions, ExecConfig,
+    FaultSpec, MachineDescription, Pacing, Poisson, RunOptions, Server, ServingOptions,
+    SynthesisOptions, Telemetry, ThreadedExecutor,
 };
 use bamboo_apps::{all, by_name, Benchmark, Scale};
 use rand::SeedableRng;
@@ -78,9 +92,16 @@ const SERVING_CHECK_REQS: usize = 64;
 /// without shedding even on a much slower host, high enough that the
 /// completion throughput clears the gate's floor.
 const SERVING_CHECK_LOAD_FRACTION: f64 = 0.25;
+/// Requests per adaptive-probe run (`--adapt-smoke` and the `adapt-*`
+/// checks of `--check`). Enough for the controller to warm past its
+/// invocation gate and commit a relayout off the stale layout; under
+/// stepped pacing the decision sequence is deterministic, so more
+/// requests buy nothing.
+const ADAPT_CHECK_REQS: usize = 32;
 
 struct Args {
     check: bool,
+    adapt_smoke: bool,
     chaos: bool,
     chaos_seed: u64,
     chaos_cores: usize,
@@ -98,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
     let default_serving_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     let mut args = Args {
         check: false,
+        adapt_smoke: false,
         chaos: false,
         chaos_seed: 7,
         chaos_cores: 16,
@@ -113,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
         match arg.as_str() {
             "--check" => args.check = true,
+            "--adapt-smoke" => args.adapt_smoke = true,
             "--chaos" => args.chaos = true,
             "--chaos-seed" => {
                 args.chaos_seed = value("--chaos-seed")?
@@ -138,7 +161,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: bamboo-doctor [BENCH] [--cores N] [--json PATH] [--chaos] [--chaos-seed N]\n",
                     "       bamboo-doctor --check [--baseline PATH] [--dsa-baseline PATH]\n",
                     "                      [--serving-baseline PATH] [--out PATH]\n",
-                    "       bamboo-doctor --check --chaos [--chaos-seed N] [--chaos-cores N] [--out PATH]"
+                    "       bamboo-doctor --check --chaos [--chaos-seed N] [--chaos-cores N] [--out PATH]\n",
+                    "       bamboo-doctor --adapt-smoke [BENCH] [--cores N] [--out PATH]"
                 )
                 .to_string());
             }
@@ -288,6 +312,84 @@ fn serving_observation(
         router_shed: report.executor.router_shed as f64,
         p99_us: report.latency_us.p99() as f64,
     })
+}
+
+/// Serves a deterministic adaptive probe against `bench` for the
+/// `adapt-*` gate checks: stepped pacing, fixed seeds, a shifting
+/// bursty mix, and a deliberately stale starting layout (every instance
+/// squeezed onto core 0) the armed controller should hot-migrate off.
+fn adapt_observation(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+) -> Result<gate::AdaptObservation, String> {
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler
+        .profile_run(None, "doctor", |_| ())
+        .map_err(|e| format!("{}: profile failed: {e}", bench.name()))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let plan = compiler.synthesize(&profile, machine, &SynthesisOptions::default(), &mut rng);
+    let mut deployment = compiler.deploy(&plan);
+    for inst in &mut deployment.layout.instances {
+        inst.core = CoreId::new(0);
+    }
+    let policy = AdaptPolicy::new(machine.clone())
+        .with_min_invocations(16)
+        .with_baseline(profile)
+        .with_seed(SEED);
+    let mut session = DeploymentHandle::from_deployment(deployment)
+        .with_adapt(policy)
+        .serve(ServingOptions::new().with_pacing(Pacing::Stepped))
+        .map_err(|e| format!("{}: adaptive probe start failed: {e}", bench.name()))?;
+    let mut arrivals = Bursty::new(400.0, 4_000.0, 0.2, SEED);
+    session
+        .serve(&mut arrivals, ADAPT_CHECK_REQS, |_| Box::new(()))
+        .map_err(|e| format!("{}: adaptive probe serve failed: {e}", bench.name()))?;
+    let report = session
+        .stop()
+        .map_err(|e| format!("{}: adaptive probe finish failed: {e}", bench.name()))?;
+    let adapt = report.adapt.clone().unwrap_or_default();
+    Ok(gate::AdaptObservation {
+        name: bench.name().to_string(),
+        relayouts: adapt.relayouts as f64,
+        admitted: report.admitted as f64,
+        completed: report.completed as f64,
+        pre_divergence: adapt.pre_divergence,
+        post_divergence: adapt.post_divergence,
+    })
+}
+
+/// `--adapt-smoke`: serve one app under the shifting mix with the
+/// controller armed and gate on the live `adapt-*` checks alone (no
+/// recorded baseline needed).
+fn adapt_smoke_mode(args: &Args) -> Result<bool, String> {
+    let bench = by_name(&args.bench).ok_or(format!("unknown benchmark {:?}", args.bench))?;
+    let machine = MachineDescription::n_cores(args.cores);
+    println!(
+        "bamboo-doctor: adaptive re-layout smoke on {} ({} cores, {} requests)\n",
+        bench.name(),
+        args.cores,
+        ADAPT_CHECK_REQS,
+    );
+    let obs = adapt_observation(bench.as_ref(), &machine)?;
+    println!(
+        "adapted {:<12} {}/{} completed, {} relayout(s), divergence {} -> {}",
+        obs.name,
+        obs.completed,
+        obs.admitted,
+        obs.relayouts,
+        obs.pre_divergence
+            .map_or("unmeasured".to_string(), |d| format!("{d:.4}")),
+        obs.post_divergence
+            .map_or("unmeasured".to_string(), |d| format!("{d:.4}")),
+    );
+    let verdict = gate::Verdict {
+        checks: gate::evaluate_adapt_probe(&[obs]),
+    };
+    println!("\n{}", verdict.table());
+    let out = args.json_out.as_deref().unwrap_or("doctor_verdict.json");
+    std::fs::write(out, verdict.json()).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(verdict.pass())
 }
 
 fn diagnose_mode(args: &Args) -> Result<(), String> {
@@ -539,6 +641,36 @@ fn check_mode(args: &Args) -> Result<bool, String> {
                 &serving_baseline,
                 &serving_observations,
             ));
+
+            // Adaptive re-layout checks, gated on recorded `adapt`
+            // sections (absent on baselines from before the loop
+            // existed — nothing to gate then).
+            let mut adapt_observations = Vec::new();
+            for base in &serving_baseline.benches {
+                if base.adapt.is_none() {
+                    continue;
+                }
+                let Some(bench) = by_name(&base.name) else {
+                    continue;
+                };
+                let obs = adapt_observation(bench.as_ref(), &serving_machine)?;
+                println!(
+                    "adapted {:<12} {}/{} completed, {} relayout(s), divergence {} -> {}",
+                    base.name,
+                    obs.completed,
+                    obs.admitted,
+                    obs.relayouts,
+                    obs.pre_divergence
+                        .map_or("unmeasured".to_string(), |d| format!("{d:.4}")),
+                    obs.post_divergence
+                        .map_or("unmeasured".to_string(), |d| format!("{d:.4}")),
+                );
+                adapt_observations.push(obs);
+            }
+            verdict.checks.extend(gate::evaluate_adapt(
+                &serving_baseline,
+                &adapt_observations,
+            ));
         }
         Err(err) => eprintln!(
             "warning: no serving baseline at {} ({err}); skipping serving-* checks",
@@ -561,10 +693,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = match (args.check, args.chaos) {
-        (true, true) => chaos_check_mode(&args),
-        (true, false) => check_mode(&args),
-        (false, _) => diagnose_mode(&args).map(|()| true),
+    let outcome = if args.adapt_smoke {
+        adapt_smoke_mode(&args)
+    } else {
+        match (args.check, args.chaos) {
+            (true, true) => chaos_check_mode(&args),
+            (true, false) => check_mode(&args),
+            (false, _) => diagnose_mode(&args).map(|()| true),
+        }
     };
     match outcome {
         Ok(true) => ExitCode::SUCCESS,

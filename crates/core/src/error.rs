@@ -8,7 +8,7 @@
 //! conversions so `?` composes the whole flow.
 
 use bamboo_lang::span::CompileError;
-use bamboo_runtime::{ExecError, PayloadTypeError};
+use bamboo_runtime::{ExecError, PayloadTypeError, RelayoutError};
 use bamboo_serving::{ServingError, ShedReason};
 use std::fmt;
 
@@ -26,6 +26,7 @@ use std::fmt;
 /// assert!(matches!(pipeline(), Err(Error::Compile(_))));
 /// ```
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// The frontend rejected the program (parse or semantic
     /// diagnostics).
@@ -52,6 +53,11 @@ pub enum Error {
         /// Which admission policy refused the request.
         reason: ShedReason,
     },
+    /// A hot-relayout commit was rejected (unknown instance, unknown
+    /// core, or a dead target). The deployment keeps running on its
+    /// current layout — commits validate every move before mutating
+    /// anything — so this is advisory, not fatal.
+    RelayoutFailed(RelayoutError),
 }
 
 impl fmt::Display for Error {
@@ -69,6 +75,7 @@ impl fmt::Display for Error {
             Error::Overloaded { reason } => {
                 write!(f, "request shed at admission ({reason})")
             }
+            Error::RelayoutFailed(e) => write!(f, "hot relayout rejected: {e}"),
         }
     }
 }
@@ -79,6 +86,7 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Exec(e) => Some(e),
             Error::Payload(e) => Some(e),
+            Error::RelayoutFailed(e) => Some(e),
             Error::CoreLost { .. } | Error::Overloaded { .. } => None,
         }
     }
@@ -89,7 +97,17 @@ impl From<ServingError> for Error {
         match e {
             ServingError::Overloaded { reason } => Error::Overloaded { reason },
             ServingError::Exec(exec) => exec.into(),
+            ServingError::Relayout(e) => Error::RelayoutFailed(e),
+            // `ServingError` is non-exhaustive; fold any future variant
+            // into the trap shape rather than panicking.
+            other => Error::Exec(ExecError::Trap(other.to_string())),
         }
+    }
+}
+
+impl From<RelayoutError> for Error {
+    fn from(e: RelayoutError) -> Self {
+        Error::RelayoutFailed(e)
     }
 }
 
@@ -159,6 +177,20 @@ mod tests {
         // A serving-wrapped core loss still surfaces as CoreLost.
         let err: Error = ServingError::Exec(ExecError::CoreLost { core: 5 }).into();
         assert!(matches!(err, Error::CoreLost { core: 5 }));
+    }
+
+    #[test]
+    fn relayout_rejections_convert_and_chain() {
+        let err: Error = RelayoutError::DeadCore { core: 4 }.into();
+        assert!(matches!(
+            err,
+            Error::RelayoutFailed(RelayoutError::DeadCore { core: 4 })
+        ));
+        assert!(err.to_string().contains("hot relayout rejected"), "{err}");
+        assert!(err.source().is_some(), "chains to the runtime error");
+        // The serving wrapper takes the same path.
+        let err: Error = ServingError::Relayout(RelayoutError::UnknownInstance { instance: 9 }).into();
+        assert!(matches!(err, Error::RelayoutFailed(_)));
     }
 
     #[test]

@@ -68,10 +68,12 @@
 
 pub mod compiler;
 pub mod error;
+pub mod handle;
 pub mod prelude;
 
 pub use compiler::Compiler;
 pub use error::Error;
+pub use handle::{DeploymentHandle, LayoutEpoch, ServingSession};
 
 // Subsystem crates, re-exported under stable names.
 pub use bamboo_analysis as analysis;
@@ -91,10 +93,11 @@ pub use bamboo_lang::spec::{FlagExpr, FlagSet, ProgramSpec};
 pub use bamboo_machine::{CoreId, MachineDescription};
 pub use bamboo_profile::{Cycles, MarkovModel, Profile, ProfileCollector};
 pub use bamboo_runtime::{
-    body, Completion, CoreKill, CoreStall, CostModel, Deployment, ExecConfig, ExecError, FaultPlan,
-    FaultSpec, KillTarget, NativeBody, NativePayload, PayloadTypeError, Program, QuiescencePolicy,
-    RecoveryPolicy, RequestLedger, ResidentRun, RouterPolicy, RunOptions, RunReport, StealPolicy,
-    ThreadedExecutor, ThreadedReport, VirtualExecutor,
+    body, AdaptPolicy, AdaptReport, AdaptiveController, Completion, CoreKill, CoreStall, CostModel,
+    Deployment, ExecConfig, ExecError, FaultPlan, FaultSpec, KillTarget, NativeBody, NativePayload,
+    PayloadTypeError, Program, QuiescencePolicy, RecoveryPolicy, RelayoutError, RelayoutHandle,
+    RequestLedger, ResidentRun, RouterPolicy, RunOptions, RunReport, StealPolicy, ThreadedExecutor,
+    ThreadedReport, VirtualExecutor,
 };
 pub use bamboo_schedule::{
     simulate, DsaOptions, ExecutionTrace, GroupGraph, Layout, Replication, SimOptions, SimResult,

@@ -13,14 +13,15 @@
 //! threading the failures.
 
 pub use crate::error::Error;
+pub use crate::handle::{DeploymentHandle, LayoutEpoch, ServingSession};
 pub use crate::Compiler;
 pub use bamboo_lang::builder::ProgramBuilder;
 pub use bamboo_lang::spec::FlagExpr;
 pub use bamboo_machine::MachineDescription;
 pub use bamboo_profile::Profile;
 pub use bamboo_runtime::{
-    body, Deployment, ExecConfig, ExecError, FaultSpec, NativeBody, Program, RunOptions,
-    StealPolicy, ThreadedExecutor, VirtualExecutor,
+    body, AdaptPolicy, AdaptReport, Deployment, ExecConfig, ExecError, FaultSpec, NativeBody,
+    Program, RelayoutError, RunOptions, StealPolicy, ThreadedExecutor, VirtualExecutor,
 };
 pub use bamboo_schedule::{GroupGraph, Layout, SynthesisOptions, SynthesisResult};
 pub use bamboo_serving::{Bursty, Poisson, Server, ServingOptions};

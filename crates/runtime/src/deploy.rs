@@ -12,6 +12,7 @@
 //! telemetry session, steal policy, quiescence protocol) that used to
 //! be positional arguments or hard-coded constants.
 
+use crate::adapt::AdaptPolicy;
 use crate::chaos::FaultSpec;
 use crate::program::{NativePayload, Program};
 use bamboo_analysis::{Cstg, DependenceAnalysis, DisjointnessAnalysis};
@@ -176,6 +177,11 @@ pub struct RunOptions {
     /// steal topology at run start; the resulting fault schedule is
     /// reported in `ThreadedReport::fault_schedule`.
     pub faults: Option<FaultSpec>,
+    /// Online adaptive re-layout (`None` = the synthesized layout runs
+    /// unchanged). Arms the live profile estimator; resident runs park
+    /// the policy for the serving front-end to claim and drive an
+    /// [`crate::adapt::AdaptiveController`] with.
+    pub adapt: Option<AdaptPolicy>,
 }
 
 impl RunOptions {
@@ -227,6 +233,13 @@ impl RunOptions {
     #[must_use]
     pub fn with_quiescence(mut self, quiescence: QuiescencePolicy) -> Self {
         self.quiescence = quiescence;
+        self
+    }
+
+    /// Arms online adaptive re-layout under `policy`.
+    #[must_use]
+    pub fn with_adapt(mut self, policy: AdaptPolicy) -> Self {
+        self.adapt = Some(policy);
         self
     }
 

@@ -86,6 +86,23 @@ impl RequestLedger {
         entry.count += 1;
     }
 
+    /// Counts one unit of activity against `request` only when the
+    /// request is still open, and reports whether it was counted. Used
+    /// when re-sending *buffered* objects — a hot-migration drain or a
+    /// dead core's failover — where the request may have already
+    /// completed: a completed request's leftovers must travel without
+    /// re-opening its ledger entry, or the completion would fire twice.
+    pub fn inc_if_open(&self, request: u64) -> bool {
+        let mut map = self.stripe(request).lock();
+        match map.get_mut(&request) {
+            Some(entry) => {
+                entry.count += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Charges one executed invocation to `request` (called while the
     /// invocation's own activity unit is still held, so the entry is
     /// guaranteed live).
@@ -166,6 +183,19 @@ mod tests {
         assert!(!ledger.is_empty());
         assert!(ledger.dec(2).is_some());
         assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn inc_if_open_never_resurrects_a_completed_request() {
+        let (ledger, rx) = RequestLedger::new();
+        ledger.inc(3);
+        assert!(ledger.inc_if_open(3), "open request counts the unit");
+        assert!(ledger.dec(3).is_none());
+        assert!(ledger.dec(3).is_some());
+        assert!(!ledger.inc_if_open(3), "completed request stays closed");
+        assert!(ledger.dec(3).is_none(), "orphan release is a no-op");
+        assert!(ledger.is_empty());
+        assert_eq!(rx.try_iter().count(), 1, "exactly one completion");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   try-locks and channel-based object transfer; demonstrates the
 //!   concurrent semantics (native programs only).
 
+pub mod adapt;
 pub mod chaos;
 pub mod cost;
 pub mod deploy;
@@ -30,12 +31,17 @@ pub mod store;
 pub mod threaded;
 pub mod virtual_exec;
 
+pub use adapt::{AdaptPolicy, AdaptReport, AdaptiveController, RelayoutError};
 pub use chaos::{CoreKill, CoreStall, FaultPlan, FaultSpec, KillTarget, RecoveryPolicy};
 pub use cost::CostModel;
 pub use deploy::{Deployment, QuiescencePolicy, RouterPolicy, RunOptions, StealPolicy};
 pub use ledger::{Completion, RequestLedger};
 pub use program::{body, NativeBody, NativePayload, Program, TaskCtx};
 pub use router::ShardedRouter;
+// The layout is part of the runtime's public surface (deployments carry
+// one; `RelayoutHandle::current_layout` returns the live view), so
+// dependents that don't otherwise touch the scheduler can name it.
+pub use bamboo_schedule::Layout;
 pub use store::{ObjId, ObjectStore, PayloadSlot, RtObject};
-pub use threaded::{PayloadTypeError, ResidentRun, ThreadedExecutor, ThreadedReport};
+pub use threaded::{PayloadTypeError, RelayoutHandle, ResidentRun, ThreadedExecutor, ThreadedReport};
 pub use virtual_exec::{ExecConfig, ExecError, RunReport, VirtualExecutor};

@@ -136,6 +136,33 @@ impl ShardedRouter {
             .route_transition(spec, graph, layout, home, class, flags, tag_hash)
     }
 
+    /// Moves `instance`'s round-robin counters from the stripe of
+    /// `from_core` to the stripe of `to_core` during a hot migration,
+    /// so the per-(instance, task) distribution sequences continue
+    /// exactly where the old core left them. No-op when both cores map
+    /// to the same stripe (always true for a single-stripe router).
+    /// Both stripes are locked in index order, so concurrent transfers
+    /// cannot deadlock against each other or against route calls.
+    pub fn transfer_instance(&self, from_core: usize, to_core: usize, instance: InstanceId) {
+        let from_idx = from_core % self.shards.len();
+        let to_idx = to_core % self.shards.len();
+        if from_idx == to_idx {
+            return;
+        }
+        let (lo, hi) = (from_idx.min(to_idx), from_idx.max(to_idx));
+        let mut guard_lo = self.shards[lo].lock();
+        let mut guard_hi = self.shards[hi].lock();
+        let (src, dst) = if from_idx == lo {
+            (&mut guard_lo, &mut guard_hi)
+        } else {
+            (&mut guard_hi, &mut guard_lo)
+        };
+        let state = src.extract_instance(instance);
+        if !state.is_empty() {
+            dst.absorb_instance(instance, state);
+        }
+    }
+
     /// [`Router::route_new`] on the stripe of `core` (the core hosting
     /// `from`).
     #[allow(clippy::too_many_arguments)]

@@ -40,16 +40,19 @@ use bamboo_lang::interp::TagInstance;
 use bamboo_lang::spec::{FlagOrTagAction, FlagSet, ProgramSpec};
 use bamboo_profile::Cycles;
 use bamboo_schedule::{GroupGraph, InstanceId, Layout, RouteDecision};
+use bamboo_telemetry::analyze::LiveEstimator;
 use bamboo_telemetry::event::{fault_code, recover_code};
 use bamboo_telemetry::{Counter, Telemetry, TimeUnit, WorkerSink, NO_ID};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
+
+use crate::adapt::{AdaptPolicy, RelayoutError};
 
 use crate::virtual_exec::ExecError;
 
@@ -75,6 +78,10 @@ struct TObject {
     /// (request isolation — see `form_all`). Batch runs use a single
     /// request for the whole run.
     request: u64,
+    /// Instance the carrying send targeted (the object's buffering
+    /// home). Re-read on delivery so an object that raced a hot
+    /// relayout chases its instance to the instance's current core.
+    instance: InstanceId,
 }
 
 enum Message {
@@ -86,6 +93,12 @@ enum Message {
     /// graveyard. Safe because a request's ledger count reaching zero
     /// is final — no new work for it can appear. Carries no activity.
     Sweep(u64),
+    /// A hot relayout moved `instance` off this core: drain its
+    /// buffered parameter-set objects by re-sending them (the live
+    /// assignment already points at the new host, so `send` routes them
+    /// there). Carries no activity; the drain mints fresh units before
+    /// each hand-off, exactly like the failover drain.
+    Migrate(InstanceId),
     Shutdown,
 }
 
@@ -152,6 +165,24 @@ struct Shared {
     program: Program,
     graph: GroupGraph,
     layout: Layout,
+    /// Live instance→core assignment, indexed by instance id. `layout`
+    /// stays the immutable synthesis artifact (group membership, slot
+    /// shapes); a hot relayout mutates only this table, and every send
+    /// resolves its destination core through it.
+    assignment: Vec<AtomicUsize>,
+    /// Bumped once per committed relayout. Workers compare it against
+    /// their cached assigned-instance list on each delivery and rebuild
+    /// the cache when it moved (one atomic load on the hot path).
+    epoch: AtomicU64,
+    /// Serializes relayout commits so each batch's stripe transfers and
+    /// assignment swaps land atomically with respect to other commits.
+    relayout_lock: Mutex<()>,
+    /// Instances migrated by hot relayouts. Mirrors the
+    /// `relayout.migrations` counter.
+    relayout_tally: AtomicU64,
+    /// Live profile estimator feeding the adaptive controller (`None`
+    /// unless the run was started with an [`AdaptPolicy`]).
+    estimator: Option<Arc<LiveEstimator>>,
     locks_analysis: DisjointnessAnalysis,
     lock_table: LockTable,
     router: ShardedRouter,
@@ -227,6 +258,7 @@ struct Shared {
     shed_counter: Counter,
     fault_counter: Counter,
     recover_counter: Counter,
+    relayout_counter: Counter,
 }
 
 /// Estimated wire size of one object, matching the virtual executor's
@@ -259,12 +291,40 @@ impl Shared {
         &self,
         src: u64,
         instance: InstanceId,
+        obj: Box<TObject>,
+        sink: &mut WorkerSink,
+    ) -> (usize, u64) {
+        self.send_impl(src, instance, obj, sink, false)
+    }
+
+    /// [`Self::send`] for *adopted* objects — buffered leftovers
+    /// re-sent by a hot-migration or failover drain. Identical wire
+    /// semantics, except the ledger unit is only counted when the
+    /// request is still open: a completed request's leftovers travel
+    /// under global activity alone, so the completion never fires
+    /// twice ([`RequestLedger::inc_if_open`]).
+    fn send_adopted(
+        &self,
+        src: u64,
+        instance: InstanceId,
+        obj: Box<TObject>,
+        sink: &mut WorkerSink,
+    ) -> (usize, u64) {
+        self.send_impl(src, instance, obj, sink, true)
+    }
+
+    fn send_impl(
+        &self,
+        src: u64,
+        instance: InstanceId,
         mut obj: Box<TObject>,
         sink: &mut WorkerSink,
+        adopt: bool,
     ) -> (usize, u64) {
         let msg = self.next_msg.fetch_add(1, Ordering::Relaxed) + 1;
         obj.msg = msg;
         obj.src_core = src;
+        obj.instance = instance;
         let request = obj.request;
         // Simulated wire faults apply to worker sends only; the driver's
         // startup injection is exempt so every run has work to lose.
@@ -289,7 +349,7 @@ impl Shared {
                     }
                     if lost {
                         self.fail(ExecError::MessageLost { msg });
-                        let core = self.layout.core_of(instance).index();
+                        let core = self.core_of(instance);
                         let _ = self.graveyard.send(obj);
                         return (core, msg);
                     }
@@ -310,7 +370,7 @@ impl Shared {
                 }
             }
         }
-        let mut core = self.layout.core_of(instance).index();
+        let mut core = self.core_of(instance);
         if self.router.is_dead(core) {
             match self.failover_core(instance, msg) {
                 Some(live) => {
@@ -327,7 +387,11 @@ impl Shared {
             }
         }
         self.activity.fetch_add(1, Ordering::SeqCst);
-        self.ledger.inc(request);
+        if adopt {
+            self.ledger.inc_if_open(request);
+        } else {
+            self.ledger.inc(request);
+        }
         match self.senders[core].send(Message::Deliver(obj)) {
             Ok(()) => self.bytes_sent.add(OBJ_BYTES_ESTIMATE),
             Err(returned) => {
@@ -406,6 +470,25 @@ impl Shared {
 
     fn group_of_instance(&self, inst: InstanceId) -> usize {
         self.layout.instances[inst.index()].group.index()
+    }
+
+    /// The core currently hosting `inst` per the live assignment table
+    /// (the layout's static `core_of` is only the epoch-0 placement).
+    fn core_of(&self, inst: InstanceId) -> usize {
+        self.assignment[inst.index()].load(Ordering::Acquire)
+    }
+
+    /// The live layout artifact: the synthesis layout's group topology
+    /// with every instance's core overwritten from the assignment
+    /// table. This is what epoch `n` actually routes with.
+    fn current_layout(&self) -> Layout {
+        let mut layout = self.layout.clone();
+        for (i, inst) in layout.instances.iter_mut().enumerate() {
+            inst.core = bamboo_machine::CoreId::new(
+                self.assignment[i].load(Ordering::Acquire),
+            );
+        }
+        layout
     }
 
     /// Enqueues a formed invocation. The owner's queue is preferred;
@@ -549,6 +632,13 @@ pub struct ThreadedReport {
     /// Recovery actions completed (redeliveries, reroutes, failover
     /// drains). Mirrors the `chaos.recoveries` counter.
     pub recovery_actions: u64,
+    /// Instances migrated by hot relayouts during the run. Zero unless
+    /// an adaptive controller committed at least one relayout. Mirrors
+    /// the `relayout.migrations` counter.
+    pub relayouts: u64,
+    /// The layout epoch at shutdown (0 = the synthesized layout ran
+    /// unchanged; each committed relayout batch bumps it once).
+    pub layout_epoch: u64,
     /// Rendered fault schedule of the run's compiled plan (`None` on
     /// fault-free runs). Byte-identical for identical
     /// [`crate::chaos::FaultSpec`] + deployment topology — the
@@ -600,6 +690,11 @@ impl ThreadedExecutor {
     /// Creates an executor. The cost model is accepted for interface
     /// symmetry with the virtual executor; the threaded executor reports
     /// real wall time plus body-charged cycles.
+    #[deprecated(
+        since = "0.7.0",
+        note = "the cost model is unused here; go through the `DeploymentHandle` \
+                lifecycle in the `bamboo` crate, or use `ThreadedExecutor::default()`"
+    )]
     pub fn new(cost: CostModel) -> Self {
         ThreadedExecutor { _cost: cost }
     }
@@ -727,10 +822,24 @@ impl ThreadedExecutor {
             .as_ref()
             .map(|fspec| FaultPlan::compile(fspec, &group_cores, &hosted));
         let (ledger, completions) = RequestLedger::new();
+        let queue_cap = options.queue_capacity();
+        let adapt = options.adapt;
+        let estimator = adapt
+            .as_ref()
+            .map(|_| Arc::new(LiveEstimator::new(&program.spec)));
         let shared = Arc::new(Shared {
             program: program.clone(),
             graph: graph.clone(),
             layout: layout.clone(),
+            assignment: layout
+                .instances
+                .iter()
+                .map(|inst| AtomicUsize::new(inst.core.index()))
+                .collect(),
+            epoch: AtomicU64::new(0),
+            relayout_lock: Mutex::new(()),
+            relayout_tally: AtomicU64::new(0),
+            estimator,
             locks_analysis: locks.clone(),
             lock_table: LockTable::new(),
             router: ShardedRouter::new(
@@ -760,7 +869,7 @@ impl ThreadedExecutor {
             hosted,
             steal_peers,
             steal_enabled: options.steal == StealPolicy::SameGroup,
-            queue_cap: options.queue_capacity(),
+            queue_cap,
             graveyard: grave_tx,
             chaos,
             failure: StdMutex::new(None),
@@ -774,6 +883,7 @@ impl ThreadedExecutor {
             shed_counter: telemetry.counter("router.shed"),
             fault_counter: telemetry.counter("chaos.faults"),
             recover_counter: telemetry.counter("chaos.recoveries"),
+            relayout_counter: telemetry.counter("relayout.migrations"),
         });
 
         // Spawn workers.
@@ -804,6 +914,7 @@ impl ThreadedExecutor {
             quiescence: options.quiescence,
             quiescence_settle: options.quiescence_settle,
             start,
+            adapt,
         })
     }
 }
@@ -822,6 +933,9 @@ pub struct ResidentRun {
     quiescence: QuiescencePolicy,
     quiescence_settle: Duration,
     start: std::time::Instant,
+    /// The adapt policy the run was started with, parked here for the
+    /// serving front-end to claim ([`Self::take_adapt_policy`]).
+    adapt: Option<AdaptPolicy>,
 }
 
 impl ResidentRun {
@@ -860,6 +974,7 @@ impl ResidentRun {
         for payload in payloads {
             let request = self.next_request;
             self.next_request += 1;
+            let inst = instances[((request - 1) as usize) % instances.len()];
             let obj = Box::new(TObject {
                 class: spec.startup.class,
                 flags: FlagSet::new().with(spec.startup.flag, true),
@@ -870,8 +985,8 @@ impl ResidentRun {
                 msg: NO_ID,
                 src_core: NO_ID,
                 request,
+                instance: inst,
             });
-            let inst = instances[((request - 1) as usize) % instances.len()];
             let ts = self.driver_sink.now();
             self.driver_sink.req_admit(ts, request, batch);
             let (dest_core, msg) = self.shared.send(NO_ID, inst, obj, &mut self.driver_sink);
@@ -905,14 +1020,56 @@ impl ResidentRun {
 
     /// The deepest ingress backlog across the startup group's host
     /// cores: pending channel messages plus ready-queue length. The
-    /// admission layer sheds against this depth.
+    /// admission layer sheds against this depth. Host cores are read
+    /// from the live assignment, so a relayout that moves the startup
+    /// group re-targets backpressure with it.
     pub fn ingress_depth(&self) -> usize {
-        let group = self.shared.graph.startup_group.index();
-        self.shared.group_cores[group]
+        let mut cores: Vec<usize> = self
+            .shared
+            .layout
+            .instances_of(self.shared.graph.startup_group)
+            .iter()
+            .map(|&inst| self.shared.core_of(inst))
+            .collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores
             .iter()
             .map(|&c| self.shared.senders[c].len() + self.shared.ready[c].lock().len())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Instances migrated by hot relayouts so far.
+    pub fn relayouts(&self) -> u64 {
+        self.shared.relayout_tally.load(Ordering::Relaxed)
+    }
+
+    /// The current layout epoch (0 until the first relayout commits;
+    /// bumped once per committed relayout batch).
+    pub fn layout_epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// The live layout: the deployment's synthesis layout with every
+    /// instance's core read from the current assignment table.
+    pub fn current_layout(&self) -> Layout {
+        self.shared.current_layout()
+    }
+
+    /// A cloneable handle the adaptive controller uses to observe the
+    /// run (live estimator, current layout, epoch) and commit hot
+    /// relayouts against it.
+    pub fn relayout_handle(&self) -> RelayoutHandle {
+        RelayoutHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Claims the [`AdaptPolicy`] the run was started with, if any
+    /// (the serving front-end takes it to drive the controller).
+    pub fn take_adapt_policy(&mut self) -> Option<AdaptPolicy> {
+        self.adapt.take()
     }
 
     /// The configured soft bound on each worker's run queue.
@@ -1018,6 +1175,8 @@ impl ResidentRun {
             wall: self.start.elapsed(),
             faults_injected: shared.faults_injected.load(Ordering::SeqCst),
             recovery_actions: shared.recovery_tally.load(Ordering::SeqCst),
+            relayouts: shared.relayout_tally.load(Ordering::SeqCst),
+            layout_epoch: shared.epoch.load(Ordering::SeqCst),
             fault_schedule: shared.chaos.as_ref().map(|p| p.schedule().to_string()),
         })
     }
@@ -1025,7 +1184,128 @@ impl ResidentRun {
 
 impl Default for ThreadedExecutor {
     fn default() -> Self {
+        #[allow(deprecated)]
         ThreadedExecutor::new(CostModel::DEFAULT)
+    }
+}
+
+/// A cloneable handle onto a live resident run, through which the
+/// adaptive controller (or a test) observes the run and commits hot
+/// relayouts. Obtained from [`ResidentRun::relayout_handle`]; remains
+/// valid until the run shuts down (commits against a shut-down run are
+/// harmless — the drain messages land on closed channels and the final
+/// graveyard drain already collects every buffered object).
+#[derive(Clone)]
+pub struct RelayoutHandle {
+    shared: Arc<Shared>,
+}
+
+impl RelayoutHandle {
+    /// The running program's spec.
+    pub fn spec(&self) -> &ProgramSpec {
+        self.shared.spec()
+    }
+
+    /// The deployment's group graph.
+    pub fn graph(&self) -> &GroupGraph {
+        &self.shared.graph
+    }
+
+    /// Number of worker cores.
+    pub fn core_count(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// The live layout (synthesis topology + current assignment).
+    pub fn current_layout(&self) -> Layout {
+        self.shared.current_layout()
+    }
+
+    /// The current layout epoch.
+    pub fn layout_epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Instances migrated by hot relayouts so far.
+    pub fn relayouts(&self) -> u64 {
+        self.shared.relayout_tally.load(Ordering::Relaxed)
+    }
+
+    /// Invocations executed so far (across all epochs).
+    pub fn invocations(&self) -> u64 {
+        self.shared.invocations.load(Ordering::Relaxed)
+    }
+
+    /// Whether `core` was killed by fault injection.
+    pub fn is_core_dead(&self, core: usize) -> bool {
+        self.shared.router.is_dead(core)
+    }
+
+    /// The run's live profile estimator (`None` unless the run was
+    /// started with an [`AdaptPolicy`]).
+    pub fn estimator(&self) -> Option<Arc<LiveEstimator>> {
+        self.shared.estimator.clone()
+    }
+
+    /// Commits one batch of hot migrations: each `(instance, core)`
+    /// pair re-homes that instance onto that core *while the run is
+    /// live*. The whole batch is validated first (typed errors, nothing
+    /// mutated on failure), then per move the instance's router-stripe
+    /// state transfers to the destination and the live assignment is
+    /// swapped; one epoch bump publishes the batch, and each source
+    /// core is told to drain the moved instance's buffered objects to
+    /// its new host ([`Message::Migrate`]). Requests in flight are
+    /// never lost or double-counted — drained objects travel as
+    /// *adopted* sends (see [`RequestLedger::inc_if_open`]).
+    ///
+    /// Returns the epoch the batch committed as (the pre-commit epoch
+    /// when every move was already in place).
+    ///
+    /// # Errors
+    ///
+    /// [`RelayoutError::UnknownInstance`] / [`RelayoutError::UnknownCore`]
+    /// for out-of-range ids, [`RelayoutError::DeadCore`] when a
+    /// destination was killed by fault injection.
+    pub fn migrate(&self, moves: &[(InstanceId, usize)]) -> Result<u64, RelayoutError> {
+        let shared = &self.shared;
+        let _commit = shared.relayout_lock.lock();
+        let cores = shared.senders.len();
+        for &(inst, to) in moves {
+            if inst.index() >= shared.assignment.len() {
+                return Err(RelayoutError::UnknownInstance {
+                    instance: inst.index(),
+                });
+            }
+            if to >= cores {
+                return Err(RelayoutError::UnknownCore { core: to });
+            }
+            if shared.router.is_dead(to) {
+                return Err(RelayoutError::DeadCore { core: to });
+            }
+        }
+        let mut sources: Vec<(usize, InstanceId)> = Vec::new();
+        for &(inst, to) in moves {
+            let from = shared.assignment[inst.index()].load(Ordering::Acquire);
+            if from == to {
+                continue;
+            }
+            shared.router.transfer_instance(from, to, inst);
+            shared.assignment[inst.index()].store(to, Ordering::Release);
+            sources.push((from, inst));
+        }
+        if sources.is_empty() {
+            return Ok(shared.epoch.load(Ordering::Acquire));
+        }
+        let migrated = sources.len() as u64;
+        let epoch = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        shared.relayout_tally.fetch_add(migrated, Ordering::Relaxed);
+        shared.relayout_counter.add(migrated);
+        for (from, inst) in sources {
+            // A closed channel means the worker already exited
+            // (shutdown race); its leftovers drain at the join.
+            let _ = shared.senders[from].send(Message::Migrate(inst));
+        }
+        Ok(epoch)
     }
 }
 
@@ -1046,16 +1326,59 @@ struct PendingInv {
     request: u64,
 }
 
-fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
-    let spec = shared.spec().clone();
-    let mut sink = shared.telemetry.worker(core);
-    // Instances on this core, with their (task, param) slots.
-    let instances = shared
-        .layout
-        .instances_on(bamboo_machine::CoreId::new(core));
-    let mut slots: Vec<Vec<(TaskId, ParamIdx)>> = Vec::new();
-    let mut sets: Vec<Vec<VecDeque<Box<TObject>>>> = Vec::new();
-    for inst in &instances {
+/// A worker's per-instance buffering state: the parameter-set queues of
+/// every instance currently (or formerly) hosted by the core.
+///
+/// `assigned` caches the worker's slice of the live assignment table
+/// and is rebuilt whenever the relayout epoch moves — one atomic load
+/// per delivery otherwise. `sets`/`slots` keep entries for
+/// migrated-away instances until their `Migrate` drain empties them
+/// (and for failover guests, which are handled through the same maps).
+struct WorkerSets {
+    assigned: Vec<InstanceId>,
+    slots: HashMap<InstanceId, Vec<(TaskId, ParamIdx)>>,
+    sets: HashMap<InstanceId, Vec<VecDeque<Box<TObject>>>>,
+    epoch: u64,
+}
+
+impl WorkerSets {
+    fn new() -> Self {
+        WorkerSets {
+            assigned: Vec::new(),
+            slots: HashMap::new(),
+            sets: HashMap::new(),
+            // Forces the first `refresh` to build the epoch-0 cache.
+            epoch: u64::MAX,
+        }
+    }
+
+    /// Rebuilds the assigned-instance cache when the relayout epoch has
+    /// moved since the last call; a cheap no-op otherwise. Assigned
+    /// instances are kept in ascending id order, matching the epoch-0
+    /// `Layout::instances_on` order, so an adapt-free run is
+    /// byte-identical to the pre-adapt executor.
+    fn refresh(&mut self, core: usize, shared: &Shared, spec: &ProgramSpec) {
+        let epoch = shared.epoch.load(Ordering::Acquire);
+        if epoch == self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        self.assigned = (0..shared.assignment.len())
+            .filter(|&i| shared.assignment[i].load(Ordering::Acquire) == core)
+            .map(|i| InstanceId(i as u32))
+            .collect();
+        for i in 0..self.assigned.len() {
+            let inst = self.assigned[i];
+            self.ensure(shared, spec, inst);
+        }
+    }
+
+    /// Creates the (task, param) slot keys and empty queues for `inst`
+    /// if this worker has never buffered for it.
+    fn ensure(&mut self, shared: &Shared, spec: &ProgramSpec, inst: InstanceId) {
+        if self.slots.contains_key(&inst) {
+            return;
+        }
         let group = &shared.graph.groups[shared.layout.instances[inst.index()].group.index()];
         let mut keys = Vec::new();
         for task in &group.tasks {
@@ -1063,18 +1386,24 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
                 keys.push((*task, ParamIdx::new(p)));
             }
         }
-        sets.push((0..keys.len()).map(|_| VecDeque::new()).collect());
-        slots.push(keys);
+        self.sets
+            .insert(inst, (0..keys.len()).map(|_| VecDeque::new()).collect());
+        self.slots.insert(inst, keys);
     }
+}
+
+fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
+    let spec = shared.spec().clone();
+    let mut sink = shared.telemetry.worker(core);
+    let mut state = WorkerSets::new();
+    state.refresh(core, &shared, &spec);
     let mut steal_rotation = core;
     // Chaos bookkeeping: faults are scheduled at exact dispatch counts,
     // so the tick runs once per count — at count 0 before any work, then
     // after every completed dispatch.
     let mut dispatched: u64 = 0;
     if chaos_tick(core, &shared, dispatched, &mut sink) {
-        die_and_forward(
-            core, &rx, &shared, &spec, &instances, &slots, &mut sets, &mut sink,
-        );
+        die_and_forward(core, &rx, &shared, &spec, &mut state, &mut sink);
         return;
     }
 
@@ -1082,14 +1411,16 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
         // 1. Drain a pending message without blocking.
         match rx.try_recv() {
             Ok(Message::Deliver(obj)) => {
-                on_deliver(
-                    core, &shared, &spec, &instances, &slots, &mut sets, obj, &mut sink,
-                );
+                on_deliver(core, &shared, &spec, &mut state, obj, &mut sink);
                 continue;
             }
             Ok(Message::Poke) => {}
             Ok(Message::Sweep(request)) => {
-                sweep_sets(shared.as_ref(), &mut sets, request);
+                sweep_sets(shared.as_ref(), &mut state, request);
+                continue;
+            }
+            Ok(Message::Migrate(inst)) => {
+                migrate_drain(core, &shared, &spec, &mut state, inst, &mut sink);
                 continue;
             }
             Ok(Message::Shutdown) => break,
@@ -1101,9 +1432,7 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
             dispatch(core, &shared, &spec, inv, &mut sink);
             dispatched += 1;
             if chaos_tick(core, &shared, dispatched, &mut sink) {
-                die_and_forward(
-                    core, &rx, &shared, &spec, &instances, &slots, &mut sets, &mut sink,
-                );
+                die_and_forward(core, &rx, &shared, &spec, &mut state, &mut sink);
                 return;
             }
             continue;
@@ -1115,9 +1444,7 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
                 dispatch(core, &shared, &spec, inv, &mut sink);
                 dispatched += 1;
                 if chaos_tick(core, &shared, dispatched, &mut sink) {
-                    die_and_forward(
-                        core, &rx, &shared, &spec, &instances, &slots, &mut sets, &mut sink,
-                    );
+                    die_and_forward(core, &rx, &shared, &spec, &mut state, &mut sink);
                     return;
                 }
                 continue;
@@ -1135,20 +1462,22 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
                 shared.idle[core].store(false, Ordering::SeqCst);
                 match msg {
                     Message::Deliver(obj) => {
-                        on_deliver(
-                            core, &shared, &spec, &instances, &slots, &mut sets, obj, &mut sink,
-                        );
+                        on_deliver(core, &shared, &spec, &mut state, obj, &mut sink);
                     }
                     Message::Poke => {}
-                    Message::Sweep(request) => sweep_sets(shared.as_ref(), &mut sets, request),
+                    Message::Sweep(request) => sweep_sets(shared.as_ref(), &mut state, request),
+                    Message::Migrate(inst) => {
+                        migrate_drain(core, &shared, &spec, &mut state, inst, &mut sink)
+                    }
                     Message::Shutdown => break 'outer,
                 }
             }
             Err(_) => break,
         }
     }
-    // Drain remaining parameter-set objects so results are extractable.
-    for inst_sets in sets {
+    // Drain remaining parameter-set objects so results are extractable
+    // (including leftovers of instances that migrated away mid-run).
+    for (_, inst_sets) in state.sets {
         for mut set in inst_sets {
             while let Some(obj) = set.pop_front() {
                 let _ = shared.graveyard.send(obj);
@@ -1157,12 +1486,50 @@ fn worker_loop(core: usize, rx: Receiver<Message>, shared: Arc<Shared>) {
     }
 }
 
+/// Drains a migrated-away instance's buffered objects by re-sending
+/// them: the live assignment already points at the new host, so `send`
+/// routes each object there, minting fresh activity before the hand-off
+/// — buffered objects hold none, the same transfer-order argument as
+/// the failover drain. Objects of completed requests travel as adopted
+/// (no ledger resurrection). Emits one `Relayout` event carrying the
+/// epoch, the instance, and the number of objects moved.
+fn migrate_drain(
+    core: usize,
+    shared: &Shared,
+    spec: &ProgramSpec,
+    state: &mut WorkerSets,
+    inst: InstanceId,
+    sink: &mut WorkerSink,
+) {
+    // Pick up the new epoch first so the drained instance leaves the
+    // assigned cache before any follow-on delivery is handled.
+    state.refresh(core, shared, spec);
+    let mut moved = 0u64;
+    if let Some(mut inst_sets) = state.sets.remove(&inst) {
+        for set in inst_sets.iter_mut() {
+            while let Some(obj) = set.pop_front() {
+                let ts = sink.now();
+                let (dest_core, msg) = shared.send_adopted(core as u64, inst, obj, sink);
+                sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
+                moved += 1;
+            }
+        }
+    }
+    state.slots.remove(&inst);
+    sink.relayout(
+        sink.now(),
+        shared.epoch.load(Ordering::Acquire),
+        inst.index() as u64,
+        moved,
+    );
+}
+
 /// Evicts every buffered object of a completed request to the
 /// graveyard. Safe because the request's ledger count reaching zero is
 /// final: no invocation of that request can form afterwards, so the
 /// leftovers are exactly the run's finished objects for that request.
-fn sweep_sets(shared: &Shared, sets: &mut [Vec<VecDeque<Box<TObject>>>], request: u64) {
-    for inst_sets in sets.iter_mut() {
+fn sweep_sets(shared: &Shared, state: &mut WorkerSets, request: u64) {
+    for inst_sets in state.sets.values_mut() {
         for set in inst_sets.iter_mut() {
             let mut kept = VecDeque::with_capacity(set.len());
             while let Some(obj) = set.pop_front() {
@@ -1207,15 +1574,12 @@ fn chaos_tick(core: usize, shared: &Shared, dispatched: u64, sink: &mut WorkerSi
 /// With recovery (or stealing) disabled, or when any queued invocation's
 /// group has no live host left, the run fails with
 /// [`ExecError::CoreLost`] instead: typed, immediate, no hang.
-#[allow(clippy::too_many_arguments)]
 fn die_and_forward(
     core: usize,
     rx: &Receiver<Message>,
     shared: &Shared,
     spec: &ProgramSpec,
-    instances: &[InstanceId],
-    slots: &[Vec<(TaskId, ParamIdx)>],
-    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    state: &mut WorkerSets,
     sink: &mut WorkerSink,
 ) {
     shared.faults_injected.fetch_add(1, Ordering::Relaxed);
@@ -1239,14 +1603,16 @@ fn die_and_forward(
         // `send` performs the dead-destination failover since this core
         // is already marked dead.
         let mut moved = 0u64;
-        for (i, inst_sets) in sets.iter_mut().enumerate() {
+        for (&inst, inst_sets) in state.sets.iter_mut() {
             for set in inst_sets.iter_mut() {
                 while let Some(obj) = set.pop_front() {
                     // Buffered objects hold no activity (their delivery
                     // units were released on arrival); the re-send mints
-                    // a fresh unit inside `send` before the handoff.
+                    // a fresh unit inside `send` before the handoff. A
+                    // completed request's leftovers travel adopted so
+                    // its ledger entry is never resurrected.
                     let ts = sink.now();
-                    let (dest_core, msg) = shared.send(core as u64, instances[i], obj, sink);
+                    let (dest_core, msg) = shared.send_adopted(core as u64, inst, obj, sink);
                     sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
                     moved += 1;
                 }
@@ -1271,13 +1637,13 @@ fn die_and_forward(
                 // transfer-ordered — the re-send is counted before this
                 // message's unit is released).
                 let request = obj.request;
-                forward_obj(core, shared, spec, instances, slots, obj, sink);
+                forward_obj(core, shared, spec, state, obj, sink);
                 shared.release_activity(request, sink);
             }
             Ok(Message::Poke) => {}
             // This core's sets were already drained in the failover;
-            // nothing left to sweep here.
-            Ok(Message::Sweep(_)) => {}
+            // nothing left to sweep or migrate here.
+            Ok(Message::Sweep(_)) | Ok(Message::Migrate(_)) => {}
             Ok(Message::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {
                 if shared.ready[core].lock().is_empty() && !shared.failed() {
@@ -1298,13 +1664,12 @@ fn forward_obj(
     core: usize,
     shared: &Shared,
     spec: &ProgramSpec,
-    instances: &[InstanceId],
-    slots: &[Vec<(TaskId, ParamIdx)>],
+    state: &WorkerSets,
     obj: Box<TObject>,
     sink: &mut WorkerSink,
 ) {
-    let target = instances.iter().enumerate().find_map(|(i, inst)| {
-        slots[i]
+    let target = state.assigned.iter().find_map(|inst| {
+        state.slots[inst]
             .iter()
             .any(|(task, param)| {
                 let pspec = &spec.task(*task).params[param.index()];
@@ -1318,7 +1683,7 @@ fn forward_obj(
         sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
         return;
     }
-    let inst = instances.first().copied().unwrap_or(InstanceId(0));
+    let inst = state.assigned.first().copied().unwrap_or(InstanceId(0));
     let hash = obj.tags.first().map(|(_, i)| i.0);
     let decision = shared.router.route_transition(
         core,
@@ -1345,17 +1710,18 @@ fn forward_obj(
 /// Handles one delivered object: enqueue or forward it, form every
 /// invocation it completes, then release the message's activity (the
 /// formed invocations carry their own, counted in `form_all` first).
-#[allow(clippy::too_many_arguments)]
 fn on_deliver(
     core: usize,
     shared: &Shared,
     spec: &ProgramSpec,
-    instances: &[InstanceId],
-    slots: &[Vec<(TaskId, ParamIdx)>],
-    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    state: &mut WorkerSets,
     obj: Box<TObject>,
     sink: &mut WorkerSink,
 ) {
+    // Pick up any relayout that committed since the last delivery
+    // *before* matching slots: a freshly adopted instance must already
+    // be in the assigned cache when its first object arrives.
+    state.refresh(core, shared, spec);
     if sink.is_enabled() {
         let ts = sink.now();
         sink.obj_recv(ts, OBJ_BYTES_ESTIMATE, obj.src_core, obj.msg);
@@ -1363,8 +1729,8 @@ fn on_deliver(
         sink.queue_depth(ts, shared.senders[core].len() as u64, ready);
     }
     let request = obj.request;
-    deliver(core, shared, spec, instances, slots, sets, obj, sink);
-    form_all(core, shared, spec, instances, slots, sets, sink);
+    deliver(core, shared, spec, state, obj, sink);
+    form_all(core, shared, spec, state, sink);
     shared.release_activity(request, sink);
 }
 
@@ -1419,17 +1785,26 @@ fn dispatch(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn deliver(
     core: usize,
     shared: &Shared,
     spec: &ProgramSpec,
-    instances: &[InstanceId],
-    slots: &[Vec<(TaskId, ParamIdx)>],
-    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    state: &mut WorkerSets,
     obj: Box<TObject>,
     sink: &mut WorkerSink,
 ) {
+    // Redirect-first: an object that raced a hot relayout chases its
+    // instance to the instance's current core. Only when that core is
+    // live — a dead assigned core keeps the failover semantics (the
+    // object was deliberately re-striped here; handle it locally).
+    let assigned = shared.core_of(obj.instance);
+    if assigned != core && !shared.router.is_dead(assigned) {
+        let ts = sink.now();
+        let instance = obj.instance;
+        let (dest_core, msg) = shared.send(core as u64, instance, obj, sink);
+        sink.obj_send(ts, OBJ_BYTES_ESTIMATE, dest_core as u64, msg);
+        return;
+    }
     // Enqueue at the first instance on this core with a matching slot.
     // (With several same-group instances per core this coarsens the
     // round-robin split; correctness is unaffected because any matching
@@ -1441,18 +1816,25 @@ fn deliver(
     // guards overlap and only the second can make progress — the
     // synthesis pipeline never produces such programs, and the virtual
     // executor handles them.
-    for (i, _inst) in instances.iter().enumerate() {
-        for (slot, (task, param)) in slots[i].iter().enumerate() {
+    for idx in 0..state.assigned.len() {
+        let inst = state.assigned[idx];
+        let keys = &state.slots[&inst];
+        let mut matched = None;
+        for (slot, (task, param)) in keys.iter().enumerate() {
             let pspec = &spec.task(*task).params[param.index()];
             if pspec.class == obj.class && pspec.guard.eval(obj.flags) {
-                sets[i][slot].push_back(obj);
-                return;
+                matched = Some(slot);
+                break;
             }
+        }
+        if let Some(slot) = matched {
+            state.sets.get_mut(&inst).expect("ensured with slots")[slot].push_back(obj);
+            return;
         }
     }
     // No local slot matches: forward to the consuming group, or retire
     // the object if no task can ever consume it.
-    let inst = instances.first().copied().unwrap_or(InstanceId(0));
+    let inst = state.assigned.first().copied().unwrap_or(InstanceId(0));
     let hash = obj.tags.first().map(|(_, i)| i.0);
     let decision = shared.router.route_transition(
         core,
@@ -1485,12 +1867,11 @@ fn form_all(
     core: usize,
     shared: &Shared,
     spec: &ProgramSpec,
-    instances: &[InstanceId],
-    slots: &[Vec<(TaskId, ParamIdx)>],
-    sets: &mut [Vec<VecDeque<Box<TObject>>>],
+    state: &mut WorkerSets,
     sink: &mut WorkerSink,
 ) {
-    for (i, inst) in instances.iter().enumerate() {
+    for i in 0..state.assigned.len() {
+        let inst = state.assigned[i];
         let group = &shared.graph.groups[shared.layout.instances[inst.index()].group.index()];
         for &task in &group.tasks {
             'again: loop {
@@ -1506,19 +1887,21 @@ fn form_all(
                 // until one can complete a full parameter pick. A
                 // single-request (batch) run degenerates to exactly the
                 // pre-ledger formation order.
-                let slot0 = slots[i]
+                let slots = &state.slots[&inst];
+                let sets = &state.sets[&inst];
+                let slot0 = slots
                     .iter()
                     .position(|(t, pi)| *t == task && pi.index() == 0)
                     .expect("slot exists");
                 let mut tried: Vec<u64> = Vec::new();
                 let mut formed = None;
-                for idx0 in 0..sets[i][slot0].len() {
-                    let request = sets[i][slot0][idx0].request;
+                for idx0 in 0..sets[slot0].len() {
+                    let request = sets[slot0][idx0].request;
                     if tried.contains(&request) {
                         continue;
                     }
                     tried.push(request);
-                    if let Some((picks, tag_env)) = try_form(spec, task, i, slots, sets, request) {
+                    if let Some((picks, tag_env)) = try_form(spec, task, slots, sets, request) {
                         formed = Some((picks, tag_env, request));
                         break;
                     }
@@ -1528,9 +1911,10 @@ fn form_all(
                 };
                 // Extract picked objects; each param has its own slot, so
                 // earlier removals do not shift later picks.
+                let sets = state.sets.get_mut(&inst).expect("ensured with slots");
                 let mut objs = Vec::with_capacity(n);
                 for (slot, idx) in picks {
-                    let obj = sets[i][slot].remove(idx).expect("picked index valid");
+                    let obj = sets[slot].remove(idx).expect("picked index valid");
                     objs.push(obj);
                 }
                 // Mint the invocation id and record formation (the
@@ -1554,7 +1938,7 @@ fn form_all(
                     PendingInv {
                         id,
                         task,
-                        instance: *inst,
+                        instance: inst,
                         objs,
                         tag_env,
                         retries: 0,
@@ -1570,16 +1954,16 @@ fn form_all(
 /// chosen objects plus the tag environment they bound.
 type FormedSet = (Vec<(usize, usize)>, Vec<Option<TagInstance>>);
 
-/// Attempts to pick one object per parameter of `task` at instance
-/// index `i`, restricted to objects of `request`. Returns the picked
-/// `(slot, idx)` positions and the bound tag environment, or `None`
-/// when the request cannot complete a full parameter set yet.
+/// Attempts to pick one object per parameter of `task` from one
+/// instance's slot keys and queues, restricted to objects of `request`.
+/// Returns the picked `(slot, idx)` positions and the bound tag
+/// environment, or `None` when the request cannot complete a full
+/// parameter set yet.
 fn try_form(
     spec: &ProgramSpec,
     task: TaskId,
-    i: usize,
-    slots: &[Vec<(TaskId, ParamIdx)>],
-    sets: &[Vec<VecDeque<Box<TObject>>>],
+    slots: &[(TaskId, ParamIdx)],
+    sets: &[VecDeque<Box<TObject>>],
     request: u64,
 ) -> Option<FormedSet> {
     let tspec = spec.task(task);
@@ -1587,13 +1971,13 @@ fn try_form(
     let mut tag_env: Vec<Option<TagInstance>> = vec![None; tspec.tag_vars.len()];
     let mut picks: Vec<(usize, usize)> = Vec::new(); // (slot, idx)
     for p in 0..n {
-        let slot = slots[i]
+        let slot = slots
             .iter()
             .position(|(t, pi)| *t == task && pi.index() == p)
             .expect("slot exists");
         let pspec = &tspec.params[p];
         let mut found = None;
-        for (idx, cand) in sets[i][slot].iter().enumerate() {
+        for (idx, cand) in sets[slot].iter().enumerate() {
             if picks.contains(&(slot, idx)) {
                 continue;
             }
@@ -1656,8 +2040,9 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
     let tspec = spec.task(inv.task);
     // Routing state stays striped by the invocation's *home* core, so a
     // stolen invocation continues the victim instance's round-robin
-    // sequences.
-    let home_core = shared.layout.core_of(inv.instance).index();
+    // sequences. The home core is the *live* assignment's host: after a
+    // hot relayout the moved instance's stripe state moved with it.
+    let home_core = shared.core_of(inv.instance);
     // Mint body-created tag variables.
     for (v, var) in tspec.tag_vars.iter().enumerate() {
         if !var.from_param && inv.tag_env[v].is_none() {
@@ -1685,6 +2070,41 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
     shared.invocations.fetch_add(1, Ordering::Relaxed);
     shared.ledger.charge_invocation(inv.request);
     shared.dispatches.inc();
+
+    // Feed the live Markov-model estimate (and the `TaskExit` /
+    // `TaskAlloc` event stream) before routing consumes `created`. One
+    // record per invocation: which exit fired, the cycles it charged,
+    // and how many objects each alloc site produced.
+    if shared.estimator.is_some() || sink.is_enabled() {
+        let mut site_counts = vec![0u64; tspec.alloc_sites.len()];
+        for (site_idx, _) in &created {
+            site_counts[*site_idx] += 1;
+        }
+        if let Some(estimator) = &shared.estimator {
+            estimator.record(inv.task.index(), exit.index(), charged, &site_counts);
+        }
+        if sink.is_enabled() {
+            let ts = sink.now();
+            sink.task_exit(
+                ts,
+                inv.task.index() as u64,
+                exit.index() as u64,
+                charged,
+                inv.id,
+            );
+            for (site, &count) in site_counts.iter().enumerate() {
+                if count > 0 {
+                    sink.task_alloc(
+                        ts,
+                        inv.task.index() as u64,
+                        exit.index() as u64,
+                        site as u64,
+                        count,
+                    );
+                }
+            }
+        }
+    }
 
     // Shared-lock directive.
     for group in &shared.locks_analysis.lock_plans[inv.task.index()].groups {
@@ -1786,6 +2206,7 @@ fn execute(shared: &Shared, spec: &ProgramSpec, mut inv: PendingInv, sink: &mut 
             msg: NO_ID,
             src_core: NO_ID,
             request: inv.request,
+            instance: dest,
         });
         let ts = sink.now();
         let (dest_core, msg) = shared.send(home_core as u64, dest, obj, sink);

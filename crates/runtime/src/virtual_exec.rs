@@ -76,6 +76,7 @@ impl Default for ExecConfig {
 
 /// Execution failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ExecError {
     /// An interpreted body trapped.
     Trap(String),

@@ -183,6 +183,33 @@ pub fn optimize<R: Rng>(
     opts: &DsaOptions,
     rng: &mut R,
 ) -> (Layout, SimResult, DsaStats) {
+    let mut cache = SimCache::new();
+    optimize_with_cache(
+        spec, graph, profile, machine, initial, opts, rng, &mut cache,
+    )
+}
+
+/// [`optimize`] with a caller-owned memo cache, so repeated searches
+/// over the *same* (spec, profile, machine) triple — the adaptive
+/// controller re-optimizing every tick — replay earlier simulations
+/// instead of redoing them. The cache keys on layout fingerprints
+/// only; callers must clear it whenever the profile or machine
+/// changes, or stale makespans will be replayed as truth.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_with_cache<R: Rng>(
+    spec: &ProgramSpec,
+    graph: &GroupGraph,
+    profile: &Profile,
+    machine: &MachineDescription,
+    initial: Vec<Layout>,
+    opts: &DsaOptions,
+    rng: &mut R,
+    cache: &mut SimCache,
+) -> (Layout, SimResult, DsaStats) {
     assert!(
         !initial.is_empty(),
         "DSA needs at least one starting layout"
@@ -191,7 +218,6 @@ pub fn optimize<R: Rng>(
     let mut stats = DsaStats::default();
     let mut best: Option<(Layout, SimResult)> = None;
     let mut seen: HashSet<u64> = HashSet::new();
-    let mut cache = SimCache::new();
 
     // Deduplicate the starting pool by fingerprint and seed the
     // duplicate set with it. This gives the pool a strict invariant —
@@ -213,7 +239,7 @@ pub fn optimize<R: Rng>(
         // worker pool, and reassemble in candidate index order.
         let pool = std::mem::take(&mut candidates);
         let mut evaluated = evaluate_candidates(
-            spec, graph, profile, machine, opts, pool, threads, &mut cache, &mut stats,
+            spec, graph, profile, machine, opts, pool, threads, cache, &mut stats,
         );
         evaluated.sort_by_key(|(_, r)| r.makespan);
         stats.candidates_evaluated += evaluated.len();

@@ -409,6 +409,69 @@ impl Default for Router {
     }
 }
 
+/// One instance's routing state, detached for a hot migration: the
+/// round-robin counters keyed by that instance. Produced by
+/// [`Router::extract_instance`], re-attached with
+/// [`Router::absorb_instance`] on the destination stripe, so the
+/// per-(instance, task) distribution sequences continue exactly where
+/// they left off — a relayout must not reset round-robin fairness.
+/// The dispatch memo is deliberately not carried: it is a pure cache
+/// keyed by `(class, flags)` and rebuilds identically anywhere.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterInstanceState {
+    /// `(task, site) → counter` entries from [`Router::route_new`].
+    site_rr: Vec<((TaskId, AllocSiteId), usize)>,
+    /// `task → counter` entries from [`Router::route_transition`].
+    flow_rr: Vec<(TaskId, usize)>,
+}
+
+impl RouterInstanceState {
+    /// Whether the instance had accumulated any routing state.
+    pub fn is_empty(&self) -> bool {
+        self.site_rr.is_empty() && self.flow_rr.is_empty()
+    }
+}
+
+impl Router {
+    /// Removes and returns every round-robin counter keyed by
+    /// `instance` (as sender/home). See [`RouterInstanceState`].
+    pub fn extract_instance(&mut self, instance: InstanceId) -> RouterInstanceState {
+        let mut state = RouterInstanceState::default();
+        self.site_rr.retain(|&(inst, task, site), counter| {
+            if inst == instance {
+                state.site_rr.push(((task, site), *counter));
+                false
+            } else {
+                true
+            }
+        });
+        self.flow_rr.retain(|&(inst, task), counter| {
+            if inst == instance {
+                state.flow_rr.push((task, *counter));
+                false
+            } else {
+                true
+            }
+        });
+        state.site_rr.sort_unstable_by_key(|&(k, _)| k);
+        state.flow_rr.sort_unstable_by_key(|&(k, _)| k);
+        state
+    }
+
+    /// Installs counters extracted by [`Router::extract_instance`]
+    /// under `instance` on this router. Counters the destination
+    /// already holds for the instance (it hosted the instance before)
+    /// are overwritten — the extracted state is the newer truth.
+    pub fn absorb_instance(&mut self, instance: InstanceId, state: RouterInstanceState) {
+        for ((task, site), counter) in state.site_rr {
+            self.site_rr.insert((instance, task, site), counter);
+        }
+        for (task, counter) in state.flow_rr {
+            self.flow_rr.insert((instance, task), counter);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,9 +42,9 @@ pub mod transforms;
 pub mod util;
 
 pub use critpath::{critical_path, propose_moves, MoveProposal};
-pub use dsa::{optimize, DsaOptions, DsaStats};
+pub use dsa::{optimize, optimize_with_cache, DsaOptions, DsaStats};
 pub use groups::{Group, GroupGraph, GroupId, GroupNewEdge};
-pub use layout::{GroupInstance, InstanceId, Layout, RouteDecision, Router};
+pub use layout::{GroupInstance, InstanceId, Layout, RouteDecision, Router, RouterInstanceState};
 pub use mapping::{
     control_spread_layout, enumerate_mappings, random_layouts, spread_layout, MappingOptions,
 };

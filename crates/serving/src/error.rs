@@ -1,6 +1,6 @@
 //! Serving-layer errors.
 
-use bamboo_runtime::ExecError;
+use bamboo_runtime::{ExecError, RelayoutError};
 use bamboo_telemetry::event::shed_reason;
 use std::fmt;
 
@@ -37,6 +37,7 @@ impl fmt::Display for ShedReason {
 
 /// Any error the serving layer can produce.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ServingError {
     /// The request was refused admission (typed overload signal — the
     /// caller can back off and retry; the server is still healthy).
@@ -47,6 +48,9 @@ pub enum ServingError {
     /// The resident executor failed underneath the server (e.g. an
     /// unrecoverable injected fault).
     Exec(ExecError),
+    /// The adaptive controller's hot-relayout commit was rejected.
+    /// The run itself is untouched (commits validate before mutating).
+    Relayout(RelayoutError),
 }
 
 impl fmt::Display for ServingError {
@@ -56,6 +60,7 @@ impl fmt::Display for ServingError {
                 write!(f, "request shed at admission ({reason})")
             }
             ServingError::Exec(e) => write!(f, "resident executor failed: {e}"),
+            ServingError::Relayout(e) => write!(f, "hot relayout rejected: {e}"),
         }
     }
 }
@@ -65,6 +70,7 @@ impl std::error::Error for ServingError {
         match self {
             ServingError::Overloaded { .. } => None,
             ServingError::Exec(e) => Some(e),
+            ServingError::Relayout(e) => Some(e),
         }
     }
 }
@@ -72,6 +78,12 @@ impl std::error::Error for ServingError {
 impl From<ExecError> for ServingError {
     fn from(e: ExecError) -> Self {
         ServingError::Exec(e)
+    }
+}
+
+impl From<RelayoutError> for ServingError {
+    fn from(e: RelayoutError) -> Self {
+        ServingError::Relayout(e)
     }
 }
 

@@ -47,3 +47,6 @@ pub use arrivals::{ArrivalProcess, Bursty, Poisson, Trace};
 pub use error::{ServingError, ShedReason};
 pub use ingress::{channel, ChannelIngress, IngressHandle};
 pub use server::{Pacing, Server, ServingOptions, ServingReport};
+// Re-exported so `ServingReport::adapt` and the `AdaptPolicy` handed to
+// `RunOptions::with_adapt` are nameable from this crate alone.
+pub use bamboo_runtime::{AdaptPolicy, AdaptReport, RelayoutError};

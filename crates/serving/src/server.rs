@@ -27,11 +27,14 @@ use crate::error::ServingError;
 use crate::ingress::{ChannelIngress, Drained};
 use bamboo_runtime::ledger::Completion;
 use bamboo_runtime::{
-    Deployment, NativePayload, ResidentRun, RunOptions, ThreadedExecutor, ThreadedReport,
+    AdaptReport, AdaptiveController, Deployment, NativePayload, ResidentRun, RunOptions,
+    ThreadedExecutor, ThreadedReport,
 };
 use bamboo_telemetry::analyze::LatencyHistogram;
 use bamboo_telemetry::event::arrival_source;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the server treats arrival gaps.
@@ -112,6 +115,15 @@ pub struct ServingReport {
     /// Every completion, in detection order (request-id order within a
     /// tick under [`Pacing::Stepped`]).
     pub completions: Vec<Completion>,
+    /// Instances migrated by hot relayouts during the run (mirrors
+    /// `executor.relayouts`).
+    pub relayouts: u64,
+    /// The layout epoch at shutdown (0 = the synthesized layout served
+    /// the whole run unchanged).
+    pub layout_epoch: u64,
+    /// The adaptive controller's activity, when the run was started
+    /// with an [`bamboo_runtime::AdaptPolicy`].
+    pub adapt: Option<AdaptReport>,
     /// The resident executor's final report.
     pub executor: ThreadedReport,
 }
@@ -130,11 +142,44 @@ impl ServingReport {
     }
 }
 
+/// How the server drives the adaptive controller, when the run was
+/// started with an `AdaptPolicy`.
+///
+/// Stepped pacing ticks *synchronously* after each micro-batch's drain
+/// — the executor is idle at that point, so the estimator snapshot,
+/// the seeded DSA search, and therefore every migration decision are
+/// deterministic at any worker-thread count. Wall pacing ticks from a
+/// background thread against real elapsed time.
+enum AdaptDriver {
+    Off,
+    Stepped(Box<AdaptiveController>),
+    Wall {
+        stop: Arc<AtomicBool>,
+        thread: std::thread::JoinHandle<AdaptReport>,
+    },
+}
+
+impl AdaptDriver {
+    /// Stops the driver and returns the controller's report (`None`
+    /// when adaptation was off).
+    fn finish(self) -> Option<AdaptReport> {
+        match self {
+            AdaptDriver::Off => None,
+            AdaptDriver::Stepped(ctrl) => Some(ctrl.into_report()),
+            AdaptDriver::Wall { stop, thread } => {
+                stop.store(true, Ordering::Relaxed);
+                Some(thread.join().expect("adapt driver thread panicked"))
+            }
+        }
+    }
+}
+
 /// A resident deployment being served. Create with [`Server::start`],
 /// drive with [`Server::serve`] / [`Server::serve_channel`], finish
 /// with [`Server::finish`].
 pub struct Server {
     run: ResidentRun,
+    adapt: AdaptDriver,
     admission: AdmissionControl,
     pacing: Pacing,
     max_batch: usize,
@@ -168,15 +213,52 @@ impl Server {
         run_options: RunOptions,
         options: ServingOptions,
     ) -> Result<Self, ServingError> {
-        let run = executor.start(deployment, run_options)?;
+        let started = Instant::now();
+        let mut run = executor.start(deployment, run_options)?;
+        // An armed AdaptPolicy is parked on the run; the server claims
+        // it and drives the controller per the pacing mode.
+        let adapt = match run.take_adapt_policy() {
+            None => AdaptDriver::Off,
+            Some(policy) => {
+                let controller = AdaptiveController::new(policy, run.relayout_handle());
+                match options.pacing {
+                    Pacing::Stepped => AdaptDriver::Stepped(Box::new(controller)),
+                    Pacing::Wall => {
+                        let stop = Arc::new(AtomicBool::new(false));
+                        let flag = stop.clone();
+                        // Controller ticks are interval-gated anyway;
+                        // the thread cadence only bounds how stale a
+                        // due decision can go.
+                        let cadence = if controller.policy().interval.is_zero() {
+                            Duration::from_millis(10)
+                        } else {
+                            controller.policy().interval
+                        };
+                        let thread = std::thread::spawn(move || {
+                            let mut controller = controller;
+                            while !flag.load(Ordering::Relaxed) {
+                                // A rejected commit (e.g. a core died
+                                // under chaos) leaves the run intact;
+                                // keep serving on the current layout.
+                                let _ = controller.tick(started.elapsed());
+                                std::thread::sleep(cadence);
+                            }
+                            controller.into_report()
+                        });
+                        AdaptDriver::Wall { stop, thread }
+                    }
+                }
+            }
+        };
         Ok(Server {
             run,
+            adapt,
             admission: options.admission,
             pacing: options.pacing,
             max_batch: options.max_batch.max(1),
             batch_window: options.batch_window,
             clock: Duration::ZERO,
-            started: Instant::now(),
+            started,
             admit_at: HashMap::new(),
             latency_us: LatencyHistogram::new(),
             completions: Vec::new(),
@@ -201,6 +283,22 @@ impl Server {
     /// Whether the runtime's request ledger is fully drained.
     pub fn ledger_is_empty(&self) -> bool {
         self.run.ledger_is_empty()
+    }
+
+    /// Instances migrated by hot relayouts so far.
+    pub fn relayouts(&self) -> u64 {
+        self.run.relayouts()
+    }
+
+    /// The current layout epoch (0 until the first relayout commits).
+    pub fn layout_epoch(&self) -> u64 {
+        self.run.layout_epoch()
+    }
+
+    /// The live layout artifact: the synthesized topology with the
+    /// current (possibly hot-migrated) core assignment overlaid.
+    pub fn current_layout(&self) -> bamboo_runtime::Layout {
+        self.run.current_layout()
     }
 
     /// Offers `total` arrivals from `process`, open-loop: each arrival
@@ -354,6 +452,13 @@ impl Server {
             for c in tick {
                 self.record(c);
             }
+            // Synchronous controller tick at the drained point: the
+            // executor is idle, so the estimator snapshot (and thus
+            // the migration decision) is a pure function of the
+            // arrival history — deterministic at any thread count.
+            if let AdaptDriver::Stepped(controller) = &mut self.adapt {
+                controller.tick(self.clock)?;
+            }
         }
         Ok(())
     }
@@ -401,6 +506,9 @@ impl Server {
     /// fault (shutdown never hangs on a failed run).
     pub fn finish(mut self) -> Result<ServingReport, ServingError> {
         let idle = self.await_idle();
+        // Stop the controller before the workers: a commit landing
+        // mid-shutdown would be harmless but pointless.
+        let adapt = self.adapt.finish();
         // Always stop the workers — even on a failed run — so a typed
         // error never leaks live threads.
         let executor = self.run.shutdown();
@@ -415,6 +523,9 @@ impl Server {
             completed: self.completions.len() as u64,
             latency_us: self.latency_us,
             completions: self.completions,
+            relayouts: executor.relayouts,
+            layout_epoch: executor.layout_epoch,
+            adapt,
             executor,
         })
     }

@@ -177,9 +177,10 @@ impl Verdict {
 
     /// Serializes the verdict as a JSON document (the CI artifact).
     ///
-    /// When any `serving-*` checks are present a `serving` section
-    /// summarizes them, so CI jobs gating only on the serving surface
-    /// can read one member instead of filtering the flat check list.
+    /// When any `serving-*` (or `adapt-*`) checks are present a
+    /// `serving` (`adapt`) section summarizes them, so CI jobs gating
+    /// only on one surface can read one member instead of filtering the
+    /// flat check list.
     pub fn json(&self) -> String {
         let mut out = format!("{{\"pass\":{}", self.pass());
         let serving: Vec<&Check> = self
@@ -194,6 +195,20 @@ impl Verdict {
                 serving.iter().all(|c| c.pass),
                 serving.len(),
                 serving.iter().filter(|c| !c.pass).count(),
+            );
+        }
+        let adapt: Vec<&Check> = self
+            .checks
+            .iter()
+            .filter(|c| c.name.starts_with("adapt-"))
+            .collect();
+        if !adapt.is_empty() {
+            let _ = write!(
+                out,
+                ",\"adapt\":{{\"pass\":{},\"checks\":{},\"failed\":{}}}",
+                adapt.iter().all(|c| c.pass),
+                adapt.len(),
+                adapt.iter().filter(|c| !c.pass).count(),
             );
         }
         out.push_str(",\"checks\":[");
@@ -489,6 +504,27 @@ pub struct ServingBaselineBench {
     /// Highest offered load (requests/second) that met the SLO with
     /// zero shedding.
     pub max_sustainable_rps: f64,
+    /// The recorded adaptive-vs-frozen comparison, when the recording
+    /// harness ran one (absent on baselines from before the adaptive
+    /// re-layout loop existed).
+    pub adapt: Option<AdaptBaseline>,
+}
+
+/// One application's recorded adaptive-vs-frozen numbers (the `adapt`
+/// member of a `BENCH_serving.json` bench): both legs serve the same
+/// shifting bursty mix from the same deliberately stale layout; the
+/// frozen leg keeps it, the adaptive leg hot-migrates off it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptBaseline {
+    /// p99 of the mix under the stale layout, microseconds.
+    pub frozen_p99_us: f64,
+    /// p99 of the mix under the layout the controller converged on
+    /// (the post-relayout latency), microseconds.
+    pub adaptive_p99_us: f64,
+    /// Hot relayouts the adaptive leg committed.
+    pub relayouts: f64,
+    /// Every leg completed every admitted request.
+    pub exact: bool,
 }
 
 /// The parsed `BENCH_serving.json` baseline.
@@ -528,11 +564,29 @@ pub fn parse_serving_baseline(text: &str) -> Result<ServingBaseline, String> {
                 .and_then(Value::as_f64)
                 .ok_or_else(|| format!("{name}: missing {key}"))
         };
+        let adapt = match bench.get("adapt") {
+            None => None,
+            Some(adapt) => {
+                let afield = |key: &str| -> Result<f64, String> {
+                    adapt
+                        .get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("{name}: missing adapt.{key}"))
+                };
+                Some(AdaptBaseline {
+                    frozen_p99_us: afield("frozen_p99_us")?,
+                    adaptive_p99_us: afield("adaptive_p99_us")?,
+                    relayouts: afield("relayouts")?,
+                    exact: matches!(adapt.get("exact"), Some(Value::Bool(true))),
+                })
+            }
+        };
         out.push(ServingBaselineBench {
             name: name.clone(),
             solo_p99_us: field("solo_p99_us")?,
             slo_p99_us: field("slo_p99_us")?,
             max_sustainable_rps: field("max_sustainable_rps")?,
+            adapt,
         });
     }
     Ok(ServingBaseline {
@@ -635,6 +689,144 @@ pub fn evaluate_serving(
             floor,
             obs.completed_rps >= floor,
             ">=",
+        ));
+    }
+    checks
+}
+
+/// One application's live adaptive-probe numbers on the build under
+/// test: a deterministic (stepped-pacing, fixed-seed) serve from a
+/// deliberately stale layout with the re-layout controller armed.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptObservation {
+    /// Application name; matched against [`ServingBaselineBench::name`].
+    pub name: String,
+    /// Hot relayouts the controller committed.
+    pub relayouts: f64,
+    /// Requests past admission.
+    pub admitted: f64,
+    /// Requests whose ledger entry reached zero.
+    pub completed: f64,
+    /// Observed↔baseline exit-rate divergence before the first
+    /// relayout, when measured.
+    pub pre_divergence: Option<f64>,
+    /// Divergence after the last relayout, when measured.
+    pub post_divergence: Option<f64>,
+}
+
+/// Post-relayout divergence may exceed the pre-relayout one by this
+/// factor before `adapt-improves-or-holds` fails — migrating must never
+/// make the model fit *worse*, but the two snapshots are estimated from
+/// different (arrival-dependent) sample counts, so an exact `<=` would
+/// flake on estimator noise.
+pub const ADAPT_DIVERGENCE_SLACK: f64 = 1.10;
+/// How many recorded apps the adaptive leg must beat the frozen leg on
+/// (post-relayout p99 strictly below the stale layout's).
+pub const ADAPT_BASELINE_MIN_WINS: f64 = 2.0;
+
+/// Evaluates the adaptive re-layout loop, returning `adapt-*` checks to
+/// append to the verdict (they also feed the verdict's `adapt` JSON
+/// section). No-op when the baseline predates the adaptive recording
+/// (no bench has an `adapt` member).
+///
+/// Two kinds of evidence:
+///
+/// * **recorded** — the baseline's own adaptive-vs-frozen comparison
+///   must be exact everywhere and the adaptive leg must win on at least
+///   [`ADAPT_BASELINE_MIN_WINS`] recorded apps;
+/// * **live** — per observed probe, the controller must commit at least
+///   one hot relayout, account for every request exactly, and leave the
+///   observed↔model rate divergence no worse than before
+///   (`adapt-improves-or-holds`, within [`ADAPT_DIVERGENCE_SLACK`]).
+pub fn evaluate_adapt(
+    baseline: &ServingBaseline,
+    observations: &[AdaptObservation],
+) -> Vec<Check> {
+    let recorded: Vec<(&ServingBaselineBench, &AdaptBaseline)> = baseline
+        .benches
+        .iter()
+        .filter_map(|b| b.adapt.as_ref().map(|a| (b, a)))
+        .collect();
+    if recorded.is_empty() {
+        return Vec::new();
+    }
+    let mut checks = Vec::new();
+    let wins = recorded
+        .iter()
+        .filter(|(_, a)| a.adaptive_p99_us < a.frozen_p99_us)
+        .count() as f64;
+    checks.push(check(
+        "aggregate",
+        "adapt-baseline-p99-wins",
+        wins,
+        ADAPT_BASELINE_MIN_WINS.min(recorded.len() as f64),
+        wins >= ADAPT_BASELINE_MIN_WINS.min(recorded.len() as f64),
+        ">=",
+    ));
+    for (base, adapt) in &recorded {
+        checks.push(check(
+            &base.name,
+            "adapt-baseline-exact",
+            if adapt.exact { 1.0 } else { 0.0 },
+            1.0,
+            adapt.exact,
+            "==",
+        ));
+        let Some(obs) = observations.iter().find(|o| o.name == base.name) else {
+            checks.push(check(
+                &base.name,
+                "adapt-bench-present",
+                0.0,
+                1.0,
+                false,
+                "must be",
+            ));
+            continue;
+        };
+        checks.extend(evaluate_adapt_probe(std::slice::from_ref(obs)));
+    }
+    checks
+}
+
+/// The live-probe subset of the `adapt-*` checks — per observation: at
+/// least one hot relayout committed, exact request accounting, and
+/// `adapt-improves-or-holds`. Standalone entry point for the doctor's
+/// `--adapt-smoke` mode, which has no recorded baseline to gate against.
+pub fn evaluate_adapt_probe(observations: &[AdaptObservation]) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for obs in observations {
+        checks.push(check(
+            &obs.name,
+            "adapt-relayout-occurred",
+            obs.relayouts,
+            1.0,
+            obs.relayouts >= 1.0,
+            ">=",
+        ));
+        checks.push(check(
+            &obs.name,
+            "adapt-completions-exact",
+            obs.completed,
+            obs.admitted,
+            obs.completed == obs.admitted && obs.admitted > 0.0,
+            "==",
+        ));
+        // "Holds" is trivially true when nothing migrated (no post
+        // snapshot) or the baseline model was never attached.
+        let (observed, limit, pass) = match (obs.pre_divergence, obs.post_divergence) {
+            (Some(pre), Some(post)) => {
+                let limit = pre * ADAPT_DIVERGENCE_SLACK;
+                (post, limit, post <= limit)
+            }
+            (pre, _) => (0.0, pre.unwrap_or(0.0), true),
+        };
+        checks.push(check(
+            &obs.name,
+            "adapt-improves-or-holds",
+            observed,
+            limit,
+            pass,
+            "<=",
         ));
     }
     checks
@@ -1084,6 +1276,144 @@ mod tests {
         let doc = crate::json::parse(&verdict.json()).unwrap();
         let serving = doc.get("serving").expect("serving section");
         assert_eq!(serving.get("pass"), Some(&crate::json::Value::Bool(false)));
+    }
+
+    const ADAPT_BASELINE: &str = r#"{
+      "machine_cores": 8,
+      "scale": "small",
+      "seed": 42,
+      "slo_multiplier": 10.0,
+      "benches": {
+        "KMeans": {
+          "solo_p99_us": 900.0, "slo_p99_us": 9000.0, "max_sustainable_rps": 1600.0,
+          "adapt": { "frozen_p99_us": 4300.0, "adaptive_p99_us": 1900.0, "midrun_p99_us": 5100.0, "relayouts": 1, "layout_epoch": 1, "decisions": 18, "pre_divergence": 0.31, "post_divergence": 0.12, "exact": true }
+        },
+        "Series": {
+          "solo_p99_us": 230.0, "slo_p99_us": 5000.0, "max_sustainable_rps": 6400.0,
+          "adapt": { "frozen_p99_us": 2200.0, "adaptive_p99_us": 2100.0, "relayouts": 1, "exact": true }
+        }
+      }
+    }"#;
+
+    fn healthy_adapt_observation(name: &str) -> AdaptObservation {
+        AdaptObservation {
+            name: name.into(),
+            relayouts: 1.0,
+            admitted: 24.0,
+            completed: 24.0,
+            pre_divergence: Some(0.4),
+            post_divergence: Some(0.2),
+        }
+    }
+
+    #[test]
+    fn adapt_baseline_parses_and_stays_optional() {
+        // Pre-adaptive baselines (no adapt member) still parse.
+        let old = parse_serving_baseline(SERVING_BASELINE).unwrap();
+        assert!(old.benches[0].adapt.is_none());
+        assert!(evaluate_adapt(&old, &[]).is_empty());
+
+        let baseline = parse_serving_baseline(ADAPT_BASELINE).unwrap();
+        let km = baseline.benches.iter().find(|b| b.name == "KMeans").unwrap();
+        let adapt = km.adapt.as_ref().expect("adapt section parsed");
+        assert_eq!(adapt.frozen_p99_us, 4300.0);
+        assert_eq!(adapt.adaptive_p99_us, 1900.0);
+        assert_eq!(adapt.relayouts, 1.0);
+        assert!(adapt.exact);
+    }
+
+    #[test]
+    fn healthy_adapt_probe_passes() {
+        let baseline = parse_serving_baseline(ADAPT_BASELINE).unwrap();
+        let obs = [
+            healthy_adapt_observation("KMeans"),
+            healthy_adapt_observation("Series"),
+        ];
+        let checks = evaluate_adapt(&baseline, &obs);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+        assert!(checks.iter().any(|c| c.name == "adapt-baseline-p99-wins"));
+        assert!(checks.iter().any(|c| c.name == "adapt-improves-or-holds"));
+    }
+
+    #[test]
+    fn adapt_regressions_fail() {
+        let baseline = parse_serving_baseline(ADAPT_BASELINE).unwrap();
+        // No relayout on the stale-layout probe: the loop is dead.
+        let mut obs = healthy_adapt_observation("KMeans");
+        obs.relayouts = 0.0;
+        let checks = evaluate_adapt(&baseline, &[obs, healthy_adapt_observation("Series")]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "adapt-relayout-occurred" && !c.pass));
+        // A migration that loses a request is a ledger bug.
+        let mut obs = healthy_adapt_observation("KMeans");
+        obs.completed = 23.0;
+        let checks = evaluate_adapt(&baseline, &[obs, healthy_adapt_observation("Series")]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "adapt-completions-exact" && !c.pass));
+        // Divergence clearly worse after migrating fails improves-or-holds.
+        let mut obs = healthy_adapt_observation("KMeans");
+        obs.pre_divergence = Some(0.1);
+        obs.post_divergence = Some(0.5);
+        let checks = evaluate_adapt(&baseline, &[obs, healthy_adapt_observation("Series")]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "adapt-improves-or-holds" && !c.pass));
+        // ...but no relayout (no post snapshot) holds trivially.
+        let mut obs = healthy_adapt_observation("KMeans");
+        obs.post_divergence = None;
+        let checks = evaluate_adapt(&baseline, &[obs, healthy_adapt_observation("Series")]);
+        assert!(checks
+            .iter()
+            .all(|c| c.name != "adapt-improves-or-holds" || c.pass));
+        // A missing probe fails presence.
+        let checks = evaluate_adapt(&baseline, &[healthy_adapt_observation("KMeans")]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "adapt-bench-present" && !c.pass));
+    }
+
+    #[test]
+    fn adapt_baseline_wins_check_counts() {
+        let mut baseline = parse_serving_baseline(ADAPT_BASELINE).unwrap();
+        // Flip both recorded comparisons to losses: the aggregate check
+        // fails even though every live probe is healthy.
+        for bench in &mut baseline.benches {
+            if let Some(adapt) = &mut bench.adapt {
+                adapt.adaptive_p99_us = adapt.frozen_p99_us + 1.0;
+            }
+        }
+        let obs = [
+            healthy_adapt_observation("KMeans"),
+            healthy_adapt_observation("Series"),
+        ];
+        let checks = evaluate_adapt(&baseline, &obs);
+        let wins = checks
+            .iter()
+            .find(|c| c.name == "adapt-baseline-p99-wins")
+            .unwrap();
+        assert!(!wins.pass);
+        assert_eq!(wins.observed, 0.0);
+    }
+
+    #[test]
+    fn adapt_section_appears_in_verdict_json() {
+        let baseline = parse_serving_baseline(ADAPT_BASELINE).unwrap();
+        let mut verdict = Verdict::default();
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        assert!(doc.get("adapt").is_none());
+        verdict.checks.extend(evaluate_adapt(
+            &baseline,
+            &[
+                healthy_adapt_observation("KMeans"),
+                healthy_adapt_observation("Series"),
+            ],
+        ));
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        let adapt = doc.get("adapt").expect("adapt section");
+        assert_eq!(adapt.get("pass"), Some(&crate::json::Value::Bool(true)));
+        assert_eq!(adapt.get("failed").and_then(Value::as_f64), Some(0.0));
     }
 
     #[test]

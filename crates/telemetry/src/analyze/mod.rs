@@ -27,6 +27,7 @@
 //! the bench crate is a thin shell around it.
 
 pub mod divergence;
+pub mod estimate;
 pub mod findings;
 pub mod gate;
 pub mod graph;
@@ -36,6 +37,9 @@ pub mod serving;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use estimate::{
+    estimate_profile, profile_fingerprint, rate_divergence, LiveEstimator,
+};
 pub use findings::{Evidence, Finding, Severity};
 pub use graph::{ObsEdge, ObsInvocation, ObservedGraph};
 pub use ledger::{CoreLedger, Ledger};

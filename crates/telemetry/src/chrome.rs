@@ -258,12 +258,15 @@ impl ChromeTrace {
                 EventKind::ReqComplete => {
                     self.instant(pid, tid, "request complete", to_us(e.ts));
                 }
+                EventKind::Relayout => self.instant(pid, tid, "relayout", to_us(e.ts)),
                 EventKind::LockAcquired
                 | EventKind::ObjRecv
                 | EventKind::InvQueued
                 | EventKind::InvLink
                 | EventKind::ReqArrive
-                | EventKind::ReqAdmit => {}
+                | EventKind::ReqAdmit
+                | EventKind::TaskExit
+                | EventKind::TaskAlloc => {}
             }
         }
     }

@@ -447,6 +447,43 @@ impl WorkerSink {
         self.push(ts, EventKind::ReqComplete, request, invocations, 0);
     }
 
+    /// Records one task invocation's exit and charged body cycles — the
+    /// live-estimation sample stream (`adapt.*` namespace). `task` and
+    /// `exit` pack into one word via [`event::pack_task_exit`].
+    #[inline]
+    pub fn task_exit(&mut self, ts: Timestamp, task: u64, exit: u64, cycles: u64, inv: u64) {
+        self.push(
+            ts,
+            EventKind::TaskExit,
+            event::pack_task_exit(task, exit),
+            cycles,
+            inv,
+        );
+    }
+
+    /// Records the objects one invocation allocated at one site
+    /// (`adapt.*` namespace); paired with the invocation's
+    /// [`WorkerSink::task_exit`] by the packed `(task, exit)` word.
+    #[inline]
+    pub fn task_alloc(&mut self, ts: Timestamp, task: u64, exit: u64, site: u64, count: u64) {
+        self.push(
+            ts,
+            EventKind::TaskAlloc,
+            event::pack_task_exit(task, exit),
+            site,
+            count,
+        );
+    }
+
+    /// Records a hot-relayout drain at a migrated instance's old host
+    /// (`relayout.*` namespace): `epoch` is the layout epoch that took
+    /// effect, `instance` the migrated instance, `drained` the buffered
+    /// objects re-sent to the new host.
+    #[inline]
+    pub fn relayout(&mut self, ts: Timestamp, epoch: u64, instance: u64, drained: u64) {
+        self.push(ts, EventKind::Relayout, epoch, instance, drained);
+    }
+
     /// Submits the ring back to the session explicitly (Drop does the
     /// same; this form makes the handoff visible at call sites).
     pub fn submit(mut self) {

@@ -54,7 +54,10 @@ pub fn per_core_table(report: &TelemetryReport) -> String {
             | EventKind::ReqArrive
             | EventKind::ReqAdmit
             | EventKind::ReqShed
-            | EventKind::ReqComplete => {}
+            | EventKind::ReqComplete
+            | EventKind::TaskExit
+            | EventKind::TaskAlloc
+            | EventKind::Relayout => {}
         }
     }
     let span = match report.unit {

@@ -1,10 +1,13 @@
 //! A resident deployment under open-loop traffic: build a native
 //! fan-out/reduce program, synthesize a layout for eight cores, keep
-//! the deployment resident with [`Server`], and feed it bursty
-//! arrivals — each arrival becomes an independent *request* whose
-//! completion the request ledger detects exactly (no global
-//! quiescence). Prints the admit→complete latency distribution and the
-//! `serving.*` view reconstructed from the telemetry rings.
+//! the deployment resident through the [`DeploymentHandle`] lifecycle,
+//! and feed it bursty arrivals — each arrival becomes an independent
+//! *request* whose completion the request ledger detects exactly (no
+//! global quiescence). The adaptive re-layout loop is armed: the run
+//! re-estimates its Markov model live and hot-migrates groups when the
+//! DSA finds a better layout. Prints the admit→complete latency
+//! distribution, the layout epoch served last, and the `serving.*`
+//! view reconstructed from the telemetry rings.
 //!
 //! Run with: `cargo run --example serving_deploy`
 
@@ -81,27 +84,33 @@ fn main() -> Result<(), Error> {
     let machine = MachineDescription::n_cores(8);
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
-    let deployment = compiler.deploy(&plan);
+    let handle = DeploymentHandle::deploy(&compiler, &plan);
     println!(
-        "deployment: {} instances over {} cores, kept resident",
-        deployment.layout.instances.len(),
-        deployment.core_count()
+        "deployment: {} over {} cores, kept resident",
+        handle.planned_layout(),
+        handle.deployment().core_count()
     );
 
     // Workers plus the driver's pseudo-core, so the serving events land
     // in the same rings as the executor's.
-    let telemetry = Telemetry::enabled(deployment.core_count() + 1);
-    let options = RunOptions::default().with_telemetry(telemetry.clone());
+    let telemetry = Telemetry::enabled(handle.deployment().core_count() + 1);
 
     // A Markov-modulated arrival process: calm stretches around 300
     // req/s punctuated by 3000 req/s bursts.
     let mut arrivals = Bursty::new(300.0, 3_000.0, 0.15, 7);
     let total = 48;
 
-    let exec = ThreadedExecutor::default();
-    let mut server = Server::start(&exec, &deployment, options, ServingOptions::new())?;
-    server.serve(&mut arrivals, total, |request| Box::new(request))?;
-    let report = server.finish()?;
+    let mut session = handle
+        .with_telemetry(telemetry.clone())
+        // Arm the doctor→DSA loop: re-estimate the model from live
+        // telemetry and hot-migrate groups when a better layout clears
+        // the hysteresis threshold.
+        .with_adapt(AdaptPolicy::new(machine.clone()))
+        .serve(ServingOptions::new())?;
+    session.serve(&mut arrivals, total, |request| Box::new(request))?;
+    let last = session.snapshot();
+    let report = session.stop()?;
+    println!("layout:   served last on {last}");
 
     println!("served:   {}", report.latency_summary());
     println!(

@@ -1,8 +1,8 @@
-//! The deployment-centric execution API on real threads: build a native
-//! fan-out/reduce program, profile + synthesize a layout, bundle it into
-//! a [`Deployment`], and run the *same artifact* on the virtual-time
-//! executor and on the threaded executor (with work stealing and
-//! telemetry) — then hand the recorded telemetry to the
+//! The deployment lifecycle API on real threads: build a native
+//! fan-out/reduce program, profile + synthesize a layout, bundle it
+//! into a [`DeploymentHandle`], and run the *same artifact* on the
+//! virtual-time executor and on the threaded executor (with work
+//! stealing and telemetry) — then hand the recorded telemetry to the
 //! `bamboo-doctor` analyzer for a causal diagnosis of the observed
 //! run.
 //!
@@ -81,15 +81,16 @@ fn main() -> Result<(), Error> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
 
-    // One artifact, both executors.
-    let deployment = compiler.deploy(&plan);
+    // One lifecycle handle; the virtual executor predicts over the same
+    // deployment artifact before the threaded run consumes it.
+    let handle = DeploymentHandle::deploy(&compiler, &plan);
     println!(
-        "deployment: {} instances over {} cores",
-        deployment.layout.instances.len(),
-        deployment.core_count()
+        "deployment: {} over {} cores",
+        handle.planned_layout(),
+        handle.deployment().core_count()
     );
 
-    let mut virt = VirtualExecutor::over(&deployment, &machine, ExecConfig::default());
+    let mut virt = VirtualExecutor::over(handle.deployment(), &machine, ExecConfig::default());
     let predicted = virt.run(None)?;
     println!(
         "virtual:  {} invocations, {} cycles ({:.2}x over 1 core)",
@@ -98,11 +99,12 @@ fn main() -> Result<(), Error> {
         single.makespan as f64 / predicted.makespan as f64
     );
 
-    let telemetry = Telemetry::enabled(deployment.core_count());
-    let options = RunOptions::default()
+    let telemetry = Telemetry::enabled(handle.deployment().core_count());
+    let deployment = handle.deployment().clone();
+    let observed = handle
         .with_telemetry(telemetry.clone())
-        .with_steal(StealPolicy::SameGroup);
-    let observed = ThreadedExecutor::default().run(&deployment, options)?;
+        .with_steal(StealPolicy::SameGroup)
+        .run()?;
     println!(
         "threaded: {} invocations in {:?} ({} stolen, {} lock retries)",
         observed.invocations, observed.wall, observed.steals, observed.lock_retries
