@@ -11,6 +11,14 @@
 //!    sustainable throughput is the highest level whose p99 met the SLO
 //!    with nothing shed at admission or on the router.
 //!
+//! Each app additionally records an adaptive-vs-frozen comparison
+//! (`adapt` member, `adapt-*` checks) and a scope-off-vs-scope-on
+//! overhead comparison at a quarter of the sustainable rate (`scope`
+//! member, `scope-*` checks): exact stepped-pacing p99s certify zero
+//! scheduling perturbation, wall-pacing throughput medians certify the
+//! CPU cost — the live observability plane must stay within 3% on
+//! both.
+//!
 //! Writes `BENCH_serving.json` at the repository root — the baseline
 //! `bamboo-doctor --check` gates against (`serving-*` checks).
 //!
@@ -21,8 +29,8 @@
 
 use bamboo::{
     AdaptPolicy, Bursty, Compiler, CoreId, Deployment, DeploymentHandle, MachineDescription,
-    Pacing, Poisson, Profile, RunOptions, Server, ServingOptions, ServingReport, SynthesisOptions,
-    ThreadedExecutor,
+    Pacing, Poisson, Profile, RunOptions, ScopeConfig, Server, ServingOptions, ServingReport,
+    SynthesisOptions, ThreadedExecutor,
 };
 use bamboo_apps::{Benchmark, Scale};
 use rand::SeedableRng;
@@ -59,6 +67,35 @@ const ADAPT_REQS_SMOKE: usize = 16;
 /// recorded (same convention as the threaded bench's best-wall-over-
 /// reps — the tail of a single rep is host-scheduler noise).
 const ADAPT_REPS: usize = 3;
+/// Wall-pacing reps of each throughput leg of the scope-overhead
+/// comparison (full mode); odd, so the recorded per-leg median is a
+/// real rep's value.
+const SCOPE_REPS: usize = 5;
+/// Stepped-pacing reps of each p99 leg (full mode). Stepped legs have
+/// no pacing sleeps, so reps are cheap, and both legs replay the same
+/// seed — identical arrivals, identical work — so each leg's near-best
+/// rep is the same clean floor plus whatever systematic cost the plane
+/// adds, and the floor estimate is comparable across columns.
+const SCOPE_P99_REPS: usize = 31;
+/// The band of sorted reps each p99 column averages (0-based,
+/// half-open): the 3rd through 7th fastest — below the host's stall
+/// zone, and a band mean is markedly more stable than any single
+/// order statistic.
+const SCOPE_P99_FLOOR_BAND: std::ops::Range<usize> = 2..7;
+/// Fraction of the sustainable rate the scope comparison offers. At
+/// the saturation knee p99 amplifies any perturbation (host scheduler,
+/// allocator) far past the 3% budget being measured; well under the
+/// knee the queueing is real but stable, so the ratio isolates the
+/// plane's own cost.
+const SCOPE_LOAD_FRACTION: f64 = 0.25;
+/// Requests per wall-pacing scope throughput leg (full mode).
+const SCOPE_REQS: usize = 2_000;
+/// Requests per stepped-pacing scope p99 leg (full mode) — deep enough
+/// that the p99 is a stable order statistic (the 40th-slowest of 4000
+/// samples) rather than a handful of unlucky requests.
+const SCOPE_P99_REQS: usize = 4_000;
+/// Requests per rep of each scope leg (smoke mode).
+const SCOPE_REQS_SMOKE: usize = 48;
 
 /// One ladder level's outcome.
 struct Level {
@@ -126,6 +163,97 @@ struct Sweep {
     sustainable: usize,
     levels: Vec<Level>,
     adapt: AdaptOutcome,
+    scope: ScopeOutcome,
+}
+
+/// Scope-off vs scope-on overhead well under the saturation knee:
+/// both legs replay the same seeded Poisson streams, one with the live
+/// observability plane off and one with it on (default sampling, SLO
+/// armed). p99 columns are exact stepped-pacing quantiles (virtual
+/// arrival clock, deterministic); throughput columns are wall-pacing
+/// medians over the interleaved reps.
+struct ScopeOutcome {
+    off_p99_us: u64,
+    on_p99_us: u64,
+    off_rps: f64,
+    on_rps: f64,
+}
+
+/// Exact p99 over raw samples — the histogram's ~3% bucket resolution
+/// is coarser than the 3% overhead budget the comparison gates, so the
+/// quantile comes from `ServingReport::raw_latency_us` instead.
+fn exact_p99_us(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        return 1;
+    }
+    let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)].max(1)
+}
+
+/// Middle element after sorting — robust to a minority of host-stalled
+/// reps.
+fn median_f64(values: &mut [f64]) -> f64 {
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    values[values.len() / 2]
+}
+
+/// The p99 columns are measured under *stepped* pacing: the virtual
+/// arrival clock is the latency clock, so both legs' quantiles are
+/// exact and deterministic, and any scheduling perturbation the plane
+/// introduced lands in the comparison at full precision. (A wall-clock
+/// p99 on a multi-tenant host measures CPU-steal stalls orders of
+/// magnitude larger than the 3% budget — back-to-back same-seed legs
+/// disagree with *themselves* by 2-50x — so it can certify nothing
+/// finer.) The plane's real CPU cost is a per-request constant, and it
+/// lands squarely in the wall-pacing throughput columns, which are
+/// stable to ~0.1%: those run as same-seed pairs, off and on
+/// interleaved so host drift hits both sides, recording each leg's
+/// median completions-per-second across the reps.
+fn scope_comparison(deployment: &Deployment, rate: f64, total: usize, reps: usize) -> ScopeOutcome {
+    let scoped = || {
+        ServingOptions::new().with_scope(
+            ScopeConfig::default().with_slo((SLO_FLOOR_US * SLO_MULTIPLIER) as u64, 0.999),
+        )
+    };
+    let p99_reqs = if total >= SCOPE_REQS {
+        SCOPE_P99_REQS
+    } else {
+        total
+    };
+    let stepped_leg = |options: ServingOptions| {
+        let stepped = options.with_pacing(Pacing::Stepped);
+        let (report, _) = serve_at(deployment, stepped, rate, SEED, p99_reqs);
+        exact_p99_us(&report.raw_latency_us)
+    };
+    let (mut off_p99s, mut on_p99s) = (Vec::new(), Vec::new());
+    let reps_p99 = if reps == 1 { 1 } else { SCOPE_P99_REPS };
+    for _ in 0..reps_p99 {
+        off_p99s.push(stepped_leg(ServingOptions::new()));
+        on_p99s.push(stepped_leg(scoped()));
+    }
+    let floor = |p99s: &mut Vec<u64>| {
+        p99s.sort_unstable();
+        let band = &p99s[SCOPE_P99_FLOOR_BAND.start.min(p99s.len() - 1)
+            ..SCOPE_P99_FLOOR_BAND.end.min(p99s.len())];
+        band.iter().sum::<u64>() / band.len() as u64
+    };
+    let (off_p99_us, on_p99_us) = (floor(&mut off_p99s), floor(&mut on_p99s));
+    let (mut off_rpss, mut on_rpss) = (Vec::new(), Vec::new());
+    for rep in 0..reps {
+        let seed = SEED + rep as u64;
+        let (report, elapsed) = serve_at(deployment, ServingOptions::new(), rate, seed, total);
+        off_rpss.push(report.completed as f64 / elapsed.max(1e-9));
+        let (report, elapsed) = serve_at(deployment, scoped(), rate, seed, total);
+        on_rpss.push(report.completed as f64 / elapsed.max(1e-9));
+    }
+    ScopeOutcome {
+        off_p99_us,
+        on_p99_us,
+        off_rps: median_f64(&mut off_rpss),
+        on_rps: median_f64(&mut on_rpss),
+    }
 }
 
 /// Adaptive-vs-frozen outcome under a shifting bursty mix from a
@@ -295,29 +423,33 @@ fn adapt_comparison(
     }
 }
 
-fn sweep(
-    bench: &dyn Benchmark,
-    machine: &MachineDescription,
+/// Per-mode request counts and rep counts for one sweep (full vs
+/// smoke).
+struct Load {
     solo_reqs: usize,
     level_reqs: usize,
     max_levels: usize,
     adapt_reqs: usize,
-) -> Sweep {
+    scope_reqs: usize,
+    scope_reps: usize,
+}
+
+fn sweep(bench: &dyn Benchmark, machine: &MachineDescription, load: &Load) -> Sweep {
     let (_compiler, deployment, profile) = deployment_for(bench, machine);
-    let (solo_p99_us, slo_p99_us) = solo_slo(&deployment, solo_reqs);
-    let adapt = adapt_comparison(&deployment, &profile, machine, adapt_reqs);
+    let (solo_p99_us, slo_p99_us) = solo_slo(&deployment, load.solo_reqs);
+    let adapt = adapt_comparison(&deployment, &profile, machine, load.adapt_reqs);
 
     let mut levels = Vec::new();
     let mut sustainable = 0usize;
     let mut max_sustainable_rps = 0.0;
     let mut rate = START_RPS;
-    for step in 0..max_levels {
+    for step in 0..load.max_levels {
         let (report, elapsed) = serve_at(
             &deployment,
             ServingOptions::new(),
             rate,
             SEED + step as u64,
-            level_reqs,
+            load.level_reqs,
         );
         let level = Level::from_report(rate, &report, elapsed);
         let sustained = level.sustained(slo_p99_us);
@@ -330,6 +462,16 @@ fn sweep(
         rate *= 2.0;
     }
 
+    // Scope overhead mid-curve: half the sustainable rate (or the
+    // first rung when nothing sustained), away from the knee where
+    // p99 is all host noise.
+    let scope_rate = if max_sustainable_rps > 0.0 {
+        max_sustainable_rps * SCOPE_LOAD_FRACTION
+    } else {
+        START_RPS
+    };
+    let scope = scope_comparison(&deployment, scope_rate, load.scope_reqs, load.scope_reps);
+
     Sweep {
         name: bench.name().to_string(),
         solo_p99_us,
@@ -338,6 +480,7 @@ fn sweep(
         sustainable,
         levels,
         adapt,
+        scope,
     }
 }
 
@@ -364,14 +507,20 @@ fn json_block(s: &Sweep) -> String {
         a.post_divergence,
         a.exact,
     );
+    let sc = &s.scope;
+    let scope = format!(
+        "{{ \"off_p99_us\": {}, \"on_p99_us\": {}, \"off_rps\": {:.1}, \"on_rps\": {:.1} }}",
+        sc.off_p99_us, sc.on_p99_us, sc.off_rps, sc.on_rps,
+    );
     format!(
-        "    \"{}\": {{\n      \"solo_p99_us\": {}, \"slo_p99_us\": {:.1}, \"max_sustainable_rps\": {:.1},\n      \"at_sustainable\": {},\n      \"adapt\": {},\n      \"levels\": [\n{}\n      ]\n    }}",
+        "    \"{}\": {{\n      \"solo_p99_us\": {}, \"slo_p99_us\": {:.1}, \"max_sustainable_rps\": {:.1},\n      \"at_sustainable\": {},\n      \"adapt\": {},\n      \"scope\": {},\n      \"levels\": [\n{}\n      ]\n    }}",
         s.name,
         s.solo_p99_us,
         s.slo_p99_us,
         s.max_sustainable_rps,
         at.json(),
         adapt,
+        scope,
         levels.join(",\n"),
     )
 }
@@ -395,15 +544,29 @@ fn main() {
             &bamboo_apps::filterbank::FilterBank,
         ]
     };
-    let (solo_reqs, level_reqs, max_levels, adapt_reqs) = if full {
-        (12, 40, MAX_LEVELS, ADAPT_REQS)
+    let load = if full {
+        Load {
+            solo_reqs: 12,
+            level_reqs: 40,
+            max_levels: MAX_LEVELS,
+            adapt_reqs: ADAPT_REQS,
+            scope_reqs: SCOPE_REQS,
+            scope_reps: SCOPE_REPS,
+        }
     } else {
-        (4, 6, 1, ADAPT_REQS_SMOKE)
+        Load {
+            solo_reqs: 4,
+            level_reqs: 6,
+            max_levels: 1,
+            adapt_reqs: ADAPT_REQS_SMOKE,
+            scope_reqs: SCOPE_REQS_SMOKE,
+            scope_reps: 1,
+        }
     };
 
     let mut blocks = Vec::new();
     for bench in apps {
-        let s = sweep(bench, &machine, solo_reqs, level_reqs, max_levels, adapt_reqs);
+        let s = sweep(bench, &machine, &load);
         let at = &s.levels[s.sustainable];
         println!(
             "bench serving/{:<12} solo p99 {:>7}us   SLO {:>9.0}us   sustainable {:>7.0} rps (p99 {}us, {} levels)",
@@ -418,6 +581,15 @@ fn main() {
             s.adapt.layout_epoch,
             s.adapt.decisions,
             s.adapt.exact,
+        );
+        println!(
+            "      scope/{:<12} off p99 {:>7}us → on p99 {:>7}us ({:+.1}%)   off {:>7.0} rps → on {:>7.0} rps",
+            s.name,
+            s.scope.off_p99_us,
+            s.scope.on_p99_us,
+            (s.scope.on_p99_us as f64 / s.scope.off_p99_us as f64 - 1.0) * 100.0,
+            s.scope.off_rps,
+            s.scope.on_rps,
         );
         blocks.push(json_block(&s));
     }

@@ -62,12 +62,27 @@
 //!   and appends the full `adapt-*` check set.
 //!
 //!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --adapt-smoke --out doctor_verdict.json`
+//!
+//! * **`--scope-smoke`**: the live-observability smoke gate. Serves one
+//!   app (default `kmeans`) under stepped pacing with telemetry *and*
+//!   the scope plane armed, reconstructs the span tree of every
+//!   tail-sampled request, and requires exact snapshot accounting
+//!   (arrived = admitted + shed, completed = admitted), at least one
+//!   sampled tree, and an exact latency partition per tree
+//!   (`scope-partition-exact`). Writes the verdict JSON plus the scope
+//!   snapshot (`--snapshot-out`, default `scope_snapshot.json`) and its
+//!   Prometheus rendering alongside, as CI artifacts. When
+//!   `BENCH_serving.json` carries recorded `scope` sections, `--check`
+//!   additionally runs this probe per recorded app and appends the full
+//!   `scope-*` check set (including the recorded ≤3% overhead budget).
+//!
+//!   `cargo run --release -p bamboo-bench --bin bamboo-doctor -- --scope-smoke --out doctor_verdict.json`
 
 use bamboo::telemetry::analyze::{self, gate};
 use bamboo::{
     AdaptPolicy, Bursty, Compiler, CoreId, Deployment, DeploymentHandle, DsaOptions, ExecConfig,
-    FaultSpec, MachineDescription, Pacing, Poisson, RunOptions, Server, ServingOptions,
-    SynthesisOptions, Telemetry, ThreadedExecutor,
+    FaultSpec, MachineDescription, Pacing, Poisson, RunOptions, ScopeConfig, ScopeSnapshot, Server,
+    ServingOptions, SynthesisOptions, Telemetry, ThreadedExecutor,
 };
 use bamboo_apps::{all, by_name, Benchmark, Scale};
 use rand::SeedableRng;
@@ -98,16 +113,23 @@ const SERVING_CHECK_LOAD_FRACTION: f64 = 0.25;
 /// stepped pacing the decision sequence is deterministic, so more
 /// requests buy nothing.
 const ADAPT_CHECK_REQS: usize = 32;
+/// Requests per scope-probe run (`--scope-smoke` and the `scope-*`
+/// checks of `--check`). Enough to fill several tumbling windows and
+/// populate the slowest-K + reservoir samplers; under stepped pacing
+/// the sampling decisions are deterministic.
+const SCOPE_CHECK_REQS: usize = 48;
 
 struct Args {
     check: bool,
     adapt_smoke: bool,
+    scope_smoke: bool,
     chaos: bool,
     chaos_seed: u64,
     chaos_cores: usize,
     bench: String,
     cores: usize,
     json_out: Option<String>,
+    snapshot_out: String,
     baseline_path: String,
     dsa_baseline_path: String,
     serving_baseline_path: String,
@@ -120,12 +142,14 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         check: false,
         adapt_smoke: false,
+        scope_smoke: false,
         chaos: false,
         chaos_seed: 7,
         chaos_cores: 16,
         bench: "kmeans".to_string(),
         cores: 8,
         json_out: None,
+        snapshot_out: "scope_snapshot.json".to_string(),
         baseline_path: default_baseline.to_string(),
         dsa_baseline_path: default_dsa_baseline.to_string(),
         serving_baseline_path: default_serving_baseline.to_string(),
@@ -136,6 +160,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--check" => args.check = true,
             "--adapt-smoke" => args.adapt_smoke = true,
+            "--scope-smoke" => args.scope_smoke = true,
             "--chaos" => args.chaos = true,
             "--chaos-seed" => {
                 args.chaos_seed = value("--chaos-seed")?
@@ -153,6 +178,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--cores: {e}"))?;
             }
             "--json" | "--out" => args.json_out = Some(value(&arg)?),
+            "--snapshot-out" => args.snapshot_out = value("--snapshot-out")?,
             "--baseline" => args.baseline_path = value("--baseline")?,
             "--dsa-baseline" => args.dsa_baseline_path = value("--dsa-baseline")?,
             "--serving-baseline" => args.serving_baseline_path = value("--serving-baseline")?,
@@ -162,7 +188,8 @@ fn parse_args() -> Result<Args, String> {
                     "       bamboo-doctor --check [--baseline PATH] [--dsa-baseline PATH]\n",
                     "                      [--serving-baseline PATH] [--out PATH]\n",
                     "       bamboo-doctor --check --chaos [--chaos-seed N] [--chaos-cores N] [--out PATH]\n",
-                    "       bamboo-doctor --adapt-smoke [BENCH] [--cores N] [--out PATH]"
+                    "       bamboo-doctor --adapt-smoke [BENCH] [--cores N] [--out PATH]\n",
+                    "       bamboo-doctor --scope-smoke [BENCH] [--cores N] [--out PATH] [--snapshot-out PATH]"
                 )
                 .to_string());
             }
@@ -389,6 +416,110 @@ fn adapt_smoke_mode(args: &Args) -> Result<bool, String> {
     let out = args.json_out.as_deref().unwrap_or("doctor_verdict.json");
     std::fs::write(out, verdict.json()).map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
+    Ok(verdict.pass())
+}
+
+/// Serves a deterministic scope probe against `bench` for the `scope-*`
+/// gate checks: stepped pacing, fixed seeds, telemetry and the live
+/// observability plane both armed. Returns the gate observation, the
+/// final scope snapshot, and the span trees materialized for its
+/// tail-sampled request ids.
+fn scope_observation(
+    bench: &dyn Benchmark,
+    machine: &MachineDescription,
+) -> Result<
+    (
+        gate::ScopeObservation,
+        ScopeSnapshot,
+        Vec<analyze::SpanTree>,
+    ),
+    String,
+> {
+    let (_compiler, deployment) = deployment_for(bench, machine);
+    // Workers plus the serving driver's own ring.
+    let telemetry = Telemetry::enabled(machine.core_count() + 1);
+    let scope = ScopeConfig::default()
+        .with_window(std::time::Duration::from_millis(5))
+        .with_slo(50_000, 0.99)
+        .with_sampling(4, 4);
+    let mut session = DeploymentHandle::from_deployment(deployment)
+        .with_telemetry(telemetry.clone())
+        .with_scope(scope)
+        .serve(ServingOptions::new().with_pacing(Pacing::Stepped))
+        .map_err(|e| format!("{}: scope probe start failed: {e}", bench.name()))?;
+    let mut arrivals = Poisson::new(2_000.0, SEED);
+    session
+        .serve(&mut arrivals, SCOPE_CHECK_REQS, |_| Box::new(()))
+        .map_err(|e| format!("{}: scope probe serve failed: {e}", bench.name()))?;
+    let report = session
+        .stop()
+        .map_err(|e| format!("{}: scope probe finish failed: {e}", bench.name()))?;
+    let snapshot = report
+        .scope
+        .clone()
+        .ok_or_else(|| format!("{}: scope plane armed but no snapshot", bench.name()))?;
+    let observed = telemetry.report();
+    let trees = analyze::span_trees(&observed, &snapshot.sampled_requests());
+    let partition_exact = !trees.is_empty()
+        && trees
+            .iter()
+            .all(|t| t.breakdown.component_sum() == t.breakdown.total);
+    let t = &snapshot.totals;
+    Ok((
+        gate::ScopeObservation {
+            name: bench.name().to_string(),
+            arrived: t.arrivals as f64,
+            admitted: t.admitted as f64,
+            completed: t.completed as f64,
+            shed: t.shed as f64,
+            trees: trees.len() as f64,
+            partition_exact,
+        },
+        snapshot,
+        trees,
+    ))
+}
+
+/// `--scope-smoke`: serve one app with the scope plane armed and gate
+/// on the live `scope-*` checks alone (no recorded baseline needed).
+/// Writes the scope snapshot and its Prometheus rendering next to the
+/// verdict, as CI artifacts.
+fn scope_smoke_mode(args: &Args) -> Result<bool, String> {
+    let bench = by_name(&args.bench).ok_or(format!("unknown benchmark {:?}", args.bench))?;
+    let machine = MachineDescription::n_cores(args.cores);
+    println!(
+        "bamboo-doctor: live observability smoke on {} ({} cores, {} requests)\n",
+        bench.name(),
+        args.cores,
+        SCOPE_CHECK_REQS,
+    );
+    let (obs, snapshot, trees) = scope_observation(bench.as_ref(), &machine)?;
+    println!(
+        "scoped {:<12} {} arrived = {} admitted + {} shed, {} completed, {} sampled tree(s), partition {}",
+        obs.name,
+        obs.arrived,
+        obs.admitted,
+        obs.shed,
+        obs.completed,
+        trees.len(),
+        if obs.partition_exact { "exact" } else { "INEXACT" },
+    );
+    println!();
+    for tree in &trees {
+        print!("{}", tree.render("ns"));
+    }
+    let verdict = gate::Verdict {
+        checks: gate::evaluate_scope_probe(&[obs]),
+    };
+    println!("\n{}", verdict.table());
+    let out = args.json_out.as_deref().unwrap_or("doctor_verdict.json");
+    std::fs::write(out, verdict.json()).map_err(|e| format!("write {out}: {e}"))?;
+    let snap_out = &args.snapshot_out;
+    std::fs::write(snap_out, snapshot.to_json()).map_err(|e| format!("write {snap_out}: {e}"))?;
+    let prom_out = format!("{}.prom", snap_out.trim_end_matches(".json"));
+    std::fs::write(&prom_out, snapshot.to_prometheus())
+        .map_err(|e| format!("write {prom_out}: {e}"))?;
+    println!("wrote {out}, {snap_out}, {prom_out}");
     Ok(verdict.pass())
 }
 
@@ -667,10 +798,36 @@ fn check_mode(args: &Args) -> Result<bool, String> {
                 );
                 adapt_observations.push(obs);
             }
-            verdict.checks.extend(gate::evaluate_adapt(
-                &serving_baseline,
-                &adapt_observations,
-            ));
+            verdict
+                .checks
+                .extend(gate::evaluate_adapt(&serving_baseline, &adapt_observations));
+
+            // Live-observability checks, gated on recorded `scope`
+            // sections (absent on baselines from before the scope
+            // plane existed — nothing to gate then).
+            let mut scope_observations = Vec::new();
+            for base in &serving_baseline.benches {
+                if base.scope.is_none() {
+                    continue;
+                }
+                let Some(bench) = by_name(&base.name) else {
+                    continue;
+                };
+                let (obs, _, _) = scope_observation(bench.as_ref(), &serving_machine)?;
+                println!(
+                    "scoped {:<12} {} arrived = {} admitted + {} shed, {} sampled tree(s), partition {}",
+                    base.name,
+                    obs.arrived,
+                    obs.admitted,
+                    obs.shed,
+                    obs.trees,
+                    if obs.partition_exact { "exact" } else { "INEXACT" },
+                );
+                scope_observations.push(obs);
+            }
+            verdict
+                .checks
+                .extend(gate::evaluate_scope(&serving_baseline, &scope_observations));
         }
         Err(err) => eprintln!(
             "warning: no serving baseline at {} ({err}); skipping serving-* checks",
@@ -695,6 +852,8 @@ fn main() -> ExitCode {
     };
     let outcome = if args.adapt_smoke {
         adapt_smoke_mode(&args)
+    } else if args.scope_smoke {
+        scope_smoke_mode(&args)
     } else {
         match (args.check, args.chaos) {
             (true, true) => chaos_check_mode(&args),

@@ -11,18 +11,102 @@
 //! `<benchmark>` is one of the names `bamboo_apps::all()` reports
 //! (default `kmeans`); `cores` defaults to 8. Output goes to
 //! `results/trace_<benchmark>.json` and `results/metrics_<benchmark>.json`.
+//!
+//! With `--request <id|all>` the tool instead serves a short
+//! deterministic (stepped-pacing, fixed-seed) open-loop session with
+//! telemetry recording, reconstructs the per-request span tree(s), and
+//! prints the causal forest with the exact latency partition (compute /
+//! lock-wait / queue-wait / routing / idle) — the offline view of the
+//! `bamboo-scope` live plane (DESIGN.md §17).
 
+use bamboo::telemetry::analyze;
 use bamboo::telemetry::chrome::{ChromeTrace, PID_OBSERVED, PID_PREDICTED};
 use bamboo::telemetry::summary;
-use bamboo::{simulate, ExecConfig, MachineDescription, SimOptions, SynthesisOptions, Telemetry};
-use bamboo_apps::{all, by_name, Scale};
+use bamboo::{
+    simulate, DeploymentHandle, ExecConfig, MachineDescription, Pacing, Poisson, ServingOptions,
+    SimOptions, SynthesisOptions, Telemetry,
+};
+use bamboo_apps::{all, by_name, Benchmark, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Requests served by the `--request` session — enough traffic that
+/// requests overlap and the queue/lock/routing components show up.
+const REQUEST_DUMP_REQS: usize = 32;
+
+/// `--request` mode: serve a deterministic session and print the span
+/// tree(s) for `which` (a request id, or `all`).
+fn dump_request(bench: &dyn Benchmark, cores: usize, which: &str) {
+    let compiler = bench.compiler(Scale::Small);
+    let (profile, _, ()) = compiler
+        .profile_run(None, "trace_dump", |_| ())
+        .expect("profile run");
+    let machine = MachineDescription::n_cores(cores);
+    let mut rng = StdRng::seed_from_u64(17);
+    let plan = compiler.synthesize(&profile, &machine, &SynthesisOptions::default(), &mut rng);
+    // Workers plus the serving driver's own ring.
+    let telemetry = Telemetry::enabled(cores + 1);
+    let mut session = DeploymentHandle::deploy(&compiler, &plan)
+        .with_telemetry(telemetry.clone())
+        .serve(ServingOptions::new().with_pacing(Pacing::Stepped))
+        .expect("server starts");
+    let mut arrivals = Poisson::new(2_000.0, 17);
+    session
+        .serve(&mut arrivals, REQUEST_DUMP_REQS, |_| Box::new(()))
+        .expect("serving run");
+    let report = session.stop().expect("serving finish");
+    let observed = telemetry.report();
+
+    let completed = analyze::scope::completed_requests(&observed);
+    let wanted: Vec<u64> = if which == "all" {
+        completed.clone()
+    } else {
+        match which.parse::<u64>() {
+            Ok(id) => vec![id],
+            Err(_) => {
+                eprintln!("invalid request id `{which}`; expected a number or `all`");
+                std::process::exit(2);
+            }
+        }
+    };
+    let trees = analyze::span_trees(&observed, &wanted);
+    if trees.is_empty() {
+        eprintln!("request(s) {wanted:?} not found in the session; completed ids: {completed:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "{} on {cores} cores: {} requests served, {} span tree(s) reconstructed (unit: ns)\n",
+        bench.name(),
+        report.completed,
+        trees.len(),
+    );
+    for tree in &trees {
+        print!("{}", tree.render("ns"));
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let name = args.next().unwrap_or_else(|| "kmeans".to_string());
-    let cores: usize = match args.next() {
+    let mut positional = Vec::new();
+    let mut request: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--request" {
+            match it.next() {
+                Some(v) => request = Some(v),
+                None => {
+                    eprintln!("--request requires a value (a request id or `all`)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let name = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "kmeans".to_string());
+    let cores: usize = match positional.get(1) {
         None => 8,
         Some(c) => match c.parse() {
             Ok(n) if n >= 1 => n,
@@ -37,6 +121,10 @@ fn main() {
         eprintln!("unknown benchmark `{name}`; expected one of {names:?}");
         std::process::exit(2);
     };
+    if let Some(which) = request {
+        dump_request(bench.as_ref(), cores, &which);
+        return;
+    }
 
     // Profile, synthesize a layout, and predict its timeline.
     let compiler = bench.compiler(Scale::Small);

@@ -189,7 +189,8 @@ mod tests {
         assert!(err.to_string().contains("hot relayout rejected"), "{err}");
         assert!(err.source().is_some(), "chains to the runtime error");
         // The serving wrapper takes the same path.
-        let err: Error = ServingError::Relayout(RelayoutError::UnknownInstance { instance: 9 }).into();
+        let err: Error =
+            ServingError::Relayout(RelayoutError::UnknownInstance { instance: 9 }).into();
         assert!(matches!(err, Error::RelayoutFailed(_)));
     }
 

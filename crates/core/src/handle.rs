@@ -32,7 +32,9 @@ use bamboo_runtime::{
     StealPolicy, ThreadedExecutor, ThreadedReport,
 };
 use bamboo_schedule::{Layout, SynthesisResult};
-use bamboo_serving::{ArrivalProcess, ChannelIngress, Server, ServingOptions, ServingReport};
+use bamboo_serving::{
+    ArrivalProcess, ChannelIngress, ScopeConfig, ScopeHandle, Server, ServingOptions, ServingReport,
+};
 use bamboo_telemetry::Telemetry;
 use std::fmt;
 
@@ -83,6 +85,7 @@ impl fmt::Display for LayoutEpoch {
 pub struct DeploymentHandle {
     deployment: Deployment,
     options: RunOptions,
+    scope: Option<ScopeConfig>,
 }
 
 impl DeploymentHandle {
@@ -98,6 +101,7 @@ impl DeploymentHandle {
         DeploymentHandle {
             deployment,
             options: RunOptions::new(),
+            scope: None,
         }
     }
 
@@ -149,6 +153,19 @@ impl DeploymentHandle {
         self
     }
 
+    /// Arms the live observability plane (`bamboo-scope`, DESIGN.md
+    /// §17) for the [`serve`](Self::serve) terminal: sliding-window
+    /// latency quantiles, shed rate, SLO burn-rate, and tail-based span
+    /// sampling, snapshotted on demand through
+    /// [`ServingSession::scope`]. Ignored by the batch terminals.
+    ///
+    /// A scope config set explicitly on the [`ServingOptions`] passed
+    /// to `serve` wins over this one.
+    pub fn with_scope(mut self, config: ScopeConfig) -> Self {
+        self.scope = Some(config);
+        self
+    }
+
     /// The deployment artifact this handle will run.
     pub fn deployment(&self) -> &Deployment {
         &self.deployment
@@ -197,6 +214,10 @@ impl DeploymentHandle {
     ///
     /// [`Error::Exec`] when the deployment cannot start.
     pub fn serve(self, options: ServingOptions) -> Result<ServingSession, Error> {
+        let mut options = options;
+        if options.scope.is_none() {
+            options.scope = self.scope;
+        }
         let server = Server::start(
             &ThreadedExecutor::default(),
             &self.deployment,
@@ -267,6 +288,16 @@ impl ServingSession {
     /// Instances migrated by hot relayouts so far.
     pub fn relayouts(&self) -> u64 {
         self.server.relayouts()
+    }
+
+    /// The live observability handle (`None` unless the session was
+    /// started with a scope config, via
+    /// [`DeploymentHandle::with_scope`] or
+    /// [`ServingOptions::with_scope`]). The handle is cloneable and
+    /// snapshot-safe from other threads while the session keeps
+    /// serving.
+    pub fn scope(&self) -> Option<ScopeHandle> {
+        self.server.scope_handle()
     }
 
     /// Requests admitted but not yet complete.

@@ -105,6 +105,7 @@ pub use bamboo_schedule::{
 };
 pub use bamboo_serving::{
     AdmissionControl, ArrivalProcess, Bursty, ChannelIngress, IngressHandle, Pacing, Poisson,
-    Server, ServingError, ServingOptions, ServingReport, ShedReason, TokenBucket, Trace,
+    ScopeConfig, ScopeHandle, ScopeSnapshot, Server, ServingError, ServingOptions, ServingReport,
+    ShedReason, TokenBucket, Trace,
 };
 pub use bamboo_telemetry::{Telemetry, TelemetryReport, TimeUnit};

@@ -24,5 +24,5 @@ pub use bamboo_runtime::{
     Program, RelayoutError, RunOptions, StealPolicy, ThreadedExecutor, VirtualExecutor,
 };
 pub use bamboo_schedule::{GroupGraph, Layout, SynthesisOptions, SynthesisResult};
-pub use bamboo_serving::{Bursty, Poisson, Server, ServingOptions};
+pub use bamboo_serving::{Bursty, Poisson, ScopeConfig, Server, ServingOptions};
 pub use bamboo_telemetry::Telemetry;

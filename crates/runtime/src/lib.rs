@@ -43,5 +43,7 @@ pub use router::ShardedRouter;
 // dependents that don't otherwise touch the scheduler can name it.
 pub use bamboo_schedule::Layout;
 pub use store::{ObjId, ObjectStore, PayloadSlot, RtObject};
-pub use threaded::{PayloadTypeError, RelayoutHandle, ResidentRun, ThreadedExecutor, ThreadedReport};
+pub use threaded::{
+    PayloadTypeError, RelayoutHandle, ResidentRun, ThreadedExecutor, ThreadedReport,
+};
 pub use virtual_exec::{ExecConfig, ExecError, RunReport, VirtualExecutor};

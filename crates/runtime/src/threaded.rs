@@ -484,9 +484,7 @@ impl Shared {
     fn current_layout(&self) -> Layout {
         let mut layout = self.layout.clone();
         for (i, inst) in layout.instances.iter_mut().enumerate() {
-            inst.core = bamboo_machine::CoreId::new(
-                self.assignment[i].load(Ordering::Acquire),
-            );
+            inst.core = bamboo_machine::CoreId::new(self.assignment[i].load(Ordering::Acquire));
         }
         layout
     }
@@ -1924,7 +1922,7 @@ fn form_all(
                 let id = shared.next_inv.fetch_add(1, Ordering::Relaxed) + 1;
                 if sink.is_enabled() {
                     let ts = sink.now();
-                    sink.inv_queued(ts, id, inst.index() as u64, task.index() as u64);
+                    sink.inv_queued(ts, id, inst.index() as u64, task.index() as u64, request);
                     for obj in &objs {
                         sink.inv_link(ts, id, obj.producer, obj.msg);
                     }

@@ -35,6 +35,12 @@
 //! `req_shed`, `req_complete`) so latency distributions can also be
 //! reconstructed offline from a recorded report via
 //! [`bamboo_telemetry::analyze::ServingStats`].
+//!
+//! With [`ServingOptions::with_scope`] the same lifecycle also feeds
+//! the *live* observability plane (`bamboo-scope`, DESIGN.md §17):
+//! sliding-window p50/p99/p999, shed rate, SLO burn-rate, and
+//! tail-based span sampling, snapshotted on demand through a
+//! [`ScopeHandle`] while the deployment keeps serving.
 
 pub mod admission;
 pub mod arrivals;
@@ -50,3 +56,6 @@ pub use server::{Pacing, Server, ServingOptions, ServingReport};
 // Re-exported so `ServingReport::adapt` and the `AdaptPolicy` handed to
 // `RunOptions::with_adapt` are nameable from this crate alone.
 pub use bamboo_runtime::{AdaptPolicy, AdaptReport, RelayoutError};
+// Re-exported so `ServingOptions::with_scope` and the snapshots hanging
+// off `ServingReport::scope` are nameable from this crate alone.
+pub use bamboo_telemetry::scope::{ScopeConfig, ScopeHandle, ScopeSnapshot};

@@ -32,6 +32,7 @@ use bamboo_runtime::{
 };
 use bamboo_telemetry::analyze::LatencyHistogram;
 use bamboo_telemetry::event::arrival_source;
+use bamboo_telemetry::scope::{ScopeConfig, ScopeHandle, ScopeRecorder, ScopeSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -61,6 +62,10 @@ pub struct ServingOptions {
     /// Arrivals separated by gaps at or below this coalesce into the
     /// current micro-batch.
     pub batch_window: Duration,
+    /// Live observability plane (`None` = off, zero overhead). When
+    /// set, the server feeds a [`ScopeRecorder`] from the request
+    /// lifecycle and [`Server::scope_handle`] exposes live snapshots.
+    pub scope: Option<ScopeConfig>,
 }
 
 impl ServingOptions {
@@ -72,6 +77,7 @@ impl ServingOptions {
             pacing: Pacing::Wall,
             max_batch: 8,
             batch_window: Duration::from_micros(100),
+            scope: None,
         }
     }
 
@@ -93,6 +99,12 @@ impl ServingOptions {
         self.batch_window = window;
         self
     }
+
+    /// Enables the live scope plane with `config`.
+    pub fn with_scope(mut self, config: ScopeConfig) -> Self {
+        self.scope = Some(config);
+        self
+    }
 }
 
 /// Everything a serving run produced.
@@ -112,6 +124,10 @@ pub struct ServingReport {
     pub completed: u64,
     /// Admit→complete wall latency per completed request, microseconds.
     pub latency_us: LatencyHistogram,
+    /// The same latencies raw, in completion-detection order — exact
+    /// quantiles for harnesses whose tolerance is finer than the
+    /// histogram's ~3% bucket resolution.
+    pub raw_latency_us: Vec<u64>,
     /// Every completion, in detection order (request-id order within a
     /// tick under [`Pacing::Stepped`]).
     pub completions: Vec<Completion>,
@@ -124,6 +140,9 @@ pub struct ServingReport {
     /// The adaptive controller's activity, when the run was started
     /// with an [`bamboo_runtime::AdaptPolicy`].
     pub adapt: Option<AdaptReport>,
+    /// The scope plane's final snapshot, when the run was served with
+    /// [`ServingOptions::with_scope`].
+    pub scope: Option<ScopeSnapshot>,
     /// The resident executor's final report.
     pub executor: ThreadedReport,
 }
@@ -189,8 +208,13 @@ pub struct Server {
     /// refills from this clock so both pacings decide identically.
     clock: Duration,
     started: Instant,
+    /// Live scope plane; fed from the driver so stepped pacing stays
+    /// deterministic (all feeds happen on the serving thread, on the
+    /// virtual clock).
+    scope: Option<ScopeRecorder>,
     admit_at: HashMap<u64, Instant>,
     latency_us: LatencyHistogram,
+    raw_latency_us: Vec<u64>,
     completions: Vec<Completion>,
     arrivals: u64,
     admitted: u64,
@@ -259,7 +283,9 @@ impl Server {
             batch_window: options.batch_window,
             clock: Duration::ZERO,
             started,
+            scope: options.scope.map(ScopeRecorder::new),
             admit_at: HashMap::new(),
+            raw_latency_us: Vec::new(),
             latency_us: LatencyHistogram::new(),
             completions: Vec::new(),
             arrivals: 0,
@@ -299,6 +325,23 @@ impl Server {
     /// current (possibly hot-migrated) core assignment overlaid.
     pub fn current_layout(&self) -> bamboo_runtime::Layout {
         self.run.current_layout()
+    }
+
+    /// A handle onto the live scope plane (`None` unless the server
+    /// was started with [`ServingOptions::with_scope`]). Snapshots can
+    /// be taken from any thread while the deployment keeps serving.
+    pub fn scope_handle(&self) -> Option<ScopeHandle> {
+        self.scope.as_ref().map(ScopeRecorder::handle)
+    }
+
+    /// The scope plane's clock, microseconds: the virtual arrival
+    /// clock under stepped pacing (deterministic at any thread count),
+    /// wall time since start otherwise.
+    fn scope_now_us(&self) -> u64 {
+        match self.pacing {
+            Pacing::Stepped => self.clock.as_micros() as u64,
+            Pacing::Wall => self.started.elapsed().as_micros() as u64,
+        }
     }
 
     /// Offers `total` arrivals from `process`, open-loop: each arrival
@@ -406,14 +449,21 @@ impl Server {
         // The id this arrival receives if admitted: ids are minted in
         // injection order, and `queued` batch-mates inject first.
         let request = self.run.next_request_id() + queued as u64;
+        let snow = self.scope_now_us();
         let ts = self.run.driver_sink().now();
         self.run.driver_sink().req_arrive(ts, request, source);
+        if let Some(scope) = &self.scope {
+            scope.arrive(snow, request);
+        }
         self.arrivals += 1;
         let depth = self.run.ingress_depth() + queued;
         match self.admission.decide(self.clock, depth) {
             AdmissionVerdict::Admit => Some(make(request)),
             AdmissionVerdict::Shed(reason) => {
                 self.run.driver_sink().req_shed(ts, request, reason.tag());
+                if let Some(scope) = &self.scope {
+                    scope.shed(snow, request);
+                }
                 self.shed += 1;
                 match reason {
                     crate::error::ShedReason::RateLimit => self.shed_rate_limit += 1,
@@ -440,9 +490,13 @@ impl Server {
     /// executor so the tick's completions surface deterministically.
     fn flush(&mut self, batch: Vec<NativePayload>) -> Result<(), ServingError> {
         let now = Instant::now();
+        let snow = self.scope_now_us();
         let ids = self.run.inject_batch(batch);
         self.admitted += ids.len() as u64;
         for id in ids {
+            if let Some(scope) = &self.scope {
+                scope.admit(snow, id);
+            }
             self.admit_at.insert(id, now);
         }
         if self.pacing == Pacing::Stepped {
@@ -481,6 +535,10 @@ impl Server {
                 .saturating_duration_since(admitted)
                 .as_micros() as u64;
             self.latency_us.record(us);
+            self.raw_latency_us.push(us);
+        }
+        if let Some(scope) = &self.scope {
+            scope.complete(self.scope_now_us(), c.request, c.invocations);
         }
         self.completions.push(c);
     }
@@ -512,6 +570,7 @@ impl Server {
         // Always stop the workers — even on a failed run — so a typed
         // error never leaks live threads.
         let executor = self.run.shutdown();
+        let scope = self.scope.as_ref().map(ScopeRecorder::snapshot);
         idle?;
         let executor = executor?;
         Ok(ServingReport {
@@ -522,10 +581,12 @@ impl Server {
             shed_queue_depth: self.shed_queue_depth,
             completed: self.completions.len() as u64,
             latency_us: self.latency_us,
+            raw_latency_us: self.raw_latency_us,
             completions: self.completions,
             relayouts: executor.relayouts,
             layout_epoch: executor.layout_epoch,
             adapt,
+            scope,
             executor,
         })
     }

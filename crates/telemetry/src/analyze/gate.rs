@@ -177,10 +177,10 @@ impl Verdict {
 
     /// Serializes the verdict as a JSON document (the CI artifact).
     ///
-    /// When any `serving-*` (or `adapt-*`) checks are present a
-    /// `serving` (`adapt`) section summarizes them, so CI jobs gating
-    /// only on one surface can read one member instead of filtering the
-    /// flat check list.
+    /// When any `serving-*` (or `adapt-*`, `scope-*`) checks are
+    /// present a `serving` (`adapt`, `scope`) section summarizes them,
+    /// so CI jobs gating only on one surface can read one member
+    /// instead of filtering the flat check list.
     pub fn json(&self) -> String {
         let mut out = format!("{{\"pass\":{}", self.pass());
         let serving: Vec<&Check> = self
@@ -209,6 +209,20 @@ impl Verdict {
                 adapt.iter().all(|c| c.pass),
                 adapt.len(),
                 adapt.iter().filter(|c| !c.pass).count(),
+            );
+        }
+        let scope: Vec<&Check> = self
+            .checks
+            .iter()
+            .filter(|c| c.name.starts_with("scope-"))
+            .collect();
+        if !scope.is_empty() {
+            let _ = write!(
+                out,
+                ",\"scope\":{{\"pass\":{},\"checks\":{},\"failed\":{}}}",
+                scope.iter().all(|c| c.pass),
+                scope.len(),
+                scope.iter().filter(|c| !c.pass).count(),
             );
         }
         out.push_str(",\"checks\":[");
@@ -508,6 +522,26 @@ pub struct ServingBaselineBench {
     /// harness ran one (absent on baselines from before the adaptive
     /// re-layout loop existed).
     pub adapt: Option<AdaptBaseline>,
+    /// The recorded scope-off-vs-scope-on overhead comparison, when the
+    /// recording harness ran one (absent on baselines from before the
+    /// live observability plane existed).
+    pub scope: Option<ScopeBaseline>,
+}
+
+/// One application's recorded scope-overhead numbers (the `scope`
+/// member of a `BENCH_serving.json` bench): two legs serve the same
+/// seeded traffic at the recorded operating point, one with the live
+/// observability plane off and one with it on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScopeBaseline {
+    /// p99 with the scope plane off, microseconds.
+    pub off_p99_us: f64,
+    /// p99 with the scope plane on, microseconds.
+    pub on_p99_us: f64,
+    /// Completed requests/second with the scope plane off.
+    pub off_rps: f64,
+    /// Completed requests/second with the scope plane on.
+    pub on_rps: f64,
 }
 
 /// One application's recorded adaptive-vs-frozen numbers (the `adapt`
@@ -581,12 +615,30 @@ pub fn parse_serving_baseline(text: &str) -> Result<ServingBaseline, String> {
                 })
             }
         };
+        let scope = match bench.get("scope") {
+            None => None,
+            Some(scope) => {
+                let sfield = |key: &str| -> Result<f64, String> {
+                    scope
+                        .get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("{name}: missing scope.{key}"))
+                };
+                Some(ScopeBaseline {
+                    off_p99_us: sfield("off_p99_us")?,
+                    on_p99_us: sfield("on_p99_us")?,
+                    off_rps: sfield("off_rps")?,
+                    on_rps: sfield("on_rps")?,
+                })
+            }
+        };
         out.push(ServingBaselineBench {
             name: name.clone(),
             solo_p99_us: field("solo_p99_us")?,
             slo_p99_us: field("slo_p99_us")?,
             max_sustainable_rps: field("max_sustainable_rps")?,
             adapt,
+            scope,
         });
     }
     Ok(ServingBaseline {
@@ -738,10 +790,7 @@ pub const ADAPT_BASELINE_MIN_WINS: f64 = 2.0;
 ///   one hot relayout, account for every request exactly, and leave the
 ///   observed↔model rate divergence no worse than before
 ///   (`adapt-improves-or-holds`, within [`ADAPT_DIVERGENCE_SLACK`]).
-pub fn evaluate_adapt(
-    baseline: &ServingBaseline,
-    observations: &[AdaptObservation],
-) -> Vec<Check> {
+pub fn evaluate_adapt(baseline: &ServingBaseline, observations: &[AdaptObservation]) -> Vec<Check> {
     let recorded: Vec<(&ServingBaselineBench, &AdaptBaseline)> = baseline
         .benches
         .iter()
@@ -827,6 +876,142 @@ pub fn evaluate_adapt_probe(observations: &[AdaptObservation]) -> Vec<Check> {
             limit,
             pass,
             "<=",
+        ));
+    }
+    checks
+}
+
+/// One application's live scope-probe numbers on the build under test:
+/// a deterministic (stepped-pacing, fixed-seed) serve with the live
+/// observability plane armed, plus the span trees reconstructed for the
+/// tail-sampled requests.
+#[derive(Clone, Debug, Default)]
+pub struct ScopeObservation {
+    /// Application name; matched against [`ServingBaselineBench::name`].
+    pub name: String,
+    /// Arrivals the scope snapshot counted.
+    pub arrived: f64,
+    /// Admissions the scope snapshot counted.
+    pub admitted: f64,
+    /// Completions the scope snapshot counted.
+    pub completed: f64,
+    /// Sheds the scope snapshot counted.
+    pub shed: f64,
+    /// Tail-sampled requests whose span tree was reconstructed.
+    pub trees: f64,
+    /// Whether every reconstructed span tree's breakdown (compute +
+    /// lock-wait + queue-wait + routing + idle) summed to its total
+    /// latency *exactly*.
+    pub partition_exact: bool,
+}
+
+/// Scope-on p99 may exceed scope-off p99 by this factor before
+/// `scope-baseline-p99-overhead` fails (the ≤3% overhead budget,
+/// recorded on the baseline host so it is exempt from cross-host
+/// slack).
+pub const SCOPE_P99_OVERHEAD_SLACK: f64 = 1.03;
+/// Scope-on completion throughput must reach this fraction of the
+/// scope-off throughput recorded at the same operating point.
+pub const SCOPE_THROUGHPUT_FLOOR_FRACTION: f64 = 0.97;
+
+/// Evaluates the live observability plane, returning `scope-*` checks
+/// to append to the verdict (they also feed the verdict's `scope` JSON
+/// section). No-op when the baseline predates the scope recording (no
+/// bench has a `scope` member).
+///
+/// Two kinds of evidence:
+///
+/// * **recorded** — the baseline's own scope-off-vs-scope-on comparison
+///   was measured on one host at one operating point, so it gates the
+///   overhead budget tightly: scope-on p99 within
+///   [`SCOPE_P99_OVERHEAD_SLACK`]× of scope-off, scope-on throughput
+///   above [`SCOPE_THROUGHPUT_FLOOR_FRACTION`] of scope-off;
+/// * **live** — per observed probe, the snapshot's request accounting
+///   must balance exactly and every tail-sampled span tree must
+///   partition its latency exactly ([`evaluate_scope_probe`]).
+pub fn evaluate_scope(baseline: &ServingBaseline, observations: &[ScopeObservation]) -> Vec<Check> {
+    let recorded: Vec<(&ServingBaselineBench, &ScopeBaseline)> = baseline
+        .benches
+        .iter()
+        .filter_map(|b| b.scope.as_ref().map(|s| (b, s)))
+        .collect();
+    if recorded.is_empty() {
+        return Vec::new();
+    }
+    let mut checks = Vec::new();
+    for (base, scope) in &recorded {
+        let p99_limit = scope.off_p99_us * SCOPE_P99_OVERHEAD_SLACK;
+        checks.push(check(
+            &base.name,
+            "scope-baseline-p99-overhead",
+            scope.on_p99_us,
+            p99_limit,
+            scope.on_p99_us <= p99_limit,
+            "<=",
+        ));
+        let rps_floor = scope.off_rps * SCOPE_THROUGHPUT_FLOOR_FRACTION;
+        checks.push(check(
+            &base.name,
+            "scope-baseline-throughput",
+            scope.on_rps,
+            rps_floor,
+            scope.on_rps >= rps_floor,
+            ">=",
+        ));
+        let Some(obs) = observations.iter().find(|o| o.name == base.name) else {
+            checks.push(check(
+                &base.name,
+                "scope-bench-present",
+                0.0,
+                1.0,
+                false,
+                "must be",
+            ));
+            continue;
+        };
+        checks.extend(evaluate_scope_probe(std::slice::from_ref(obs)));
+    }
+    checks
+}
+
+/// The live-probe subset of the `scope-*` checks — per observation:
+/// the snapshot's request accounting balances exactly (arrived =
+/// admitted + shed, completed = admitted on a drained run) and every
+/// tail-sampled span tree partitions its latency exactly. Standalone
+/// entry point for the doctor's `--scope-smoke` mode, which has no
+/// recorded baseline to gate against.
+pub fn evaluate_scope_probe(observations: &[ScopeObservation]) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for obs in observations {
+        let balanced = obs.arrived == obs.admitted + obs.shed
+            && obs.completed == obs.admitted
+            && obs.admitted > 0.0;
+        checks.push(Check {
+            bench: obs.name.clone(),
+            name: "scope-accounting-exact",
+            observed: obs.completed,
+            limit: obs.admitted,
+            pass: balanced,
+            detail: format!(
+                "arrived {} = admitted {} + shed {}, completed {}",
+                obs.arrived, obs.admitted, obs.shed, obs.completed
+            ),
+        });
+        checks.push(check(
+            &obs.name,
+            "scope-sampled-trees",
+            obs.trees,
+            1.0,
+            obs.trees >= 1.0,
+            ">=",
+        ));
+        checks.push(check(
+            &obs.name,
+            "scope-partition-exact",
+            if obs.partition_exact { 1.0 } else { 0.0 },
+            1.0,
+            obs.partition_exact,
+            "==",
         ));
     }
     checks
@@ -1314,7 +1499,11 @@ mod tests {
         assert!(evaluate_adapt(&old, &[]).is_empty());
 
         let baseline = parse_serving_baseline(ADAPT_BASELINE).unwrap();
-        let km = baseline.benches.iter().find(|b| b.name == "KMeans").unwrap();
+        let km = baseline
+            .benches
+            .iter()
+            .find(|b| b.name == "KMeans")
+            .unwrap();
         let adapt = km.adapt.as_ref().expect("adapt section parsed");
         assert_eq!(adapt.frozen_p99_us, 4300.0);
         assert_eq!(adapt.adaptive_p99_us, 1900.0);
@@ -1414,6 +1603,123 @@ mod tests {
         let adapt = doc.get("adapt").expect("adapt section");
         assert_eq!(adapt.get("pass"), Some(&crate::json::Value::Bool(true)));
         assert_eq!(adapt.get("failed").and_then(Value::as_f64), Some(0.0));
+    }
+
+    const SCOPE_BASELINE: &str = r#"{
+      "machine_cores": 8,
+      "scale": "small",
+      "seed": 42,
+      "slo_multiplier": 10.0,
+      "benches": {
+        "KMeans": {
+          "solo_p99_us": 900.0, "slo_p99_us": 9000.0, "max_sustainable_rps": 1600.0,
+          "scope": { "off_p99_us": 4000.0, "on_p99_us": 4080.0, "off_rps": 1500.0, "on_rps": 1490.0 }
+        }
+      }
+    }"#;
+
+    fn healthy_scope_observation() -> ScopeObservation {
+        ScopeObservation {
+            name: "KMeans".into(),
+            arrived: 26.0,
+            admitted: 24.0,
+            completed: 24.0,
+            shed: 2.0,
+            trees: 4.0,
+            partition_exact: true,
+        }
+    }
+
+    #[test]
+    fn scope_baseline_parses_and_stays_optional() {
+        // Pre-scope baselines (no scope member) still parse.
+        let old = parse_serving_baseline(SERVING_BASELINE).unwrap();
+        assert!(old.benches[0].scope.is_none());
+        assert!(evaluate_scope(&old, &[]).is_empty());
+
+        let baseline = parse_serving_baseline(SCOPE_BASELINE).unwrap();
+        let scope = baseline.benches[0].scope.as_ref().expect("scope parsed");
+        assert_eq!(scope.off_p99_us, 4000.0);
+        assert_eq!(scope.on_p99_us, 4080.0);
+        assert_eq!(scope.off_rps, 1500.0);
+        assert_eq!(scope.on_rps, 1490.0);
+    }
+
+    #[test]
+    fn healthy_scope_probe_passes() {
+        let baseline = parse_serving_baseline(SCOPE_BASELINE).unwrap();
+        let checks = evaluate_scope(&baseline, &[healthy_scope_observation()]);
+        assert_eq!(checks.len(), 5);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "scope-baseline-p99-overhead"));
+        assert!(checks.iter().any(|c| c.name == "scope-partition-exact"));
+    }
+
+    #[test]
+    fn scope_regressions_fail() {
+        // Recorded overhead past the 3% budget fails.
+        let mut baseline = parse_serving_baseline(SCOPE_BASELINE).unwrap();
+        if let Some(scope) = &mut baseline.benches[0].scope {
+            scope.on_p99_us = scope.off_p99_us * SCOPE_P99_OVERHEAD_SLACK + 1.0;
+        }
+        let checks = evaluate_scope(&baseline, &[healthy_scope_observation()]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "scope-baseline-p99-overhead" && !c.pass));
+        // Collapsed scope-on throughput fails.
+        let mut baseline = parse_serving_baseline(SCOPE_BASELINE).unwrap();
+        if let Some(scope) = &mut baseline.benches[0].scope {
+            scope.on_rps = scope.off_rps * SCOPE_THROUGHPUT_FLOOR_FRACTION - 1.0;
+        }
+        let checks = evaluate_scope(&baseline, &[healthy_scope_observation()]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "scope-baseline-throughput" && !c.pass));
+        // A snapshot that loses a request fails accounting.
+        let baseline = parse_serving_baseline(SCOPE_BASELINE).unwrap();
+        let mut obs = healthy_scope_observation();
+        obs.completed = 23.0;
+        let checks = evaluate_scope(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "scope-accounting-exact" && !c.pass));
+        // An inexact partition is a reconstruction bug.
+        let mut obs = healthy_scope_observation();
+        obs.partition_exact = false;
+        let checks = evaluate_scope(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "scope-partition-exact" && !c.pass));
+        // No sampled trees means the sampler is dead.
+        let mut obs = healthy_scope_observation();
+        obs.trees = 0.0;
+        let checks = evaluate_scope(&baseline, &[obs]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "scope-sampled-trees" && !c.pass));
+        // A missing probe fails presence.
+        let checks = evaluate_scope(&baseline, &[]);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "scope-bench-present" && !c.pass));
+    }
+
+    #[test]
+    fn scope_section_appears_in_verdict_json() {
+        let baseline = parse_serving_baseline(SCOPE_BASELINE).unwrap();
+        let mut verdict = Verdict::default();
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        assert!(doc.get("scope").is_none());
+        verdict
+            .checks
+            .extend(evaluate_scope(&baseline, &[healthy_scope_observation()]));
+        let doc = crate::json::parse(&verdict.json()).unwrap();
+        let scope = doc.get("scope").expect("scope section");
+        assert_eq!(scope.get("pass"), Some(&crate::json::Value::Bool(true)));
+        assert_eq!(scope.get("checks").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(scope.get("failed").and_then(Value::as_f64), Some(0.0));
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct ObsInvocation {
     pub task: u64,
     /// Group-instance id word.
     pub instance: u64,
+    /// The serving request the invocation belongs to (0 for batch
+    /// runs), recovered from the packed [`EventKind::InvQueued`]
+    /// instance word.
+    pub request: u64,
     /// The core that executed the body.
     pub core: u32,
     /// The core that formed and first enqueued the invocation.
@@ -91,6 +95,7 @@ pub struct ObservedGraph {
 struct Builder {
     task: u64,
     instance: u64,
+    request: u64,
     formed_core: u32,
     queued: Option<Timestamp>,
     start: Option<Timestamp>,
@@ -113,8 +118,10 @@ impl ObservedGraph {
         for e in &report.events {
             match e.kind {
                 EventKind::InvQueued => {
+                    let (instance, request) = crate::event::unpack_inv_request(e.b);
                     let b = builders.entry(e.a).or_default();
-                    b.instance = e.b;
+                    b.instance = instance;
+                    b.request = request;
                     b.task = e.c;
                     b.formed_core = e.core;
                     b.queued = Some(e.ts);
@@ -158,6 +165,7 @@ impl ObservedGraph {
                 id,
                 task: b.task,
                 instance: b.instance,
+                request: b.request,
                 core: b.core,
                 formed_core: b.formed_core,
                 queued: b.queued.unwrap_or(start),

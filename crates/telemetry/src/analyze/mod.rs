@@ -33,17 +33,17 @@ pub mod gate;
 pub mod graph;
 pub mod ledger;
 pub mod path;
+pub mod scope;
 pub mod serving;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use estimate::{
-    estimate_profile, profile_fingerprint, rate_divergence, LiveEstimator,
-};
+pub use estimate::{estimate_profile, profile_fingerprint, rate_divergence, LiveEstimator};
 pub use findings::{Evidence, Finding, Severity};
 pub use graph::{ObsEdge, ObsInvocation, ObservedGraph};
 pub use ledger::{CoreLedger, Ledger};
 pub use path::{ObservedPath, PathStep};
+pub use scope::{span_trees, SpanBreakdown, SpanTree};
 pub use serving::{LatencyHistogram, RequestTimeline, ServingStats};
 
 use crate::report::TelemetryReport;
@@ -80,6 +80,9 @@ pub fn diagnose(report: &TelemetryReport, predicted: Option<&ExecutionTrace>) ->
     // Chaos runs carry fault/recover events; attribute slowdown to the
     // injected faults by name before ranking.
     all.extend(divergence::fault_findings(report));
+    // Serving runs carry request lifecycle events; attribute the tail
+    // cohort's latency to its dominant span component.
+    all.extend(scope::latency_attribution(report));
     findings::rank(&mut all);
     Diagnosis {
         graph,

@@ -26,6 +26,7 @@ pub struct LatencyHistogram {
     count: u64,
     sum: u64,
     max: u64,
+    min: u64, // meaningful only when count > 0
 }
 
 fn bucket_of(value: u64) -> usize {
@@ -64,9 +65,36 @@ impl LatencyHistogram {
             Ok(pos) => self.buckets[pos].1 += 1,
             Err(pos) => self.buckets.insert(pos, (idx, 1)),
         }
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
         self.count += 1;
         self.sum += value;
         self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram's samples into this one (used to
+    /// aggregate per-window histograms into run totals).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Number of recorded samples.
@@ -84,6 +112,15 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Smallest recorded sample (exact, not bucketed; 0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
     /// Mean of recorded samples (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -95,7 +132,15 @@ impl LatencyHistogram {
 
     /// The value at quantile `q` in [0, 1]: the upper bound of the
     /// first bucket whose cumulative count reaches `q * count`,
-    /// clamped to the observed max. Returns 0 when empty.
+    /// clamped to the observed `[min, max]` range.
+    ///
+    /// Edge cases are explicit rather than incidental:
+    /// * **empty** → 0 for every `q`;
+    /// * **single sample** → that exact sample for every `q` (the
+    ///   clamp collapses the bucket estimate onto the one value);
+    /// * **high quantiles on small windows** (e.g. p999 with fewer than
+    ///   1000 samples) → the exact observed max, never a bucket top
+    ///   above anything that was recorded.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -105,7 +150,7 @@ impl LatencyHistogram {
         for &(idx, n) in &self.buckets {
             seen += n;
             if seen >= rank {
-                return bucket_top(idx).min(self.max);
+                return bucket_top(idx).clamp(self.min, self.max);
             }
         }
         self.max
@@ -277,6 +322,73 @@ mod tests {
         // p50 of 100..100_000 uniform is ~50_000; the bucket estimate
         // must land within one bucket width (~3%).
         assert!((45_000..=55_000).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_window_reports_the_sample_exactly() {
+        // 10_000 falls in a ~3%-wide bucket whose top is above the
+        // sample; every quantile must still report the sample itself.
+        let mut h = LatencyHistogram::new();
+        h.record(10_000);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 10_000, "q={q}");
+        }
+        assert_eq!(h.min(), 10_000);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn p999_on_small_windows_is_the_observed_max() {
+        // With fewer than 1000 samples the p999 rank lands on the last
+        // sample; the estimate must be the exact max, not a bucket top.
+        let mut h = LatencyHistogram::new();
+        for v in [70_000u64, 80_000, 90_001] {
+            h.record(v);
+        }
+        assert_eq!(h.p999(), 90_001);
+        assert_eq!(h.quantile(1.0), 90_001);
+        // And the low end clamps to the observed min.
+        assert!(h.quantile(0.0) >= 70_000);
+    }
+
+    #[test]
+    fn merge_combines_counts_min_max_and_quantiles() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [100u64, 200, 300] {
+            a.record(v);
+        }
+        for v in [5u64, 50_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 50_000);
+        assert_eq!(a.sum(), 100 + 200 + 300 + 5 + 50_000);
+        assert_eq!(a.quantile(0.0), 5);
+        assert_eq!(a.quantile(1.0), 50_000);
+        // Merging an empty histogram is a no-op.
+        let before = a.count();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), before);
+        // Merging into an empty histogram copies min/max.
+        let mut c = LatencyHistogram::new();
+        c.merge(&a);
+        assert_eq!(c.min(), 5);
+        assert_eq!(c.max(), 50_000);
     }
 
     #[test]

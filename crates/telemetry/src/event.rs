@@ -45,7 +45,10 @@ pub enum EventKind {
     QueueDepth = 6,
     /// An invocation was formed and entered a run queue (the queue-enter
     /// timestamp of the matching [`EventKind::TaskStart`]). `a` =
-    /// invocation id (unique within the run), `b` = instance id,
+    /// invocation id (unique within the run), `b` = instance id in the
+    /// low 32 bits and the serving request id that formed the
+    /// invocation in the high 32 (see [`pack_inv_request`]; the request
+    /// word is 0 for batch runs and truncates ids past 2^32 requests),
     /// `c` = task id.
     InvQueued = 7,
     /// One causal edge of a formed invocation: the invocation consumed
@@ -116,6 +119,21 @@ pub const fn pack_task_exit(task: u64, exit: u64) -> u64 {
 /// `(task, exit)`.
 pub const fn unpack_task_exit(a: u64) -> (u64, u64) {
     (a & 0xffff_ffff, a >> 32)
+}
+
+/// Packs an instance id and the serving request id that formed the
+/// invocation into the `b` word of [`EventKind::InvQueued`] events.
+/// Request ids are truncated to 32 bits (they are minted sequentially
+/// from 1, so truncation only matters past 2^32 requests in one
+/// resident run); batch runs carry request 0.
+pub const fn pack_inv_request(instance: u64, request: u64) -> u64 {
+    (instance & 0xffff_ffff) | ((request & 0xffff_ffff) << 32)
+}
+
+/// Splits a `b` word packed by [`pack_inv_request`] back into
+/// `(instance, request)`.
+pub const fn unpack_inv_request(b: u64) -> (u64, u64) {
+    (b & 0xffff_ffff, b >> 32)
 }
 
 /// Codes carried in the `a` word of [`EventKind::Fault`] events.
@@ -267,6 +285,18 @@ mod tests {
     fn task_exit_packing_round_trips() {
         let a = pack_task_exit(7, 3);
         assert_eq!(unpack_task_exit(a), (7, 3));
-        assert_eq!(unpack_task_exit(pack_task_exit(0xffff_ffff, 0)), (0xffff_ffff, 0));
+        assert_eq!(
+            unpack_task_exit(pack_task_exit(0xffff_ffff, 0)),
+            (0xffff_ffff, 0)
+        );
+    }
+
+    #[test]
+    fn inv_request_packing_round_trips() {
+        assert_eq!(unpack_inv_request(pack_inv_request(9, 41)), (9, 41));
+        assert_eq!(unpack_inv_request(pack_inv_request(9, 0)), (9, 0));
+        // Truncation past 32 bits keeps the low word intact.
+        let (inst, req) = unpack_inv_request(pack_inv_request(5, 0x1_0000_0002));
+        assert_eq!((inst, req), (5, 2));
     }
 }

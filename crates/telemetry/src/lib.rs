@@ -48,11 +48,13 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod ring;
+pub mod scope;
 pub mod summary;
 
 pub use event::{Event, EventKind, Timestamp, NO_ID};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Series};
 pub use report::TelemetryReport;
+pub use scope::{ScopeConfig, ScopeHandle, ScopeRecorder, ScopeSnapshot};
 
 use bamboo_schedule::dsa::DsaStats;
 use ring::EventRing;
@@ -382,10 +384,19 @@ impl WorkerSink {
     /// Records the formation of invocation `inv` of `task` at
     /// `instance`: the queue-enter timestamp the analysis layer pairs
     /// with the eventual [`EventKind::TaskStart`] to measure queue
-    /// wait.
+    /// wait. `request` is the serving request the invocation belongs to
+    /// (0 for batch runs); it is packed into the high 32 bits of the
+    /// instance word (see [`event::pack_inv_request`]) so request
+    /// attribution costs no extra event.
     #[inline]
-    pub fn inv_queued(&mut self, ts: Timestamp, inv: u64, instance: u64, task: u64) {
-        self.push(ts, EventKind::InvQueued, inv, instance, task);
+    pub fn inv_queued(&mut self, ts: Timestamp, inv: u64, instance: u64, task: u64, request: u64) {
+        self.push(
+            ts,
+            EventKind::InvQueued,
+            inv,
+            event::pack_inv_request(instance, request),
+            task,
+        );
     }
 
     /// Records one causal edge: invocation `inv` consumed an object

@@ -173,13 +173,22 @@ fn forced_midrun_relayout_preserves_checksums_on_all_apps() {
             .map(|(i, inst)| (InstanceId(i as u32), (inst.core.index() + 1) % cores))
             .collect();
         let epoch = handle.migrate(&moves).expect("relayout commits");
-        assert_eq!(epoch, 1, "{}: first relayout publishes epoch 1", bench.name());
+        assert_eq!(
+            epoch,
+            1,
+            "{}: first relayout publishes epoch 1",
+            bench.name()
+        );
         run.drain().expect("drain");
         assert!(run.ledger_is_empty(), "{}: ledger leaked", bench.name());
         let report = run.shutdown().expect("shutdown");
 
         assert_eq!(report.layout_epoch, 1, "{}", bench.name());
-        assert!(report.relayouts >= 1, "{}: no instances moved", bench.name());
+        assert!(
+            report.relayouts >= 1,
+            "{}: no instances moved",
+            bench.name()
+        );
         assert_eq!(
             bench.threaded_checksum(&compiler, &report),
             clean_sum,
@@ -234,7 +243,10 @@ fn hysteresis_prevents_flapping_under_alternating_mix() {
     assert!(adapt.decisions >= 1, "controller never warmed up");
     assert_eq!(adapt.relayouts, 0, "infinite hysteresis still migrated");
     assert_eq!(report.layout_epoch, 0);
-    assert!(cores.iter().all(|&c| c == 0), "layout moved without a commit");
+    assert!(
+        cores.iter().all(|&c| c == 0),
+        "layout moved without a commit"
+    );
     assert_eq!(report.completed, total as u64);
 
     // (b) Tight budget: one relayout per (hour-long) window, so the
@@ -266,7 +278,10 @@ fn divergence_is_reported_against_the_baseline() {
     let pre = adapt
         .pre_divergence
         .expect("baseline attached ⇒ pre-divergence measured");
-    assert!(pre.is_finite() && pre >= 0.0, "divergence {pre} out of range");
+    assert!(
+        pre.is_finite() && pre >= 0.0,
+        "divergence {pre} out of range"
+    );
     if adapt.relayouts > 0 {
         let post = adapt
             .post_divergence
